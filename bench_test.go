@@ -1,0 +1,417 @@
+// Package repro's benchmark harness regenerates every experiment in
+// EXPERIMENTS.md (E1-E8), one benchmark family per experiment. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks measure the cost of the constructions and simulations;
+// correctness of each experiment's outcome is asserted inside the loop so
+// a regression cannot silently produce fast-but-wrong results.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/perf"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// BenchmarkE1CrashPump measures the Theorem 7.5 construction: pump length
+// and cost against each crashing protocol over FIFO channels.
+func BenchmarkE1CrashPump(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() core.Protocol
+	}{
+		{"abp", protocol.NewABP},
+		{"gbn4w1", func() core.Protocol { return protocol.NewGoBackN(4, 1) }},
+		{"gbn16w8", func() core.Protocol { return protocol.NewGoBackN(16, 8) }},
+		{"stenning", protocol.NewStenning},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			cfg := adversary.CrashPumpConfig{
+				// Hypotheses are verified once outside the loop; the bench
+				// measures the construction itself.
+				SkipVerify: true,
+			}
+			if err := sim.VerifyCrashing(c.mk(), sim.VerifyConfig{Trials: 2, StepsPerTrial: 40}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := adversary.CrashPump(c.mk(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Verdict.OK() {
+					b.Fatal("pump failed to violate WDL")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2NonVolatileSurvives measures the randomized crash-torture run
+// of the non-volatile protocol: the contrast experiment to E1.
+func BenchmarkE2NonVolatileSurvives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(protocol.NewNonVolatile(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := sim.NewRunner(sys)
+		if err := r.WakeBoth(); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		for ev := 0; ev < 20; ev++ {
+			switch rng.Intn(4) {
+			case 0:
+				d := ioa.TR
+				if rng.Intn(2) == 0 {
+					d = ioa.RT
+				}
+				if err := r.Input(ioa.Crash(d)); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Input(ioa.Wake(d)); err != nil {
+					b.Fatal(err)
+				}
+			case 1:
+				if err := r.Input(ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("b%d-%d", i, ev)))); err != nil {
+					b.Fatal(err)
+				}
+			default:
+				if _, err := r.RunFair(sim.RunConfig{MaxSteps: 30, Rand: rng}); err != nil && !errors.Is(err, sim.ErrStepLimit) {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := r.RunFair(sim.RunConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		if v := spec.CheckDL(r.Behavior(), ioa.TR); !v.OK() {
+			b.Fatalf("non-volatile protocol violated DL: %s", v)
+		}
+	}
+}
+
+// BenchmarkE3HeaderPump measures the Theorem 8.5 construction across
+// header-space sizes: rounds scale with the modulus (n+1 rounds for
+// Go-Back-N mod n).
+func BenchmarkE3HeaderPump(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		b.Run(fmt.Sprintf("gbn%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := adversary.HeaderPump(protocol.NewGoBackN(n, 1), adversary.HeaderPumpConfig{SkipVerify: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Verdict.OK() || rep.Rounds != n+1 {
+					b.Fatalf("unexpected pump outcome: rounds=%d verdict=%s", rep.Rounds, rep.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4StenningHeaderGrowth measures the header-growth run of
+// Stenning's protocol over the reordering channel.
+func BenchmarkE4StenningHeaderGrowth(b *testing.B) {
+	for _, n := range []int{20, 100} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := perf.MeasureStenningHeaderGrowth(n, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.SpecOK || res.DistinctDataHeaders != n {
+					b.Fatalf("unexpected growth result: %+v", res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5WindowFIFOCorrect measures a lossy-FIFO delivery run of
+// Go-Back-N with the full DL specification checked on the trace.
+func BenchmarkE5WindowFIFOCorrect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(protocol.NewGoBackN(8, 3), true, core.WithChannelOptions(channel.WithLoss()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := sim.NewRunner(sys)
+		if err := r.WakeBoth(); err != nil {
+			b.Fatal(err)
+		}
+		for m := 0; m < 8; m++ {
+			if err := r.Input(ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("e5-%d", m)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := r.RunFair(sim.RunConfig{MaxSteps: 4000, Rand: rng, AllowLoss: true}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.RunFair(sim.RunConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		if v := spec.CheckDL(r.Behavior(), ioa.TR); !v.OK() {
+			b.Fatalf("DL violated: %s", v)
+		}
+	}
+}
+
+// BenchmarkE6Goodput measures the discrete-time goodput simulator at three
+// representative points of the sweep table.
+func BenchmarkE6Goodput(b *testing.B) {
+	cases := []perf.GoodputConfig{
+		{Window: 1, Delay: 8, Loss: 0.05, Ticks: 20000, Seed: 1},
+		{Window: 8, Delay: 8, Loss: 0.05, Ticks: 20000, Seed: 1},
+		{Window: 32, Delay: 8, Loss: 0.05, Ticks: 20000, Seed: 1},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		b.Run(fmt.Sprintf("W%d", cfg.Window), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := perf.SimulateGoodput(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Delivered == 0 {
+					b.Fatal("no deliveries")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6bDisciplines compares Go-Back-N and Selective Repeat at the
+// lossy operating point where their goodput diverges (the E6b table).
+func BenchmarkE6bDisciplines(b *testing.B) {
+	for _, d := range []perf.Discipline{perf.GoBackN, perf.SelectiveRepeat} {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				res, err := perf.SimulateGoodput(perf.GoodputConfig{
+					Discipline: d, Window: 16, Delay: 8, Loss: 0.1, Ticks: 20000, Seed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				goodput = res.Goodput
+			}
+			b.ReportMetric(goodput, "goodput")
+		})
+	}
+}
+
+// BenchmarkE7Channel measures the permissive channel substrate: delivery
+// throughput on both channel kinds and delivery-set surgery.
+func BenchmarkE7Channel(b *testing.B) {
+	bench := func(b *testing.B, fifo bool) {
+		var c *channel.Channel
+		if fifo {
+			c = channel.NewPermissiveFIFO(ioa.TR)
+		} else {
+			c = channel.NewPermissive(ioa.TR)
+		}
+		const pipeline = 32
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := c.Start()
+			var err error
+			for k := 0; k < pipeline; k++ {
+				pkt := ioa.Packet{ID: uint64(k + 1), Header: "h", Payload: "m"}
+				if st, err = c.Step(st, ioa.SendPkt(ioa.TR, pkt)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for k := 0; k < pipeline; k++ {
+				pkt := ioa.Packet{ID: uint64(k + 1), Header: "h", Payload: "m"}
+				if st, err = c.Step(st, ioa.ReceivePkt(ioa.TR, pkt)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("permissive", func(b *testing.B) { bench(b, false) })
+	b.Run("fifo", func(b *testing.B) { bench(b, true) })
+	b.Run("deliveryset-del", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := channel.IdentityDeliverySet()
+			for j := 0; j < 32; j++ {
+				s = s.Del(j%7 + 1)
+			}
+			if !s.Monotone() {
+				b.Fatal("del broke monotonicity")
+			}
+		}
+	})
+}
+
+// BenchmarkE9ChainDepth is the crash-pump ablation: protocols whose
+// failure-free reference execution alternates more between the stations
+// force deeper Lemma 7.3 chains. Compared: ABP (no handshake) vs. the
+// handshake protocol, plus selective repeat.
+func BenchmarkE9ChainDepth(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() core.Protocol
+	}{
+		{"abp", protocol.NewABP},
+		{"handshake", protocol.NewHandshake},
+		{"sr8w4", func() core.Protocol { return protocol.NewSelectiveRepeat(8, 4) }},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var phases, steps int
+			for i := 0; i < b.N; i++ {
+				rep, err := adversary.CrashPump(c.mk(), adversary.CrashPumpConfig{SkipVerify: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Verdict.OK() {
+					b.Fatal("pump failed")
+				}
+				phases, steps = len(rep.Phases), rep.PumpSteps
+			}
+			b.ReportMetric(float64(phases), "phases")
+			b.ReportMetric(float64(steps), "pump-steps")
+		})
+	}
+}
+
+// BenchmarkE10KBoundAblation is the Theorem 8.5 k-ablation: the
+// fragmenting protocol with f fragments per message is f-bounded, so the
+// pump's round count grows with both the header space and k.
+func BenchmarkE10KBoundAblation(b *testing.B) {
+	for _, f := range []int{1, 2, 3} {
+		f := f
+		b.Run(fmt.Sprintf("f%d", f), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				rep, err := adversary.HeaderPump(protocol.NewFragmenting(2, f), adversary.HeaderPumpConfig{SkipVerify: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Verdict.OK() {
+					b.Fatal("pump failed")
+				}
+				rounds = rep.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkE11ModelCheck measures the bounded model checker on the two
+// search problems that mirror the theorems: finding the reordering bug in
+// Go-Back-N mod 2 over C̄, and finding the crash bug in ABP over Ĉ.
+func BenchmarkE11ModelCheck(b *testing.B) {
+	b.Run("find-reordering-bug", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.NewSystem(protocol.NewGoBackN(2, 1), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := explore.BFS(sys, explore.Config{
+				Inputs: []ioa.Action{
+					ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+					ioa.SendMsg(ioa.TR, "a"), ioa.SendMsg(ioa.TR, "b"), ioa.SendMsg(ioa.TR, "c"),
+				},
+				Monitor: explore.NewSafetyMonitor(false), MaxDepth: 26, MaxInTransit: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation == nil {
+				b.Fatal("bug not found")
+			}
+		}
+	})
+	b.Run("find-crash-bug", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.NewSystem(protocol.NewABP(), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := explore.BFS(sys, explore.Config{
+				Inputs: []ioa.Action{
+					ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+					ioa.SendMsg(ioa.TR, "a"),
+					ioa.Crash(ioa.RT), ioa.Wake(ioa.RT),
+				},
+				Monitor: explore.NewSafetyMonitor(false), MaxDepth: 20, MaxInTransit: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violation == nil {
+				b.Fatal("bug not found")
+			}
+		}
+	})
+}
+
+// BenchmarkE8FailureFree measures the Lemma 4.1 sanity run — one message,
+// wake to delivery to quiescence — for each protocol.
+func BenchmarkE8FailureFree(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() core.Protocol
+	}{
+		{"abp", protocol.NewABP},
+		{"gbn8w3", func() core.Protocol { return protocol.NewGoBackN(8, 3) }},
+		{"sr8w4", func() core.Protocol { return protocol.NewSelectiveRepeat(8, 4) }},
+		{"frag4f2", func() core.Protocol { return protocol.NewFragmenting(4, 2) }},
+		{"handshake", protocol.NewHandshake},
+		{"stenning", protocol.NewStenning},
+		{"nonvolatile", protocol.NewNonVolatile},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := c.mk()
+				sys, err := core.NewSystem(p, p.Props.RequiresFIFO)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := sim.NewRunner(sys)
+				if err := r.WakeBoth(); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+					b.Fatal(err)
+				}
+				quiescent, err := r.RunFair(sim.RunConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !quiescent {
+					b.Fatal("no quiescence")
+				}
+				if v := spec.CheckWDL(r.Behavior(), ioa.TR); !v.OK() {
+					b.Fatalf("WDL violated: %s", v)
+				}
+			}
+		})
+	}
+}

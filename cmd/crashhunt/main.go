@@ -1,0 +1,70 @@
+// Command crashhunt runs the Theorem 7.5 adversary (the crash pump)
+// against a data link protocol over the permissive FIFO channels Ĉ: if the
+// protocol is message-independent and crashing, the pump mechanically
+// constructs an execution whose behavior violates the weak data link
+// specification WDL; if the protocol keeps non-volatile state across
+// crashes, the hypothesis check rejects it — the two sides of the paper's
+// Section 7.
+//
+// Examples:
+//
+//	crashhunt -protocol abp -trace
+//	crashhunt -protocol gbn -n 16 -w 4
+//	crashhunt -protocol nv          # rejected: not crashing
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/ioa"
+	"repro/internal/msc"
+	"repro/internal/protocol"
+)
+
+func main() {
+	var (
+		proto = flag.String("protocol", "abp", fmt.Sprintf("protocol: %v", protocol.Names()))
+		n     = flag.Int("n", 8, "Go-Back-N modulus")
+		w     = flag.Int("w", 3, "Go-Back-N window")
+		trace = flag.Bool("trace", false, "print the violating data link behavior")
+		chart = flag.Bool("msc", false, "print the full violating execution as a message sequence chart")
+	)
+	flag.Parse()
+	if err := run(*proto, *n, *w, *trace, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "crashhunt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(proto string, n, w int, trace, chart bool) error {
+	p, err := protocol.ByName(proto, n, w)
+	if err != nil {
+		return err
+	}
+	rep, err := adversary.CrashPump(p, adversary.CrashPumpConfig{})
+	if errors.Is(err, adversary.ErrHypothesisRejected) {
+		fmt.Printf("protocol %s escapes Theorem 7.5 — hypothesis check failed:\n  %v\n", p.Name, err)
+		fmt.Println("(a protocol with non-volatile memory is outside the theorem; see the paper's discussion of [BS83])")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if trace {
+		fmt.Println("violating data link behavior:")
+		fmt.Print(ioa.FormatSchedule(rep.Behavior))
+	}
+	if chart {
+		fmt.Println("message sequence chart of the violating execution:")
+		fmt.Print(msc.Render(rep.Schedule, msc.Options{}))
+	}
+	if rep.Verdict.OK() {
+		return fmt.Errorf("pump failed to produce a WDL violation — this refutes the reproduction, not the theorem")
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunConfigurations(t *testing.T) {
+	tests := []struct {
+		name    string
+		proto   string
+		n, w    int
+		fifo    bool
+		msgs    int
+		seed    int64
+		crashes int
+		ok      bool
+	}{
+		{"abp-fifo", "abp", 0, 0, true, 5, 0, 0, true},
+		{"gbn", "gbn", 8, 3, true, 5, 0, 0, true},
+		{"sr", "sr", 8, 4, true, 5, 0, 0, true},
+		{"frag", "frag", 4, 2, true, 4, 0, 0, true},
+		{"hs", "hs", 0, 0, true, 4, 0, 0, true},
+		{"stenning-nonfifo", "stenning", 0, 0, false, 5, 7, 0, true},
+		{"nv-crashes", "nv", 0, 0, true, 5, 3, 2, true},
+		{"unknown-protocol", "nope", 0, 0, true, 1, 0, 0, false},
+		{"bad-gbn-window", "gbn", 4, 9, true, 1, 0, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.proto, tt.n, tt.w, tt.fifo, tt.msgs, tt.seed, tt.crashes, false, true)
+			if (err == nil) != tt.ok {
+				t.Errorf("run() err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestChannelKind(t *testing.T) {
+	if channelKind(true) == channelKind(false) {
+		t.Error("channel kinds must differ")
+	}
+}

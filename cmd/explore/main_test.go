@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/ioa"
+)
+
+func TestCrashFlags(t *testing.T) {
+	var c crashFlags
+	if err := c.Set("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("r"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0] != ioa.TR || c[1] != ioa.RT {
+		t.Errorf("crashFlags = %v", c)
+	}
+	if err := c.Set("x"); err == nil {
+		t.Error("expected error for bad station")
+	}
+	if c.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestRunFindsAndVerifies(t *testing.T) {
+	// Finds the reordering bug.
+	if err := run("gbn", 2, 1, false, 3, 26, 3, explore.DefaultMaxStates, false, nil); err != nil {
+		t.Errorf("gbn search: %v", err)
+	}
+	// Verifies ABP over FIFO without crashes.
+	if err := run("abp", 0, 0, true, 2, 18, 2, explore.DefaultMaxStates, false, nil); err != nil {
+		t.Errorf("abp verify: %v", err)
+	}
+	// Finds the crash bug.
+	if err := run("abp", 0, 0, true, 1, 20, 2, explore.DefaultMaxStates, false, []ioa.Dir{ioa.RT}); err != nil {
+		t.Errorf("abp crash search: %v", err)
+	}
+	// Unknown protocol errors.
+	if err := run("nope", 0, 0, true, 1, 5, 1, 100, false, nil); err == nil {
+		t.Error("expected error for unknown protocol")
+	}
+}

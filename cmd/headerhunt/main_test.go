@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunAgainstProtocols(t *testing.T) {
+	tests := []struct {
+		name  string
+		proto string
+		n, w  int
+		ok    bool
+	}{
+		{"gbn-defeated", "gbn", 4, 1, true},
+		{"abp-defeated", "abp", 0, 0, true},
+		{"sr-defeated", "sr", 4, 2, true},
+		{"frag-defeated", "frag", 2, 2, true},
+		{"stenning-rejected", "stenning", 0, 0, true}, // hypothesis rejection is a clean outcome
+		{"unknown", "nope", 0, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.proto, tt.n, tt.w, false, true)
+			if (err == nil) != tt.ok {
+				t.Errorf("run() err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}

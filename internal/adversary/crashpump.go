@@ -1,0 +1,326 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// ErrHypothesisRejected is returned when a protocol does not satisfy the
+// hypotheses of the theorem an adversary implements; the wrapped detail
+// says which hypothesis failed. This is the expected outcome for the
+// non-volatile protocol under the crash pump.
+var ErrHypothesisRejected = errors.New("adversary: protocol does not satisfy the theorem's hypotheses")
+
+// phase is one crash-and-replay segment of the pump: crash station X, then
+// replay acts_A(α, X, K), the first K steps' worth of X's actions in the
+// reference execution (Lemma 7.2, illustrated in the paper's Figure 4).
+type phase struct {
+	X ioa.Station
+	K int
+}
+
+// CrashPumpReport records the outcome of the Theorem 7.5 construction.
+type CrashPumpReport struct {
+	Protocol string
+	// ReferenceSteps is the length n of the reference execution α with
+	// behavior wake wake send_msg(m) receive_msg(m).
+	ReferenceSteps int
+	// Phases lists the pump's crash-and-replay segments, base first.
+	Phases []phase
+	// PumpSteps is the length of the constructed schedule β.
+	PumpSteps int
+	// Via says how the WDL violation was exhibited: "DL8-quiescent" (the
+	// fair extension of β quiesced without delivering the outstanding
+	// message), "DL8-bounded" (no quiescence or delivery within the step
+	// limit), or "replay-onto-alpha" (a delivery occurred and was replayed
+	// onto α per Lemma 7.1, yielding a DL4/DL5 violation).
+	Via string
+	// Behavior is the data-link behavior on which the violation is
+	// exhibited.
+	Behavior ioa.Schedule
+	// Schedule is the full schedule (packet actions included) of the
+	// execution on which the violation is exhibited — the paper's Figure 4
+	// pump, concretely; render it with the msc package.
+	Schedule ioa.Schedule
+	// Verdict is the WDL checker's verdict on Behavior; Verdict.OK() is
+	// false for every protocol satisfying the hypotheses.
+	Verdict spec.Verdict
+}
+
+// String renders a human-readable summary.
+func (r *CrashPumpReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crash pump vs %s:\n", r.Protocol)
+	fmt.Fprintf(&b, "  reference execution: %d steps\n", r.ReferenceSteps)
+	fmt.Fprintf(&b, "  pump phases (crash+replay, base first):")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, " (%s,%d)", p.X, p.K)
+	}
+	fmt.Fprintf(&b, "\n  constructed schedule: %d steps\n", r.PumpSteps)
+	fmt.Fprintf(&b, "  violation via: %s\n", r.Via)
+	fmt.Fprintf(&b, "  WDL verdict: %s\n", r.Verdict)
+	return b.String()
+}
+
+// CrashPumpConfig tunes the construction.
+type CrashPumpConfig struct {
+	// Verify controls the runtime hypothesis checks.
+	Verify sim.VerifyConfig
+	// SkipVerify trusts the protocol's claimed properties (used by tests
+	// that deliberately feed non-conforming protocols).
+	SkipVerify bool
+	// MaxSteps bounds each fair run (default sim.DefaultMaxSteps).
+	MaxSteps int
+}
+
+// CrashPump runs the Theorem 7.5 construction against a protocol over the
+// permissive FIFO channels Ĉ: no data link protocol that is weakly correct
+// with respect to FIFO physical channels can be message-independent and
+// crashing. For a protocol satisfying the hypotheses it returns a report
+// whose Verdict exhibits a machine-checked WDL violation. For a protocol
+// violating the hypotheses (e.g. one with non-volatile memory) it returns
+// ErrHypothesisRejected.
+func CrashPump(p core.Protocol, cfg CrashPumpConfig) (*CrashPumpReport, error) {
+	if !cfg.SkipVerify {
+		if !p.Props.Crashing {
+			return nil, fmt.Errorf("%w: %s does not claim the crashing property", ErrHypothesisRejected, p.Name)
+		}
+		if !p.Props.MessageIndependent {
+			return nil, fmt.Errorf("%w: %s does not claim message-independence", ErrHypothesisRejected, p.Name)
+		}
+		if err := sim.VerifyCrashing(p, cfg.Verify); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHypothesisRejected, err)
+		}
+		if err := sim.VerifyMessageIndependence(p, cfg.Verify); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHypothesisRejected, err)
+		}
+	}
+
+	// Step 1 (Lemma 4.1): obtain the reference execution α with behavior
+	// wake^{t,r} wake^{r,t} send_msg(m) receive_msg(m), truncated at the
+	// delivery.
+	sys, err := core.NewSystem(p, true)
+	if err != nil {
+		return nil, err
+	}
+	alphaRun := sim.NewRunner(sys)
+	if err := alphaRun.WakeBoth(); err != nil {
+		return nil, err
+	}
+	minter := core.NewMessageMinter("pump")
+	m0 := minter.Fresh()
+	if err := alphaRun.Input(ioa.SendMsg(ioa.TR, m0)); err != nil {
+		return nil, err
+	}
+	stopped, err := alphaRun.RunFair(sim.RunConfig{MaxSteps: cfg.MaxSteps, Until: sim.UntilReceiveMsg(m0)})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: building reference execution: %w", err)
+	}
+	if stopped {
+		return nil, fmt.Errorf("adversary: %s quiesced without delivering %q; protocol fails even without crashes", p.Name, string(m0))
+	}
+	alpha := alphaRun.Execution()
+	n := alpha.Len()
+
+	// Step 2: compute the pump phases by the descent of Lemmas 7.3/7.4.
+	phases := buildPhases(sys, alpha)
+
+	// Step 3: execute the pump on a fresh system.
+	pumpSys, err := core.NewSystem(p, true)
+	if err != nil {
+		return nil, err
+	}
+	run := sim.NewRunner(pumpSys)
+	if err := run.WakeBoth(); err != nil {
+		return nil, err
+	}
+	rp := newReplayer(run, minter)
+	for _, ph := range phases {
+		if err := runPhase(pumpSys, run, rp, sys, alpha, ph); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 4 (Lemma 6.3): clean both channels, leaving the system in a
+	// state componentwise ≡-equivalent to α's final state while the last
+	// fresh message is outstanding.
+	cleaned, err := pumpSys.CleanChannels(run.State())
+	if err != nil {
+		return nil, err
+	}
+	run.SetState(cleaned)
+	if err := assertEquivalentStations(sys, alpha.Last(), pumpSys, run.State()); err != nil {
+		return nil, fmt.Errorf("adversary: pump invariant: %w", err)
+	}
+	hyp := spec.CheckWDL(run.Behavior(), ioa.TR)
+	if hyp.Vacuous {
+		return nil, fmt.Errorf("adversary: internal error: pump behavior violates environment hypotheses: %s", hyp)
+	}
+	pumpSteps := run.Execution().Len()
+
+	// Step 5: fair extension with no further inputs (Lemma 2.1). Either
+	// nothing is delivered — a (DL8) violation, the outstanding message is
+	// lost — or something is delivered, in which case the same extension
+	// replayed onto α (Lemma 7.1) delivers a message after α already
+	// delivered everything, violating (DL4) or (DL5).
+	preExt := run.Snapshot()
+	quiescent, err := run.RunFair(sim.RunConfig{MaxSteps: cfg.MaxSteps, Until: sim.UntilAnyReceiveMsg()})
+	report := &CrashPumpReport{
+		Protocol:       p.Name,
+		ReferenceSteps: n,
+		Phases:         phases,
+		PumpSteps:      pumpSteps,
+	}
+	switch {
+	case err != nil && errors.Is(err, sim.ErrStepLimit):
+		report.Via = "DL8-bounded"
+		report.Behavior = run.Behavior()
+		report.Schedule = run.Schedule()
+		report.Verdict = spec.CheckWDL(report.Behavior, ioa.TR)
+	case err != nil:
+		return nil, err
+	case quiescent:
+		report.Via = "DL8-quiescent"
+		report.Behavior = run.Behavior()
+		report.Schedule = run.Schedule()
+		report.Verdict = spec.CheckWDL(report.Behavior, ioa.TR)
+	default:
+		// A receive_msg occurred. Replay the extension onto α.
+		ext := run.StepsSince(preExt)
+		cleanedAlpha, err := sys.CleanChannels(alphaRun.State())
+		if err != nil {
+			return nil, err
+		}
+		alphaRun.SetState(cleanedAlpha)
+		alphaRp := newReplayer(alphaRun, minter)
+		if err := alphaRp.replayAll(ext); err != nil {
+			return nil, fmt.Errorf("adversary: replaying extension onto α (Lemma 7.1): %w", err)
+		}
+		report.Via = "replay-onto-alpha"
+		report.Behavior = alphaRun.Behavior()
+		report.Schedule = alphaRun.Schedule()
+		report.Verdict = spec.CheckWDL(report.Behavior, ioa.TR)
+	}
+	return report, nil
+}
+
+// buildPhases computes the crash-and-replay segments: the descent of Lemma
+// 7.3 starting from (r, n') — n' the last receiver step — followed by the
+// final transmitter segment (t, n) of Lemma 7.4.
+func buildPhases(sys *core.System, alpha *ioa.Execution) []phase {
+	n := alpha.Len()
+	owner := make([]ioa.Station, n+1) // 1-based step owners
+	tSig := sys.Protocol.T.Signature()
+	for i := 1; i <= n; i++ {
+		if tSig.Contains(alpha.Actions[i-1]) {
+			owner[i] = ioa.T
+		} else {
+			owner[i] = ioa.R
+		}
+	}
+	lastOwned := func(x ioa.Station, below int) int {
+		for j := below - 1; j >= 3; j-- {
+			if owner[j] == x {
+				return j
+			}
+		}
+		return 0
+	}
+	nPrime := n
+	for nPrime >= 1 && owner[nPrime] != ioa.R {
+		nPrime--
+	}
+	var rev []phase
+	rev = append(rev, phase{X: ioa.T, K: n})
+	if nPrime >= 3 {
+		x, k := ioa.R, nPrime
+		for {
+			rev = append(rev, phase{X: x, K: k})
+			j := lastOwned(x.Other(), k)
+			if j == 0 {
+				break
+			}
+			x, k = x.Other(), j
+		}
+	}
+	// Reverse: base phase first.
+	out := make([]phase, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// runPhase executes one pump segment: crash X, then replay X's reference
+// actions from the first K steps of α (Lemma 7.2). It verifies afterwards
+// that the live station state is ≡-equivalent to the reference state.
+func runPhase(pumpSys *core.System, run *sim.Runner, rp *replayer, refSys *core.System, alpha *ioa.Execution, ph phase) error {
+	if err := run.Input(ioa.Crash(core.OutChannelDir(ph.X))); err != nil {
+		return err
+	}
+	refs := actsOf(refSys, alpha, ph.X, ph.K)
+	if err := rp.replayAll(refs); err != nil {
+		return fmt.Errorf("adversary: phase (%s,%d): %w", ph.X, ph.K, err)
+	}
+	// Invariant of Lemma 7.2: the live station is ≡-equivalent to
+	// state_A(α, X, K).
+	refState, err := stationStateAt(refSys, alpha, ph.X, ph.K)
+	if err != nil {
+		return err
+	}
+	liveState, err := pumpSys.StationState(run.State(), ph.X)
+	if err != nil {
+		return err
+	}
+	eq, err := ioa.StatesEquivalent(refState, liveState)
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("adversary: phase (%s,%d): replayed state %s not equivalent to reference %s (protocol not deterministic up to ≡?)",
+			ph.X, ph.K, liveState.Fingerprint(), refState.Fingerprint())
+	}
+	return nil
+}
+
+// actsOf returns acts_A(α, x, k): the actions of A^x among the first k
+// steps of α.
+func actsOf(sys *core.System, alpha *ioa.Execution, x ioa.Station, k int) ioa.Schedule {
+	sig := sys.StationAutomaton(x).Signature()
+	return ioa.Schedule(alpha.Actions[:k]).Project(sig)
+}
+
+// stationStateAt returns state_A(α, x, k): A^x's state after the first k
+// steps of α.
+func stationStateAt(sys *core.System, alpha *ioa.Execution, x ioa.Station, k int) (ioa.State, error) {
+	return sys.StationState(alpha.StateAt(k), x)
+}
+
+// assertEquivalentStations checks that both stations' states in two
+// composite states are ≡-equivalent.
+func assertEquivalentStations(sysA *core.System, sa ioa.State, sysB *core.System, sb ioa.State) error {
+	for _, x := range []ioa.Station{ioa.T, ioa.R} {
+		qa, err := sysA.StationState(sa, x)
+		if err != nil {
+			return err
+		}
+		qb, err := sysB.StationState(sb, x)
+		if err != nil {
+			return err
+		}
+		eq, err := ioa.StatesEquivalent(qa, qb)
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return fmt.Errorf("A^%s states not equivalent:\n  ref:  %s\n  live: %s", x, qa.Fingerprint(), qb.Fingerprint())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// TestCrashPumpDefeatsAllCrashingProtocols is experiment E1: Theorem 7.5
+// executed against every message-independent crashing protocol in the
+// repository, over FIFO channels. The pump must construct a machine-checked
+// WDL violation for each.
+func TestCrashPumpDefeatsAllCrashingProtocols(t *testing.T) {
+	targets := []core.Protocol{
+		protocol.NewABP(),
+		protocol.NewGoBackN(2, 1),
+		protocol.NewGoBackN(4, 1),
+		protocol.NewGoBackN(4, 3),
+		protocol.NewGoBackN(8, 4),
+		protocol.NewGoBackN(16, 15),
+		protocol.NewStenning(), // unbounded headers do not help against crashes
+	}
+	for _, p := range targets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep, err := CrashPump(p, CrashPumpConfig{})
+			if err != nil {
+				t.Fatalf("CrashPump: %v", err)
+			}
+			if rep.Verdict.OK() {
+				t.Fatalf("no WDL violation: %s", rep.Verdict)
+			}
+			if rep.Verdict.Vacuous {
+				t.Fatal("verdict must not be vacuous")
+			}
+			if rep.ReferenceSteps < 4 {
+				t.Errorf("reference execution suspiciously short: %d", rep.ReferenceSteps)
+			}
+			if len(rep.Phases) < 2 {
+				t.Errorf("pump with fewer than 2 phases: %v", rep.Phases)
+			}
+			// The final phase must be the transmitter's full replay.
+			last := rep.Phases[len(rep.Phases)-1]
+			if last.X != ioa.T || last.K != rep.ReferenceSteps {
+				t.Errorf("final phase = %+v, want (t,%d)", last, rep.ReferenceSteps)
+			}
+			switch rep.Via {
+			case "DL8-quiescent", "DL8-bounded", "replay-onto-alpha":
+			default:
+				t.Errorf("unknown violation route %q", rep.Via)
+			}
+			t.Logf("\n%s", rep)
+		})
+	}
+}
+
+// TestCrashPumpViolationKind checks that the violation route matches the
+// violated property: the DL8 routes flag liveness, the replay route flags
+// DL4 or DL5.
+func TestCrashPumpViolationKind(t *testing.T) {
+	rep, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdict.Violations) == 0 {
+		t.Fatal("no recorded violations")
+	}
+	prop := rep.Verdict.Violations[0].Property
+	switch rep.Via {
+	case "DL8-quiescent", "DL8-bounded":
+		if prop != spec.PropDL8 {
+			t.Errorf("route %s flagged %s, want DL8", rep.Via, prop)
+		}
+	case "replay-onto-alpha":
+		if prop != spec.PropDL4 && prop != spec.PropDL5 {
+			t.Errorf("route %s flagged %s, want DL4 or DL5", rep.Via, prop)
+		}
+	}
+}
+
+// TestCrashPumpBehaviorSatisfiesEnvironmentHypotheses: the constructed
+// behavior must be well-formed and satisfy (DL1)-(DL3) — otherwise the
+// "violation" would be vacuous and prove nothing.
+func TestCrashPumpBehaviorSatisfiesEnvironmentHypotheses(t *testing.T) {
+	rep, err := CrashPump(protocol.NewGoBackN(4, 2), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := spec.WellFormedDL(rep.Behavior, ioa.TR); v != nil {
+		t.Errorf("behavior not well-formed: %v", v)
+	}
+	for name, check := range map[string]func(ioa.Schedule, ioa.Dir) *spec.Violation{
+		"DL1": spec.DL1, "DL2": spec.DL2, "DL3": spec.DL3,
+	} {
+		if v := check(rep.Behavior, ioa.TR); v != nil {
+			t.Errorf("behavior violates %s: %v", name, v)
+		}
+	}
+}
+
+// TestCrashPumpRejectsNonCrashing: E2's hypothesis check — the
+// non-volatile protocol is rejected both when it honestly declares itself
+// non-crashing and when it lies about being crashing (the runtime verifier
+// catches the lie).
+func TestCrashPumpRejectsNonCrashing(t *testing.T) {
+	honest := protocol.NewNonVolatile()
+	if _, err := CrashPump(honest, CrashPumpConfig{}); !errors.Is(err, ErrHypothesisRejected) {
+		t.Errorf("honest non-crashing protocol: err = %v, want hypothesis rejection", err)
+	}
+	liar := protocol.NewNonVolatile()
+	liar.Props.Crashing = true
+	if _, err := CrashPump(liar, CrashPumpConfig{}); !errors.Is(err, ErrHypothesisRejected) {
+		t.Errorf("lying protocol: err = %v, want hypothesis rejection via VerifyCrashing", err)
+	}
+}
+
+// TestCrashPumpDeterministic: the pump is deterministic — two runs against
+// the same protocol construct the same schedule shape.
+func TestCrashPumpDeterministic(t *testing.T) {
+	a, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PumpSteps != b.PumpSteps || len(a.Phases) != len(b.Phases) || a.Via != b.Via {
+		t.Errorf("nondeterministic pump: %+v vs %+v", a, b)
+	}
+}
+
+// TestCrashPumpPhasesGrowWithWindow: larger windows produce longer
+// reference executions and at least as much pump work — the E1 scaling
+// observation.
+func TestCrashPumpPhaseStructure(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		rep, err := CrashPump(protocol.NewGoBackN(n, 1), CrashPumpConfig{})
+		if err != nil {
+			t.Fatalf("gbn(%d,1): %v", n, err)
+		}
+		// Phases must alternate stations and have nondecreasing prefixes.
+		for i := 1; i < len(rep.Phases); i++ {
+			if rep.Phases[i].K < rep.Phases[i-1].K {
+				t.Errorf("gbn(%d,1): phase prefixes decrease: %v", n, rep.Phases)
+				break
+			}
+		}
+		for i := 1; i < len(rep.Phases)-1; i++ {
+			if rep.Phases[i].X == rep.Phases[i-1].X {
+				t.Errorf("gbn(%d,1): interior phases do not alternate: %v", n, rep.Phases)
+				break
+			}
+		}
+	}
+}
+
+// TestLemma41FairScheduleExists is the executable Lemma 4.1: for every
+// protocol that solves WDL in the failure-free setting there is a fair
+// schedule with behavior wake wake send_msg(m) receive_msg(m).
+func TestLemma41FairScheduleExists(t *testing.T) {
+	for _, p := range []core.Protocol{protocol.NewABP(), protocol.NewStenning(), protocol.NewGoBackN(8, 3)} {
+		sys, err := core.NewSystem(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sim.NewRunner(sys)
+		if err := r.WakeBoth(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+			t.Fatal(err)
+		}
+		quiescent, err := r.RunFair(sim.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !quiescent {
+			t.Fatalf("%s: no quiescence", p.Name)
+		}
+		want := ioa.Schedule{
+			ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+			ioa.SendMsg(ioa.TR, "m"), ioa.ReceiveMsg(ioa.TR, "m"),
+		}
+		got := r.Behavior()
+		if len(got) != len(want) {
+			t.Fatalf("%s: behavior = %s", p.Name, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: behavior[%d] = %s, want %s", p.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCrashPumpReportString(t *testing.T) {
+	rep, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, frag := range []string{"crash pump vs abp", "pump phases", "violation via", "WDL verdict"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestActsOfProjection sanity-checks the acts_A helper against a tiny
+// hand-built execution.
+func TestActsOfProjection(t *testing.T) {
+	p := protocol.NewABP()
+	sys, err := core.NewSystem(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	alpha := r.Execution()
+	tActs := actsOf(sys, alpha, ioa.T, alpha.Len())
+	rActs := actsOf(sys, alpha, ioa.R, alpha.Len())
+	if fmt.Sprint(tActs) != fmt.Sprint(ioa.Schedule{ioa.Wake(ioa.TR), ioa.SendMsg(ioa.TR, "m")}) {
+		t.Errorf("t acts = %s", tActs)
+	}
+	if fmt.Sprint(rActs) != fmt.Sprint(ioa.Schedule{ioa.Wake(ioa.RT)}) {
+		t.Errorf("r acts = %s", rActs)
+	}
+}

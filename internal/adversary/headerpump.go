@@ -1,0 +1,307 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// HeaderPumpReport records the outcome of the Theorem 8.5 construction.
+type HeaderPumpReport struct {
+	Protocol string
+	// KBound is the k for which the protocol is k-bounded.
+	KBound int
+	// HeaderCount is |headers(A, ≡)|, the size of the bounded header set.
+	HeaderCount int
+	// Rounds is the number of pump rounds executed, including the final
+	// matched round. The paper bounds it by k·|H|+1.
+	Rounds int
+	// RoundBound is the paper's k·|H|+1 bound for comparison.
+	RoundBound int
+	// Withheld lists the stale packets accumulated in transit (the set T),
+	// in the order they were withheld.
+	Withheld []ioa.Packet
+	// MaxPacketSet is the largest packet_set observed in any round — the
+	// empirical k, which must be ≤ KBound.
+	MaxPacketSet int
+	// Behavior is the data-link behavior of βγ2: the pump schedule plus
+	// the receiver replay against the stale packets.
+	Behavior ioa.Schedule
+	// Schedule is the full schedule (packet actions included) of βγ2;
+	// render it with the msc package to see the stale deliveries.
+	Schedule ioa.Schedule
+	// Verdict is the WDL checker's verdict on Behavior; Verdict.OK() is
+	// false for every protocol satisfying the hypotheses.
+	Verdict spec.Verdict
+}
+
+// String renders a human-readable summary.
+func (r *HeaderPumpReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "header pump vs %s:\n", r.Protocol)
+	fmt.Fprintf(&b, "  k-bound: %d, |headers|: %d\n", r.KBound, r.HeaderCount)
+	fmt.Fprintf(&b, "  rounds: %d (paper bound k·|H|+1 = %d)\n", r.Rounds, r.RoundBound)
+	fmt.Fprintf(&b, "  stale packets accumulated (T): %d, max packet_set: %d\n", len(r.Withheld), r.MaxPacketSet)
+	fmt.Fprintf(&b, "  WDL verdict: %s\n", r.Verdict)
+	return b.String()
+}
+
+// HeaderPumpConfig tunes the construction.
+type HeaderPumpConfig struct {
+	// Verify controls the runtime hypothesis checks.
+	Verify sim.VerifyConfig
+	// SkipVerify trusts the protocol's claimed properties.
+	SkipVerify bool
+	// MaxSteps bounds each fair run (default sim.DefaultMaxSteps).
+	MaxSteps int
+}
+
+// HeaderPump runs the Theorem 8.5 construction against a protocol over the
+// non-FIFO permissive channels C̄: no weakly correct data link protocol can
+// be message-independent, k-bounded and have bounded headers. Per Lemma
+// 8.3 it pumps up a set T of in-transit packets — withholding, per round,
+// the first data packet whose header class is underrepresented in T, and
+// letting the protocol deliver the round's fresh message through
+// retransmissions — until a round needs no withholding. That round's
+// delivery is then recorded, rolled back, and replayed against the stale
+// equivalents in T (the γ2 construction of Theorem 8.5), forcing the
+// receiver to deliver a message that was already delivered or never sent.
+func HeaderPump(p core.Protocol, cfg HeaderPumpConfig) (*HeaderPumpReport, error) {
+	if !cfg.SkipVerify {
+		if !p.Props.MessageIndependent {
+			return nil, fmt.Errorf("%w: %s does not claim message-independence", ErrHypothesisRejected, p.Name)
+		}
+		if !p.Props.BoundedHeaders() {
+			return nil, fmt.Errorf("%w: %s has an unbounded header set (like Stenning's protocol)", ErrHypothesisRejected, p.Name)
+		}
+		if p.Props.KBound < 1 {
+			return nil, fmt.Errorf("%w: %s claims no k-bound", ErrHypothesisRejected, p.Name)
+		}
+		if err := sim.VerifyMessageIndependence(p, cfg.Verify); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHypothesisRejected, err)
+		}
+	}
+	k := p.Props.KBound
+	if k < 1 {
+		k = 1
+	}
+
+	sys, err := core.NewSystem(p, false) // non-FIFO permissive channels C̄
+	if err != nil {
+		return nil, err
+	}
+	run := sim.NewRunner(sys)
+	if err := run.WakeBoth(); err != nil {
+		return nil, err
+	}
+	minter := core.NewMessageMinter("hdr")
+
+	// forbidden holds packet IDs the schedule chooses never to deliver:
+	// the withheld set T plus everything in transit at each round start
+	// (the k-bounded definition requires the round's γ to deliver no
+	// packet sent in β; operationally we simply never deliver stale
+	// packets, which Lemmas 6.3/6.7 justify).
+	forbidden := make(map[uint64]bool)
+	var withheld []ioa.Packet
+	countByHeader := make(map[ioa.Header]int)
+
+	report := &HeaderPumpReport{
+		Protocol:    p.Name,
+		KBound:      k,
+		HeaderCount: len(p.Props.Headers),
+		RoundBound:  k*len(p.Props.Headers) + 1,
+	}
+
+	// The paper bounds the pump by k·|H|+1 rounds with k the minimal
+	// per-message delivery count. Our operational rounds are fair runs,
+	// not minimal schedules, so a round may deliver a few more packets
+	// than k (e.g. a duplicated handshake packet); the loop therefore
+	// matches against the *observed* per-header multiplicities — Hall's
+	// condition per ≡-class, which is exactly what the attack's injective
+	// matching f needs — and the round bound scales with the largest
+	// multiplicity observed.
+	for round := 1; ; round++ {
+		kEff := report.MaxPacketSet
+		if kEff < k {
+			kEff = k
+		}
+		if maxRounds := kEff*len(p.Props.Headers) + 1; round > maxRounds {
+			return nil, fmt.Errorf("adversary: no matched round within %d rounds (bound %d with observed k=%d); is |headers| correct for %s?",
+				round-1, maxRounds, kEff, p.Name)
+		}
+		report.Rounds = round
+
+		// Freeze everything currently in transit for this round.
+		for _, d := range []ioa.Dir{ioa.TR, ioa.RT} {
+			pkts, err := sys.InTransit(run.State(), d)
+			if err != nil {
+				return nil, err
+			}
+			for _, pk := range pkts {
+				forbidden[pk.ID] = true
+			}
+		}
+
+		snap := run.Snapshot()
+		m := minter.Fresh()
+		delivered, _, err := runRound(run, m, forbidden, nil, cfg.MaxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: probe round %d: %w", round, err)
+		}
+		if len(delivered) > report.MaxPacketSet {
+			report.MaxPacketSet = len(delivered)
+		}
+
+		// needed(h) is the multiplicity of header h in this round's
+		// packet_set; the attack needs that many distinct stale
+		// ≡-equivalents in T.
+		needed := map[ioa.Header]int{}
+		for _, pk := range delivered {
+			needed[pk.Header]++
+		}
+		var short *ioa.Packet
+		for i := range delivered {
+			if countByHeader[delivered[i].Header] < needed[delivered[i].Header] {
+				short = &delivered[i]
+				break
+			}
+		}
+		if short == nil {
+			// Matched round: T has enough stale equivalents for every
+			// header class this round delivered, so an injective
+			// ≡-matching f from the packet_set into T exists. Capture the
+			// recorded probe (the γ1 of Theorem 8.5), roll it back, and
+			// attack.
+			probe := run.StepsSince(snap)
+			run.Restore(snap)
+			report.Withheld = append([]ioa.Packet(nil), withheld...)
+			return attackFromProbe(sys, run, report, probe, withheld)
+		}
+
+		// Unmatched: roll back and rerun the round withholding the first
+		// send of the underrepresented header (Lemma 8.3 case 2:
+		// T' = T ∪ {p0}).
+		run.Restore(snap)
+		wantHeader := short.Header
+		var captured *ioa.Packet
+		onFired := func(a ioa.Action) {
+			if captured == nil && a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR && a.Pkt.Header == wantHeader {
+				pk := a.Pkt
+				captured = &pk
+				forbidden[pk.ID] = true
+			}
+		}
+		if _, _, err := runRound(run, m, forbidden, onFired, cfg.MaxSteps); err != nil {
+			return nil, fmt.Errorf("adversary: withholding round %d: %w", round, err)
+		}
+		if captured == nil {
+			return nil, fmt.Errorf("adversary: round %d: expected a send of header %s to withhold but saw none", round, wantHeader)
+		}
+		withheld = append(withheld, *captured)
+		countByHeader[captured.Header]++
+	}
+}
+
+// runRound performs one pump round: send a fresh message m, then run
+// fairly — never delivering forbidden packets — until m is delivered, and
+// drain to quiescence so the next round starts from an idle protocol. It
+// returns the t→r packets delivered while m was outstanding (the round's
+// packet_set) and all t→r packets sent during the round.
+func runRound(run *sim.Runner, m ioa.Message, forbidden map[uint64]bool, onFired func(ioa.Action), maxSteps int) (delivered, sent []ioa.Packet, err error) {
+	if err := run.Input(ioa.SendMsg(ioa.TR, m)); err != nil {
+		return nil, nil, err
+	}
+	pre := run.Snapshot()
+	filter := func(a ioa.Action) bool {
+		return a.Kind != ioa.KindReceivePkt || !forbidden[a.Pkt.ID]
+	}
+	stopped, err := run.RunFair(sim.RunConfig{
+		MaxSteps: maxSteps,
+		Until:    sim.UntilReceiveMsg(m),
+		Filter:   filter,
+		OnFired:  onFired,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if stopped {
+		return nil, nil, fmt.Errorf("system quiesced before delivering %q", string(m))
+	}
+	for _, a := range run.StepsSince(pre) {
+		switch {
+		case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+			delivered = append(delivered, a.Pkt)
+		case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+			sent = append(sent, a.Pkt)
+		}
+	}
+	// Drain: let outstanding acknowledgements and duplicates settle so the
+	// next round starts with an idle transmitter.
+	if _, err := run.RunFair(sim.RunConfig{MaxSteps: maxSteps, Filter: filter, OnFired: onFired}); err != nil {
+		return nil, nil, err
+	}
+	return delivered, sent, nil
+}
+
+// attackFromProbe implements the γ2 construction of Theorem 8.5. probe is
+// the recorded (and rolled-back) matched round γ1, whose behavior is
+// send_msg(m) receive_msg(m). From the rolled-back state the attack
+// replays only the receiver's part of γ1 — feeding it, in place of each
+// packet it received, the stale ≡-equivalent from the withheld set T. The
+// non-FIFO channel may deliver any in-transit packet, so the stale
+// deliveries are legal; the receiver, being message-independent, evolves
+// equivalently and ends by delivering a message that was already delivered
+// in an earlier round (violating DL4) or was never sent (violating DL5).
+func attackFromProbe(sys *core.System, run *sim.Runner, report *HeaderPumpReport, probe ioa.Schedule, withheld []ioa.Packet) (*HeaderPumpReport, error) {
+	// γ1 is the probe truncated at the round's delivery; the drain tail is
+	// irrelevant to the construction.
+	gamma1 := probe
+	for i, a := range probe {
+		if a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR {
+			gamma1 = probe[:i+1]
+			break
+		}
+	}
+
+	// Build the injective matching f from the packets the receiver
+	// consumed in γ1 into the stale set T, greedily per header class. The
+	// matched-round condition guarantees enough stale copies exist.
+	used := make([]bool, len(withheld))
+	rp := newReplayer(run, core.NewMessageMinter("attack"))
+	for _, a := range gamma1 {
+		if a.Kind != ioa.KindReceivePkt || a.Dir != ioa.TR {
+			continue
+		}
+		matched := false
+		for i := range withheld {
+			if !used[i] && withheld[i].Header == a.Pkt.Header {
+				used[i] = true
+				rp.mapPacket(a.Pkt, withheld[i])
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("adversary: no unused stale packet for header %s; matching invariant broken", a.Pkt.Header)
+		}
+	}
+
+	// Replay γ1|A^r: the receiver's inputs become deliveries of the stale
+	// packets; its locally-controlled actions fire as enabled equivalents.
+	refs := gamma1.Project(sys.Protocol.R.Signature())
+	if err := rp.replayAll(refs); err != nil {
+		return nil, fmt.Errorf("adversary: replaying γ2: %w", err)
+	}
+
+	report.Behavior = run.Behavior()
+	report.Schedule = run.Schedule()
+	report.Verdict = spec.CheckWDL(report.Behavior, ioa.TR)
+	if report.Verdict.Vacuous {
+		return nil, fmt.Errorf("adversary: internal error: attack behavior violates environment hypotheses: %s", report.Verdict)
+	}
+	return report, nil
+}

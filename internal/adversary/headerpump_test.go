@@ -1,0 +1,170 @@
+package adversary
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// TestHeaderPumpDefeatsBoundedHeaderProtocols is experiment E3: Theorem
+// 8.5 executed against bounded-header protocols over the non-FIFO channel
+// C̄, across modulus sizes. The pump must construct a machine-checked WDL
+// violation within the paper's k·|H|+1 round bound; for Go-Back-N mod n
+// the first header-class reuse happens at round n+1.
+func TestHeaderPumpDefeatsBoundedHeaderProtocols(t *testing.T) {
+	tests := []struct {
+		p          core.Protocol
+		wantRounds int // expected rounds to the matched round (n+1)
+	}{
+		{protocol.NewABP(), 3},
+		{protocol.NewGoBackN(2, 1), 3},
+		{protocol.NewGoBackN(4, 1), 5},
+		{protocol.NewGoBackN(8, 1), 9},
+		{protocol.NewGoBackN(16, 1), 17},
+		{protocol.NewGoBackN(4, 3), 5},
+		{protocol.NewGoBackN(8, 4), 9},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.p.Name, func(t *testing.T) {
+			rep, err := HeaderPump(tt.p, HeaderPumpConfig{})
+			if err != nil {
+				t.Fatalf("HeaderPump: %v", err)
+			}
+			if rep.Verdict.OK() || rep.Verdict.Vacuous {
+				t.Fatalf("no WDL violation: %s", rep.Verdict)
+			}
+			if rep.Rounds > rep.RoundBound {
+				t.Errorf("rounds %d exceed the paper bound %d", rep.Rounds, rep.RoundBound)
+			}
+			if rep.Rounds != tt.wantRounds {
+				t.Errorf("rounds = %d, want %d (first reuse of a data header class)", rep.Rounds, tt.wantRounds)
+			}
+			if rep.MaxPacketSet > rep.KBound {
+				t.Errorf("packet_set %d exceeds k-bound %d", rep.MaxPacketSet, rep.KBound)
+			}
+			if len(rep.Withheld) != rep.Rounds-1 {
+				t.Errorf("withheld %d packets in %d rounds, want rounds-1", len(rep.Withheld), rep.Rounds)
+			}
+			t.Logf("\n%s", rep)
+		})
+	}
+}
+
+// TestHeaderPumpViolationIsDuplicateDelivery: for the protocols here the
+// stale packet carries a payload that was already delivered, so the
+// violation is specifically (DL4).
+func TestHeaderPumpViolationIsDuplicateDelivery(t *testing.T) {
+	rep, err := HeaderPump(protocol.NewGoBackN(4, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdict.Violations) == 0 {
+		t.Fatal("no violations")
+	}
+	if got := rep.Verdict.Violations[0].Property; got != spec.PropDL4 {
+		t.Errorf("violated property = %s, want DL4", got)
+	}
+}
+
+// TestHeaderPumpBehaviorHypotheses: the constructed behavior must satisfy
+// the environment-side conditions so the violation is non-vacuous.
+func TestHeaderPumpBehaviorHypotheses(t *testing.T) {
+	rep, err := HeaderPump(protocol.NewGoBackN(4, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := spec.WellFormedDL(rep.Behavior, ioa.TR); v != nil {
+		t.Errorf("not well-formed: %v", v)
+	}
+	if v := spec.DL3(rep.Behavior, ioa.TR); v != nil {
+		t.Errorf("DL3 broken (a message was sent twice): %v", v)
+	}
+	// Withheld packets must all have distinct IDs (they are genuinely
+	// distinct packets in transit, per Lemma 6.7).
+	seen := map[uint64]bool{}
+	for _, p := range rep.Withheld {
+		if seen[p.ID] {
+			t.Errorf("withheld packet %s duplicated", p)
+		}
+		seen[p.ID] = true
+	}
+}
+
+// TestHeaderPumpRejectsUnboundedHeaders: Stenning's protocol escapes the
+// theorem precisely because headers(A, ≡) is infinite.
+func TestHeaderPumpRejectsUnboundedHeaders(t *testing.T) {
+	_, err := HeaderPump(protocol.NewStenning(), HeaderPumpConfig{})
+	if !errors.Is(err, ErrHypothesisRejected) {
+		t.Fatalf("err = %v, want hypothesis rejection", err)
+	}
+	if !strings.Contains(err.Error(), "unbounded header set") {
+		t.Errorf("rejection should cite the unbounded header set: %v", err)
+	}
+}
+
+// TestHeaderPumpRejectsMissingKBound: a protocol claiming no k-bound is
+// outside the theorem's hypotheses.
+func TestHeaderPumpRejectsMissingKBound(t *testing.T) {
+	p := protocol.NewGoBackN(4, 1)
+	p.Props.KBound = 0
+	if _, err := HeaderPump(p, HeaderPumpConfig{}); !errors.Is(err, ErrHypothesisRejected) {
+		t.Errorf("err = %v, want hypothesis rejection", err)
+	}
+}
+
+// TestHeaderPumpWithheldHeadersCoverDataSpace: the pump's stale set T must
+// contain one packet per data header class before the attack fires — the
+// T <_k T' chain of Lemma 8.3 ending at the ≥k-per-class condition.
+func TestHeaderPumpWithheldHeadersCoverDataSpace(t *testing.T) {
+	n := 8
+	rep, err := HeaderPump(protocol.NewGoBackN(n, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := map[ioa.Header]int{}
+	for _, p := range rep.Withheld {
+		headers[p.Header]++
+	}
+	if len(headers) != n {
+		t.Errorf("withheld %d distinct data headers, want %d", len(headers), n)
+	}
+	for h, c := range headers {
+		if c != 1 {
+			t.Errorf("header %s withheld %d times, want exactly 1 (k=1)", h, c)
+		}
+	}
+}
+
+// TestHeaderPumpDeterministic: same protocol, same construction.
+func TestHeaderPumpDeterministic(t *testing.T) {
+	a, err := HeaderPump(protocol.NewGoBackN(4, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HeaderPump(protocol.NewGoBackN(4, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || len(a.Withheld) != len(b.Withheld) || len(a.Behavior) != len(b.Behavior) {
+		t.Errorf("nondeterministic pump: %v vs %v", a, b)
+	}
+}
+
+func TestHeaderPumpReportString(t *testing.T) {
+	rep, err := HeaderPump(protocol.NewABP(), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, frag := range []string{"header pump vs abp", "k-bound", "rounds", "WDL verdict"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// TestCrashPumpDefeatsNewProtocols extends E1 to the richer protocols:
+// selective repeat, the handshake protocol (whose chattier reference
+// execution forces a deeper pump chain), and the fragmenting protocol.
+func TestCrashPumpDefeatsNewProtocols(t *testing.T) {
+	targets := []core.Protocol{
+		protocol.NewSelectiveRepeat(8, 4),
+		protocol.NewSelectiveRepeat(4, 2),
+		protocol.NewHandshake(),
+		protocol.NewFragmenting(4, 2),
+		protocol.NewFragmenting(4, 3),
+	}
+	for _, p := range targets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep, err := CrashPump(p, CrashPumpConfig{})
+			if err != nil {
+				t.Fatalf("CrashPump: %v", err)
+			}
+			if rep.Verdict.OK() || rep.Verdict.Vacuous {
+				t.Fatalf("no WDL violation: %s", rep.Verdict)
+			}
+			t.Logf("\n%s", rep)
+		})
+	}
+}
+
+// TestCrashPumpChainDeepensWithChattiness: the handshake protocol's
+// reference execution alternates between the stations more than plain
+// ABP's, so the Lemma 7.3 descent produces strictly more phases — the
+// ablation DESIGN.md calls out.
+func TestCrashPumpChainDeepensWithChattiness(t *testing.T) {
+	abp, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := CrashPump(protocol.NewHandshake(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.ReferenceSteps <= abp.ReferenceSteps {
+		t.Errorf("handshake reference (%d steps) should exceed ABP's (%d)", hs.ReferenceSteps, abp.ReferenceSteps)
+	}
+	if len(hs.Phases) <= len(abp.Phases) {
+		t.Errorf("handshake pump chain (%d phases) should exceed ABP's (%d)", len(hs.Phases), len(abp.Phases))
+	}
+	t.Logf("abp: %d steps, %d phases; handshake: %d steps, %d phases",
+		abp.ReferenceSteps, len(abp.Phases), hs.ReferenceSteps, len(hs.Phases))
+}
+
+// TestHeaderPumpDefeatsNewProtocols extends E3: selective repeat and the
+// handshake protocol (k=2: the first connection's message costs a syn
+// delivery plus a data delivery) over C̄.
+func TestHeaderPumpDefeatsNewProtocols(t *testing.T) {
+	targets := []core.Protocol{
+		protocol.NewSelectiveRepeat(4, 2),
+		protocol.NewSelectiveRepeat(8, 4),
+		protocol.NewHandshake(),
+	}
+	for _, p := range targets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep, err := HeaderPump(p, HeaderPumpConfig{})
+			if err != nil {
+				t.Fatalf("HeaderPump: %v", err)
+			}
+			if rep.Verdict.OK() || rep.Verdict.Vacuous {
+				t.Fatalf("no WDL violation: %s", rep.Verdict)
+			}
+			if rep.Rounds > rep.RoundBound {
+				t.Errorf("rounds %d exceed the paper bound %d", rep.Rounds, rep.RoundBound)
+			}
+			t.Logf("\n%s", rep)
+		})
+	}
+}
+
+// TestHeaderPumpKGreaterThanOne is the k-boundedness ablation: the
+// fragmenting protocol needs f packet deliveries per message, so the pump
+// must stock k = f stale equivalents per header class before attacking,
+// and its observed packet_set reaches f.
+func TestHeaderPumpKGreaterThanOne(t *testing.T) {
+	for _, f := range []int{2, 3} {
+		p := protocol.NewFragmenting(2, f)
+		rep, err := HeaderPump(p, HeaderPumpConfig{})
+		if err != nil {
+			t.Fatalf("frag f=%d: %v", f, err)
+		}
+		if rep.Verdict.OK() || rep.Verdict.Vacuous {
+			t.Fatalf("frag f=%d: no WDL violation: %s", f, rep.Verdict)
+		}
+		if rep.KBound != f {
+			t.Errorf("k-bound = %d, want %d", rep.KBound, f)
+		}
+		if rep.MaxPacketSet != f {
+			t.Errorf("max packet_set = %d, want %d (every fragment delivered once)", rep.MaxPacketSet, f)
+		}
+		if rep.Rounds > rep.RoundBound {
+			t.Errorf("rounds %d exceed bound %d", rep.Rounds, rep.RoundBound)
+		}
+		// With k = f the stale set needs f copies of each data header class
+		// used by the matched round.
+		counts := map[ioa.Header]int{}
+		for _, pk := range rep.Withheld {
+			counts[pk.Header]++
+		}
+		for h, c := range counts {
+			if c > f {
+				t.Errorf("header %s withheld %d times, more than k=%d", h, c, f)
+			}
+		}
+		if v := rep.Verdict.Violations[0]; v.Property != spec.PropDL4 {
+			t.Errorf("violated property = %s, want DL4", v.Property)
+		}
+		t.Logf("\n%s", rep)
+	}
+}

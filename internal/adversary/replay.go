@@ -1,0 +1,124 @@
+// Package adversary implements the paper's two impossibility constructions
+// as executable, protocol-generic algorithms:
+//
+//   - CrashPump (Theorem 7.5, via Lemmas 7.1-7.4): defeats every
+//     message-independent, crashing data link protocol over FIFO physical
+//     channels by alternately crashing and replaying the two stations,
+//     pumping equivalent packets through the channels until the system
+//     reaches a state equivalent to "everything delivered" while a freshly
+//     sent message is outstanding.
+//
+//   - HeaderPump (Theorem 8.5, via Lemmas 8.3-8.4): defeats every
+//     message-independent, k-bounded, bounded-header protocol over the
+//     non-FIFO permissive channel by withholding one in-transit packet per
+//     header class until a stale ≡-equivalent exists for every packet of a
+//     fresh delivery, then replaying the receiver against the stale
+//     packets.
+//
+// Both algorithms verify the theorems' hypotheses at runtime before
+// constructing anything (see the sim package's verifiers), and both end by
+// checking the constructed behavior against the WDL specification checker,
+// so a successful run produces a machine-checked counterexample.
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+)
+
+// replayer replays reference actions onto a live runner, substituting
+// ≡-equivalent parameters: fresh messages for send_msg inputs, mapped live
+// packets for receive_pkt deliveries, and currently-enabled equivalent
+// actions for locally-controlled steps. It implements the constructions of
+// Lemmas 7.1 and 7.2 and the γ2 construction in the proof of Theorem 8.5.
+type replayer struct {
+	run *sim.Runner
+	// pktMap maps reference packet IDs to the live packets standing in for
+	// them. Replayed send_pkt steps extend the map; receive_pkt steps
+	// consult it.
+	pktMap map[uint64]ioa.Packet
+	minter *core.MessageMinter
+}
+
+func newReplayer(run *sim.Runner, minter *core.MessageMinter) *replayer {
+	return &replayer{run: run, pktMap: make(map[uint64]ioa.Packet), minter: minter}
+}
+
+// mapPacket records that live stands in for the reference packet ref.
+func (rp *replayer) mapPacket(ref, live ioa.Packet) {
+	rp.pktMap[ref.ID] = live
+}
+
+// replay performs the live counterpart of one reference action and returns
+// the action actually performed. The returned action is ≡-equivalent to
+// ref by construction; replay fails if the live system cannot match the
+// reference (which would refute determinism-up-to-≡ or the hypothesis
+// being exploited).
+func (rp *replayer) replay(ref ioa.Action) (ioa.Action, error) {
+	switch ref.Kind {
+	case ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+		if err := rp.run.Input(ref); err != nil {
+			return ref, err
+		}
+		return ref, nil
+	case ioa.KindSendMsg:
+		// Condition 2 of message-independence: substitute a fresh message,
+		// never previously sent, preserving (DL3).
+		a := ioa.SendMsg(ref.Dir, rp.minter.Fresh())
+		if err := rp.run.Input(a); err != nil {
+			return a, err
+		}
+		return a, nil
+	case ioa.KindReceivePkt:
+		live, ok := rp.pktMap[ref.Pkt.ID]
+		if !ok {
+			return ref, fmt.Errorf("adversary: no live packet mapped for reference %s", ref.Pkt)
+		}
+		if !core.PacketsEquivalent(ref.Pkt, live) {
+			return ref, fmt.Errorf("adversary: mapped packet %s not equivalent to reference %s", live, ref.Pkt)
+		}
+		a := ioa.ReceivePkt(ref.Dir, live)
+		if _, err := rp.run.Fire(a); err != nil {
+			return a, fmt.Errorf("adversary: delivering mapped packet: %w", err)
+		}
+		return a, nil
+	case ioa.KindSendPkt, ioa.KindReceiveMsg, ioa.KindInternal:
+		live, err := rp.fireEquivalent(ref)
+		if err != nil {
+			return ref, err
+		}
+		if ref.Kind == ioa.KindSendPkt {
+			rp.mapPacket(ref.Pkt, live.Pkt)
+		}
+		return live, nil
+	default:
+		return ref, fmt.Errorf("adversary: cannot replay %s", ref)
+	}
+}
+
+// fireEquivalent finds a locally-controlled action ≡-equivalent to ref
+// among the currently enabled actions and fires it. Existence is
+// guaranteed by condition 4 of message-independence when the live state is
+// ≡-equivalent to the reference state.
+func (rp *replayer) fireEquivalent(ref ioa.Action) (ioa.Action, error) {
+	for _, a := range rp.run.System().Comp.Enabled(rp.run.State()) {
+		if core.ActionsEquivalent(ref, a) {
+			return rp.run.Fire(a)
+		}
+	}
+	return ref, fmt.Errorf("adversary: no enabled action equivalent to %s (live state %s)",
+		ref, rp.run.State().Fingerprint())
+}
+
+// replayAll replays a sequence of reference actions in order.
+func (rp *replayer) replayAll(refs ioa.Schedule) error {
+	for i, ref := range refs {
+		if _, err := rp.replay(ref); err != nil {
+			return fmt.Errorf("adversary: replaying action %d (%s): %w", i+1, ref, err)
+		}
+	}
+	return nil
+}

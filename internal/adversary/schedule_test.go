@@ -1,0 +1,94 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// TestPumpSchedulesAreChannelLegal: the constructed executions, projected
+// onto each channel direction, must satisfy the physical layer
+// specification — the pumps only ever use deliveries the channels permit
+// (the surgery of Lemmas 6.3/6.6 loses packets, which PL always allows).
+// This guards against an adversary that "cheats" by delivering packets a
+// real channel could not.
+func TestPumpSchedulesAreChannelLegal(t *testing.T) {
+	crash, err := CrashPump(protocol.NewGoBackN(4, 2), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crash.Schedule) == 0 {
+		t.Fatal("crash pump report missing the full schedule")
+	}
+	for _, d := range []ioa.Dir{ioa.TR, ioa.RT} {
+		// The crash pump runs over FIFO channels Ĉ: PL-FIFO must hold.
+		proj := projectPL(crash.Schedule, d)
+		if v := spec.CheckPLFIFO(proj, d); !v.OK() {
+			t.Errorf("crash pump schedule violates PL-FIFO^{%s}: %s", d, v)
+		}
+	}
+
+	hdr, err := HeaderPump(protocol.NewGoBackN(4, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hdr.Schedule) == 0 {
+		t.Fatal("header pump report missing the full schedule")
+	}
+	for _, d := range []ioa.Dir{ioa.TR, ioa.RT} {
+		// The header pump runs over the non-FIFO C̄: PL must hold (and
+		// PL-FIFO must NOT on the t→r direction — the stale delivery is a
+		// genuine reordering).
+		proj := projectPL(hdr.Schedule, d)
+		if v := spec.CheckPL(proj, d); !v.OK() {
+			t.Errorf("header pump schedule violates PL^{%s}: %s", d, v)
+		}
+	}
+	tr := projectPL(hdr.Schedule, ioa.TR)
+	if v := spec.CheckPLFIFO(tr, ioa.TR); v.OK() {
+		t.Error("header pump's t→r schedule is FIFO-legal — the attack should require reordering")
+	}
+}
+
+// projectPL extracts the physical-layer events of one direction: packet
+// actions plus that direction's status events.
+func projectPL(beta ioa.Schedule, d ioa.Dir) ioa.Schedule {
+	var out ioa.Schedule
+	for _, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindSendPkt, ioa.KindReceivePkt, ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestPumpScheduleContainsBehavior: the report's Behavior is exactly the
+// data-link-external subsequence of its Schedule.
+func TestPumpScheduleContainsBehavior(t *testing.T) {
+	rep, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var derived ioa.Schedule
+	for _, a := range rep.Schedule {
+		switch a.Kind {
+		case ioa.KindSendMsg, ioa.KindReceiveMsg, ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+			derived = append(derived, a)
+		}
+	}
+	if len(derived) != len(rep.Behavior) {
+		t.Fatalf("behavior (%d) is not the external subsequence of the schedule (%d external events)",
+			len(rep.Behavior), len(derived))
+	}
+	for i := range derived {
+		if derived[i] != rep.Behavior[i] {
+			t.Fatalf("behavior[%d] = %s, schedule-derived = %s", i, rep.Behavior[i], derived[i])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package adversary
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func TestSmokeCrashPumpABP(t *testing.T) {
+	rep, err := CrashPump(protocol.NewABP(), CrashPumpConfig{})
+	if err != nil {
+		t.Fatalf("CrashPump(abp): %v", err)
+	}
+	t.Logf("\n%s", rep)
+	if rep.Verdict.OK() {
+		t.Fatalf("expected WDL violation, got: %s", rep.Verdict)
+	}
+}
+
+func TestSmokeHeaderPumpGBN(t *testing.T) {
+	rep, err := HeaderPump(protocol.NewGoBackN(4, 1), HeaderPumpConfig{})
+	if err != nil {
+		t.Fatalf("HeaderPump(gbn): %v", err)
+	}
+	t.Logf("\n%s", rep)
+	if rep.Verdict.OK() {
+		t.Fatalf("expected WDL violation, got: %s", rep.Verdict)
+	}
+}
+
+func TestSmokeCrashPumpRejectsNonVolatile(t *testing.T) {
+	_, err := CrashPump(protocol.NewNonVolatile(), CrashPumpConfig{})
+	if !errors.Is(err, ErrHypothesisRejected) {
+		t.Fatalf("expected hypothesis rejection, got: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DeliverySet is the paper's explicit delivery nondeterminism (Section
+// 6.1): an infinite set S of ordered pairs (i, j) of positive integers
+// such that for each j there is a unique (i, j) ∈ S, and for each i at
+// most one (i, j) ∈ S. The pair (i, j) correlates the j-th receive_pkt
+// event with the i-th send_pkt event.
+//
+// The infinite set is represented finitely as an explicit prefix plus an
+// eventually-linear tail: Source(j) = prefix[j-1] for j ≤ len(prefix) and
+// Source(j) = j + shift for j > len(prefix). Every delivery set reachable
+// from the identity set by finitely many Del operations has this shape,
+// which is all the constructions in the paper require.
+//
+// DeliverySet is a value type; operations return new sets.
+type DeliverySet struct {
+	prefix []int
+	shift  int
+}
+
+// ErrNotDeliverySet reports a representation that violates the delivery
+// set conditions.
+var ErrNotDeliverySet = errors.New("channel: not a delivery set")
+
+// IdentityDeliverySet returns S = {(k, k) : k ≥ 1}: the FIFO, lossless
+// delivery set.
+func IdentityDeliverySet() DeliverySet { return DeliverySet{} }
+
+// NewDeliverySet builds a delivery set from an explicit prefix (sources
+// for j = 1..len(prefix)) and a tail shift (Source(j) = j + shift beyond
+// the prefix). It validates the delivery-set conditions.
+func NewDeliverySet(prefix []int, shift int) (DeliverySet, error) {
+	s := DeliverySet{prefix: append([]int(nil), prefix...), shift: shift}
+	if err := s.validate(); err != nil {
+		return DeliverySet{}, err
+	}
+	return s, nil
+}
+
+func (s DeliverySet) validate() error {
+	seen := make(map[int]bool, len(s.prefix))
+	for j, i := range s.prefix {
+		if i < 1 {
+			return fmt.Errorf("%w: source %d for j=%d is not positive", ErrNotDeliverySet, i, j+1)
+		}
+		if seen[i] {
+			return fmt.Errorf("%w: source %d used twice", ErrNotDeliverySet, i)
+		}
+		seen[i] = true
+	}
+	// The first tail element is i = len(prefix)+1+shift; it must be
+	// positive, and no tail element may collide with a prefix source.
+	if len(s.prefix)+1+s.shift < 1 {
+		return fmt.Errorf("%w: tail source %d is not positive", ErrNotDeliverySet, len(s.prefix)+1+s.shift)
+	}
+	for _, i := range s.prefix {
+		if i-s.shift > len(s.prefix) {
+			return fmt.Errorf("%w: prefix source %d collides with tail", ErrNotDeliverySet, i)
+		}
+	}
+	return nil
+}
+
+// Source returns the i such that (i, j) ∈ S: the send index delivered by
+// the j-th receive event. j must be ≥ 1.
+func (s DeliverySet) Source(j int) int {
+	if j <= len(s.prefix) {
+		return s.prefix[j-1]
+	}
+	return j + s.shift
+}
+
+// Contains reports whether (i, j) ∈ S.
+func (s DeliverySet) Contains(i, j int) bool {
+	return j >= 1 && s.Source(j) == i
+}
+
+// materialize extends the explicit prefix to cover j = 1..n.
+func (s DeliverySet) materialize(n int) DeliverySet {
+	prefix := append([]int(nil), s.prefix...)
+	for j := len(prefix) + 1; j <= n; j++ {
+		prefix = append(prefix, j+s.shift)
+	}
+	return DeliverySet{prefix: prefix, shift: s.shift}
+}
+
+// Del implements the paper's del(S, (i, j)) surgery (Section 6.3) keyed by
+// j: it removes the pair (Source(j), j) and renumbers later deliveries,
+// so that Del(j).Source(j') = Source(j') for j' < j and Source(j'+1) for
+// j' ≥ j. The result is again a delivery set.
+func (s DeliverySet) Del(j int) DeliverySet {
+	m := s.materialize(j)
+	prefix := append([]int(nil), m.prefix[:j-1]...)
+	prefix = append(prefix, m.prefix[j:]...)
+	return DeliverySet{prefix: prefix, shift: m.shift + 1}
+}
+
+// Monotone reports whether S is monotone (Section 6.2): no pairs (i1, j1)
+// and (i2, j2) with i1 < i2 and j1 ≥ j2 — equivalently, Source is strictly
+// increasing in j. The eventually-linear representation makes this
+// decidable by checking the prefix and the prefix/tail boundary.
+func (s DeliverySet) Monotone() bool {
+	for j := 2; j <= len(s.prefix); j++ {
+		if s.Source(j) <= s.Source(j-1) {
+			return false
+		}
+	}
+	if len(s.prefix) > 0 && s.Source(len(s.prefix)+1) <= s.Source(len(s.prefix)) {
+		return false
+	}
+	return true
+}
+
+// Clean reports whether a channel state with counters (c1, c2) and this
+// delivery set is clean (Section 6.3): (i) S contains no pair (i, j) with
+// i ≤ c1 and j > c2, and (ii) S contains (c1+k, c2+k) for all k > 0 — the
+// channel is empty and will henceforth act FIFO with no losses.
+func (s DeliverySet) Clean(c1, c2 int) bool {
+	// Both conditions together say Source(c2+k) = c1+k for all k > 0.
+	for j := c2 + 1; j <= len(s.prefix); j++ {
+		if s.Source(j) != c1+(j-c2) {
+			return false
+		}
+	}
+	if c2 >= len(s.prefix) {
+		// All relevant j are in the tail: need j + shift = c1 + (j - c2).
+		return s.shift == c1-c2
+	}
+	// j beyond the prefix: tail must continue the same line.
+	return s.shift == c1-c2
+}
+
+// DeliveryOrder returns, for a run in which n packets are sent and the
+// channel follows this delivery set greedily, the send indices delivered
+// by receive events 1, 2, ...: all j such that Source(j) ≤ n, in order,
+// stopping at the first j whose source has not been sent yet. It is used
+// to cross-validate the explicit and lazy channel formulations.
+func (s DeliverySet) DeliveryOrder(n int) []int {
+	var out []int
+	for j := 1; ; j++ {
+		i := s.Source(j)
+		if i > n {
+			// Receive event j can never be enabled, and it blocks all later
+			// events (counter2 advances one at a time). Tail sources grow
+			// strictly with j, so this branch is always reached.
+			return out
+		}
+		out = append(out, i)
+	}
+}

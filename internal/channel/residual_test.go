@@ -1,0 +1,79 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestResidualForwardEquivalence: states that differ only in already-
+// consumed history (delivered/lost packets, FIFO-skipped entries) have
+// equal residuals, while states differing in deliverable content do not.
+func TestResidualForwardEquivalence(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR)
+	resOf := func(st ioa.State) string {
+		t.Helper()
+		r, err := c.Residual(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Path A: send p1, deliver p1, send p2.
+	a := drive(t, c,
+		ioa.SendPkt(ioa.TR, mkPkt(1, "h")),
+		ioa.ReceivePkt(ioa.TR, mkPkt(1, "h")),
+		ioa.SendPkt(ioa.TR, mkPkt(2, "h")),
+	)
+	// Path B: send p1, send p2, deliver p2 — p1 becomes FIFO-blocked
+	// (lost), leaving nothing deliverable. NOT equivalent to A.
+	b := drive(t, c,
+		ioa.SendPkt(ioa.TR, mkPkt(1, "h")),
+		ioa.SendPkt(ioa.TR, mkPkt(2, "h")),
+		ioa.ReceivePkt(ioa.TR, mkPkt(2, "h")),
+	)
+	// Path C: like A but the first packet had a different ID and payload
+	// history; the residual only sees the deliverable packet.
+	cState := drive(t, c,
+		ioa.SendPkt(ioa.TR, mkPkt(9, "h")),
+		ioa.ReceivePkt(ioa.TR, mkPkt(9, "h")),
+		ioa.SendPkt(ioa.TR, mkPkt(2, "h")),
+	)
+	if resOf(a) == resOf(b) {
+		t.Error("states with different deliverable content share a residual")
+	}
+	if resOf(a) != resOf(cState) {
+		t.Errorf("forward-equivalent states have different residuals:\n%s\n%s", resOf(a), resOf(cState))
+	}
+	if a.Fingerprint() == cState.Fingerprint() {
+		t.Error("exact fingerprints should still differ (different history)")
+	}
+	// Residual ignores IDs but keeps payloads: same header, different
+	// payload must differ.
+	d1 := drive(t, c, ioa.SendPkt(ioa.TR, ioa.Packet{ID: 1, Header: "h", Payload: "x"}))
+	d2 := drive(t, c, ioa.SendPkt(ioa.TR, ioa.Packet{ID: 1, Header: "h", Payload: "y"}))
+	if resOf(d1) == resOf(d2) {
+		t.Error("residual must distinguish payloads (the monitor sees them on delivery)")
+	}
+	if _, err := c.Residual(struct{ ioa.State }{}); err == nil {
+		t.Error("expected error for a foreign state type")
+	}
+}
+
+func TestMaxLifetimeInteractsWithFIFO(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR, WithMaxLifetime(1))
+	st := drive(t, c,
+		ioa.SendPkt(ioa.TR, mkPkt(1, "a")),
+		ioa.SendPkt(ioa.TR, mkPkt(2, "b")),
+	)
+	// Lifetime 1: packet 1 expired when packet 2 was sent.
+	got := st.(State).InTransit()
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("in transit = %v, want only packet 2", got)
+	}
+	enabled := c.Enabled(st)
+	if len(enabled) != 1 || enabled[0].Pkt.ID != 2 {
+		t.Fatalf("enabled = %v", enabled)
+	}
+}

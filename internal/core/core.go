@@ -1,0 +1,7 @@
+// Package core models data link protocols and their correctness, following
+// Section 5 of "The Data Link Layer: Two Impossibility Results":
+// transmitting and receiving automata, data link protocol pairs, the
+// composition with physical channels (the systems D̄'(A) and D̂'(A) of
+// Section 6), the message-independence equivalence ≡ and the derived
+// header set headers(A, ≡), the crashing property, and k-boundedness.
+package core

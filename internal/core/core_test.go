@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ioa"
+)
+
+func TestPacketsEquivalent(t *testing.T) {
+	a := ioa.Packet{ID: 1, Header: "data/0", Payload: "x"}
+	b := ioa.Packet{ID: 2, Header: "data/0", Payload: "y"}
+	c := ioa.Packet{ID: 1, Header: "data/1", Payload: "x"}
+	if !PacketsEquivalent(a, b) {
+		t.Error("same header must be equivalent regardless of ID/payload")
+	}
+	if PacketsEquivalent(a, c) {
+		t.Error("different headers must not be equivalent")
+	}
+}
+
+func TestActionsEquivalent(t *testing.T) {
+	pa := ioa.Packet{ID: 1, Header: "h", Payload: "x"}
+	pb := ioa.Packet{ID: 2, Header: "h", Payload: "y"}
+	pc := ioa.Packet{ID: 3, Header: "g"}
+	tests := []struct {
+		name string
+		a, b ioa.Action
+		want bool
+	}{
+		{"messages always equivalent", ioa.SendMsg(ioa.TR, "m1"), ioa.SendMsg(ioa.TR, "m2"), true},
+		{"different kinds", ioa.SendMsg(ioa.TR, "m"), ioa.ReceiveMsg(ioa.TR, "m"), false},
+		{"different dirs", ioa.Wake(ioa.TR), ioa.Wake(ioa.RT), false},
+		{"same header packets", ioa.SendPkt(ioa.TR, pa), ioa.SendPkt(ioa.TR, pb), true},
+		{"different header packets", ioa.SendPkt(ioa.TR, pa), ioa.SendPkt(ioa.TR, pc), false},
+		{"wake self", ioa.Wake(ioa.TR), ioa.Wake(ioa.TR), true},
+		{"internal names", ioa.Internal("a"), ioa.Internal("b"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ActionsEquivalent(tt.a, tt.b); got != tt.want {
+				t.Errorf("ActionsEquivalent = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestActionsEquivalentIsEquivalenceRelation(t *testing.T) {
+	actions := []ioa.Action{
+		ioa.SendMsg(ioa.TR, "a"), ioa.SendMsg(ioa.TR, "b"),
+		ioa.ReceiveMsg(ioa.TR, "a"),
+		ioa.SendPkt(ioa.TR, ioa.Packet{ID: 1, Header: "h"}),
+		ioa.SendPkt(ioa.TR, ioa.Packet{ID: 2, Header: "h", Payload: "p"}),
+		ioa.SendPkt(ioa.TR, ioa.Packet{ID: 3, Header: "g"}),
+		ioa.Wake(ioa.TR), ioa.Crash(ioa.RT),
+	}
+	pick := func(i uint8) ioa.Action { return actions[int(i)%len(actions)] }
+	reflexive := func(i uint8) bool { return ActionsEquivalent(pick(i), pick(i)) }
+	symmetric := func(i, j uint8) bool {
+		return ActionsEquivalent(pick(i), pick(j)) == ActionsEquivalent(pick(j), pick(i))
+	}
+	transitive := func(i, j, k uint8) bool {
+		a, b, c := pick(i), pick(j), pick(k)
+		if ActionsEquivalent(a, b) && ActionsEquivalent(b, c) {
+			return ActionsEquivalent(a, c)
+		}
+		return true
+	}
+	for name, f := range map[string]interface{}{"reflexive": reflexive, "symmetric": symmetric, "transitive": transitive} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSchedulesEquivalent(t *testing.T) {
+	x := ioa.Schedule{ioa.SendMsg(ioa.TR, "a"), ioa.Wake(ioa.TR)}
+	y := ioa.Schedule{ioa.SendMsg(ioa.TR, "b"), ioa.Wake(ioa.TR)}
+	if !SchedulesEquivalent(x, y) {
+		t.Error("pointwise equivalent schedules rejected")
+	}
+	if SchedulesEquivalent(x, y[:1]) {
+		t.Error("different lengths accepted")
+	}
+	z := ioa.Schedule{ioa.Wake(ioa.TR), ioa.SendMsg(ioa.TR, "b")}
+	if SchedulesEquivalent(x, z) {
+		t.Error("permuted schedules accepted")
+	}
+}
+
+func TestPacketSeqsEquivalentAndHeadersOf(t *testing.T) {
+	x := []ioa.Packet{{ID: 1, Header: "a"}, {ID: 2, Header: "b"}}
+	y := []ioa.Packet{{ID: 9, Header: "a", Payload: "z"}, {ID: 8, Header: "b"}}
+	if !PacketSeqsEquivalent(x, y) {
+		t.Error("equivalent packet sequences rejected")
+	}
+	if PacketSeqsEquivalent(x, y[:1]) {
+		t.Error("length mismatch accepted")
+	}
+	hs := HeadersOf(x)
+	if len(hs) != 2 || hs[0] != "a" || hs[1] != "b" {
+		t.Errorf("HeadersOf = %v", hs)
+	}
+}
+
+func TestMessageMinterFreshness(t *testing.T) {
+	m := NewMessageMinter("x")
+	seen := map[ioa.Message]bool{}
+	for i := 0; i < 100; i++ {
+		msg := m.Fresh()
+		if seen[msg] {
+			t.Fatalf("minter repeated %q", msg)
+		}
+		seen[msg] = true
+		if !strings.HasPrefix(string(msg), "x-") {
+			t.Fatalf("minter ignored prefix: %q", msg)
+		}
+	}
+	if m.Count() != 100 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	// Different prefixes never collide.
+	other := NewMessageMinter("y")
+	if seen[other.Fresh()] {
+		t.Error("cross-minter collision")
+	}
+}
+
+func TestPacketIDsUniqueAndRestorable(t *testing.T) {
+	var ids PacketIDs
+	a, b := ids.Next(), ids.Next()
+	if a == 0 || a == b {
+		t.Errorf("Next() = %d, %d", a, b)
+	}
+	mark := ids.Snapshot()
+	c := ids.Next()
+	ids.Restore(mark)
+	c2 := ids.Next()
+	if c != c2 {
+		t.Errorf("restore not deterministic: %d vs %d", c, c2)
+	}
+}
+
+// badProto builds a structurally invalid protocol for Validate tests: a
+// transmitter missing its send_msg input.
+type badTx struct{ ioa.Automaton }
+
+func (badTx) Name() string { return "bad.T" }
+func (badTx) Signature() ioa.Signature {
+	return ioa.Signature{
+		In:  []ioa.Pattern{{Kind: ioa.KindWake, Dir: ioa.TR}},
+		Out: []ioa.Pattern{{Kind: ioa.KindSendPkt, Dir: ioa.TR}},
+	}
+}
+
+func TestProtocolValidateRejectsWrongSignature(t *testing.T) {
+	p := Protocol{Name: "bad", T: badTx{}, R: badTx{}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected validation failure for wrong external signature")
+	}
+}
+
+func TestStationDirections(t *testing.T) {
+	if OutChannelDir(ioa.T) != ioa.TR || OutChannelDir(ioa.R) != ioa.RT {
+		t.Error("OutChannelDir wrong")
+	}
+	if InChannelDir(ioa.T) != ioa.RT || InChannelDir(ioa.R) != ioa.TR {
+		t.Error("InChannelDir wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/ioa"
+
+// This file implements the canonical message-independence equivalence ≡ of
+// Section 5.3.1. The paper allows any relation satisfying its five
+// conditions; the canonical choice used throughout this repository is:
+//
+//   - all messages are equivalent (condition 2);
+//   - packets are equivalent exactly when their headers are equal
+//     (footnote 4: the header is the only information a protocol may use);
+//   - actions are equivalent when they are identical except possibly for
+//     their message or packet parameter, with packet parameters required
+//     to be equivalent (conditions 1 and 3);
+//   - states are equivalent when their EquivFingerprints are equal
+//     (protocol state types erase message identities from the
+//     fingerprint), which yields conditions 4 and 5 for the deterministic
+//     automata in this repository.
+
+// PacketsEquivalent reports p ≡ p': equal headers. The unique ID and the
+// payload (a message) are erased by the equivalence.
+func PacketsEquivalent(p, q ioa.Packet) bool { return p.Header == q.Header }
+
+// MessagesEquivalent reports m ≡ m': always true (condition 2).
+func MessagesEquivalent(_, _ ioa.Message) bool { return true }
+
+// ActionsEquivalent reports a ≡ a': identical except possibly for a
+// difference in message or packet parameter, with packet parameters
+// equivalent.
+func ActionsEquivalent(a, b ioa.Action) bool {
+	return a.Kind == b.Kind && a.Dir == b.Dir && a.Name == b.Name &&
+		PacketsEquivalent(a.Pkt, b.Pkt)
+}
+
+// SchedulesEquivalent reports x ≡ y for action sequences: equal length and
+// pointwise equivalent (Section 5.3.1).
+func SchedulesEquivalent(x, y ioa.Schedule) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if !ActionsEquivalent(x[i], y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PacketSeqsEquivalent reports Q ≡ Q' for packet sequences: equal length
+// and pointwise header-equal.
+func PacketSeqsEquivalent(x, y []ioa.Packet) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if !PacketsEquivalent(x[i], y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HeadersOf returns the multiset of headers of a packet sequence, in
+// order: the sequence's image under ≡.
+func HeadersOf(pkts []ioa.Packet) []ioa.Header {
+	out := make([]ioa.Header, len(pkts))
+	for i, p := range pkts {
+		out[i] = p.Header
+	}
+	return out
+}

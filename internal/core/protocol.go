@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// TransmitterSignature returns the external signature every transmitting
+// automaton for (t, r) must have (Section 5.1). Internal patterns may be
+// appended by the implementation.
+func TransmitterSignature() ioa.Signature {
+	return ioa.Signature{
+		In: []ioa.Pattern{
+			{Kind: ioa.KindSendMsg, Dir: ioa.TR},
+			{Kind: ioa.KindReceivePkt, Dir: ioa.RT},
+			{Kind: ioa.KindWake, Dir: ioa.TR},
+			{Kind: ioa.KindFail, Dir: ioa.TR},
+			{Kind: ioa.KindCrash, Dir: ioa.TR},
+		},
+		Out: []ioa.Pattern{
+			{Kind: ioa.KindSendPkt, Dir: ioa.TR},
+		},
+	}
+}
+
+// ReceiverSignature returns the external signature every receiving
+// automaton for (t, r) must have (Section 5.1).
+func ReceiverSignature() ioa.Signature {
+	return ioa.Signature{
+		In: []ioa.Pattern{
+			{Kind: ioa.KindReceivePkt, Dir: ioa.TR},
+			{Kind: ioa.KindWake, Dir: ioa.RT},
+			{Kind: ioa.KindFail, Dir: ioa.RT},
+			{Kind: ioa.KindCrash, Dir: ioa.RT},
+		},
+		Out: []ioa.Pattern{
+			{Kind: ioa.KindSendPkt, Dir: ioa.RT},
+			{Kind: ioa.KindReceiveMsg, Dir: ioa.TR},
+		},
+	}
+}
+
+// Properties records the structural constraints of Sections 5.3 and 8.1
+// that a protocol claims to satisfy. The adversaries verify the claims
+// they depend on at runtime (see VerifyCrashing and
+// VerifyMessageIndependence) rather than trusting them.
+type Properties struct {
+	// MessageIndependent claims the protocol never branches on message
+	// contents (Section 5.3.1). All protocols in this repository are
+	// message-independent.
+	MessageIndependent bool
+	// Crashing claims both automata revert to their unique start state on
+	// a crash input (Section 5.3.2), i.e. the protocol has no non-volatile
+	// memory.
+	Crashing bool
+	// Headers lists headers(A, ≡) when it is finite; nil means the header
+	// set is unbounded (as for Stenning's protocol).
+	Headers []ioa.Header
+	// KBound is the k for which the protocol is k-bounded (Section 8.1): a
+	// fresh message can always be delivered using at most k receive_pkt
+	// events on the t→r channel. Zero means no bound is claimed.
+	KBound int
+	// RequiresFIFO records that the protocol is only claimed correct with
+	// respect to FIFO physical channels.
+	RequiresFIFO bool
+}
+
+// BoundedHeaders reports whether headers(A, ≡) is finite.
+func (p Properties) BoundedHeaders() bool { return p.Headers != nil }
+
+// Protocol is a data link protocol: a pair (A^t, A^r) of a transmitting
+// and a receiving automaton (Section 5.1), with its claimed structural
+// properties.
+type Protocol struct {
+	Name  string
+	T     ioa.Automaton
+	R     ioa.Automaton
+	Props Properties
+}
+
+// Validate checks that the pair's external signatures match Section 5.1.
+func (p Protocol) Validate() error {
+	if err := signatureExtends(p.T.Signature(), TransmitterSignature()); err != nil {
+		return fmt.Errorf("core: protocol %s transmitter: %w", p.Name, err)
+	}
+	if err := signatureExtends(p.R.Signature(), ReceiverSignature()); err != nil {
+		return fmt.Errorf("core: protocol %s receiver: %w", p.Name, err)
+	}
+	return nil
+}
+
+// signatureExtends checks that got has exactly the required external
+// patterns (extra internal patterns are allowed).
+func signatureExtends(got, want ioa.Signature) error {
+	if err := got.Validate(); err != nil {
+		return err
+	}
+	if err := samePatternSet(got.In, want.In); err != nil {
+		return fmt.Errorf("input actions: %w", err)
+	}
+	if err := samePatternSet(got.Out, want.Out); err != nil {
+		return fmt.Errorf("output actions: %w", err)
+	}
+	return nil
+}
+
+func samePatternSet(got, want []ioa.Pattern) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("have %d patterns, want %d", len(got), len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("missing pattern %s", w)
+		}
+	}
+	return nil
+}

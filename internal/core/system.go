@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+)
+
+// System is the paper's composed data link implementation: the composition
+// D(A) = A^t ∥ A^r ∥ C^{t,r} ∥ C^{r,t} together with D'(A) =
+// hide_Φ(D(A)), where Φ is the set of send_pkt and receive_pkt actions
+// (Sections 5.2 and 6). With FIFO channels this is D̂'(A); with the
+// non-FIFO permissive channels it is D̄'(A).
+type System struct {
+	Protocol Protocol
+	// CT is the channel from t to r; CR the channel from r to t.
+	CT, CR *channel.Channel
+	// Comp is the raw composition D(A); Hidden is D'(A).
+	Comp   *ioa.Composition
+	Hidden *ioa.Hidden
+}
+
+// SystemOption configures system construction.
+type SystemOption func(*systemConfig)
+
+type systemConfig struct {
+	channelOpts []channel.Option
+}
+
+// WithChannelOptions forwards options (e.g. channel.WithLoss()) to both
+// channels.
+func WithChannelOptions(opts ...channel.Option) SystemOption {
+	return func(c *systemConfig) { c.channelOpts = append(c.channelOpts, opts...) }
+}
+
+// NewSystem composes the protocol with a pair of permissive channels:
+// FIFO channels Ĉ when fifo is true (the Section 7 setting), the
+// arbitrary-reordering channels C̄ otherwise (the Section 8 setting).
+func NewSystem(p Protocol, fifo bool, opts ...SystemOption) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var cfg systemConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	newChan := channel.NewPermissive
+	if fifo {
+		newChan = channel.NewPermissiveFIFO
+	}
+	ct := newChan(ioa.TR, cfg.channelOpts...)
+	cr := newChan(ioa.RT, cfg.channelOpts...)
+	comp, err := ioa.Compose("D("+p.Name+")", p.T, p.R, ct, cr)
+	if err != nil {
+		return nil, fmt.Errorf("core: composing system for %s: %w", p.Name, err)
+	}
+	return &System{
+		Protocol: p,
+		CT:       ct,
+		CR:       cr,
+		Comp:     comp,
+		Hidden:   ioa.Hide(comp, ioa.HidePacketActions()),
+	}, nil
+}
+
+// TransmitterState extracts A^t's state from a composite state.
+func (s *System) TransmitterState(st ioa.State) (ioa.State, error) {
+	return s.Comp.ComponentState(st, s.Protocol.T.Name())
+}
+
+// ReceiverState extracts A^r's state from a composite state.
+func (s *System) ReceiverState(st ioa.State) (ioa.State, error) {
+	return s.Comp.ComponentState(st, s.Protocol.R.Name())
+}
+
+// Channel returns the channel automaton carrying packets in direction d.
+func (s *System) Channel(d ioa.Dir) *channel.Channel {
+	if d == ioa.TR {
+		return s.CT
+	}
+	return s.CR
+}
+
+// ChannelState extracts the state of the channel in direction d.
+func (s *System) ChannelState(st ioa.State, d ioa.Dir) (channel.State, error) {
+	raw, err := s.Comp.ComponentState(st, s.Channel(d).Name())
+	if err != nil {
+		return channel.State{}, err
+	}
+	cs, ok := raw.(channel.State)
+	if !ok {
+		return channel.State{}, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, raw)
+	}
+	return cs, nil
+}
+
+// StationAutomaton returns A^x for station x.
+func (s *System) StationAutomaton(x ioa.Station) ioa.Automaton {
+	if x == ioa.T {
+		return s.Protocol.T
+	}
+	return s.Protocol.R
+}
+
+// StationState extracts A^x's state from a composite state.
+func (s *System) StationState(st ioa.State, x ioa.Station) (ioa.State, error) {
+	return s.Comp.ComponentState(st, s.StationAutomaton(x).Name())
+}
+
+// OutChannelDir returns the direction of the channel that carries packets
+// *sent by* station x: t sends on (t,r), r sends on (r,t).
+func OutChannelDir(x ioa.Station) ioa.Dir {
+	if x == ioa.T {
+		return ioa.TR
+	}
+	return ioa.RT
+}
+
+// InChannelDir returns the direction of the channel that delivers packets
+// *to* station x.
+func InChannelDir(x ioa.Station) ioa.Dir { return OutChannelDir(x).Rev() }
+
+// CleanChannels applies Lemma 6.3 surgery to both channels of a composite
+// state: every in-transit packet is lost, leaving both channels clean.
+func (s *System) CleanChannels(st ioa.State) (ioa.State, error) {
+	for _, ch := range []*channel.Channel{s.CT, s.CR} {
+		raw, err := s.Comp.ComponentState(st, ch.Name())
+		if err != nil {
+			return nil, err
+		}
+		cleaned, err := ch.MakeClean(raw)
+		if err != nil {
+			return nil, err
+		}
+		st, err = s.Comp.WithComponentState(st, ch.Name(), cleaned)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// KeepOnlyInTransit applies Lemma 6.6 surgery to the channel in direction
+// d: exactly the packets in keep remain in transit; all other pending
+// packets are lost.
+func (s *System) KeepOnlyInTransit(st ioa.State, d ioa.Dir, keep []ioa.Packet) (ioa.State, error) {
+	ch := s.Channel(d)
+	raw, err := s.Comp.ComponentState(st, ch.Name())
+	if err != nil {
+		return nil, err
+	}
+	kept, err := ch.KeepOnly(raw, keep)
+	if err != nil {
+		return nil, err
+	}
+	return s.Comp.WithComponentState(st, ch.Name(), kept)
+}
+
+// InTransit returns the packets in transit in direction d.
+func (s *System) InTransit(st ioa.State, d ioa.Dir) ([]ioa.Packet, error) {
+	cs, err := s.ChannelState(st, d)
+	if err != nil {
+		return nil, err
+	}
+	return cs.InTransit(), nil
+}
+
+// MessageMinter mints fresh messages from the infinite alphabet M: each
+// call returns a message that no previous call returned. The impossibility
+// constructions rely on an inexhaustible supply of never-sent messages.
+type MessageMinter struct {
+	prefix string
+	n      int
+}
+
+// NewMessageMinter returns a minter whose messages carry the given prefix.
+func NewMessageMinter(prefix string) *MessageMinter {
+	return &MessageMinter{prefix: prefix}
+}
+
+// Fresh returns the next fresh message.
+func (m *MessageMinter) Fresh() ioa.Message {
+	m.n++
+	return ioa.Message(fmt.Sprintf("%s-%d", m.prefix, m.n))
+}
+
+// Count returns how many messages have been minted.
+func (m *MessageMinter) Count() int { return m.n }
+
+// PacketIDs allocates the unique packet labels required by (PL2). The
+// labels are an analysis device (footnote 4): automata emit packets with
+// ID zero and the runner relabels each send_pkt with a fresh ID before
+// applying it; protocols never branch on the ID.
+type PacketIDs struct {
+	next uint64
+}
+
+// Next returns a fresh nonzero packet ID.
+func (p *PacketIDs) Next() uint64 {
+	p.next++
+	return p.next
+}
+
+// Snapshot returns the current allocation point; Restore rewinds to it.
+// The header-pump adversary snapshots the allocator together with the
+// system state when it records-then-discards a probe run.
+func (p *PacketIDs) Snapshot() uint64 { return p.next }
+
+// Restore rewinds the allocator to a previous Snapshot value.
+func (p *PacketIDs) Restore(v uint64) { p.next = v }

@@ -1,0 +1,310 @@
+// Package explore is a bounded explicit-state model checker for composed
+// data link systems: it enumerates every reachable state of D(A) under a
+// chosen environment-input pool and scheduling nondeterminism, checking
+// safety monitors on every path.
+//
+// It complements the adversary package: the adversaries *construct* the
+// paper's counterexample executions from the proofs, while the explorer
+// *searches* for violations exhaustively. For small instances the two
+// agree — the explorer finds reordering counterexamples against
+// bounded-header protocols over C̄ (Theorem 8.5's phenomenon) and finds
+// crash counterexamples against crashing protocols over Ĉ (Theorem 7.5's
+// phenomenon), and it verifies exhaustively that no safety violation is
+// reachable for the positive configurations (Stenning over C̄, sliding
+// windows over Ĉ) within the explored bound.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// Monitor is an online safety checker over data-link behaviors. Monitors
+// must be value-like: Step returns a new monitor. The fingerprint
+// contributes to state deduplication, so two search nodes are merged only
+// when both the system state and the monitor state agree.
+type Monitor interface {
+	// Step observes one external action and returns the successor monitor
+	// and a violation if the property just failed.
+	Step(a ioa.Action) (Monitor, *Violation)
+	// Fingerprint canonically encodes the monitor state.
+	Fingerprint() string
+}
+
+// Violation reports a safety failure found during exploration.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+// Config parameterises a search.
+type Config struct {
+	// Inputs is the pool of environment inputs; each may be injected once,
+	// in pool order relative to its duplicates but freely interleaved with
+	// everything else. A typical pool is wake, wake, then a few send_msg
+	// and crash events.
+	Inputs []ioa.Action
+	// Monitor is the safety property to check (required).
+	Monitor Monitor
+	// MaxDepth bounds the path length (0 means DefaultMaxDepth).
+	MaxDepth int
+	// MaxStates bounds the number of distinct explored nodes (0 means
+	// DefaultMaxStates); exceeding it stops the search with Exhausted=false.
+	MaxStates int
+	// MaxInTransit, when positive, prunes locally-controlled send_pkt
+	// actions that would exceed this many undelivered packets per channel.
+	// Pruning restricts the explored subspace (found violations remain
+	// real), but keeps retransmission-based protocols finite-state.
+	MaxInTransit int
+	// AllowLoss explores internal lose actions of lossy channels.
+	AllowLoss bool
+}
+
+// Default search bounds.
+const (
+	DefaultMaxDepth  = 40
+	DefaultMaxStates = 1 << 20
+)
+
+// Result reports a search outcome.
+type Result struct {
+	// Violation is nil if no safety failure was found.
+	Violation *Violation
+	// Trace is a schedule reaching the violation (inputs included), nil
+	// when Violation is nil.
+	Trace ioa.Schedule
+	// StatesExplored counts distinct (state, monitor, inputs-used) nodes.
+	StatesExplored int
+	// Exhausted reports that the entire bounded space was covered: no node
+	// was dropped for exceeding MaxStates. Together with Violation == nil
+	// it is a bounded verification certificate.
+	Exhausted bool
+	// DepthReached is the longest path explored.
+	DepthReached int
+}
+
+// ErrNoMonitor is returned when Config.Monitor is nil.
+var ErrNoMonitor = errors.New("explore: config needs a monitor")
+
+// node is a search frontier entry.
+type node struct {
+	state   ioa.State
+	monitor Monitor
+	used    []bool // which pool inputs have been injected
+	depth   int
+	// parent chain for trace reconstruction
+	parent *node
+	action ioa.Action
+}
+
+// dedupKey identifies nodes with indistinguishable futures: the protocol
+// automata contribute their exact state, the channels only their residual
+// (deliverable packets — delivered, lost and FIFO-blocked entries can
+// never matter again, and packet IDs are analysis labels), plus the
+// monitor state and the set of remaining inputs. Merging on this key is
+// sound because the monitor never inspects packet identities.
+func dedupKey(sys *core.System, n *node) (string, error) {
+	cs, ok := n.state.(ioa.CompositeState)
+	if !ok {
+		return "", fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, n.state)
+	}
+	var b strings.Builder
+	for i, comp := range sys.Comp.Components() {
+		if i > 0 {
+			b.WriteString("∥")
+		}
+		if ch, isChan := comp.(*channel.Channel); isChan {
+			res, err := ch.Residual(cs.Parts[i])
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(res)
+			continue
+		}
+		b.WriteString(cs.Parts[i].Fingerprint())
+	}
+	b.WriteByte('|')
+	b.WriteString(n.monitor.Fingerprint())
+	b.WriteByte('|')
+	for _, u := range n.used {
+		if u {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String(), nil
+}
+
+func (n *node) trace() ioa.Schedule {
+	var rev ioa.Schedule
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.action)
+	}
+	out := make(ioa.Schedule, len(rev))
+	for i := range rev {
+		out[len(rev)-1-i] = rev[i]
+	}
+	return out
+}
+
+// BFS explores the system breadth-first from its start state. The returned
+// trace (if any) is a shortest violating schedule within the explored
+// space.
+func BFS(sys *core.System, cfg Config) (*Result, error) {
+	if cfg.Monitor == nil {
+		return nil, ErrNoMonitor
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	extSig := sys.Hidden.Signature()
+	start := &node{
+		state:   sys.Comp.Start(),
+		monitor: cfg.Monitor,
+		used:    make([]bool, len(cfg.Inputs)),
+	}
+	startKey, err := dedupKey(sys, start)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{startKey: true}
+	frontier := []*node{start}
+	res := &Result{Exhausted: true, StatesExplored: 1}
+
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			if cur.depth > res.DepthReached {
+				res.DepthReached = cur.depth
+			}
+			if cur.depth >= maxDepth {
+				continue
+			}
+			succ, err := expand(sys, cfg, cur, extSig)
+			if err != nil {
+				return nil, err
+			}
+			for _, nd := range succ {
+				if nd.violation != nil {
+					res.Violation = nd.violation
+					res.Trace = nd.node.trace()
+					return res, nil
+				}
+				k, err := dedupKey(sys, nd.node)
+				if err != nil {
+					return nil, err
+				}
+				if seen[k] {
+					continue
+				}
+				if res.StatesExplored >= maxStates {
+					res.Exhausted = false
+					continue
+				}
+				seen[k] = true
+				res.StatesExplored++
+				next = append(next, nd.node)
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// succNode pairs a successor with a violation detected on its incoming
+// action.
+type succNode struct {
+	node      *node
+	violation *Violation
+}
+
+// expand computes all successors of a node: every unused pool input (the
+// first unused instance of each distinct action) and every eligible
+// enabled locally-controlled action.
+//
+// Packet IDs are assigned canonically as the per-channel send index
+// ((PL2)'s uniqueness is per channel direction): structurally identical
+// states then have identical fingerprints regardless of the path taken,
+// which is what makes state deduplication effective — and sound, since
+// the IDs carry no information a protocol may use.
+func expand(sys *core.System, cfg Config, cur *node, extSig ioa.Signature) ([]succNode, error) {
+	var out []succNode
+	apply := func(a ioa.Action, usedIdx int) error {
+		if a.Kind == ioa.KindSendPkt && a.Pkt.ID == 0 {
+			cs, err := sys.ChannelState(cur.state, a.Dir)
+			if err != nil {
+				return err
+			}
+			a.Pkt.ID = uint64(cs.SentCount() + 1)
+		}
+		st, err := sys.Comp.Step(cur.state, a)
+		if err != nil {
+			return fmt.Errorf("explore: applying %s: %w", a, err)
+		}
+		mon := cur.monitor
+		var viol *Violation
+		if extSig.ContainsExternal(a) {
+			mon, viol = mon.Step(a)
+		}
+		used := cur.used
+		if usedIdx >= 0 {
+			used = append([]bool(nil), cur.used...)
+			used[usedIdx] = true
+		}
+		out = append(out, succNode{
+			node:      &node{state: st, monitor: mon, used: used, depth: cur.depth + 1, parent: cur, action: a},
+			violation: viol,
+		})
+		return nil
+	}
+
+	// Environment inputs: one successor per distinct unused pool action.
+	tried := map[ioa.Action]bool{}
+	for i, in := range cfg.Inputs {
+		if cur.used[i] || tried[in] {
+			continue
+		}
+		tried[in] = true
+		if err := apply(in, i); err != nil {
+			return nil, err
+		}
+	}
+
+	// Locally-controlled actions.
+	for _, a := range sys.Comp.Enabled(cur.state) {
+		if isLose(a) && !cfg.AllowLoss {
+			continue
+		}
+		if cfg.MaxInTransit > 0 && a.Kind == ioa.KindSendPkt {
+			pending, err := sys.InTransit(cur.state, a.Dir)
+			if err != nil {
+				return nil, err
+			}
+			if len(pending) >= cfg.MaxInTransit {
+				continue
+			}
+		}
+		if err := apply(a, -1); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func isLose(a ioa.Action) bool {
+	return a.Kind == ioa.KindInternal && strings.HasPrefix(a.Name, "lose")
+}

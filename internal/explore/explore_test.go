@@ -1,0 +1,227 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// pool builds the standard input pool: both wakes plus n messages, plus
+// optional crash/recover events.
+func pool(msgs int, crashes ...ioa.Dir) []ioa.Action {
+	out := []ioa.Action{ioa.Wake(ioa.TR), ioa.Wake(ioa.RT)}
+	for i := 0; i < msgs; i++ {
+		out = append(out, ioa.SendMsg(ioa.TR, ioa.Message(string(rune('a'+i)))))
+	}
+	for _, d := range crashes {
+		out = append(out, ioa.Crash(d), ioa.Wake(d))
+	}
+	return out
+}
+
+// TestExplorerVerifiesGBNOverFIFO: bounded verification of the positive
+// claim — Go-Back-N over FIFO channels has no reachable duplicate,
+// spurious, or reordered delivery within the bound.
+func TestExplorerVerifiesGBNOverFIFO(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewGoBackN(2, 1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(sys, Config{
+		Inputs:       pool(2),
+		Monitor:      NewSafetyMonitor(true),
+		MaxDepth:     22,
+		MaxInTransit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %s\ntrace:\n%s", res.Violation, ioa.FormatSchedule(res.Trace))
+	}
+	if !res.Exhausted {
+		t.Fatal("space not exhausted; raise MaxStates")
+	}
+	if res.StatesExplored < 100 {
+		t.Errorf("suspiciously small state space: %d", res.StatesExplored)
+	}
+	t.Logf("verified %d states to depth %d", res.StatesExplored, res.DepthReached)
+}
+
+// TestExplorerFindsReorderingBug: over the non-FIFO channel C̄, the same
+// Go-Back-N has a reachable duplicate delivery — the Theorem 8.5
+// phenomenon found by search instead of construction. The shortest
+// counterexample needs the sequence space to wrap: with modulus 2, three
+// messages.
+func TestExplorerFindsReorderingBug(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewGoBackN(2, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(sys, Config{
+		Inputs:       pool(3),
+		Monitor:      NewSafetyMonitor(false),
+		MaxDepth:     26,
+		MaxInTransit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("no violation found in %d states (exhausted=%t)", res.StatesExplored, res.Exhausted)
+	}
+	if res.Violation.Property != "DL4" && res.Violation.Property != "DL5" {
+		t.Errorf("violation = %s, want DL4 or DL5", res.Violation)
+	}
+	t.Logf("found after %d states: %s\nshortest trace (%d steps):\n%s",
+		res.StatesExplored, res.Violation, len(res.Trace), ioa.FormatSchedule(res.Trace))
+
+	// The found trace's data-link behavior must independently fail the
+	// offline WDL checker (cross-validation of monitor vs. checker).
+	beh := res.Trace.Behavior(sys.Hidden.Signature())
+	if v := spec.CheckWDL(beh, ioa.TR); v.OK() {
+		t.Errorf("offline checker disagrees with monitor: %s", v)
+	}
+}
+
+// TestExplorerFindsCrashBug: over FIFO channels with crash events in the
+// input pool, ABP has a reachable duplicate/spurious delivery or a lost
+// message — the Theorem 7.5 phenomenon found by search. Safety monitors
+// can only catch the duplicate/spurious variants; ABP's receiver-crash
+// failure mode is exactly a duplicate delivery (the receiver forgets its
+// expected bit and re-accepts a retransmission).
+func TestExplorerFindsCrashBug(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(sys, Config{
+		Inputs:       pool(1, ioa.RT),
+		Monitor:      NewSafetyMonitor(false),
+		MaxDepth:     20,
+		MaxInTransit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("no violation found in %d states (exhausted=%t)", res.StatesExplored, res.Exhausted)
+	}
+	if res.Violation.Property != "DL4" {
+		t.Errorf("violation = %s, want DL4 (re-accepted retransmission)", res.Violation)
+	}
+	t.Logf("found after %d states: %s\nshortest trace (%d steps):\n%s",
+		res.StatesExplored, res.Violation, len(res.Trace), ioa.FormatSchedule(res.Trace))
+}
+
+// TestExplorerVerifiesNonVolatileUnderCrashes: the non-volatile protocol
+// has no reachable safety violation even with crash events of both
+// stations in the pool (bounded verification of E2).
+func TestExplorerVerifiesNonVolatileUnderCrashes(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewNonVolatile(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(sys, Config{
+		Inputs:       pool(1, ioa.TR, ioa.RT),
+		Monitor:      NewSafetyMonitor(true),
+		MaxDepth:     20,
+		MaxInTransit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %s\ntrace:\n%s", res.Violation, ioa.FormatSchedule(res.Trace))
+	}
+	if !res.Exhausted {
+		t.Fatal("space not exhausted; raise MaxStates")
+	}
+	t.Logf("verified %d states to depth %d", res.StatesExplored, res.DepthReached)
+}
+
+// TestExplorerVerifiesStenningOverReordering: Stenning's protocol has no
+// reachable safety violation over the arbitrarily-reordering channel
+// within the bound (bounded verification of E4's safety half).
+func TestExplorerVerifiesStenningOverReordering(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewStenning(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(sys, Config{
+		Inputs:       pool(3),
+		Monitor:      NewSafetyMonitor(true),
+		MaxDepth:     24,
+		MaxInTransit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %s\ntrace:\n%s", res.Violation, ioa.FormatSchedule(res.Trace))
+	}
+	if !res.Exhausted {
+		t.Fatal("space not exhausted; raise MaxStates")
+	}
+	t.Logf("verified %d states to depth %d", res.StatesExplored, res.DepthReached)
+}
+
+func TestExplorerConfigValidation(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BFS(sys, Config{}); err != ErrNoMonitor {
+		t.Errorf("err = %v, want ErrNoMonitor", err)
+	}
+}
+
+func TestSafetyMonitorDirect(t *testing.T) {
+	m := Monitor(NewSafetyMonitor(true))
+	step := func(a ioa.Action) *Violation {
+		var v *Violation
+		m, v = m.Step(a)
+		return v
+	}
+	if v := step(ioa.SendMsg(ioa.TR, "a")); v != nil {
+		t.Fatalf("send flagged: %s", v)
+	}
+	if v := step(ioa.ReceiveMsg(ioa.TR, "ghost")); v == nil || v.Property != "DL5" {
+		t.Fatalf("spurious delivery not flagged: %v", v)
+	}
+	if v := step(ioa.ReceiveMsg(ioa.TR, "a")); v != nil {
+		t.Fatalf("legal delivery flagged: %s", v)
+	}
+	if v := step(ioa.ReceiveMsg(ioa.TR, "a")); v == nil || v.Property != "DL4" {
+		t.Fatalf("duplicate delivery not flagged: %v", v)
+	}
+	// FIFO violation: send b then c, deliver c then b.
+	step(ioa.SendMsg(ioa.TR, "b"))
+	step(ioa.SendMsg(ioa.TR, "c"))
+	if v := step(ioa.ReceiveMsg(ioa.TR, "c")); v != nil {
+		t.Fatalf("gap delivery flagged by DL6 monitor: %s", v)
+	}
+	if v := step(ioa.ReceiveMsg(ioa.TR, "b")); v == nil || v.Property != "DL6" {
+		t.Fatalf("reordered delivery not flagged: %v", v)
+	}
+	// Wake/fail actions are ignored by the monitor.
+	if v := step(ioa.Wake(ioa.TR)); v != nil {
+		t.Fatalf("wake flagged: %s", v)
+	}
+}
+
+func TestMonitorFingerprintDistinguishesStates(t *testing.T) {
+	a := Monitor(NewSafetyMonitor(false))
+	b := Monitor(NewSafetyMonitor(false))
+	a, _ = a.Step(ioa.SendMsg(ioa.TR, "x"))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("monitor fingerprint ignores sent set")
+	}
+	b, _ = b.Step(ioa.SendMsg(ioa.TR, "x"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal monitor states have different fingerprints")
+	}
+}

@@ -1,0 +1,11 @@
+package explore
+
+import "repro/internal/ioa"
+
+// Small constructors shared by the explore tests.
+
+func trDir() ioa.Dir { return ioa.TR }
+
+func sendPkt(id uint64) ioa.Action {
+	return ioa.SendPkt(ioa.TR, ioa.Packet{ID: id, Header: "h", Payload: "m"})
+}

@@ -1,0 +1,100 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// mplSearch runs the bounded search for Go-Back-N mod n over non-FIFO
+// channels whose packets expire after l subsequent sends (the footnote-1
+// maximum-packet-lifetime assumption).
+func mplSearch(t *testing.T, n, l int) *Result {
+	t.Helper()
+	sys, err := core.NewSystem(protocol.NewGoBackN(n, 1), false,
+		core.WithChannelOptions(channel.WithMaxLifetime(l)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wrap-around counterexamples found by TestExplorerFindsReorderingBug
+	// need about 5 steps per message plus slack, so this depth suffices to
+	// find every unsafe cell while keeping the safe cells' exhaustive
+	// certificates tractable.
+	res, err := BFS(sys, Config{
+		Inputs:       pool(n + 1), // enough messages to wrap the sequence space
+		Monitor:      NewSafetyMonitor(false),
+		MaxDepth:     6*(n+1) + 4,
+		MaxInTransit: l + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestE12LifetimeThreshold is experiment E12, the footnote-1 claim made
+// precise by search: over arbitrarily-reordering channels, a bounded
+// lifetime L (in sends) makes bounded sequence numbers safe once the
+// modulus exceeds the lifetime — stale packets die before the sequence
+// space can wrap — while L ≥ n stays unsafe. The explorer maps the
+// threshold exactly.
+func TestE12LifetimeThreshold(t *testing.T) {
+	type cell struct {
+		n, l     int
+		wantSafe bool
+	}
+	// The exhaustive grid is kept where tractable (n ≤ 3): the threshold
+	// shape — safe exactly when n > L — is fully visible there, and the
+	// n = 4 cells exceed the default state budget in both directions.
+	grid := []cell{
+		{2, 1, true}, {2, 2, false}, {2, 3, false},
+		{3, 1, true}, {3, 2, true}, {3, 3, false},
+	}
+	for _, c := range grid {
+		c := c
+		res := mplSearch(t, c.n, c.l)
+		safe := res.Violation == nil
+		if safe && !res.Exhausted {
+			t.Errorf("n=%d L=%d: inconclusive (state budget exceeded)", c.n, c.l)
+			continue
+		}
+		if safe != c.wantSafe {
+			detail := "no violation"
+			if !safe {
+				detail = res.Violation.String()
+			}
+			t.Errorf("n=%d L=%d: safe=%v want %v (%s, %d states)", c.n, c.l, safe, c.wantSafe, detail, res.StatesExplored)
+			continue
+		}
+		t.Logf("n=%d L=%d: safe=%v (%d states, exhausted=%t)", c.n, c.l, safe, res.StatesExplored, res.Exhausted)
+	}
+}
+
+// TestLifetimeChannelExpiry unit-tests the WithMaxLifetime channel option
+// directly.
+func TestLifetimeChannelExpiry(t *testing.T) {
+	c := channel.NewPermissive(
+		// direction t→r with lifetime 2
+		trDir(), channel.WithMaxLifetime(2))
+	st := c.Start()
+	var err error
+	send := func(id uint64) {
+		t.Helper()
+		st, err = c.Step(st, sendPkt(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1)
+	send(2)
+	if got := st.(channel.State).InTransit(); len(got) != 2 {
+		t.Fatalf("in transit = %v, want both", got)
+	}
+	send(3)
+	got := st.(channel.State).InTransit()
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Fatalf("after third send, packet 1 should have expired: %v", got)
+	}
+}

@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// This file provides the standard safety monitors: online versions of the
+// safety fragments of the data link specification ((DL4), (DL5), (DL6))
+// that the explorer checks on every path. Liveness ((DL8)) is not a safety
+// property and cannot be refuted on a prefix, so exploration targets the
+// duplicate/spurious/reordering failures — which is exactly what the
+// impossibility constructions produce.
+
+// msgSet is an immutable string-set building block for monitor states.
+type msgSet struct {
+	members map[ioa.Message]bool
+}
+
+func (s msgSet) with(m ioa.Message) msgSet {
+	next := make(map[ioa.Message]bool, len(s.members)+1)
+	for k := range s.members {
+		next[k] = true
+	}
+	next[m] = true
+	return msgSet{members: next}
+}
+
+func (s msgSet) has(m ioa.Message) bool { return s.members[m] }
+
+func (s msgSet) fingerprint() string {
+	keys := make([]string, 0, len(s.members))
+	for k := range s.members {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, ",") + "}"
+}
+
+// SafetyMonitor checks (DL4) no duplicate delivery, (DL5) no spurious
+// delivery, and optionally (DL6) FIFO delivery order, over the external
+// actions of D'(A). The zero value is NOT ready to use; construct with
+// NewSafetyMonitor.
+type SafetyMonitor struct {
+	checkFIFO bool
+	sent      msgSet
+	delivered msgSet
+	// sendOrder and nextDeliver implement the FIFO check: each message's
+	// send position, and the position of the most recent delivery.
+	sendOrder   map[ioa.Message]int
+	sendCount   int
+	lastDeliver int
+}
+
+var _ Monitor = SafetyMonitor{}
+
+// NewSafetyMonitor returns a monitor for DL4 and DL5, plus DL6 when
+// checkFIFO is set.
+func NewSafetyMonitor(checkFIFO bool) SafetyMonitor {
+	return SafetyMonitor{checkFIFO: checkFIFO, lastDeliver: -1}
+}
+
+// Step observes an external data link action.
+func (m SafetyMonitor) Step(a ioa.Action) (Monitor, *Violation) {
+	switch a.Kind {
+	case ioa.KindSendMsg:
+		next := m
+		next.sent = m.sent.with(a.Msg)
+		if m.checkFIFO {
+			so := make(map[ioa.Message]int, len(m.sendOrder)+1)
+			for k, v := range m.sendOrder {
+				so[k] = v
+			}
+			if _, dup := so[a.Msg]; !dup {
+				so[a.Msg] = m.sendCount
+			}
+			next.sendOrder = so
+			next.sendCount = m.sendCount + 1
+		}
+		return next, nil
+	case ioa.KindReceiveMsg:
+		if m.delivered.has(a.Msg) {
+			return m, &Violation{Property: "DL4", Detail: fmt.Sprintf("message %q delivered twice", string(a.Msg))}
+		}
+		if !m.sent.has(a.Msg) {
+			return m, &Violation{Property: "DL5", Detail: fmt.Sprintf("message %q delivered but never sent", string(a.Msg))}
+		}
+		next := m
+		next.delivered = m.delivered.with(a.Msg)
+		if m.checkFIFO {
+			pos, ok := m.sendOrder[a.Msg]
+			if ok && pos <= m.lastDeliver {
+				return m, &Violation{Property: "DL6", Detail: fmt.Sprintf("message %q delivered out of send order", string(a.Msg))}
+			}
+			next.lastDeliver = pos
+		}
+		return next, nil
+	default:
+		return m, nil
+	}
+}
+
+// Fingerprint encodes the monitor state for deduplication.
+func (m SafetyMonitor) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("sent=")
+	b.WriteString(m.sent.fingerprint())
+	b.WriteString(" del=")
+	b.WriteString(m.delivered.fingerprint())
+	if m.checkFIFO {
+		fmt.Fprintf(&b, " last=%d", m.lastDeliver)
+	}
+	return b.String()
+}

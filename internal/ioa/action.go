@@ -1,0 +1,205 @@
+// Package ioa implements the input/output automaton model of Lynch and
+// Tuttle [LT87] as used by Lynch, Mansour and Fekete in "The Data Link
+// Layer: Two Impossibility Results" (MIT/LCS/TM-355, 1988).
+//
+// The package provides actions and action signatures (Section 2.1 of the
+// paper), automata (Section 2.2), executions, schedules and behaviors,
+// composition (Section 2.5) and output hiding (Section 2.6). The action
+// alphabet is specialised to the paper's physical-layer and data-link-layer
+// actions: send_msg, receive_msg, send_pkt, receive_pkt, wake, fail and
+// crash, all parameterised by a direction (an ordered pair of station
+// names), plus named internal actions.
+package ioa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Station names an endpoint of a link. The paper uses t (transmitting
+// station) and r (receiving station).
+type Station string
+
+// Canonical station names used throughout the repository.
+const (
+	T Station = "t"
+	R Station = "r"
+)
+
+// Other returns the opposite endpoint: the paper's x̄ with x ∈ {t, r}.
+func (s Station) Other() Station {
+	if s == T {
+		return R
+	}
+	return T
+}
+
+// Dir is an ordered pair (from, to) of stations. Layer actions are
+// superscripted with a direction in the paper, e.g. send_pkt^{t,r}.
+type Dir struct {
+	From, To Station
+}
+
+// TR is the direction from the transmitting to the receiving station.
+var TR = Dir{From: T, To: R}
+
+// RT is the direction from the receiving to the transmitting station.
+var RT = Dir{From: R, To: T}
+
+// Rev returns the reverse direction.
+func (d Dir) Rev() Dir { return Dir{From: d.To, To: d.From} }
+
+// String renders the direction as the paper's superscript, e.g. "t,r".
+func (d Dir) String() string { return string(d.From) + "," + string(d.To) }
+
+// Kind identifies which of the paper's action families an Action belongs
+// to. The zero Kind is invalid so that uninitialised actions are caught.
+type Kind uint8
+
+// Action kinds, covering the data link layer interface (send_msg,
+// receive_msg), the physical layer interface (send_pkt, receive_pkt), the
+// medium status notifications (wake, fail), host crashes (crash) and named
+// internal actions.
+const (
+	KindInvalid Kind = iota
+	KindSendMsg
+	KindReceiveMsg
+	KindSendPkt
+	KindReceivePkt
+	KindWake
+	KindFail
+	KindCrash
+	KindInternal
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:    "invalid",
+	KindSendMsg:    "send_msg",
+	KindReceiveMsg: "receive_msg",
+	KindSendPkt:    "send_pkt",
+	KindReceivePkt: "receive_pkt",
+	KindWake:       "wake",
+	KindFail:       "fail",
+	KindCrash:      "crash",
+	KindInternal:   "internal",
+}
+
+// String returns the paper's name for the action family.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is an element of the paper's fixed infinite alphabet M. Strings
+// give an effectively infinite alphabet; fresh messages are minted by
+// never reusing a string.
+type Message string
+
+// Header is the information in a packet that a message-independent data
+// link protocol is allowed to inspect. Packets with equal headers are
+// equivalent under the paper's packet equivalence relation (Section 5.3.1,
+// footnote 4): headers(A, ≡) is the set of distinct Header values the
+// protocol can emit.
+type Header string
+
+// Packet is an element of the paper's fixed alphabet P. Property (PL2)
+// requires each packet sent on a channel to be unique; the ID field is the
+// unique label the paper describes as "included in the model for ease of
+// analysis" — it does not correspond to bits on the transmission medium,
+// and protocols must not branch on it. Header carries the protocol's
+// control information; Payload carries the (possibly empty) message.
+type Packet struct {
+	// ID uniquely identifies this packet among all packets ever sent in an
+	// execution. It exists purely so that (PL2)-(PL4) can be stated and
+	// checked; message-independent protocols ignore it.
+	ID uint64
+	// Header is the bounded- or unbounded-header control information.
+	Header Header
+	// Payload is the message carried by a data packet; empty for pure
+	// control packets such as acknowledgements.
+	Payload Message
+}
+
+// String renders the packet as id:header/payload.
+func (p Packet) String() string {
+	if p.Payload == "" {
+		return fmt.Sprintf("#%d[%s]", p.ID, p.Header)
+	}
+	return fmt.Sprintf("#%d[%s|%s]", p.ID, p.Header, p.Payload)
+}
+
+// Action is a particular action of the universal action set. Exactly one
+// of Msg, Pkt or Name is meaningful, depending on Kind; wake, fail and
+// crash carry only a direction.
+type Action struct {
+	Kind Kind
+	// Dir is the direction superscript. For crash it follows the paper's
+	// convention: crash^{t,r} reports a transmitting-station crash and
+	// crash^{r,t} a receiving-station crash.
+	Dir Dir
+	// Msg is the message parameter of send_msg and receive_msg actions.
+	Msg Message
+	// Pkt is the packet parameter of send_pkt and receive_pkt actions.
+	Pkt Packet
+	// Name qualifies internal actions; it should be prefixed with the
+	// owning automaton's name to keep composed signatures disjoint.
+	Name string
+}
+
+// SendMsg returns the data-link input action send_msg^{d}(m).
+func SendMsg(d Dir, m Message) Action { return Action{Kind: KindSendMsg, Dir: d, Msg: m} }
+
+// ReceiveMsg returns the data-link output action receive_msg^{d}(m).
+func ReceiveMsg(d Dir, m Message) Action { return Action{Kind: KindReceiveMsg, Dir: d, Msg: m} }
+
+// SendPkt returns the physical-layer input action send_pkt^{d}(p).
+func SendPkt(d Dir, p Packet) Action { return Action{Kind: KindSendPkt, Dir: d, Pkt: p} }
+
+// ReceivePkt returns the physical-layer output action receive_pkt^{d}(p).
+func ReceivePkt(d Dir, p Packet) Action { return Action{Kind: KindReceivePkt, Dir: d, Pkt: p} }
+
+// Wake returns the medium-active notification wake^{d}.
+func Wake(d Dir) Action { return Action{Kind: KindWake, Dir: d} }
+
+// Fail returns the medium-inactive notification fail^{d}.
+func Fail(d Dir) Action { return Action{Kind: KindFail, Dir: d} }
+
+// Crash returns the host-crash notification crash^{d}.
+func Crash(d Dir) Action { return Action{Kind: KindCrash, Dir: d} }
+
+// Internal returns a named internal action.
+func Internal(name string) Action { return Action{Kind: KindInternal, Name: name} }
+
+// String renders the action in the paper's notation.
+func (a Action) String() string {
+	switch a.Kind {
+	case KindSendMsg, KindReceiveMsg:
+		return fmt.Sprintf("%s^{%s}(%q)", a.Kind, a.Dir, string(a.Msg))
+	case KindSendPkt, KindReceivePkt:
+		return fmt.Sprintf("%s^{%s}(%s)", a.Kind, a.Dir, a.Pkt)
+	case KindWake, KindFail, KindCrash:
+		return fmt.Sprintf("%s^{%s}", a.Kind, a.Dir)
+	case KindInternal:
+		return fmt.Sprintf("internal(%s)", a.Name)
+	default:
+		return "invalid-action"
+	}
+}
+
+// IsLayerAction reports whether the action belongs to the physical or data
+// link layer alphabets (i.e. is not internal or invalid).
+func (a Action) IsLayerAction() bool {
+	return a.Kind >= KindSendMsg && a.Kind <= KindCrash
+}
+
+// FormatSchedule renders a sequence of actions one per line, for human
+// inspection of constructed executions.
+func FormatSchedule(actions []Action) string {
+	var b strings.Builder
+	for i, a := range actions {
+		fmt.Fprintf(&b, "%4d  %s\n", i+1, a)
+	}
+	return b.String()
+}

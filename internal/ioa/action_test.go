@@ -1,0 +1,149 @@
+package ioa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStationOther(t *testing.T) {
+	if T.Other() != R {
+		t.Errorf("T.Other() = %s, want %s", T.Other(), R)
+	}
+	if R.Other() != T {
+		t.Errorf("R.Other() = %s, want %s", R.Other(), T)
+	}
+}
+
+func TestDirRev(t *testing.T) {
+	if TR.Rev() != RT {
+		t.Errorf("TR.Rev() = %v, want %v", TR.Rev(), RT)
+	}
+	if RT.Rev() != TR {
+		t.Errorf("RT.Rev() = %v, want %v", RT.Rev(), TR)
+	}
+	if TR.Rev().Rev() != TR {
+		t.Error("Rev is not an involution")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if got := TR.String(); got != "t,r" {
+		t.Errorf("TR.String() = %q, want %q", got, "t,r")
+	}
+	if got := RT.String(); got != "r,t" {
+		t.Errorf("RT.String() = %q, want %q", got, "r,t")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindSendMsg, "send_msg"},
+		{KindReceiveMsg, "receive_msg"},
+		{KindSendPkt, "send_pkt"},
+		{KindReceivePkt, "receive_pkt"},
+		{KindWake, "wake"},
+		{KindFail, "fail"},
+		{KindCrash, "crash"},
+		{KindInternal, "internal"},
+		{KindInvalid, "invalid"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestActionConstructors(t *testing.T) {
+	pkt := Packet{ID: 7, Header: "data/0", Payload: "hello"}
+	tests := []struct {
+		name     string
+		action   Action
+		wantKind Kind
+		wantDir  Dir
+	}{
+		{"SendMsg", SendMsg(TR, "m"), KindSendMsg, TR},
+		{"ReceiveMsg", ReceiveMsg(TR, "m"), KindReceiveMsg, TR},
+		{"SendPkt", SendPkt(TR, pkt), KindSendPkt, TR},
+		{"ReceivePkt", ReceivePkt(RT, pkt), KindReceivePkt, RT},
+		{"Wake", Wake(TR), KindWake, TR},
+		{"Fail", Fail(RT), KindFail, RT},
+		{"Crash", Crash(TR), KindCrash, TR},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.action.Kind != tt.wantKind {
+				t.Errorf("kind = %v, want %v", tt.action.Kind, tt.wantKind)
+			}
+			if tt.action.Dir != tt.wantDir {
+				t.Errorf("dir = %v, want %v", tt.action.Dir, tt.wantDir)
+			}
+			if !tt.action.IsLayerAction() {
+				t.Error("expected a layer action")
+			}
+		})
+	}
+}
+
+func TestInternalAction(t *testing.T) {
+	a := Internal("lose^{t,r}")
+	if a.Kind != KindInternal || a.Name != "lose^{t,r}" {
+		t.Errorf("Internal() = %+v", a)
+	}
+	if a.IsLayerAction() {
+		t.Error("internal actions are not layer actions")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	tests := []struct {
+		action Action
+		want   string
+	}{
+		{SendMsg(TR, "m1"), `send_msg^{t,r}("m1")`},
+		{Wake(RT), "wake^{r,t}"},
+		{SendPkt(TR, Packet{ID: 3, Header: "ack/1"}), "send_pkt^{t,r}(#3[ack/1])"},
+		{ReceivePkt(TR, Packet{ID: 4, Header: "data/0", Payload: "x"}), "receive_pkt^{t,r}(#4[data/0|x])"},
+		{Internal("tick"), "internal(tick)"},
+		{Action{}, "invalid-action"},
+	}
+	for _, tt := range tests {
+		if got := tt.action.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	if got := (Packet{ID: 1, Header: "syn/0"}).String(); got != "#1[syn/0]" {
+		t.Errorf("control packet String() = %q", got)
+	}
+	if got := (Packet{ID: 2, Header: "data/1", Payload: "m"}).String(); got != "#2[data/1|m]" {
+		t.Errorf("data packet String() = %q", got)
+	}
+}
+
+func TestFormatSchedule(t *testing.T) {
+	out := FormatSchedule([]Action{Wake(TR), SendMsg(TR, "a")})
+	if !strings.Contains(out, "1  wake^{t,r}") || !strings.Contains(out, `2  send_msg^{t,r}("a")`) {
+		t.Errorf("FormatSchedule output unexpected:\n%s", out)
+	}
+}
+
+func TestStationOtherInvolution(t *testing.T) {
+	f := func(b bool) bool {
+		s := T
+		if b {
+			s = R
+		}
+		return s.Other().Other() == s && s.Other() != s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

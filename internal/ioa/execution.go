@@ -1,0 +1,131 @@
+package ioa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schedule is a finite sequence of actions: the paper's sched(α) for an
+// execution α, or a schedule of a schedule module.
+type Schedule []Action
+
+// Project returns β|S: the subsequence of actions belonging to the
+// signature (the paper's β|A for an automaton A with signature S).
+func (s Schedule) Project(sig Signature) Schedule {
+	var out Schedule
+	for _, a := range s {
+		if sig.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Behavior returns beh(β) with respect to the signature: the subsequence
+// of external actions.
+func (s Schedule) Behavior(sig Signature) Schedule {
+	var out Schedule
+	for _, a := range s {
+		if sig.ContainsExternal(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Inputs returns the subsequence of actions that are inputs of the
+// signature: β|in(S).
+func (s Schedule) Inputs(sig Signature) Schedule {
+	var out Schedule
+	for _, a := range s {
+		if sig.ContainsInput(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the schedule; schedules handed across package
+// boundaries are copied per the style guide.
+func (s Schedule) Clone() Schedule {
+	return append(Schedule(nil), s...)
+}
+
+// String renders the schedule space-separated.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Execution is a finite execution fragment s0 π1 s1 ... πn sn of an
+// automaton: alternating states and actions with len(States) ==
+// len(Actions)+1. An Execution beginning with the automaton's start state
+// is an execution proper (Section 2.2).
+type Execution struct {
+	States  []State
+	Actions []Action
+}
+
+// NewExecution returns an execution fragment consisting of the single
+// state s.
+func NewExecution(s State) *Execution {
+	return &Execution{States: []State{s}}
+}
+
+// Len returns the number of steps (actions) in the execution.
+func (e *Execution) Len() int { return len(e.Actions) }
+
+// Last returns the final state.
+func (e *Execution) Last() State { return e.States[len(e.States)-1] }
+
+// Append extends the execution with one step (a, s).
+func (e *Execution) Append(a Action, s State) {
+	e.Actions = append(e.Actions, a)
+	e.States = append(e.States, s)
+}
+
+// Schedule returns sched(e): the action subsequence.
+func (e *Execution) Schedule() Schedule {
+	return Schedule(e.Actions).Clone()
+}
+
+// Behavior returns beh(e) with respect to the given signature.
+func (e *Execution) Behavior(sig Signature) Schedule {
+	return Schedule(e.Actions).Behavior(sig)
+}
+
+// Validate checks that the execution is structurally well formed and that
+// every step (s_i, π_{i+1}, s_{i+1}) is a step of m, by replaying it.
+func (e *Execution) Validate(m Automaton) error {
+	if len(e.States) != len(e.Actions)+1 {
+		return fmt.Errorf("ioa: execution has %d states for %d actions", len(e.States), len(e.Actions))
+	}
+	for i, a := range e.Actions {
+		next, err := m.Step(e.States[i], a)
+		if err != nil {
+			return fmt.Errorf("ioa: step %d (%s): %w", i+1, a, err)
+		}
+		if !StatesEqual(next, e.States[i+1]) {
+			return fmt.Errorf("ioa: step %d (%s): recorded successor %s differs from computed %s",
+				i+1, a, e.States[i+1].Fingerprint(), next.Fingerprint())
+		}
+	}
+	return nil
+}
+
+// StateAt returns the state after the first k steps (StateAt(0) is the
+// initial state of the fragment). It panics if k is out of range, as this
+// always indicates a caller bug.
+func (e *Execution) StateAt(k int) State { return e.States[k] }
+
+// Prefix returns the execution consisting of the first k steps. The
+// returned execution shares no backing arrays with e.
+func (e *Execution) Prefix(k int) *Execution {
+	return &Execution{
+		States:  append([]State(nil), e.States[:k+1]...),
+		Actions: append([]Action(nil), e.Actions[:k]...),
+	}
+}

@@ -1,0 +1,36 @@
+package ioa
+
+import "fmt"
+
+// IsFairFinite decides whether a finite execution of m is fair (Section
+// 2.2): a finite execution is fair exactly when no action of any class of
+// part(A) is enabled in its final state — i.e. the system has quiesced.
+// (For infinite executions fairness requires infinitely many turns per
+// continuously-enabled class; the sim package's round-robin scheduler
+// realises that on prefixes, and this predicate certifies the finite
+// case.) It returns nil for a fair execution and an error naming an
+// enabled class otherwise.
+func IsFairFinite(m Automaton, e *Execution) error {
+	enabled := m.Enabled(e.Last())
+	if len(enabled) == 0 {
+		return nil
+	}
+	a := enabled[0]
+	return fmt.Errorf("ioa: finite execution of %s is not fair: class %q still enabled (e.g. %s)",
+		m.Name(), m.ClassOf(a), a)
+}
+
+// EnabledClasses returns the fairness classes with at least one enabled
+// action in state s, deduplicated in first-seen order.
+func EnabledClasses(m Automaton, s State) []Class {
+	var out []Class
+	seen := map[Class]bool{}
+	for _, a := range m.Enabled(s) {
+		c := m.ClassOf(a)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package ioa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsFairFinite(t *testing.T) {
+	comp, err := Compose("pair", echo{}, sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiescent: fair.
+	exec := NewExecution(comp.Start())
+	if err := IsFairFinite(comp, exec); err != nil {
+		t.Errorf("quiescent execution judged unfair: %v", err)
+	}
+	// After a send_msg the echo class is enabled: not fair if we stop.
+	st, err := comp.Step(comp.Start(), SendMsg(TR, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Append(SendMsg(TR, "a"), st)
+	err = IsFairFinite(comp, exec)
+	if err == nil {
+		t.Fatal("execution with an enabled class judged fair")
+	}
+	if !strings.Contains(err.Error(), "echo/echo") {
+		t.Errorf("error should name the starved class: %v", err)
+	}
+	// Performing the enabled action restores fairness.
+	st2, err := comp.Step(st, ReceiveMsg(TR, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Append(ReceiveMsg(TR, "a"), st2)
+	if err := IsFairFinite(comp, exec); err != nil {
+		t.Errorf("quiescent extension judged unfair: %v", err)
+	}
+}
+
+func TestEnabledClasses(t *testing.T) {
+	comp, err := Compose("pair", echo{}, sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls := EnabledClasses(comp, comp.Start()); len(cls) != 0 {
+		t.Errorf("start state has enabled classes: %v", cls)
+	}
+	st, err := comp.Step(comp.Start(), SendMsg(TR, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := EnabledClasses(comp, st)
+	if len(cls) != 1 || cls[0] != "echo/echo" {
+		t.Errorf("EnabledClasses = %v", cls)
+	}
+}

@@ -1,0 +1,52 @@
+package ioa
+
+// Hidden is hide_Φ(A): identical to the wrapped automaton except that the
+// output patterns in Φ are reclassified as internal (Section 2.6). In the
+// paper's data-link correctness definition, Φ is the set of send_pkt and
+// receive_pkt actions of the composed system.
+type Hidden struct {
+	inner Automaton
+	sig   Signature
+}
+
+var _ Automaton = (*Hidden)(nil)
+
+// Hide wraps a with the output patterns phi made internal.
+func Hide(a Automaton, phi []Pattern) *Hidden {
+	return &Hidden{inner: a, sig: a.Signature().Hide(phi)}
+}
+
+// HidePacketActions returns the Φ used throughout the paper: all send_pkt
+// and receive_pkt patterns in both directions.
+func HidePacketActions() []Pattern {
+	return []Pattern{
+		{Kind: KindSendPkt, Dir: TR},
+		{Kind: KindReceivePkt, Dir: TR},
+		{Kind: KindSendPkt, Dir: RT},
+		{Kind: KindReceivePkt, Dir: RT},
+	}
+}
+
+// Name returns the inner automaton's name.
+func (h *Hidden) Name() string { return h.inner.Name() }
+
+// Signature returns the hidden signature.
+func (h *Hidden) Signature() Signature { return h.sig }
+
+// Inner returns the wrapped automaton.
+func (h *Hidden) Inner() Automaton { return h.inner }
+
+// Start returns the inner start state.
+func (h *Hidden) Start() State { return h.inner.Start() }
+
+// Step delegates to the inner automaton; hiding changes only the signature.
+func (h *Hidden) Step(s State, a Action) (State, error) { return h.inner.Step(s, a) }
+
+// Enabled delegates to the inner automaton.
+func (h *Hidden) Enabled(s State) []Action { return h.inner.Enabled(s) }
+
+// ClassOf delegates to the inner automaton.
+func (h *Hidden) ClassOf(a Action) Class { return h.inner.ClassOf(a) }
+
+// Classes delegates to the inner automaton.
+func (h *Hidden) Classes() []Class { return h.inner.Classes() }

@@ -1,0 +1,170 @@
+package ioa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genAction derives a pseudo-random layer action from a seed byte.
+func genAction(b byte) Action {
+	dirs := []Dir{TR, RT}
+	d := dirs[int(b)%2]
+	switch (b / 2) % 7 {
+	case 0:
+		return SendMsg(d, Message(string(rune('a'+b%5))))
+	case 1:
+		return ReceiveMsg(d, Message(string(rune('a'+b%5))))
+	case 2:
+		return SendPkt(d, Packet{ID: uint64(b), Header: Header(string(rune('p' + b%3)))})
+	case 3:
+		return ReceivePkt(d, Packet{ID: uint64(b), Header: Header(string(rune('p' + b%3)))})
+	case 4:
+		return Wake(d)
+	case 5:
+		return Fail(d)
+	default:
+		return Crash(d)
+	}
+}
+
+func genSchedule(seed int64, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Schedule, n)
+	for i := range out {
+		out[i] = genAction(byte(rng.Intn(256)))
+	}
+	return out
+}
+
+// TestProjectionIdempotent: β|A|A = β|A.
+func TestProjectionIdempotent(t *testing.T) {
+	sig := txSig()
+	f := func(seed int64, n uint8) bool {
+		beta := genSchedule(seed, int(n)%40)
+		once := beta.Project(sig)
+		twice := once.Project(sig)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBehaviorSubsetOfProjection: beh(β) w.r.t. a signature is the
+// external sub-subsequence of β|sig.
+func TestBehaviorSubsetOfProjection(t *testing.T) {
+	sig := txSig()
+	f := func(seed int64, n uint8) bool {
+		beta := genSchedule(seed, int(n)%40)
+		beh := beta.Behavior(sig)
+		proj := beta.Project(sig)
+		// beh must equal proj filtered to external actions.
+		var expect Schedule
+		for _, a := range proj {
+			if sig.ContainsExternal(a) {
+				expect = append(expect, a)
+			}
+		}
+		if len(beh) != len(expect) {
+			return false
+		}
+		for i := range beh {
+			if beh[i] != expect[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHideIdempotent: hiding the same patterns twice equals hiding once.
+func TestHideIdempotent(t *testing.T) {
+	comp, err := ComposeSignatures(txSig(), chanSig(TR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := HidePacketActions()
+	once := comp.Hide(phi)
+	twice := once.Hide(phi)
+	if once.String() != twice.String() {
+		t.Errorf("hide not idempotent:\n%s\n%s", once, twice)
+	}
+}
+
+// TestHidePreservesActs: hiding never changes acts(S), only the
+// classification of actions.
+func TestHidePreservesActs(t *testing.T) {
+	comp, err := ComposeSignatures(txSig(), chanSig(TR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := comp.Hide(HidePacketActions())
+	f := func(b byte) bool {
+		a := genAction(b)
+		return comp.Contains(a) == hidden.Contains(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompositionActsIsUnion: an action is in acts(ΠSᵢ) iff it is in some
+// acts(Sᵢ).
+func TestCompositionActsIsUnion(t *testing.T) {
+	s1, s2 := txSig(), chanSig(TR)
+	comp, err := ComposeSignatures(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b byte) bool {
+		a := genAction(b)
+		return comp.Contains(a) == (s1.Contains(a) || s2.Contains(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompositionOutputsAreUnionOfOutputs and inputs are inputs-minus-
+// outputs (Section 2.5.1).
+func TestCompositionClassification(t *testing.T) {
+	s1, s2 := txSig(), chanSig(TR)
+	comp, err := ComposeSignatures(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b byte) bool {
+		a := genAction(b)
+		wantOut := s1.ContainsOutput(a) || s2.ContainsOutput(a)
+		wantIn := (s1.ContainsInput(a) || s2.ContainsInput(a)) && !wantOut
+		return comp.ContainsOutput(a) == wantOut && comp.ContainsInput(a) == wantIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneIndependence: mutating a clone never affects the original.
+func TestCloneIndependence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		beta := genSchedule(seed, int(n)%20+1)
+		clone := beta.Clone()
+		clone[0] = Wake(TR)
+		return beta[0] == genSchedule(seed, int(n)%20+1)[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

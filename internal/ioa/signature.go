@@ -1,0 +1,199 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern denotes a (possibly infinite) family of actions sharing a kind
+// and direction: e.g. all send_pkt^{t,r}(p) for p ∈ P. Internal actions are
+// matched by Name. Signatures are finite sets of patterns even though the
+// underlying action sets are infinite (parameterised by messages/packets).
+type Pattern struct {
+	Kind Kind
+	Dir  Dir
+	// Name matches internal actions exactly. An empty Name with
+	// KindInternal matches no action (internal actions are always named).
+	Name string
+}
+
+// Matches reports whether action a belongs to the pattern's family.
+func (p Pattern) Matches(a Action) bool {
+	if p.Kind != a.Kind {
+		return false
+	}
+	if p.Kind == KindInternal {
+		return p.Name != "" && p.Name == a.Name
+	}
+	return p.Dir == a.Dir
+}
+
+// String renders the pattern in the paper's notation with the parameter
+// elided, e.g. "send_pkt^{t,r}".
+func (p Pattern) String() string {
+	if p.Kind == KindInternal {
+		return fmt.Sprintf("internal(%s)", p.Name)
+	}
+	return fmt.Sprintf("%s^{%s}", p.Kind, p.Dir)
+}
+
+// Signature is an action signature S = (in(S), out(S), int(S)): an ordered
+// triple of pairwise-disjoint action families (Section 2.1).
+type Signature struct {
+	In  []Pattern
+	Out []Pattern
+	Int []Pattern
+}
+
+// ErrIncompatible is returned when composing signatures that are not
+// strongly compatible (Section 2.5.1).
+var ErrIncompatible = errors.New("ioa: signatures not strongly compatible")
+
+func containsPattern(ps []Pattern, q Pattern) bool {
+	for _, p := range ps {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+func matchAny(ps []Pattern, a Action) bool {
+	for _, p := range ps {
+		if p.Matches(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsInput reports whether a is an input action of the signature.
+func (s Signature) ContainsInput(a Action) bool { return matchAny(s.In, a) }
+
+// ContainsOutput reports whether a is an output action of the signature.
+func (s Signature) ContainsOutput(a Action) bool { return matchAny(s.Out, a) }
+
+// ContainsInternal reports whether a is an internal action of the signature.
+func (s Signature) ContainsInternal(a Action) bool { return matchAny(s.Int, a) }
+
+// Contains reports whether a ∈ acts(S).
+func (s Signature) Contains(a Action) bool {
+	return s.ContainsInput(a) || s.ContainsOutput(a) || s.ContainsInternal(a)
+}
+
+// ContainsExternal reports whether a ∈ ext(S) = in(S) ∪ out(S).
+func (s Signature) ContainsExternal(a Action) bool {
+	return s.ContainsInput(a) || s.ContainsOutput(a)
+}
+
+// ContainsLocal reports whether a ∈ local(S) = out(S) ∪ int(S), the
+// locally-controlled actions.
+func (s Signature) ContainsLocal(a Action) bool {
+	return s.ContainsOutput(a) || s.ContainsInternal(a)
+}
+
+// Validate checks that the three component sets are pairwise disjoint.
+func (s Signature) Validate() error {
+	for _, p := range s.In {
+		if containsPattern(s.Out, p) || containsPattern(s.Int, p) {
+			return fmt.Errorf("ioa: pattern %s appears in more than one signature component", p)
+		}
+	}
+	for _, p := range s.Out {
+		if containsPattern(s.Int, p) {
+			return fmt.Errorf("ioa: pattern %s appears in more than one signature component", p)
+		}
+	}
+	return nil
+}
+
+// External reports whether the signature has no internal actions.
+func (s Signature) External() bool { return len(s.Int) == 0 }
+
+// CompatibleSignatures reports whether the signatures are strongly
+// compatible: no shared outputs, and no internal action of one appearing in
+// another (Section 2.5.1). The third condition (no action in infinitely
+// many signatures) is vacuous for finite collections.
+func CompatibleSignatures(sigs ...Signature) error {
+	for i := range sigs {
+		for j := range sigs {
+			if i == j {
+				continue
+			}
+			for _, p := range sigs[i].Out {
+				if containsPattern(sigs[j].Out, p) {
+					return fmt.Errorf("%w: output %s shared by two components", ErrIncompatible, p)
+				}
+			}
+			for _, p := range sigs[i].Int {
+				if containsPattern(sigs[j].In, p) || containsPattern(sigs[j].Out, p) || containsPattern(sigs[j].Int, p) {
+					return fmt.Errorf("%w: internal action %s appears in another component", ErrIncompatible, p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ComposeSignatures returns the composition of strongly compatible
+// signatures: outputs are the union of component outputs, internal actions
+// the union of component internals, and inputs are component inputs that
+// are outputs of no component (Section 2.5.1).
+func ComposeSignatures(sigs ...Signature) (Signature, error) {
+	if err := CompatibleSignatures(sigs...); err != nil {
+		return Signature{}, err
+	}
+	var out, in, internal []Pattern
+	for _, s := range sigs {
+		for _, p := range s.Out {
+			if !containsPattern(out, p) {
+				out = append(out, p)
+			}
+		}
+		for _, p := range s.Int {
+			if !containsPattern(internal, p) {
+				internal = append(internal, p)
+			}
+		}
+	}
+	for _, s := range sigs {
+		for _, p := range s.In {
+			if !containsPattern(out, p) && !containsPattern(in, p) {
+				in = append(in, p)
+			}
+		}
+	}
+	return Signature{In: in, Out: out, Int: internal}, nil
+}
+
+// Hide returns the signature with the given output patterns reclassified
+// as internal (Section 2.6). Patterns not currently outputs are ignored.
+func (s Signature) Hide(phi []Pattern) Signature {
+	res := Signature{
+		In:  append([]Pattern(nil), s.In...),
+		Int: append([]Pattern(nil), s.Int...),
+	}
+	for _, p := range s.Out {
+		if containsPattern(phi, p) {
+			res.Int = append(res.Int, p)
+		} else {
+			res.Out = append(res.Out, p)
+		}
+	}
+	return res
+}
+
+// String renders the signature's components sorted for stable output.
+func (s Signature) String() string {
+	part := func(label string, ps []Pattern) string {
+		names := make([]string, len(ps))
+		for i, p := range ps {
+			names[i] = p.String()
+		}
+		sort.Strings(names)
+		return label + ": {" + strings.Join(names, ", ") + "}"
+	}
+	return part("in", s.In) + " " + part("out", s.Out) + " " + part("int", s.Int)
+}

@@ -1,0 +1,177 @@
+package ioa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func txSig() Signature {
+	return Signature{
+		In: []Pattern{
+			{Kind: KindSendMsg, Dir: TR},
+			{Kind: KindReceivePkt, Dir: RT},
+			{Kind: KindWake, Dir: TR},
+			{Kind: KindFail, Dir: TR},
+			{Kind: KindCrash, Dir: TR},
+		},
+		Out: []Pattern{{Kind: KindSendPkt, Dir: TR}},
+	}
+}
+
+func chanSig(d Dir) Signature {
+	return Signature{
+		In: []Pattern{
+			{Kind: KindSendPkt, Dir: d},
+			{Kind: KindWake, Dir: d},
+			{Kind: KindFail, Dir: d},
+			{Kind: KindCrash, Dir: d},
+		},
+		Out: []Pattern{{Kind: KindReceivePkt, Dir: d}},
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	tests := []struct {
+		name    string
+		pattern Pattern
+		action  Action
+		want    bool
+	}{
+		{"kind+dir match", Pattern{Kind: KindSendPkt, Dir: TR}, SendPkt(TR, Packet{ID: 1}), true},
+		{"wrong dir", Pattern{Kind: KindSendPkt, Dir: TR}, SendPkt(RT, Packet{ID: 1}), false},
+		{"wrong kind", Pattern{Kind: KindSendPkt, Dir: TR}, ReceivePkt(TR, Packet{ID: 1}), false},
+		{"parameter ignored", Pattern{Kind: KindSendMsg, Dir: TR}, SendMsg(TR, "anything"), true},
+		{"internal by name", Pattern{Kind: KindInternal, Name: "x"}, Internal("x"), true},
+		{"internal wrong name", Pattern{Kind: KindInternal, Name: "x"}, Internal("y"), false},
+		{"internal empty name matches nothing", Pattern{Kind: KindInternal}, Internal(""), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pattern.Matches(tt.action); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSignatureMembership(t *testing.T) {
+	sig := txSig()
+	if !sig.ContainsInput(SendMsg(TR, "m")) {
+		t.Error("send_msg should be an input")
+	}
+	if !sig.ContainsOutput(SendPkt(TR, Packet{})) {
+		t.Error("send_pkt should be an output")
+	}
+	if sig.Contains(ReceiveMsg(TR, "m")) {
+		t.Error("receive_msg is not in the transmitter signature")
+	}
+	if !sig.ContainsExternal(SendPkt(TR, Packet{})) {
+		t.Error("outputs are external")
+	}
+	if !sig.ContainsLocal(SendPkt(TR, Packet{})) {
+		t.Error("outputs are locally controlled")
+	}
+	if sig.ContainsLocal(SendMsg(TR, "m")) {
+		t.Error("inputs are not locally controlled")
+	}
+	if !sig.External() {
+		t.Error("transmitter signature has no internal actions")
+	}
+}
+
+func TestSignatureValidateDisjoint(t *testing.T) {
+	bad := Signature{
+		In:  []Pattern{{Kind: KindWake, Dir: TR}},
+		Out: []Pattern{{Kind: KindWake, Dir: TR}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected disjointness violation")
+	}
+	if err := txSig().Validate(); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+}
+
+func TestCompatibleSignaturesSharedOutput(t *testing.T) {
+	a := Signature{Out: []Pattern{{Kind: KindSendPkt, Dir: TR}}}
+	b := Signature{Out: []Pattern{{Kind: KindSendPkt, Dir: TR}}}
+	err := CompatibleSignatures(a, b)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Errorf("expected ErrIncompatible, got %v", err)
+	}
+}
+
+func TestCompatibleSignaturesInternalLeak(t *testing.T) {
+	a := Signature{Int: []Pattern{{Kind: KindInternal, Name: "x"}}}
+	b := Signature{In: []Pattern{{Kind: KindInternal, Name: "x"}}}
+	if err := CompatibleSignatures(a, b); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("expected ErrIncompatible, got %v", err)
+	}
+}
+
+func TestComposeSignatures(t *testing.T) {
+	// Transmitter composed with its outgoing channel: send_pkt^{t,r} is an
+	// output of the transmitter and an input of the channel, so it must be
+	// an output (not an input) of the composition.
+	comp, err := ComposeSignatures(txSig(), chanSig(TR))
+	if err != nil {
+		t.Fatalf("ComposeSignatures: %v", err)
+	}
+	sp := SendPkt(TR, Packet{})
+	if !comp.ContainsOutput(sp) {
+		t.Error("send_pkt^{t,r} should be an output of the composition")
+	}
+	if comp.ContainsInput(sp) {
+		t.Error("send_pkt^{t,r} must not also be an input of the composition")
+	}
+	if !comp.ContainsInput(SendMsg(TR, "m")) {
+		t.Error("send_msg^{t,r} should remain an input")
+	}
+	if !comp.ContainsOutput(ReceivePkt(TR, Packet{})) {
+		t.Error("receive_pkt^{t,r} should be an output of the composition")
+	}
+	// wake^{t,r} is an input of both components and an output of neither.
+	if !comp.ContainsInput(Wake(TR)) {
+		t.Error("wake^{t,r} should be an input of the composition")
+	}
+}
+
+func TestHide(t *testing.T) {
+	comp, err := ComposeSignatures(txSig(), chanSig(TR))
+	if err != nil {
+		t.Fatalf("ComposeSignatures: %v", err)
+	}
+	hidden := comp.Hide(HidePacketActions())
+	sp := SendPkt(TR, Packet{})
+	rp := ReceivePkt(TR, Packet{})
+	if hidden.ContainsOutput(sp) || hidden.ContainsOutput(rp) {
+		t.Error("packet actions should no longer be outputs after hiding")
+	}
+	if !hidden.ContainsInternal(sp) || !hidden.ContainsInternal(rp) {
+		t.Error("packet actions should be internal after hiding")
+	}
+	if !hidden.ContainsInput(SendMsg(TR, "m")) {
+		t.Error("hiding must not affect inputs")
+	}
+}
+
+func TestHideIgnoresNonOutputs(t *testing.T) {
+	sig := txSig()
+	hidden := sig.Hide([]Pattern{{Kind: KindReceiveMsg, Dir: TR}})
+	if len(hidden.Int) != 0 {
+		t.Error("hiding a non-output pattern must not create internal actions")
+	}
+	if len(hidden.Out) != len(sig.Out) {
+		t.Error("outputs should be unchanged")
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	s := txSig().String()
+	for _, want := range []string{"send_msg^{t,r}", "send_pkt^{t,r}", "in:", "out:", "int:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

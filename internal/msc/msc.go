@@ -1,0 +1,144 @@
+// Package msc renders schedules as ASCII message sequence charts: two
+// station lanes (t and r) with packet arrows between them, environment
+// events at the edges, and channel residency made visible by separate
+// send and delivery rows. It is the human-inspection companion to the
+// machine-checked verdicts — the constructed counterexamples of the
+// adversary package and the shortest traces of the explorer read best as
+// charts.
+package msc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// Options configures rendering.
+type Options struct {
+	// LaneWidth is the width of the middle (channel) column; 0 selects a
+	// width fitting the longest label.
+	LaneWidth int
+	// HideInternal drops internal actions (channel lose events).
+	HideInternal bool
+}
+
+// Render returns the chart for a schedule. Actions the chart cannot
+// attribute (invalid ones) render as plain rows.
+func Render(beta ioa.Schedule, opts Options) string {
+	width := opts.LaneWidth
+	if width == 0 {
+		width = 12
+		for _, a := range beta {
+			if l := len(label(a)) + 8; l > width {
+				width = l
+			}
+		}
+	}
+	var b strings.Builder
+	header := fmt.Sprintf("%4s  %-3s %s %3s\n", "", "t", center("", width), "r")
+	b.WriteString(header)
+	for i, a := range beta {
+		if opts.HideInternal && a.Kind == ioa.KindInternal {
+			continue
+		}
+		fmt.Fprintf(&b, "%4d  %s\n", i+1, row(a, width))
+	}
+	return b.String()
+}
+
+// label is the short name shown for an action.
+func label(a ioa.Action) string {
+	switch a.Kind {
+	case ioa.KindSendMsg, ioa.KindReceiveMsg:
+		return fmt.Sprintf("%q", string(a.Msg))
+	case ioa.KindSendPkt, ioa.KindReceivePkt:
+		return a.Pkt.String()
+	case ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+		return a.Kind.String()
+	case ioa.KindInternal:
+		return a.Name + " " + a.Pkt.String()
+	default:
+		return a.String()
+	}
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}
+
+func arrow(s string, width int, rightward bool) string {
+	body := " " + s + " "
+	pad := width - len(body) - 1
+	if pad < 2 {
+		pad = 2
+	}
+	if rightward {
+		return strings.Repeat("-", pad/2) + body + strings.Repeat("-", pad-pad/2) + ">"
+	}
+	return "<" + strings.Repeat("-", pad/2) + body + strings.Repeat("-", pad-pad/2)
+}
+
+// row renders one action as a chart line: a transmitter-lane mark, the
+// channel column, and a receiver-lane mark.
+func row(a ioa.Action, width int) string {
+	const (
+		tMark = "│"
+		rMark = "│"
+	)
+	mid := center("", width)
+	tCol, rCol := tMark, rMark
+	var note string
+	switch a.Kind {
+	case ioa.KindSendMsg:
+		tCol = "◆"
+		note = "send_msg " + label(a)
+	case ioa.KindReceiveMsg:
+		rCol = "◆"
+		note = "receive_msg " + label(a)
+	case ioa.KindSendPkt:
+		if a.Dir == ioa.TR {
+			tCol = "●"
+			mid = arrow(label(a), width, true)
+			note = "sent"
+		} else {
+			rCol = "●"
+			mid = arrow(label(a), width, false)
+			note = "sent"
+		}
+	case ioa.KindReceivePkt:
+		if a.Dir == ioa.TR {
+			rCol = "●"
+			mid = center("~> "+label(a), width)
+			note = "delivered"
+		} else {
+			tCol = "●"
+			mid = center(label(a)+" <~", width)
+			note = "delivered"
+		}
+	case ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+		if stationOf(a.Dir) == ioa.T {
+			tCol = "✱"
+			note = a.Kind.String() + "^{t,r}"
+		} else {
+			rCol = "✱"
+			note = a.Kind.String() + "^{r,t}"
+		}
+	case ioa.KindInternal:
+		mid = center("x "+label(a), width)
+		note = "lost"
+	default:
+		note = a.String()
+	}
+	return fmt.Sprintf("%-3s %s %-3s  %s", tCol, mid, rCol, note)
+}
+
+// stationOf maps a status-event direction to the station it concerns:
+// wake/fail/crash^{t,r} belong to the transmitter, ^{r,t} to the receiver.
+func stationOf(d ioa.Dir) ioa.Station {
+	return d.From
+}

@@ -1,0 +1,92 @@
+package msc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func sampleSchedule() ioa.Schedule {
+	p1 := ioa.Packet{ID: 1, Header: "data/0", Payload: "m1"}
+	ack := ioa.Packet{ID: 2, Header: "ack/0"}
+	return ioa.Schedule{
+		ioa.Wake(ioa.TR),
+		ioa.Wake(ioa.RT),
+		ioa.SendMsg(ioa.TR, "m1"),
+		ioa.SendPkt(ioa.TR, p1),
+		ioa.ReceivePkt(ioa.TR, p1),
+		ioa.ReceiveMsg(ioa.TR, "m1"),
+		ioa.SendPkt(ioa.RT, ack),
+		ioa.ReceivePkt(ioa.RT, ack),
+		ioa.Crash(ioa.RT),
+		ioa.Action{Kind: ioa.KindInternal, Name: "lose^{t,r}", Pkt: p1},
+	}
+}
+
+func TestRenderContainsAllEvents(t *testing.T) {
+	out := Render(sampleSchedule(), Options{})
+	for _, frag := range []string{
+		`send_msg "m1"`,
+		`receive_msg "m1"`,
+		"#1[data/0|m1]",
+		"#2[ack/0]",
+		"wake^{t,r}",
+		"wake^{r,t}",
+		"crash^{r,t}",
+		"lost",
+		"sent",
+		"delivered",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("chart missing %q:\n%s", frag, out)
+		}
+	}
+	// Ten events → ten numbered rows plus the header.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Errorf("chart has %d lines, want 11:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderArrowDirections(t *testing.T) {
+	out := Render(sampleSchedule(), Options{})
+	// t→r data flows rightward, r→t acks leftward.
+	if !strings.Contains(out, "#1[data/0|m1] ") || !strings.Contains(out, ">") {
+		t.Errorf("no rightward data arrow:\n%s", out)
+	}
+	ackLine := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "#2[ack/0]") && strings.Contains(l, "sent") {
+			ackLine = l
+		}
+	}
+	if ackLine == "" || !strings.Contains(ackLine, "<") {
+		t.Errorf("ack send should render a leftward arrow: %q", ackLine)
+	}
+}
+
+func TestRenderHideInternal(t *testing.T) {
+	out := Render(sampleSchedule(), Options{HideInternal: true})
+	if strings.Contains(out, "lost") {
+		t.Errorf("internal action rendered despite HideInternal:\n%s", out)
+	}
+}
+
+func TestRenderCustomWidthAndEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "t") || !strings.Contains(out, "r") {
+		t.Errorf("empty chart should still have a header: %q", out)
+	}
+	wide := Render(sampleSchedule(), Options{LaneWidth: 60})
+	narrow := Render(sampleSchedule(), Options{LaneWidth: 20})
+	if len(wide) <= len(narrow) {
+		t.Error("LaneWidth has no effect")
+	}
+}
+
+func TestRenderInvalidAction(t *testing.T) {
+	out := Render(ioa.Schedule{{}}, Options{})
+	if !strings.Contains(out, "invalid-action") {
+		t.Errorf("invalid action should fall back to String():\n%s", out)
+	}
+}

@@ -1,0 +1,30 @@
+package perf
+
+// AnalyticStopAndWait returns the closed-form goodput prediction for the
+// window-1 (alternating-bit / stop-and-wait) discipline on the simulated
+// link: each attempt succeeds when both the data packet and its
+// acknowledgement survive (probability q = (1-p)²), a successful cycle
+// takes one round trip (2·delay ticks), and a failed one costs the
+// retransmission timeout. The expected ticks per message is then
+//
+//	E[T] = (q·RTT + (1-q)·RTO) / q
+//
+// and the goodput is 1/E[T]. The E6 validation test checks the simulator
+// against this prediction — the standard ARQ textbook analysis, which the
+// simulation should track within a few percent.
+func AnalyticStopAndWait(cfg GoodputConfig) float64 {
+	rtt := float64(2 * cfg.Delay)
+	if rtt < 1 {
+		rtt = 1
+	}
+	rto := float64(cfg.RTO)
+	if rto <= 0 {
+		rto = float64(2*cfg.Delay + 4)
+	}
+	q := (1 - cfg.Loss) * (1 - cfg.Loss)
+	if q <= 0 {
+		return 0
+	}
+	expTicks := (q*rtt + (1-q)*rto) / q
+	return 1 / expTicks
+}

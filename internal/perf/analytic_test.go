@@ -1,0 +1,51 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAnalyticStopAndWaitMatchesSimulation validates the simulator against
+// the closed-form ARQ analysis across loss rates and delays: simulated
+// stop-and-wait goodput must track q/(q·RTT + (1-q)·RTO) within a modest
+// tolerance (the formula neglects pipelining of the timeout with the next
+// attempt, so a few percent of drift is expected).
+func TestAnalyticStopAndWaitMatchesSimulation(t *testing.T) {
+	cases := []GoodputConfig{
+		{Window: 1, Delay: 5, Loss: 0, Ticks: 60000, Seed: 3},
+		{Window: 1, Delay: 5, Loss: 0.05, Ticks: 60000, Seed: 3},
+		{Window: 1, Delay: 5, Loss: 0.2, Ticks: 60000, Seed: 3},
+		{Window: 1, Delay: 12, Loss: 0.1, Ticks: 60000, Seed: 4},
+		{Window: 1, Delay: 2, Loss: 0.3, Ticks: 60000, Seed: 5},
+	}
+	for _, cfg := range cases {
+		sim, err := SimulateGoodput(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := AnalyticStopAndWait(cfg)
+		relErr := math.Abs(sim.Goodput-analytic) / analytic
+		if relErr > 0.2 {
+			t.Errorf("delay=%d loss=%.2f: simulated %.4f vs analytic %.4f (%.0f%% off)",
+				cfg.Delay, cfg.Loss, sim.Goodput, analytic, 100*relErr)
+		} else {
+			t.Logf("delay=%d loss=%.2f: simulated %.4f vs analytic %.4f (%.1f%% off)",
+				cfg.Delay, cfg.Loss, sim.Goodput, analytic, 100*relErr)
+		}
+	}
+}
+
+func TestAnalyticStopAndWaitEdgeCases(t *testing.T) {
+	if g := AnalyticStopAndWait(GoodputConfig{Window: 1, Delay: 0, Loss: 0}); g <= 0 || g > 1 {
+		t.Errorf("zero-delay goodput = %f", g)
+	}
+	if g := AnalyticStopAndWait(GoodputConfig{Window: 1, Delay: 5, Loss: 1}); g != 0 {
+		t.Errorf("total loss should give zero goodput, got %f", g)
+	}
+	// Explicit RTO is honoured.
+	a := AnalyticStopAndWait(GoodputConfig{Window: 1, Delay: 5, Loss: 0.2, RTO: 100})
+	b := AnalyticStopAndWait(GoodputConfig{Window: 1, Delay: 5, Loss: 0.2, RTO: 20})
+	if a >= b {
+		t.Errorf("longer RTO must lower analytic goodput: %f vs %f", a, b)
+	}
+}

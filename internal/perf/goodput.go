@@ -1,0 +1,337 @@
+// Package perf contains the quantitative context experiments around the
+// paper's impossibility results: a discrete-time ARQ link simulator for
+// the goodput-versus-window-size sweeps that motivate sliding window
+// protocols (the paper's Section 1 discussion of HDLC/SDLC/LAPB), and a
+// header-growth harness for Stenning's protocol showing the linear header
+// consumption that Theorem 8.5 proves unavoidable over non-FIFO channels.
+//
+// Unlike the rest of the repository, the goodput simulator is
+// time-stepped rather than I/O-automaton based: the untimed model has no
+// notion of latency or timeout, and the goodput experiment is about
+// exactly those. The protocol logic (Go-Back-N with cumulative acks)
+// mirrors internal/protocol's automata.
+package perf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Discipline selects the retransmission strategy of the simulated ARQ
+// transmitter.
+type Discipline int
+
+// The simulated ARQ disciplines. GoBackN resends the whole window after a
+// timeout; SelectiveRepeat resends only unacknowledged packets and the
+// receiver buffers out-of-order arrivals.
+const (
+	GoBackN Discipline = iota
+	SelectiveRepeat
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	if d == SelectiveRepeat {
+		return "sr"
+	}
+	return "gbn"
+}
+
+// GoodputConfig parameterises one simulated ARQ run over a lossy duplex
+// link with fixed one-way latency. Window 1 is the alternating-bit
+// protocol's stop-and-wait behaviour (both disciplines coincide there).
+type GoodputConfig struct {
+	// Discipline selects Go-Back-N (default) or Selective Repeat.
+	Discipline Discipline
+	// Window is the sliding window size W ≥ 1.
+	Window int
+	// Delay is the one-way link latency in ticks (RTT = 2*Delay).
+	Delay int
+	// Loss is the independent per-packet loss probability, applied to data
+	// and acknowledgement packets alike.
+	Loss float64
+	// RTO is the retransmission timeout in ticks; zero selects a default
+	// slightly above one RTT.
+	RTO int
+	// Ticks is the simulated duration; the link transmits at most one data
+	// packet per tick (unit capacity).
+	Ticks int
+	// Seed seeds the loss process.
+	Seed int64
+}
+
+// GoodputResult reports one simulated run.
+type GoodputResult struct {
+	Config GoodputConfig
+	// Delivered is the number of distinct messages delivered in order.
+	Delivered int
+	// Sent counts data packet transmissions, including retransmissions.
+	Sent int
+	// Retransmissions counts data packets sent more than once.
+	Retransmissions int
+	// Goodput is Delivered divided by Ticks: messages per tick of link
+	// time, in [0, 1].
+	Goodput float64
+	// Efficiency is Delivered divided by Sent: the fraction of
+	// transmissions that were useful.
+	Efficiency float64
+}
+
+// String renders one result row.
+func (r GoodputResult) String() string {
+	return fmt.Sprintf("%-3s W=%-3d delay=%-3d loss=%.2f  goodput=%.4f  efficiency=%.3f  sent=%d redundant=%d",
+		r.Config.Discipline, r.Config.Window, r.Config.Delay, r.Config.Loss, r.Goodput, r.Efficiency, r.Sent, r.Retransmissions)
+}
+
+// ErrBadConfig reports invalid goodput parameters.
+var ErrBadConfig = errors.New("perf: invalid goodput configuration")
+
+// inFlight is a packet travelling through the simulated link.
+type inFlight struct {
+	arriveAt int
+	seq      int
+}
+
+// SimulateGoodput runs the discrete-time ARQ simulation and reports
+// goodput. The transmitter has an unbounded backlog of fresh messages; the
+// receiver delivers in order (buffering out-of-order arrivals under
+// Selective Repeat) and acknowledges cumulatively (Go-Back-N) or
+// individually (Selective Repeat).
+func SimulateGoodput(cfg GoodputConfig) (GoodputResult, error) {
+	if cfg.Window < 1 || cfg.Delay < 0 || cfg.Loss < 0 || cfg.Loss >= 1 || cfg.Ticks <= 0 {
+		return GoodputResult{}, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.Discipline == SelectiveRepeat {
+		return simulateSR(cfg)
+	}
+	rto := cfg.RTO
+	if rto <= 0 {
+		rto = 2*cfg.Delay + 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var (
+		dataQ, ackQ []inFlight // packets in flight, in send order
+		base        int        // lowest unacknowledged sequence
+		nextSeq     int        // next fresh sequence to send
+		resendFrom  = -1       // go-back pointer after a timeout (-1: none)
+		lastSent    = make(map[int]bool)
+		expect      int // receiver's next expected sequence
+		res         GoodputResult
+		timer       int // ticks since the window base last advanced
+	)
+	res.Config = cfg
+
+	deliverDue := func(q []inFlight, now int) ([]inFlight, []int) {
+		var arrived []int
+		rest := q[:0]
+		for _, f := range q {
+			if f.arriveAt <= now {
+				arrived = append(arrived, f.seq)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		return rest, arrived
+	}
+
+	for now := 0; now < cfg.Ticks; now++ {
+		// Acks arriving at the transmitter.
+		var acks []int
+		ackQ, acks = deliverDue(ackQ, now)
+		for _, a := range acks {
+			if a > base {
+				base = a
+				timer = 0
+				if resendFrom >= 0 && resendFrom < base {
+					resendFrom = base
+				}
+			}
+		}
+
+		// Timeout: go back to the window base.
+		if nextSeq > base {
+			timer++
+			if timer > rto {
+				resendFrom = base
+				timer = 0
+			}
+		} else {
+			timer = 0
+		}
+
+		// Transmit one data packet this tick: a retransmission if we are
+		// going back, otherwise a fresh packet if the window allows.
+		var seq = -1
+		switch {
+		case resendFrom >= 0 && resendFrom < nextSeq:
+			seq = resendFrom
+			resendFrom++
+			if resendFrom >= nextSeq {
+				resendFrom = -1
+			}
+		case nextSeq < base+cfg.Window:
+			seq = nextSeq
+			nextSeq++
+		}
+		if seq >= 0 {
+			res.Sent++
+			if lastSent[seq] {
+				res.Retransmissions++
+			}
+			lastSent[seq] = true
+			if rng.Float64() >= cfg.Loss {
+				dataQ = append(dataQ, inFlight{arriveAt: now + cfg.Delay, seq: seq})
+			}
+		}
+
+		// Data arriving at the receiver; cumulative ack per arrival.
+		var arrivals []int
+		dataQ, arrivals = deliverDue(dataQ, now)
+		for _, s := range arrivals {
+			if s == expect {
+				expect++
+				res.Delivered++
+			}
+			if rng.Float64() >= cfg.Loss {
+				ackQ = append(ackQ, inFlight{arriveAt: now + cfg.Delay, seq: expect})
+			}
+		}
+	}
+
+	res.Goodput = float64(res.Delivered) / float64(cfg.Ticks)
+	if res.Sent > 0 {
+		res.Efficiency = float64(res.Delivered) / float64(res.Sent)
+	}
+	return res, nil
+}
+
+// simulateSR is the Selective-Repeat variant: the receiver buffers
+// out-of-order arrivals within its window and acknowledges each received
+// sequence individually; the transmitter retransmits only unacknowledged,
+// timed-out packets.
+func simulateSR(cfg GoodputConfig) (GoodputResult, error) {
+	rto := cfg.RTO
+	if rto <= 0 {
+		rto = 2*cfg.Delay + 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var (
+		dataQ, ackQ []inFlight
+		base        int
+		nextSeq     int
+		acked       = map[int]bool{}
+		lastSent    = map[int]int{} // seq → tick of last transmission
+		everSent    = map[int]bool{}
+		expect      int
+		buffered    = map[int]bool{}
+		res         GoodputResult
+	)
+	res.Config = cfg
+
+	for now := 0; now < cfg.Ticks; now++ {
+		// Individual acks arriving at the transmitter.
+		var acks []int
+		ackQ, acks = deliverInFlight(&ackQ, now)
+		for _, s := range acks {
+			if s >= base {
+				acked[s] = true
+			}
+		}
+		for acked[base] {
+			delete(acked, base)
+			delete(lastSent, base)
+			delete(everSent, base)
+			base++
+		}
+
+		// Transmit one packet this tick: the oldest timed-out
+		// unacknowledged packet, else a fresh one if the window allows.
+		seq := -1
+		for s := base; s < nextSeq; s++ {
+			if !acked[s] && now-lastSent[s] > rto {
+				seq = s
+				break
+			}
+		}
+		if seq < 0 && nextSeq < base+cfg.Window {
+			seq = nextSeq
+			nextSeq++
+		}
+		if seq >= 0 {
+			res.Sent++
+			if everSent[seq] {
+				res.Retransmissions++
+			}
+			everSent[seq] = true
+			lastSent[seq] = now
+			if rng.Float64() >= cfg.Loss {
+				dataQ = append(dataQ, inFlight{arriveAt: now + cfg.Delay, seq: seq})
+			}
+		}
+
+		// Data arriving at the receiver: buffer, drain the in-order
+		// prefix, ack the arrival individually.
+		var arrivals []int
+		dataQ, arrivals = deliverInFlight(&dataQ, now)
+		for _, s := range arrivals {
+			if s >= expect {
+				buffered[s] = true
+			}
+			for buffered[expect] {
+				delete(buffered, expect)
+				expect++
+				res.Delivered++
+			}
+			if rng.Float64() >= cfg.Loss {
+				ackQ = append(ackQ, inFlight{arriveAt: now + cfg.Delay, seq: s})
+			}
+		}
+	}
+
+	res.Goodput = float64(res.Delivered) / float64(cfg.Ticks)
+	if res.Sent > 0 {
+		res.Efficiency = float64(res.Delivered) / float64(res.Sent)
+	}
+	return res, nil
+}
+
+// deliverInFlight splits a flight queue into the not-yet-arrived remainder
+// and the sequence numbers that arrive now.
+func deliverInFlight(q *[]inFlight, now int) ([]inFlight, []int) {
+	var arrived []int
+	rest := (*q)[:0]
+	for _, f := range *q {
+		if f.arriveAt <= now {
+			arrived = append(arrived, f.seq)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	return rest, arrived
+}
+
+// SweepGoodput runs SimulateGoodput across windows × loss rates, holding
+// delay, duration and discipline fixed: the E6 table. Results are ordered
+// loss-major.
+func SweepGoodput(windows []int, losses []float64, delay, ticks int, seed int64, disc ...Discipline) ([]GoodputResult, error) {
+	d := GoBackN
+	if len(disc) > 0 {
+		d = disc[0]
+	}
+	out := make([]GoodputResult, 0, len(windows)*len(losses))
+	for _, p := range losses {
+		for _, w := range windows {
+			r, err := SimulateGoodput(GoodputConfig{
+				Discipline: d, Window: w, Delay: delay, Loss: p, Ticks: ticks, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

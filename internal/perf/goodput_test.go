@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSimulateGoodputValidation(t *testing.T) {
+	bad := []GoodputConfig{
+		{Window: 0, Delay: 1, Ticks: 100},
+		{Window: 1, Delay: -1, Ticks: 100},
+		{Window: 1, Delay: 1, Ticks: 0},
+		{Window: 1, Delay: 1, Ticks: 100, Loss: 1.0},
+		{Window: 1, Delay: 1, Ticks: 100, Loss: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := SimulateGoodput(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v: err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestGoodputLosslessStopAndWait(t *testing.T) {
+	// W=1, delay d, no loss: one message per RTT(ish). With delay 5 the
+	// cycle is roughly 2*delay ticks, so goodput ≈ 0.1.
+	r, err := SimulateGoodput(GoodputConfig{Window: 1, Delay: 5, Ticks: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goodput < 0.07 || r.Goodput > 0.13 {
+		t.Errorf("stop-and-wait goodput = %.4f, want ≈ 1/RTT = 0.1", r.Goodput)
+	}
+	if r.Retransmissions != 0 {
+		t.Errorf("lossless run retransmitted %d packets", r.Retransmissions)
+	}
+}
+
+func TestGoodputWindowSaturatesPipe(t *testing.T) {
+	// W ≥ RTT: the pipe is full; goodput approaches 1 without loss.
+	r, err := SimulateGoodput(GoodputConfig{Window: 16, Delay: 5, Ticks: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goodput < 0.95 {
+		t.Errorf("saturating window goodput = %.4f, want ≈ 1", r.Goodput)
+	}
+}
+
+func TestGoodputMonotoneInWindow(t *testing.T) {
+	// The motivating E6 shape: goodput is (weakly) increasing in window
+	// size, at any loss rate, up to noise. Use generous tolerance.
+	for _, loss := range []float64{0, 0.05, 0.2} {
+		prev := -1.0
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			r, err := SimulateGoodput(GoodputConfig{Window: w, Delay: 8, Loss: loss, Ticks: 30000, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Goodput < prev-0.05 {
+				t.Errorf("loss=%.2f: goodput dropped from %.4f (W/2) to %.4f (W=%d)", loss, prev, r.Goodput, w)
+			}
+			prev = r.Goodput
+		}
+	}
+}
+
+func TestGoodputDegradesWithLoss(t *testing.T) {
+	clean, err := SimulateGoodput(GoodputConfig{Window: 8, Delay: 5, Loss: 0, Ticks: 30000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := SimulateGoodput(GoodputConfig{Window: 8, Delay: 5, Loss: 0.3, Ticks: 30000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Goodput >= clean.Goodput {
+		t.Errorf("goodput did not degrade under loss: %.4f vs %.4f", lossy.Goodput, clean.Goodput)
+	}
+	if lossy.Retransmissions == 0 {
+		t.Error("lossy run should retransmit")
+	}
+	if lossy.Efficiency >= 1 {
+		t.Errorf("lossy efficiency = %.3f, want < 1", lossy.Efficiency)
+	}
+}
+
+func TestGoodputDeterministicPerSeed(t *testing.T) {
+	cfg := GoodputConfig{Window: 4, Delay: 3, Loss: 0.1, Ticks: 5000, Seed: 42}
+	a, err := SimulateGoodput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGoodput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+func TestSweepGoodputShape(t *testing.T) {
+	rows, err := SweepGoodput([]int{1, 4}, []float64{0, 0.1}, 4, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("sweep produced %d rows, want 4", len(rows))
+	}
+	// Row order is loss-major.
+	if rows[0].Config.Loss != 0 || rows[3].Config.Loss != 0.1 {
+		t.Errorf("row ordering wrong: %+v", rows)
+	}
+	if rows[0].String() == "" {
+		t.Error("empty row rendering")
+	}
+}

@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// HeaderGrowthResult records how many distinct headers Stenning's protocol
+// consumed to deliver n messages over the non-FIFO permissive channel —
+// experiment E4. Theorem 8.5 shows the growth cannot be avoided: any
+// protocol with a *bounded* header set fails over such channels, and the
+// paper's Section 9 remarks that Stenning's linear growth is the known
+// upper bound (sublinear being conjectured impossible).
+type HeaderGrowthResult struct {
+	Messages int
+	// DistinctDataHeaders counts the data headers used on the t→r channel.
+	DistinctDataHeaders int
+	// MaxSeq is the largest absolute sequence number on any packet.
+	MaxSeq int
+	// HeaderBits is the wire width needed for MaxSeq: ceil(log2(MaxSeq+1)).
+	HeaderBits int
+	// SpecOK reports that the quiescent behavior satisfied the full DL
+	// specification (it always should; recorded for the experiment log).
+	SpecOK bool
+}
+
+// String renders one result row.
+func (r HeaderGrowthResult) String() string {
+	return fmt.Sprintf("n=%-6d distinct-data-headers=%-6d max-seq=%-6d header-bits=%-2d specOK=%t",
+		r.Messages, r.DistinctDataHeaders, r.MaxSeq, r.HeaderBits, r.SpecOK)
+}
+
+// MeasureStenningHeaderGrowth delivers n messages with Stenning's protocol
+// over the non-FIFO permissive channels under a randomly reordering
+// scheduler, then reports the header consumption.
+func MeasureStenningHeaderGrowth(n int, seed int64) (HeaderGrowthResult, error) {
+	sys, err := core.NewSystem(protocol.NewStenning(), false)
+	if err != nil {
+		return HeaderGrowthResult{}, err
+	}
+	r := sim.NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		return HeaderGrowthResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if err := r.Input(ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("hg-%d", i)))); err != nil {
+			return HeaderGrowthResult{}, err
+		}
+		// Interleave random scheduling with the input stream so the
+		// channel reorders aggressively while the window stays small.
+		if _, err := r.RunFair(sim.RunConfig{MaxSteps: 30 + rng.Intn(30), Rand: rng}); err != nil && !isStepLimit(err) {
+			return HeaderGrowthResult{}, err
+		}
+	}
+	quiescent, err := r.RunFair(sim.RunConfig{MaxSteps: 200 * (n + 10)})
+	if err != nil {
+		return HeaderGrowthResult{}, err
+	}
+	if !quiescent {
+		return HeaderGrowthResult{}, fmt.Errorf("perf: stenning run did not quiesce for n=%d", n)
+	}
+
+	res := HeaderGrowthResult{Messages: n}
+	seen := map[ioa.Header]bool{}
+	for _, a := range r.Schedule() {
+		if a.Kind != ioa.KindSendPkt || a.Dir != ioa.TR {
+			continue
+		}
+		if s, ok := parseDataHeader(a.Pkt.Header); ok {
+			seen[a.Pkt.Header] = true
+			if s > res.MaxSeq {
+				res.MaxSeq = s
+			}
+		}
+	}
+	res.DistinctDataHeaders = len(seen)
+	res.HeaderBits = bitsFor(res.MaxSeq)
+	res.SpecOK = spec.CheckDL(r.Behavior(), ioa.TR).OK()
+	return res, nil
+}
+
+func parseDataHeader(h ioa.Header) (int, bool) {
+	tag, args, ok := protocol.ParseHeader(h)
+	if !ok || tag != "data" || len(args) != 1 {
+		return 0, false
+	}
+	return args[0], true
+}
+
+// bitsFor returns the number of bits needed to represent v.
+func bitsFor(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return int(math.Floor(math.Log2(float64(v)))) + 1
+}
+
+func isStepLimit(err error) bool {
+	return errors.Is(err, sim.ErrStepLimit)
+}

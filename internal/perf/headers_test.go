@@ -1,0 +1,42 @@
+package perf
+
+import "testing"
+
+func TestBitsFor(t *testing.T) {
+	tests := []struct{ v, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, tt := range tests {
+		if got := bitsFor(tt.v); got != tt.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+// TestStenningHeaderGrowthLinear is experiment E4: delivering n messages
+// over the reordering channel uses Θ(n) distinct data headers — exactly
+// one per message, since Stenning assigns each message its own absolute
+// sequence number — while the behavior stays DL-correct.
+func TestStenningHeaderGrowthLinear(t *testing.T) {
+	prevHeaders := 0
+	for _, n := range []int{5, 20, 60} {
+		res, err := MeasureStenningHeaderGrowth(n, 11)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.SpecOK {
+			t.Errorf("n=%d: behavior violated DL", n)
+		}
+		if res.DistinctDataHeaders != n {
+			t.Errorf("n=%d: distinct data headers = %d, want exactly n", n, res.DistinctDataHeaders)
+		}
+		if res.MaxSeq != n-1 {
+			t.Errorf("n=%d: max seq = %d, want n-1", n, res.MaxSeq)
+		}
+		if res.DistinctDataHeaders <= prevHeaders {
+			t.Errorf("header use did not grow with n")
+		}
+		prevHeaders = res.DistinctDataHeaders
+		t.Logf("%s", res)
+	}
+}

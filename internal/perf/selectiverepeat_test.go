@@ -1,0 +1,82 @@
+package perf
+
+import "testing"
+
+func TestSRGoodputLossless(t *testing.T) {
+	// Without loss the two disciplines behave identically: the window
+	// paces the pipe.
+	for _, w := range []int{1, 8, 16} {
+		gbn, err := SimulateGoodput(GoodputConfig{Discipline: GoBackN, Window: w, Delay: 5, Ticks: 20000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := SimulateGoodput(GoodputConfig{Discipline: SelectiveRepeat, Window: w, Delay: 5, Ticks: 20000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := sr.Goodput - gbn.Goodput; diff > 0.05 || diff < -0.05 {
+			t.Errorf("W=%d lossless: sr=%.4f vs gbn=%.4f differ too much", w, sr.Goodput, gbn.Goodput)
+		}
+		if sr.Retransmissions != 0 {
+			t.Errorf("W=%d lossless SR retransmitted %d packets", w, sr.Retransmissions)
+		}
+	}
+}
+
+// TestSRBeatsGBNUnderLoss is the crossover experiment: with a large
+// window and nontrivial loss, Selective Repeat's per-packet recovery
+// wastes far fewer transmissions than Go-Back-N's whole-window resend, so
+// both its goodput and its efficiency win.
+func TestSRBeatsGBNUnderLoss(t *testing.T) {
+	cfg := GoodputConfig{Window: 16, Delay: 8, Loss: 0.1, Ticks: 40000, Seed: 5}
+	gbnCfg, srCfg := cfg, cfg
+	gbnCfg.Discipline = GoBackN
+	srCfg.Discipline = SelectiveRepeat
+	gbn, err := SimulateGoodput(gbnCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SimulateGoodput(srCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Goodput <= gbn.Goodput {
+		t.Errorf("SR should beat GBN under loss: sr=%.4f gbn=%.4f", sr.Goodput, gbn.Goodput)
+	}
+	if sr.Efficiency <= gbn.Efficiency {
+		t.Errorf("SR should be more efficient under loss: sr=%.3f gbn=%.3f", sr.Efficiency, gbn.Efficiency)
+	}
+	t.Logf("loss=0.1 W=16: SR goodput %.4f (eff %.3f) vs GBN %.4f (eff %.3f)",
+		sr.Goodput, sr.Efficiency, gbn.Goodput, gbn.Efficiency)
+}
+
+func TestSRGoodputDeterministic(t *testing.T) {
+	cfg := GoodputConfig{Discipline: SelectiveRepeat, Window: 8, Delay: 4, Loss: 0.2, Ticks: 10000, Seed: 9}
+	a, err := SimulateGoodput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGoodput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results")
+	}
+}
+
+func TestSweepGoodputDiscipline(t *testing.T) {
+	rows, err := SweepGoodput([]int{4}, []float64{0.1}, 4, 5000, 1, SelectiveRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Config.Discipline != SelectiveRepeat {
+		t.Errorf("sweep ignored the discipline: %+v", rows)
+	}
+	if rows[0].String() == "" || rows[0].Config.Discipline.String() != "sr" {
+		t.Error("rendering wrong")
+	}
+	if GoBackN.String() != "gbn" {
+		t.Error("GoBackN.String wrong")
+	}
+}

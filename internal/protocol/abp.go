@@ -1,0 +1,238 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewABP returns the alternating-bit protocol: a sliding window of size
+// one with sequence numbers modulo two. It is correct over FIFO physical
+// channels (given correct initialization), message-independent, crashing,
+// 1-bounded, and has the four-element header set {data/0, data/1, ack/0,
+// ack/1} — making it a target of both Theorem 7.5 (crashes) and, over
+// non-FIFO channels, Theorem 8.5 (bounded headers).
+func NewABP() core.Protocol {
+	return core.Protocol{
+		Name: "abp",
+		T:    &abpTransmitter{},
+		R:    &abpReceiver{},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers: []ioa.Header{
+				DataHeader(0), DataHeader(1), AckHeader(0), AckHeader(1),
+			},
+			KBound:       1,
+			RequiresFIFO: true,
+		},
+	}
+}
+
+// abpTState is the alternating-bit transmitter state. The zero value is
+// the unique start state, as the crashing property requires.
+type abpTState struct {
+	awake bool
+	bit   int // sequence bit of queue[0]
+	queue []ioa.Message
+}
+
+var _ ioa.EquivState = abpTState{}
+
+func (s abpTState) Fingerprint() string {
+	return fmt.Sprintf("abpT{awake=%t bit=%d q=%s}", s.awake, s.bit, fpMsgs(s.queue))
+}
+
+func (s abpTState) EquivFingerprint() string {
+	return fmt.Sprintf("abpT{awake=%t bit=%d q=%s}", s.awake, s.bit, eqMsgs(s.queue))
+}
+
+func (s abpTState) clone() abpTState {
+	s.queue = cloneMsgs(s.queue)
+	return s
+}
+
+// abpTransmitter is A^t of the alternating-bit protocol.
+type abpTransmitter struct{}
+
+var _ ioa.Automaton = (*abpTransmitter)(nil)
+
+func (*abpTransmitter) Name() string { return "abp.T" }
+
+func (*abpTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*abpTransmitter) Start() ioa.State { return abpTState{} }
+
+// wantPkt returns the single packet the transmitter is willing to send.
+func (s abpTState) wantPkt() (ioa.Packet, bool) {
+	if !s.awake || len(s.queue) == 0 {
+		return ioa.Packet{}, false
+	}
+	return dataPkt(DataHeader(s.bit), s.queue[0]), true
+}
+
+func (t *abpTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(abpTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		// Crashing: revert to the unique start state (Section 5.3.2).
+		return abpTState{}, nil
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		b, isAck := parse1(a.Pkt.Header, "ack")
+		if isAck && b == s.bit && len(s.queue) > 0 {
+			s = s.clone()
+			s.queue = s.queue[1:]
+			s.bit = 1 - s.bit
+			return s, nil
+		}
+		return s, nil // stale or foreign ack: ignore
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		want, sending := s.wantPkt()
+		if !sending || !sendPktEnabled(a.Pkt, want) {
+			return nil, errNotEnabled(t.Name(), a)
+		}
+		return s, nil // retransmission-ready: sending does not change state
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *abpTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(abpTState)
+	if !ok {
+		return nil
+	}
+	if pkt, sending := s.wantPkt(); sending {
+		return []ioa.Action{ioa.SendPkt(ioa.TR, pkt)}
+	}
+	return nil
+}
+
+func (*abpTransmitter) ClassOf(ioa.Action) ioa.Class { return ClassXmit }
+
+func (*abpTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassXmit} }
+
+// abpRState is the alternating-bit receiver state. The zero value is the
+// unique start state.
+type abpRState struct {
+	awake   bool
+	expect  int
+	acks    []ioa.Header // one queued ack per received data packet
+	pending []ioa.Message
+}
+
+var _ ioa.EquivState = abpRState{}
+
+func (s abpRState) Fingerprint() string {
+	return fmt.Sprintf("abpR{awake=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+}
+
+func (s abpRState) EquivFingerprint() string {
+	return fmt.Sprintf("abpR{awake=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.expect, fpHeaders(s.acks), eqMsgs(s.pending))
+}
+
+func (s abpRState) clone() abpRState {
+	s.acks = cloneHeaders(s.acks)
+	s.pending = cloneMsgs(s.pending)
+	return s
+}
+
+// abpReceiver is A^r of the alternating-bit protocol.
+type abpReceiver struct{}
+
+var _ ioa.Automaton = (*abpReceiver)(nil)
+
+func (*abpReceiver) Name() string { return "abp.R" }
+
+func (*abpReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*abpReceiver) Start() ioa.State { return abpRState{} }
+
+func (r *abpReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(abpRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return abpRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		b, isData := parse1(a.Pkt.Header, "data")
+		if !isData {
+			return s, nil
+		}
+		s = s.clone()
+		if b == s.expect {
+			s.pending = append(s.pending, a.Pkt.Payload)
+			s.expect = 1 - s.expect
+		}
+		s.acks = append(s.acks, AckHeader(b))
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *abpReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(abpRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*abpReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*abpReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

@@ -1,0 +1,205 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func step(t *testing.T, a ioa.Automaton, st ioa.State, act ioa.Action) ioa.State {
+	t.Helper()
+	next, err := a.Step(st, act)
+	if err != nil {
+		t.Fatalf("Step(%s): %v", act, err)
+	}
+	return next
+}
+
+func TestABPTransmitterHappyPath(t *testing.T) {
+	tx := &abpTransmitter{}
+	st := tx.Start()
+	if len(tx.Enabled(st)) != 0 {
+		t.Error("nothing enabled before wake")
+	}
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m1"))
+	enabled := tx.Enabled(st)
+	if len(enabled) != 1 {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	want := ioa.SendPkt(ioa.TR, ioa.Packet{Header: DataHeader(0), Payload: "m1"})
+	if enabled[0] != want {
+		t.Fatalf("enabled = %v, want %v", enabled[0], want)
+	}
+	// Sending is idempotent on state (retransmission-ready), even with a
+	// runner-assigned ID.
+	sent := enabled[0]
+	sent.Pkt.ID = 42
+	st2 := step(t, tx, st, sent)
+	if !ioa.StatesEqual(st, st2) {
+		t.Error("send_pkt changed transmitter state")
+	}
+	// The matching ack advances the bit and pops the queue.
+	st3 := step(t, tx, st2, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 7, Header: AckHeader(0)}))
+	if got := st3.(abpTState); got.bit != 1 || len(got.queue) != 0 {
+		t.Errorf("after ack: %+v", got)
+	}
+	if len(tx.Enabled(st3)) != 0 {
+		t.Error("nothing to send after the queue empties")
+	}
+}
+
+func TestABPTransmitterIgnoresStaleAcks(t *testing.T) {
+	tx := &abpTransmitter{}
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m1"))
+	// Wrong-bit ack: ignored.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(1)}))
+	if !ioa.StatesEqual(st, st2) {
+		t.Error("stale ack changed state")
+	}
+	// Foreign packet: ignored.
+	st3 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: "garbage"}))
+	if !ioa.StatesEqual(st, st3) {
+		t.Error("foreign packet changed state")
+	}
+	// Ack with empty queue: ignored.
+	empty := step(t, tx, tx.Start(), ioa.Wake(ioa.TR))
+	empty2 := step(t, tx, empty, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 3, Header: AckHeader(0)}))
+	if !ioa.StatesEqual(empty, empty2) {
+		t.Error("ack on empty queue changed state")
+	}
+}
+
+func TestABPTransmitterSendGating(t *testing.T) {
+	tx := &abpTransmitter{}
+	st := tx.Start()
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m1")) // accepted while asleep
+	if len(tx.Enabled(st)) != 0 {
+		t.Error("must not send while asleep")
+	}
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	if len(tx.Enabled(st)) != 1 {
+		t.Error("should send after wake")
+	}
+	st = step(t, tx, st, ioa.Fail(ioa.TR))
+	if len(tx.Enabled(st)) != 0 {
+		t.Error("must not send after fail")
+	}
+	// Firing a non-enabled send errors.
+	if _, err := tx.Step(st, ioa.SendPkt(ioa.TR, ioa.Packet{Header: DataHeader(0), Payload: "m1"})); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Errorf("send while failed: err = %v", err)
+	}
+	// Wrong bit or payload errors.
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	if _, err := tx.Step(st, ioa.SendPkt(ioa.TR, ioa.Packet{Header: DataHeader(1), Payload: "m1"})); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Errorf("wrong-bit send: err = %v", err)
+	}
+	if _, err := tx.Step(st, ioa.SendPkt(ioa.TR, ioa.Packet{Header: DataHeader(0), Payload: "other"})); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Errorf("wrong-payload send: err = %v", err)
+	}
+}
+
+func TestABPCrashResetsToStart(t *testing.T) {
+	tx := &abpTransmitter{}
+	rx := &abpReceiver{}
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m1"))
+	st = step(t, tx, st, ioa.Crash(ioa.TR))
+	if !ioa.StatesEqual(st, tx.Start()) {
+		t.Errorf("transmitter crash: %s != start %s", st.Fingerprint(), tx.Start().Fingerprint())
+	}
+	rst := rx.Start()
+	rst = step(t, rx, rst, ioa.Wake(ioa.RT))
+	rst = step(t, rx, rst, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(0), Payload: "x"}))
+	rst = step(t, rx, rst, ioa.Crash(ioa.RT))
+	if !ioa.StatesEqual(rst, rx.Start()) {
+		t.Errorf("receiver crash: %s != start", rst.Fingerprint())
+	}
+}
+
+func TestABPReceiverAcceptRejectAndAck(t *testing.T) {
+	rx := &abpReceiver{}
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	// Expected bit 0: accept, queue ack/0, flip expectation.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(0), Payload: "m1"}))
+	got := st.(abpRState)
+	if got.expect != 1 || len(got.pending) != 1 || len(got.acks) != 1 || got.acks[0] != AckHeader(0) {
+		t.Fatalf("after accept: %+v", got)
+	}
+	// Duplicate (bit 0 again): not accepted, but acked.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: DataHeader(0), Payload: "m1-dup"}))
+	got = st.(abpRState)
+	if len(got.pending) != 1 {
+		t.Error("duplicate accepted")
+	}
+	if len(got.acks) != 2 {
+		t.Error("duplicate not acked")
+	}
+	// Enabled: deliver pending[0] and send acks[0].
+	enabled := rx.Enabled(st)
+	if len(enabled) != 2 {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	// Delivery pops pending.
+	st = step(t, rx, st, ioa.ReceiveMsg(ioa.TR, "m1"))
+	if len(st.(abpRState).pending) != 0 {
+		t.Error("delivery did not pop pending")
+	}
+	// Delivering the wrong message errors.
+	if _, err := rx.Step(st, ioa.ReceiveMsg(ioa.TR, "nope")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Errorf("wrong delivery: err = %v", err)
+	}
+	// Ack send pops the ack queue; acks are not sent while asleep.
+	st = step(t, rx, st, ioa.SendPkt(ioa.RT, ioa.Packet{ID: 5, Header: AckHeader(0)}))
+	if len(st.(abpRState).acks) != 1 {
+		t.Error("ack send did not pop")
+	}
+	st = step(t, rx, st, ioa.Fail(ioa.RT))
+	if len(rx.Enabled(st)) != 0 {
+		t.Error("asleep receiver with only acks pending must be idle")
+	}
+}
+
+func TestABPEquivFingerprintErasesMessages(t *testing.T) {
+	tx := &abpTransmitter{}
+	a := step(t, tx, tx.Start(), ioa.SendMsg(ioa.TR, "aaa"))
+	b := step(t, tx, tx.Start(), ioa.SendMsg(ioa.TR, "zzz"))
+	eq, err := ioa.StatesEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("states differing only in message content must be equivalent")
+	}
+	if ioa.StatesEqual(a, b) {
+		t.Error("exact fingerprints should differ")
+	}
+	// Queue length is structural: it must survive the equivalence.
+	c := step(t, tx, a, ioa.SendMsg(ioa.TR, "bbb"))
+	eq, err = ioa.StatesEquivalent(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("different queue lengths must not be equivalent")
+	}
+}
+
+func TestABPBadStateAndForeignAction(t *testing.T) {
+	tx := &abpTransmitter{}
+	if _, err := tx.Step(gbnTState{}, ioa.Wake(ioa.TR)); !errors.Is(err, ioa.ErrBadState) {
+		t.Errorf("bad state: err = %v", err)
+	}
+	if _, err := tx.Step(tx.Start(), ioa.Wake(ioa.RT)); !errors.Is(err, ioa.ErrNotInSignature) {
+		t.Errorf("foreign action: err = %v", err)
+	}
+	rx := &abpReceiver{}
+	if _, err := rx.Step(abpTState{}, ioa.Wake(ioa.RT)); !errors.Is(err, ioa.ErrBadState) {
+		t.Errorf("bad state: err = %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestSRWindowBoundaries probes the receiver's window arithmetic at the
+// exact seams: the last in-window slot, the first out-of-window slot, and
+// the oldest below-window slot. With n=8, w=4 and expect=0 the windows
+// are accept [0,4), re-ack [4,8) mapped as "below" via wrap — the w ≤ n/2
+// condition is what keeps the two disjoint.
+func TestSRWindowBoundaries(t *testing.T) {
+	p := NewSelectiveRepeat(8, 4)
+	rx := p.R
+	st := step(t, rx, rx.Start(), ioa.Wake(ioa.RT))
+	// Header 3 = expect+w-1: last acceptable slot — buffered.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(3), Payload: "m3"}))
+	if got := st.(srRState); len(got.buffer) != 1 {
+		t.Fatalf("last in-window slot rejected: %+v", got)
+	}
+	// Header 4 = expect+w: first slot outside the receive window. With
+	// expect=0 it maps to the below-window range (diff=4, n-diff=4 ≤ w) —
+	// re-acked as a presumed old duplicate, never buffered.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: DataHeader(4), Payload: "m4"}))
+	got := st.(srRState)
+	if len(got.buffer) != 1 {
+		t.Fatalf("out-of-window slot buffered: %+v", got)
+	}
+	if got.acks[len(got.acks)-1] != AckHeader(4) {
+		t.Fatalf("boundary slot not re-acked: %+v", got)
+	}
+}
+
+// TestGBNAckDiffBoundaries checks the transmitter's cumulative-ack window
+// arithmetic at diff = 0, diff = outstanding, and diff = outstanding+1.
+func TestGBNAckDiffBoundaries(t *testing.T) {
+	p := NewGoBackN(8, 4)
+	tx := p.T
+	st := step(t, tx, tx.Start(), ioa.Wake(ioa.TR))
+	for i := 0; i < 3; i++ {
+		st = step(t, tx, st, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i))))
+	}
+	// diff = 3 = outstanding: all three acknowledged.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(3)}))
+	if got := st2.(gbnTState); got.base != 3 || len(got.queue) != 0 {
+		t.Fatalf("diff=outstanding: %+v", got)
+	}
+	// diff = 4 > outstanding (only 3 queued): ignored.
+	st3 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: AckHeader(4)}))
+	if !ioa.StatesEqual(st, st3) {
+		t.Error("ack beyond outstanding accepted")
+	}
+	// diff = 0: duplicate ack, ignored.
+	st4 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 3, Header: AckHeader(0)}))
+	if !ioa.StatesEqual(st, st4) {
+		t.Error("duplicate ack accepted")
+	}
+}
+
+// TestGBNWindowNeverExceedsW: whatever inputs arrive, the transmitter
+// never offers more than w distinct sends.
+func TestGBNWindowNeverExceedsW(t *testing.T) {
+	p := NewGoBackN(4, 3)
+	tx := p.T
+	st := step(t, tx, tx.Start(), ioa.Wake(ioa.TR))
+	for i := 0; i < 10; i++ {
+		st = step(t, tx, st, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("q%d", i))))
+		if got := len(tx.Enabled(st)); got > 3 {
+			t.Fatalf("window exposed %d sends, cap is 3", got)
+		}
+	}
+}
+
+// TestNVEpochNeverRegresses: receiver epochs only move to the epoch of
+// the latest syn; stale data from any other epoch is dead.
+func TestNVEpochNeverRegresses(t *testing.T) {
+	p := NewNonVolatile()
+	rx := p.R
+	st := step(t, rx, rx.Start(), ioa.Wake(ioa.RT))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: SynHeader(2)}))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: EpochDataHeader(2, 0), Payload: "a"}))
+	// A syn for a *different* epoch (even numerically smaller — FIFO makes
+	// this impossible live, but the automaton must be input-enabled)
+	// switches and resets the sequence space.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 3, Header: SynHeader(1)}))
+	got := st.(nvRState)
+	if got.epoch != 1 || got.expect != 0 {
+		t.Fatalf("epoch switch wrong: %+v", got)
+	}
+	// Data for the abandoned epoch 2: ignored.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 4, Header: EpochDataHeader(2, 1), Payload: "b"}))
+	if got := st.(nvRState); len(got.pending) != 1 {
+		t.Fatalf("stale-epoch data accepted: %+v", got)
+	}
+}
+
+// TestFragBoundaryIndices: fragment indices outside [0, f) are foreign
+// headers and must be ignored without panicking.
+func TestFragBoundaryIndices(t *testing.T) {
+	p := NewFragmenting(4, 2)
+	rx := p.R
+	st := step(t, rx, rx.Start(), ioa.Wake(ioa.RT))
+	for _, h := range []ioa.Header{
+		fragHeader(0, 2),              // fragment index = f
+		fragHeader(0, -1),             // negative index
+		ioa.Header("data/0"),          // wrong arity
+		ioa.Header("data/0/1/2"),      // wrong arity
+		ioa.Header("frag-nonsense/0"), // unknown tag
+	} {
+		st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 99, Header: h, Payload: "x"}))
+	}
+	if got := st.(fragRState); len(got.parts) != 0 && len(got.pending) != 0 {
+		t.Fatalf("foreign headers accepted: %+v", got)
+	}
+	// Transmitter side: a fack with out-of-range index is ignored.
+	tx := p.T
+	ts := step(t, tx, tx.Start(), ioa.Wake(ioa.TR))
+	ts = step(t, tx, ts, ioa.SendMsg(ioa.TR, "m"))
+	ts2 := step(t, tx, ts, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: fackHeader(0, 5)}))
+	if !ioa.StatesEqual(ts, ts2) {
+		t.Error("out-of-range fack accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package protocol implements concrete data link protocols as I/O
+// automata: the alternating-bit protocol, Go-Back-N sliding window
+// (the HDLC/SDLC/LAPB family the paper's introduction discusses),
+// Stenning's protocol with unbounded headers, and a Baratz–Segall-style
+// protocol with non-volatile memory that escapes the crash impossibility
+// theorem.
+//
+// All protocols are message-independent: their transition functions branch
+// only on packet headers, never on payloads or packet IDs, and their state
+// fingerprints erase message identities in EquivFingerprint. Packets are
+// emitted with ID zero; the runner relabels them with unique (PL2) IDs.
+package protocol
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// Header constructors and parsers shared by the protocols. Headers are the
+// only packet information protocols may branch on.
+
+// DataHeader returns the header of a data packet with sequence value s.
+func DataHeader(s int) ioa.Header { return ioa.Header("data/" + strconv.Itoa(s)) }
+
+// AckHeader returns the header of an acknowledgement carrying value s.
+func AckHeader(s int) ioa.Header { return ioa.Header("ack/" + strconv.Itoa(s)) }
+
+// SynHeader returns the header of an initialization packet for epoch e.
+func SynHeader(e int) ioa.Header { return ioa.Header("syn/" + strconv.Itoa(e)) }
+
+// SynAckHeader returns the header of an initialization reply for epoch e.
+func SynAckHeader(e int) ioa.Header { return ioa.Header("synack/" + strconv.Itoa(e)) }
+
+// EpochDataHeader returns the header of a data packet with epoch e and
+// sequence s.
+func EpochDataHeader(e, s int) ioa.Header {
+	return ioa.Header("data/" + strconv.Itoa(e) + "/" + strconv.Itoa(s))
+}
+
+// EpochAckHeader returns the header of a cumulative ack for epoch e
+// acknowledging everything below s.
+func EpochAckHeader(e, s int) ioa.Header {
+	return ioa.Header("ack/" + strconv.Itoa(e) + "/" + strconv.Itoa(s))
+}
+
+// ParseHeader splits a header into its slash-separated fields, returning
+// the tag and the integer arguments. ok is false for foreign headers,
+// which protocols ignore (input-enabledness requires accepting any
+// packet).
+func ParseHeader(h ioa.Header) (tag string, args []int, ok bool) {
+	parts := strings.Split(string(h), "/")
+	if len(parts) < 2 {
+		return "", nil, false
+	}
+	args = make([]int, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return "", nil, false
+		}
+		args = append(args, v)
+	}
+	return parts[0], args, true
+}
+
+// parse1 extracts a single-argument header with the given tag.
+func parse1(h ioa.Header, tag string) (int, bool) {
+	t, args, ok := ParseHeader(h)
+	if !ok || t != tag || len(args) != 1 {
+		return 0, false
+	}
+	return args[0], true
+}
+
+// parse2 extracts a two-argument header with the given tag.
+func parse2(h ioa.Header, tag string) (int, int, bool) {
+	t, args, ok := ParseHeader(h)
+	if !ok || t != tag || len(args) != 2 {
+		return 0, 0, false
+	}
+	return args[0], args[1], true
+}
+
+// Fairness class names shared by the protocol automata.
+const (
+	// ClassXmit contains a transmitter's data send_pkt actions.
+	ClassXmit ioa.Class = "xmit"
+	// ClassInit contains a transmitter's initialization send_pkt actions.
+	ClassInit ioa.Class = "init"
+	// ClassAck contains a receiver's acknowledgement send_pkt actions.
+	ClassAck ioa.Class = "ack"
+	// ClassDeliver contains a receiver's receive_msg output actions.
+	ClassDeliver ioa.Class = "deliver"
+)
+
+// fpMsgs renders a message queue exactly for Fingerprint.
+func fpMsgs(ms []ioa.Message) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = strconv.Quote(string(m))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// eqMsgs renders a message queue with identities erased for
+// EquivFingerprint: only the queue length is visible to the equivalence.
+func eqMsgs(ms []ioa.Message) string {
+	return "[#" + strconv.Itoa(len(ms)) + "]"
+}
+
+// fpHeaders renders a header queue (headers survive the equivalence).
+func fpHeaders(hs []ioa.Header) string {
+	parts := make([]string, len(hs))
+	for i, h := range hs {
+		parts[i] = string(h)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// cloneMsgs copies a message slice (states are values; steps never alias).
+func cloneMsgs(ms []ioa.Message) []ioa.Message {
+	if ms == nil {
+		return nil
+	}
+	return append([]ioa.Message(nil), ms...)
+}
+
+// cloneHeaders copies a header slice.
+func cloneHeaders(hs []ioa.Header) []ioa.Header {
+	if hs == nil {
+		return nil
+	}
+	return append([]ioa.Header(nil), hs...)
+}
+
+// dataPkt builds an unlabelled data packet (ID assigned by the runner).
+func dataPkt(h ioa.Header, payload ioa.Message) ioa.Packet {
+	return ioa.Packet{Header: h, Payload: payload}
+}
+
+// ctrlPkt builds an unlabelled control packet with no payload.
+func ctrlPkt(h ioa.Header) ioa.Packet { return ioa.Packet{Header: h} }
+
+// sendPktEnabled checks a requested send_pkt output against the single
+// packet shape the automaton is currently willing to send, ignoring the
+// runner-assigned ID (footnote 4: IDs are analysis labels).
+func sendPktEnabled(got, want ioa.Packet) bool {
+	return got.Header == want.Header && got.Payload == want.Payload
+}
+
+// errNotEnabled wraps ioa.ErrNotEnabled with context.
+func errNotEnabled(name string, a ioa.Action) error {
+	return fmt.Errorf("%w: %s in %s", ioa.ErrNotEnabled, a, name)
+}
+
+// errBadState wraps ioa.ErrBadState with context.
+func errBadState(name string, got interface{}) error {
+	return fmt.Errorf("%w: %s got %T", ioa.ErrBadState, name, got)
+}
+
+// errNotInSignature wraps ioa.ErrNotInSignature with context.
+func errNotInSignature(name string, a ioa.Action) error {
+	return fmt.Errorf("%w: %s for %s", ioa.ErrNotInSignature, a, name)
+}

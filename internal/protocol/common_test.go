@@ -1,0 +1,128 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestHeaderConstructorsAndParsers(t *testing.T) {
+	tests := []struct {
+		header   ioa.Header
+		tag      string
+		args     []int
+		parsable bool
+	}{
+		{DataHeader(3), "data", []int{3}, true},
+		{AckHeader(0), "ack", []int{0}, true},
+		{SynHeader(7), "syn", []int{7}, true},
+		{SynAckHeader(2), "synack", []int{2}, true},
+		{EpochDataHeader(1, 5), "data", []int{1, 5}, true},
+		{EpochAckHeader(4, 0), "ack", []int{4, 0}, true},
+		{ioa.Header("garbage"), "", nil, false},
+		{ioa.Header("data/xyz"), "", nil, false},
+		{ioa.Header(""), "", nil, false},
+	}
+	for _, tt := range tests {
+		tag, args, ok := ParseHeader(tt.header)
+		if ok != tt.parsable {
+			t.Errorf("ParseHeader(%s) ok = %v, want %v", tt.header, ok, tt.parsable)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if tag != tt.tag || len(args) != len(tt.args) {
+			t.Errorf("ParseHeader(%s) = %s %v, want %s %v", tt.header, tag, args, tt.tag, tt.args)
+			continue
+		}
+		for i := range args {
+			if args[i] != tt.args[i] {
+				t.Errorf("ParseHeader(%s) args = %v, want %v", tt.header, args, tt.args)
+			}
+		}
+	}
+}
+
+func TestParse1Parse2(t *testing.T) {
+	if v, ok := parse1(DataHeader(5), "data"); !ok || v != 5 {
+		t.Errorf("parse1(data/5) = %d,%v", v, ok)
+	}
+	if _, ok := parse1(DataHeader(5), "ack"); ok {
+		t.Error("parse1 with wrong tag should fail")
+	}
+	if _, ok := parse1(EpochDataHeader(1, 2), "data"); ok {
+		t.Error("parse1 of a two-argument header should fail")
+	}
+	if e, s, ok := parse2(EpochAckHeader(3, 9), "ack"); !ok || e != 3 || s != 9 {
+		t.Errorf("parse2(ack/3/9) = %d,%d,%v", e, s, ok)
+	}
+	if _, _, ok := parse2(AckHeader(3), "ack"); ok {
+		t.Error("parse2 of a one-argument header should fail")
+	}
+}
+
+func TestNewGoBackNValidation(t *testing.T) {
+	for _, bad := range [][2]int{{1, 1}, {4, 0}, {4, 4}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGoBackN(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewGoBackN(bad[0], bad[1])
+		}()
+	}
+	// Valid parameters must not panic.
+	NewGoBackN(2, 1)
+	NewGoBackN(8, 7)
+}
+
+func TestProtocolMetadata(t *testing.T) {
+	abp := NewABP()
+	if !abp.Props.Crashing || !abp.Props.MessageIndependent || !abp.Props.BoundedHeaders() {
+		t.Errorf("ABP metadata wrong: %+v", abp.Props)
+	}
+	if len(abp.Props.Headers) != 4 {
+		t.Errorf("ABP headers = %v", abp.Props.Headers)
+	}
+	gbn := NewGoBackN(8, 3)
+	if len(gbn.Props.Headers) != 16 {
+		t.Errorf("GBN(8) headers = %d, want 16", len(gbn.Props.Headers))
+	}
+	stn := NewStenning()
+	if stn.Props.BoundedHeaders() {
+		t.Error("Stenning must have unbounded headers")
+	}
+	if stn.Props.RequiresFIFO {
+		t.Error("Stenning works over non-FIFO channels")
+	}
+	nv := NewNonVolatile()
+	if nv.Props.Crashing {
+		t.Error("the non-volatile protocol must not claim the crashing property")
+	}
+}
+
+func TestStatesAreValues(t *testing.T) {
+	// Steps must never alias: mutating the successor's queue (via a
+	// further step) must not affect the predecessor.
+	tx := &abpTransmitter{}
+	s0 := tx.Start()
+	s1, err := tx.Step(s0, ioa.SendMsg(ioa.TR, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tx.Step(s1, ioa.SendMsg(ioa.TR, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.(abpTState).queue) != 1 {
+		t.Error("step aliased predecessor state")
+	}
+	if len(s2.(abpTState).queue) != 2 {
+		t.Error("successor missing message")
+	}
+	if len(s0.(abpTState).queue) != 0 {
+		t.Error("start state mutated")
+	}
+}

@@ -1,0 +1,375 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewFragmenting returns a stop-and-wait protocol (one message outstanding,
+// sequence numbers modulo n) that carries every message in exactly f
+// fragments. Each fragment is a separate packet with header data/<seq>/<i>
+// and is acknowledged individually with fack/<seq>/<i>; the transmitter
+// advances to the next message once all f fragment acks for the current
+// sequence have arrived, and it retransmits only still-unacknowledged
+// fragments.
+//
+// Its purpose in the reproduction is the k-boundedness dimension of
+// Theorem 8.5: delivering one message costs f receive_pkt events on the
+// t→r channel, so the protocol is f-bounded (not 1-bounded like the
+// others), and the Lemma 8.3 pump must accumulate up to k = f stale
+// equivalents per header class before its attack fires. The header space
+// is {data/s/i, fack/s/i : s < n, i < f}, of size 2·n·f. The fragment
+// count is fixed — independent of message contents — so the protocol is
+// message-independent (the paper's §9 discusses the length-dependent
+// variant).
+//
+// It panics on invalid parameters, which indicate a caller bug.
+func NewFragmenting(n, f int) core.Protocol {
+	if n < 2 || f < 1 {
+		panic(fmt.Sprintf("protocol: invalid fragmenting parameters n=%d f=%d (need n ≥ 2, f ≥ 1)", n, f))
+	}
+	headers := make([]ioa.Header, 0, 2*n*f)
+	for s := 0; s < n; s++ {
+		for i := 0; i < f; i++ {
+			headers = append(headers, fragHeader(s, i), fackHeader(s, i))
+		}
+	}
+	return core.Protocol{
+		Name: fmt.Sprintf("frag(n=%d,f=%d)", n, f),
+		T:    &fragTransmitter{n: n, f: f},
+		R:    &fragReceiver{n: n, f: f},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers:            headers,
+			KBound:             f,
+			RequiresFIFO:       true,
+		},
+	}
+}
+
+// fragHeader is the header of fragment i of the message with sequence s.
+func fragHeader(s, i int) ioa.Header {
+	return ioa.Header(fmt.Sprintf("data/%d/%d", s, i))
+}
+
+// fackHeader is the header acknowledging fragment i of sequence s.
+func fackHeader(s, i int) ioa.Header {
+	return ioa.Header(fmt.Sprintf("fack/%d/%d", s, i))
+}
+
+// splitFragments cuts a message into exactly f contiguous pieces (some
+// possibly empty). The cut positions depend only on the length, and the
+// fragment count only on f, so equivalent runs use identical headers.
+func splitFragments(m ioa.Message, f int) []ioa.Message {
+	s := string(m)
+	out := make([]ioa.Message, f)
+	per := (len(s) + f - 1) / f
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < f; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(s) {
+			lo = len(s)
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		out[i] = ioa.Message(s[lo:hi])
+	}
+	return out
+}
+
+// joinFragments reassembles what splitFragments cut.
+func joinFragments(parts []ioa.Message) ioa.Message {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(string(p))
+	}
+	return ioa.Message(b.String())
+}
+
+// fragTState is the fragmenting transmitter state: seq is the absolute
+// sequence of queue[0], acked[i] records receipt of fack/<seq>/<i>, and
+// next is the rotation cursor over fragment indices: exactly one fragment
+// (the first unacknowledged one at or after next, cyclically) is offered
+// for transmission at a time, so the send rate matches the channel's
+// delivery rate and every fragment still gets turns.
+type fragTState struct {
+	awake bool
+	seq   int
+	next  int
+	queue []ioa.Message
+	acked []bool
+}
+
+var _ ioa.EquivState = fragTState{}
+
+func (s fragTState) Fingerprint() string {
+	return fmt.Sprintf("fragT{awake=%t seq=%d next=%d q=%s acked=%s}", s.awake, s.seq, s.next, fpMsgs(s.queue), fpBools(s.acked))
+}
+
+func (s fragTState) EquivFingerprint() string {
+	return fmt.Sprintf("fragT{awake=%t seq=%d next=%d q=%s acked=%s}", s.awake, s.seq, s.next, eqMsgs(s.queue), fpBools(s.acked))
+}
+
+func (s fragTState) clone() fragTState {
+	s.queue = cloneMsgs(s.queue)
+	s.acked = append([]bool(nil), s.acked...)
+	return s
+}
+
+// fragTransmitter is A^t of the fragmenting protocol.
+type fragTransmitter struct {
+	n, f int
+}
+
+var _ ioa.Automaton = (*fragTransmitter)(nil)
+
+func (t *fragTransmitter) Name() string { return fmt.Sprintf("frag(%d,%d).T", t.n, t.f) }
+
+func (*fragTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*fragTransmitter) Start() ioa.State { return fragTState{} }
+
+func (t *fragTransmitter) fragAcked(s fragTState, i int) bool {
+	return i < len(s.acked) && s.acked[i]
+}
+
+// wantIndex returns the fragment index currently offered for transmission:
+// the first unacknowledged index at or after the rotation cursor,
+// cyclically. ok is false when nothing is sendable.
+func (t *fragTransmitter) wantIndex(s fragTState) (int, bool) {
+	if !s.awake || len(s.queue) == 0 {
+		return 0, false
+	}
+	for off := 0; off < t.f; off++ {
+		i := (s.next + off) % t.f
+		if !t.fragAcked(s, i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// wants returns the single fragment currently offered for transmission.
+func (t *fragTransmitter) wants(s fragTState) []ioa.Packet {
+	i, ok := t.wantIndex(s)
+	if !ok {
+		return nil
+	}
+	frags := splitFragments(s.queue[0], t.f)
+	return []ioa.Packet{dataPkt(fragHeader(s.seq%t.n, i), frags[i])}
+}
+
+func (t *fragTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(fragTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		return fragTState{}, nil
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		seq, frag, isFack := parse2(a.Pkt.Header, "fack")
+		if !isFack || len(s.queue) == 0 || seq != s.seq%t.n || frag < 0 || frag >= t.f || t.fragAcked(s, frag) {
+			return s, nil
+		}
+		s = s.clone()
+		for len(s.acked) < t.f {
+			s.acked = append(s.acked, false)
+		}
+		s.acked[frag] = true
+		all := true
+		for _, b := range s.acked {
+			all = all && b
+		}
+		if all {
+			s.queue = s.queue[1:]
+			s.seq++
+			s.acked = nil
+			s.next = 0
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		for _, want := range t.wants(s) {
+			if sendPktEnabled(a.Pkt, want) {
+				// Advance the rotation cursor so the next unacknowledged
+				// fragment gets the next turn: single-class fairness then
+				// suffices for per-fragment liveness, and the transmitter
+				// sends at most one packet per scheduling turn.
+				i, _ := t.wantIndex(s)
+				s = s.clone()
+				s.next = (i + 1) % t.f
+				return s, nil
+			}
+		}
+		return nil, errNotEnabled(t.Name(), a)
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *fragTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(fragTState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	for _, p := range t.wants(s) {
+		out = append(out, ioa.SendPkt(ioa.TR, p))
+	}
+	return out
+}
+
+func (*fragTransmitter) ClassOf(ioa.Action) ioa.Class { return ClassXmit }
+
+func (*fragTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassXmit} }
+
+// fragRState is the fragmenting receiver state: parts accumulates the
+// in-order fragments of the message with absolute sequence expect.
+type fragRState struct {
+	awake   bool
+	expect  int
+	parts   []ioa.Message
+	acks    []ioa.Header
+	pending []ioa.Message
+}
+
+var _ ioa.EquivState = fragRState{}
+
+func (s fragRState) Fingerprint() string {
+	return fmt.Sprintf("fragR{awake=%t exp=%d parts=%s acks=%s pend=%s}",
+		s.awake, s.expect, fpMsgs(s.parts), fpHeaders(s.acks), fpMsgs(s.pending))
+}
+
+func (s fragRState) EquivFingerprint() string {
+	return fmt.Sprintf("fragR{awake=%t exp=%d parts=%s acks=%s pend=%s}",
+		s.awake, s.expect, eqMsgs(s.parts), fpHeaders(s.acks), eqMsgs(s.pending))
+}
+
+func (s fragRState) clone() fragRState {
+	s.parts = cloneMsgs(s.parts)
+	s.acks = cloneHeaders(s.acks)
+	s.pending = cloneMsgs(s.pending)
+	return s
+}
+
+// fragReceiver is A^r of the fragmenting protocol: it accepts the
+// fragments of the expected sequence strictly in order, acknowledging each
+// accepted or duplicate fragment individually.
+type fragReceiver struct {
+	n, f int
+}
+
+var _ ioa.Automaton = (*fragReceiver)(nil)
+
+func (r *fragReceiver) Name() string { return fmt.Sprintf("frag(%d,%d).R", r.n, r.f) }
+
+func (*fragReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*fragReceiver) Start() ioa.State { return fragRState{} }
+
+func (r *fragReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(fragRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return fragRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		seq, frag, isData := parse2(a.Pkt.Header, "data")
+		if !isData {
+			return s, nil
+		}
+		switch {
+		case seq == s.expect%r.n && frag == len(s.parts):
+			// The next fragment of the expected message, in order.
+			s = s.clone()
+			s.parts = append(s.parts, a.Pkt.Payload)
+			s.acks = append(s.acks, fackHeader(seq, frag))
+			if len(s.parts) == r.f {
+				s.pending = append(s.pending, joinFragments(s.parts))
+				s.parts = nil
+				s.expect++
+			}
+			return s, nil
+		case seq == s.expect%r.n && frag < len(s.parts),
+			seq == (s.expect+r.n-1)%r.n && len(s.parts) == 0:
+			// A duplicate of an already-accepted fragment (current message
+			// or the just-completed one): re-ack so a lost fack cannot
+			// wedge the transmitter.
+			s = s.clone()
+			s.acks = append(s.acks, fackHeader(seq, frag))
+			return s, nil
+		default:
+			return s, nil // out-of-order fragment: ignore, never ack
+		}
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *fragReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(fragRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*fragReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*fragReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

@@ -1,0 +1,261 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewGoBackN returns a Go-Back-N sliding window protocol with sequence
+// numbers modulo n and window size w (1 ≤ w ≤ n-1): the classic ARQ shape
+// of HDLC, SDLC and LAPB. Acknowledgements are cumulative and carry the
+// receiver's next expected sequence number modulo n. The protocol is
+// correct over FIFO physical channels, message-independent, crashing,
+// 1-bounded, and has the bounded header set {data/i, ack/i : 0 ≤ i < n}.
+// It panics if the window parameters are invalid, since that is a caller
+// bug, not a runtime condition.
+func NewGoBackN(n, w int) core.Protocol {
+	if n < 2 || w < 1 || w > n-1 {
+		panic(fmt.Sprintf("protocol: invalid Go-Back-N parameters n=%d w=%d (need n ≥ 2, 1 ≤ w ≤ n-1)", n, w))
+	}
+	headers := make([]ioa.Header, 0, 2*n)
+	for i := 0; i < n; i++ {
+		headers = append(headers, DataHeader(i), AckHeader(i))
+	}
+	return core.Protocol{
+		Name: fmt.Sprintf("gbn(n=%d,w=%d)", n, w),
+		T:    &gbnTransmitter{n: n, w: w},
+		R:    &gbnReceiver{n: n},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers:            headers,
+			KBound:             1,
+			RequiresFIFO:       true,
+		},
+	}
+}
+
+// gbnTState is the Go-Back-N transmitter state: base is the absolute
+// sequence number of queue[0] (the oldest unacknowledged message); only
+// base mod n appears on the wire. The zero value is the start state.
+type gbnTState struct {
+	awake bool
+	base  int
+	queue []ioa.Message
+}
+
+var _ ioa.EquivState = gbnTState{}
+
+func (s gbnTState) Fingerprint() string {
+	return fmt.Sprintf("gbnT{awake=%t base=%d q=%s}", s.awake, s.base, fpMsgs(s.queue))
+}
+
+func (s gbnTState) EquivFingerprint() string {
+	return fmt.Sprintf("gbnT{awake=%t base=%d q=%s}", s.awake, s.base, eqMsgs(s.queue))
+}
+
+func (s gbnTState) clone() gbnTState {
+	s.queue = cloneMsgs(s.queue)
+	return s
+}
+
+// gbnTransmitter is A^t of Go-Back-N.
+type gbnTransmitter struct {
+	n, w int
+}
+
+var _ ioa.Automaton = (*gbnTransmitter)(nil)
+
+func (t *gbnTransmitter) Name() string { return fmt.Sprintf("gbn(%d,%d).T", t.n, t.w) }
+
+func (*gbnTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*gbnTransmitter) Start() ioa.State { return gbnTState{} }
+
+// windowSize returns how many queued messages are currently transmittable.
+func (t *gbnTransmitter) windowSize(s gbnTState) int {
+	if len(s.queue) < t.w {
+		return len(s.queue)
+	}
+	return t.w
+}
+
+func (t *gbnTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(gbnTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		return gbnTState{}, nil
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		j, isAck := parse1(a.Pkt.Header, "ack")
+		if !isAck {
+			return s, nil
+		}
+		// Cumulative ack: j is the receiver's next expected sequence mod n.
+		// diff ∈ [1, window] messages are newly acknowledged; the mod-n
+		// ambiguity here is exactly what reordering channels exploit.
+		diff := ((j-s.base)%t.n + t.n) % t.n
+		if diff >= 1 && diff <= t.windowSize(s) {
+			s = s.clone()
+			s.queue = s.queue[diff:]
+			s.base += diff
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		if s.awake {
+			for i := 0; i < t.windowSize(s); i++ {
+				if sendPktEnabled(a.Pkt, dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])) {
+					return s, nil
+				}
+			}
+		}
+		return nil, errNotEnabled(t.Name(), a)
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *gbnTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(gbnTState)
+	if !ok || !s.awake {
+		return nil
+	}
+	var out []ioa.Action
+	for i := 0; i < t.windowSize(s); i++ {
+		out = append(out, ioa.SendPkt(ioa.TR, dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])))
+	}
+	return out
+}
+
+func (*gbnTransmitter) ClassOf(ioa.Action) ioa.Class { return ClassXmit }
+
+func (*gbnTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassXmit} }
+
+// gbnRState is the Go-Back-N receiver state: expect is the absolute next
+// expected sequence number (expect mod n on the wire).
+type gbnRState struct {
+	awake   bool
+	expect  int
+	acks    []ioa.Header
+	pending []ioa.Message
+}
+
+var _ ioa.EquivState = gbnRState{}
+
+func (s gbnRState) Fingerprint() string {
+	return fmt.Sprintf("gbnR{awake=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+}
+
+func (s gbnRState) EquivFingerprint() string {
+	return fmt.Sprintf("gbnR{awake=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.expect, fpHeaders(s.acks), eqMsgs(s.pending))
+}
+
+func (s gbnRState) clone() gbnRState {
+	s.acks = cloneHeaders(s.acks)
+	s.pending = cloneMsgs(s.pending)
+	return s
+}
+
+// gbnReceiver is A^r of Go-Back-N.
+type gbnReceiver struct {
+	n int
+}
+
+var _ ioa.Automaton = (*gbnReceiver)(nil)
+
+func (r *gbnReceiver) Name() string { return fmt.Sprintf("gbn(%d).R", r.n) }
+
+func (*gbnReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*gbnReceiver) Start() ioa.State { return gbnRState{} }
+
+func (r *gbnReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(gbnRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return gbnRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		v, isData := parse1(a.Pkt.Header, "data")
+		if !isData {
+			return s, nil
+		}
+		s = s.clone()
+		if v == s.expect%r.n {
+			s.pending = append(s.pending, a.Pkt.Payload)
+			s.expect++
+		}
+		// Cumulative ack of the next expected sequence, one per received
+		// data packet so that fair runs quiesce.
+		s.acks = append(s.acks, AckHeader(s.expect%r.n))
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *gbnReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(gbnRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*gbnReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*gbnReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

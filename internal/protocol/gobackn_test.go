@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestGBNTransmitterWindow(t *testing.T) {
+	p := NewGoBackN(8, 3)
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	for i := 0; i < 5; i++ {
+		st = step(t, tx, st, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i))))
+	}
+	enabled := tx.Enabled(st)
+	if len(enabled) != 3 {
+		t.Fatalf("window should expose 3 sends, got %d: %v", len(enabled), enabled)
+	}
+	for i, a := range enabled {
+		wantH := DataHeader(i % 8)
+		if a.Pkt.Header != wantH {
+			t.Errorf("enabled[%d] header = %s, want %s", i, a.Pkt.Header, wantH)
+		}
+		if a.Pkt.Payload != ioa.Message(fmt.Sprintf("m%d", i)) {
+			t.Errorf("enabled[%d] payload = %s", i, a.Pkt.Payload)
+		}
+	}
+}
+
+func TestGBNCumulativeAck(t *testing.T) {
+	p := NewGoBackN(8, 3)
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	for i := 0; i < 4; i++ {
+		st = step(t, tx, st, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i))))
+	}
+	// Ack "next expected = 2" acknowledges m0, m1.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(2)}))
+	got := st.(gbnTState)
+	if got.base != 2 || len(got.queue) != 2 {
+		t.Fatalf("after cumulative ack: base=%d queue=%d", got.base, len(got.queue))
+	}
+	// Duplicate ack (next expected = 2 = base): ignored.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: AckHeader(2)}))
+	if !ioa.StatesEqual(st, st2) {
+		t.Error("duplicate ack changed state")
+	}
+	// Ack beyond the window (diff > outstanding): ignored.
+	st3 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 3, Header: AckHeader(7)}))
+	if !ioa.StatesEqual(st, st3) {
+		t.Error("out-of-window ack changed state")
+	}
+}
+
+func TestGBNModularAckAmbiguity(t *testing.T) {
+	// The mod-N ambiguity Theorem 8.5 exploits, in miniature: with n=2 an
+	// ack for "next expected 1" is indistinguishable from one sent a full
+	// cycle earlier. The transmitter accepts it whenever diff ∈ [1, w].
+	p := NewGoBackN(2, 1)
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m0"))
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(1)}))
+	if st.(gbnTState).base != 1 {
+		t.Fatal("genuine ack rejected")
+	}
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m2"))
+	// A STALE ack/0 from before (reordered) falsely acknowledges m2: the
+	// bounded header cannot distinguish it from a fresh ack/0.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: AckHeader(0)}))
+	if st.(gbnTState).base != 2 {
+		t.Error("mod-2 ambiguity should have advanced the window on the stale ack")
+	}
+}
+
+func TestGBNReceiverInOrderAcceptance(t *testing.T) {
+	p := NewGoBackN(4, 1)
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	// In-order: accepted.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(0), Payload: "m0"}))
+	got := st.(gbnRState)
+	if got.expect != 1 || len(got.pending) != 1 {
+		t.Fatalf("after in-order data: %+v", got)
+	}
+	if got.acks[0] != AckHeader(1) {
+		t.Errorf("cumulative ack = %s, want ack/1", got.acks[0])
+	}
+	// Out-of-order (seq 2 while expecting 1): discarded but acked with the
+	// current expectation.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: DataHeader(2), Payload: "m2"}))
+	got = st.(gbnRState)
+	if len(got.pending) != 1 || got.expect != 1 {
+		t.Error("out-of-order data accepted")
+	}
+	if got.acks[1] != AckHeader(1) {
+		t.Errorf("out-of-order ack = %s, want ack/1", got.acks[1])
+	}
+	// Wrap-around: after 4 in-order packets the expected header repeats.
+	st = rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	for i := 0; i < 5; i++ {
+		st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{
+			ID: uint64(10 + i), Header: DataHeader(i % 4), Payload: ioa.Message(fmt.Sprintf("w%d", i)),
+		}))
+	}
+	got = st.(gbnRState)
+	if got.expect != 5 || len(got.pending) != 5 {
+		t.Errorf("wrap-around acceptance: expect=%d pending=%d", got.expect, len(got.pending))
+	}
+}
+
+func TestGBNCrashResets(t *testing.T) {
+	p := NewGoBackN(4, 2)
+	st := step(t, p.T, p.T.Start(), ioa.Wake(ioa.TR))
+	st = step(t, p.T, st, ioa.SendMsg(ioa.TR, "x"))
+	st = step(t, p.T, st, ioa.Crash(ioa.TR))
+	if !ioa.StatesEqual(st, p.T.Start()) {
+		t.Error("GBN transmitter crash does not reset")
+	}
+	rst := step(t, p.R, p.R.Start(), ioa.Wake(ioa.RT))
+	rst = step(t, p.R, rst, ioa.Crash(ioa.RT))
+	if !ioa.StatesEqual(rst, p.R.Start()) {
+		t.Error("GBN receiver crash does not reset")
+	}
+}

@@ -1,0 +1,276 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewHandshake returns an alternating-bit protocol preceded by a
+// connection handshake (syn / synack), with ALL state volatile: the shape
+// of the HDLC-family initialization procedures whose crash behaviour
+// Baratz and Segall analysed. The handshake makes the failure-free
+// reference execution chattier — the two stations alternate more — so the
+// Theorem 7.5 crash pump needs a deeper chain of crash-and-replay phases
+// than for plain ABP, which the ablation benchmarks measure. Being
+// crashing and bounded-header (six headers), it is defeated by both
+// adversaries; its k-bound is 2 because the first message of a connection
+// costs a syn delivery in addition to its data packet.
+func NewHandshake() core.Protocol {
+	return core.Protocol{
+		Name: "handshake",
+		T:    &hsTransmitter{},
+		R:    &hsReceiver{},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers: []ioa.Header{
+				SynHeader(0), SynAckHeader(0),
+				DataHeader(0), DataHeader(1), AckHeader(0), AckHeader(1),
+			},
+			KBound:       2,
+			RequiresFIFO: true,
+		},
+	}
+}
+
+// hsTState is the handshake transmitter state; everything is volatile.
+type hsTState struct {
+	awake bool
+	conn  bool
+	bit   int
+	queue []ioa.Message
+}
+
+var _ ioa.EquivState = hsTState{}
+
+func (s hsTState) Fingerprint() string {
+	return fmt.Sprintf("hsT{awake=%t conn=%t bit=%d q=%s}", s.awake, s.conn, s.bit, fpMsgs(s.queue))
+}
+
+func (s hsTState) EquivFingerprint() string {
+	return fmt.Sprintf("hsT{awake=%t conn=%t bit=%d q=%s}", s.awake, s.conn, s.bit, eqMsgs(s.queue))
+}
+
+func (s hsTState) clone() hsTState {
+	s.queue = cloneMsgs(s.queue)
+	return s
+}
+
+// hsTransmitter is A^t of the handshake protocol.
+type hsTransmitter struct{}
+
+var _ ioa.Automaton = (*hsTransmitter)(nil)
+
+func (*hsTransmitter) Name() string { return "hs.T" }
+
+func (*hsTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*hsTransmitter) Start() ioa.State { return hsTState{} }
+
+func (s hsTState) wants() []ioa.Packet {
+	if !s.awake {
+		return nil
+	}
+	if !s.conn {
+		return []ioa.Packet{ctrlPkt(SynHeader(0))}
+	}
+	if len(s.queue) > 0 {
+		return []ioa.Packet{dataPkt(DataHeader(s.bit), s.queue[0])}
+	}
+	return nil
+}
+
+func (t *hsTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(hsTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		return hsTState{}, nil // fully volatile: the crashing property
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		if _, isSynAck := parse1(a.Pkt.Header, "synack"); isSynAck {
+			if !s.conn {
+				s = s.clone()
+				s.conn = true
+				s.bit = 0
+			}
+			return s, nil
+		}
+		if b, isAck := parse1(a.Pkt.Header, "ack"); isAck {
+			if s.conn && b == s.bit && len(s.queue) > 0 {
+				s = s.clone()
+				s.queue = s.queue[1:]
+				s.bit = 1 - s.bit
+			}
+			return s, nil
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		for _, want := range s.wants() {
+			if sendPktEnabled(a.Pkt, want) {
+				return s, nil
+			}
+		}
+		return nil, errNotEnabled(t.Name(), a)
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *hsTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(hsTState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	for _, p := range s.wants() {
+		out = append(out, ioa.SendPkt(ioa.TR, p))
+	}
+	return out
+}
+
+func (*hsTransmitter) ClassOf(a ioa.Action) ioa.Class {
+	if tag, _, ok := ParseHeader(a.Pkt.Header); ok && tag == "syn" {
+		return ClassInit
+	}
+	return ClassXmit
+}
+
+func (*hsTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassInit, ClassXmit} }
+
+// hsRState is the handshake receiver state; everything is volatile.
+type hsRState struct {
+	awake   bool
+	conn    bool
+	expect  int
+	acks    []ioa.Header
+	pending []ioa.Message
+}
+
+var _ ioa.EquivState = hsRState{}
+
+func (s hsRState) Fingerprint() string {
+	return fmt.Sprintf("hsR{awake=%t conn=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.conn, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+}
+
+func (s hsRState) EquivFingerprint() string {
+	return fmt.Sprintf("hsR{awake=%t conn=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.conn, s.expect, fpHeaders(s.acks), eqMsgs(s.pending))
+}
+
+func (s hsRState) clone() hsRState {
+	s.acks = cloneHeaders(s.acks)
+	s.pending = cloneMsgs(s.pending)
+	return s
+}
+
+// hsReceiver is A^r of the handshake protocol.
+type hsReceiver struct{}
+
+var _ ioa.Automaton = (*hsReceiver)(nil)
+
+func (*hsReceiver) Name() string { return "hs.R" }
+
+func (*hsReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*hsReceiver) Start() ioa.State { return hsRState{} }
+
+func (r *hsReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(hsRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return hsRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		if _, isSyn := parse1(a.Pkt.Header, "syn"); isSyn {
+			s = s.clone()
+			if !s.conn {
+				// New connection: restart the bit sequence. This is the
+				// unprotected initialization that crashes exploit.
+				s.conn = true
+				s.expect = 0
+			}
+			s.acks = append(s.acks, SynAckHeader(0))
+			return s, nil
+		}
+		if b, isData := parse1(a.Pkt.Header, "data"); isData {
+			if !s.conn {
+				return s, nil // data before handshake: ignore
+			}
+			s = s.clone()
+			if b == s.expect {
+				s.pending = append(s.pending, a.Pkt.Payload)
+				s.expect = 1 - s.expect
+			}
+			s.acks = append(s.acks, AckHeader(b))
+			return s, nil
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *hsReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(hsRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*hsReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*hsReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

@@ -1,0 +1,309 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewNonVolatile returns a Baratz–Segall-style protocol that tolerates
+// host crashes using non-volatile memory, demonstrating that Theorem 7.5
+// is tight: its hypothesis (the *crashing* property — a crash resets the
+// automaton to its start state) fails for this protocol, and the protocol
+// indeed provides weak data-link behavior across arbitrary crash/loss
+// schedules.
+//
+// Design, following the link-initialization idea of [BS83]: the
+// transmitter keeps a non-volatile epoch counter that it increments on
+// every crash; after a crash it runs a handshake (syn/e, synack/e) before
+// resuming data transfer, and all data and ack packets are tagged with the
+// epoch. The receiver keeps its current epoch, its next expected sequence
+// number, and its accepted-but-undelivered messages in non-volatile
+// memory. ([BS83] achieves link-failure tolerance with a single
+// non-volatile bit; tolerating host crashes of both stations needs the
+// receiver-side counters too, which is consistent with Theorem 7.5 — some
+// non-volatile state is unavoidable.)
+//
+// Crash semantics in the model: crash^{t,r} maps the transmitter state to
+// a state that preserves only the epoch counter (incremented); crash^{r,t}
+// preserves the receiver's epoch, expected sequence and undelivered queue.
+// Neither automaton returns to its start state, so the protocol is not
+// crashing and the crash-pump adversary's hypothesis check rejects it.
+//
+// Liveness note: messages accepted by the transmitter before one of its
+// crashes may be lost, which is permitted — a crash ends the transmitter
+// working interval, and (DL8) only obliges delivery of messages sent in an
+// unbounded working interval.
+func NewNonVolatile() core.Protocol {
+	return core.Protocol{
+		Name: "nonvolatile",
+		T:    &nvTransmitter{},
+		R:    &nvReceiver{},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           false, // non-volatile memory survives crashes
+			Headers:            nil,   // epochs are unbounded
+			KBound:             1,
+			RequiresFIFO:       true,
+		},
+	}
+}
+
+// nvTState is the non-volatile protocol's transmitter state. epoch is
+// non-volatile; everything else is volatile.
+type nvTState struct {
+	epoch int // non-volatile crash counter
+	awake bool
+	conn  bool // handshake for the current epoch completed
+	base  int  // absolute sequence of queue[0] within the current epoch
+	queue []ioa.Message
+}
+
+var _ ioa.EquivState = nvTState{}
+
+func (s nvTState) Fingerprint() string {
+	return fmt.Sprintf("nvT{e=%d awake=%t conn=%t base=%d q=%s}",
+		s.epoch, s.awake, s.conn, s.base, fpMsgs(s.queue))
+}
+
+func (s nvTState) EquivFingerprint() string {
+	return fmt.Sprintf("nvT{e=%d awake=%t conn=%t base=%d q=%s}",
+		s.epoch, s.awake, s.conn, s.base, eqMsgs(s.queue))
+}
+
+func (s nvTState) clone() nvTState {
+	s.queue = cloneMsgs(s.queue)
+	return s
+}
+
+// nvTransmitter is A^t of the non-volatile protocol.
+type nvTransmitter struct{}
+
+var _ ioa.Automaton = (*nvTransmitter)(nil)
+
+func (*nvTransmitter) Name() string { return "nv.T" }
+
+func (*nvTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*nvTransmitter) Start() ioa.State { return nvTState{} }
+
+// wants returns the packets the transmitter is currently willing to send.
+func (s nvTState) wants() []ioa.Packet {
+	if !s.awake {
+		return nil
+	}
+	if !s.conn {
+		return []ioa.Packet{ctrlPkt(SynHeader(s.epoch))}
+	}
+	if len(s.queue) > 0 {
+		return []ioa.Packet{dataPkt(EpochDataHeader(s.epoch, s.base), s.queue[0])}
+	}
+	return nil
+}
+
+func (t *nvTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(nvTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		// NOT crashing in the paper's sense: the non-volatile epoch
+		// survives (incremented so the new incarnation is distinguishable).
+		return nvTState{epoch: s.epoch + 1}, nil
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		if e, isSynAck := parse1(a.Pkt.Header, "synack"); isSynAck {
+			if e == s.epoch && !s.conn {
+				s = s.clone()
+				s.conn = true
+				s.base = 0
+				return s, nil
+			}
+			return s, nil
+		}
+		if e, j, isAck := parse2(a.Pkt.Header, "ack"); isAck {
+			if e == s.epoch && s.conn && j > s.base {
+				n := j - s.base
+				if n > len(s.queue) {
+					n = len(s.queue)
+				}
+				s = s.clone()
+				s.queue = s.queue[n:]
+				s.base += n
+			}
+			return s, nil
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		for _, want := range s.wants() {
+			if sendPktEnabled(a.Pkt, want) {
+				return s, nil
+			}
+		}
+		return nil, errNotEnabled(t.Name(), a)
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *nvTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(nvTState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	for _, p := range s.wants() {
+		out = append(out, ioa.SendPkt(ioa.TR, p))
+	}
+	return out
+}
+
+func (*nvTransmitter) ClassOf(a ioa.Action) ioa.Class {
+	if tag, _, ok := ParseHeader(a.Pkt.Header); ok && tag == "syn" {
+		return ClassInit
+	}
+	return ClassXmit
+}
+
+func (*nvTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassInit, ClassXmit} }
+
+// nvRState is the non-volatile protocol's receiver state. epoch, expect
+// and pending are non-volatile; awake and acks are volatile.
+type nvRState struct {
+	epoch   int           // non-volatile: last accepted transmitter epoch (0 = none)
+	hasE    bool          // non-volatile: whether any epoch has been accepted
+	expect  int           // non-volatile: next expected sequence in epoch
+	pending []ioa.Message // non-volatile: accepted but not yet delivered
+	awake   bool
+	acks    []ioa.Header
+}
+
+var _ ioa.EquivState = nvRState{}
+
+func (s nvRState) Fingerprint() string {
+	return fmt.Sprintf("nvR{e=%d hasE=%t exp=%d pend=%s awake=%t acks=%s}",
+		s.epoch, s.hasE, s.expect, fpMsgs(s.pending), s.awake, fpHeaders(s.acks))
+}
+
+func (s nvRState) EquivFingerprint() string {
+	return fmt.Sprintf("nvR{e=%d hasE=%t exp=%d pend=%s awake=%t acks=%s}",
+		s.epoch, s.hasE, s.expect, eqMsgs(s.pending), s.awake, fpHeaders(s.acks))
+}
+
+func (s nvRState) clone() nvRState {
+	s.pending = cloneMsgs(s.pending)
+	s.acks = cloneHeaders(s.acks)
+	return s
+}
+
+// nvReceiver is A^r of the non-volatile protocol.
+type nvReceiver struct{}
+
+var _ ioa.Automaton = (*nvReceiver)(nil)
+
+func (*nvReceiver) Name() string { return "nv.R" }
+
+func (*nvReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*nvReceiver) Start() ioa.State { return nvRState{} }
+
+func (r *nvReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(nvRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		// NOT crashing: the non-volatile epoch/expect/pending survive, so
+		// accepted messages are neither lost nor re-delivered.
+		return nvRState{epoch: s.epoch, hasE: s.hasE, expect: s.expect, pending: cloneMsgs(s.pending)}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		if e, isSyn := parse1(a.Pkt.Header, "syn"); isSyn {
+			s = s.clone()
+			if !s.hasE || e != s.epoch {
+				// New transmitter incarnation: adopt its epoch and restart
+				// the sequence space. FIFO channels guarantee no packets of
+				// the old epoch arrive after this syn.
+				s.epoch = e
+				s.hasE = true
+				s.expect = 0
+			}
+			s.acks = append(s.acks, SynAckHeader(s.epoch))
+			return s, nil
+		}
+		if e, v, isData := parse2(a.Pkt.Header, "data"); isData {
+			if !s.hasE || e != s.epoch {
+				return s, nil // stale epoch: ignore entirely
+			}
+			s = s.clone()
+			if v == s.expect {
+				s.pending = append(s.pending, a.Pkt.Payload)
+				s.expect++
+			}
+			s.acks = append(s.acks, EpochAckHeader(s.epoch, s.expect))
+			return s, nil
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *nvReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(nvRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*nvReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*nvReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestNVTransmitterHandshake(t *testing.T) {
+	p := NewNonVolatile()
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m0"))
+	// Before the handshake completes, only syn is offered.
+	enabled := tx.Enabled(st)
+	if len(enabled) != 1 || enabled[0].Pkt.Header != SynHeader(0) {
+		t.Fatalf("enabled = %v, want syn/0", enabled)
+	}
+	// Wrong-epoch synack is ignored.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: SynAckHeader(3)}))
+	if !ioa.StatesEqual(st, st2) {
+		t.Error("stale synack changed state")
+	}
+	// Matching synack connects and switches to data transfer.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: SynAckHeader(0)}))
+	enabled = tx.Enabled(st)
+	if len(enabled) != 1 || enabled[0].Pkt.Header != EpochDataHeader(0, 0) {
+		t.Fatalf("enabled after connect = %v, want data/0/0", enabled)
+	}
+	// Cumulative epoch ack pops the queue.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 3, Header: EpochAckHeader(0, 1)}))
+	got := st.(nvTState)
+	if got.base != 1 || len(got.queue) != 0 {
+		t.Fatalf("after epoch ack: %+v", got)
+	}
+}
+
+func TestNVCrashPreservesNonVolatileState(t *testing.T) {
+	p := NewNonVolatile()
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m0"))
+	st = step(t, tx, st, ioa.Crash(ioa.TR))
+	got := st.(nvTState)
+	if got.epoch != 1 {
+		t.Errorf("crash should bump the non-volatile epoch, got %d", got.epoch)
+	}
+	if got.awake || got.conn || len(got.queue) != 0 {
+		t.Errorf("volatile fields should reset: %+v", got)
+	}
+	if ioa.StatesEqual(st, tx.Start()) {
+		t.Error("the protocol must NOT be crashing (that is the point)")
+	}
+
+	rx := p.R
+	rst := rx.Start()
+	rst = step(t, rx, rst, ioa.Wake(ioa.RT))
+	rst = step(t, rx, rst, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: SynHeader(0)}))
+	rst = step(t, rx, rst, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: EpochDataHeader(0, 0), Payload: "m0"}))
+	rst = step(t, rx, rst, ioa.Crash(ioa.RT))
+	got2 := rst.(nvRState)
+	if !got2.hasE || got2.epoch != 0 || got2.expect != 1 {
+		t.Errorf("receiver crash lost non-volatile epoch/expect: %+v", got2)
+	}
+	if len(got2.pending) != 1 || got2.pending[0] != "m0" {
+		t.Errorf("receiver crash lost accepted-but-undelivered messages: %+v", got2)
+	}
+	if len(got2.acks) != 0 || got2.awake {
+		t.Errorf("receiver volatile fields should reset: %+v", got2)
+	}
+}
+
+func TestNVReceiverEpochDiscipline(t *testing.T) {
+	p := NewNonVolatile()
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	// Data before any syn: ignored.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: EpochDataHeader(0, 0), Payload: "x"}))
+	if len(st.(nvRState).pending) != 0 {
+		t.Fatal("data accepted before handshake")
+	}
+	// Adopt epoch 0, accept data, then adopt epoch 1 after a (simulated)
+	// transmitter crash: the sequence space restarts.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: SynHeader(0)}))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 3, Header: EpochDataHeader(0, 0), Payload: "a"}))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 4, Header: SynHeader(1)}))
+	got := st.(nvRState)
+	if got.epoch != 1 || got.expect != 0 {
+		t.Fatalf("epoch switch: %+v", got)
+	}
+	// Stale epoch-0 data after the switch: ignored (cannot re-deliver).
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 5, Header: EpochDataHeader(0, 1), Payload: "b"}))
+	if len(st.(nvRState).pending) != 1 {
+		t.Error("stale-epoch data accepted")
+	}
+	// Re-syn of the current epoch just re-acks, keeping expect.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 6, Header: EpochDataHeader(1, 0), Payload: "c"}))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 7, Header: SynHeader(1)}))
+	got = st.(nvRState)
+	if got.expect != 1 {
+		t.Errorf("duplicate syn reset expect: %+v", got)
+	}
+}
+
+func TestNVTransmitterClasses(t *testing.T) {
+	p := NewNonVolatile()
+	syn := ioa.SendPkt(ioa.TR, ioa.Packet{Header: SynHeader(0)})
+	data := ioa.SendPkt(ioa.TR, ioa.Packet{Header: EpochDataHeader(0, 0), Payload: "m"})
+	if p.T.ClassOf(syn) != ClassInit {
+		t.Error("syn should be in the init class")
+	}
+	if p.T.ClassOf(data) != ClassXmit {
+		t.Error("data should be in the xmit class")
+	}
+	if len(p.T.Classes()) != 2 {
+		t.Errorf("classes = %v", p.T.Classes())
+	}
+}

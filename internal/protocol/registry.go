@@ -1,0 +1,46 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ByName builds a protocol from a command-line style specification. Known
+// names: "abp", "gbn" (uses n and w), "sr" (selective repeat; n and w),
+// "frag" (fragmenting; n and w, with w read as the fragment count),
+// "hs" (alternating bit with a handshake), "stenning", and "nv" (the
+// non-volatile Baratz–Segall-style protocol). It returns an error for
+// unknown names or invalid parameters.
+func ByName(name string, n, w int) (core.Protocol, error) {
+	switch name {
+	case "abp":
+		return NewABP(), nil
+	case "gbn":
+		if n < 2 || w < 1 || w > n-1 {
+			return core.Protocol{}, fmt.Errorf("protocol: gbn needs n ≥ 2 and 1 ≤ w ≤ n-1, got n=%d w=%d", n, w)
+		}
+		return NewGoBackN(n, w), nil
+	case "sr":
+		if n < 2 || w < 1 || w > n/2 {
+			return core.Protocol{}, fmt.Errorf("protocol: sr needs n ≥ 2 and 1 ≤ w ≤ n/2, got n=%d w=%d", n, w)
+		}
+		return NewSelectiveRepeat(n, w), nil
+	case "frag":
+		if n < 2 || w < 1 {
+			return core.Protocol{}, fmt.Errorf("protocol: frag needs n ≥ 2 and f ≥ 1, got n=%d f=%d", n, w)
+		}
+		return NewFragmenting(n, w), nil
+	case "hs", "handshake":
+		return NewHandshake(), nil
+	case "stenning":
+		return NewStenning(), nil
+	case "nv", "nonvolatile", "bs":
+		return NewNonVolatile(), nil
+	default:
+		return core.Protocol{}, fmt.Errorf("protocol: unknown protocol %q (want one of %v)", name, Names())
+	}
+}
+
+// Names lists the registry's protocol names for usage messages.
+func Names() []string { return []string{"abp", "gbn", "sr", "frag", "hs", "stenning", "nv"} }

@@ -1,0 +1,44 @@
+package protocol
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	tests := []struct {
+		name string
+		n, w int
+		ok   bool
+		want string
+	}{
+		{"abp", 0, 0, true, "abp"},
+		{"gbn", 8, 3, true, "gbn(n=8,w=3)"},
+		{"gbn", 1, 1, false, ""},
+		{"sr", 8, 4, true, "sr(n=8,w=4)"},
+		{"sr", 8, 5, false, ""},
+		{"frag", 4, 2, true, "frag(n=4,f=2)"},
+		{"frag", 1, 1, false, ""},
+		{"hs", 0, 0, true, "handshake"},
+		{"handshake", 0, 0, true, "handshake"},
+		{"stenning", 0, 0, true, "stenning"},
+		{"nv", 0, 0, true, "nonvolatile"},
+		{"bs", 0, 0, true, "nonvolatile"},
+		{"bogus", 0, 0, false, ""},
+	}
+	for _, tt := range tests {
+		p, err := ByName(tt.name, tt.n, tt.w)
+		if (err == nil) != tt.ok {
+			t.Errorf("ByName(%q,%d,%d) err = %v, want ok=%v", tt.name, tt.n, tt.w, err, tt.ok)
+			continue
+		}
+		if err == nil && p.Name != tt.want {
+			t.Errorf("ByName(%q,%d,%d) = %q, want %q", tt.name, tt.n, tt.w, p.Name, tt.want)
+		}
+		if err == nil {
+			if vErr := p.Validate(); vErr != nil {
+				t.Errorf("registry produced an invalid protocol %q: %v", p.Name, vErr)
+			}
+		}
+	}
+	if len(Names()) < 7 {
+		t.Errorf("Names() = %v", Names())
+	}
+}

@@ -1,0 +1,349 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewSelectiveRepeat returns a Selective-Repeat ARQ protocol with sequence
+// numbers modulo n and window size w (1 ≤ w ≤ n/2, the classic safety
+// condition over FIFO channels): the receiver buffers out-of-order packets
+// within its window and acknowledges each received sequence number
+// individually, so a single loss does not force the whole window to be
+// resent. Like Go-Back-N it has bounded headers {data/i, ack/i : 0 ≤ i <
+// n} and is crashing and message-independent — so both impossibility
+// adversaries defeat it (crashes over FIFO channels, reordering over
+// non-FIFO ones) despite its extra sophistication.
+//
+// It panics on invalid parameters, which indicate a caller bug.
+func NewSelectiveRepeat(n, w int) core.Protocol {
+	if n < 2 || w < 1 || w > n/2 {
+		panic(fmt.Sprintf("protocol: invalid Selective-Repeat parameters n=%d w=%d (need n ≥ 2, 1 ≤ w ≤ n/2)", n, w))
+	}
+	headers := make([]ioa.Header, 0, 2*n)
+	for i := 0; i < n; i++ {
+		headers = append(headers, DataHeader(i), AckHeader(i))
+	}
+	return core.Protocol{
+		Name: fmt.Sprintf("sr(n=%d,w=%d)", n, w),
+		T:    &srTransmitter{n: n, w: w},
+		R:    &srReceiver{n: n, w: w},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers:            headers,
+			KBound:             1,
+			RequiresFIFO:       true,
+		},
+	}
+}
+
+// srTransmitter is A^t of Selective Repeat.
+type srTransmitter struct {
+	n, w int
+}
+
+// srTState is the Selective-Repeat transmitter state: base is the absolute
+// sequence of queue[0]; acked[i] records that queue[i] (absolute base+i)
+// has been individually acknowledged but not yet slid past.
+type srTState struct {
+	awake bool
+	base  int
+	queue []ioa.Message
+	acked []bool // parallel to queue[:windowSize]
+}
+
+var _ ioa.EquivState = srTState{}
+
+func fpBools(bs []bool) string {
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		if b {
+			parts[i] = "1"
+		} else {
+			parts[i] = "0"
+		}
+	}
+	return "[" + strings.Join(parts, "") + "]"
+}
+
+func (s srTState) Fingerprint() string {
+	return fmt.Sprintf("srT{awake=%t base=%d q=%s acked=%s}", s.awake, s.base, fpMsgs(s.queue), fpBools(s.acked))
+}
+
+func (s srTState) EquivFingerprint() string {
+	return fmt.Sprintf("srT{awake=%t base=%d q=%s acked=%s}", s.awake, s.base, eqMsgs(s.queue), fpBools(s.acked))
+}
+
+func (s srTState) clone() srTState {
+	s.queue = cloneMsgs(s.queue)
+	s.acked = append([]bool(nil), s.acked...)
+	return s
+}
+
+var _ ioa.Automaton = (*srTransmitter)(nil)
+
+func (t *srTransmitter) Name() string { return fmt.Sprintf("sr(%d,%d).T", t.n, t.w) }
+
+func (*srTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*srTransmitter) Start() ioa.State { return srTState{} }
+
+func (t *srTransmitter) windowSize(s srTState) int {
+	if len(s.queue) < t.w {
+		return len(s.queue)
+	}
+	return t.w
+}
+
+// ackedAt reports whether window slot i is acknowledged.
+func ackedAt(s srTState, i int) bool { return i < len(s.acked) && s.acked[i] }
+
+func (t *srTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(srTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		return srTState{}, nil
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		h, isAck := parse1(a.Pkt.Header, "ack")
+		if !isAck {
+			return s, nil
+		}
+		// An individual ack for the window slot whose sequence is ≡ h.
+		diff := ((h-s.base)%t.n + t.n) % t.n
+		if diff >= t.windowSize(s) || ackedAt(s, diff) {
+			return s, nil // stale or duplicate ack
+		}
+		s = s.clone()
+		for len(s.acked) <= diff {
+			s.acked = append(s.acked, false)
+		}
+		s.acked[diff] = true
+		// Slide the window over the acknowledged prefix.
+		slide := 0
+		for slide < len(s.acked) && s.acked[slide] {
+			slide++
+		}
+		if slide > 0 {
+			s.queue = s.queue[slide:]
+			s.acked = s.acked[slide:]
+			s.base += slide
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		if s.awake {
+			for i := 0; i < t.windowSize(s); i++ {
+				if ackedAt(s, i) {
+					continue
+				}
+				if sendPktEnabled(a.Pkt, dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])) {
+					return s, nil
+				}
+			}
+		}
+		return nil, errNotEnabled(t.Name(), a)
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *srTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(srTState)
+	if !ok || !s.awake {
+		return nil
+	}
+	var out []ioa.Action
+	for i := 0; i < t.windowSize(s); i++ {
+		if ackedAt(s, i) {
+			continue // only unacknowledged slots are retransmitted
+		}
+		out = append(out, ioa.SendPkt(ioa.TR, dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])))
+	}
+	return out
+}
+
+func (*srTransmitter) ClassOf(ioa.Action) ioa.Class { return ClassXmit }
+
+func (*srTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassXmit} }
+
+// srReceiver is A^r of Selective Repeat.
+type srReceiver struct {
+	n, w int
+}
+
+// srRState is the Selective-Repeat receiver state: expect is the absolute
+// next in-order sequence; buffer holds out-of-order messages keyed by
+// absolute sequence within [expect, expect+w).
+type srRState struct {
+	awake   bool
+	expect  int
+	buffer  map[int]ioa.Message
+	acks    []ioa.Header
+	pending []ioa.Message
+}
+
+var _ ioa.EquivState = srRState{}
+
+func fpBuffer(buf map[int]ioa.Message, exact bool) string {
+	keys := make([]int, 0, len(buf))
+	for k := range buf {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		if exact {
+			parts[i] = fmt.Sprintf("%d:%q", k, string(buf[k]))
+		} else {
+			parts[i] = fmt.Sprintf("%d:·", k)
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func (s srRState) Fingerprint() string {
+	return fmt.Sprintf("srR{awake=%t exp=%d buf=%s acks=%s pend=%s}",
+		s.awake, s.expect, fpBuffer(s.buffer, true), fpHeaders(s.acks), fpMsgs(s.pending))
+}
+
+func (s srRState) EquivFingerprint() string {
+	return fmt.Sprintf("srR{awake=%t exp=%d buf=%s acks=%s pend=%s}",
+		s.awake, s.expect, fpBuffer(s.buffer, false), fpHeaders(s.acks), eqMsgs(s.pending))
+}
+
+func (s srRState) clone() srRState {
+	buf := make(map[int]ioa.Message, len(s.buffer))
+	for k, v := range s.buffer {
+		buf[k] = v
+	}
+	s.buffer = buf
+	s.acks = cloneHeaders(s.acks)
+	s.pending = cloneMsgs(s.pending)
+	return s
+}
+
+var _ ioa.Automaton = (*srReceiver)(nil)
+
+func (r *srReceiver) Name() string { return fmt.Sprintf("sr(%d,%d).R", r.n, r.w) }
+
+func (*srReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*srReceiver) Start() ioa.State { return srRState{} }
+
+func (r *srReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(srRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return srRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		h, isData := parse1(a.Pkt.Header, "data")
+		if !isData {
+			return s, nil
+		}
+		s = s.clone()
+		// Map the wire header to an absolute sequence. Within the receive
+		// window [expect, expect+w) it is new data to buffer; within
+		// [expect-w, expect) it is a duplicate that still needs re-acking
+		// (its ack may have been lost). With w ≤ n/2 over a FIFO channel
+		// the two windows cannot be confused.
+		diff := ((h-s.expect%r.n)%r.n + r.n) % r.n
+		switch {
+		case diff < r.w:
+			abs := s.expect + diff
+			if _, dup := s.buffer[abs]; !dup {
+				if s.buffer == nil {
+					s.buffer = map[int]ioa.Message{}
+				}
+				s.buffer[abs] = a.Pkt.Payload
+			}
+			// Drain the in-order prefix into the delivery queue.
+			for {
+				m, okBuf := s.buffer[s.expect]
+				if !okBuf {
+					break
+				}
+				delete(s.buffer, s.expect)
+				s.pending = append(s.pending, m)
+				s.expect++
+			}
+			s.acks = append(s.acks, AckHeader(h))
+		case r.n-diff <= r.w:
+			// Below the window: already delivered; re-ack.
+			s.acks = append(s.acks, AckHeader(h))
+		default:
+			// Outside both windows (cannot happen over FIFO with w ≤ n/2,
+			// but the automaton must be input-enabled): ignore.
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *srReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(srRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*srReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*srReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

@@ -1,0 +1,282 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestSRTransmitterIndividualAcks(t *testing.T) {
+	p := NewSelectiveRepeat(8, 4)
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	for i := 0; i < 4; i++ {
+		st = step(t, tx, st, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i))))
+	}
+	if got := len(tx.Enabled(st)); got != 4 {
+		t.Fatalf("window should expose 4 sends, got %d", got)
+	}
+	// Ack the SECOND slot: the window must not slide yet, and slot 1 must
+	// leave the retransmission set.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(1)}))
+	got := st.(srTState)
+	if got.base != 0 {
+		t.Fatalf("window slid on an out-of-order ack: base=%d", got.base)
+	}
+	enabled := tx.Enabled(st)
+	if len(enabled) != 3 {
+		t.Fatalf("acked slot still retransmitted: %v", enabled)
+	}
+	for _, a := range enabled {
+		if a.Pkt.Header == DataHeader(1) {
+			t.Fatal("acked slot 1 still in the retransmission set")
+		}
+	}
+	// Now ack slot 0: the window slides over BOTH acknowledged slots.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: AckHeader(0)}))
+	got = st.(srTState)
+	if got.base != 2 || len(got.queue) != 2 {
+		t.Fatalf("window should slide over the acked prefix: base=%d queue=%d", got.base, len(got.queue))
+	}
+	// Duplicate ack for an already-slid slot: ignored.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 3, Header: AckHeader(0)}))
+	if !ioa.StatesEqual(st, st2) {
+		t.Error("stale ack changed state")
+	}
+}
+
+func TestSRReceiverBuffersOutOfOrder(t *testing.T) {
+	p := NewSelectiveRepeat(8, 4)
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	// Sequence 2 arrives first (a gap): buffered, acked, not delivered.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(2), Payload: "m2"}))
+	got := st.(srRState)
+	if len(got.pending) != 0 || got.expect != 0 {
+		t.Fatalf("out-of-order packet delivered early: %+v", got)
+	}
+	if len(got.buffer) != 1 {
+		t.Fatalf("out-of-order packet not buffered: %+v", got)
+	}
+	if got.acks[len(got.acks)-1] != AckHeader(2) {
+		t.Fatal("out-of-order packet not individually acked")
+	}
+	// Buffered duplicate: re-acked, not double-buffered.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: DataHeader(2), Payload: "m2dup"}))
+	if got = st.(srRState); len(got.buffer) != 1 {
+		t.Fatal("duplicate buffered twice")
+	}
+	// Sequences 0 and 1 arrive: the in-order prefix 0,1,2 drains at once.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 3, Header: DataHeader(0), Payload: "m0"}))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 4, Header: DataHeader(1), Payload: "m1"}))
+	got = st.(srRState)
+	if got.expect != 3 || len(got.pending) != 3 || len(got.buffer) != 0 {
+		t.Fatalf("in-order drain wrong: %+v", got)
+	}
+	if got.pending[0] != "m0" || got.pending[1] != "m1" || got.pending[2] != "m2" {
+		t.Fatalf("delivery order wrong: %v", got.pending)
+	}
+}
+
+func TestSRReceiverBelowWindowReacks(t *testing.T) {
+	p := NewSelectiveRepeat(8, 3)
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(0), Payload: "m0"}))
+	nAcks := len(st.(srRState).acks)
+	// A late duplicate of sequence 0 (now below the window): re-acked so
+	// the transmitter cannot wedge on a lost ack.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: DataHeader(0), Payload: "m0late"}))
+	got := st.(srRState)
+	if len(got.acks) != nAcks+1 {
+		t.Fatal("below-window duplicate not re-acked")
+	}
+	if len(got.pending) != 1 {
+		t.Fatal("below-window duplicate delivered")
+	}
+}
+
+func TestSRCrashResets(t *testing.T) {
+	p := NewSelectiveRepeat(4, 2)
+	st := step(t, p.T, p.T.Start(), ioa.Wake(ioa.TR))
+	st = step(t, p.T, st, ioa.SendMsg(ioa.TR, "x"))
+	st = step(t, p.T, st, ioa.Crash(ioa.TR))
+	if !ioa.StatesEqual(st, p.T.Start()) {
+		t.Error("SR transmitter crash does not reset")
+	}
+	rst := step(t, p.R, p.R.Start(), ioa.Wake(ioa.RT))
+	rst = step(t, p.R, rst, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(1), Payload: "x"}))
+	rst = step(t, p.R, rst, ioa.Crash(ioa.RT))
+	if !ioa.StatesEqual(rst, p.R.Start()) {
+		t.Error("SR receiver crash does not reset")
+	}
+}
+
+func TestSRParameterValidation(t *testing.T) {
+	for _, bad := range [][2]int{{1, 1}, {4, 0}, {4, 3}, {8, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSelectiveRepeat(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewSelectiveRepeat(bad[0], bad[1])
+		}()
+	}
+	NewSelectiveRepeat(8, 4) // valid: w = n/2
+}
+
+func TestFragSplitJoinRoundTrip(t *testing.T) {
+	cases := []struct {
+		msg ioa.Message
+		f   int
+	}{
+		{"", 1}, {"", 3}, {"a", 2}, {"abc", 2}, {"abcdef", 3}, {"abcdefg", 3}, {"x", 5},
+	}
+	for _, c := range cases {
+		parts := splitFragments(c.msg, c.f)
+		if len(parts) != c.f {
+			t.Errorf("splitFragments(%q, %d) produced %d parts", string(c.msg), c.f, len(parts))
+		}
+		if got := joinFragments(parts); got != c.msg {
+			t.Errorf("round trip of %q with f=%d gave %q", string(c.msg), c.f, string(got))
+		}
+	}
+}
+
+func TestFragReceiverAssemblesInOrder(t *testing.T) {
+	p := NewFragmenting(4, 3)
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	// Fragments must arrive in order; an out-of-order fragment is ignored
+	// and — crucially — never acknowledged.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: fragHeader(0, 1), Payload: "B"}))
+	if got := st.(fragRState); len(got.parts) != 0 || len(got.acks) != 0 {
+		t.Fatal("out-of-order fragment accepted or acked")
+	}
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: fragHeader(0, 0), Payload: "A"}))
+	if got := st.(fragRState); got.acks[len(got.acks)-1] != fackHeader(0, 0) {
+		t.Fatalf("fragment 0 not individually acked: %+v", got)
+	}
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 3, Header: fragHeader(0, 1), Payload: "B"}))
+	if got := st.(fragRState); len(got.parts) != 2 || len(got.pending) != 0 {
+		t.Fatalf("mid-assembly state wrong: %+v", got)
+	}
+	// A duplicate of an accepted fragment is re-acked, not re-buffered.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 4, Header: fragHeader(0, 0), Payload: "A"}))
+	if got := st.(fragRState); len(got.parts) != 2 || got.acks[len(got.acks)-1] != fackHeader(0, 0) {
+		t.Fatalf("duplicate fragment handling wrong: %+v", got)
+	}
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 5, Header: fragHeader(0, 2), Payload: "C"}))
+	got := st.(fragRState)
+	if len(got.pending) != 1 || got.pending[0] != "ABC" {
+		t.Fatalf("assembly wrong: %+v", got)
+	}
+	if got.expect != 1 || got.acks[len(got.acks)-1] != fackHeader(0, 2) {
+		t.Fatalf("completion bookkeeping wrong: %+v", got)
+	}
+	// After completion, a stale fragment of the finished message is still
+	// re-acked (its fack may have been lost).
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 6, Header: fragHeader(0, 1), Payload: "B"}))
+	if got := st.(fragRState); got.acks[len(got.acks)-1] != fackHeader(0, 1) {
+		t.Fatalf("stale fragment not re-acked: %+v", got)
+	}
+}
+
+func TestFragTransmitterRotationAndPerFragmentAcks(t *testing.T) {
+	p := NewFragmenting(4, 3)
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "ABCDEF"))
+	// Exactly one fragment is offered at a time; sending rotates the
+	// cursor so fragments take turns: 0, 1, 2, 0, ...
+	for _, wantFrag := range []int{0, 1, 2, 0} {
+		enabled := tx.Enabled(st)
+		if len(enabled) != 1 {
+			t.Fatalf("enabled = %v, want exactly one fragment", enabled)
+		}
+		if enabled[0].Pkt.Header != fragHeader(0, wantFrag) {
+			t.Fatalf("offered %s, want fragment %d", enabled[0].Pkt.Header, wantFrag)
+		}
+		sent := enabled[0]
+		sent.Pkt.ID = 99
+		st = step(t, tx, st, sent)
+	}
+	// Acking fragment 1 removes it from the rotation; the message is not
+	// popped until all three facks arrive.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 9, Header: fackHeader(0, 1)}))
+	seenFrags := map[ioa.Header]bool{}
+	for i := 0; i < 4; i++ {
+		enabled := tx.Enabled(st)
+		if len(enabled) != 1 {
+			t.Fatalf("enabled = %v", enabled)
+		}
+		seenFrags[enabled[0].Pkt.Header] = true
+		sent := enabled[0]
+		sent.Pkt.ID = uint64(100 + i)
+		st = step(t, tx, st, sent)
+	}
+	if seenFrags[fragHeader(0, 1)] {
+		t.Fatal("acked fragment still in rotation")
+	}
+	if !seenFrags[fragHeader(0, 0)] || !seenFrags[fragHeader(0, 2)] {
+		t.Fatalf("rotation incomplete: %v", seenFrags)
+	}
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 10, Header: fackHeader(0, 0)}))
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 11, Header: fackHeader(0, 2)}))
+	if got := st.(fragTState); len(got.queue) != 0 || got.seq != 1 || got.next != 0 {
+		t.Fatalf("completion handling wrong: %+v", got)
+	}
+	// Stale facks for the finished sequence are ignored.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 12, Header: fackHeader(0, 0)}))
+	if !ioa.StatesEqual(st, st2) {
+		t.Fatal("stale fack changed state")
+	}
+}
+
+func TestHandshakeConnectionFlow(t *testing.T) {
+	p := NewHandshake()
+	tx, rx := p.T, p.R
+	ts := step(t, tx, tx.Start(), ioa.Wake(ioa.TR))
+	ts = step(t, tx, ts, ioa.SendMsg(ioa.TR, "m"))
+	// Unconnected: only syn offered.
+	if e := tx.Enabled(ts); len(e) != 1 || e[0].Pkt.Header != SynHeader(0) {
+		t.Fatalf("enabled = %v, want syn", e)
+	}
+	rs := step(t, rx, rx.Start(), ioa.Wake(ioa.RT))
+	// Data before handshake: ignored.
+	rs2 := step(t, rx, rs, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(0), Payload: "m"}))
+	if !ioa.StatesEqual(rs, rs2) {
+		t.Fatal("receiver accepted data before handshake")
+	}
+	rs = step(t, rx, rs, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: SynHeader(0)}))
+	if got := rs.(hsRState); !got.conn || got.acks[0] != SynAckHeader(0) {
+		t.Fatalf("syn handling wrong: %+v", got)
+	}
+	ts = step(t, tx, ts, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 3, Header: SynAckHeader(0)}))
+	if e := tx.Enabled(ts); len(e) != 1 || e[0].Pkt.Header != DataHeader(0) {
+		t.Fatalf("post-connect enabled = %v, want data/0", e)
+	}
+	// Duplicate syn re-acks but does not reset an established connection.
+	rs = step(t, rx, rs, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 4, Header: DataHeader(0), Payload: "m"}))
+	rs = step(t, rx, rs, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 5, Header: SynHeader(0)}))
+	if got := rs.(hsRState); got.expect != 1 {
+		t.Fatalf("duplicate syn reset the bit sequence: %+v", got)
+	}
+}
+
+func TestHandshakeCrashResets(t *testing.T) {
+	p := NewHandshake()
+	ts := step(t, p.T, p.T.Start(), ioa.Wake(ioa.TR))
+	ts = step(t, p.T, ts, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: SynAckHeader(0)}))
+	ts = step(t, p.T, ts, ioa.Crash(ioa.TR))
+	if !ioa.StatesEqual(ts, p.T.Start()) {
+		t.Error("handshake transmitter crash does not reset — it must be crashing")
+	}
+}

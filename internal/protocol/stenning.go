@@ -1,0 +1,247 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewStenning returns Stenning's protocol: an ARQ protocol in which every
+// message carries a distinct absolute sequence number and acknowledgements
+// carry the receiver's next expected absolute sequence number. Because the
+// sequence numbers never wrap, the header set {data/i, ack/i : i ≥ 0} is
+// unbounded, and the protocol is correct over arbitrary non-FIFO physical
+// channels — the positive counterpart of Theorem 8.5 (see the paper's
+// footnote 1 and Section 9: the number of headers used grows linearly with
+// the number of messages, which Theorem 8.5 shows cannot be improved to
+// any bounded set).
+//
+// The protocol is message-independent and crashing, so Theorem 7.5 still
+// applies to it: the crash-pump adversary defeats it over FIFO channels.
+func NewStenning() core.Protocol {
+	return core.Protocol{
+		Name: "stenning",
+		T:    &stnTransmitter{},
+		R:    &stnReceiver{},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers:            nil, // unbounded header set
+			KBound:             1,
+			RequiresFIFO:       false,
+		},
+	}
+}
+
+// stnTState is Stenning's transmitter state: base is the absolute sequence
+// number of queue[0].
+type stnTState struct {
+	awake bool
+	base  int
+	queue []ioa.Message
+}
+
+var _ ioa.EquivState = stnTState{}
+
+func (s stnTState) Fingerprint() string {
+	return fmt.Sprintf("stnT{awake=%t base=%d q=%s}", s.awake, s.base, fpMsgs(s.queue))
+}
+
+func (s stnTState) EquivFingerprint() string {
+	return fmt.Sprintf("stnT{awake=%t base=%d q=%s}", s.awake, s.base, eqMsgs(s.queue))
+}
+
+func (s stnTState) clone() stnTState {
+	s.queue = cloneMsgs(s.queue)
+	return s
+}
+
+// stnTransmitter is A^t of Stenning's protocol. It sends the lowest
+// unacknowledged message, tagged with its absolute sequence number.
+type stnTransmitter struct{}
+
+var _ ioa.Automaton = (*stnTransmitter)(nil)
+
+func (*stnTransmitter) Name() string { return "stenning.T" }
+
+func (*stnTransmitter) Signature() ioa.Signature { return core.TransmitterSignature() }
+
+func (*stnTransmitter) Start() ioa.State { return stnTState{} }
+
+func (s stnTState) wantPkt() (ioa.Packet, bool) {
+	if !s.awake || len(s.queue) == 0 {
+		return ioa.Packet{}, false
+	}
+	return dataPkt(DataHeader(s.base), s.queue[0]), true
+}
+
+func (t *stnTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(stnTState)
+	if !ok {
+		return nil, errBadState(t.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.TR:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.TR:
+		return stnTState{}, nil
+	case a.Kind == ioa.KindSendMsg && a.Dir == ioa.TR:
+		s = s.clone()
+		s.queue = append(s.queue, a.Msg)
+		return s, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+		j, isAck := parse1(a.Pkt.Header, "ack")
+		// Cumulative ack: everything below the absolute value j has been
+		// received. Stale acks (j ≤ base) are ignored; reordering cannot
+		// forge progress because absolute numbers never wrap.
+		if isAck && j > s.base {
+			n := j - s.base
+			if n > len(s.queue) {
+				n = len(s.queue)
+			}
+			s = s.clone()
+			s.queue = s.queue[n:]
+			s.base += n
+		}
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
+		want, sending := s.wantPkt()
+		if !sending || !sendPktEnabled(a.Pkt, want) {
+			return nil, errNotEnabled(t.Name(), a)
+		}
+		return s, nil
+	default:
+		return nil, errNotInSignature(t.Name(), a)
+	}
+}
+
+func (t *stnTransmitter) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(stnTState)
+	if !ok {
+		return nil
+	}
+	if pkt, sending := s.wantPkt(); sending {
+		return []ioa.Action{ioa.SendPkt(ioa.TR, pkt)}
+	}
+	return nil
+}
+
+func (*stnTransmitter) ClassOf(ioa.Action) ioa.Class { return ClassXmit }
+
+func (*stnTransmitter) Classes() []ioa.Class { return []ioa.Class{ClassXmit} }
+
+// stnRState is Stenning's receiver state.
+type stnRState struct {
+	awake   bool
+	expect  int
+	acks    []ioa.Header
+	pending []ioa.Message
+}
+
+var _ ioa.EquivState = stnRState{}
+
+func (s stnRState) Fingerprint() string {
+	return fmt.Sprintf("stnR{awake=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+}
+
+func (s stnRState) EquivFingerprint() string {
+	return fmt.Sprintf("stnR{awake=%t exp=%d acks=%s pend=%s}",
+		s.awake, s.expect, fpHeaders(s.acks), eqMsgs(s.pending))
+}
+
+func (s stnRState) clone() stnRState {
+	s.acks = cloneHeaders(s.acks)
+	s.pending = cloneMsgs(s.pending)
+	return s
+}
+
+// stnReceiver is A^r of Stenning's protocol: it accepts exactly the next
+// expected absolute sequence number and acknowledges cumulatively.
+type stnReceiver struct{}
+
+var _ ioa.Automaton = (*stnReceiver)(nil)
+
+func (*stnReceiver) Name() string { return "stenning.R" }
+
+func (*stnReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*stnReceiver) Start() ioa.State { return stnRState{} }
+
+func (r *stnReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(stnRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return stnRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		v, isData := parse1(a.Pkt.Header, "data")
+		if !isData {
+			return s, nil
+		}
+		s = s.clone()
+		if v == s.expect {
+			s.pending = append(s.pending, a.Pkt.Payload)
+			s.expect++
+		}
+		s.acks = append(s.acks, AckHeader(s.expect))
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *stnReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(stnRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*stnReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*stnReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestStenningTransmitterSendsLowestUnacked(t *testing.T) {
+	p := NewStenning()
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m0"))
+	st = step(t, tx, st, ioa.SendMsg(ioa.TR, "m1"))
+	enabled := tx.Enabled(st)
+	if len(enabled) != 1 || enabled[0].Pkt.Header != DataHeader(0) || enabled[0].Pkt.Payload != "m0" {
+		t.Fatalf("enabled = %v, want data/0(m0)", enabled)
+	}
+	// Cumulative ack for both.
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(2)}))
+	got := st.(stnTState)
+	if got.base != 2 || len(got.queue) != 0 {
+		t.Fatalf("after ack/2: %+v", got)
+	}
+}
+
+func TestStenningStaleAcksHarmless(t *testing.T) {
+	p := NewStenning()
+	tx := p.T
+	st := tx.Start()
+	st = step(t, tx, st, ioa.Wake(ioa.TR))
+	for i := 0; i < 3; i++ {
+		st = step(t, tx, st, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i))))
+	}
+	st = step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 1, Header: AckHeader(2)}))
+	// Reordered stale ack: absolute numbering makes it unambiguous.
+	st2 := step(t, tx, st, ioa.ReceivePkt(ioa.RT, ioa.Packet{ID: 2, Header: AckHeader(1)}))
+	if !ioa.StatesEqual(st, st2) {
+		t.Error("stale absolute ack changed state — Stenning must ignore it")
+	}
+}
+
+func TestStenningReceiverExactMatchOnly(t *testing.T) {
+	p := NewStenning()
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	// Reordered future packet: discarded (and re-acked), never buffered.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: DataHeader(5), Payload: "m5"}))
+	got := st.(stnRState)
+	if len(got.pending) != 0 || got.expect != 0 {
+		t.Fatalf("future packet accepted: %+v", got)
+	}
+	// Stale duplicate: discarded. Absolute numbers mean a stale data/0
+	// after delivery cannot be mistaken for new data — the contrast with
+	// Go-Back-N's wrap-around.
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 2, Header: DataHeader(0), Payload: "m0"}))
+	st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 3, Header: DataHeader(0), Payload: "m0-dup"}))
+	got = st.(stnRState)
+	if len(got.pending) != 1 || got.expect != 1 {
+		t.Fatalf("exact-match acceptance broken: %+v", got)
+	}
+}
+
+func TestStenningHeaderGrowthIsLinear(t *testing.T) {
+	// The footnote-1 observation that Theorem 8.5 makes necessary: the
+	// header space grows with the number of messages. After n deliveries
+	// the receiver acks with value n, so the header alphabet used is
+	// Θ(n).
+	p := NewStenning()
+	rx := p.R
+	st := rx.Start()
+	st = step(t, rx, st, ioa.Wake(ioa.RT))
+	const n = 50
+	for i := 0; i < n; i++ {
+		st = step(t, rx, st, ioa.ReceivePkt(ioa.TR, ioa.Packet{
+			ID: uint64(i + 1), Header: DataHeader(i), Payload: ioa.Message(fmt.Sprintf("m%d", i)),
+		}))
+	}
+	got := st.(stnRState)
+	if got.expect != n {
+		t.Fatalf("expect = %d, want %d", got.expect, n)
+	}
+	seen := map[ioa.Header]bool{}
+	for _, h := range got.acks {
+		seen[h] = true
+	}
+	if len(seen) != n {
+		t.Errorf("distinct ack headers = %d, want %d (linear growth)", len(seen), n)
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+func newABPRunner(t *testing.T, fifo bool) *Runner {
+	t.Helper()
+	sys, err := core.NewSystem(protocol.NewABP(), fifo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunner(sys)
+}
+
+func TestRunnerInputValidation(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.Input(ioa.Wake(ioa.TR)); err != nil {
+		t.Fatalf("Input(wake): %v", err)
+	}
+	// receive_msg is an output of the composition, not an input.
+	if err := r.Input(ioa.ReceiveMsg(ioa.TR, "m")); err == nil {
+		t.Error("Input accepted an output action")
+	}
+	if _, err := r.Fire(ioa.SendMsg(ioa.TR, "m")); err == nil {
+		t.Error("Fire accepted an input action")
+	}
+}
+
+func TestRunnerFireAssignsPacketIDs(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	enabled := r.System().Comp.Enabled(r.State())
+	if len(enabled) != 1 || enabled[0].Pkt.ID != 0 {
+		t.Fatalf("expected one unlabelled send, got %v", enabled)
+	}
+	fired, err := r.Fire(enabled[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired.Pkt.ID == 0 {
+		t.Error("Fire did not assign a packet ID")
+	}
+	// A second transmission of the same data gets a distinct ID (PL2).
+	fired2, err := r.Fire(enabled[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired2.Pkt.ID == fired.Pkt.ID {
+		t.Error("two transmissions share a packet ID, violating PL2")
+	}
+}
+
+func TestRunnerSnapshotRestore(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	idMark := r.IDs().Snapshot()
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunFair(RunConfig{MaxSteps: 50, Until: UntilAnyReceiveMsg()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.StepsSince(snap)) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	r.Restore(snap)
+	if r.Execution().Len() != 2 {
+		t.Errorf("after restore, execution has %d steps, want 2", r.Execution().Len())
+	}
+	if r.IDs().Snapshot() != idMark {
+		t.Error("restore did not rewind the ID allocator")
+	}
+	if len(r.StepsSince(snap)) != 0 {
+		t.Error("StepsSince after restore should be empty")
+	}
+}
+
+func TestRunFairQuiescesEmptySystem(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	quiescent, err := r.RunFair(RunConfig{MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quiescent {
+		t.Error("idle system should quiesce immediately")
+	}
+}
+
+func TestRunFairStepLimit(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	// Forbid all channel deliveries: the transmitter retransmits forever.
+	_, err := r.RunFair(RunConfig{
+		MaxSteps: 25,
+		Filter:   func(a ioa.Action) bool { return a.Kind != ioa.KindReceivePkt },
+	})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("expected ErrStepLimit, got %v", err)
+	}
+}
+
+func TestRunFairUntilStops(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "hello")); err != nil {
+		t.Fatal(err)
+	}
+	quiescent, err := r.RunFair(RunConfig{Until: UntilReceiveMsg("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiescent {
+		t.Error("run should have stopped at the delivery, not quiescence")
+	}
+	last := r.Execution().Actions[r.Execution().Len()-1]
+	if last != ioa.ReceiveMsg(ioa.TR, "hello") {
+		t.Errorf("last action = %s", last)
+	}
+}
+
+func TestRunnerBehaviorHidesPacketActions(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunFair(RunConfig{Until: UntilAnyReceiveMsg()}); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Behavior() {
+		if a.Kind == ioa.KindSendPkt || a.Kind == ioa.KindReceivePkt {
+			t.Fatalf("behavior leaked a hidden packet action: %s", a)
+		}
+	}
+	// The packet schedule projection, by contrast, sees them.
+	ps := r.PacketSchedule(ioa.TR)
+	sawSend := false
+	for _, a := range ps {
+		if a.Kind == ioa.KindSendPkt {
+			sawSend = true
+		}
+	}
+	if !sawSend {
+		t.Error("packet schedule missing send_pkt events")
+	}
+	if v := spec.CheckPLFIFO(ps, ioa.TR); !v.OK() {
+		t.Errorf("FIFO channel trace violates PL-FIFO: %s", v)
+	}
+}
+
+func TestRoundRobinFairnessAlternatesClasses(t *testing.T) {
+	// With a message in flight, both the transmitter's xmit class and the
+	// channel's deliver class are repeatedly enabled; round-robin must
+	// give both turns rather than starving the channel.
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunFair(RunConfig{MaxSteps: 200, Until: UntilAnyReceiveMsg()}); err != nil {
+		t.Fatal(err)
+	}
+	classes := map[ioa.Class]int{}
+	for _, a := range r.Execution().Actions {
+		if cl := r.System().Comp.ClassOf(a); cl != "" {
+			classes[cl]++
+		}
+	}
+	if len(classes) < 2 {
+		t.Errorf("round-robin exercised too few classes: %v", classes)
+	}
+}
+
+func TestSetStateSurgery(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	// Send one packet, then surgically clean the channel.
+	enabled := r.System().Comp.Enabled(r.State())
+	if _, err := r.Fire(enabled[0]); err != nil {
+		t.Fatal(err)
+	}
+	inTransit, err := r.System().InTransit(r.State(), ioa.TR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inTransit) != 1 {
+		t.Fatalf("in transit = %v", inTransit)
+	}
+	cleaned, err := r.System().CleanChannels(r.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetState(cleaned)
+	inTransit, err = r.System().InTransit(r.State(), ioa.TR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inTransit) != 0 {
+		t.Error("surgery did not clean the channel")
+	}
+}

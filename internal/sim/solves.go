@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/spec"
+)
+
+// This file provides the executable counterpart of the paper's "solving"
+// relation (Section 2.4): A solves H iff fairbehs(A) ⊆ behs(H). Full
+// inclusion is undecidable in general; SolvesBounded samples fair
+// behaviors of the composed, hidden system D'(A) under randomized
+// environment scripts and checks each against the module. A failure
+// yields a concrete counterexample behavior; success is evidence, not
+// proof (the adversary package provides the refutations, the explore
+// package the bounded proofs).
+
+// SolvesConfig tunes the sampling.
+type SolvesConfig struct {
+	// Trials is the number of sampled fair behaviors (default 20).
+	Trials int
+	// Messages is the number of messages sent per trial (default 5).
+	Messages int
+	// Crashes is the number of crash/recover events injected per trial.
+	Crashes int
+	// Loss enables randomized packet loss (requires lossy channels).
+	Loss bool
+	// Seed seeds the environment scripts and schedulers.
+	Seed int64
+	// MaxSteps bounds each trial's fair runs.
+	MaxSteps int
+}
+
+func (c SolvesConfig) withDefaults() SolvesConfig {
+	if c.Trials <= 0 {
+		c.Trials = 20
+	}
+	if c.Messages <= 0 {
+		c.Messages = 5
+	}
+	return c
+}
+
+// ErrDoesNotSolve reports a sampled fair behavior outside the module.
+var ErrDoesNotSolve = errors.New("sim: sampled fair behavior outside the module")
+
+// SolvesBounded samples fair behaviors of D'(A) and checks them against
+// the schedule module. It returns nil when every sampled behavior belongs
+// to the module, and an error wrapping ErrDoesNotSolve (with the verdict
+// and behavior) otherwise.
+func SolvesBounded(sys *core.System, h spec.Module, cfg SolvesConfig) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		r := NewRunner(sys)
+		if err := r.WakeBoth(); err != nil {
+			return err
+		}
+		mint := core.NewMessageMinter(fmt.Sprintf("solve%d", trial))
+		events := cfg.Messages + cfg.Crashes
+		sent, crashed := 0, 0
+		for ev := 0; ev < events; ev++ {
+			doCrash := crashed < cfg.Crashes && (sent >= cfg.Messages || rng.Intn(2) == 0)
+			if doCrash {
+				crashed++
+				d := ioa.TR
+				if rng.Intn(2) == 0 {
+					d = ioa.RT
+				}
+				if err := r.Input(ioa.Crash(d)); err != nil {
+					return err
+				}
+				if err := r.Input(ioa.Wake(d)); err != nil {
+					return err
+				}
+			} else {
+				sent++
+				if err := r.Input(ioa.SendMsg(ioa.TR, mint.Fresh())); err != nil {
+					return err
+				}
+			}
+			// A bounded random burst between inputs; truncation is fine.
+			burst := RunConfig{MaxSteps: 30 + rng.Intn(50), Rand: rng, AllowLoss: cfg.Loss}
+			if _, err := r.RunFair(burst); err != nil && !errors.Is(err, ErrStepLimit) {
+				return err
+			}
+		}
+		// Fair extension to quiescence (Lemma 2.1): the sampled behavior
+		// is the behavior of a fair execution.
+		quiescent, err := r.RunFair(RunConfig{MaxSteps: cfg.MaxSteps})
+		if err != nil {
+			return err
+		}
+		if !quiescent {
+			return fmt.Errorf("sim: trial %d did not quiesce; cannot judge fairness-dependent properties", trial)
+		}
+		beh := r.Behavior().Project(h.Sig)
+		if v := h.Contains(beh); !v.OK() {
+			return fmt.Errorf("%w: %s rejected by %s: %s\nbehavior:\n%s",
+				ErrDoesNotSolve, sys.Comp.Name(), h.Name, v, ioa.FormatSchedule(beh))
+		}
+	}
+	return nil
+}

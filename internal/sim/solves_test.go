@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// TestProtocolsSolveDLOverTheirChannels: the executable Section 2.4
+// "solving" relation, sampled — every protocol solves the FULL DL module
+// over the channel discipline it requires, under loss, in the
+// crash-free setting.
+func TestProtocolsSolveDLOverTheirChannels(t *testing.T) {
+	for _, p := range protocolsUnderTest() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			sys, err := core.NewSystem(p, p.Props.RequiresFIFO, core.WithChannelOptions(channel.WithLoss()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = SolvesBounded(sys, spec.DLModule(ioa.TR), SolvesConfig{
+				Trials: 6, Messages: 4, Loss: true, Seed: 11,
+			})
+			if err != nil {
+				t.Errorf("%s does not solve DL: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// TestNonVolatileSolvesDLUnderCrashes: only the non-volatile protocol
+// solves DL when crashes are in the environment script.
+func TestNonVolatileSolvesDLUnderCrashes(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewNonVolatile(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = SolvesBounded(sys, spec.DLModule(ioa.TR), SolvesConfig{
+		Trials: 8, Messages: 4, Crashes: 3, Seed: 3,
+	})
+	if err != nil {
+		t.Errorf("non-volatile protocol should solve DL under crashes: %v", err)
+	}
+}
+
+// TestABPFailsToSolveWDLUnderCrashes: crashing protocols are caught by
+// the sampled solving check too (a sampled counterexample, where the
+// adversary constructs one deterministically).
+func TestABPFailsToSolveWDLUnderCrashes(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = SolvesBounded(sys, spec.WDLModule(ioa.TR), SolvesConfig{
+		Trials: 20, Messages: 3, Crashes: 3, Seed: 1,
+	})
+	if !errors.Is(err, ErrDoesNotSolve) {
+		t.Errorf("expected a sampled WDL counterexample for ABP under crashes, got: %v", err)
+	}
+}
+
+// TestGBNFailsToSolveWDLOverNonFIFO: the sampled check also catches the
+// Theorem 8.5 phenomenon — eventually. Random schedules need the sequence
+// space to wrap, so use the smallest modulus.
+func TestGBNFailsToSolveWDLOverNonFIFO(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewGoBackN(2, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = SolvesBounded(sys, spec.WDLModule(ioa.TR), SolvesConfig{
+		Trials: 40, Messages: 6, Seed: 2,
+	})
+	if !errors.Is(err, ErrDoesNotSolve) {
+		t.Errorf("expected a sampled WDL counterexample for gbn(2,1) over C̄, got: %v", err)
+	}
+}
+
+// TestChannelsSolvePLModules: the composed channels' packet schedules
+// belong to their PL modules — Lemma 6.1 at the module level.
+func TestChannelsSolvePLModules(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewGoBackN(4, 2), true, core.WithChannelOptions(channel.WithLoss()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Input(ioa.SendMsg(ioa.TR, ioa.Message(string(rune('a'+i))))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.RunFair(RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []ioa.Dir{ioa.TR, ioa.RT} {
+		mod := spec.PLFIFOModule(d)
+		beh := r.Schedule().Project(mod.Sig)
+		if v := mod.Contains(beh); !v.OK() {
+			t.Errorf("%s rejected: %s", mod.Name, v)
+		}
+		// The non-FIFO module accepts FIFO behavior too (PL ⊆ PL-FIFO in
+		// the containment direction scheds(PL-FIFO) ⊆ scheds(PL)).
+		if v := spec.PLModule(d).Contains(beh); !v.OK() {
+			t.Errorf("PL rejected a PL-FIFO behavior: %s", v)
+		}
+	}
+}
+
+// TestModuleSignatures: module signatures expose exactly the paper's
+// action families.
+func TestModuleSignatures(t *testing.T) {
+	dl := spec.DLModule(ioa.TR)
+	if !dl.Sig.ContainsInput(ioa.SendMsg(ioa.TR, "m")) || !dl.Sig.ContainsOutput(ioa.ReceiveMsg(ioa.TR, "m")) {
+		t.Error("DL signature missing message actions")
+	}
+	if !dl.Sig.ContainsInput(ioa.Crash(ioa.RT)) {
+		t.Error("DL signature missing receiver-side crash")
+	}
+	if dl.Sig.Contains(ioa.SendPkt(ioa.TR, ioa.Packet{})) {
+		t.Error("DL signature must not contain packet actions")
+	}
+	pl := spec.PLModule(ioa.RT)
+	if !pl.Sig.ContainsInput(ioa.SendPkt(ioa.RT, ioa.Packet{})) || !pl.Sig.ContainsOutput(ioa.ReceivePkt(ioa.RT, ioa.Packet{})) {
+		t.Error("PL signature missing packet actions")
+	}
+	if pl.Sig.Contains(ioa.SendMsg(ioa.TR, "m")) {
+		t.Error("PL signature must not contain message actions")
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// This file provides runtime verification of the structural hypotheses of
+// the paper's theorems. The adversaries do not trust a protocol's claimed
+// Properties: before constructing a counterexample they verify the
+// crashing property (Section 5.3.2) and message-independence (Section
+// 5.3.1) on randomly explored reachable states. A verification failure is
+// how the non-volatile protocol correctly escapes the Theorem 7.5
+// adversary.
+
+// ErrNotCrashing reports that a protocol automaton does not revert to its
+// start state on a crash input.
+var ErrNotCrashing = errors.New("sim: protocol is not crashing (crash does not restore the start state)")
+
+// ErrNotMessageIndependent reports observed behaviour that branches on
+// message identities.
+var ErrNotMessageIndependent = errors.New("sim: protocol is not message-independent")
+
+// VerifyConfig tunes hypothesis verification.
+type VerifyConfig struct {
+	// Trials is the number of random executions explored (default 20).
+	Trials int
+	// StepsPerTrial bounds each random execution (default 200).
+	StepsPerTrial int
+	// Seed seeds the exploration.
+	Seed int64
+}
+
+func (c VerifyConfig) withDefaults() VerifyConfig {
+	if c.Trials <= 0 {
+		c.Trials = 20
+	}
+	if c.StepsPerTrial <= 0 {
+		c.StepsPerTrial = 200
+	}
+	return c
+}
+
+// VerifyCrashing checks the crashing property of both protocol automata on
+// randomly reached states: for every sampled reachable state q of A^x,
+// (q, crash, q0) must step to the unique start state q0. It returns
+// ErrNotCrashing (wrapped, with the offending state) on failure.
+func VerifyCrashing(p core.Protocol, cfg VerifyConfig) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	check := func(sys *core.System, st ioa.State) error {
+		for _, x := range []ioa.Station{ioa.T, ioa.R} {
+			a := sys.StationAutomaton(x)
+			s, err := sys.StationState(st, x)
+			if err != nil {
+				return err
+			}
+			crash := ioa.Crash(core.OutChannelDir(x))
+			post, err := a.Step(s, crash)
+			if err != nil {
+				return fmt.Errorf("sim: crash step of %s: %w", a.Name(), err)
+			}
+			if !ioa.StatesEqual(post, a.Start()) {
+				return fmt.Errorf("%w: %s maps state %s to %s, start is %s",
+					ErrNotCrashing, a.Name(), s.Fingerprint(), post.Fingerprint(), a.Start().Fingerprint())
+			}
+		}
+		return nil
+	}
+	return exploreRandomly(p, cfg, rng, check)
+}
+
+// exploreRandomly runs random executions of the composed system, invoking
+// check on every reached state.
+func exploreRandomly(p core.Protocol, cfg VerifyConfig, rng *rand.Rand, check func(*core.System, ioa.State) error) error {
+	for trial := 0; trial < cfg.Trials; trial++ {
+		sys, err := core.NewSystem(p, trial%2 == 0) // alternate FIFO / non-FIFO
+		if err != nil {
+			return err
+		}
+		r := NewRunner(sys)
+		if err := r.WakeBoth(); err != nil {
+			return err
+		}
+		minter := core.NewMessageMinter(fmt.Sprintf("verify%d", trial))
+		if err := check(sys, r.State()); err != nil {
+			return err
+		}
+		for step := 0; step < cfg.StepsPerTrial; step++ {
+			// Mix environment inputs with locally-controlled steps.
+			if rng.Intn(5) == 0 {
+				if err := r.Input(ioa.SendMsg(ioa.TR, minter.Fresh())); err != nil {
+					return err
+				}
+			} else {
+				enabled := sys.Comp.Enabled(r.State())
+				if len(enabled) == 0 {
+					continue
+				}
+				if _, err := r.Fire(enabled[rng.Intn(len(enabled))]); err != nil {
+					return err
+				}
+			}
+			if err := check(sys, r.State()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyMessageIndependence checks message-independence by bisimulation:
+// it runs two copies of the system in lockstep, feeding them pointwise
+// ≡-equivalent but distinct inputs (different message contents), making
+// pointwise ≡-equivalent choices, and asserting after every step that the
+// protocol automata remain in ≡-equivalent states with ≡-equivalent
+// enabled action sets. Divergence means the protocol branched on message
+// contents, refuting conditions 4–5 of Section 5.3.1.
+func VerifyMessageIndependence(p core.Protocol, cfg VerifyConfig) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		sysA, err := core.NewSystem(p, trial%2 == 0)
+		if err != nil {
+			return err
+		}
+		sysB, err := core.NewSystem(p, trial%2 == 0)
+		if err != nil {
+			return err
+		}
+		ra, rb := NewRunner(sysA), NewRunner(sysB)
+		if err := ra.WakeBoth(); err != nil {
+			return err
+		}
+		if err := rb.WakeBoth(); err != nil {
+			return err
+		}
+		mintA := core.NewMessageMinter(fmt.Sprintf("mi-a%d", trial))
+		mintB := core.NewMessageMinter(fmt.Sprintf("mi-b%d", trial))
+		for step := 0; step < cfg.StepsPerTrial; step++ {
+			if rng.Intn(5) == 0 {
+				// Equivalent but distinct send_msg inputs (condition 2).
+				if err := ra.Input(ioa.SendMsg(ioa.TR, mintA.Fresh())); err != nil {
+					return err
+				}
+				if err := rb.Input(ioa.SendMsg(ioa.TR, mintB.Fresh())); err != nil {
+					return err
+				}
+			} else {
+				ea := sysA.Comp.Enabled(ra.State())
+				eb := sysB.Comp.Enabled(rb.State())
+				if len(ea) != len(eb) || !pointwiseEquivalent(ea, eb) {
+					return fmt.Errorf("%w: enabled sets diverge at trial %d step %d:\n  A: %v\n  B: %v",
+						ErrNotMessageIndependent, trial, step, ioa.Schedule(ea), ioa.Schedule(eb))
+				}
+				if len(ea) == 0 {
+					continue
+				}
+				i := rng.Intn(len(ea))
+				if _, err := ra.Fire(ea[i]); err != nil {
+					return err
+				}
+				if _, err := rb.Fire(eb[i]); err != nil {
+					return err
+				}
+			}
+			if err := statesEquivalent(sysA, ra.State(), sysB, rb.State(), trial, step); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pointwiseEquivalent reports whether two action lists are pointwise ≡.
+// Deterministic Enabled ordering makes positionwise comparison sound.
+func pointwiseEquivalent(a, b []ioa.Action) bool {
+	for i := range a {
+		if !core.ActionsEquivalent(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func statesEquivalent(sysA *core.System, sa ioa.State, sysB *core.System, sb ioa.State, trial, step int) error {
+	for _, x := range []ioa.Station{ioa.T, ioa.R} {
+		qa, err := sysA.StationState(sa, x)
+		if err != nil {
+			return err
+		}
+		qb, err := sysB.StationState(sb, x)
+		if err != nil {
+			return err
+		}
+		eq, err := ioa.StatesEquivalent(qa, qb)
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return fmt.Errorf("%w: A^%s states diverge at trial %d step %d:\n  A: %s\n  B: %s",
+				ErrNotMessageIndependent, x, trial, step, qa.Fingerprint(), qb.Fingerprint())
+		}
+	}
+	return nil
+}

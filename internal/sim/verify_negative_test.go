@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+)
+
+// leakyTransmitter wraps a correct ABP transmitter but BRANCHES ON MESSAGE
+// CONTENTS: it refuses to transmit messages whose payload contains the
+// letter 'a'. The verifier's two lockstep copies mint messages with
+// distinct prefixes ("mi-a…" vs "mi-b…"), so the copies' enabled sets
+// diverge and the leak is observable. It is the negative control for
+// VerifyMessageIndependence — condition 4 of Section 5.3.1 fails.
+type leakyTransmitter struct {
+	inner ioa.Automaton
+}
+
+func (l *leakyTransmitter) Name() string             { return "leaky.T" }
+func (l *leakyTransmitter) Signature() ioa.Signature { return l.inner.Signature() }
+func (l *leakyTransmitter) Start() ioa.State         { return l.inner.Start() }
+func (l *leakyTransmitter) ClassOf(a ioa.Action) ioa.Class {
+	return l.inner.ClassOf(a)
+}
+func (l *leakyTransmitter) Classes() []ioa.Class { return l.inner.Classes() }
+
+func (l *leakyTransmitter) Step(s ioa.State, a ioa.Action) (ioa.State, error) {
+	return l.inner.Step(s, a)
+}
+
+func (l *leakyTransmitter) Enabled(s ioa.State) []ioa.Action {
+	var out []ioa.Action
+	for _, a := range l.inner.Enabled(s) {
+		// The illegal branch: message-content-dependent suppression.
+		if a.Kind == ioa.KindSendPkt && strings.Contains(string(a.Pkt.Payload), "a") {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// newLeakyProtocol returns ABP with the message-dependent transmitter.
+func newLeakyProtocol() core.Protocol {
+	p := protocol.NewABP()
+	p.Name = "leaky-abp"
+	p.T = &leakyTransmitter{inner: p.T}
+	return p
+}
+
+// TestVerifyMessageIndependenceCatchesLeak: the lockstep ≡-bisimulation
+// must reject a protocol that branches on message contents.
+func TestVerifyMessageIndependenceCatchesLeak(t *testing.T) {
+	err := VerifyMessageIndependence(newLeakyProtocol(), VerifyConfig{Trials: 8, StepsPerTrial: 120})
+	if !errors.Is(err, ErrNotMessageIndependent) {
+		t.Fatalf("verifier missed a message-dependent protocol: %v", err)
+	}
+}
+
+// stickyTransmitter is the negative control for VerifyCrashing: it claims
+// to be crashing but keeps its queue across crashes.
+type stickyTransmitter struct {
+	inner ioa.Automaton
+}
+
+func (s *stickyTransmitter) Name() string             { return "sticky.T" }
+func (s *stickyTransmitter) Signature() ioa.Signature { return s.inner.Signature() }
+func (s *stickyTransmitter) Start() ioa.State         { return s.inner.Start() }
+func (s *stickyTransmitter) Enabled(st ioa.State) []ioa.Action {
+	return s.inner.Enabled(st)
+}
+func (s *stickyTransmitter) ClassOf(a ioa.Action) ioa.Class {
+	return s.inner.ClassOf(a)
+}
+func (s *stickyTransmitter) Classes() []ioa.Class { return s.inner.Classes() }
+
+func (s *stickyTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	if a.Kind == ioa.KindCrash && a.Dir == ioa.TR {
+		return st, nil // "non-volatile" everything: crash is a no-op
+	}
+	return s.inner.Step(st, a)
+}
+
+// TestVerifyCrashingCatchesStickyState: sampled reachable states where the
+// crash step does not land in the start state must be reported.
+func TestVerifyCrashingCatchesStickyState(t *testing.T) {
+	p := protocol.NewABP()
+	p.Name = "sticky-abp"
+	p.T = &stickyTransmitter{inner: p.T}
+	err := VerifyCrashing(p, VerifyConfig{Trials: 6, StepsPerTrial: 80})
+	if !errors.Is(err, ErrNotCrashing) {
+		t.Fatalf("verifier missed a non-crashing protocol: %v", err)
+	}
+}
+
+// TestLeakyEnabledSuppression sanity-checks the negative-control wrapper
+// itself: equivalently-shaped states with different payload initials give
+// different enabled sets.
+func TestLeakyEnabledSuppression(t *testing.T) {
+	p := newLeakyProtocol()
+	tx := p.T
+	withA, err := tx.Step(tx.Start(), ioa.Wake(ioa.TR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withA, err = tx.Step(withA, ioa.SendMsg(ioa.TR, "has-an-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withO, err := tx.Step(tx.Start(), ioa.Wake(ioa.TR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withO, err = tx.Step(withO, ioa.SendMsg(ioa.TR, "ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tx.Enabled(withA)); got != 0 {
+		t.Errorf("suppressed payload still enabled: %d", got)
+	}
+	if got := len(tx.Enabled(withO)); got != 1 {
+		t.Errorf("allowed payload not enabled: %d", got)
+	}
+}

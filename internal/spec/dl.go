@@ -1,0 +1,265 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// WellFormedDL checks well-formedness of a sequence of data link layer
+// actions for message direction d (Section 4): the transmitter-side status
+// events (direction d) and the receiver-side status events (direction
+// d.Rev()) must each alternate fail/wake strictly within their respective
+// crash-delimited intervals, starting with wake.
+func WellFormedDL(beta ioa.Schedule, d ioa.Dir) *Violation {
+	if v := wellFormedDir(beta, d); v != nil {
+		return v
+	}
+	return wellFormedDir(beta, d.Rev())
+}
+
+// DL1 checks eventual consistency of the two directions' status: there is
+// an unbounded transmitter working interval iff there is an unbounded
+// receiver working interval.
+func DL1(beta ioa.Schedule, d ioa.Dir) *Violation {
+	_, tUnbounded := unboundedInterval(beta, d)
+	_, rUnbounded := unboundedInterval(beta, d.Rev())
+	if tUnbounded != rUnbounded {
+		return &Violation{Property: PropDL1,
+			Detail: fmt.Sprintf("unbounded transmitter interval=%v but unbounded receiver interval=%v", tUnbounded, rUnbounded)}
+	}
+	return nil
+}
+
+// DL2 checks that every send_msg^{d} event occurs in a transmitter working
+// interval.
+func DL2(beta ioa.Schedule, d ioa.Dir) *Violation {
+	for i, a := range beta {
+		if a.Kind == ioa.KindSendMsg && a.Dir == d && !inWorkingInterval(beta, d, i) {
+			return &Violation{Property: PropDL2, Index: i + 1,
+				Detail: fmt.Sprintf("%s outside any transmitter working interval", a)}
+		}
+	}
+	return nil
+}
+
+// DL3 checks that every message is sent at most once.
+func DL3(beta ioa.Schedule, d ioa.Dir) *Violation {
+	seen := make(map[ioa.Message]int)
+	for i, a := range beta {
+		if a.Kind != ioa.KindSendMsg || a.Dir != d {
+			continue
+		}
+		if j, dup := seen[a.Msg]; dup {
+			return &Violation{Property: PropDL3, Index: i + 1,
+				Detail: fmt.Sprintf("message %q already sent at event %d", string(a.Msg), j)}
+		}
+		seen[a.Msg] = i + 1
+	}
+	return nil
+}
+
+// DL4 checks that every message is received at most once.
+func DL4(beta ioa.Schedule, d ioa.Dir) *Violation {
+	seen := make(map[ioa.Message]int)
+	for i, a := range beta {
+		if a.Kind != ioa.KindReceiveMsg || a.Dir != d {
+			continue
+		}
+		if j, dup := seen[a.Msg]; dup {
+			return &Violation{Property: PropDL4, Index: i + 1,
+				Detail: fmt.Sprintf("message %q already received at event %d", string(a.Msg), j)}
+		}
+		seen[a.Msg] = i + 1
+	}
+	return nil
+}
+
+// DL5 checks that every receive_msg^{d}(m) event has a preceding
+// send_msg^{d}(m) event.
+func DL5(beta ioa.Schedule, d ioa.Dir) *Violation {
+	sent := make(map[ioa.Message]bool)
+	for i, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindSendMsg:
+			sent[a.Msg] = true
+		case ioa.KindReceiveMsg:
+			if !sent[a.Msg] {
+				return &Violation{Property: PropDL5, Index: i + 1,
+					Detail: fmt.Sprintf("message %q received but never sent", string(a.Msg))}
+			}
+		}
+	}
+	return nil
+}
+
+// DL6 checks the data-link FIFO property: delivered messages are received
+// in the order they were sent.
+func DL6(beta ioa.Schedule, d ioa.Dir) *Violation {
+	sendIndex := make(map[ioa.Message]int)
+	nextSend := 0
+	lastDelivered := -1
+	for i, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindSendMsg:
+			if _, dup := sendIndex[a.Msg]; !dup {
+				sendIndex[a.Msg] = nextSend
+			}
+			nextSend++
+		case ioa.KindReceiveMsg:
+			si, ok := sendIndex[a.Msg]
+			if !ok {
+				continue // DL5's job
+			}
+			if si <= lastDelivered {
+				return &Violation{Property: PropDL6, Index: i + 1,
+					Detail: fmt.Sprintf("message %q (send #%d) delivered after a later-sent message (send #%d)", string(a.Msg), si+1, lastDelivered+1)}
+			}
+			lastDelivered = si
+		}
+	}
+	return nil
+}
+
+// DL7 checks the no-gaps property: if two messages are sent in the same
+// transmitter working interval and the later one is received, the earlier
+// one is received too.
+func DL7(beta ioa.Schedule, d ioa.Dir) *Violation {
+	received := make(map[ioa.Message]bool)
+	for _, a := range beta {
+		if a.Kind == ioa.KindReceiveMsg && a.Dir == d {
+			received[a.Msg] = true
+		}
+	}
+	for _, iv := range workingIntervals(beta, d) {
+		var sends []ioa.Message
+		var indices []int
+		for i := iv.start + 1; i < iv.end && i < len(beta); i++ {
+			if beta[i].Kind == ioa.KindSendMsg && beta[i].Dir == d {
+				sends = append(sends, beta[i].Msg)
+				indices = append(indices, i)
+			}
+		}
+		for j := len(sends) - 1; j > 0; j-- {
+			if received[sends[j]] && !received[sends[j-1]] {
+				return &Violation{Property: PropDL7, Index: indices[j-1] + 1,
+					Detail: fmt.Sprintf("message %q lost but later message %q from the same working interval delivered", string(sends[j-1]), string(sends[j]))}
+			}
+		}
+	}
+	return nil
+}
+
+// DL8 checks the data-link liveness property on a completed (quiescent)
+// trace: every message sent in an unbounded transmitter working interval
+// must be received somewhere in the trace. Callers must only rely on this
+// verdict for traces obtained by a fair extension (Lemma 2.1); on an
+// arbitrary prefix a DL8 violation merely means "not delivered yet".
+func DL8(beta ioa.Schedule, d ioa.Dir) *Violation {
+	iv, ok := unboundedInterval(beta, d)
+	if !ok {
+		return nil
+	}
+	received := make(map[ioa.Message]bool)
+	for _, a := range beta {
+		if a.Kind == ioa.KindReceiveMsg && a.Dir == d {
+			received[a.Msg] = true
+		}
+	}
+	for i := iv.start + 1; i < len(beta); i++ {
+		a := beta[i]
+		if a.Kind == ioa.KindSendMsg && a.Dir == d && !received[a.Msg] {
+			return &Violation{Property: PropDL8, Index: i + 1,
+				Detail: fmt.Sprintf("message %q sent in the unbounded transmitter working interval but never received", string(a.Msg))}
+		}
+	}
+	return nil
+}
+
+// dlHypotheses gathers the environment-side conditions of the DL modules:
+// well-formedness and (DL1)-(DL3).
+func dlHypotheses(beta ioa.Schedule, d ioa.Dir) []Violation {
+	var out []Violation
+	if v := WellFormedDL(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	if v := DL1(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	if v := DL2(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	if v := DL3(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// CheckDL decides membership of β in scheds(DL^{d}): if β is well-formed
+// and satisfies (DL1)-(DL3), then it must satisfy (DL4)-(DL8). See DL8 for
+// the finite-trace liveness caveat.
+func CheckDL(beta ioa.Schedule, d ioa.Dir) Verdict {
+	if hyp := dlHypotheses(beta, d); len(hyp) > 0 {
+		return Verdict{Vacuous: true, HypothesisFailures: hyp}
+	}
+	var out []Violation
+	for _, check := range []func(ioa.Schedule, ioa.Dir) *Violation{DL4, DL5, DL6, DL7, DL8} {
+		if v := check(beta, d); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return Verdict{Violations: out}
+}
+
+// CheckWDL decides membership of β in scheds(WDL^{d}), the weak data link
+// specification: if β is well-formed and satisfies (DL1)-(DL3), then it
+// must satisfy (DL4), (DL5) and (DL8). Every schedule of DL is a schedule
+// of WDL, so a WDL violation refutes DL too — this is the module both
+// impossibility proofs target.
+func CheckWDL(beta ioa.Schedule, d ioa.Dir) Verdict {
+	if hyp := dlHypotheses(beta, d); len(hyp) > 0 {
+		return Verdict{Vacuous: true, HypothesisFailures: hyp}
+	}
+	var out []Violation
+	for _, check := range []func(ioa.Schedule, ioa.Dir) *Violation{DL4, DL5, DL8} {
+		if v := check(beta, d); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return Verdict{Violations: out}
+}
+
+// CheckValid decides whether β is a valid sequence of data link layer
+// actions (Section 8.1): (1) well-formed, (2) satisfies (DL1)-(DL5) and
+// (DL8), and (3) a wake event, but no fail or crash events, occur in β.
+func CheckValid(beta ioa.Schedule, d ioa.Dir) Verdict {
+	var out []Violation
+	if v := WellFormedDL(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	for _, check := range []func(ioa.Schedule, ioa.Dir) *Violation{DL1, DL2, DL3, DL4, DL5, DL8} {
+		if v := check(beta, d); v != nil {
+			out = append(out, *v)
+		}
+	}
+	sawWake := false
+	for i, a := range beta {
+		switch a.Kind {
+		case ioa.KindWake:
+			sawWake = true
+		case ioa.KindFail, ioa.KindCrash:
+			out = append(out, Violation{Property: PropValid, Index: i + 1,
+				Detail: fmt.Sprintf("valid sequences contain no fail or crash events, found %s", a)})
+		}
+	}
+	if !sawWake {
+		out = append(out, Violation{Property: PropValid, Detail: "no wake event occurs"})
+	}
+	return Verdict{Violations: out}
+}

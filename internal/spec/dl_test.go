@@ -1,0 +1,270 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+var (
+	tr = ioa.TR
+	rt = ioa.RT
+)
+
+// opened returns the canonical prefix: both directions woken.
+func opened() ioa.Schedule {
+	return ioa.Schedule{ioa.Wake(tr), ioa.Wake(rt)}
+}
+
+func sendM(m string) ioa.Action { return ioa.SendMsg(tr, ioa.Message(m)) }
+func recvM(m string) ioa.Action { return ioa.ReceiveMsg(tr, ioa.Message(m)) }
+
+func TestWellFormedDLBothDirections(t *testing.T) {
+	good := append(opened(), ioa.Fail(tr), ioa.Wake(tr), ioa.Fail(rt), ioa.Wake(rt))
+	if v := WellFormedDL(good, tr); v != nil {
+		t.Errorf("well-formed schedule flagged: %v", v)
+	}
+	badT := ioa.Schedule{ioa.Wake(tr), ioa.Wake(tr)}
+	if v := WellFormedDL(badT, tr); v == nil {
+		t.Error("double transmitter wake not flagged")
+	}
+	badR := ioa.Schedule{ioa.Wake(tr), ioa.Wake(rt), ioa.Wake(rt)}
+	if v := WellFormedDL(badR, tr); v == nil {
+		t.Error("double receiver wake not flagged")
+	}
+}
+
+func TestDL1Consistency(t *testing.T) {
+	both := opened()
+	if v := DL1(both, tr); v != nil {
+		t.Errorf("both unbounded flagged: %v", v)
+	}
+	neither := append(opened(), ioa.Fail(tr), ioa.Fail(rt))
+	if v := DL1(neither, tr); v != nil {
+		t.Errorf("neither unbounded flagged: %v", v)
+	}
+	onlyT := append(opened(), ioa.Fail(rt))
+	if v := DL1(onlyT, tr); v == nil {
+		t.Error("inconsistent status not flagged")
+	}
+	onlyR := append(opened(), ioa.Crash(tr))
+	if v := DL1(onlyR, tr); v == nil {
+		t.Error("inconsistent status after crash not flagged")
+	}
+}
+
+func TestDL2SendInWorkingInterval(t *testing.T) {
+	good := append(opened(), sendM("a"))
+	if v := DL2(good, tr); v != nil {
+		t.Errorf("legal send flagged: %v", v)
+	}
+	early := ioa.Schedule{sendM("a"), ioa.Wake(tr)}
+	if v := DL2(early, tr); v == nil {
+		t.Error("send before wake not flagged")
+	}
+	afterCrash := append(opened(), ioa.Crash(tr), sendM("a"))
+	if v := DL2(afterCrash, tr); v == nil {
+		t.Error("send after crash (before re-wake) not flagged")
+	}
+}
+
+func TestDL3DL4Uniqueness(t *testing.T) {
+	dupSend := append(opened(), sendM("a"), sendM("a"))
+	if v := DL3(dupSend, tr); v == nil {
+		t.Error("duplicate send_msg not flagged")
+	}
+	dupRecv := append(opened(), sendM("a"), recvM("a"), recvM("a"))
+	if v := DL4(dupRecv, tr); v == nil {
+		t.Error("duplicate receive_msg not flagged")
+	}
+	if v := DL3(append(opened(), sendM("a"), sendM("b")), tr); v != nil {
+		t.Errorf("distinct sends flagged: %v", v)
+	}
+}
+
+func TestDL5ReceiveWithoutSend(t *testing.T) {
+	bad := append(opened(), recvM("ghost"))
+	if v := DL5(bad, tr); v == nil {
+		t.Error("spurious delivery not flagged")
+	}
+	ordered := append(opened(), sendM("a"), recvM("a"))
+	if v := DL5(ordered, tr); v != nil {
+		t.Errorf("legal delivery flagged: %v", v)
+	}
+	reversed := append(opened(), recvM("a"), sendM("a"))
+	if v := DL5(reversed, tr); v == nil {
+		t.Error("delivery before send not flagged")
+	}
+}
+
+func TestDL6FIFO(t *testing.T) {
+	inOrder := append(opened(), sendM("a"), sendM("b"), recvM("a"), recvM("b"))
+	if v := DL6(inOrder, tr); v != nil {
+		t.Errorf("in-order delivery flagged: %v", v)
+	}
+	outOfOrder := append(opened(), sendM("a"), sendM("b"), recvM("b"), recvM("a"))
+	if v := DL6(outOfOrder, tr); v == nil {
+		t.Error("out-of-order delivery not flagged")
+	}
+	gap := append(opened(), sendM("a"), sendM("b"), sendM("c"), recvM("a"), recvM("c"))
+	if v := DL6(gap, tr); v != nil {
+		t.Errorf("gappy but ordered delivery flagged by DL6: %v", v)
+	}
+}
+
+func TestDL7NoGaps(t *testing.T) {
+	gap := append(opened(), sendM("a"), sendM("b"), recvM("b"))
+	if v := DL7(gap, tr); v == nil {
+		t.Error("gap within one working interval not flagged")
+	}
+	// A gap across working intervals is permitted: the loss is excused by
+	// the intervening failure.
+	acrossIntervals := append(opened(),
+		sendM("a"), ioa.Fail(tr), ioa.Wake(tr), sendM("b"), recvM("b"))
+	if v := DL7(acrossIntervals, tr); v != nil {
+		t.Errorf("cross-interval gap flagged: %v", v)
+	}
+	complete := append(opened(), sendM("a"), sendM("b"), recvM("a"), recvM("b"))
+	if v := DL7(complete, tr); v != nil {
+		t.Errorf("complete delivery flagged: %v", v)
+	}
+}
+
+func TestDL8Liveness(t *testing.T) {
+	lost := append(opened(), sendM("a"))
+	if v := DL8(lost, tr); v == nil {
+		t.Error("undelivered message in unbounded interval not flagged")
+	}
+	delivered := append(opened(), sendM("a"), recvM("a"))
+	if v := DL8(delivered, tr); v != nil {
+		t.Errorf("delivered message flagged: %v", v)
+	}
+	// A send in a bounded working interval (ended by fail or crash) incurs
+	// no delivery obligation.
+	excusedByFail := append(opened(), sendM("a"), ioa.Fail(tr), ioa.Wake(tr))
+	if v := DL8(excusedByFail, tr); v != nil {
+		t.Errorf("fail-bounded send flagged: %v", v)
+	}
+	excusedByCrash := append(opened(), sendM("a"), ioa.Crash(tr), ioa.Wake(tr))
+	if v := DL8(excusedByCrash, tr); v != nil {
+		t.Errorf("crash-bounded send flagged: %v", v)
+	}
+	// No unbounded interval at all: vacuous.
+	closed := append(opened(), sendM("a"), ioa.Fail(tr))
+	if v := DL8(closed, tr); v != nil {
+		t.Errorf("no unbounded interval but flagged: %v", v)
+	}
+}
+
+func TestCheckDLAndWDLConditionalShape(t *testing.T) {
+	// Environment hypothesis broken (DL3): vacuous for both modules.
+	dup := append(opened(), sendM("a"), sendM("a"), recvM("a"), recvM("a"))
+	if v := CheckDL(dup, tr); !v.Vacuous {
+		t.Errorf("expected vacuous DL verdict, got %s", v)
+	}
+	if v := CheckWDL(dup, tr); !v.Vacuous {
+		t.Errorf("expected vacuous WDL verdict, got %s", v)
+	}
+
+	// DL6 violation matters for DL but not WDL.
+	reorder := append(opened(), sendM("a"), sendM("b"), recvM("b"), recvM("a"))
+	if v := CheckDL(reorder, tr); v.OK() {
+		t.Error("reordered delivery must violate DL")
+	}
+	if v := CheckWDL(reorder, tr); !v.OK() {
+		t.Errorf("reordered delivery is WDL-legal, got %s", v)
+	}
+
+	// DL7 violation matters for DL but not WDL... except the lost message
+	// also violates DL8 here; excuse it with a fail.
+	gapThenDeliver := append(opened(),
+		sendM("a"), sendM("b"), recvM("b"), ioa.Fail(tr), ioa.Fail(rt))
+	if v := CheckDL(gapThenDeliver, tr); v.OK() {
+		t.Error("gap must violate DL (DL7)")
+	}
+	if v := CheckWDL(gapThenDeliver, tr); !v.OK() {
+		t.Errorf("gap is WDL-legal when excused, got %s", v)
+	}
+
+	// Clean run passes both.
+	good := append(opened(), sendM("a"), recvM("a"), sendM("b"), recvM("b"))
+	if v := CheckDL(good, tr); !v.OK() || v.Vacuous {
+		t.Errorf("good trace rejected by DL: %s", v)
+	}
+	if v := CheckWDL(good, tr); !v.OK() || v.Vacuous {
+		t.Errorf("good trace rejected by WDL: %s", v)
+	}
+}
+
+func TestWDLWeakerThanDL(t *testing.T) {
+	// Every trace accepted by DL must be accepted by WDL
+	// (scheds(DL) ⊆ scheds(WDL)).
+	traces := []ioa.Schedule{
+		opened(),
+		append(opened(), sendM("a"), recvM("a")),
+		append(opened(), sendM("a"), sendM("b"), recvM("a"), recvM("b")),
+		append(opened(), sendM("a"), ioa.Fail(tr), ioa.Fail(rt)),
+		{sendM("x")}, // ill-formed: vacuous in both
+	}
+	for i, tr2 := range traces {
+		if CheckDL(tr2, tr).OK() && !CheckWDL(tr2, tr).OK() {
+			t.Errorf("trace %d: in scheds(DL) but not scheds(WDL)", i)
+		}
+	}
+}
+
+func TestCheckValid(t *testing.T) {
+	good := append(opened(), sendM("a"), recvM("a"))
+	if v := CheckValid(good, tr); !v.OK() {
+		t.Errorf("valid sequence rejected: %s", v)
+	}
+	withFail := append(opened(), ioa.Fail(tr))
+	if v := CheckValid(withFail, tr); v.OK() {
+		t.Error("sequence with fail must not be valid")
+	}
+	withCrash := append(opened(), ioa.Crash(rt))
+	if v := CheckValid(withCrash, tr); v.OK() {
+		t.Error("sequence with crash must not be valid")
+	}
+	if v := CheckValid(ioa.Schedule{}, tr); v.OK() {
+		t.Error("sequence without wake must not be valid")
+	}
+	undelivered := append(opened(), sendM("a"))
+	if v := CheckValid(undelivered, tr); v.OK() {
+		t.Error("valid sequences satisfy DL8; undelivered send must fail")
+	}
+}
+
+// TestLemma81 checks Lemma 8.1: in a valid sequence, every sent message is
+// received.
+func TestLemma81(t *testing.T) {
+	valid := append(opened(), sendM("a"), recvM("a"), sendM("b"), recvM("b"))
+	if v := CheckValid(valid, tr); !v.OK() {
+		t.Fatalf("setup: %s", v)
+	}
+	sent := map[ioa.Message]bool{}
+	recv := map[ioa.Message]bool{}
+	for _, a := range valid {
+		switch a.Kind {
+		case ioa.KindSendMsg:
+			sent[a.Msg] = true
+		case ioa.KindReceiveMsg:
+			recv[a.Msg] = true
+		}
+	}
+	for m := range sent {
+		if !recv[m] {
+			t.Errorf("message %q sent but not received in a valid sequence", string(m))
+		}
+	}
+}
+
+// TestLemma82 checks Lemma 8.2: appending send_msg(m) receive_msg(m) for a
+// fresh m preserves validity.
+func TestLemma82(t *testing.T) {
+	valid := append(opened(), sendM("a"), recvM("a"))
+	extended := append(valid.Clone(), sendM("fresh"), recvM("fresh"))
+	if v := CheckValid(extended, tr); !v.OK() {
+		t.Errorf("Lemma 8.2 extension rejected: %s", v)
+	}
+}

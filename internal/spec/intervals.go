@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// wellFormedDir checks the paper's well-formedness condition for one
+// direction d: within every crash^{d}-delimited interval, fail^{d} and
+// wake^{d} events alternate strictly, starting with wake^{d}. It returns
+// nil when the condition holds.
+func wellFormedDir(beta ioa.Schedule, d ioa.Dir) *Violation {
+	awake := false // whether the last status event in the current crash interval was wake
+	for i, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindCrash:
+			// A crash delimits intervals; it may follow a wake with no
+			// intervening fail (the crash "includes a failure").
+			awake = false
+		case ioa.KindWake:
+			if awake {
+				return &Violation{Property: PropWellFormed, Index: i + 1,
+					Detail: fmt.Sprintf("wake^{%s} without intervening fail^{%s}", d, d)}
+			}
+			awake = true
+		case ioa.KindFail:
+			if !awake {
+				return &Violation{Property: PropWellFormed, Index: i + 1,
+					Detail: fmt.Sprintf("fail^{%s} without preceding wake^{%s}", d, d)}
+			}
+			awake = false
+		}
+	}
+	return nil
+}
+
+// interval is a working interval for one direction: the half-open range of
+// 0-based event indices (start, end) strictly between a wake event and the
+// next fail/crash event in the same direction. Unbounded reports that no
+// later fail or crash occurs (the paper's unbounded working interval).
+type interval struct {
+	start     int // index of the wake event
+	end       int // index of the terminating fail/crash, or len(beta) if unbounded
+	unbounded bool
+}
+
+// contains reports whether event index i (0-based) lies strictly inside
+// the interval (the paper excludes the delimiting wake/fail/crash events).
+func (iv interval) contains(i int) bool { return i > iv.start && i < iv.end }
+
+// workingIntervals computes the working intervals of direction d in a
+// well-formed sequence.
+func workingIntervals(beta ioa.Schedule, d ioa.Dir) []interval {
+	var out []interval
+	open := -1
+	for i, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindWake:
+			open = i
+		case ioa.KindFail, ioa.KindCrash:
+			if open >= 0 {
+				out = append(out, interval{start: open, end: i})
+				open = -1
+			}
+		}
+	}
+	if open >= 0 {
+		out = append(out, interval{start: open, end: len(beta), unbounded: true})
+	}
+	return out
+}
+
+// unboundedInterval returns the unique unbounded working interval of
+// direction d, if any. There is at most one (the intervals are disjoint).
+func unboundedInterval(beta ioa.Schedule, d ioa.Dir) (interval, bool) {
+	ivs := workingIntervals(beta, d)
+	if n := len(ivs); n > 0 && ivs[n-1].unbounded {
+		return ivs[n-1], true
+	}
+	return interval{}, false
+}
+
+// inWorkingInterval reports whether event index i (0-based) lies inside
+// some working interval of direction d.
+func inWorkingInterval(beta ioa.Schedule, d ioa.Dir, i int) bool {
+	for _, iv := range workingIntervals(beta, d) {
+		if iv.contains(i) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package spec
+
+import "repro/internal/ioa"
+
+// Module is a schedule module H = (sig(H), scheds(H)) of Section 2.3: an
+// action signature together with a membership predicate on finite action
+// sequences. The paper's problem specifications — PL, PL-FIFO, DL, WDL —
+// are provided as constructors. An automaton A "solves" H when
+// fairbehs(A) ⊆ behs(H) (Section 2.4); the sim package's SolvesBounded
+// tests this on sampled fair behaviors.
+type Module struct {
+	// Name identifies the module, e.g. "WDL^{t,r}".
+	Name string
+	// Sig is the module's (external) action signature.
+	Sig ioa.Signature
+	// Contains decides membership of a finite sequence in scheds(H).
+	Contains func(beta ioa.Schedule) Verdict
+}
+
+// plSignature is the physical layer signature of Section 3 for direction
+// d, from the channel's point of view (send_pkt is an input, receive_pkt
+// an output).
+func plSignature(d ioa.Dir) ioa.Signature {
+	return ioa.Signature{
+		In: []ioa.Pattern{
+			{Kind: ioa.KindSendPkt, Dir: d},
+			{Kind: ioa.KindWake, Dir: d},
+			{Kind: ioa.KindFail, Dir: d},
+			{Kind: ioa.KindCrash, Dir: d},
+		},
+		Out: []ioa.Pattern{
+			{Kind: ioa.KindReceivePkt, Dir: d},
+		},
+	}
+}
+
+// dlSignature is the data link layer signature of Section 4 for message
+// direction d.
+func dlSignature(d ioa.Dir) ioa.Signature {
+	return ioa.Signature{
+		In: []ioa.Pattern{
+			{Kind: ioa.KindSendMsg, Dir: d},
+			{Kind: ioa.KindWake, Dir: d},
+			{Kind: ioa.KindFail, Dir: d},
+			{Kind: ioa.KindCrash, Dir: d},
+			{Kind: ioa.KindWake, Dir: d.Rev()},
+			{Kind: ioa.KindFail, Dir: d.Rev()},
+			{Kind: ioa.KindCrash, Dir: d.Rev()},
+		},
+		Out: []ioa.Pattern{
+			{Kind: ioa.KindReceiveMsg, Dir: d},
+		},
+	}
+}
+
+// PLModule returns PL^{d}: the non-FIFO physical layer specification.
+func PLModule(d ioa.Dir) Module {
+	return Module{
+		Name:     "PL^{" + d.String() + "}",
+		Sig:      plSignature(d),
+		Contains: func(beta ioa.Schedule) Verdict { return CheckPL(beta, d) },
+	}
+}
+
+// PLFIFOModule returns PL-FIFO^{d}: the FIFO physical layer specification.
+func PLFIFOModule(d ioa.Dir) Module {
+	return Module{
+		Name:     "PL-FIFO^{" + d.String() + "}",
+		Sig:      plSignature(d),
+		Contains: func(beta ioa.Schedule) Verdict { return CheckPLFIFO(beta, d) },
+	}
+}
+
+// DLModule returns DL^{d}: the full data link layer specification.
+func DLModule(d ioa.Dir) Module {
+	return Module{
+		Name:     "DL^{" + d.String() + "}",
+		Sig:      dlSignature(d),
+		Contains: func(beta ioa.Schedule) Verdict { return CheckDL(beta, d) },
+	}
+}
+
+// WDLModule returns WDL^{d}: the weak data link layer specification that
+// both impossibility theorems target.
+func WDLModule(d ioa.Dir) Module {
+	return Module{
+		Name:     "WDL^{" + d.String() + "}",
+		Sig:      dlSignature(d),
+		Contains: func(beta ioa.Schedule) Verdict { return CheckWDL(beta, d) },
+	}
+}

@@ -1,0 +1,161 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// WellFormedPL checks well-formedness of a sequence of physical layer
+// actions for direction d (Section 3): within every crash^{d}-delimited
+// interval, fail^{d} and wake^{d} alternate strictly starting with
+// wake^{d}.
+func WellFormedPL(beta ioa.Schedule, d ioa.Dir) *Violation {
+	return wellFormedDir(beta, d)
+}
+
+// PL1 checks that every send_pkt^{d} event occurs in a working interval.
+// The sequence must be well-formed.
+func PL1(beta ioa.Schedule, d ioa.Dir) *Violation {
+	for i, a := range beta {
+		if a.Kind == ioa.KindSendPkt && a.Dir == d && !inWorkingInterval(beta, d, i) {
+			return &Violation{Property: PropPL1, Index: i + 1,
+				Detail: fmt.Sprintf("%s outside any working interval", a)}
+		}
+	}
+	return nil
+}
+
+// PL2 checks that every packet is sent at most once.
+func PL2(beta ioa.Schedule, d ioa.Dir) *Violation {
+	seen := make(map[ioa.Packet]int)
+	for i, a := range beta {
+		if a.Kind != ioa.KindSendPkt || a.Dir != d {
+			continue
+		}
+		if j, dup := seen[a.Pkt]; dup {
+			return &Violation{Property: PropPL2, Index: i + 1,
+				Detail: fmt.Sprintf("packet %s already sent at event %d", a.Pkt, j)}
+		}
+		seen[a.Pkt] = i + 1
+	}
+	return nil
+}
+
+// PL3 checks that every packet is received at most once.
+func PL3(beta ioa.Schedule, d ioa.Dir) *Violation {
+	seen := make(map[ioa.Packet]int)
+	for i, a := range beta {
+		if a.Kind != ioa.KindReceivePkt || a.Dir != d {
+			continue
+		}
+		if j, dup := seen[a.Pkt]; dup {
+			return &Violation{Property: PropPL3, Index: i + 1,
+				Detail: fmt.Sprintf("packet %s already received at event %d", a.Pkt, j)}
+		}
+		seen[a.Pkt] = i + 1
+	}
+	return nil
+}
+
+// PL4 checks that every receive_pkt^{d}(p) event has a preceding
+// send_pkt^{d}(p) event.
+func PL4(beta ioa.Schedule, d ioa.Dir) *Violation {
+	sent := make(map[ioa.Packet]bool)
+	for i, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindSendPkt:
+			sent[a.Pkt] = true
+		case ioa.KindReceivePkt:
+			if !sent[a.Pkt] {
+				return &Violation{Property: PropPL4, Index: i + 1,
+					Detail: fmt.Sprintf("packet %s received but never sent", a.Pkt)}
+			}
+		}
+	}
+	return nil
+}
+
+// PL5 checks the FIFO property: delivered packets have their receive_pkt
+// events in the same order as their send_pkt events. Gaps (lost packets)
+// are allowed.
+func PL5(beta ioa.Schedule, d ioa.Dir) *Violation {
+	sendIndex := make(map[ioa.Packet]int)
+	nextSend := 0
+	lastDelivered := -1
+	for i, a := range beta {
+		if a.Dir != d {
+			continue
+		}
+		switch a.Kind {
+		case ioa.KindSendPkt:
+			sendIndex[a.Pkt] = nextSend
+			nextSend++
+		case ioa.KindReceivePkt:
+			si, ok := sendIndex[a.Pkt]
+			if !ok {
+				// PL4's job; don't double-report.
+				continue
+			}
+			if si <= lastDelivered {
+				return &Violation{Property: PropPL5, Index: i + 1,
+					Detail: fmt.Sprintf("packet %s (send #%d) delivered after a later-sent packet (send #%d)", a.Pkt, si+1, lastDelivered+1)}
+			}
+			lastDelivered = si
+		}
+	}
+	return nil
+}
+
+// plHypotheses gathers the environment-side conditions of the PL modules:
+// well-formedness, (PL1) and (PL2).
+func plHypotheses(beta ioa.Schedule, d ioa.Dir) []Violation {
+	var out []Violation
+	if v := WellFormedPL(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	if v := PL1(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	if v := PL2(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// CheckPL decides membership of β in scheds(PL^{d}): if β is well-formed
+// and satisfies (PL1)-(PL2), then it must satisfy (PL3) and (PL4).
+//
+// (PL6) is a liveness property over infinite executions and guarantees
+// nothing on any finite trace (it requires infinitely many send events);
+// it is exercised at the automaton level by the channel package's fairness
+// tests rather than here.
+func CheckPL(beta ioa.Schedule, d ioa.Dir) Verdict {
+	if hyp := plHypotheses(beta, d); len(hyp) > 0 {
+		return Verdict{Vacuous: true, HypothesisFailures: hyp}
+	}
+	var out []Violation
+	if v := PL3(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	if v := PL4(beta, d); v != nil {
+		out = append(out, *v)
+	}
+	return Verdict{Violations: out}
+}
+
+// CheckPLFIFO decides membership of β in scheds(PL-FIFO^{d}): like CheckPL
+// with the FIFO condition (PL5) added.
+func CheckPLFIFO(beta ioa.Schedule, d ioa.Dir) Verdict {
+	v := CheckPL(beta, d)
+	if v.Vacuous {
+		return v
+	}
+	if f := PL5(beta, d); f != nil {
+		v.Violations = append(v.Violations, *f)
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func pkt(id uint64, h string) ioa.Packet {
+	return ioa.Packet{ID: id, Header: ioa.Header(h)}
+}
+
+func TestWellFormedPL(t *testing.T) {
+	d := ioa.TR
+	tests := []struct {
+		name string
+		beta ioa.Schedule
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"single wake", ioa.Schedule{ioa.Wake(d)}, true},
+		{"wake fail wake", ioa.Schedule{ioa.Wake(d), ioa.Fail(d), ioa.Wake(d)}, true},
+		{"double wake", ioa.Schedule{ioa.Wake(d), ioa.Wake(d)}, false},
+		{"fail first", ioa.Schedule{ioa.Fail(d)}, false},
+		{"double fail", ioa.Schedule{ioa.Wake(d), ioa.Fail(d), ioa.Fail(d)}, false},
+		{"crash resets alternation", ioa.Schedule{ioa.Wake(d), ioa.Crash(d), ioa.Wake(d)}, true},
+		{"crash includes failure", ioa.Schedule{ioa.Wake(d), ioa.Crash(d), ioa.Wake(d), ioa.Fail(d), ioa.Wake(d)}, true},
+		{"fail right after crash", ioa.Schedule{ioa.Wake(d), ioa.Crash(d), ioa.Fail(d)}, false},
+		{"other direction ignored", ioa.Schedule{ioa.Wake(d), ioa.Wake(d.Rev()), ioa.Wake(d.Rev())}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := WellFormedPL(tt.beta, d)
+			if (v == nil) != tt.ok {
+				t.Errorf("WellFormedPL = %v, want ok=%v", v, tt.ok)
+			}
+		})
+	}
+}
+
+func TestPL1(t *testing.T) {
+	d := ioa.TR
+	inside := ioa.Schedule{ioa.Wake(d), ioa.SendPkt(d, pkt(1, "h"))}
+	if v := PL1(inside, d); v != nil {
+		t.Errorf("send inside working interval flagged: %v", v)
+	}
+	before := ioa.Schedule{ioa.SendPkt(d, pkt(1, "h")), ioa.Wake(d)}
+	if v := PL1(before, d); v == nil {
+		t.Error("send before wake not flagged")
+	}
+	afterFail := ioa.Schedule{ioa.Wake(d), ioa.Fail(d), ioa.SendPkt(d, pkt(1, "h"))}
+	if v := PL1(afterFail, d); v == nil {
+		t.Error("send after fail not flagged")
+	} else if v.Index != 3 {
+		t.Errorf("violation index = %d, want 3", v.Index)
+	}
+}
+
+func TestPL2PL3Uniqueness(t *testing.T) {
+	d := ioa.TR
+	dup := ioa.Schedule{
+		ioa.Wake(d),
+		ioa.SendPkt(d, pkt(1, "h")),
+		ioa.SendPkt(d, pkt(1, "h")),
+	}
+	if v := PL2(dup, d); v == nil {
+		t.Error("duplicate send not flagged by PL2")
+	}
+	recvDup := ioa.Schedule{
+		ioa.Wake(d),
+		ioa.SendPkt(d, pkt(1, "h")),
+		ioa.ReceivePkt(d, pkt(1, "h")),
+		ioa.ReceivePkt(d, pkt(1, "h")),
+	}
+	if v := PL3(recvDup, d); v == nil {
+		t.Error("duplicate receive not flagged by PL3")
+	}
+	distinct := ioa.Schedule{
+		ioa.Wake(d),
+		ioa.SendPkt(d, pkt(1, "h")),
+		ioa.SendPkt(d, pkt(2, "h")), // same header, distinct ID: allowed
+	}
+	if v := PL2(distinct, d); v != nil {
+		t.Errorf("distinct packets flagged: %v", v)
+	}
+}
+
+func TestPL4ReceiveWithoutSend(t *testing.T) {
+	d := ioa.TR
+	bad := ioa.Schedule{ioa.Wake(d), ioa.ReceivePkt(d, pkt(9, "h"))}
+	if v := PL4(bad, d); v == nil {
+		t.Error("receive without send not flagged")
+	}
+	good := ioa.Schedule{ioa.Wake(d), ioa.SendPkt(d, pkt(9, "h")), ioa.ReceivePkt(d, pkt(9, "h"))}
+	if v := PL4(good, d); v != nil {
+		t.Errorf("legal receive flagged: %v", v)
+	}
+}
+
+func TestPL5FIFO(t *testing.T) {
+	d := ioa.TR
+	send := func(i uint64) ioa.Action { return ioa.SendPkt(d, pkt(i, "h")) }
+	recv := func(i uint64) ioa.Action { return ioa.ReceivePkt(d, pkt(i, "h")) }
+	tests := []struct {
+		name string
+		beta ioa.Schedule
+		ok   bool
+	}{
+		{"in order", ioa.Schedule{ioa.Wake(d), send(1), send(2), recv(1), recv(2)}, true},
+		{"gap allowed", ioa.Schedule{ioa.Wake(d), send(1), send(2), send(3), recv(1), recv(3)}, true},
+		{"reorder", ioa.Schedule{ioa.Wake(d), send(1), send(2), recv(2), recv(1)}, false},
+		{"late straggler", ioa.Schedule{ioa.Wake(d), send(1), send(2), recv(2), send(3), recv(1)}, false},
+		{"interleaved sends", ioa.Schedule{ioa.Wake(d), send(1), recv(1), send(2), recv(2)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := PL5(tt.beta, d)
+			if (v == nil) != tt.ok {
+				t.Errorf("PL5 = %v, want ok=%v", v, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCheckPLConditionalShape(t *testing.T) {
+	d := ioa.TR
+	// Hypotheses violated (send outside working interval): vacuously a
+	// schedule of the module even though PL4 is violated too.
+	bad := ioa.Schedule{ioa.SendPkt(d, pkt(1, "h")), ioa.ReceivePkt(d, pkt(2, "h"))}
+	v := CheckPL(bad, d)
+	if !v.Vacuous || !v.OK() {
+		t.Errorf("expected vacuous membership, got %s", v)
+	}
+	if len(v.HypothesisFailures) == 0 {
+		t.Error("expected recorded hypothesis failures")
+	}
+	// Hypotheses hold, guarantee violated.
+	guaranteeBroken := ioa.Schedule{ioa.Wake(d), ioa.ReceivePkt(d, pkt(2, "h"))}
+	v = CheckPL(guaranteeBroken, d)
+	if v.Vacuous || v.OK() {
+		t.Errorf("expected PL4 violation, got %s", v)
+	}
+	// Fully legal.
+	good := ioa.Schedule{ioa.Wake(d), ioa.SendPkt(d, pkt(1, "h")), ioa.ReceivePkt(d, pkt(1, "h"))}
+	if v := CheckPL(good, d); !v.OK() || v.Vacuous {
+		t.Errorf("legal schedule rejected: %s", v)
+	}
+}
+
+func TestCheckPLFIFO(t *testing.T) {
+	d := ioa.TR
+	reordered := ioa.Schedule{
+		ioa.Wake(d),
+		ioa.SendPkt(d, pkt(1, "h")), ioa.SendPkt(d, pkt(2, "h")),
+		ioa.ReceivePkt(d, pkt(2, "h")), ioa.ReceivePkt(d, pkt(1, "h")),
+	}
+	if v := CheckPL(reordered, d); !v.OK() {
+		t.Errorf("reordering is legal for PL (non-FIFO): %s", v)
+	}
+	if v := CheckPLFIFO(reordered, d); v.OK() {
+		t.Error("reordering must violate PL-FIFO")
+	}
+	// Vacuous passes propagate.
+	bad := ioa.Schedule{ioa.SendPkt(d, pkt(1, "h"))}
+	if v := CheckPLFIFO(bad, d); !v.Vacuous {
+		t.Error("hypothesis failure should make PL-FIFO vacuous")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{Violations: []Violation{{Property: PropPL4, Index: 2, Detail: "x"}}}
+	if !strings.Contains(v.String(), "VIOLATED") {
+		t.Errorf("String() = %q", v.String())
+	}
+	ok := Verdict{}
+	if ok.String() != "OK" {
+		t.Errorf("String() = %q", ok.String())
+	}
+	vac := Verdict{Vacuous: true, HypothesisFailures: []Violation{{Property: PropWellFormed, Detail: "y"}}}
+	if !strings.Contains(vac.String(), "vacuously") {
+		t.Errorf("String() = %q", vac.String())
+	}
+	viol := Violation{Property: PropPL1, Detail: "no index"}
+	if strings.Contains(viol.String(), "event") {
+		t.Errorf("zero-index violation should not mention an event: %q", viol)
+	}
+}

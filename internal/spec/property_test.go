@@ -1,0 +1,247 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ioa"
+)
+
+// genLegalBehavior generates a random behavior that satisfies the full DL
+// specification by construction: messages are sent in working intervals
+// and delivered in order, with losses only in interval suffixes that end
+// in a failure or crash, all FIFO.
+func genLegalBehavior(rng *rand.Rand) ioa.Schedule {
+	beta := ioa.Schedule{ioa.Wake(ioa.TR), ioa.Wake(ioa.RT)}
+	next := 0
+	var backlog []ioa.Message // sent, not yet delivered
+	intervals := rng.Intn(3) + 1
+	for iv := 0; iv < intervals; iv++ {
+		steps := rng.Intn(6)
+		for s := 0; s < steps; s++ {
+			if rng.Intn(2) == 0 {
+				m := ioa.Message(string(rune('a' + next)))
+				next++
+				beta = append(beta, ioa.SendMsg(ioa.TR, m))
+				backlog = append(backlog, m)
+			} else if len(backlog) > 0 {
+				beta = append(beta, ioa.ReceiveMsg(ioa.TR, backlog[0]))
+				backlog = backlog[1:]
+			}
+		}
+		if iv < intervals-1 {
+			// Close the interval, excusing the backlog (DL7/DL8 allow
+			// losing a suffix when the interval ends).
+			beta = append(beta, ioa.Fail(ioa.TR), ioa.Fail(ioa.RT),
+				ioa.Wake(ioa.TR), ioa.Wake(ioa.RT))
+			backlog = nil
+		}
+	}
+	// Deliver the final backlog so DL8 is satisfied in the unbounded
+	// interval.
+	for _, m := range backlog {
+		beta = append(beta, ioa.ReceiveMsg(ioa.TR, m))
+	}
+	return beta
+}
+
+// TestGeneratedLegalBehaviorsPassDL: the generator's outputs satisfy the
+// full specification, non-vacuously — and therefore also WDL
+// (scheds(DL) ⊆ scheds(WDL) on real traces).
+func TestGeneratedLegalBehaviorsPassDL(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		beta := genLegalBehavior(rng)
+		dl := CheckDL(beta, ioa.TR)
+		wdl := CheckWDL(beta, ioa.TR)
+		return dl.OK() && !dl.Vacuous && wdl.OK() && !wdl.Vacuous
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mutation injects one specific defect into a legal behavior and states
+// which property must flag it.
+type mutation struct {
+	name     string
+	mutate   func(ioa.Schedule, *rand.Rand) (ioa.Schedule, bool)
+	wantProp Property
+	// weakToo reports whether WDL must also flag it (DL4/DL5/DL8) or only
+	// the full DL does (DL6/DL7).
+	weakToo bool
+}
+
+func deliveries(beta ioa.Schedule) []int {
+	var idx []int
+	for i, a := range beta {
+		if a.Kind == ioa.KindReceiveMsg {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+var mutations = []mutation{
+	{
+		name: "duplicate-delivery",
+		mutate: func(beta ioa.Schedule, rng *rand.Rand) (ioa.Schedule, bool) {
+			d := deliveries(beta)
+			if len(d) == 0 {
+				return nil, false
+			}
+			i := d[rng.Intn(len(d))]
+			out := append(beta[:i+1:i+1], beta[i:]...)
+			return out, true
+		},
+		wantProp: PropDL4,
+		weakToo:  true,
+	},
+	{
+		name: "spurious-delivery",
+		mutate: func(beta ioa.Schedule, rng *rand.Rand) (ioa.Schedule, bool) {
+			i := rng.Intn(len(beta)) + 1
+			out := append(beta[:i:i], ioa.ReceiveMsg(ioa.TR, "ghost"))
+			out = append(out, beta[i:]...)
+			return out, true
+		},
+		wantProp: PropDL5,
+		weakToo:  true,
+	},
+	{
+		name: "swap-deliveries",
+		mutate: func(beta ioa.Schedule, rng *rand.Rand) (ioa.Schedule, bool) {
+			d := deliveries(beta)
+			// Swap two adjacent deliveries whose sends BOTH precede the
+			// earlier delivery, so the swap breaks only the order (DL6),
+			// not DL5.
+			sendIdx := map[ioa.Message]int{}
+			for i, a := range beta {
+				if a.Kind == ioa.KindSendMsg {
+					sendIdx[a.Msg] = i
+				}
+			}
+			for k := 0; k < len(d)-1; k++ {
+				i, j := d[k], d[k+1]
+				if sendIdx[beta[j].Msg] < i && sendIdx[beta[i].Msg] < i {
+					out := beta.Clone()
+					out[i], out[j] = out[j], out[i]
+					return out, true
+				}
+			}
+			return nil, false
+		},
+		wantProp: PropDL6,
+		weakToo:  false,
+	},
+	{
+		name: "drop-final-delivery",
+		mutate: func(beta ioa.Schedule, _ *rand.Rand) (ioa.Schedule, bool) {
+			d := deliveries(beta)
+			if len(d) == 0 {
+				return nil, false
+			}
+			last := d[len(d)-1]
+			// Only a DL8 violation if the dropped message was sent in the
+			// unbounded interval; ensure it by re-sending it there.
+			m := beta[last].Msg
+			sentLate := false
+			for i := last + 1; i < len(beta); i++ {
+				if beta[i].Kind == ioa.KindFail || beta[i].Kind == ioa.KindCrash {
+					return nil, false
+				}
+				_ = i
+			}
+			for i := range beta {
+				if beta[i].Kind == ioa.KindSendMsg && beta[i].Msg == m {
+					sentLate = afterLastStatusEvent(beta, i)
+				}
+			}
+			if !sentLate {
+				return nil, false
+			}
+			out := append(beta[:last:last], beta[last+1:]...)
+			return out, true
+		},
+		wantProp: PropDL8,
+		weakToo:  true,
+	},
+}
+
+func afterLastStatusEvent(beta ioa.Schedule, i int) bool {
+	for j := i; j < len(beta); j++ {
+		switch beta[j].Kind {
+		case ioa.KindFail, ioa.KindCrash:
+			return false
+		}
+	}
+	return true
+}
+
+// TestMutationsAreCaught: every injected defect is flagged with exactly
+// the right property by CheckDL, and by CheckWDL when it is a weak-spec
+// defect — the checkers have no blind spots on these defect classes.
+func TestMutationsAreCaught(t *testing.T) {
+	for _, mut := range mutations {
+		mut := mut
+		t.Run(mut.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			applied := 0
+			for trial := 0; trial < 200 && applied < 50; trial++ {
+				base := genLegalBehavior(rng)
+				mutated, ok := mut.mutate(base, rng)
+				if !ok {
+					continue
+				}
+				applied++
+				dl := CheckDL(mutated, ioa.TR)
+				if dl.Vacuous {
+					continue // mutation also broke a hypothesis; uninformative
+				}
+				found := false
+				for _, v := range dl.Violations {
+					if v.Property == mut.wantProp {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: mutation not flagged as %s; verdict: %s\nbehavior: %s",
+						trial, mut.wantProp, dl, mutated)
+				}
+				wdl := CheckWDL(mutated, ioa.TR)
+				if mut.weakToo && wdl.OK() {
+					t.Fatalf("trial %d: WDL missed a weak-spec defect: %s", trial, mutated)
+				}
+				if !mut.weakToo && !wdl.OK() {
+					t.Fatalf("trial %d: WDL flagged a strong-only defect: %s (%s)", trial, mutated, wdl)
+				}
+			}
+			if applied == 0 {
+				t.Fatal("mutation never applicable; generator too weak")
+			}
+		})
+	}
+}
+
+// TestCheckersIgnoreForeignDirections: actions of the reverse message
+// direction never affect verdicts for (t,r).
+func TestCheckersIgnoreForeignDirections(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		beta := genLegalBehavior(rng)
+		// Interleave receive_msg events of the REVERSE direction, which a
+		// (t,r) checker must ignore entirely.
+		noisy := ioa.Schedule{}
+		for _, a := range beta {
+			noisy = append(noisy, a)
+			if rng.Intn(3) == 0 {
+				noisy = append(noisy, ioa.ReceiveMsg(ioa.RT, "noise"))
+			}
+		}
+		return CheckDL(noisy, ioa.TR).OK() == CheckDL(beta, ioa.TR).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

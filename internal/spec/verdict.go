@@ -1,0 +1,102 @@
+// Package spec implements the paper's layer specifications as executable
+// checkers over finite action sequences: the physical layer schedule
+// modules PL and PL-FIFO (Section 3, properties (PL1)-(PL6)), the data
+// link layer schedule modules DL and WDL (Section 4, properties
+// (DL1)-(DL8)), and valid sequences (Section 8.1).
+//
+// The schedule modules are conditional: a sequence β is a schedule of
+// PL^{t,r} if "β well-formed ∧ (PL1) ∧ (PL2) ⇒ (PL3) ∧ (PL4) ∧ (PL6)", and
+// similarly for the other modules. The checkers implement exactly this
+// conditional shape: if the environment-side hypotheses fail, the sequence
+// is vacuously a schedule of the module.
+//
+// Liveness properties ((PL6), (DL8)) quantify over infinite executions. On
+// finite traces the checkers interpret a trace as a *completed* behavior:
+// the behavior of a fair execution that has quiesced, per Lemma 2.1. Under
+// this reading an "unbounded working interval" is a wake event with no
+// later fail or crash in the same direction, and (DL8) becomes decidable.
+// Callers must therefore only apply CheckDL/CheckWDL liveness verdicts to
+// traces produced by a fair extension (see the sim package).
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Property names one of the paper's specification properties.
+type Property string
+
+// The specification properties checked by this package.
+const (
+	PropWellFormed Property = "well-formed"
+	PropPL1        Property = "PL1"
+	PropPL2        Property = "PL2"
+	PropPL3        Property = "PL3"
+	PropPL4        Property = "PL4"
+	PropPL5        Property = "PL5(FIFO)"
+	PropPL6        Property = "PL6(liveness)"
+	PropDL1        Property = "DL1"
+	PropDL2        Property = "DL2"
+	PropDL3        Property = "DL3"
+	PropDL4        Property = "DL4"
+	PropDL5        Property = "DL5"
+	PropDL6        Property = "DL6(FIFO)"
+	PropDL7        Property = "DL7(no-gaps)"
+	PropDL8        Property = "DL8(liveness)"
+	PropValid      Property = "valid"
+)
+
+// Violation records one failed property with the 1-based index of the
+// offending event (0 when the violation is not tied to a single event).
+type Violation struct {
+	Property Property
+	Index    int
+	Detail   string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	if v.Index > 0 {
+		return fmt.Sprintf("%s at event %d: %s", v.Property, v.Index, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Property, v.Detail)
+}
+
+// Verdict is the outcome of checking a sequence against a specification.
+type Verdict struct {
+	// Vacuous reports that the environment-side hypotheses (well-formedness
+	// and the input-restriction properties) failed, so the sequence
+	// belongs to the module unconditionally.
+	Vacuous bool
+	// HypothesisFailures lists the failed environment-side properties when
+	// Vacuous is true.
+	HypothesisFailures []Violation
+	// Violations lists failures of the channel/link-side properties. Empty
+	// means the sequence satisfies the specification.
+	Violations []Violation
+}
+
+// OK reports whether the sequence is a schedule of the module: either the
+// hypotheses failed (vacuous membership) or no guaranteed property was
+// violated.
+func (v Verdict) OK() bool { return v.Vacuous || len(v.Violations) == 0 }
+
+// String summarises the verdict.
+func (v Verdict) String() string {
+	if v.Vacuous {
+		parts := make([]string, len(v.HypothesisFailures))
+		for i, h := range v.HypothesisFailures {
+			parts[i] = h.String()
+		}
+		return "vacuously OK (hypotheses failed: " + strings.Join(parts, "; ") + ")"
+	}
+	if len(v.Violations) == 0 {
+		return "OK"
+	}
+	parts := make([]string, len(v.Violations))
+	for i, viol := range v.Violations {
+		parts[i] = viol.String()
+	}
+	return "VIOLATED: " + strings.Join(parts, "; ")
+}
