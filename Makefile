@@ -1,0 +1,31 @@
+# Build/test entry points. `make ci` is the gate: vet + full tests + the
+# race-detector pass over the concurrent packages (the parallel explorer
+# and the scheduler).
+
+GO ?= go
+
+.PHONY: build test vet race ci bench-explore bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The explorer's level workers and sharded seen-set, and sim's schedulers,
+# are the only concurrent code; their tests are written to be meaningful
+# under the race detector (multi-worker searches, concurrent seen-set adds).
+race:
+	$(GO) test -race ./internal/explore/... ./internal/sim/...
+
+ci: vet test race
+
+# Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
+bench-explore:
+	$(GO) run ./cmd/perfsweep -exp e11 -json BENCH_explore.json
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x ./...

@@ -322,49 +322,174 @@ func BenchmarkE10KBoundAblation(b *testing.B) {
 }
 
 // BenchmarkE11ModelCheck measures the bounded model checker on the two
-// search problems that mirror the theorems: finding the reordering bug in
-// Go-Back-N mod 2 over C̄, and finding the crash bug in ABP over Ĉ.
+// search problems that mirror the theorems — finding the reordering bug in
+// Go-Back-N mod 2 over C̄ and finding the crash bug in ABP over Ĉ — plus
+// an exhaustive verification (Stenning over C̄, the largest standard state
+// space). Each case runs sequentially and with a 4-worker pool; on a
+// multi-core machine the parallel variants show the level-synchronous BFS
+// speedup, and on any machine they exercise the sharded seen-set.
 func BenchmarkE11ModelCheck(b *testing.B) {
-	b.Run("find-reordering-bug", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			sys, err := core.NewSystem(protocol.NewGoBackN(2, 1), false)
-			if err != nil {
-				b.Fatal(err)
-			}
-			res, err := explore.BFS(sys, explore.Config{
+	cases := []struct {
+		name      string
+		fifo      bool
+		mk        func() core.Protocol
+		cfg       explore.Config
+		violating bool
+	}{
+		{
+			name: "find-reordering-bug", fifo: false,
+			mk: func() core.Protocol { return protocol.NewGoBackN(2, 1) },
+			cfg: explore.Config{
 				Inputs: []ioa.Action{
 					ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
 					ioa.SendMsg(ioa.TR, "a"), ioa.SendMsg(ioa.TR, "b"), ioa.SendMsg(ioa.TR, "c"),
 				},
 				Monitor: explore.NewSafetyMonitor(false), MaxDepth: 26, MaxInTransit: 3,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if res.Violation == nil {
-				b.Fatal("bug not found")
-			}
-		}
-	})
-	b.Run("find-crash-bug", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			sys, err := core.NewSystem(protocol.NewABP(), true)
-			if err != nil {
-				b.Fatal(err)
-			}
-			res, err := explore.BFS(sys, explore.Config{
+			},
+			violating: true,
+		},
+		{
+			name: "find-crash-bug", fifo: true,
+			mk: protocol.NewABP,
+			cfg: explore.Config{
 				Inputs: []ioa.Action{
 					ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
 					ioa.SendMsg(ioa.TR, "a"),
 					ioa.Crash(ioa.RT), ioa.Wake(ioa.RT),
 				},
 				Monitor: explore.NewSafetyMonitor(false), MaxDepth: 20, MaxInTransit: 2,
+			},
+			violating: true,
+		},
+		{
+			name: "verify-stenning", fifo: false,
+			mk: protocol.NewStenning,
+			cfg: explore.Config{
+				Inputs: []ioa.Action{
+					ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+					ioa.SendMsg(ioa.TR, "a"), ioa.SendMsg(ioa.TR, "b"), ioa.SendMsg(ioa.TR, "c"),
+				},
+				Monitor: explore.NewSafetyMonitor(true), MaxDepth: 24, MaxInTransit: 3,
+			},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		for _, workers := range []int{1, 4} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/w%d", c.name, workers), func(b *testing.B) {
+				var states int
+				for i := 0; i < b.N; i++ {
+					sys, err := core.NewSystem(c.mk(), c.fifo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := c.cfg
+					cfg.Workers = workers
+					res, err := explore.BFS(sys, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if c.violating != (res.Violation != nil) {
+						b.Fatalf("violation = %v, want violating=%t", res.Violation, c.violating)
+					}
+					states = res.StatesExplored
+				}
+				b.ReportMetric(float64(states), "states")
 			})
-			if err != nil {
-				b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprint compares the string Fingerprint path against the
+// AppendFingerprint fast path on representative states — the composed
+// system state of a mid-flight Go-Back-N run, its channel residual, and a
+// populated safety monitor. The append variants should be allocation-free
+// (see -benchmem).
+func BenchmarkFingerprint(b *testing.B) {
+	sys, err := core.NewSystem(protocol.NewGoBackN(4, 2), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sim.NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		b.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		if err := r.Input(ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("f%d", m)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := r.RunFair(sim.RunConfig{MaxSteps: 25}); err != nil && !errors.Is(err, sim.ErrStepLimit) {
+		b.Fatal(err)
+	}
+	cs, ok := r.State().(ioa.CompositeState)
+	if !ok {
+		b.Fatalf("state is %T", r.State())
+	}
+	chState, err := sys.ChannelState(cs, ioa.TR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Box once: the explorer's dedup loop passes states that are already
+	// interfaces, so the boxing cost is not part of the measured path.
+	var chIface ioa.State = chState
+	mon := explore.Monitor(explore.NewSafetyMonitor(true))
+	for _, a := range []ioa.Action{
+		ioa.SendMsg(ioa.TR, "f0"), ioa.SendMsg(ioa.TR, "f1"), ioa.ReceiveMsg(ioa.TR, "f0"),
+	} {
+		mon, _ = mon.Step(a)
+	}
+	monAppend, ok := mon.(ioa.AppendFingerprinter)
+	if !ok {
+		b.Fatalf("monitor %T lacks AppendFingerprint", mon)
+	}
+
+	buf := make([]byte, 0, 512)
+	b.Run("composite/string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(cs.Fingerprint()) == 0 {
+				b.Fatal("empty fingerprint")
 			}
-			if res.Violation == nil {
-				b.Fatal("bug not found")
+		}
+	})
+	b.Run("composite/append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf = cs.AppendFingerprint(buf[:0])
+			if len(buf) == 0 {
+				b.Fatal("empty fingerprint")
+			}
+		}
+	})
+	b.Run("residual/string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.CT.Residual(chIface)
+			if err != nil || len(res) == 0 {
+				b.Fatalf("residual %q: %v", res, err)
+			}
+		}
+	})
+	b.Run("residual/append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = sys.CT.AppendResidual(buf[:0], chIface)
+			if err != nil || len(buf) == 0 {
+				b.Fatalf("residual %q: %v", buf, err)
+			}
+		}
+	})
+	b.Run("monitor/string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(mon.Fingerprint()) == 0 {
+				b.Fatal("empty fingerprint")
+			}
+		}
+	})
+	b.Run("monitor/append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf = monAppend.AppendFingerprint(buf[:0])
+			if len(buf) == 0 {
+				b.Fatal("empty fingerprint")
 			}
 		}
 	})

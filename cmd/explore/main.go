@@ -16,12 +16,16 @@
 //	explore -protocol abp -crash r -msgs 1                  # finds the Thm 7.5 bug
 //	explore -protocol stenning -fifo=false -msgs 3          # verifies (bounded)
 //	explore -protocol nv -crash t -crash r                  # verifies (bounded)
+//	explore -protocol gbn -workers 8 -cpuprofile cpu.pprof  # parallel + profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/explore"
@@ -45,57 +49,105 @@ func (c *crashFlags) Set(v string) error {
 	return nil
 }
 
+// options collects the search parameters of one invocation.
+type options struct {
+	proto      string
+	n, w       int
+	fifo       bool
+	msgs       int
+	depth      int
+	inTransit  int
+	maxStates  int
+	checkFIFO  bool
+	crashes    []ioa.Dir
+	workers    int
+	exactDedup bool
+	cpuProfile string
+	memProfile string
+}
+
 func main() {
+	var o options
 	var crashes crashFlags
-	var (
-		proto     = flag.String("protocol", "gbn", fmt.Sprintf("protocol: %v", protocol.Names()))
-		n         = flag.Int("n", 2, "modulus for gbn/sr/frag")
-		w         = flag.Int("w", 1, "window for gbn/sr; fragment count for frag")
-		fifo      = flag.Bool("fifo", true, "use FIFO channels Ĉ (false: reordering C̄)")
-		msgs      = flag.Int("msgs", 3, "messages in the input pool")
-		depth     = flag.Int("depth", 26, "maximum path length")
-		inTransit = flag.Int("intransit", 3, "per-channel in-transit cap (pruning)")
-		maxStates = flag.Int("maxstates", explore.DefaultMaxStates, "state budget")
-		checkFIFO = flag.Bool("dl6", false, "also check delivery order (DL6)")
-	)
+	flag.StringVar(&o.proto, "protocol", "gbn", fmt.Sprintf("protocol: %v", protocol.Names()))
+	flag.IntVar(&o.n, "n", 2, "modulus for gbn/sr/frag")
+	flag.IntVar(&o.w, "w", 1, "window for gbn/sr; fragment count for frag")
+	flag.BoolVar(&o.fifo, "fifo", true, "use FIFO channels Ĉ (false: reordering C̄)")
+	flag.IntVar(&o.msgs, "msgs", 3, "messages in the input pool")
+	flag.IntVar(&o.depth, "depth", 26, "maximum path length")
+	flag.IntVar(&o.inTransit, "intransit", 3, "per-channel in-transit cap (pruning)")
+	flag.IntVar(&o.maxStates, "maxstates", explore.DefaultMaxStates, "state budget")
+	flag.BoolVar(&o.checkFIFO, "dl6", false, "also check delivery order (DL6)")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel BFS workers per level")
+	flag.BoolVar(&o.exactDedup, "exactdedup", false, "dedup on full fingerprints instead of 64-bit hashes")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.Var(&crashes, "crash", "add a crash+recover event for station t or r (repeatable)")
 	flag.Parse()
-	if err := run(*proto, *n, *w, *fifo, *msgs, *depth, *inTransit, *maxStates, *checkFIFO, crashes); err != nil {
+	o.crashes = crashes
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(proto string, n, w int, fifo bool, msgs, depth, inTransit, maxStates int, checkFIFO bool, crashes []ioa.Dir) error {
-	p, err := protocol.ByName(proto, n, w)
+func run(o options) error {
+	p, err := protocol.ByName(o.proto, o.n, o.w)
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(p, fifo)
+	sys, err := core.NewSystem(p, o.fifo)
 	if err != nil {
 		return err
+	}
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	inputs := []ioa.Action{ioa.Wake(ioa.TR), ioa.Wake(ioa.RT)}
-	for i := 0; i < msgs; i++ {
+	for i := 0; i < o.msgs; i++ {
 		inputs = append(inputs, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i+1))))
 	}
-	for _, d := range crashes {
+	for _, d := range o.crashes {
 		inputs = append(inputs, ioa.Crash(d), ioa.Wake(d))
 	}
+	began := time.Now()
 	res, err := explore.BFS(sys, explore.Config{
 		Inputs:       inputs,
-		Monitor:      explore.NewSafetyMonitor(checkFIFO),
-		MaxDepth:     depth,
-		MaxStates:    maxStates,
-		MaxInTransit: inTransit,
+		Monitor:      explore.NewSafetyMonitor(o.checkFIFO),
+		MaxDepth:     o.depth,
+		MaxStates:    o.maxStates,
+		MaxInTransit: o.inTransit,
+		Workers:      o.workers,
+		ExactDedup:   o.exactDedup,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d\n",
-		p.Name, channelKind(fifo), len(inputs), depth, inTransit)
-	fmt.Printf("explored %d states (deepest path %d, exhausted=%t)\n",
-		res.StatesExplored, res.DepthReached, res.Exhausted)
+	elapsed := time.Since(began)
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d, workers=%d\n",
+		p.Name, channelKind(o.fifo), len(inputs), o.depth, o.inTransit, o.workers)
+	fmt.Printf("explored %d states in %v (%.0f states/sec, deepest path %d, exhausted=%t, seen-set ≈%d bytes)\n",
+		res.StatesExplored, elapsed.Round(time.Millisecond),
+		float64(res.StatesExplored)/elapsed.Seconds(), res.DepthReached, res.Exhausted, res.SeenSetBytes)
 	if res.Violation == nil {
 		if res.Exhausted {
 			fmt.Println("no safety violation reachable within the bound — bounded verification certificate")

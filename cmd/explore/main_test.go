@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/explore"
@@ -27,20 +28,38 @@ func TestCrashFlags(t *testing.T) {
 }
 
 func TestRunFindsAndVerifies(t *testing.T) {
+	base := options{n: 2, w: 1, maxStates: explore.DefaultMaxStates, workers: 2}
 	// Finds the reordering bug.
-	if err := run("gbn", 2, 1, false, 3, 26, 3, explore.DefaultMaxStates, false, nil); err != nil {
+	o := base
+	o.proto, o.msgs, o.depth, o.inTransit = "gbn", 3, 26, 3
+	if err := run(o); err != nil {
 		t.Errorf("gbn search: %v", err)
 	}
-	// Verifies ABP over FIFO without crashes.
-	if err := run("abp", 0, 0, true, 2, 18, 2, explore.DefaultMaxStates, false, nil); err != nil {
+	// Verifies ABP over FIFO without crashes, with profiles written.
+	o = base
+	o.proto, o.fifo, o.msgs, o.depth, o.inTransit = "abp", true, 2, 18, 2
+	o.cpuProfile = t.TempDir() + "/cpu.pprof"
+	o.memProfile = t.TempDir() + "/mem.pprof"
+	if err := run(o); err != nil {
 		t.Errorf("abp verify: %v", err)
 	}
-	// Finds the crash bug.
-	if err := run("abp", 0, 0, true, 1, 20, 2, explore.DefaultMaxStates, false, []ioa.Dir{ioa.RT}); err != nil {
+	for _, path := range []string{o.cpuProfile, o.memProfile} {
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s not written (err=%v)", path, err)
+		}
+	}
+	// Finds the crash bug (exact-dedup path).
+	o = base
+	o.proto, o.fifo, o.msgs, o.depth, o.inTransit = "abp", true, 1, 20, 2
+	o.crashes = []ioa.Dir{ioa.RT}
+	o.exactDedup = true
+	if err := run(o); err != nil {
 		t.Errorf("abp crash search: %v", err)
 	}
 	// Unknown protocol errors.
-	if err := run("nope", 0, 0, true, 1, 5, 1, 100, false, nil); err == nil {
+	o = base
+	o.proto, o.fifo, o.msgs, o.depth, o.inTransit, o.maxStates = "nope", true, 1, 5, 1, 100
+	if err := run(o); err == nil {
 		t.Error("expected error for unknown protocol")
 	}
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+)
+
+// E11 measures the model checker itself: throughput (states/sec) of the
+// parallel level-synchronous BFS across worker counts, plus the dedup
+// memory footprint of the hashed seen-set against exact full-key dedup.
+// The workload is an exhaustive verification (Stenning over the
+// reordering channel C̄), so every run covers the same state space and
+// the per-worker-count StatesExplored figures double as a live soundness
+// check — the JSON encodes a claim that parallelism changed nothing but
+// the wall clock.
+
+// e11Run is one worker-count measurement (hashed dedup).
+type e11Run struct {
+	Workers      int     `json:"workers"`
+	States       int     `json:"states"`
+	DurationMS   float64 `json:"duration_ms"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	SpeedupVsW1  float64 `json:"speedup_vs_w1"`
+}
+
+// e11Result is the machine-readable benchmark record (BENCH_explore.json).
+type e11Result struct {
+	Experiment          string   `json:"experiment"`
+	Protocol            string   `json:"protocol"`
+	Channels            string   `json:"channels"`
+	PoolInputs          int      `json:"pool_inputs"`
+	MaxDepth            int      `json:"max_depth"`
+	Cores               int      `json:"cores"`
+	GOMAXPROCS          int      `json:"gomaxprocs"`
+	States              int      `json:"states"`
+	Exhausted           bool     `json:"exhausted"`
+	Runs                []e11Run `json:"runs"`
+	HashedSeenBytes     int64    `json:"hashed_seen_bytes"`
+	ExactSeenBytes      int64    `json:"exact_seen_bytes"`
+	HashedBytesPerState float64  `json:"hashed_bytes_per_state"`
+	ExactBytesPerState  float64  `json:"exact_bytes_per_state"`
+	DedupBytesRatio     float64  `json:"dedup_bytes_ratio"`
+}
+
+func runE11(workersCSV, jsonPath string) error {
+	workers, err := parseInts(workersCSV)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(protocol.NewStenning(), false)
+	if err != nil {
+		return err
+	}
+	inputs := []ioa.Action{
+		ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+		ioa.SendMsg(ioa.TR, "m1"), ioa.SendMsg(ioa.TR, "m2"), ioa.SendMsg(ioa.TR, "m3"),
+	}
+	cfg := explore.Config{
+		Inputs:       inputs,
+		MaxDepth:     24,
+		MaxInTransit: 3,
+	}
+	out := e11Result{
+		Experiment: "e11",
+		Protocol:   "stenning",
+		Channels:   "C̄(reordering)",
+		PoolInputs: len(inputs),
+		MaxDepth:   cfg.MaxDepth,
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("E11: parallel BFS throughput, stenning/C̄, pool=%d, depth≤%d, cores=%d\n",
+		len(inputs), cfg.MaxDepth, out.Cores)
+
+	measure := func(w int, exact bool) (*explore.Result, time.Duration, error) {
+		c := cfg
+		c.Monitor = explore.NewSafetyMonitor(true)
+		c.Workers = w
+		c.ExactDedup = exact
+		began := time.Now()
+		res, err := explore.BFS(sys, c)
+		return res, time.Since(began), err
+	}
+
+	var base float64
+	for _, w := range workers {
+		res, elapsed, err := measure(w, false)
+		if err != nil {
+			return err
+		}
+		if res.Violation != nil {
+			return fmt.Errorf("e11: unexpected violation: %s", res.Violation)
+		}
+		if out.States == 0 {
+			out.States = res.StatesExplored
+			out.Exhausted = res.Exhausted
+			out.HashedSeenBytes = res.SeenSetBytes
+		} else if res.StatesExplored != out.States {
+			return fmt.Errorf("e11: workers=%d explored %d states, want %d (parallel dedup unsound?)",
+				w, res.StatesExplored, out.States)
+		}
+		rate := float64(res.StatesExplored) / elapsed.Seconds()
+		if base == 0 {
+			base = rate
+		}
+		run := e11Run{
+			Workers:      w,
+			States:       res.StatesExplored,
+			DurationMS:   float64(elapsed.Microseconds()) / 1000,
+			StatesPerSec: rate,
+			SpeedupVsW1:  rate / base,
+		}
+		out.Runs = append(out.Runs, run)
+		fmt.Printf("  workers=%-3d %9d states  %8.0f states/sec  speedup %.2fx\n",
+			w, run.States, run.StatesPerSec, run.SpeedupVsW1)
+	}
+
+	exactRes, _, err := measure(1, true)
+	if err != nil {
+		return err
+	}
+	out.ExactSeenBytes = exactRes.SeenSetBytes
+	if out.States > 0 {
+		out.HashedBytesPerState = float64(out.HashedSeenBytes) / float64(out.States)
+		out.ExactBytesPerState = float64(out.ExactSeenBytes) / float64(out.States)
+	}
+	if out.HashedSeenBytes > 0 {
+		out.DedupBytesRatio = float64(out.ExactSeenBytes) / float64(out.HashedSeenBytes)
+	}
+	fmt.Printf("  seen-set: hashed %.1f B/state, exact %.1f B/state (%.1fx smaller)\n",
+		out.HashedBytesPerState, out.ExactBytesPerState, out.DedupBytesRatio)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,3")
@@ -37,5 +41,32 @@ func TestRunExperiments(t *testing.T) {
 	}
 	if err := runE4("bad", 1); err == nil {
 		t.Error("expected parse error")
+	}
+	if err := runE11("bad", ""); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestRunE11WritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e11 explores the full stenning space")
+	}
+	path := t.TempDir() + "/BENCH_explore.json"
+	if err := runE11("1,2", path); err != nil {
+		t.Fatalf("runE11: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out e11Result
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out.Runs) != 2 || out.States == 0 || !out.Exhausted {
+		t.Errorf("unexpected result: %+v", out)
+	}
+	if out.DedupBytesRatio < 3 {
+		t.Errorf("dedup bytes ratio %.1f, want ≥ 3", out.DedupBytesRatio)
 	}
 }

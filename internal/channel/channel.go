@@ -16,6 +16,7 @@ package channel
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/ioa"
@@ -44,22 +45,29 @@ type State struct {
 }
 
 var (
-	_ ioa.State      = State{}
-	_ ioa.EquivState = State{}
+	_ ioa.State               = State{}
+	_ ioa.EquivState          = State{}
+	_ ioa.AppendFingerprinter = State{}
 )
 
 // Fingerprint canonically encodes the state.
-func (s State) Fingerprint() string {
-	var b strings.Builder
-	b.WriteString("ch{")
+func (s State) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+// AppendFingerprint appends the Fingerprint encoding to dst without
+// intermediate string allocations.
+func (s State) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "ch{"...)
 	for i, e := range s.entries {
 		if i > 0 {
-			b.WriteByte(' ')
+			dst = append(dst, ' ')
 		}
-		fmt.Fprintf(&b, "%s:%d", e.pkt, e.status)
+		dst = e.pkt.AppendText(dst)
+		dst = append(dst, ':')
+		dst = strconv.AppendUint(dst, uint64(e.status), 10)
 	}
-	fmt.Fprintf(&b, " hwm=%d}", s.hwm)
-	return b.String()
+	dst = append(dst, " hwm="...)
+	dst = strconv.AppendInt(dst, int64(s.hwm), 10)
+	return append(dst, '}')
 }
 
 // EquivFingerprint encodes the state up to the message-independence
@@ -90,6 +98,18 @@ func (s State) InTransit() []ioa.Packet {
 		}
 	}
 	return out
+}
+
+// PendingCount returns len(InTransit()) without materialising the slice;
+// the explorer's MaxInTransit pruning calls this per candidate send_pkt.
+func (s State) PendingCount() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.status == statusPending {
+			n++
+		}
+	}
+	return n
 }
 
 // Clean reports whether the channel is empty in the paper's sense (Lemma
@@ -350,19 +370,39 @@ func (c *Channel) Classes() []ioa.Class {
 // to packet relabelling. The bounded model checker deduplicates on
 // residuals.
 func (c *Channel) Residual(st ioa.State) (string, error) {
+	b, err := c.AppendResidual(nil, st)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// AppendResidual appends the Residual fingerprint to dst without
+// intermediate string allocations: the model checker's dedup loop builds
+// its per-state key into a reused buffer through this path.
+func (c *Channel) AppendResidual(dst []byte, st ioa.State) ([]byte, error) {
 	s, ok := st.(State)
 	if !ok {
-		return "", fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, st)
+		return nil, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, st)
 	}
-	var b strings.Builder
-	b.WriteString("res{")
+	dst = append(dst, "res{"...)
 	for i := range s.entries {
 		if c.deliverable(s, i) {
-			fmt.Fprintf(&b, "[%s|%s]", s.entries[i].pkt.Header, s.entries[i].pkt.Payload)
+			dst = append(dst, '[')
+			dst = append(dst, s.entries[i].pkt.Header...)
+			dst = append(dst, '|')
+			dst = append(dst, s.entries[i].pkt.Payload...)
+			dst = append(dst, ']')
 		}
 	}
-	b.WriteByte('}')
-	return b.String(), nil
+	return append(dst, '}'), nil
+}
+
+// IsLoseAction reports whether a is an internal lose action of a lossy
+// channel; shared by the schedulers and explorers that exempt loss from
+// fairness or gate it behind an opt-in.
+func IsLoseAction(a ioa.Action) bool {
+	return a.Kind == ioa.KindInternal && strings.HasPrefix(a.Name, "lose")
 }
 
 // MarkLost returns a copy of st with the given packets dropped. This is

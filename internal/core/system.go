@@ -19,6 +19,10 @@ type System struct {
 	// Comp is the raw composition D(A); Hidden is D'(A).
 	Comp   *ioa.Composition
 	Hidden *ioa.Hidden
+	// ctIdx, crIdx cache the channels' component indices: hot paths (the
+	// explorer resolves a channel state for every send_pkt successor) skip
+	// the by-name component scan.
+	ctIdx, crIdx int
 }
 
 // SystemOption configures system construction.
@@ -61,6 +65,8 @@ func NewSystem(p Protocol, fifo bool, opts ...SystemOption) (*System, error) {
 		CR:       cr,
 		Comp:     comp,
 		Hidden:   ioa.Hide(comp, ioa.HidePacketActions()),
+		ctIdx:    comp.ComponentIndex(ct.Name()),
+		crIdx:    comp.ComponentIndex(cr.Name()),
 	}, nil
 }
 
@@ -84,13 +90,20 @@ func (s *System) Channel(d ioa.Dir) *channel.Channel {
 
 // ChannelState extracts the state of the channel in direction d.
 func (s *System) ChannelState(st ioa.State, d ioa.Dir) (channel.State, error) {
-	raw, err := s.Comp.ComponentState(st, s.Channel(d).Name())
-	if err != nil {
-		return channel.State{}, err
-	}
-	cs, ok := raw.(channel.State)
+	comp, ok := st.(ioa.CompositeState)
 	if !ok {
-		return channel.State{}, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, raw)
+		return channel.State{}, fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, st)
+	}
+	idx := s.ctIdx
+	if d != ioa.TR {
+		idx = s.crIdx
+	}
+	if idx < 0 || idx >= len(comp.Parts) {
+		return channel.State{}, fmt.Errorf("%w: no channel component for direction %s", ioa.ErrBadState, d)
+	}
+	cs, ok := comp.Parts[idx].(channel.State)
+	if !ok {
+		return channel.State{}, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, comp.Parts[idx])
 	}
 	return cs, nil
 }

@@ -12,12 +12,23 @@
 // phenomenon), and it verifies exhaustively that no safety violation is
 // reachable for the positive configurations (Stenning over C̄, sliding
 // windows over Ĉ) within the explored bound.
+//
+// The search is a level-synchronous parallel BFS: each depth level is a
+// barrier, and within a level a pool of Config.Workers goroutines expands
+// frontier nodes concurrently, deduplicating successors through a sharded
+// hashed seen-set (see seenset.go) and building dedup keys into per-worker
+// reused buffers via the AppendFingerprint fast paths. Because levels
+// remain barriers, every node at depths below the first violating level is
+// fully expanded before that level is entered, so a returned trace is a
+// shortest violating schedule regardless of worker count.
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -27,7 +38,9 @@ import (
 // Monitor is an online safety checker over data-link behaviors. Monitors
 // must be value-like: Step returns a new monitor. The fingerprint
 // contributes to state deduplication, so two search nodes are merged only
-// when both the system state and the monitor state agree.
+// when both the system state and the monitor state agree. Monitors may
+// additionally implement ioa.AppendFingerprinter; the explorer then builds
+// dedup keys without intermediate string allocations.
 type Monitor interface {
 	// Step observes one external action and returns the successor monitor
 	// and a violation if the property just failed.
@@ -65,6 +78,16 @@ type Config struct {
 	MaxInTransit int
 	// AllowLoss explores internal lose actions of lossy channels.
 	AllowLoss bool
+	// Workers is the number of goroutines expanding each BFS level; 0 or 1
+	// runs sequentially. Levels are barriers, so the depth of the first
+	// violation — and hence the returned trace length — does not depend on
+	// Workers; for exhaustive (violation-free, within-budget) searches,
+	// StatesExplored and DepthReached are also Workers-independent.
+	Workers int
+	// ExactDedup deduplicates on full fingerprint keys instead of 64-bit
+	// hashes: the collision-paranoid escape hatch, at ~key-length bytes
+	// per state instead of 8 (see seenset.go for the collision analysis).
+	ExactDedup bool
 }
 
 // Default search bounds.
@@ -88,6 +111,9 @@ type Result struct {
 	Exhausted bool
 	// DepthReached is the longest path explored.
 	DepthReached int
+	// SeenSetBytes approximates the heap held by the dedup set: the
+	// memory-per-state figure the hashed seen-set exists to shrink.
+	SeenSetBytes int64
 }
 
 // ErrNoMonitor is returned when Config.Monitor is nil.
@@ -104,45 +130,6 @@ type node struct {
 	action ioa.Action
 }
 
-// dedupKey identifies nodes with indistinguishable futures: the protocol
-// automata contribute their exact state, the channels only their residual
-// (deliverable packets — delivered, lost and FIFO-blocked entries can
-// never matter again, and packet IDs are analysis labels), plus the
-// monitor state and the set of remaining inputs. Merging on this key is
-// sound because the monitor never inspects packet identities.
-func dedupKey(sys *core.System, n *node) (string, error) {
-	cs, ok := n.state.(ioa.CompositeState)
-	if !ok {
-		return "", fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, n.state)
-	}
-	var b strings.Builder
-	for i, comp := range sys.Comp.Components() {
-		if i > 0 {
-			b.WriteString("∥")
-		}
-		if ch, isChan := comp.(*channel.Channel); isChan {
-			res, err := ch.Residual(cs.Parts[i])
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(res)
-			continue
-		}
-		b.WriteString(cs.Parts[i].Fingerprint())
-	}
-	b.WriteByte('|')
-	b.WriteString(n.monitor.Fingerprint())
-	b.WriteByte('|')
-	for _, u := range n.used {
-		if u {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
-		}
-	}
-	return b.String(), nil
-}
-
 func (n *node) trace() ioa.Schedule {
 	var rev ioa.Schedule
 	for cur := n; cur.parent != nil; cur = cur.parent {
@@ -155,74 +142,26 @@ func (n *node) trace() ioa.Schedule {
 	return out
 }
 
-// BFS explores the system breadth-first from its start state. The returned
-// trace (if any) is a shortest violating schedule within the explored
-// space.
-func BFS(sys *core.System, cfg Config) (*Result, error) {
-	if cfg.Monitor == nil {
-		return nil, ErrNoMonitor
-	}
-	maxDepth := cfg.MaxDepth
-	if maxDepth <= 0 {
-		maxDepth = DefaultMaxDepth
-	}
-	maxStates := cfg.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
+// search carries the per-run state shared by the level workers.
+type search struct {
+	sys    *core.System
+	cfg    Config
+	extSig ioa.Signature
+	// comps caches Comp.Components() (which copies per call), and chans
+	// caches the channel down-casts, so the per-state dedup loop does no
+	// repeated interface work.
+	comps []ioa.Automaton
+	chans []*channel.Channel
+	// dupOf[i] is the index of the previous pool input equal to Inputs[i],
+	// or -1: the "first unused instance per distinct action" rule walks
+	// this chain instead of building a per-node map.
+	dupOf []int
 
-	extSig := sys.Hidden.Signature()
-	start := &node{
-		state:   sys.Comp.Start(),
-		monitor: cfg.Monitor,
-		used:    make([]bool, len(cfg.Inputs)),
-	}
-	startKey, err := dedupKey(sys, start)
-	if err != nil {
-		return nil, err
-	}
-	seen := map[string]bool{startKey: true}
-	frontier := []*node{start}
-	res := &Result{Exhausted: true, StatesExplored: 1}
-
-	for len(frontier) > 0 {
-		next := frontier[:0:0]
-		for _, cur := range frontier {
-			if cur.depth > res.DepthReached {
-				res.DepthReached = cur.depth
-			}
-			if cur.depth >= maxDepth {
-				continue
-			}
-			succ, err := expand(sys, cfg, cur, extSig)
-			if err != nil {
-				return nil, err
-			}
-			for _, nd := range succ {
-				if nd.violation != nil {
-					res.Violation = nd.violation
-					res.Trace = nd.node.trace()
-					return res, nil
-				}
-				k, err := dedupKey(sys, nd.node)
-				if err != nil {
-					return nil, err
-				}
-				if seen[k] {
-					continue
-				}
-				if res.StatesExplored >= maxStates {
-					res.Exhausted = false
-					continue
-				}
-				seen[k] = true
-				res.StatesExplored++
-				next = append(next, nd.node)
-			}
-		}
-		frontier = next
-	}
-	return res, nil
+	maxDepth  int
+	maxStates int64
+	seen      seenSet
+	count     atomic.Int64 // distinct states admitted (start included)
+	truncated atomic.Bool  // a fresh state was dropped for budget
 }
 
 // succNode pairs a successor with a violation detected on its incoming
@@ -232,32 +171,292 @@ type succNode struct {
 	violation *Violation
 }
 
-// expand computes all successors of a node: every unused pool input (the
-// first unused instance of each distinct action) and every eligible
-// enabled locally-controlled action.
+// workerBufs is one worker's reused scratch: the dedup-key buffer, the
+// expand successor buffer, and the worker's slice of the next frontier.
+// All three persist across levels, so steady-state expansion allocates
+// only the successor nodes themselves.
+type workerBufs struct {
+	key  []byte
+	succ []succNode
+	next []*node
+}
+
+// foundViolation is a violation found while expanding a level, tagged with
+// its (frontier index, successor index) so the earliest-in-frontier-order
+// one can be preferred; with Workers == 1 that is exactly the violation a
+// sequential scan finds first.
+type foundViolation struct {
+	node      *node
+	violation *Violation
+	frontIdx  int
+	succIdx   int
+}
+
+// BFS explores the system breadth-first from its start state. The returned
+// trace (if any) is a shortest violating schedule within the explored
+// space.
+func BFS(sys *core.System, cfg Config) (*Result, error) {
+	if cfg.Monitor == nil {
+		return nil, ErrNoMonitor
+	}
+	s := &search{
+		sys:      sys,
+		cfg:      cfg,
+		extSig:   sys.Hidden.Signature(),
+		comps:    sys.Comp.Components(),
+		maxDepth: cfg.MaxDepth,
+	}
+	if s.maxDepth <= 0 {
+		s.maxDepth = DefaultMaxDepth
+	}
+	s.maxStates = int64(cfg.MaxStates)
+	if s.maxStates <= 0 {
+		s.maxStates = DefaultMaxStates
+	}
+	if cfg.ExactDedup {
+		s.seen = newExactSeen()
+	} else {
+		s.seen = newHashedSeen()
+	}
+	s.chans = make([]*channel.Channel, len(s.comps))
+	for i, comp := range s.comps {
+		if ch, ok := comp.(*channel.Channel); ok {
+			s.chans[i] = ch
+		}
+	}
+	s.dupOf = make([]int, len(cfg.Inputs))
+	for i := range cfg.Inputs {
+		s.dupOf[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			if cfg.Inputs[j] == cfg.Inputs[i] {
+				s.dupOf[i] = j
+				break
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	bufs := make([]workerBufs, workers)
+
+	start := &node{
+		state:   sys.Comp.Start(),
+		monitor: cfg.Monitor,
+		used:    make([]bool, len(cfg.Inputs)),
+	}
+	key, err := s.appendDedupKey(nil, start)
+	if err != nil {
+		return nil, err
+	}
+	s.seen.Add(key)
+	s.count.Store(1)
+
+	res := &Result{Exhausted: true}
+	frontier := []*node{start}
+	var spare []*node
+	for len(frontier) > 0 {
+		res.DepthReached = frontier[0].depth
+		if frontier[0].depth >= s.maxDepth {
+			break
+		}
+		found, err := s.expandLevel(frontier, bufs, workers)
+		if err != nil {
+			return nil, err
+		}
+		if found != nil {
+			res.Violation = found.violation
+			res.Trace = found.node.trace()
+			break
+		}
+		spare = spare[:0]
+		for w := range bufs {
+			spare = append(spare, bufs[w].next...)
+		}
+		frontier, spare = spare, frontier
+	}
+	res.StatesExplored = int(min(s.count.Load(), s.maxStates))
+	res.Exhausted = res.Exhausted && !s.truncated.Load()
+	res.SeenSetBytes = s.seen.ApproxBytes()
+	return res, nil
+}
+
+// levelBatch is how many frontier nodes a worker claims per cursor bump:
+// large enough to amortise the atomic, small enough to balance skewed
+// expansion costs.
+const levelBatch = 32
+
+// expandLevel expands one BFS level with the configured worker pool. Each
+// worker claims batches of frontier indices from an atomic cursor, builds
+// dedup keys in its private reused buffer, and appends fresh successors to
+// its private next slice; the caller concatenates those slices after the
+// barrier. The first violation (in frontier order among those seen) or
+// error cancels the level's context so the other workers stop early.
+func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (*foundViolation, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		cursor   atomic.Int64
+		mu       sync.Mutex
+		best     *foundViolation
+		firstErr error
+	)
+	report := func(fv *foundViolation, err error) {
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if fv != nil && (best == nil || fv.frontIdx < best.frontIdx ||
+			(fv.frontIdx == best.frontIdx && fv.succIdx < best.succIdx)) {
+			best = fv
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	work := func(w int) {
+		b := &bufs[w]
+		b.next = b.next[:0]
+		for ctx.Err() == nil {
+			i := int(cursor.Add(levelBatch)) - levelBatch
+			if i >= len(frontier) {
+				return
+			}
+			end := min(i+levelBatch, len(frontier))
+			for ; i < end; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				succ, err := s.expand(frontier[i], b.succ[:0])
+				b.succ = succ
+				if err != nil {
+					report(nil, err)
+					return
+				}
+				for j := range succ {
+					if succ[j].violation != nil {
+						report(&foundViolation{
+							node: succ[j].node, violation: succ[j].violation,
+							frontIdx: i, succIdx: j,
+						}, nil)
+						return
+					}
+					b.key, err = s.appendDedupKey(b.key[:0], succ[j].node)
+					if err != nil {
+						report(nil, err)
+						return
+					}
+					if !s.seen.Add(b.key) {
+						continue
+					}
+					if s.count.Add(1) > s.maxStates {
+						s.truncated.Store(true)
+						continue
+					}
+					b.next = append(b.next, succ[j].node)
+				}
+			}
+		}
+	}
+
+	if workers == 1 || len(frontier) <= 1 {
+		for w := 1; w < workers; w++ {
+			bufs[w].next = bufs[w].next[:0]
+		}
+		work(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				work(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return best, firstErr
+}
+
+// appendDedupKey appends the key identifying nodes with indistinguishable
+// futures: the protocol automata contribute their exact state, the
+// channels only their residual (deliverable packets — delivered, lost and
+// FIFO-blocked entries can never matter again, and packet IDs are analysis
+// labels), plus the monitor state and the set of remaining inputs. Merging
+// on this key is sound because the monitor never inspects packet
+// identities. The key is built through the AppendFingerprint fast paths
+// into the caller's reused buffer; per explored state the dedup path
+// allocates nothing beyond amortised buffer growth.
+func (s *search) appendDedupKey(dst []byte, n *node) ([]byte, error) {
+	cs, ok := n.state.(ioa.CompositeState)
+	if !ok {
+		return nil, fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, n.state)
+	}
+	for i := range s.comps {
+		if i > 0 {
+			dst = append(dst, "∥"...)
+		}
+		if ch := s.chans[i]; ch != nil {
+			var err error
+			dst, err = ch.AppendResidual(dst, cs.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dst = ioa.AppendFingerprint(dst, cs.Parts[i])
+	}
+	dst = append(dst, '|')
+	if af, ok := n.monitor.(ioa.AppendFingerprinter); ok {
+		dst = af.AppendFingerprint(dst)
+	} else {
+		dst = append(dst, n.monitor.Fingerprint()...)
+	}
+	dst = append(dst, '|')
+	for _, u := range n.used {
+		if u {
+			dst = append(dst, '1')
+		} else {
+			dst = append(dst, '0')
+		}
+	}
+	return dst, nil
+}
+
+// expand appends all successors of a node to out: every eligible pool
+// input (the first unused instance of each distinct action) and every
+// eligible enabled locally-controlled action. out's backing array is the
+// caller's reused buffer.
 //
 // Packet IDs are assigned canonically as the per-channel send index
 // ((PL2)'s uniqueness is per channel direction): structurally identical
 // states then have identical fingerprints regardless of the path taken,
 // which is what makes state deduplication effective — and sound, since
 // the IDs carry no information a protocol may use.
-func expand(sys *core.System, cfg Config, cur *node, extSig ioa.Signature) ([]succNode, error) {
-	var out []succNode
+func (s *search) expand(cur *node, out []succNode) ([]succNode, error) {
+	enabled := s.sys.Comp.Enabled(cur.state)
+	if need := len(s.cfg.Inputs) + len(enabled); cap(out) < need {
+		out = make([]succNode, 0, need)
+	}
 	apply := func(a ioa.Action, usedIdx int) error {
 		if a.Kind == ioa.KindSendPkt && a.Pkt.ID == 0 {
-			cs, err := sys.ChannelState(cur.state, a.Dir)
+			cs, err := s.sys.ChannelState(cur.state, a.Dir)
 			if err != nil {
 				return err
 			}
 			a.Pkt.ID = uint64(cs.SentCount() + 1)
 		}
-		st, err := sys.Comp.Step(cur.state, a)
+		st, err := s.sys.Comp.Step(cur.state, a)
 		if err != nil {
 			return fmt.Errorf("explore: applying %s: %w", a, err)
 		}
 		mon := cur.monitor
 		var viol *Violation
-		if extSig.ContainsExternal(a) {
+		if s.extSig.ContainsExternal(a) {
 			mon, viol = mon.Step(a)
 		}
 		used := cur.used
@@ -273,38 +472,44 @@ func expand(sys *core.System, cfg Config, cur *node, extSig ioa.Signature) ([]su
 	}
 
 	// Environment inputs: one successor per distinct unused pool action.
-	tried := map[ioa.Action]bool{}
-	for i, in := range cfg.Inputs {
-		if cur.used[i] || tried[in] {
+	// Pool index i is eligible when it is the first unused instance of its
+	// action, i.e. every earlier duplicate (the dupOf chain) is used.
+	for i, in := range s.cfg.Inputs {
+		if cur.used[i] {
 			continue
 		}
-		tried[in] = true
+		eligible := true
+		for j := s.dupOf[i]; j >= 0; j = s.dupOf[j] {
+			if !cur.used[j] {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
 		if err := apply(in, i); err != nil {
-			return nil, err
+			return out, err
 		}
 	}
 
 	// Locally-controlled actions.
-	for _, a := range sys.Comp.Enabled(cur.state) {
-		if isLose(a) && !cfg.AllowLoss {
+	for _, a := range enabled {
+		if channel.IsLoseAction(a) && !s.cfg.AllowLoss {
 			continue
 		}
-		if cfg.MaxInTransit > 0 && a.Kind == ioa.KindSendPkt {
-			pending, err := sys.InTransit(cur.state, a.Dir)
+		if s.cfg.MaxInTransit > 0 && a.Kind == ioa.KindSendPkt {
+			cs, err := s.sys.ChannelState(cur.state, a.Dir)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			if len(pending) >= cfg.MaxInTransit {
+			if cs.PendingCount() >= s.cfg.MaxInTransit {
 				continue
 			}
 		}
 		if err := apply(a, -1); err != nil {
-			return nil, err
+			return out, err
 		}
 	}
 	return out, nil
-}
-
-func isLose(a ioa.Action) bool {
-	return a.Kind == ioa.KindInternal && strings.HasPrefix(a.Name, "lose")
 }

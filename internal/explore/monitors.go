@@ -3,7 +3,7 @@ package explore
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/ioa"
 )
@@ -31,13 +31,20 @@ func (s msgSet) with(m ioa.Message) msgSet {
 
 func (s msgSet) has(m ioa.Message) bool { return s.members[m] }
 
-func (s msgSet) fingerprint() string {
+func (s msgSet) appendFingerprint(dst []byte) []byte {
 	keys := make([]string, 0, len(s.members))
 	for k := range s.members {
 		keys = append(keys, string(k))
 	}
 	sort.Strings(keys)
-	return "{" + strings.Join(keys, ",") + "}"
+	dst = append(dst, '{')
+	for i, k := range keys {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, k...)
+	}
+	return append(dst, '}')
 }
 
 // SafetyMonitor checks (DL4) no duplicate delivery, (DL5) no spurious
@@ -104,14 +111,18 @@ func (m SafetyMonitor) Step(a ioa.Action) (Monitor, *Violation) {
 }
 
 // Fingerprint encodes the monitor state for deduplication.
-func (m SafetyMonitor) Fingerprint() string {
-	var b strings.Builder
-	b.WriteString("sent=")
-	b.WriteString(m.sent.fingerprint())
-	b.WriteString(" del=")
-	b.WriteString(m.delivered.fingerprint())
+func (m SafetyMonitor) Fingerprint() string { return string(m.AppendFingerprint(nil)) }
+
+// AppendFingerprint is the monitor's allocation-free fingerprint fast
+// path; the explorer's dedup loop appends it into a reused key buffer.
+func (m SafetyMonitor) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "sent="...)
+	dst = m.sent.appendFingerprint(dst)
+	dst = append(dst, " del="...)
+	dst = m.delivered.appendFingerprint(dst)
 	if m.checkFIFO {
-		fmt.Fprintf(&b, " last=%d", m.lastDeliver)
+		dst = append(dst, " last="...)
+		dst = strconv.AppendInt(dst, int64(m.lastDeliver), 10)
 	}
-	return b.String()
+	return dst
 }

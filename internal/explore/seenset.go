@@ -1,0 +1,143 @@
+package explore
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// The explorer dedups up to millions of states; the seen-set is its main
+// memory consumer and, under parallel BFS, its main contention point. Both
+// implementations below are mutex-striped across seenShards shards chosen
+// by the key's 64-bit maphash, so concurrent workers rarely collide on a
+// lock, and both accept transient []byte keys so callers can build keys in
+// a reused buffer.
+//
+// hashedSeen stores only the 64-bit hash of each key (8 bytes per state
+// plus map overhead, versus the full key string — typically hundreds of
+// bytes — kept by exactSeen). Dedup by hash can, in principle, merge two
+// distinct states on a hash collision; with a per-search random seed and
+// n states the probability of any collision is about n²/2⁶⁵ (≈ 3·10⁻⁸ for
+// the default 2²⁰-state budget), and a collision can only cause a missed
+// state, never a false violation — traces are re-validated by the monitor
+// on the path that reaches them. Config.ExactDedup selects exactSeen for
+// collision-paranoid runs.
+
+const seenShards = 16
+
+// seenSet is a concurrency-safe dedup set over transient byte-slice keys.
+type seenSet interface {
+	// Add inserts key, reporting whether it was absent; key is not retained.
+	Add(key []byte) bool
+	// Len returns the number of distinct keys added.
+	Len() int
+	// ApproxBytes estimates the heap bytes held per entry by the set.
+	ApproxBytes() int64
+}
+
+// hashedSeen dedups on 64-bit maphash fingerprints.
+type hashedSeen struct {
+	seed   maphash.Seed
+	shards [seenShards]struct {
+		mu sync.Mutex
+		m  map[uint64]struct{}
+		// pad the shard to its own cache line so neighbouring locks do not
+		// false-share under contention.
+		_ [40]byte
+	}
+}
+
+func newHashedSeen() *hashedSeen {
+	h := &hashedSeen{seed: maphash.MakeSeed()}
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64]struct{})
+	}
+	return h
+}
+
+func (h *hashedSeen) Add(key []byte) bool {
+	sum := maphash.Bytes(h.seed, key)
+	sh := &h.shards[sum>>(64-4)]
+	sh.mu.Lock()
+	_, dup := sh.m[sum]
+	if !dup {
+		sh.m[sum] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+func (h *hashedSeen) Len() int {
+	n := 0
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+		n += len(h.shards[i].m)
+		h.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// hashedEntryBytes estimates a map[uint64]struct{} entry: 8 key bytes plus
+// roughly as much again in bucket overhead and load-factor slack.
+const hashedEntryBytes = 16
+
+func (h *hashedSeen) ApproxBytes() int64 { return int64(h.Len()) * hashedEntryBytes }
+
+// exactSeen dedups on full key strings: the Config.ExactDedup escape
+// hatch, immune to hash collisions at ~key-length bytes per state.
+type exactSeen struct {
+	seed   maphash.Seed
+	shards [seenShards]struct {
+		mu    sync.Mutex
+		m     map[string]struct{}
+		bytes int64
+		_     [32]byte
+	}
+}
+
+// exactEntryOverhead estimates the per-entry cost beyond the key bytes:
+// the string header plus map bucket overhead.
+const exactEntryOverhead = 48
+
+func newExactSeen() *exactSeen {
+	e := &exactSeen{seed: maphash.MakeSeed()}
+	for i := range e.shards {
+		e.shards[i].m = make(map[string]struct{})
+	}
+	return e
+}
+
+func (e *exactSeen) Add(key []byte) bool {
+	sum := maphash.Bytes(e.seed, key)
+	sh := &e.shards[sum>>(64-4)]
+	sh.mu.Lock()
+	// The map lookup with a string(key) conversion does not allocate; the
+	// key is only materialized when it is genuinely new.
+	_, dup := sh.m[string(key)]
+	if !dup {
+		k := string(key)
+		sh.m[k] = struct{}{}
+		sh.bytes += int64(len(k)) + exactEntryOverhead
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+func (e *exactSeen) Len() int {
+	n := 0
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		n += len(e.shards[i].m)
+		e.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+func (e *exactSeen) ApproxBytes() int64 {
+	var b int64
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		b += e.shards[i].bytes
+		e.shards[i].mu.Unlock()
+	}
+	return b
+}

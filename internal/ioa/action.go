@@ -13,6 +13,7 @@ package ioa
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -123,11 +124,21 @@ type Packet struct {
 }
 
 // String renders the packet as id:header/payload.
-func (p Packet) String() string {
-	if p.Payload == "" {
-		return fmt.Sprintf("#%d[%s]", p.ID, p.Header)
+func (p Packet) String() string { return string(p.AppendText(nil)) }
+
+// AppendText appends the String rendering to dst without allocating
+// intermediate strings; it is the fingerprint fast path for states that
+// embed packets.
+func (p Packet) AppendText(dst []byte) []byte {
+	dst = append(dst, '#')
+	dst = strconv.AppendUint(dst, p.ID, 10)
+	dst = append(dst, '[')
+	dst = append(dst, p.Header...)
+	if p.Payload != "" {
+		dst = append(dst, '|')
+		dst = append(dst, p.Payload...)
 	}
-	return fmt.Sprintf("#%d[%s|%s]", p.ID, p.Header, p.Payload)
+	return append(dst, ']')
 }
 
 // Action is a particular action of the universal action set. Exactly one

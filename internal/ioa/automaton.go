@@ -13,6 +13,27 @@ type State interface {
 	Fingerprint() string
 }
 
+// AppendFingerprinter is an optional fast path for State (and monitor)
+// implementations: AppendFingerprint appends exactly the bytes that
+// Fingerprint returns to dst and returns the extended slice. It lets
+// hot loops — the model checker builds one dedup key per explored state
+// — assemble keys into a reused buffer with no intermediate string
+// allocations. Implementations must append, never truncate or otherwise
+// modify dst[:len(dst)].
+type AppendFingerprinter interface {
+	AppendFingerprint(dst []byte) []byte
+}
+
+// AppendFingerprint appends s's canonical fingerprint to dst, using the
+// allocation-free fast path when s implements AppendFingerprinter and
+// falling back to Fingerprint otherwise.
+func AppendFingerprint(dst []byte, s State) []byte {
+	if af, ok := s.(AppendFingerprinter); ok {
+		return af.AppendFingerprint(dst)
+	}
+	return append(dst, s.Fingerprint()...)
+}
+
 // EquivState is implemented by states that additionally support the
 // paper's message-independence equivalence ≡ (Section 5.3.1): the
 // equivalence fingerprint erases message identities (payload contents)

@@ -13,12 +13,19 @@ type CompositeState struct {
 }
 
 // Fingerprint joins the component fingerprints.
-func (c CompositeState) Fingerprint() string {
-	parts := make([]string, len(c.Parts))
+func (c CompositeState) Fingerprint() string { return string(c.AppendFingerprint(nil)) }
+
+// AppendFingerprint appends the joined component fingerprints to dst,
+// taking each component's allocation-free fast path when available.
+func (c CompositeState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "⟨"...)
 	for i, s := range c.Parts {
-		parts[i] = s.Fingerprint()
+		if i > 0 {
+			dst = append(dst, " ∥ "...)
+		}
+		dst = AppendFingerprint(dst, s)
 	}
-	return "⟨" + strings.Join(parts, " ∥ ") + "⟩"
+	return append(dst, "⟩"...)
 }
 
 // EquivFingerprint joins the component equivalence fingerprints; a
@@ -37,8 +44,9 @@ func (c CompositeState) EquivFingerprint() string {
 }
 
 var (
-	_ State      = CompositeState{}
-	_ EquivState = CompositeState{}
+	_ State               = CompositeState{}
+	_ EquivState          = CompositeState{}
+	_ AppendFingerprinter = CompositeState{}
 )
 
 // Composition is the composition A = Π A_i of a strongly compatible

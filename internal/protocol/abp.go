@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ioa"
@@ -38,10 +39,21 @@ type abpTState struct {
 	queue []ioa.Message
 }
 
-var _ ioa.EquivState = abpTState{}
+var (
+	_ ioa.EquivState          = abpTState{}
+	_ ioa.AppendFingerprinter = abpTState{}
+)
 
-func (s abpTState) Fingerprint() string {
-	return fmt.Sprintf("abpT{awake=%t bit=%d q=%s}", s.awake, s.bit, fpMsgs(s.queue))
+func (s abpTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s abpTState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "abpT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " bit="...)
+	dst = appendInt(dst, s.bit)
+	dst = append(dst, " q="...)
+	dst = appendMsgs(dst, s.queue)
+	return append(dst, '}')
 }
 
 func (s abpTState) EquivFingerprint() string {
@@ -137,11 +149,15 @@ type abpRState struct {
 	pending []ioa.Message
 }
 
-var _ ioa.EquivState = abpRState{}
+var (
+	_ ioa.EquivState          = abpRState{}
+	_ ioa.AppendFingerprinter = abpRState{}
+)
 
-func (s abpRState) Fingerprint() string {
-	return fmt.Sprintf("abpR{awake=%t exp=%d acks=%s pend=%s}",
-		s.awake, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+func (s abpRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s abpRState) AppendFingerprint(dst []byte) []byte {
+	return appendRcvrFP(dst, "abpR", s.awake, s.expect, s.acks, s.pending)
 }
 
 func (s abpRState) EquivFingerprint() string {

@@ -105,6 +105,19 @@ func fpMsgs(ms []ioa.Message) string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
+// appendMsgs appends fpMsgs' rendering to dst; the AppendFingerprint fast
+// paths use the append helpers to avoid intermediate strings.
+func appendMsgs(dst []byte, ms []ioa.Message) []byte {
+	dst = append(dst, '[')
+	for i, m := range ms {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendQuote(dst, string(m))
+	}
+	return append(dst, ']')
+}
+
 // eqMsgs renders a message queue with identities erased for
 // EquivFingerprint: only the queue length is visible to the equivalence.
 func eqMsgs(ms []ioa.Message) string {
@@ -118,6 +131,62 @@ func fpHeaders(hs []ioa.Header) string {
 		parts[i] = string(h)
 	}
 	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// appendHeaders appends fpHeaders' rendering to dst.
+func appendHeaders(dst []byte, hs []ioa.Header) []byte {
+	dst = append(dst, '[')
+	for i, h := range hs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, h...)
+	}
+	return append(dst, ']')
+}
+
+// appendBools appends fpBools' rendering to dst.
+func appendBools(dst []byte, bs []bool) []byte {
+	dst = append(dst, '[')
+	for _, b := range bs {
+		if b {
+			dst = append(dst, '1')
+		} else {
+			dst = append(dst, '0')
+		}
+	}
+	return append(dst, ']')
+}
+
+// appendInt appends the decimal rendering of v to dst.
+func appendInt(dst []byte, v int) []byte { return strconv.AppendInt(dst, int64(v), 10) }
+
+// appendXmtrFP appends the common transmitter fingerprint shape
+// "tag{awake=… base=… q=…}" shared by the cumulative-ack transmitters.
+func appendXmtrFP(dst []byte, tag string, awake bool, base int, queue []ioa.Message) []byte {
+	dst = append(dst, tag...)
+	dst = append(dst, "{awake="...)
+	dst = strconv.AppendBool(dst, awake)
+	dst = append(dst, " base="...)
+	dst = appendInt(dst, base)
+	dst = append(dst, " q="...)
+	dst = appendMsgs(dst, queue)
+	return append(dst, '}')
+}
+
+// appendRcvrFP appends the common receiver fingerprint shape
+// "tag{awake=… exp=… acks=… pend=…}" shared by the in-order receivers.
+func appendRcvrFP(dst []byte, tag string, awake bool, expect int, acks []ioa.Header, pending []ioa.Message) []byte {
+	dst = append(dst, tag...)
+	dst = append(dst, "{awake="...)
+	dst = strconv.AppendBool(dst, awake)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, expect)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgs(dst, pending)
+	return append(dst, '}')
 }
 
 // cloneMsgs copies a message slice (states are values; steps never alias).

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -108,10 +109,25 @@ type fragTState struct {
 	acked []bool
 }
 
-var _ ioa.EquivState = fragTState{}
+var (
+	_ ioa.EquivState          = fragTState{}
+	_ ioa.AppendFingerprinter = fragTState{}
+)
 
-func (s fragTState) Fingerprint() string {
-	return fmt.Sprintf("fragT{awake=%t seq=%d next=%d q=%s acked=%s}", s.awake, s.seq, s.next, fpMsgs(s.queue), fpBools(s.acked))
+func (s fragTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s fragTState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "fragT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " seq="...)
+	dst = appendInt(dst, s.seq)
+	dst = append(dst, " next="...)
+	dst = appendInt(dst, s.next)
+	dst = append(dst, " q="...)
+	dst = appendMsgs(dst, s.queue)
+	dst = append(dst, " acked="...)
+	dst = appendBools(dst, s.acked)
+	return append(dst, '}')
 }
 
 func (s fragTState) EquivFingerprint() string {
@@ -253,11 +269,25 @@ type fragRState struct {
 	pending []ioa.Message
 }
 
-var _ ioa.EquivState = fragRState{}
+var (
+	_ ioa.EquivState          = fragRState{}
+	_ ioa.AppendFingerprinter = fragRState{}
+)
 
-func (s fragRState) Fingerprint() string {
-	return fmt.Sprintf("fragR{awake=%t exp=%d parts=%s acks=%s pend=%s}",
-		s.awake, s.expect, fpMsgs(s.parts), fpHeaders(s.acks), fpMsgs(s.pending))
+func (s fragRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s fragRState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "fragR{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " parts="...)
+	dst = appendMsgs(dst, s.parts)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgs(dst, s.pending)
+	return append(dst, '}')
 }
 
 func (s fragRState) EquivFingerprint() string {

@@ -46,10 +46,15 @@ type gbnTState struct {
 	queue []ioa.Message
 }
 
-var _ ioa.EquivState = gbnTState{}
+var (
+	_ ioa.EquivState          = gbnTState{}
+	_ ioa.AppendFingerprinter = gbnTState{}
+)
 
-func (s gbnTState) Fingerprint() string {
-	return fmt.Sprintf("gbnT{awake=%t base=%d q=%s}", s.awake, s.base, fpMsgs(s.queue))
+func (s gbnTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s gbnTState) AppendFingerprint(dst []byte) []byte {
+	return appendXmtrFP(dst, "gbnT", s.awake, s.base, s.queue)
 }
 
 func (s gbnTState) EquivFingerprint() string {
@@ -156,11 +161,15 @@ type gbnRState struct {
 	pending []ioa.Message
 }
 
-var _ ioa.EquivState = gbnRState{}
+var (
+	_ ioa.EquivState          = gbnRState{}
+	_ ioa.AppendFingerprinter = gbnRState{}
+)
 
-func (s gbnRState) Fingerprint() string {
-	return fmt.Sprintf("gbnR{awake=%t exp=%d acks=%s pend=%s}",
-		s.awake, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+func (s gbnRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s gbnRState) AppendFingerprint(dst []byte) []byte {
+	return appendRcvrFP(dst, "gbnR", s.awake, s.expect, s.acks, s.pending)
 }
 
 func (s gbnRState) EquivFingerprint() string {

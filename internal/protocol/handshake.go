@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ioa"
@@ -43,10 +44,23 @@ type hsTState struct {
 	queue []ioa.Message
 }
 
-var _ ioa.EquivState = hsTState{}
+var (
+	_ ioa.EquivState          = hsTState{}
+	_ ioa.AppendFingerprinter = hsTState{}
+)
 
-func (s hsTState) Fingerprint() string {
-	return fmt.Sprintf("hsT{awake=%t conn=%t bit=%d q=%s}", s.awake, s.conn, s.bit, fpMsgs(s.queue))
+func (s hsTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s hsTState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "hsT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " conn="...)
+	dst = strconv.AppendBool(dst, s.conn)
+	dst = append(dst, " bit="...)
+	dst = appendInt(dst, s.bit)
+	dst = append(dst, " q="...)
+	dst = appendMsgs(dst, s.queue)
+	return append(dst, '}')
 }
 
 func (s hsTState) EquivFingerprint() string {
@@ -162,11 +176,25 @@ type hsRState struct {
 	pending []ioa.Message
 }
 
-var _ ioa.EquivState = hsRState{}
+var (
+	_ ioa.EquivState          = hsRState{}
+	_ ioa.AppendFingerprinter = hsRState{}
+)
 
-func (s hsRState) Fingerprint() string {
-	return fmt.Sprintf("hsR{awake=%t conn=%t exp=%d acks=%s pend=%s}",
-		s.awake, s.conn, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+func (s hsRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s hsRState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "hsR{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " conn="...)
+	dst = strconv.AppendBool(dst, s.conn)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgs(dst, s.pending)
+	return append(dst, '}')
 }
 
 func (s hsRState) EquivFingerprint() string {

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ioa"
@@ -60,11 +61,25 @@ type nvTState struct {
 	queue []ioa.Message
 }
 
-var _ ioa.EquivState = nvTState{}
+var (
+	_ ioa.EquivState          = nvTState{}
+	_ ioa.AppendFingerprinter = nvTState{}
+)
 
-func (s nvTState) Fingerprint() string {
-	return fmt.Sprintf("nvT{e=%d awake=%t conn=%t base=%d q=%s}",
-		s.epoch, s.awake, s.conn, s.base, fpMsgs(s.queue))
+func (s nvTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s nvTState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "nvT{e="...)
+	dst = appendInt(dst, s.epoch)
+	dst = append(dst, " awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " conn="...)
+	dst = strconv.AppendBool(dst, s.conn)
+	dst = append(dst, " base="...)
+	dst = appendInt(dst, s.base)
+	dst = append(dst, " q="...)
+	dst = appendMsgs(dst, s.queue)
+	return append(dst, '}')
 }
 
 func (s nvTState) EquivFingerprint() string {
@@ -191,11 +206,27 @@ type nvRState struct {
 	acks    []ioa.Header
 }
 
-var _ ioa.EquivState = nvRState{}
+var (
+	_ ioa.EquivState          = nvRState{}
+	_ ioa.AppendFingerprinter = nvRState{}
+)
 
-func (s nvRState) Fingerprint() string {
-	return fmt.Sprintf("nvR{e=%d hasE=%t exp=%d pend=%s awake=%t acks=%s}",
-		s.epoch, s.hasE, s.expect, fpMsgs(s.pending), s.awake, fpHeaders(s.acks))
+func (s nvRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s nvRState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "nvR{e="...)
+	dst = appendInt(dst, s.epoch)
+	dst = append(dst, " hasE="...)
+	dst = strconv.AppendBool(dst, s.hasE)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " pend="...)
+	dst = appendMsgs(dst, s.pending)
+	dst = append(dst, " awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	return append(dst, '}')
 }
 
 func (s nvRState) EquivFingerprint() string {

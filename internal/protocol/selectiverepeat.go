@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -57,7 +58,10 @@ type srTState struct {
 	acked []bool // parallel to queue[:windowSize]
 }
 
-var _ ioa.EquivState = srTState{}
+var (
+	_ ioa.EquivState          = srTState{}
+	_ ioa.AppendFingerprinter = srTState{}
+)
 
 func fpBools(bs []bool) string {
 	parts := make([]string, len(bs))
@@ -71,8 +75,18 @@ func fpBools(bs []bool) string {
 	return "[" + strings.Join(parts, "") + "]"
 }
 
-func (s srTState) Fingerprint() string {
-	return fmt.Sprintf("srT{awake=%t base=%d q=%s acked=%s}", s.awake, s.base, fpMsgs(s.queue), fpBools(s.acked))
+func (s srTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s srTState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "srT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " base="...)
+	dst = appendInt(dst, s.base)
+	dst = append(dst, " q="...)
+	dst = appendMsgs(dst, s.queue)
+	dst = append(dst, " acked="...)
+	dst = appendBools(dst, s.acked)
+	return append(dst, '}')
 }
 
 func (s srTState) EquivFingerprint() string {
@@ -201,7 +215,10 @@ type srRState struct {
 	pending []ioa.Message
 }
 
-var _ ioa.EquivState = srRState{}
+var (
+	_ ioa.EquivState          = srRState{}
+	_ ioa.AppendFingerprinter = srRState{}
+)
 
 func fpBuffer(buf map[int]ioa.Message, exact bool) string {
 	keys := make([]int, 0, len(buf))
@@ -220,9 +237,41 @@ func fpBuffer(buf map[int]ioa.Message, exact bool) string {
 	return "{" + strings.Join(parts, " ") + "}"
 }
 
-func (s srRState) Fingerprint() string {
-	return fmt.Sprintf("srR{awake=%t exp=%d buf=%s acks=%s pend=%s}",
-		s.awake, s.expect, fpBuffer(s.buffer, true), fpHeaders(s.acks), fpMsgs(s.pending))
+func (s srRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s srRState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, "srR{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " buf="...)
+	dst = appendBuffer(dst, s.buffer)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgs(dst, s.pending)
+	return append(dst, '}')
+}
+
+// appendBuffer appends fpBuffer's exact rendering to dst. The sorted key
+// slice is the one unavoidable allocation; receiver buffers hold at most a
+// window of entries.
+func appendBuffer(dst []byte, buf map[int]ioa.Message) []byte {
+	keys := make([]int, 0, len(buf))
+	for k := range buf {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	dst = append(dst, '{')
+	for i, k := range keys {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = appendInt(dst, k)
+		dst = append(dst, ':')
+		dst = strconv.AppendQuote(dst, string(buf[k]))
+	}
+	return append(dst, '}')
 }
 
 func (s srRState) EquivFingerprint() string {

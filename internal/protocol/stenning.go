@@ -42,10 +42,15 @@ type stnTState struct {
 	queue []ioa.Message
 }
 
-var _ ioa.EquivState = stnTState{}
+var (
+	_ ioa.EquivState          = stnTState{}
+	_ ioa.AppendFingerprinter = stnTState{}
+)
 
-func (s stnTState) Fingerprint() string {
-	return fmt.Sprintf("stnT{awake=%t base=%d q=%s}", s.awake, s.base, fpMsgs(s.queue))
+func (s stnTState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s stnTState) AppendFingerprint(dst []byte) []byte {
+	return appendXmtrFP(dst, "stnT", s.awake, s.base, s.queue)
 }
 
 func (s stnTState) EquivFingerprint() string {
@@ -145,11 +150,15 @@ type stnRState struct {
 	pending []ioa.Message
 }
 
-var _ ioa.EquivState = stnRState{}
+var (
+	_ ioa.EquivState          = stnRState{}
+	_ ioa.AppendFingerprinter = stnRState{}
+)
 
-func (s stnRState) Fingerprint() string {
-	return fmt.Sprintf("stnR{awake=%t exp=%d acks=%s pend=%s}",
-		s.awake, s.expect, fpHeaders(s.acks), fpMsgs(s.pending))
+func (s stnRState) Fingerprint() string { return string(s.AppendFingerprint(nil)) }
+
+func (s stnRState) AppendFingerprint(dst []byte) []byte {
+	return appendRcvrFP(dst, "stnR", s.awake, s.expect, s.acks, s.pending)
 }
 
 func (s stnRState) EquivFingerprint() string {

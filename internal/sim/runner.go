@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/ioa"
 )
@@ -191,7 +192,7 @@ func (r *Runner) RunFair(cfg RunConfig) (bool, error) {
 	eligible := func(a ioa.Action) bool {
 		// A channel is never obliged to lose packets, so fairness exempts
 		// lose actions unless a (randomized) run opts in.
-		if !cfg.AllowLoss && isLoseAction(a) {
+		if !cfg.AllowLoss && channel.IsLoseAction(a) {
 			return false
 		}
 		return cfg.Filter == nil || cfg.Filter(a)
@@ -242,10 +243,6 @@ func (r *Runner) pickRoundRobin(classes []ioa.Class, candidates []ioa.Action) io
 	// Candidates exist but match no class (cannot happen for well-formed
 	// components); fall back to the first.
 	return candidates[0]
-}
-
-func isLoseAction(a ioa.Action) bool {
-	return a.Kind == ioa.KindInternal && len(a.Name) >= 4 && a.Name[:4] == "lose"
 }
 
 // UntilReceiveMsg returns an Until condition that stops when the given
