@@ -1,10 +1,11 @@
 # Build/test entry points. `make ci` is the gate: vet + full tests + the
-# race-detector pass over the concurrent packages (the parallel explorer
-# and the scheduler).
+# race-detector pass over the concurrent packages (the parallel explorer,
+# the scheduler and the swarm worker pool), plus the swarm and fuzz smoke
+# runs.
 
 GO ?= go
 
-.PHONY: build test vet race ci bench-explore bench
+.PHONY: build test vet race swarm-smoke fuzz-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -19,9 +20,24 @@ vet:
 # are the only concurrent code; their tests are written to be meaningful
 # under the race detector (multi-worker searches, concurrent seen-set adds).
 race:
-	$(GO) test -race ./internal/explore/... ./internal/sim/...
+	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/swarm/...
 
-ci: vet test race
+# A fixed-seed conformance sweep (~5s): every registered protocol over its
+# claimed channels and tolerated faults must produce zero violations, and
+# the known-bad abp-stuck target must be caught, shrunk and replayable.
+# Fixed seeds keep the run byte-reproducible; exit 1 from the abp-stuck
+# invocation is the expected "bug found" status, so it is inverted.
+swarm-smoke:
+	$(GO) run ./cmd/swarm -seeds 40 -steps 200 -workers 8 > /dev/null
+	! $(GO) run ./cmd/swarm -protocols abp-stuck -faults loss -seeds 10 -steps 150 -workers 8 > /dev/null 2>&1
+
+# Short fuzz runs of both fuzz targets: catches panics and containment
+# breaks introduced by spec/channel changes without a dedicated fuzz job.
+fuzz-smoke:
+	$(GO) test -run FuzzCheckersContainment -fuzz FuzzCheckersContainment -fuzztime 10s ./internal/spec/
+	$(GO) test -run FuzzChannelInvariants -fuzz FuzzChannelInvariants -fuzztime 10s ./internal/channel/
+
+ci: vet test race swarm-smoke fuzz-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

@@ -1,0 +1,108 @@
+// Command swarm runs the seeded random-execution conformance harness: it
+// drives every selected protocol, composed with each channel variant it
+// claims to work over, through many fault-injected executions (packet
+// loss, reordering, duplication, medium outages, host crashes) and checks
+// every behavior against the data link and physical layer specifications.
+//
+// Equal seeds give byte-identical schedules and summaries, so a reported
+// violation is a reproducible artifact: the harness shrinks the first
+// violating walk per configuration to a minimal counterexample
+// (delta-debugging through runner snapshots) and, with -corpus, persists
+// it as a regression entry that internal/swarm's TestCorpusReplay
+// re-checks forever.
+//
+// Examples:
+//
+//	swarm -seeds 200 -steps 400                          # full expect-correct sweep
+//	swarm -protocols abp-stuck -seeds 50 -corpus out/    # find, shrink and persist a bug
+//	swarm -protocols gbn,sr -faults loss,fail -workers 8 # focused sweep
+//
+// The summary is printed as JSON; the exit status is 1 when any
+// specification violation was found and 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/protocol"
+	"repro/internal/swarm"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swarm:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes one invocation, writing the JSON summary to out. It
+// returns 1 (with nil error) when the sweep found violations, so main
+// can distinguish "bug found" from "harness failed".
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("swarm", flag.ContinueOnError)
+	var (
+		protocols = fs.String("protocols", strings.Join(protocol.Names(), ","),
+			fmt.Sprintf("comma-separated protocols (%v; abp-stuck is the known-bad target)", protocol.Names()))
+		faults  = fs.String("faults", "all", "fault classes to inject: loss,reorder,dup,crash,fail | all | none")
+		seeds   = fs.Int("seeds", 100, "number of seeds per configuration")
+		seed0   = fs.Int64("seed0", 1, "first seed")
+		steps   = fs.Int("steps", 200, "fault-schedule operations per walk")
+		workers = fs.Int("workers", runtime.NumCPU(), "parallel walks (does not affect results)")
+		shrink  = fs.Bool("shrink", true, "shrink the first violating walk per configuration")
+		corpus  = fs.String("corpus", "", "directory to persist shrunk counterexamples into")
+		maxExt  = fs.Int("maxext", 20000, "fair-extension step budget per walk")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	requested, err := swarm.ParseFaults(*faults)
+	if err != nil {
+		return 2, err
+	}
+	combos, err := swarm.DefaultCombos(strings.Split(*protocols, ","), requested)
+	if err != nil {
+		return 2, err
+	}
+	sum, err := swarm.Run(swarm.Config{
+		Combos:       combos,
+		Seeds:        swarm.SeedRange(*seed0, *seeds),
+		Steps:        *steps,
+		Workers:      *workers,
+		Shrink:       *shrink,
+		MaxExtension: *maxExt,
+	})
+	if err != nil {
+		return 2, err
+	}
+	if *corpus != "" {
+		for _, rep := range sum.Combos {
+			if rep.Counterexample == nil {
+				continue
+			}
+			note := fmt.Sprintf("swarm -protocols %s -faults %s -steps %d (seed %d)",
+				rep.Combo.Protocol, rep.Combo.Faults, *steps, rep.Counterexample.Seed)
+			path, err := swarm.Save(*corpus, swarm.SwarmEntry(rep.Counterexample, note))
+			if err != nil {
+				return 2, err
+			}
+			fmt.Fprintf(os.Stderr, "swarm: persisted %s counterexample to %s\n", rep.Counterexample.Property, path)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		return 2, err
+	}
+	if sum.Violations > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

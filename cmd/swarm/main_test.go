@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/swarm"
+)
+
+// TestSweepIsCleanAndDeterministic runs a small expect-correct sweep
+// twice and asserts (1) zero violations, exit code 0, and (2)
+// byte-identical JSON summaries — the command's determinism contract.
+func TestSweepIsCleanAndDeterministic(t *testing.T) {
+	args := []string{"-protocols", "abp,stenning", "-seeds", "6", "-steps", "120", "-workers", "4"}
+	var first bytes.Buffer
+	code, err := run(args, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; summary:\n%s", code, first.String())
+	}
+	var sum swarm.Summary
+	if err := json.Unmarshal(first.Bytes(), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("clean sweep reported %d violations", sum.Violations)
+	}
+	var second bytes.Buffer
+	if _, err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("same seeds, different summaries:\n%s\n---\n%s", first.String(), second.String())
+	}
+}
+
+// TestBrokenProtocolPersistsCounterexample runs the known-bad target and
+// asserts the command finds the DL4 violation, exits 1, and persists a
+// replayable shrunk counterexample.
+func TestBrokenProtocolPersistsCounterexample(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	code, err := run([]string{
+		"-protocols", "abp-stuck", "-faults", "loss",
+		"-seeds", "20", "-steps", "150", "-workers", "4",
+		"-corpus", dir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; summary:\n%s", code, out.String())
+	}
+	var sum swarm.Summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Violations == 0 {
+		t.Fatal("broken protocol produced no violations")
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "swarm-*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no persisted counterexample in %s (err=%v)", dir, err)
+	}
+	corpus, err := swarm.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range corpus {
+		if e.Counterexample == nil {
+			t.Fatalf("entry %s has no counterexample", name)
+		}
+		if got := e.Counterexample.Actions(); got > 20 {
+			t.Errorf("entry %s: %d schedule actions, want ≤ 20", name, got)
+		}
+		if err := swarm.ReplayEntry(e, 0); err != nil {
+			t.Errorf("entry %s does not replay: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownFlagsAndValues(t *testing.T) {
+	if _, err := run([]string{"-protocols", "nosuch"}, os.Stderr); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := run([]string{"-faults", "cosmic-rays"}, os.Stderr); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}

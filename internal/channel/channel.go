@@ -480,6 +480,43 @@ func (c *Channel) KeepOnly(st ioa.State, keep []ioa.Packet) (ioa.State, error) {
 	return next, nil
 }
 
+// Duplicate returns a copy of st in which the idx-th pending packet (in
+// send order, 0-based among the pending packets) has been duplicated: a
+// clone with the same header and payload but the given fresh analysis ID
+// is inserted immediately after the original, pending. This is fault
+// surgery for harnesses that model a duplicating medium — the paper's
+// channels never duplicate, so states produced this way lie outside
+// scheds(PL) (the clone's receive_pkt has no matching send_pkt) and must
+// only be judged against the data-link-level specifications. Inserting
+// adjacent to the original, rather than appending, keeps a FIFO channel's
+// delivery order faithful to a link that duplicates frames in place;
+// id must be a fresh PacketIDs label so (PL2)-style uniqueness of the
+// in-transit multiset is preserved.
+func (c *Channel) Duplicate(st ioa.State, idx int, id uint64) (ioa.State, ioa.Packet, error) {
+	s, ok := st.(State)
+	if !ok {
+		return nil, ioa.Packet{}, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, st)
+	}
+	pending := -1
+	for i := range s.entries {
+		if s.entries[i].status != statusPending {
+			continue
+		}
+		pending++
+		if pending != idx {
+			continue
+		}
+		clone := s.entries[i].pkt
+		clone.ID = id
+		next := State{entries: make([]entry, 0, len(s.entries)+1), hwm: s.hwm}
+		next.entries = append(next.entries, s.entries[:i+1]...)
+		next.entries = append(next.entries, entry{pkt: clone, status: statusPending})
+		next.entries = append(next.entries, s.entries[i+1:]...)
+		return next, clone, nil
+	}
+	return nil, ioa.Packet{}, fmt.Errorf("channel: no pending packet at index %d in %s (%d pending)", idx, c.name, pending+1)
+}
+
 // Waiting reports whether the sequence Q is waiting in st in the paper's
 // sense (Section 6.3): the packets of Q are pending and can be delivered
 // consecutively, in order, starting now. For the non-FIFO channel this

@@ -1,0 +1,115 @@
+package channel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// sendN puts n packets (IDs 1..n, header "h") in transit after a wake.
+func sendN(t *testing.T, c *Channel, n int) ioa.State {
+	t.Helper()
+	st, err := c.Step(c.Start(), ioa.Wake(c.Dir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		st, err = c.Step(st, ioa.SendPkt(c.Dir(), ioa.Packet{ID: uint64(i), Header: "h"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestDuplicateInsertsAdjacentPendingClone(t *testing.T) {
+	for _, fifo := range []bool{true, false} {
+		c := NewPermissive(ioa.TR)
+		if fifo {
+			c = NewPermissiveFIFO(ioa.TR)
+		}
+		st := sendN(t, c, 3)
+		next, clone, err := c.Duplicate(st, 1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clone.ID != 99 || clone.Header != "h" {
+			t.Fatalf("fifo=%v: clone = %s, want #99[h]", fifo, clone)
+		}
+		got := next.(State).InTransit()
+		ids := make([]uint64, len(got))
+		for i, p := range got {
+			ids[i] = p.ID
+		}
+		// The clone sits immediately after the original (in-place frame
+		// duplication), not at the end.
+		want := []uint64{1, 2, 99, 3}
+		for i := range want {
+			if i >= len(ids) || ids[i] != want[i] {
+				t.Fatalf("fifo=%v: in-transit IDs = %v, want %v", fifo, ids, want)
+			}
+		}
+		// The original state is untouched (surgery is persistent).
+		if n := len(st.(State).InTransit()); n != 3 {
+			t.Fatalf("fifo=%v: original state mutated: %d in transit", fifo, n)
+		}
+	}
+}
+
+func TestDuplicateCloneAndOriginalBothDeliverableFIFO(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR)
+	st := sendN(t, c, 2)
+	next, clone, err := c.Duplicate(st, 0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO order: original #1, then clone #77, then #2 — deliverable in
+	// exactly that order without losing anything.
+	for _, want := range []uint64{1, 77, 2} {
+		en := c.Enabled(next)
+		if len(en) == 0 || en[0].Pkt.ID != want {
+			t.Fatalf("next deliverable = %v, want packet #%d", en, want)
+		}
+		next, err = c.Step(next, en[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(next.(State).InTransit()); n != 0 {
+		t.Fatalf("%d packets still in transit after delivering all three", n)
+	}
+	_ = clone
+}
+
+func TestDuplicateAfterPartialDeliveryRespectsHWM(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR)
+	st := sendN(t, c, 3)
+	// Deliver #1 so the high-water mark moves; pending is {#2, #3}.
+	next, err := c.Step(st, ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 1, Header: "h"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, _, err := c.Duplicate(next, 1, 50) // duplicate #3, the 1st pending after #2
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := c.Enabled(dup)
+	if len(en) != 3 { // #2, #3, clone #50 all deliverable
+		t.Fatalf("enabled = %v, want 3 deliverable packets", en)
+	}
+	// The already-delivered packet must not resurface.
+	for _, a := range en {
+		if a.Pkt.ID == 1 {
+			t.Fatalf("delivered packet #1 deliverable again after surgery: %v", en)
+		}
+	}
+}
+
+func TestDuplicateIndexOutOfRange(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR)
+	st := sendN(t, c, 1)
+	if _, _, err := c.Duplicate(st, 1, 9); err == nil || !strings.Contains(err.Error(), "no pending packet") {
+		t.Fatalf("want an out-of-range error, got %v", err)
+	}
+}

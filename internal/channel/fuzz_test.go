@@ -1,10 +1,9 @@
-package channel
+package channel_test
 
 import (
 	"testing"
 
-	"repro/internal/ioa"
-	"repro/internal/spec"
+	"repro/internal/swarm"
 )
 
 // FuzzChannelInvariants drives both channel kinds with arbitrary action
@@ -13,104 +12,18 @@ import (
 // sent = pending + delivered + lost, delivered packets were sent, the
 // produced schedule satisfies the PL (resp. PL-FIFO) specification, and
 // Step never panics or corrupts state.
+//
+// The byte encoding and the assertions live in the swarm package
+// (CheckChannelOps), shared with the regression corpus: an input this
+// fuzzer crashes on can be saved verbatim as a KindChannel corpus entry
+// and is then re-checked forever by the swarm package's TestCorpusReplay.
 func FuzzChannelInvariants(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3}, true, uint8(0))
 	f.Add([]byte{0, 0, 0, 1, 1, 1}, false, uint8(2))
 	f.Add([]byte{0, 4, 0, 4, 1, 5}, true, uint8(1))
 	f.Fuzz(func(t *testing.T, ops []byte, fifo bool, lifetime uint8) {
-		opts := []Option{WithLoss()}
-		if lifetime%4 > 0 {
-			opts = append(opts, WithMaxLifetime(int(lifetime%4)))
-		}
-		var c *Channel
-		if fifo {
-			c = NewPermissiveFIFO(ioa.TR, opts...)
-		} else {
-			c = NewPermissive(ioa.TR, opts...)
-		}
-		st := c.Start()
-		var sched ioa.Schedule
-		nextID := uint64(1)
-		woke := false
-		for _, op := range ops {
-			var a ioa.Action
-			switch op % 6 {
-			case 0: // send a fresh packet (only once awake, for PL1)
-				if !woke {
-					continue
-				}
-				a = ioa.SendPkt(ioa.TR, ioa.Packet{ID: nextID, Header: "h", Payload: "m"})
-			case 1: // deliver: pick the first enabled receive
-				var ok bool
-				a, ok = firstKind(c, st, ioa.KindReceivePkt)
-				if !ok {
-					continue
-				}
-			case 2: // lose: pick the first enabled lose action
-				var ok bool
-				a, ok = firstKind(c, st, ioa.KindInternal)
-				if !ok {
-					continue
-				}
-			case 3:
-				if woke {
-					continue // keep well-formedness: no double wake
-				}
-				a = ioa.Wake(ioa.TR)
-			case 4:
-				if !woke {
-					continue
-				}
-				a = ioa.Fail(ioa.TR)
-			default:
-				a = ioa.Crash(ioa.TR)
-			}
-			next, err := c.Step(st, a)
-			if err != nil {
-				t.Fatalf("Step(%s) on enabled/derived action: %v", a, err)
-			}
-			st = next
-			sched = append(sched, a)
-			switch a.Kind {
-			case ioa.KindSendPkt:
-				nextID++
-			case ioa.KindWake:
-				woke = true
-			case ioa.KindFail, ioa.KindCrash:
-				woke = false
-			}
-
-			cs := st.(State)
-			if got := cs.SentCount(); got != int(nextID-1) {
-				t.Fatalf("SentCount = %d, want %d", got, nextID-1)
-			}
-			pending := len(cs.InTransit())
-			if cs.DeliveredCount()+pending > cs.SentCount() {
-				t.Fatalf("accounting broken: delivered %d + pending %d > sent %d",
-					cs.DeliveredCount(), pending, cs.SentCount())
-			}
-			if _, err := c.Residual(st); err != nil {
-				t.Fatalf("Residual: %v", err)
-			}
-		}
-		// The accepted schedule must satisfy the channel's specification.
-		if fifo {
-			if v := spec.CheckPLFIFO(sched, ioa.TR); !v.OK() {
-				t.Fatalf("PL-FIFO violated by channel-accepted schedule: %s\n%s", v, sched)
-			}
-		} else {
-			if v := spec.CheckPL(sched, ioa.TR); !v.OK() {
-				t.Fatalf("PL violated by channel-accepted schedule: %s\n%s", v, sched)
-			}
+		if err := swarm.CheckChannelOps(ops, fifo, lifetime); err != nil {
+			t.Fatal(err)
 		}
 	})
-}
-
-func firstKind(c *Channel, st ioa.State, k ioa.Kind) (ioa.Action, bool) {
-	for _, a := range c.Enabled(st) {
-		if a.Kind == k {
-			return a, true
-		}
-	}
-	return ioa.Action{}, false
 }

@@ -13,6 +13,7 @@ package ioa
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -203,6 +204,55 @@ func (a Action) String() string {
 // link layer alphabets (i.e. is not internal or invalid).
 func (a Action) IsLayerAction() bool {
 	return a.Kind >= KindSendMsg && a.Kind <= KindCrash
+}
+
+// CompareActions is a canonical total order on actions: by kind, then
+// direction, then name, then packet ID, then packet header/payload, then
+// message. It exists so that schedulers and harnesses can make seed-stable
+// choices among enabled actions without depending on the order in which
+// automata happen to enumerate them (which Go map iteration would
+// otherwise be free to scramble). Packet IDs order before headers so that
+// labelled packets (everything in transit) sort in send order — the order
+// a FIFO channel's Enabled enumerates deliveries in; unlabelled protocol
+// outputs (ID zero, pre-relabelling) fall back to the header. It reports
+// -1, 0 or +1 in the manner of strings.Compare.
+func CompareActions(a, b Action) int {
+	switch {
+	case a.Kind != b.Kind:
+		return cmpUint8(uint8(a.Kind), uint8(b.Kind))
+	case a.Dir.From != b.Dir.From:
+		return strings.Compare(string(a.Dir.From), string(b.Dir.From))
+	case a.Dir.To != b.Dir.To:
+		return strings.Compare(string(a.Dir.To), string(b.Dir.To))
+	case a.Name != b.Name:
+		return strings.Compare(a.Name, b.Name)
+	case a.Pkt.ID != b.Pkt.ID:
+		if a.Pkt.ID < b.Pkt.ID {
+			return -1
+		}
+		return 1
+	case a.Pkt.Header != b.Pkt.Header:
+		return strings.Compare(string(a.Pkt.Header), string(b.Pkt.Header))
+	case a.Pkt.Payload != b.Pkt.Payload:
+		return strings.Compare(string(a.Pkt.Payload), string(b.Pkt.Payload))
+	default:
+		return strings.Compare(string(a.Msg), string(b.Msg))
+	}
+}
+
+func cmpUint8(a, b uint8) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// SortActions sorts a slice of actions into the CompareActions order.
+func SortActions(as []Action) {
+	sort.Slice(as, func(i, j int) bool { return CompareActions(as[i], as[j]) < 0 })
 }
 
 // FormatSchedule renders a sequence of actions one per line, for human

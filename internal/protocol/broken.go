@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// NewStuckABP returns the alternating-bit protocol with the receiver's
+// alternating bit stuck: the receiver delivers the payload of *every* data
+// packet instead of only packets carrying the expected bit. A single
+// retransmission (forced by, say, a lost acknowledgement) therefore
+// delivers the same message twice — a (DL4) violation reachable over
+// perfectly FIFO channels with loss.
+//
+// The protocol is deliberately wrong. It exists as a known-bad target for
+// the swarm conformance harness and its shrinker: a harness that cannot
+// find and minimise this bug is not trustworthy on the correct protocols.
+// It is reachable through ByName("abp-stuck") but excluded from Names(),
+// so registry-driven sweeps over the correct protocols never pick it up by
+// accident.
+func NewStuckABP() core.Protocol {
+	return core.Protocol{
+		Name: "abp-stuck",
+		T:    &abpTransmitter{},
+		R:    &stuckABPReceiver{},
+		Props: core.Properties{
+			MessageIndependent: true,
+			Crashing:           true,
+			Headers: []ioa.Header{
+				DataHeader(0), DataHeader(1), AckHeader(0), AckHeader(1),
+			},
+			KBound:       1,
+			RequiresFIFO: true,
+		},
+	}
+}
+
+// stuckABPReceiver is the broken A^r: it acknowledges like the real ABP
+// receiver but ignores the alternating bit when deciding whether a data
+// packet is new, so duplicates are delivered.
+type stuckABPReceiver struct{}
+
+var _ ioa.Automaton = (*stuckABPReceiver)(nil)
+
+func (*stuckABPReceiver) Name() string { return "abp-stuck.R" }
+
+func (*stuckABPReceiver) Signature() ioa.Signature { return core.ReceiverSignature() }
+
+func (*stuckABPReceiver) Start() ioa.State { return abpRState{} }
+
+func (r *stuckABPReceiver) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
+	s, ok := st.(abpRState)
+	if !ok {
+		return nil, errBadState(r.Name(), st)
+	}
+	switch {
+	case a.Kind == ioa.KindWake && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = true
+		return s, nil
+	case a.Kind == ioa.KindFail && a.Dir == ioa.RT:
+		s = s.clone()
+		s.awake = false
+		return s, nil
+	case a.Kind == ioa.KindCrash && a.Dir == ioa.RT:
+		return abpRState{}, nil
+	case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+		b, isData := parse1(a.Pkt.Header, "data")
+		if !isData {
+			return s, nil
+		}
+		s = s.clone()
+		// The bug: the b == s.expect check is gone, so every data packet
+		// (including a retransmission of one already delivered) is queued
+		// for delivery.
+		s.pending = append(s.pending, a.Pkt.Payload)
+		s.expect = 1 - b
+		s.acks = append(s.acks, AckHeader(b))
+		return s, nil
+	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.RT:
+		if !s.awake || len(s.acks) == 0 || !sendPktEnabled(a.Pkt, ctrlPkt(s.acks[0])) {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.acks = s.acks[1:]
+		return s, nil
+	case a.Kind == ioa.KindReceiveMsg && a.Dir == ioa.TR:
+		if len(s.pending) == 0 || s.pending[0] != a.Msg {
+			return nil, errNotEnabled(r.Name(), a)
+		}
+		s = s.clone()
+		s.pending = s.pending[1:]
+		return s, nil
+	default:
+		return nil, errNotInSignature(r.Name(), a)
+	}
+}
+
+func (r *stuckABPReceiver) Enabled(st ioa.State) []ioa.Action {
+	s, ok := st.(abpRState)
+	if !ok {
+		return nil
+	}
+	var out []ioa.Action
+	if len(s.pending) > 0 {
+		out = append(out, ioa.ReceiveMsg(ioa.TR, s.pending[0]))
+	}
+	if s.awake && len(s.acks) > 0 {
+		out = append(out, ioa.SendPkt(ioa.RT, ctrlPkt(s.acks[0])))
+	}
+	return out
+}
+
+func (*stuckABPReceiver) ClassOf(a ioa.Action) ioa.Class {
+	if a.Kind == ioa.KindReceiveMsg {
+		return ClassDeliver
+	}
+	return ClassAck
+}
+
+func (*stuckABPReceiver) Classes() []ioa.Class { return []ioa.Class{ClassDeliver, ClassAck} }

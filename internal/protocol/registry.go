@@ -10,12 +10,16 @@ import (
 // names: "abp", "gbn" (uses n and w), "sr" (selective repeat; n and w),
 // "frag" (fragmenting; n and w, with w read as the fragment count),
 // "hs" (alternating bit with a handshake), "stenning", and "nv" (the
-// non-volatile Baratz–Segall-style protocol). It returns an error for
-// unknown names or invalid parameters.
+// non-volatile Baratz–Segall-style protocol). The deliberately broken
+// "abp-stuck" (see NewStuckABP) is also reachable here for harness
+// self-tests, but is excluded from Names. It returns an error for unknown
+// names or invalid parameters.
 func ByName(name string, n, w int) (core.Protocol, error) {
 	switch name {
 	case "abp":
 		return NewABP(), nil
+	case "abp-stuck":
+		return NewStuckABP(), nil
 	case "gbn":
 		if n < 2 || w < 1 || w > n-1 {
 			return core.Protocol{}, fmt.Errorf("protocol: gbn needs n ≥ 2 and 1 ≤ w ≤ n-1, got n=%d w=%d", n, w)

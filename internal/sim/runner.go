@@ -210,6 +210,17 @@ func (r *Runner) RunFair(cfg RunConfig) (bool, error) {
 		}
 		var pick ioa.Action
 		if cfg.Rand != nil {
+			// Canonicalise the candidate order so the seeded pick depends
+			// only on the *set* of enabled actions, never on the order the
+			// automata enumerated them in: if a component ever enumerates a
+			// map in Enabled, Go is free to scramble the order between runs,
+			// and an index-based pick would then diverge under the same
+			// seed. Sorting makes equal seeds give byte-identical schedules.
+			// Round-robin runs deliberately keep the enumeration order: an
+			// automaton's Enabled order is its preference order (e.g. a
+			// sliding-window transmitter lists the window base first), and
+			// overriding it can starve the preferred action.
+			ioa.SortActions(candidates)
 			pick = candidates[cfg.Rand.Intn(len(candidates))]
 		} else {
 			pick = r.pickRoundRobin(classes, candidates)
@@ -229,7 +240,13 @@ func (r *Runner) RunFair(cfg RunConfig) (bool, error) {
 }
 
 // pickRoundRobin chooses the first candidate belonging to the next class
-// (cyclically) that has any candidate, advancing the cursor.
+// (cyclically) that has any candidate, advancing the cursor. The tie-break
+// among several candidates of the same class is the first in enumeration
+// order: Enabled order is part of an automaton's semantics (its preference
+// order — a FIFO channel lists the oldest deliverable packet first, a
+// window transmitter its base), so components must enumerate it
+// deterministically, never from a Go map. The sim package's determinism
+// test enforces this for every registered protocol.
 func (r *Runner) pickRoundRobin(classes []ioa.Class, candidates []ioa.Action) ioa.Action {
 	for offset := 0; offset < len(classes); offset++ {
 		cl := classes[(r.rrNext+offset)%len(classes)]

@@ -72,8 +72,11 @@ func TestGBNFailsToSolveWDLOverNonFIFO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Trials/seed retuned when RunFair's seeded scheduler switched to
+	// canonical candidate ordering (the walk trajectories changed; the
+	// reachable set did not).
 	err = SolvesBounded(sys, spec.WDLModule(ioa.TR), SolvesConfig{
-		Trials: 40, Messages: 6, Seed: 2,
+		Trials: 300, Messages: 6, Seed: 1,
 	})
 	if !errors.Is(err, ErrDoesNotSolve) {
 		t.Errorf("expected a sampled WDL counterexample for gbn(2,1) over C̄, got: %v", err)

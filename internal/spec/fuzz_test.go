@@ -1,49 +1,22 @@
-package spec
+package spec_test
 
 import (
 	"testing"
 
-	"repro/internal/ioa"
+	"repro/internal/swarm"
 )
-
-// actionFromByte decodes a pseudo-random layer action; the two-byte form
-// gives fuzzing control over parameters.
-func actionFromByte(op, arg byte) ioa.Action {
-	dirs := []ioa.Dir{ioa.TR, ioa.RT}
-	d := dirs[int(op)%2]
-	msg := ioa.Message(string(rune('a' + arg%6)))
-	pkt := ioa.Packet{ID: uint64(arg), Header: ioa.Header(string(rune('p' + arg%4)))}
-	switch (op / 2) % 7 {
-	case 0:
-		return ioa.SendMsg(d, msg)
-	case 1:
-		return ioa.ReceiveMsg(d, msg)
-	case 2:
-		return ioa.SendPkt(d, pkt)
-	case 3:
-		return ioa.ReceivePkt(d, pkt)
-	case 4:
-		return ioa.Wake(d)
-	case 5:
-		return ioa.Fail(d)
-	default:
-		return ioa.Crash(d)
-	}
-}
-
-func scheduleFromBytes(data []byte) ioa.Schedule {
-	var out ioa.Schedule
-	for i := 0; i+1 < len(data) && len(out) < 200; i += 2 {
-		out = append(out, actionFromByte(data[i], data[i+1]))
-	}
-	return out
-}
 
 // FuzzCheckersContainment fuzzes all the specification checkers with
 // arbitrary action sequences, asserting that (1) none of them panics, and
 // (2) the paper's containments hold on every input: scheds(DL) ⊆
 // scheds(WDL), scheds(PL-FIFO) ⊆ scheds(PL), and valid sequences belong
 // to DL.
+//
+// The byte encoding and the assertions live in the swarm package
+// (SpecScheduleFromBytes, CheckSpecContainments), shared with the
+// regression corpus: an input this fuzzer crashes on can be saved
+// verbatim as a KindSpec corpus entry and is then re-checked forever by
+// the swarm package's TestCorpusReplay.
 func FuzzCheckersContainment(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{8, 0, 9, 0, 0, 1, 2, 1})             // wake wake send receive
@@ -51,28 +24,8 @@ func FuzzCheckersContainment(f *testing.F) {
 	f.Add([]byte{10, 0, 12, 0, 8, 0, 0, 3, 2, 3})     // fail/crash churn
 	f.Add([]byte{4, 7, 6, 7, 4, 9, 6, 9, 5, 7, 5, 9}) // packet traffic
 	f.Fuzz(func(t *testing.T, data []byte) {
-		beta := scheduleFromBytes(data)
-		dl := CheckDL(beta, ioa.TR)
-		wdl := CheckWDL(beta, ioa.TR)
-		if dl.OK() && !wdl.OK() {
-			t.Fatalf("scheds(DL) ⊄ scheds(WDL):\nDL:  %s\nWDL: %s\nβ: %s", dl, wdl, beta)
+		if err := swarm.CheckSpecContainments(swarm.SpecScheduleFromBytes(data)); err != nil {
+			t.Fatal(err)
 		}
-		plf := CheckPLFIFO(beta, ioa.TR)
-		pl := CheckPL(beta, ioa.TR)
-		if plf.OK() && !pl.OK() {
-			t.Fatalf("scheds(PL-FIFO) ⊄ scheds(PL):\nPL-FIFO: %s\nPL: %s\nβ: %s", plf, pl, beta)
-		}
-		valid := CheckValid(beta, ioa.TR)
-		if valid.OK() {
-			// Valid sequences are well-formed and satisfy DL1-DL5 + DL8,
-			// hence are DL-hypothesis-satisfying; DL6/DL7 may still fail,
-			// but WDL must accept them.
-			if !wdl.OK() {
-				t.Fatalf("valid sequence rejected by WDL: %s\nβ: %s", wdl, beta)
-			}
-		}
-		// The reverse direction checker must be independent.
-		_ = CheckDL(beta, ioa.RT)
-		_ = CheckValid(beta, ioa.RT)
 	})
 }

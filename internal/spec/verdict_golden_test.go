@@ -1,0 +1,133 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestFailureMessagesGolden pins the exact rendering of every checker's
+// violation: each message must name the violated property and the 1-based
+// index of the offending action (DL1 is the one property not attributable
+// to a single event). The swarm harness and the explorer surface these
+// strings verbatim, so they are part of the package's interface.
+func TestFailureMessagesGolden(t *testing.T) {
+	var (
+		tr = ioa.TR
+		rt = ioa.RT
+		p1 = ioa.Packet{ID: 1, Header: "h"}
+		p2 = ioa.Packet{ID: 2, Header: "h"}
+	)
+	wake := ioa.Wake(tr)
+	wakeR := ioa.Wake(rt)
+	cases := []struct {
+		name  string
+		check func(ioa.Schedule, ioa.Dir) *Violation
+		beta  ioa.Schedule
+		want  string
+	}{
+		{
+			name:  "well-formed",
+			check: WellFormedPL,
+			beta:  ioa.Schedule{wake, wake},
+			want:  `well-formed at event 2: wake^{t,r} without intervening fail^{t,r}`,
+		},
+		{
+			name:  "PL1",
+			check: PL1,
+			beta:  ioa.Schedule{ioa.SendPkt(tr, p1)},
+			want:  `PL1 at event 1: send_pkt^{t,r}(#1[h]) outside any working interval`,
+		},
+		{
+			name:  "PL2",
+			check: PL2,
+			beta:  ioa.Schedule{wake, ioa.SendPkt(tr, p1), ioa.SendPkt(tr, p1)},
+			want:  `PL2 at event 3: packet #1[h] already sent at event 2`,
+		},
+		{
+			name:  "PL3",
+			check: PL3,
+			beta:  ioa.Schedule{wake, ioa.SendPkt(tr, p1), ioa.ReceivePkt(tr, p1), ioa.ReceivePkt(tr, p1)},
+			want:  `PL3 at event 4: packet #1[h] already received at event 3`,
+		},
+		{
+			name:  "PL4",
+			check: PL4,
+			beta:  ioa.Schedule{wake, ioa.ReceivePkt(tr, p1)},
+			want:  `PL4 at event 2: packet #1[h] received but never sent`,
+		},
+		{
+			name:  "PL5",
+			check: PL5,
+			beta: ioa.Schedule{wake, ioa.SendPkt(tr, p1), ioa.SendPkt(tr, p2),
+				ioa.ReceivePkt(tr, p2), ioa.ReceivePkt(tr, p1)},
+			want: `PL5(FIFO) at event 5: packet #1[h] (send #1) delivered after a later-sent packet (send #2)`,
+		},
+		{
+			name:  "DL1",
+			check: DL1,
+			beta:  ioa.Schedule{wake},
+			want:  `DL1: unbounded transmitter interval=true but unbounded receiver interval=false`,
+		},
+		{
+			name:  "DL2",
+			check: DL2,
+			beta:  ioa.Schedule{ioa.SendMsg(tr, "m1")},
+			want:  `DL2 at event 1: send_msg^{t,r}("m1") outside any transmitter working interval`,
+		},
+		{
+			name:  "DL3",
+			check: DL3,
+			beta:  ioa.Schedule{wake, wakeR, ioa.SendMsg(tr, "m1"), ioa.SendMsg(tr, "m1")},
+			want:  `DL3 at event 4: message "m1" already sent at event 3`,
+		},
+		{
+			name:  "DL4",
+			check: DL4,
+			beta: ioa.Schedule{wake, wakeR, ioa.SendMsg(tr, "m1"),
+				ioa.ReceiveMsg(tr, "m1"), ioa.ReceiveMsg(tr, "m1")},
+			want: `DL4 at event 5: message "m1" already received at event 4`,
+		},
+		{
+			name:  "DL5",
+			check: DL5,
+			beta:  ioa.Schedule{wake, wakeR, ioa.ReceiveMsg(tr, "m1")},
+			want:  `DL5 at event 3: message "m1" received but never sent`,
+		},
+		{
+			name:  "DL6",
+			check: DL6,
+			beta: ioa.Schedule{wake, wakeR, ioa.SendMsg(tr, "m1"), ioa.SendMsg(tr, "m2"),
+				ioa.ReceiveMsg(tr, "m2"), ioa.ReceiveMsg(tr, "m1")},
+			want: `DL6(FIFO) at event 6: message "m1" (send #1) delivered after a later-sent message (send #2)`,
+		},
+		{
+			name:  "DL7",
+			check: DL7,
+			beta: ioa.Schedule{wake, wakeR, ioa.SendMsg(tr, "m1"), ioa.SendMsg(tr, "m2"),
+				ioa.ReceiveMsg(tr, "m2")},
+			want: `DL7(no-gaps) at event 3: message "m1" lost but later message "m2" from the same working interval delivered`,
+		},
+		{
+			name:  "DL8",
+			check: DL8,
+			beta:  ioa.Schedule{wake, wakeR, ioa.SendMsg(tr, "m1")},
+			want:  `DL8(liveness) at event 3: message "m1" sent in the unbounded transmitter working interval but never received`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			v := tc.check(tc.beta, tr)
+			if v == nil {
+				t.Fatalf("schedule does not violate %s:\n%s", tc.name, tc.beta)
+			}
+			if got := v.String(); got != tc.want {
+				t.Fatalf("violation message drifted:\n got: %s\nwant: %s", got, tc.want)
+			}
+			if tc.name != "DL1" && v.Index == 0 {
+				t.Fatalf("%s violation carries no offending action index", tc.name)
+			}
+		})
+	}
+}

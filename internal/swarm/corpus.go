@@ -1,0 +1,322 @@
+// Corpus persistence: every counterexample the swarm finds — and every
+// input a fuzzer ever crashed on — is saved as a JSON entry that
+// TestCorpusReplay re-checks forever. The three entry kinds share one
+// file format so a single regression test covers the swarm walks, the
+// spec-checker containment fuzzing and the channel-invariant fuzzing.
+package swarm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/spec"
+)
+
+// Entry kinds.
+const (
+	// KindSwarm is a shrunk violating walk: replaying Counterexample.Ops
+	// against Counterexample.Combo must reproduce the recorded property
+	// violation.
+	KindSwarm = "swarm"
+	// KindSpec is a raw input to the spec-checker containment assertions
+	// (the FuzzCheckersContainment encoding): the containments must hold.
+	KindSpec = "spec"
+	// KindChannel is a raw input to the channel-invariant assertions (the
+	// FuzzChannelInvariants encoding): the invariants must hold.
+	KindChannel = "channel"
+)
+
+// Entry is one corpus item.
+type Entry struct {
+	Kind string `json:"kind"`
+	// Note says where the entry came from (a swarm run, a fuzzer crash).
+	Note string `json:"note,omitempty"`
+	// Counterexample carries KindSwarm entries.
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+	// Data carries the fuzz input bytes for KindSpec and KindChannel.
+	Data []byte `json:"data,omitempty"`
+	// FIFO and Lifetime carry KindChannel's remaining fuzz arguments.
+	FIFO     bool  `json:"fifo,omitempty"`
+	Lifetime uint8 `json:"lifetime,omitempty"`
+}
+
+// Name returns the entry's canonical file name: kind plus a content hash,
+// so re-saving an entry is idempotent and names never collide.
+func (e Entry) Name() (string, error) {
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return fmt.Sprintf("%s-%s.json", e.Kind, hex.EncodeToString(sum[:6])), nil
+}
+
+// Save writes the entry into dir (created if missing) under its canonical
+// name and returns the path.
+func Save(dir string, e Entry) (string, error) {
+	name, err := e.Name()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	blob, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	return path, os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Load reads every *.json entry in dir, in name order. A missing dir is
+// an empty corpus.
+func Load(dir string) (map[string]Entry, error) {
+	items, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Entry)
+	for _, it := range items {
+		if it.IsDir() || !strings.HasSuffix(it.Name(), ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, it.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var e Entry
+		if err := json.Unmarshal(blob, &e); err != nil {
+			return nil, fmt.Errorf("swarm: corpus entry %s: %w", it.Name(), err)
+		}
+		out[it.Name()] = e
+	}
+	return out, nil
+}
+
+// SortedNames returns a corpus's entry names in order, for deterministic
+// replay.
+func SortedNames(corpus map[string]Entry) []string {
+	names := make([]string, 0, len(corpus))
+	for n := range corpus {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReplayEntry re-checks one corpus entry: a swarm entry must still
+// reproduce its recorded violation, a spec or channel entry must still
+// satisfy the fuzzers' assertions. A nil error means the regression is
+// still covered.
+func ReplayEntry(e Entry, maxExtension int) error {
+	switch e.Kind {
+	case KindSwarm:
+		cex := e.Counterexample
+		if cex == nil {
+			return fmt.Errorf("swarm corpus entry has no counterexample")
+		}
+		res, err := Replay(cex.Combo, cex.Ops, maxExtension)
+		if err != nil {
+			return err
+		}
+		if res.Violation == nil {
+			return fmt.Errorf("counterexample no longer violates %s over %s", cex.Property, cex.Combo)
+		}
+		if string(res.Violation.Property) != cex.Property {
+			return fmt.Errorf("counterexample violates %s, recorded %s", res.Violation.Property, cex.Property)
+		}
+		return nil
+	case KindSpec:
+		return CheckSpecContainments(SpecScheduleFromBytes(e.Data))
+	case KindChannel:
+		return CheckChannelOps(e.Data, e.FIFO, e.Lifetime)
+	default:
+		return fmt.Errorf("unknown corpus entry kind %q", e.Kind)
+	}
+}
+
+// SwarmEntry wraps a counterexample as a corpus entry.
+func SwarmEntry(cex *Counterexample, note string) Entry {
+	return Entry{Kind: KindSwarm, Note: note, Counterexample: cex}
+}
+
+// --- Shared fuzz encodings -------------------------------------------------
+//
+// The spec and channel fuzz targets interpret raw bytes through the
+// decoders below; keeping decoder and assertions here lets the fuzzers
+// (internal/spec and internal/channel external test packages), the
+// corpus and the regression test share one definition, so a crashing
+// fuzz input can be pasted into a corpus entry verbatim.
+
+// SpecActionFromBytes decodes one pseudo-random layer action from an
+// (op, arg) byte pair — the FuzzCheckersContainment encoding.
+func SpecActionFromBytes(op, arg byte) ioa.Action {
+	dirs := []ioa.Dir{ioa.TR, ioa.RT}
+	d := dirs[int(op)%2]
+	msg := ioa.Message(string(rune('a' + arg%6)))
+	pkt := ioa.Packet{ID: uint64(arg), Header: ioa.Header(string(rune('p' + arg%4)))}
+	switch (op / 2) % 7 {
+	case 0:
+		return ioa.SendMsg(d, msg)
+	case 1:
+		return ioa.ReceiveMsg(d, msg)
+	case 2:
+		return ioa.SendPkt(d, pkt)
+	case 3:
+		return ioa.ReceivePkt(d, pkt)
+	case 4:
+		return ioa.Wake(d)
+	case 5:
+		return ioa.Fail(d)
+	default:
+		return ioa.Crash(d)
+	}
+}
+
+// SpecScheduleFromBytes decodes a byte string into an action sequence
+// (two bytes per action, capped at 200 actions).
+func SpecScheduleFromBytes(data []byte) ioa.Schedule {
+	var out ioa.Schedule
+	for i := 0; i+1 < len(data) && len(out) < 200; i += 2 {
+		out = append(out, SpecActionFromBytes(data[i], data[i+1]))
+	}
+	return out
+}
+
+// CheckSpecContainments asserts the paper's module containments on an
+// arbitrary sequence: scheds(DL) ⊆ scheds(WDL), scheds(PL-FIFO) ⊆
+// scheds(PL), and valid sequences belong to WDL. It returns an error
+// naming the first broken containment.
+func CheckSpecContainments(beta ioa.Schedule) error {
+	dl := spec.CheckDL(beta, ioa.TR)
+	wdl := spec.CheckWDL(beta, ioa.TR)
+	if dl.OK() && !wdl.OK() {
+		return fmt.Errorf("scheds(DL) ⊄ scheds(WDL):\nDL:  %s\nWDL: %s\nβ: %s", dl, wdl, beta)
+	}
+	plf := spec.CheckPLFIFO(beta, ioa.TR)
+	pl := spec.CheckPL(beta, ioa.TR)
+	if plf.OK() && !pl.OK() {
+		return fmt.Errorf("scheds(PL-FIFO) ⊄ scheds(PL):\nPL-FIFO: %s\nPL: %s\nβ: %s", plf, pl, beta)
+	}
+	if valid := spec.CheckValid(beta, ioa.TR); valid.OK() && !wdl.OK() {
+		return fmt.Errorf("valid sequence rejected by WDL: %s\nβ: %s", wdl, beta)
+	}
+	// The reverse-direction checkers must be independent (and not panic).
+	_ = spec.CheckDL(beta, ioa.RT)
+	_ = spec.CheckValid(beta, ioa.RT)
+	return nil
+}
+
+// CheckChannelOps drives one channel with the FuzzChannelInvariants
+// encoding (each byte selects send / deliver / lose / wake / fail /
+// crash) and asserts the structural invariants after every accepted step
+// plus the PL (resp. PL-FIFO) verdict on the produced schedule. It
+// returns an error naming the first broken invariant.
+func CheckChannelOps(ops []byte, fifo bool, lifetime uint8) error {
+	copts := []channel.Option{channel.WithLoss()}
+	if lifetime%4 > 0 {
+		copts = append(copts, channel.WithMaxLifetime(int(lifetime%4)))
+	}
+	var c *channel.Channel
+	if fifo {
+		c = channel.NewPermissiveFIFO(ioa.TR, copts...)
+	} else {
+		c = channel.NewPermissive(ioa.TR, copts...)
+	}
+	st := c.Start()
+	var sched ioa.Schedule
+	nextID := uint64(1)
+	woke := false
+	firstKind := func(k ioa.Kind) (ioa.Action, bool) {
+		for _, a := range c.Enabled(st) {
+			if a.Kind == k {
+				return a, true
+			}
+		}
+		return ioa.Action{}, false
+	}
+	for _, op := range ops {
+		var a ioa.Action
+		switch op % 6 {
+		case 0: // send a fresh packet (only once awake, for PL1)
+			if !woke {
+				continue
+			}
+			a = ioa.SendPkt(ioa.TR, ioa.Packet{ID: nextID, Header: "h", Payload: "m"})
+		case 1: // deliver: pick the first enabled receive
+			var ok bool
+			a, ok = firstKind(ioa.KindReceivePkt)
+			if !ok {
+				continue
+			}
+		case 2: // lose: pick the first enabled lose action
+			var ok bool
+			a, ok = firstKind(ioa.KindInternal)
+			if !ok {
+				continue
+			}
+		case 3:
+			if woke {
+				continue // keep well-formedness: no double wake
+			}
+			a = ioa.Wake(ioa.TR)
+		case 4:
+			if !woke {
+				continue
+			}
+			a = ioa.Fail(ioa.TR)
+		default:
+			a = ioa.Crash(ioa.TR)
+		}
+		next, err := c.Step(st, a)
+		if err != nil {
+			return fmt.Errorf("Step(%s) on enabled/derived action: %w", a, err)
+		}
+		st = next
+		sched = append(sched, a)
+		switch a.Kind {
+		case ioa.KindSendPkt:
+			nextID++
+		case ioa.KindWake:
+			woke = true
+		case ioa.KindFail, ioa.KindCrash:
+			woke = false
+		}
+
+		cs := st.(channel.State)
+		if got := cs.SentCount(); got != int(nextID-1) {
+			return fmt.Errorf("SentCount = %d, want %d", got, nextID-1)
+		}
+		pending := len(cs.InTransit())
+		if cs.DeliveredCount()+pending > cs.SentCount() {
+			return fmt.Errorf("accounting broken: delivered %d + pending %d > sent %d",
+				cs.DeliveredCount(), pending, cs.SentCount())
+		}
+		if _, err := c.Residual(st); err != nil {
+			return fmt.Errorf("Residual: %w", err)
+		}
+	}
+	// The accepted schedule must satisfy the channel's specification.
+	if fifo {
+		if v := spec.CheckPLFIFO(sched, ioa.TR); !v.OK() {
+			return fmt.Errorf("PL-FIFO violated by channel-accepted schedule: %s\n%s", v, sched)
+		}
+	} else {
+		if v := spec.CheckPL(sched, ioa.TR); !v.OK() {
+			return fmt.Errorf("PL violated by channel-accepted schedule: %s\n%s", v, sched)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package swarm
+
+import (
+	"fmt"
+
+	"repro/internal/msc"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Counterexample is a shrunk violating walk: everything needed to
+// re-derive, replay and read the violation.
+type Counterexample struct {
+	Combo    Combo  `json:"combo"`
+	Seed     int64  `json:"seed"`
+	Property string `json:"property"`
+	Detail   string `json:"detail"`
+	// Ops is the minimised fault schedule; OrigOps the length it was
+	// shrunk from.
+	Ops     []Op `json:"ops"`
+	OrigOps int  `json:"orig_ops"`
+	// Schedule is the violating run's recorded schedule (rendered), MSC
+	// its message sequence chart — both for human inspection; Ops is what
+	// replays.
+	Schedule []string `json:"schedule"`
+	MSC      string   `json:"msc,omitempty"`
+}
+
+// Actions is the length of the violating schedule.
+func (c *Counterexample) Actions() int { return len(c.Schedule) }
+
+// ShrinkSeed regenerates the seed's fault schedule, confirms it violates,
+// shrinks it to a minimal counterexample and replays the minimum for its
+// rendered schedule and chart.
+func ShrinkSeed(c Combo, seed int64, cfg Config) (*Counterexample, error) {
+	cfg = cfg.withDefaults()
+	ops := GenOps(seed, cfg.Steps, c.Faults)
+	orig, err := Replay(c, ops, cfg.MaxExtension)
+	if err != nil {
+		return nil, err
+	}
+	if orig.Violation == nil {
+		return nil, fmt.Errorf("swarm: seed %d does not violate %s", seed, c)
+	}
+	minOps, err := Shrink(c, ops, orig.Violation.Property, cfg.MaxExtension)
+	if err != nil {
+		return nil, err
+	}
+	final, err := Replay(c, minOps, cfg.MaxExtension)
+	if err != nil {
+		return nil, err
+	}
+	if final.Violation == nil || final.Violation.Property != orig.Violation.Property {
+		return nil, fmt.Errorf("swarm: shrink lost the %s violation for seed %d", orig.Violation.Property, seed)
+	}
+	sched := make([]string, len(final.Schedule))
+	for i, a := range final.Schedule {
+		sched[i] = a.String()
+	}
+	return &Counterexample{
+		Combo:    c,
+		Seed:     seed,
+		Property: string(final.Violation.Property),
+		Detail:   final.Violation.Detail,
+		Ops:      minOps,
+		OrigOps:  len(ops),
+		Schedule: sched,
+		MSC:      msc.Render(final.Behavior, msc.Options{}),
+	}, nil
+}
+
+// Shrink minimises ops to a small subsequence (with simplified selection
+// arguments) whose replay against the combo still violates the given
+// property: ddmin chunk removal, then single-op removal to a fixpoint,
+// then argument zeroing. Candidates are replayed through the runner's
+// Snapshot/Restore — the shared prefix of consecutive candidates is never
+// re-executed.
+func Shrink(c Combo, ops []Op, want spec.Property, maxExtension int) ([]Op, error) {
+	s, err := newShrinker(c, ops, want, maxExtension)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := s.try(0, s.base)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("swarm: ops do not violate %s over %s", want, c)
+	}
+	if err := s.minimize(); err != nil {
+		return nil, err
+	}
+	return s.base, nil
+}
+
+// walkSnap is a rollback point for the walker: the runner snapshot plus
+// the send counter (the walker's only other state; the violation field is
+// recomputed, never restored).
+type walkSnap struct {
+	sim  sim.Snapshot
+	sent int
+}
+
+// shrinker evaluates candidate op lists against one persistent runner.
+// snaps[i] is the rollback point before base op i (snaps[0] is the woken
+// start state); the invariant is that every retained snapshot lies on the
+// current runner execution's prefix, so restoring it is sound. Running a
+// candidate that diverges after prefix p invalidates later snapshots,
+// which try therefore truncates first.
+type shrinker struct {
+	combo  Combo
+	want   spec.Property
+	maxExt int
+	w      *walker
+	base   []Op
+	snaps  []walkSnap
+}
+
+func newShrinker(c Combo, ops []Op, want spec.Property, maxExtension int) (*shrinker, error) {
+	sys, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	r := sim.NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		return nil, err
+	}
+	s := &shrinker{
+		combo:  c,
+		want:   want,
+		maxExt: maxExtension,
+		w:      &walker{combo: c, sys: sys, r: r},
+		base:   append([]Op{}, ops...),
+	}
+	s.snaps = []walkSnap{s.snap()}
+	return s, nil
+}
+
+func (s *shrinker) snap() walkSnap { return walkSnap{sim: s.w.r.Snapshot(), sent: s.w.sent} }
+
+func (s *shrinker) restore(i int) {
+	s.w.r.Restore(s.snaps[i].sim)
+	s.w.sent = s.snaps[i].sent
+	s.w.viol = nil
+}
+
+// ensure replays base ops until snaps[p] exists.
+func (s *shrinker) ensure(p int) error {
+	if p < len(s.snaps) {
+		return nil
+	}
+	k := len(s.snaps) - 1
+	s.restore(k)
+	for i := k; i < p; i++ {
+		if err := s.w.apply(s.base[i]); err != nil {
+			return err
+		}
+		s.snaps = append(s.snaps, s.snap())
+	}
+	return nil
+}
+
+// try replays base[:p] followed by rest and reports whether the wanted
+// property is violated. The prefix comes from a snapshot; only rest and
+// the fair extension execute.
+func (s *shrinker) try(p int, rest []Op) (bool, error) {
+	if err := s.ensure(p); err != nil {
+		return false, err
+	}
+	s.snaps = s.snaps[:p+1]
+	s.restore(p)
+	for _, op := range rest {
+		if err := s.w.apply(op); err != nil {
+			return false, err
+		}
+		if s.w.viol != nil {
+			break
+		}
+	}
+	if s.w.viol == nil {
+		if _, err := s.w.extend(s.maxExt); err != nil {
+			return false, err
+		}
+	}
+	if s.w.viol == nil {
+		v, err := s.w.finalChecks()
+		if err != nil {
+			return false, err
+		}
+		s.w.viol = v
+	}
+	return s.w.viol != nil && s.w.viol.Property == s.want, nil
+}
+
+// commit adopts base[:p] + rest as the new base.
+func (s *shrinker) commit(p int, rest []Op) {
+	nb := append([]Op{}, s.base[:p]...)
+	nb = append(nb, rest...)
+	s.base = nb
+	if p+1 < len(s.snaps) {
+		s.snaps = s.snaps[:p+1]
+	}
+}
+
+// minimize shrinks base in place: ddmin, then 1-minimality, then argument
+// canonicalisation.
+func (s *shrinker) minimize() error {
+	// Phase 1: ddmin complement reduction (Zeller-Hildebrandt): try
+	// removing each of n chunks, refining granularity while nothing is
+	// removable.
+	n := 2
+	for len(s.base) >= 2 {
+		if n > len(s.base) {
+			n = len(s.base)
+		}
+		chunk := (len(s.base) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(s.base); start += chunk {
+			end := start + chunk
+			if end > len(s.base) {
+				end = len(s.base)
+			}
+			ok, err := s.try(start, s.base[end:])
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.commit(start, append([]Op{}, s.base[end:]...))
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			if n > 2 {
+				n--
+			}
+			continue
+		}
+		if n >= len(s.base) {
+			break
+		}
+		n *= 2
+	}
+	// Phase 2: single-op removal to a fixpoint. Back to front, so the
+	// snapshot prefix of the next candidate stays valid.
+	for changed := true; changed; {
+		changed = false
+		for i := len(s.base) - 1; i >= 0; i-- {
+			ok, err := s.try(i, s.base[i+1:])
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.commit(i, append([]Op{}, s.base[i+1:]...))
+				changed = true
+			}
+		}
+	}
+	// Phase 3: zero the selection arguments where the violation persists,
+	// so minimal counterexamples read canonically.
+	for i := 0; i < len(s.base); i++ {
+		if s.base[i].Arg == 0 {
+			continue
+		}
+		cand := append([]Op{}, s.base[i:]...)
+		cand[0].Arg = 0
+		ok, err := s.try(i, cand)
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.commit(i, cand)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+// Package swarm is the repository's randomized conformance harness: a
+// deterministic, seeded sweep that drives every registered protocol,
+// composed with each channel variant it claims to work over, through long
+// fault-injected executions and checks every finite behavior against the
+// internal/spec verdicts.
+//
+// The paper's results are adversarial constructions over executions, so
+// the repo's real product is trustworthy trace checking: every behavior a
+// protocol produces must satisfy (PL1)-(PL6)/(DL1)-(DL8), or the harness
+// must hand back a minimal violating schedule. Where the explore package
+// proves bounded correctness by exhaustion and the adversary package
+// constructs the paper's counterexamples, swarm searches the much larger
+// depths that exhaustive search cannot reach: hundreds of steps of loss,
+// reordering, duplication, medium outages and host crashes, across many
+// seeds in parallel.
+//
+// Every run is a pure function of (combo, seed): the fault schedule is
+// derived from the seed, all scheduling choices are made by seeded index
+// into canonically sorted candidate sets (ioa.CompareActions), and packet
+// IDs and messages are minted deterministically. Equal seeds therefore
+// give byte-identical schedules — which is what makes counterexamples
+// shrinkable (shrink.go) and replayable forever from the corpus
+// (corpus.go).
+package swarm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// Faults selects the fault classes a walk may inject. The zero value
+// injects nothing: the walk is then an ordinary random fair execution.
+type Faults struct {
+	// Loss permits explicit packet drops (the channels' internal lose
+	// actions) and, on FIFO channels, gap deliveries (delivering beyond the
+	// oldest deliverable packet loses the skipped ones).
+	Loss bool `json:"loss,omitempty"`
+	// Reorder permits out-of-order delivery on non-FIFO channels: without
+	// it the walk delivers oldest-first even over C̄. It has no effect on
+	// FIFO channels, whose ordering discipline is structural.
+	Reorder bool `json:"reorder,omitempty"`
+	// Dup permits duplication surgery: an in-transit packet is cloned in
+	// place with a fresh analysis ID (channel.Duplicate). This models a
+	// duplicating medium, which the paper's channels never are, so packet
+	// schedules are not judged against PL when Dup is set.
+	Dup bool `json:"dup,omitempty"`
+	// Crash permits host crashes (crash^{d} immediately followed by
+	// wake^{d}): a volatile-state wipe for crashing protocols, a plain
+	// restart for the non-volatile one.
+	Crash bool `json:"crash,omitempty"`
+	// Fail permits medium outages (fail^{d} immediately followed by
+	// wake^{d}): the working interval ends but no state is lost.
+	Fail bool `json:"fail,omitempty"`
+}
+
+// None reports whether no fault class is selected.
+func (f Faults) None() bool { return !f.Loss && !f.Reorder && !f.Dup && !f.Crash && !f.Fail }
+
+// Names renders the selected fault classes as a sorted list.
+func (f Faults) Names() []string {
+	var out []string
+	if f.Crash {
+		out = append(out, "crash")
+	}
+	if f.Dup {
+		out = append(out, "dup")
+	}
+	if f.Fail {
+		out = append(out, "fail")
+	}
+	if f.Loss {
+		out = append(out, "loss")
+	}
+	if f.Reorder {
+		out = append(out, "reorder")
+	}
+	return out
+}
+
+// String renders the fault set for reports, e.g. "loss,reorder".
+func (f Faults) String() string {
+	if f.None() {
+		return "none"
+	}
+	return strings.Join(f.Names(), ",")
+}
+
+// ParseFaults parses a comma-separated fault list ("loss,dup,crash",
+// "all", or "none").
+func ParseFaults(s string) (Faults, error) {
+	var f Faults
+	switch s {
+	case "", "none":
+		return f, nil
+	case "all":
+		return Faults{Loss: true, Reorder: true, Dup: true, Crash: true, Fail: true}, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "loss":
+			f.Loss = true
+		case "reorder":
+			f.Reorder = true
+		case "dup":
+			f.Dup = true
+		case "crash":
+			f.Crash = true
+		case "fail":
+			f.Fail = true
+		default:
+			return f, fmt.Errorf("swarm: unknown fault %q (want loss, reorder, dup, crash, fail, all or none)", part)
+		}
+	}
+	return f, nil
+}
+
+// Combo is one protocol-channel-fault configuration under test: the unit
+// of sweeping and of counterexample replay.
+type Combo struct {
+	// Protocol names a registry protocol (protocol.ByName), with N and W
+	// its parameters where applicable.
+	Protocol string `json:"protocol"`
+	N        int    `json:"n,omitempty"`
+	W        int    `json:"w,omitempty"`
+	// FIFO selects the channel variant: Ĉ when true, C̄ otherwise.
+	FIFO bool `json:"fifo"`
+	// Faults is the fault classes injected in this combo.
+	Faults Faults `json:"faults"`
+}
+
+// String renders the combo for reports, e.g. "gbn(4,2)/fifo+loss,fail".
+func (c Combo) String() string {
+	ch := "nonfifo"
+	if c.FIFO {
+		ch = "fifo"
+	}
+	name := c.Protocol
+	if c.N != 0 || c.W != 0 {
+		name = fmt.Sprintf("%s(%d,%d)", c.Protocol, c.N, c.W)
+	}
+	return name + "/" + ch + "+" + c.Faults.String()
+}
+
+// Build composes the combo's system. Channels are lossy whenever the
+// combo's fault set includes loss, so that explicit lose actions exist.
+func (c Combo) Build() (*core.System, error) {
+	p, err := protocol.ByName(c.Protocol, c.N, c.W)
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.SystemOption
+	if c.Faults.Loss {
+		opts = append(opts, core.WithChannelOptions(channel.WithLoss()))
+	}
+	return core.NewSystem(p, c.FIFO, opts...)
+}
+
+// defaultParams returns the (n, w) defaults used for parameterised
+// registry protocols in sweeps; protocols without parameters get (0, 0).
+func defaultParams(name string) (int, int) {
+	switch name {
+	case "gbn", "sr":
+		return 4, 2
+	case "frag":
+		return 4, 2
+	default:
+		return 0, 0
+	}
+}
+
+// Tolerated returns the subset of the requested fault classes the named
+// protocol is claimed to tolerate over the given channel kind — the fault
+// envelope inside which every behavior must satisfy the data link
+// specification:
+//
+//   - loss, fail and dup are tolerated by every protocol: retransmission
+//     and duplicate filtering are what data link protocols are for;
+//   - reorder only exists over non-FIFO channels, and is then tolerated by
+//     exactly the protocols that do not require FIFO channels;
+//   - crash is only tolerated by non-crashing (non-volatile) protocols —
+//     for everything else random crashes genuinely break the spec, which
+//     is Theorem 7.5's point, not a harness finding.
+func Tolerated(p core.Protocol, fifo bool, requested Faults) Faults {
+	f := Faults{
+		Loss: requested.Loss,
+		Dup:  requested.Dup,
+		Fail: requested.Fail,
+	}
+	if !fifo && !p.Props.RequiresFIFO {
+		f.Reorder = requested.Reorder
+	}
+	if !p.Props.Crashing {
+		f.Crash = requested.Crash
+	}
+	return f
+}
+
+// DefaultCombos expands protocol names into the expect-correct sweep
+// matrix: each protocol over FIFO channels, plus over non-FIFO channels
+// when it does not require FIFO, with the requested faults clipped to the
+// protocol's tolerated envelope (see Tolerated). Unknown names are
+// rejected. Names may carry explicit parameters via ByName's conventions
+// already applied by the caller; here the registry defaults are used.
+func DefaultCombos(names []string, requested Faults) ([]Combo, error) {
+	var out []Combo
+	for _, name := range names {
+		n, w := defaultParams(name)
+		p, err := protocol.ByName(name, n, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Combo{Protocol: name, N: n, W: w, FIFO: true,
+			Faults: Tolerated(p, true, requested)})
+		if !p.Props.RequiresFIFO {
+			out = append(out, Combo{Protocol: name, N: n, W: w, FIFO: false,
+				Faults: Tolerated(p, false, requested)})
+		}
+	}
+	return out, nil
+}
+
+// Config parameterises a sweep.
+type Config struct {
+	// Combos is the configurations to sweep; see DefaultCombos.
+	Combos []Combo
+	// Seeds is the explicit seed list; see SeedRange for the usual
+	// consecutive block.
+	Seeds []int64
+	// Steps is the number of fault-schedule operations per walk (default
+	// 200).
+	Steps int
+	// Workers bounds the number of concurrent walks (default 1; results
+	// are Workers-independent).
+	Workers int
+	// Shrink enables counterexample minimisation for the first violating
+	// seed of each combo.
+	Shrink bool
+	// MaxExtension bounds the fair extension run after the fault schedule
+	// (default 20000 locally-controlled steps).
+	MaxExtension int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps <= 0 {
+		c.Steps = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxExtension <= 0 {
+		c.MaxExtension = 20000
+	}
+	return c
+}
+
+// SeedRange returns the n consecutive seeds starting at base.
+func SeedRange(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// SeedReport records the outcome of one (combo, seed) walk.
+type SeedReport struct {
+	Seed int64 `json:"seed"`
+	// Property is the violated specification property; empty for a clean
+	// walk.
+	Property string `json:"property,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	// Steps is the number of recorded schedule actions, Delivered the
+	// number of receive_msg events.
+	Steps     int `json:"steps"`
+	Delivered int `json:"delivered"`
+}
+
+// ComboReport aggregates one combo's walks.
+type ComboReport struct {
+	Combo Combo `json:"combo"`
+	// Name is Combo.String(), for readable JSON.
+	Name       string `json:"name"`
+	Seeds      int    `json:"seeds"`
+	Violations int    `json:"violations"`
+	// Failing lists the violating seeds' reports (clean seeds are elided
+	// from the JSON to keep summaries small; Seeds counts them).
+	Failing []SeedReport `json:"failing,omitempty"`
+	// Counterexample is the shrunk minimal counterexample for the first
+	// violating seed, when shrinking was enabled.
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+	// Errors lists harness-level failures (not spec violations): a walk
+	// that could not be executed at all.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Summary is a sweep's deterministic result: it contains no timing, so
+// equal configurations give byte-identical JSON encodings.
+type Summary struct {
+	Steps      int           `json:"steps"`
+	Seeds      int           `json:"seeds"`
+	Combos     []ComboReport `json:"combos"`
+	Violations int           `json:"violations"`
+}
+
+// Run executes the sweep: every combo × seed walk, in parallel across a
+// worker pool, with deterministic aggregation (results are indexed by
+// job, not by completion order — the explore package's level-pool
+// discipline, applied to seeds).
+func Run(cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	type job struct{ ci, si int }
+	jobs := make([]job, 0, len(cfg.Combos)*len(cfg.Seeds))
+	for ci := range cfg.Combos {
+		for si := range cfg.Seeds {
+			jobs = append(jobs, job{ci, si})
+		}
+	}
+	results := make([][]walkOutcome, len(cfg.Combos))
+	for ci := range results {
+		results[ci] = make([]walkOutcome, len(cfg.Seeds))
+	}
+	var wg sync.WaitGroup
+	next := make(chan job)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				combo, seed := cfg.Combos[j.ci], cfg.Seeds[j.si]
+				results[j.ci][j.si] = runWalk(combo, seed, cfg)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+
+	sum := &Summary{Steps: cfg.Steps, Seeds: len(cfg.Seeds)}
+	for ci, combo := range cfg.Combos {
+		rep := ComboReport{Combo: combo, Name: combo.String(), Seeds: len(cfg.Seeds)}
+		for si, seed := range cfg.Seeds {
+			out := results[ci][si]
+			if out.err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("seed %d: %v", seed, out.err))
+				continue
+			}
+			if out.report.Property != "" {
+				rep.Violations++
+				rep.Failing = append(rep.Failing, out.report)
+			}
+		}
+		if cfg.Shrink && len(rep.Failing) > 0 {
+			cex, err := ShrinkSeed(combo, rep.Failing[0].Seed, cfg)
+			if err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("shrink seed %d: %v", rep.Failing[0].Seed, err))
+			} else {
+				rep.Counterexample = cex
+			}
+		}
+		sum.Violations += rep.Violations
+		sum.Combos = append(sum.Combos, rep)
+	}
+	sort.SliceStable(sum.Combos, func(i, j int) bool { return sum.Combos[i].Name < sum.Combos[j].Name })
+	return sum, nil
+}
+
+// walkOutcome is a worker's raw per-seed result.
+type walkOutcome struct {
+	report SeedReport
+	err    error
+}
+
+// runWalk executes one seeded walk and condenses it into a SeedReport.
+func runWalk(combo Combo, seed int64, cfg Config) walkOutcome {
+	res, err := Replay(combo, GenOps(seed, cfg.Steps, combo.Faults), cfg.MaxExtension)
+	if err != nil {
+		return walkOutcome{err: err}
+	}
+	rep := SeedReport{Seed: seed, Steps: len(res.Schedule), Delivered: res.Delivered}
+	if res.Violation != nil {
+		rep.Property = string(res.Violation.Property)
+		rep.Detail = res.Violation.Detail
+	}
+	return walkOutcome{report: rep}
+}

@@ -1,0 +1,254 @@
+package swarm
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+func TestGenOpsDeterministicAndFaultGated(t *testing.T) {
+	f := Faults{Loss: true, Crash: true}
+	a := GenOps(42, 300, f)
+	b := GenOps(42, 300, f)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenOps is not deterministic for equal seeds")
+	}
+	if len(a) != 300 {
+		t.Fatalf("GenOps length = %d, want 300", len(a))
+	}
+	for i, op := range a {
+		switch op.K {
+		case OpDup, OpFailT, OpFailR:
+			t.Fatalf("op %d is %s, not in fault set %s", i, op, f)
+		}
+	}
+	if c := GenOps(43, 300, f); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical op lists")
+	}
+}
+
+func TestDefaultCombosMatrix(t *testing.T) {
+	all := Faults{Loss: true, Reorder: true, Dup: true, Crash: true, Fail: true}
+	combos, err := DefaultCombos(protocol.Names(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Combo{}
+	for _, c := range combos {
+		byName[c.String()] = c
+	}
+	// Only stenning works over non-FIFO channels, so the matrix is one
+	// combo per protocol plus one extra for stenning.
+	if want := len(protocol.Names()) + 1; len(combos) != want {
+		t.Fatalf("matrix has %d combos, want %d: %v", len(combos), want, SortedNames(map[string]Entry{}))
+	}
+	st, ok := byName["stenning/nonfifo+dup,fail,loss,reorder"]
+	if !ok {
+		t.Fatalf("missing stenning non-FIFO combo; have %v", byName)
+	}
+	if !st.Faults.Reorder {
+		t.Fatal("stenning non-FIFO combo lost the reorder fault")
+	}
+	// Crash is tolerated only by the non-volatile protocol (Theorem 7.5:
+	// crashing protocols cannot survive volatile-state wipes).
+	for _, c := range combos {
+		if c.Faults.Crash != (c.Protocol == "nv") {
+			t.Errorf("combo %s: crash fault = %v", c, c.Faults.Crash)
+		}
+		if c.FIFO && c.Faults.Reorder {
+			t.Errorf("combo %s: reorder on a FIFO channel", c)
+		}
+	}
+}
+
+// TestCleanSweep is the harness's core claim: every registered protocol,
+// over every channel it claims to work on, with every fault class it
+// claims to tolerate, produces only specification-conforming behaviors
+// on random fault-injected walks.
+func TestCleanSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	all := Faults{Loss: true, Reorder: true, Dup: true, Crash: true, Fail: true}
+	combos, err := DefaultCombos(protocol.Names(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(Config{
+		Combos:  combos,
+		Seeds:   SeedRange(1, 12),
+		Steps:   150,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range sum.Combos {
+		for _, e := range rep.Errors {
+			t.Errorf("combo %s: harness error: %s", rep.Name, e)
+		}
+		for _, f := range rep.Failing {
+			t.Errorf("combo %s seed %d: %s: %s", rep.Name, f.Seed, f.Property, f.Detail)
+		}
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("clean sweep found %d violations", sum.Violations)
+	}
+}
+
+// brokenCombo is the known-bad target: the stuck-bit ABP receiver over
+// FIFO channels with loss, which delivers duplicates (DL4).
+func brokenCombo() Combo {
+	return Combo{Protocol: "abp-stuck", FIFO: true, Faults: Faults{Loss: true}}
+}
+
+// findBrokenSeed returns a seed whose walk violates DL4 on the broken
+// combo.
+func findBrokenSeed(t *testing.T, steps int) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 50; seed++ {
+		res, err := Replay(brokenCombo(), GenOps(seed, steps, brokenCombo().Faults), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			if res.Violation.Property != spec.PropDL4 {
+				t.Fatalf("seed %d: expected a DL4 violation, got %s", seed, res.Violation)
+			}
+			return seed
+		}
+	}
+	t.Fatal("no seed in 1..50 exposes the stuck-bit ABP bug")
+	return 0
+}
+
+// TestBrokenABPIsFoundAndShrunk is the harness's self-test: the swarm
+// must find the deliberately broken protocol's DL4 violation and shrink
+// it to a minimal counterexample (the issue's bar: at most 20 schedule
+// actions).
+func TestBrokenABPIsFoundAndShrunk(t *testing.T) {
+	combo := brokenCombo()
+	seed := findBrokenSeed(t, 200)
+	cex, err := ShrinkSeed(combo, seed, Config{Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex.Property != string(spec.PropDL4) {
+		t.Fatalf("shrunk counterexample violates %s, want DL4", cex.Property)
+	}
+	if cex.Actions() > 20 {
+		t.Fatalf("shrunk counterexample has %d schedule actions, want ≤ 20:\n%s\nops: %s",
+			cex.Actions(), cex.MSC, FormatOps(cex.Ops))
+	}
+	if len(cex.Ops) >= cex.OrigOps {
+		t.Fatalf("shrinking did not reduce the op list: %d → %d", cex.OrigOps, len(cex.Ops))
+	}
+	// The shrunk ops must replay through the corpus path.
+	if err := ReplayEntry(SwarmEntry(cex, "self-test"), 0); err != nil {
+		t.Fatalf("shrunk counterexample does not replay: %v", err)
+	}
+}
+
+// TestRunDeterminism: equal configurations give byte-identical summary
+// encodings, independent of worker count.
+func TestRunDeterminism(t *testing.T) {
+	combos, err := DefaultCombos([]string{"abp", "stenning"}, Faults{Loss: true, Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(workers int) []byte {
+		t.Helper()
+		sum, err := Run(Config{Combos: combos, Seeds: SeedRange(7, 6), Steps: 100, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	first := encode(1)
+	if again := encode(1); string(again) != string(first) {
+		t.Fatalf("same config, different summaries:\n%s\n%s", first, again)
+	}
+	if par := encode(5); string(par) != string(first) {
+		t.Fatalf("worker count changed the summary:\n%s\n%s", first, par)
+	}
+}
+
+// TestReplayDeterminism: the same (combo, ops) give byte-identical
+// schedules.
+func TestReplayDeterminism(t *testing.T) {
+	combo := Combo{Protocol: "gbn", N: 4, W: 2, FIFO: true,
+		Faults: Faults{Loss: true, Fail: true}}
+	ops := GenOps(3, 200, combo.Faults)
+	a, err := Replay(combo, ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(combo, ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.String() != b.Schedule.String() {
+		t.Fatal("equal ops produced different schedules")
+	}
+	if a.Violation != nil {
+		t.Fatalf("gbn walk violated: %s", a.Violation)
+	}
+}
+
+func TestCorpusSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	entries := []Entry{
+		{Kind: KindSpec, Note: "containment probe", Data: []byte{8, 0, 9, 0, 0, 1, 2, 1}},
+		{Kind: KindChannel, Note: "channel probe", Data: []byte{3, 0, 0, 1, 1}, FIFO: true, Lifetime: 1},
+	}
+	for _, e := range entries {
+		if _, err := Save(dir, e); err != nil {
+			t.Fatal(err)
+		}
+		// Saving twice is idempotent (content-addressed names).
+		if _, err := Save(dir, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(entries) {
+		t.Fatalf("loaded %d entries, want %d", len(loaded), len(entries))
+	}
+	for name, e := range loaded {
+		if err := ReplayEntry(e, 0); err != nil {
+			t.Errorf("entry %s: %v", name, err)
+		}
+	}
+}
+
+// TestCorpusReplay re-checks the committed regression corpus: every
+// counterexample the swarm ever found, and every input a fuzzer ever
+// broke on, must stay covered forever.
+func TestCorpusReplay(t *testing.T) {
+	corpus, err := Load(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	for _, name := range SortedNames(corpus) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := ReplayEntry(corpus[name], 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

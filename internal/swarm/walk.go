@@ -1,0 +1,444 @@
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// OpKind enumerates the fault-schedule operations a walk executes. Every
+// operation is *skippable*: when it does not apply in the current state
+// (no candidate action, fault class not enabled for the combo) it is a
+// no-op. Skippability is what makes shrinking sound — any subsequence of
+// any op list is itself executable.
+type OpKind uint8
+
+const (
+	// OpStep fires one locally-controlled action, chosen by Arg among the
+	// canonically sorted candidates (losses excluded; channel deliveries
+	// gated by the combo's loss/reorder faults).
+	OpStep OpKind = iota
+	// OpSend injects the next deterministically minted message
+	// (send_msg^{t,r}).
+	OpSend
+	// OpLose drops an in-transit packet, chosen by Arg among the enabled
+	// lose actions.
+	OpLose
+	// OpDup clones an in-transit packet in place (channel.Duplicate),
+	// chosen by Arg among all pending packets of both channels.
+	OpDup
+	// OpCrashT / OpCrashR crash a station and immediately wake it: a
+	// volatile-state wipe for crashing protocols.
+	OpCrashT
+	OpCrashR
+	// OpFailT / OpFailR end a station's working interval and immediately
+	// start the next (no state loss).
+	OpFailT
+	OpFailR
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpStep:
+		return "step"
+	case OpSend:
+		return "send"
+	case OpLose:
+		return "lose"
+	case OpDup:
+		return "dup"
+	case OpCrashT:
+		return "crash-t"
+	case OpCrashR:
+		return "crash-r"
+	case OpFailT:
+		return "fail-t"
+	case OpFailR:
+		return "fail-r"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one fault-schedule operation: a kind plus a selection argument
+// (interpreted modulo the current candidate count, so any Arg is valid in
+// any state).
+type Op struct {
+	K   OpKind `json:"k"`
+	Arg int    `json:"a,omitempty"`
+}
+
+// String renders the op for reports.
+func (o Op) String() string {
+	if o.Arg == 0 {
+		return o.K.String()
+	}
+	return fmt.Sprintf("%s(%d)", o.K.String(), o.Arg)
+}
+
+// FormatOps renders an op list compactly.
+func FormatOps(ops []Op) string {
+	s := ""
+	for i, o := range ops {
+		if i > 0 {
+			s += " "
+		}
+		s += o.String()
+	}
+	return s
+}
+
+// GenOps derives a fault schedule of the given length from the seed: a
+// weighted stream over the fault classes the combo tolerates. Equal
+// (seed, steps, faults) give equal op lists.
+func GenOps(seed int64, steps int, f Faults) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	type weighted struct {
+		k OpKind
+		w int
+	}
+	table := []weighted{{OpStep, 12}, {OpSend, 3}}
+	if f.Loss {
+		table = append(table, weighted{OpLose, 2})
+	}
+	if f.Dup {
+		table = append(table, weighted{OpDup, 1})
+	}
+	if f.Crash {
+		table = append(table, weighted{OpCrashT, 1}, weighted{OpCrashR, 1})
+	}
+	if f.Fail {
+		table = append(table, weighted{OpFailT, 1}, weighted{OpFailR, 1})
+	}
+	total := 0
+	for _, e := range table {
+		total += e.w
+	}
+	ops := make([]Op, 0, steps)
+	for len(ops) < steps {
+		roll := rng.Intn(total)
+		var k OpKind
+		for _, e := range table {
+			if roll < e.w {
+				k = e.k
+				break
+			}
+			roll -= e.w
+		}
+		ops = append(ops, Op{K: k, Arg: rng.Intn(1 << 16)})
+	}
+	return ops
+}
+
+// PropNoQuiescence is the harness's pseudo-property for a walk whose fair
+// extension exhausts its step budget without quiescing: on a finite-send
+// trace this is a livelock, the finite shadow of a (DL8) failure.
+const PropNoQuiescence = spec.Property("no-quiescence")
+
+// RunResult is the outcome of replaying an op list against a combo.
+type RunResult struct {
+	// Violation is the first specification violation observed, nil for a
+	// clean walk. OpIndex is the index of the op during which it surfaced;
+	// len(ops) means it surfaced during the fair extension or final check.
+	Violation *spec.Violation
+	OpIndex   int
+	// Quiesced reports that the fair extension reached quiescence.
+	Quiesced bool
+	// Sent and Delivered count send_msg and receive_msg events.
+	Sent, Delivered int
+	// Schedule is the recorded schedule up to the stopping point; Behavior
+	// its data-link projection.
+	Schedule ioa.Schedule
+	Behavior ioa.Schedule
+}
+
+// Replay executes ops against a fresh instance of the combo's system,
+// checking the behavior against the data link specification after every
+// delivery, then runs the fair extension (Lemma 2.1) and applies the full
+// DL and PL verdicts. It returns an error only for harness-level failures
+// (the walk itself could not be executed); specification violations are
+// reported in the result.
+func Replay(c Combo, ops []Op, maxExtension int) (*RunResult, error) {
+	sys, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	r := sim.NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		return nil, err
+	}
+	w := &walker{combo: c, sys: sys, r: r}
+	for i, op := range ops {
+		if err := w.apply(op); err != nil {
+			return nil, fmt.Errorf("swarm: op %d (%s): %w", i, op, err)
+		}
+		if w.viol != nil {
+			return w.result(i, false), nil
+		}
+	}
+	quiesced, err := w.extend(maxExtension)
+	if err != nil {
+		return nil, err
+	}
+	if w.viol == nil {
+		v, err := w.finalChecks()
+		if err != nil {
+			return nil, err
+		}
+		w.viol = v
+	}
+	return w.result(len(ops), quiesced), nil
+}
+
+// walker executes ops against one runner. Its only state beyond the
+// runner is the send counter (so snapshots are just {sim.Snapshot, sent})
+// and the first observed violation.
+type walker struct {
+	combo Combo
+	sys   *core.System
+	r     *sim.Runner
+	sent  int
+	viol  *spec.Violation
+}
+
+// apply executes one op; inapplicable ops are skipped.
+func (w *walker) apply(op Op) error {
+	switch op.K {
+	case OpSend:
+		w.sent++
+		return w.r.Input(ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", w.sent))))
+	case OpStep:
+		cands := w.stepCandidates()
+		if len(cands) == 0 {
+			return nil
+		}
+		fired, err := w.r.Fire(cands[op.Arg%len(cands)])
+		if err != nil {
+			return err
+		}
+		w.observe(fired)
+		return nil
+	case OpLose:
+		if !w.combo.Faults.Loss {
+			return nil
+		}
+		var cands []ioa.Action
+		for _, a := range w.sys.Comp.Enabled(w.r.State()) {
+			if channel.IsLoseAction(a) {
+				cands = append(cands, a)
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		ioa.SortActions(cands)
+		_, err := w.r.Fire(cands[op.Arg%len(cands)])
+		return err
+	case OpDup:
+		return w.duplicate(op.Arg)
+	case OpCrashT:
+		return w.outage(ioa.Crash(ioa.TR), w.combo.Faults.Crash)
+	case OpCrashR:
+		return w.outage(ioa.Crash(ioa.RT), w.combo.Faults.Crash)
+	case OpFailT:
+		return w.outage(ioa.Fail(ioa.TR), w.combo.Faults.Fail)
+	case OpFailR:
+		return w.outage(ioa.Fail(ioa.RT), w.combo.Faults.Fail)
+	default:
+		return fmt.Errorf("unknown op kind %d", op.K)
+	}
+}
+
+// stepCandidates collects the locally-controlled actions an OpStep may
+// fire: all enabled actions except losses (injected only by OpLose), with
+// channel deliveries gated by the combo's fault envelope — when the combo
+// may not lose (FIFO channels, where skipping the oldest deliverable
+// packet loses it) or may not reorder (non-FIFO channels), only the
+// oldest deliverable packet of each channel is eligible. The result is in
+// canonical order, so Arg-indexed picks are enumeration-independent.
+func (w *walker) stepCandidates() []ioa.Action {
+	restrict := (w.combo.FIFO && !w.combo.Faults.Loss) ||
+		(!w.combo.FIFO && !w.combo.Faults.Reorder)
+	var out, recvTR, recvRT []ioa.Action
+	for _, a := range w.sys.Comp.Enabled(w.r.State()) {
+		switch {
+		case channel.IsLoseAction(a):
+		case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.TR:
+			recvTR = append(recvTR, a)
+		case a.Kind == ioa.KindReceivePkt && a.Dir == ioa.RT:
+			recvRT = append(recvRT, a)
+		default:
+			out = append(out, a)
+		}
+	}
+	for _, grp := range [][]ioa.Action{recvTR, recvRT} {
+		if len(grp) == 0 {
+			continue
+		}
+		if restrict {
+			oldest := grp[0]
+			for _, a := range grp[1:] {
+				if a.Pkt.ID < oldest.Pkt.ID {
+					oldest = a
+				}
+			}
+			out = append(out, oldest)
+		} else {
+			out = append(out, grp...)
+		}
+	}
+	ioa.SortActions(out)
+	return out
+}
+
+// duplicate clones the Arg-th pending packet (counting the t→r channel
+// first) in place with a fresh ID. The surgery is applied via SetState:
+// a duplicating medium is outside scheds(PL), so walks with dup faults
+// are not judged against the PL modules (see finalChecks).
+func (w *walker) duplicate(arg int) error {
+	if !w.combo.Faults.Dup {
+		return nil
+	}
+	st := w.r.State()
+	csTR, err := w.sys.ChannelState(st, ioa.TR)
+	if err != nil {
+		return err
+	}
+	csRT, err := w.sys.ChannelState(st, ioa.RT)
+	if err != nil {
+		return err
+	}
+	nTR, nRT := csTR.PendingCount(), csRT.PendingCount()
+	if nTR+nRT == 0 {
+		return nil
+	}
+	idx := arg % (nTR + nRT)
+	dir, local, cs := ioa.TR, idx, csTR
+	if idx >= nTR {
+		dir, local, cs = ioa.RT, idx-nTR, csRT
+	}
+	ch := w.sys.Channel(dir)
+	dup, _, err := ch.Duplicate(cs, local, w.r.IDs().Next())
+	if err != nil {
+		return err
+	}
+	next, err := w.sys.Comp.WithComponentState(st, ch.Name(), dup)
+	if err != nil {
+		return err
+	}
+	w.r.SetState(next)
+	return nil
+}
+
+// outage applies a crash or fail input immediately followed by the
+// matching wake, preserving well-formedness and (DL1) (every interruption
+// starts a new working interval).
+func (w *walker) outage(a ioa.Action, enabled bool) error {
+	if !enabled {
+		return nil
+	}
+	if err := w.r.Input(a); err != nil {
+		return err
+	}
+	return w.r.Input(ioa.Wake(a.Dir))
+}
+
+// observe checks the behavior prefix after a delivery against the
+// prefix-closed safety fragment of the data link specification: (DL4) no
+// duplicates, (DL5) no spurious deliveries, (DL6) FIFO order. ((DL7) is
+// not prefix-closed and (DL8) is liveness; both wait for finalChecks.)
+func (w *walker) observe(a ioa.Action) {
+	if w.viol != nil || a.Kind != ioa.KindReceiveMsg {
+		return
+	}
+	beh := w.r.Behavior()
+	for _, check := range []func(ioa.Schedule, ioa.Dir) *spec.Violation{spec.DL4, spec.DL5, spec.DL6} {
+		if v := check(beh, a.Dir); v != nil {
+			w.viol = v
+			return
+		}
+	}
+}
+
+// extend runs the lossless fair extension after the fault schedule: the
+// executable Lemma 2.1. Exhausting the step budget is reported as a
+// no-quiescence violation (livelock), not a harness error.
+func (w *walker) extend(maxExtension int) (bool, error) {
+	if maxExtension <= 0 {
+		maxExtension = 20000
+	}
+	quiesced, err := w.r.RunFair(sim.RunConfig{
+		MaxSteps: maxExtension,
+		OnFired:  w.observe,
+		Until:    func(ioa.Action, ioa.State) bool { return w.viol != nil },
+	})
+	if errors.Is(err, sim.ErrStepLimit) {
+		w.viol = &spec.Violation{Property: PropNoQuiescence,
+			Detail: fmt.Sprintf("no quiescence within %d fair steps after %d sends", maxExtension, w.sent)}
+		return false, nil
+	}
+	return quiesced, err
+}
+
+// finalChecks applies the full conditional verdicts to the completed
+// trace: CheckDL on the behavior in both directions, and the PL verdicts
+// on each packet schedule (skipped when duplication surgery ran — the
+// clone's receive_pkt has no matching send_pkt, which is exactly why a
+// duplicating medium is not a PL channel). A vacuous DL verdict means the
+// harness itself broke the environment hypotheses and is reported as an
+// error, not a violation.
+func (w *walker) finalChecks() (*spec.Violation, error) {
+	beh := w.r.Behavior()
+	for _, d := range []ioa.Dir{ioa.TR, ioa.RT} {
+		verdict := spec.CheckDL(beh, d)
+		if verdict.Vacuous {
+			return nil, fmt.Errorf("swarm: walk broke the DL hypotheses for %s: %s", d, verdict)
+		}
+		if len(verdict.Violations) > 0 {
+			return &verdict.Violations[0], nil
+		}
+	}
+	if w.combo.Faults.Dup {
+		return nil, nil
+	}
+	for _, d := range []ioa.Dir{ioa.TR, ioa.RT} {
+		sched := w.r.PacketSchedule(d)
+		var verdict spec.Verdict
+		if w.combo.FIFO {
+			verdict = spec.CheckPLFIFO(sched, d)
+		} else {
+			verdict = spec.CheckPL(sched, d)
+		}
+		if !verdict.OK() {
+			return &verdict.Violations[0], nil
+		}
+	}
+	return nil, nil
+}
+
+// result condenses the walker into a RunResult.
+func (w *walker) result(opIndex int, quiesced bool) *RunResult {
+	beh := w.r.Behavior()
+	delivered := 0
+	for _, a := range beh {
+		if a.Kind == ioa.KindReceiveMsg {
+			delivered++
+		}
+	}
+	return &RunResult{
+		Violation: w.viol,
+		OpIndex:   opIndex,
+		Quiesced:  quiesced,
+		Sent:      w.sent,
+		Delivered: delivered,
+		Schedule:  w.r.Schedule(),
+		Behavior:  beh,
+	}
+}
