@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race swarm-smoke fuzz-smoke ci bench-explore bench
+.PHONY: build test vet race swarm-smoke fuzz-smoke obs-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The explorer's level workers and sharded seen-set, and sim's schedulers,
-# are the only concurrent code; their tests are written to be meaningful
-# under the race detector (multi-worker searches, concurrent seen-set adds).
+# The explorer's level workers and sharded seen-set, sim's schedulers,
+# and the obs instruments (shared by all worker pools) are the concurrent
+# code; their tests are written to be meaningful under the race detector
+# (multi-worker searches, concurrent seen-set adds, parallel increments).
 race:
-	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/swarm/...
+	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/swarm/... ./internal/obs/...
 
 # A fixed-seed conformance sweep (~5s): every registered protocol over its
 # claimed channels and tolerated faults must produce zero violations, and
@@ -37,7 +38,20 @@ fuzz-smoke:
 	$(GO) test -run FuzzCheckersContainment -fuzz FuzzCheckersContainment -fuzztime 10s ./internal/spec/
 	$(GO) test -run FuzzChannelInvariants -fuzz FuzzChannelInvariants -fuzztime 10s ./internal/channel/
 
-ci: vet test race swarm-smoke fuzz-smoke
+# End-to-end observability smoke: run both instrumented binaries with
+# -trace/-metrics on short workloads, then obsreport must validate and
+# summarise each trace (it exits non-zero on any malformed JSONL line).
+obs-smoke:
+	$(GO) run ./cmd/explore -protocol abp -crash r -msgs 1 -depth 20 -workers 2 \
+		-trace /tmp/obs-smoke-explore.jsonl -metrics /tmp/obs-smoke-explore-metrics.json > /dev/null || test $$? -eq 1
+	$(GO) run ./cmd/swarm -protocols abp -faults loss -seeds 5 -steps 100 -workers 2 \
+		-trace /tmp/obs-smoke-swarm.jsonl -metrics /tmp/obs-smoke-swarm-metrics.json > /dev/null
+	$(GO) run ./cmd/obsreport -msc /tmp/obs-smoke-explore.jsonl > /dev/null
+	$(GO) run ./cmd/obsreport /tmp/obs-smoke-swarm.jsonl > /dev/null
+	rm -f /tmp/obs-smoke-explore.jsonl /tmp/obs-smoke-explore-metrics.json \
+		/tmp/obs-smoke-swarm.jsonl /tmp/obs-smoke-swarm-metrics.json
+
+ci: vet test race swarm-smoke fuzz-smoke obs-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

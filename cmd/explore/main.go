@@ -17,11 +17,18 @@
 //	explore -protocol stenning -fifo=false -msgs 3          # verifies (bounded)
 //	explore -protocol nv -crash t -crash r                  # verifies (bounded)
 //	explore -protocol gbn -workers 8 -cpuprofile cpu.pprof  # parallel + profile
+//	explore -protocol abp -crash r -trace t.jsonl -metrics m.json
+//
+// With -trace the search emits a JSONL event stream (see internal/obs and
+// cmd/obsreport); with -metrics the final counter/gauge/histogram
+// snapshot is written as JSON ("-" for stderr). Long runs print a
+// throttled progress line on stderr either way.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/ioa"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -64,6 +72,9 @@ type options struct {
 	exactDedup bool
 	cpuProfile string
 	memProfile string
+	tracePath  string
+	metrics    string
+	progress   io.Writer // nil: stderr (tests substitute a buffer)
 }
 
 func main() {
@@ -82,16 +93,100 @@ func main() {
 	flag.BoolVar(&o.exactDedup, "exactdedup", false, "dedup on full fingerprints instead of 64-bit hashes")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL trace of the search to this file")
+	flag.StringVar(&o.metrics, "metrics", "", "write the final metrics snapshot JSON to this file (\"-\": stderr)")
 	flag.Var(&crashes, "crash", "add a crash+recover event for station t or r (repeatable)")
 	flag.Parse()
 	o.crashes = crashes
-	if err := run(o); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+// startCPUProfile begins CPU profiling into path and returns an
+// idempotent stop function that flushes the profile and reports the
+// file's close error — so a profile truncated by a failing disk is a
+// visible failure, not a silent one. The empty path is a no-op.
+func startCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// writeHeapProfile captures a post-GC heap profile to path; the empty
+// path is a no-op. It runs on every path out of the search — violation,
+// certificate, or budget exhaustion.
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics encodes the snapshot as indented JSON to path ("-" for
+// stderr).
+func writeMetrics(path string, snap obs.Snapshot) error {
+	if path == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// progressPrinter returns an OnLevel hook that prints a throttled
+// (~1 s) progress line, so multi-minute searches are visibly alive
+// without short runs producing any output.
+func progressPrinter(w io.Writer) func(explore.LevelStats) {
+	last := time.Now()
+	return func(ls explore.LevelStats) {
+		if time.Since(last) < time.Second {
+			return
+		}
+		last = time.Now()
+		rate := 0.0
+		if secs := ls.Elapsed.Seconds(); secs > 0 {
+			rate = float64(ls.States) / secs
+		}
+		fmt.Fprintf(w, "explore: depth=%d frontier=%d states=%d (%.0f states/sec)\n",
+			ls.Depth, ls.Frontier, ls.States, rate)
+	}
+}
+
+func run(o options, out io.Writer) (err error) {
 	p, err := protocol.ByName(o.proto, o.n, o.w)
 	if err != nil {
 		return err
@@ -100,17 +195,39 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	if o.cpuProfile != "" {
-		f, err := os.Create(o.cpuProfile)
+	stopCPU, err := startCPUProfile(o.cpuProfile)
+	if err != nil {
+		return err
+	}
+	// The deferred stop keeps error-path exits covered; the explicit stop
+	// below flushes the profile before the post-search reporting.
+	defer func() {
+		if cerr := stopCPU(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	var tr *obs.Trace
+	if o.tracePath != "" {
+		tr, err = obs.OpenTrace(o.tracePath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			if cerr := tr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
+	progress := o.progress
+	if progress == nil {
+		progress = os.Stderr
+	}
+
 	inputs := []ioa.Action{ioa.Wake(ioa.TR), ioa.Wake(ioa.RT)}
 	for i := 0; i < o.msgs; i++ {
 		inputs = append(inputs, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i+1))))
@@ -127,36 +244,42 @@ func run(o options) error {
 		MaxInTransit: o.inTransit,
 		Workers:      o.workers,
 		ExactDedup:   o.exactDedup,
+		Metrics:      reg,
+		Trace:        tr,
+		OnLevel:      progressPrinter(progress),
 	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(began)
-	if o.memProfile != "" {
-		f, err := os.Create(o.memProfile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
+	// Flush the profiles before reporting: the violation early-exit and
+	// the certificate path write identical, complete artifacts.
+	if err := stopCPU(); err != nil {
+		return err
+	}
+	if err := writeHeapProfile(o.memProfile); err != nil {
+		return err
+	}
+	if reg != nil {
+		tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
+		if err := writeMetrics(o.metrics, reg.Snapshot()); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d, workers=%d\n",
+	fmt.Fprintf(out, "protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d, workers=%d\n",
 		p.Name, channelKind(o.fifo), len(inputs), o.depth, o.inTransit, o.workers)
-	fmt.Printf("explored %d states in %v (%.0f states/sec, deepest path %d, exhausted=%t, seen-set ≈%d bytes)\n",
+	fmt.Fprintf(out, "explored %d states in %v (%.0f states/sec, deepest path %d, exhausted=%t, seen-set ≈%d bytes)\n",
 		res.StatesExplored, elapsed.Round(time.Millisecond),
 		float64(res.StatesExplored)/elapsed.Seconds(), res.DepthReached, res.Exhausted, res.SeenSetBytes)
 	if res.Violation == nil {
 		if res.Exhausted {
-			fmt.Println("no safety violation reachable within the bound — bounded verification certificate")
+			fmt.Fprintln(out, "no safety violation reachable within the bound — bounded verification certificate")
 		} else {
-			fmt.Println("no violation found, but the state budget was exceeded — not a certificate")
+			fmt.Fprintln(out, "no violation found, but the state budget was exceeded — not a certificate")
 		}
 		return nil
 	}
-	fmt.Printf("VIOLATION %s\nshortest trace (%d steps):\n%s", res.Violation, len(res.Trace), ioa.FormatSchedule(res.Trace))
+	fmt.Fprintf(out, "VIOLATION %s\nshortest trace (%d steps):\n%s", res.Violation, len(res.Trace), ioa.FormatSchedule(res.Trace))
 	return nil
 }
 

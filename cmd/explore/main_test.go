@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/explore"
 	"repro/internal/ioa"
+	"repro/internal/obs"
 )
 
 func TestCrashFlags(t *testing.T) {
@@ -28,11 +35,11 @@ func TestCrashFlags(t *testing.T) {
 }
 
 func TestRunFindsAndVerifies(t *testing.T) {
-	base := options{n: 2, w: 1, maxStates: explore.DefaultMaxStates, workers: 2}
+	base := options{n: 2, w: 1, maxStates: explore.DefaultMaxStates, workers: 2, progress: io.Discard}
 	// Finds the reordering bug.
 	o := base
 	o.proto, o.msgs, o.depth, o.inTransit = "gbn", 3, 26, 3
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("gbn search: %v", err)
 	}
 	// Verifies ABP over FIFO without crashes, with profiles written.
@@ -40,7 +47,7 @@ func TestRunFindsAndVerifies(t *testing.T) {
 	o.proto, o.fifo, o.msgs, o.depth, o.inTransit = "abp", true, 2, 18, 2
 	o.cpuProfile = t.TempDir() + "/cpu.pprof"
 	o.memProfile = t.TempDir() + "/mem.pprof"
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("abp verify: %v", err)
 	}
 	for _, path := range []string{o.cpuProfile, o.memProfile} {
@@ -53,13 +60,116 @@ func TestRunFindsAndVerifies(t *testing.T) {
 	o.proto, o.fifo, o.msgs, o.depth, o.inTransit = "abp", true, 1, 20, 2
 	o.crashes = []ioa.Dir{ioa.RT}
 	o.exactDedup = true
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("abp crash search: %v", err)
 	}
 	// Unknown protocol errors.
 	o = base
 	o.proto, o.fifo, o.msgs, o.depth, o.inTransit, o.maxStates = "nope", true, 1, 5, 1, 100
-	if err := run(o); err == nil {
+	if err := run(o, io.Discard); err == nil {
 		t.Error("expected error for unknown protocol")
+	}
+}
+
+// violatingOptions is the Thm 7.5 configuration: the volatile ABP
+// receiver with a crash event, whose search exits early on a violation.
+func violatingOptions(dir string) options {
+	return options{
+		proto: "abp", n: 2, w: 1, fifo: true,
+		msgs: 1, depth: 20, inTransit: 2, maxStates: explore.DefaultMaxStates,
+		crashes:    []ioa.Dir{ioa.RT},
+		workers:    2,
+		cpuProfile: filepath.Join(dir, "cpu.pprof"),
+		memProfile: filepath.Join(dir, "mem.pprof"),
+		progress:   io.Discard,
+	}
+}
+
+// TestProfilesFlushedOnViolationPath is the regression test for the
+// profile teardown: when the search exits early on a violation, both
+// pprof artifacts must still be complete files (pprof output is gzip, so
+// a flushed profile starts with the gzip magic).
+func TestProfilesFlushedOnViolationPath(t *testing.T) {
+	dir := t.TempDir()
+	o := violatingOptions(dir)
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VIOLATION") {
+		t.Fatalf("expected the crash-ABP search to violate:\n%s", out.String())
+	}
+	for _, name := range []string{"cpu.pprof", "mem.pprof"} {
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(blob) < 2 || blob[0] != 0x1f || blob[1] != 0x8b {
+			t.Errorf("%s is not a flushed gzip pprof artifact (%d bytes)", name, len(blob))
+		}
+	}
+}
+
+// TestTraceAndMetricsFlags runs the violating search with -trace and
+// -metrics and checks both artifacts: the metrics file is valid JSON
+// with the acceptance consistency invariant (expanded == Σ per-worker),
+// and the trace is schema-valid JSONL ending in the final metrics event.
+func TestTraceAndMetricsFlags(t *testing.T) {
+	dir := t.TempDir()
+	o := violatingOptions(dir)
+	o.cpuProfile, o.memProfile = "", ""
+	o.tracePath = filepath.Join(dir, "trace.jsonl")
+	o.metrics = filepath.Join(dir, "metrics.json")
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("metrics file is not valid snapshot JSON: %v", err)
+	}
+	expanded := snap.Counter("explore.states_expanded")
+	var workerSum int64
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "explore.worker.") {
+			workerSum += c.Value
+		}
+	}
+	if expanded == 0 || expanded != workerSum {
+		t.Errorf("states_expanded = %d, per-worker sum = %d", expanded, workerSum)
+	}
+
+	tf, err := os.Open(o.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	var v obs.Validator
+	var lastEvent string
+	sawViolation := false
+	sc := bufio.NewScanner(tf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid: %v", err)
+		}
+		lastEvent = event
+		if event == "explore.violation" {
+			sawViolation = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawViolation {
+		t.Error("trace has no explore.violation event")
+	}
+	if lastEvent != "metrics" {
+		t.Errorf("trace ends with %q, want the final metrics event", lastEvent)
 	}
 }

@@ -1,0 +1,207 @@
+// Command obsreport summarises a JSONL trace produced by cmd/explore or
+// cmd/swarm (the -trace flag): it validates every line against the
+// internal/obs schema (exiting non-zero on the first malformed line),
+// counts events, renders the explorer's per-depth table, summarises the
+// final metrics snapshot (top counters, gauges, histogram quantiles),
+// and lists the violations the trace carries. With -msc each violation's
+// embedded schedule slice is rendered as a message sequence chart, every
+// row annotated with its absolute step number in the original run.
+//
+// Examples:
+//
+//	explore -protocol abp -crash r -msgs 1 -trace t.jsonl -metrics -
+//	obsreport t.jsonl
+//	obsreport -msc t.jsonl          # include violation charts
+//	swarm -protocols abp-stuck -seeds 20 -trace s.jsonl
+//	obsreport -msc s.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/msc"
+	"repro/internal/obs"
+)
+
+func main() {
+	renderMSC := flag.Bool("msc", false, "render each violation's schedule slice as a message sequence chart")
+	top := flag.Int("top", 10, "how many counters to list from the metrics snapshot")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-msc] [-top n] trace.jsonl")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := report(f, flag.Arg(0), *renderMSC, *top, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+// levelEvent mirrors the explorer's explore.level trace event.
+type levelEvent struct {
+	Depth        int     `json:"depth"`
+	Frontier     int     `json:"frontier"`
+	Admitted     int     `json:"admitted"`
+	States       int64   `json:"states"`
+	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// violationEvent mirrors the explore.violation and swarm.violation
+// events; fields absent from one producer stay zero.
+type violationEvent struct {
+	Event      string       `json:"event"`
+	TUS        int64        `json:"t_us"`
+	Combo      string       `json:"combo"`
+	Seed       int64        `json:"seed"`
+	Property   string       `json:"property"`
+	Detail     string       `json:"detail"`
+	Steps      int          `json:"steps"`
+	StartIndex int          `json:"start_index"`
+	Schedule   ioa.Schedule `json:"schedule"`
+}
+
+// metricsEvent mirrors the final metrics event both binaries emit.
+type metricsEvent struct {
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// report validates and summarises one trace stream. Any schema
+// violation aborts with an error: a trace that does not validate is a
+// bug in the producer, not something to summarise around.
+func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) error {
+	var v obs.Validator
+	counts := map[string]int64{}
+	var levels []levelEvent
+	var violations []violationEvent
+	var snap *obs.Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		event, err := v.Line(line)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		counts[event]++
+		switch event {
+		case "explore.level":
+			var le levelEvent
+			if err := json.Unmarshal(line, &le); err != nil {
+				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
+			}
+			levels = append(levels, le)
+		case "explore.violation", "swarm.violation":
+			var ve violationEvent
+			if err := json.Unmarshal(line, &ve); err != nil {
+				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
+			}
+			violations = append(violations, ve)
+		case "metrics":
+			var me metricsEvent
+			if err := json.Unmarshal(line, &me); err != nil {
+				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
+			}
+			snap = &me.Snapshot
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if v.Lines() == 0 {
+		return fmt.Errorf("%s: empty trace", name)
+	}
+
+	fmt.Fprintf(out, "%s: %d events, schema valid\n", name, v.Lines())
+	fmt.Fprintln(out, "\nevents:")
+	for _, ev := range sortedNames(counts) {
+		fmt.Fprintf(out, "  %-20s %6d\n", ev, counts[ev])
+	}
+	if len(levels) > 0 {
+		fmt.Fprintln(out, "\nper-depth:")
+		fmt.Fprintf(out, "  %5s %9s %9s %9s %11s\n", "depth", "frontier", "admitted", "states", "states/sec")
+		for _, le := range levels {
+			fmt.Fprintf(out, "  %5d %9d %9d %9d %11.0f\n",
+				le.Depth, le.Frontier, le.Admitted, le.States, le.StatesPerSec)
+		}
+	}
+	if snap != nil {
+		writeSnapshot(out, *snap, top)
+	}
+	for _, ve := range violations {
+		fmt.Fprintf(out, "\nviolation (%s", ve.Event)
+		if ve.Combo != "" {
+			fmt.Fprintf(out, ", %s seed %d", ve.Combo, ve.Seed)
+		}
+		fmt.Fprintf(out, "): %s — %s\n", ve.Property, ve.Detail)
+		fmt.Fprintf(out, "  %d schedule steps recorded", ve.Steps)
+		if ve.StartIndex > 0 {
+			fmt.Fprintf(out, ", showing steps %d..%d", ve.StartIndex+1, ve.StartIndex+len(ve.Schedule))
+		}
+		fmt.Fprintln(out)
+		if renderMSC && len(ve.Schedule) > 0 {
+			start := ve.StartIndex
+			fmt.Fprint(out, msc.Render(ve.Schedule, msc.Options{
+				Annotate: func(i int, _ ioa.Action) string {
+					return fmt.Sprintf("step %d", start+i+1)
+				},
+			}))
+		}
+	}
+	return nil
+}
+
+// writeSnapshot prints the metrics snapshot: top counters by value, all
+// gauges, and every histogram's quantile summary.
+func writeSnapshot(out io.Writer, snap obs.Snapshot, top int) {
+	if len(snap.Counters) > 0 {
+		counters := append([]obs.CounterSnapshot(nil), snap.Counters...)
+		sort.SliceStable(counters, func(i, j int) bool { return counters[i].Value > counters[j].Value })
+		if top > 0 && len(counters) > top {
+			counters = counters[:top]
+		}
+		fmt.Fprintf(out, "\ntop counters (%d of %d):\n", len(counters), len(snap.Counters))
+		for _, c := range counters {
+			fmt.Fprintf(out, "  %-28s %10d\n", c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(out, "\ngauges:")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(out, "  %-28s %10d\n", g.Name, g.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(out, "\nhistograms:")
+		fmt.Fprintf(out, "  %-28s %8s %8s %6s %6s %6s\n", "name", "count", "mean", "p50", "p90", "p99")
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(out, "  %-28s %8d %8.1f %6d %6d %6d\n", h.Name, h.Count, h.Mean, h.P50, h.P90, h.P99)
+		}
+	}
+}
+
+// sortedNames returns the map's keys in sorted order.
+func sortedNames(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

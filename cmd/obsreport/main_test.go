@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/swarm"
+)
+
+// exploreTrace produces a real explorer trace (the Thm 7.5 crash search,
+// which violates) with the final metrics event appended, as cmd/explore
+// would write it.
+func exploreTrace(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	_, err = explore.BFS(sys, explore.Config{
+		Inputs: []ioa.Action{
+			ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+			ioa.SendMsg(ioa.TR, "m1"),
+			ioa.Crash(ioa.RT), ioa.Wake(ioa.RT),
+		},
+		Monitor:      explore.NewSafetyMonitor(false),
+		MaxDepth:     20,
+		MaxInTransit: 2,
+		Workers:      2,
+		Metrics:      reg,
+		Trace:        tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestReportExploreTrace round-trips an explorer trace: validation
+// passes and the summary carries the per-depth table, the metrics
+// snapshot, the violation, and (with -msc) its annotated chart.
+func TestReportExploreTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := report(exploreTrace(t), "t.jsonl", true, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"schema valid",
+		"per-depth:",
+		"explore.level",
+		"top counters",
+		"explore.states_expanded",
+		"explore.fanout",
+		"violation (explore.violation)",
+		"[step 1]", // msc annotation of the first schedule row
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestReportSwarmTrace round-trips a swarm trace with a violating combo.
+func TestReportSwarmTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	_, err := swarm.Run(swarm.Config{
+		Combos:  []swarm.Combo{{Protocol: "abp-stuck", FIFO: true, Faults: swarm.Faults{Loss: true}}},
+		Seeds:   swarm.SeedRange(1, 8),
+		Steps:   200,
+		Workers: 2,
+		Metrics: reg,
+		Trace:   tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := report(&buf, "s.jsonl", true, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"swarm.walk",
+		"swarm.walks",
+		"violation (swarm.violation",
+		"seed",
+		"swarm.walk_steps",
+		"[step ", // absolute step annotations on the chart rows
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestReportRejectsMalformed feeds broken streams and expects errors.
+func TestReportRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"not json":    "nonsense\n",
+		"bad prefix":  `{"event":"x","seq":1,"t_us":0}` + "\n",
+		"seq gap":     `{"seq":1,"t_us":0,"event":"a"}` + "\n" + `{"seq":3,"t_us":0,"event":"b"}` + "\n",
+		"time travel": `{"seq":1,"t_us":9,"event":"a"}` + "\n" + `{"seq":2,"t_us":3,"event":"b"}` + "\n",
+	}
+	for name, in := range cases {
+		var out bytes.Buffer
+		if err := report(strings.NewReader(in), name, false, 10, &out); err == nil {
+			t.Errorf("%s: report accepted a malformed trace", name)
+		}
+	}
+}
+
+// TestReportGolden pins the report for a synthetic fixed-clock trace.
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	var ticks time.Duration
+	tr := obs.NewTraceWithClock(&buf, func() time.Duration {
+		ticks += time.Millisecond
+		return ticks
+	})
+	tr.Emit("explore.level",
+		obs.Int("depth", 0), obs.Int("frontier", 1), obs.Int("admitted", 4),
+		obs.Int("states", 5), obs.F64("states_per_sec", 5000))
+	tr.Emit("explore.done", obs.Int("states", 5))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := report(&buf, "g.jsonl", false, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "g.jsonl: 2 events, schema valid\n" +
+		"\nevents:\n" +
+		"  explore.done              1\n" +
+		"  explore.level             1\n" +
+		"\nper-depth:\n" +
+		"  depth  frontier  admitted    states  states/sec\n" +
+		"      0         1         4         5        5000\n"
+	if out.String() != want {
+		t.Errorf("report mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}

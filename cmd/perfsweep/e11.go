@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/ioa"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -31,9 +33,12 @@ type e11Run struct {
 	SpeedupVsW1  float64 `json:"speedup_vs_w1"`
 }
 
-// e11Result is the machine-readable benchmark record (BENCH_explore.json).
+// e11Result is one machine-readable benchmark entry; BENCH_explore.json
+// is an append-style array of these, so before/after comparisons (e.g.
+// instrumentation overhead checks) live in one labelled history.
 type e11Result struct {
 	Experiment          string   `json:"experiment"`
+	Label               string   `json:"label,omitempty"`
 	Protocol            string   `json:"protocol"`
 	Channels            string   `json:"channels"`
 	PoolInputs          int      `json:"pool_inputs"`
@@ -48,9 +53,16 @@ type e11Result struct {
 	HashedBytesPerState float64  `json:"hashed_bytes_per_state"`
 	ExactBytesPerState  float64  `json:"exact_bytes_per_state"`
 	DedupBytesRatio     float64  `json:"dedup_bytes_ratio"`
+	// Metrics snapshot figures from one extra instrumented run (the timed
+	// runs above always execute with metrics disabled, so they measure
+	// the uninstrumented hot path).
+	PeakFrontier int64   `json:"peak_frontier"`
+	DedupHits    int64   `json:"dedup_hits"`
+	DedupMisses  int64   `json:"dedup_misses"`
+	DedupHitRate float64 `json:"dedup_hit_rate"`
 }
 
-func runE11(workersCSV, jsonPath string) error {
+func runE11(workersCSV, jsonPath, label string) error {
 	workers, err := parseInts(workersCSV)
 	if err != nil {
 		return err
@@ -70,6 +82,7 @@ func runE11(workersCSV, jsonPath string) error {
 	}
 	out := e11Result{
 		Experiment: "e11",
+		Label:      label,
 		Protocol:   "stenning",
 		Channels:   "C̄(reordering)",
 		PoolInputs: len(inputs),
@@ -80,11 +93,15 @@ func runE11(workersCSV, jsonPath string) error {
 	fmt.Printf("E11: parallel BFS throughput, stenning/C̄, pool=%d, depth≤%d, cores=%d\n",
 		len(inputs), cfg.MaxDepth, out.Cores)
 
-	measure := func(w int, exact bool) (*explore.Result, time.Duration, error) {
+	// Timed runs keep Metrics nil: the benchmark measures the
+	// uninstrumented hot path, the zero-cost-when-disabled contract's
+	// figure of record. Snapshot figures come from one extra untimed run.
+	measure := func(w int, exact bool, reg *obs.Registry) (*explore.Result, time.Duration, error) {
 		c := cfg
 		c.Monitor = explore.NewSafetyMonitor(true)
 		c.Workers = w
 		c.ExactDedup = exact
+		c.Metrics = reg
 		began := time.Now()
 		res, err := explore.BFS(sys, c)
 		return res, time.Since(began), err
@@ -92,7 +109,7 @@ func runE11(workersCSV, jsonPath string) error {
 
 	var base float64
 	for _, w := range workers {
-		res, elapsed, err := measure(w, false)
+		res, elapsed, err := measure(w, false, nil)
 		if err != nil {
 			return err
 		}
@@ -123,7 +140,7 @@ func runE11(workersCSV, jsonPath string) error {
 			w, run.States, run.StatesPerSec, run.SpeedupVsW1)
 	}
 
-	exactRes, _, err := measure(1, true)
+	exactRes, _, err := measure(1, true, nil)
 	if err != nil {
 		return err
 	}
@@ -138,15 +155,63 @@ func runE11(workersCSV, jsonPath string) error {
 	fmt.Printf("  seen-set: hashed %.1f B/state, exact %.1f B/state (%.1fx smaller)\n",
 		out.HashedBytesPerState, out.ExactBytesPerState, out.DedupBytesRatio)
 
+	// One extra instrumented run (never timed) harvests the metrics
+	// snapshot figures: peak frontier width and dedup hit rate.
+	reg := obs.NewRegistry()
+	if _, _, err := measure(workers[0], false, reg); err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	out.PeakFrontier = snap.Gauge("explore.frontier_peak")
+	out.DedupHits = snap.Counter("explore.dedup_hits")
+	out.DedupMisses = snap.Counter("explore.dedup_misses")
+	if total := out.DedupHits + out.DedupMisses; total > 0 {
+		out.DedupHitRate = float64(out.DedupHits) / float64(total)
+	}
+	fmt.Printf("  instrumented run: peak frontier %d, dedup hit rate %.3f (%d hits / %d misses)\n",
+		out.PeakFrontier, out.DedupHitRate, out.DedupHits, out.DedupMisses)
+
 	if jsonPath != "" {
-		blob, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
+		if err := appendBenchEntry(jsonPath, out); err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
+		fmt.Printf("appended entry to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// appendBenchEntry appends one entry to the benchmark file, which is a
+// JSON array of labelled e11Result entries. A legacy single-object file
+// (the pre-array format) is wrapped into a one-entry array first, so
+// history is never lost.
+func appendBenchEntry(path string, entry e11Result) error {
+	var entries []json.RawMessage
+	blob, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(bytes.TrimSpace(blob)) > 0:
+		trimmed := bytes.TrimSpace(blob)
+		if trimmed[0] == '[' {
+			if err := json.Unmarshal(trimmed, &entries); err != nil {
+				return fmt.Errorf("e11: %s is not a valid benchmark array: %w", path, err)
+			}
+		} else {
+			var legacy e11Result
+			if err := json.Unmarshal(trimmed, &legacy); err != nil {
+				return fmt.Errorf("e11: %s is not a valid benchmark entry: %w", path, err)
+			}
+			entries = append(entries, json.RawMessage(trimmed))
+		}
+	case err != nil && !os.IsNotExist(err):
+		return err
+	}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, raw)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

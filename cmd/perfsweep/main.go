@@ -28,7 +28,8 @@ func main() {
 		sizes   = flag.String("sizes", "10,30,100,300,1000", "e4: comma-separated message counts")
 		seed    = flag.Int64("seed", 1, "random seed")
 		sweepW  = flag.String("sweepworkers", "1,2,4,8", "e11: comma-separated BFS worker counts")
-		jsonOut = flag.String("json", "", "e11: also write machine-readable results to this file")
+		jsonOut = flag.String("json", "", "e11: also append a machine-readable entry to this file")
+		label   = flag.String("label", "", "e11: label recorded on the benchmark entry")
 	)
 	flag.Parse()
 	var err error
@@ -40,7 +41,7 @@ func main() {
 	case "e4":
 		err = runE4(*sizes, *seed)
 	case "e11":
-		err = runE11(*sweepW, *jsonOut)
+		err = runE11(*sweepW, *jsonOut, *label)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
 	}

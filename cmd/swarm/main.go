@@ -18,7 +18,12 @@
 //	swarm -protocols gbn,sr -faults loss,fail -workers 8 # focused sweep
 //
 // The summary is printed as JSON; the exit status is 1 when any
-// specification violation was found and 0 otherwise.
+// specification violation was found and 0 otherwise. With -trace the
+// sweep emits a JSONL event stream (see internal/obs and cmd/obsreport);
+// with -metrics the final counter/gauge/histogram snapshot is written as
+// JSON ("-" for stderr). Neither influences the summary, which stays
+// byte-identical for equal configurations. Long sweeps print a throttled
+// progress line on stderr either way.
 package main
 
 import (
@@ -29,7 +34,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/swarm"
 )
@@ -41,6 +49,40 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(code)
+}
+
+// walkProgress returns an OnWalk hook printing a throttled (~1 s)
+// progress line; it is called concurrently from walk workers, hence the
+// mutex.
+func walkProgress(w io.Writer) func(done, total int) {
+	var mu sync.Mutex
+	last := time.Now()
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) < time.Second {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(w, "swarm: %d/%d walks\n", done, total)
+	}
+}
+
+// writeMetrics encodes the snapshot as indented JSON to path ("-" for
+// stderr).
+func writeMetrics(path string, snap obs.Snapshot) error {
+	if path == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // run executes one invocation, writing the JSON summary to out. It
@@ -59,6 +101,8 @@ func run(args []string, out io.Writer) (int, error) {
 		shrink  = fs.Bool("shrink", true, "shrink the first violating walk per configuration")
 		corpus  = fs.String("corpus", "", "directory to persist shrunk counterexamples into")
 		maxExt  = fs.Int("maxext", 20000, "fair-extension step budget per walk")
+		trace   = fs.String("trace", "", "write a JSONL trace of the sweep to this file")
+		metrics = fs.String("metrics", "", "write the final metrics snapshot JSON to this file (\"-\": stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -71,6 +115,18 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	var tr *obs.Trace
+	if *trace != "" {
+		tr, err = obs.OpenTrace(*trace)
+		if err != nil {
+			return 2, err
+		}
+		defer tr.Close()
+	}
 	sum, err := swarm.Run(swarm.Config{
 		Combos:       combos,
 		Seeds:        swarm.SeedRange(*seed0, *seeds),
@@ -78,9 +134,23 @@ func run(args []string, out io.Writer) (int, error) {
 		Workers:      *workers,
 		Shrink:       *shrink,
 		MaxExtension: *maxExt,
+		Metrics:      reg,
+		Trace:        tr,
+		OnWalk:       walkProgress(os.Stderr),
 	})
 	if err != nil {
 		return 2, err
+	}
+	if reg != nil {
+		tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
+		if err := writeMetrics(*metrics, reg.Snapshot()); err != nil {
+			return 2, err
+		}
+	}
+	if tr != nil {
+		if err := tr.Close(); err != nil {
+			return 2, err
+		}
 	}
 	if *corpus != "" {
 		for _, rep := range sum.Combos {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/swarm"
 )
 
@@ -81,6 +83,73 @@ func TestBrokenProtocolPersistsCounterexample(t *testing.T) {
 		if err := swarm.ReplayEntry(e, 0); err != nil {
 			t.Errorf("entry %s does not replay: %v", name, err)
 		}
+	}
+}
+
+// TestTraceAndMetricsFlags runs a sweep with -trace and -metrics and
+// checks the artifacts: schema-valid JSONL with swarm.walk events and a
+// final metrics event, plus a metrics snapshot whose walk counter
+// matches the sweep size — and a summary unchanged by observability.
+func TestTraceAndMetricsFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	base := []string{"-protocols", "abp", "-faults", "loss", "-seeds", "5", "-steps", "100", "-workers", "2"}
+	var plain bytes.Buffer
+	if _, err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run(append(base, "-trace", tracePath, "-metrics", metricsPath), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; summary:\n%s", code, out.String())
+	}
+	if !bytes.Equal(plain.Bytes(), out.Bytes()) {
+		t.Fatalf("observability changed the summary:\n%s\n---\n%s", plain.String(), out.String())
+	}
+
+	blob, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("metrics file is not valid snapshot JSON: %v", err)
+	}
+	// abp requires FIFO channels, so the sweep is 1 combo × 5 seeds.
+	if got := snap.Counter("swarm.walks"); got != 5 {
+		t.Errorf("swarm.walks = %d, want 5", got)
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	var v obs.Validator
+	events := map[string]int{}
+	lastEvent := ""
+	sc := bufio.NewScanner(tf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid: %v", err)
+		}
+		events[event]++
+		lastEvent = event
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events["swarm.walk"] != 5 || events["swarm.combo"] != 1 {
+		t.Errorf("unexpected event mix: %v", events)
+	}
+	if lastEvent != "metrics" {
+		t.Errorf("trace ends with %q, want the final metrics event", lastEvent)
 	}
 }
 

@@ -29,10 +29,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/ioa"
+	"repro/internal/obs"
 )
 
 // Monitor is an online safety checker over data-link behaviors. Monitors
@@ -88,6 +90,17 @@ type Config struct {
 	// hashes: the collision-paranoid escape hatch, at ~key-length bytes
 	// per state instead of 8 (see seenset.go for the collision analysis).
 	ExactDedup bool
+	// Metrics, when non-nil, receives the explorer's counters, gauges
+	// and histograms (see obs.go for the name inventory). Nil disables
+	// metrics at zero hot-path cost.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured events: one per BFS
+	// level, plus seen-set occupancy, the violation (schedule embedded)
+	// and a final summary.
+	Trace *obs.Trace
+	// OnLevel, when non-nil, is called after every completed BFS level —
+	// the hook progress reporters hang off for long searches.
+	OnLevel func(LevelStats)
 }
 
 // Default search bounds.
@@ -162,6 +175,12 @@ type search struct {
 	seen      seenSet
 	count     atomic.Int64 // distinct states admitted (start included)
 	truncated atomic.Bool  // a fresh state was dropped for budget
+
+	// ins holds the resolved observability handles (all nil when
+	// Config.Metrics is nil — the zero-cost disabled mode); began is the
+	// search start time for trace timestamps and progress rates.
+	ins   instruments
+	began time.Time
 }
 
 // succNode pairs a successor with a violation detected on its incoming
@@ -240,6 +259,8 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 		workers = 1
 	}
 	bufs := make([]workerBufs, workers)
+	s.ins = newInstruments(cfg.Metrics, workers)
+	s.began = time.Now()
 
 	start := &node{
 		state:   sys.Comp.Start(),
@@ -265,6 +286,11 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		admitted := 0
+		for w := range bufs {
+			admitted += len(bufs[w].next)
+		}
+		s.observeLevel(frontier[0].depth, len(frontier), admitted)
 		if found != nil {
 			res.Violation = found.violation
 			res.Trace = found.node.trace()
@@ -279,6 +305,7 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 	res.StatesExplored = int(min(s.count.Load(), s.maxStates))
 	res.Exhausted = res.Exhausted && !s.truncated.Load()
 	res.SeenSetBytes = s.seen.ApproxBytes()
+	s.observeDone(res)
 	return res, nil
 }
 
@@ -335,6 +362,9 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 					report(nil, err)
 					return
 				}
+				s.ins.workers[w].Inc()
+				s.ins.expanded.Inc()
+				s.ins.fanout.Observe(int64(len(succ)))
 				for j := range succ {
 					if succ[j].violation != nil {
 						report(&foundViolation{
@@ -349,12 +379,15 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 						return
 					}
 					if !s.seen.Add(b.key) {
+						s.ins.dedupHit.Inc()
 						continue
 					}
+					s.ins.dedupMiss.Inc()
 					if s.count.Add(1) > s.maxStates {
 						s.truncated.Store(true)
 						continue
 					}
+					s.ins.admitted.Inc()
 					b.next = append(b.next, succ[j].node)
 				}
 			}

@@ -1,0 +1,192 @@
+package explore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// exploreObsRun runs a parallel BFS over ABP/Ĉ with metrics and tracing
+// attached and returns the result plus the observability artifacts.
+func exploreObsRun(t *testing.T, workers int, crash bool) (*Result, obs.Snapshot, *bytes.Buffer) {
+	t.Helper()
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []ioa.Action{
+		ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+		ioa.SendMsg(ioa.TR, "m1"), ioa.SendMsg(ioa.TR, "m2"),
+	}
+	if crash {
+		inputs = append(inputs, ioa.Crash(ioa.RT), ioa.Wake(ioa.RT))
+	}
+	reg := obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	tr := obs.NewTrace(&traceBuf)
+	var levels []LevelStats
+	res, err := BFS(sys, Config{
+		Inputs:       inputs,
+		Monitor:      NewSafetyMonitor(false),
+		MaxDepth:     18,
+		MaxInTransit: 2,
+		Workers:      workers,
+		Metrics:      reg,
+		Trace:        tr,
+		OnLevel:      func(ls LevelStats) { levels = append(levels, ls) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) == 0 {
+		t.Fatal("OnLevel was never called")
+	}
+	for i, ls := range levels {
+		if ls.Depth != i {
+			t.Errorf("level %d reported depth %d", i, ls.Depth)
+		}
+	}
+	return res, reg.Snapshot(), &traceBuf
+}
+
+// TestExploreMetricsConsistency pins the acceptance-level consistency
+// claims: the expanded-state count equals the sum of the per-worker
+// counts, admitted states match the result's StatesExplored, and dedup
+// hits + misses account for every deduplicated successor.
+func TestExploreMetricsConsistency(t *testing.T) {
+	res, snap, _ := exploreObsRun(t, 4, false)
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	expanded := snap.Counter("explore.states_expanded")
+	var workerSum int64
+	for _, c := range snap.Counters {
+		if len(c.Name) > len("explore.worker.") && c.Name[:len("explore.worker.")] == "explore.worker." {
+			workerSum += c.Value
+		}
+	}
+	if expanded == 0 || expanded != workerSum {
+		t.Errorf("states_expanded = %d, sum of per-worker counts = %d", expanded, workerSum)
+	}
+	// The start state is admitted before the counter exists; everything
+	// else goes through explore.states_admitted.
+	if admitted := snap.Counter("explore.states_admitted"); admitted+1 != int64(res.StatesExplored) {
+		t.Errorf("states_admitted = %d, want %d", admitted, res.StatesExplored-1)
+	}
+	misses := snap.Counter("explore.dedup_misses")
+	hits := snap.Counter("explore.dedup_hits")
+	if misses+1 != int64(res.StatesExplored) {
+		t.Errorf("dedup_misses = %d, want %d (run is not truncated)", misses, res.StatesExplored-1)
+	}
+	if hits == 0 {
+		t.Error("dedup_hits = 0: the ABP space certainly re-visits states")
+	}
+	if peak := snap.Gauge("explore.frontier_peak"); peak <= 1 {
+		t.Errorf("frontier_peak = %d, want > 1", peak)
+	}
+	if snap.Gauge("explore.seen.shard_max") < snap.Gauge("explore.seen.shard_min") {
+		t.Error("shard occupancy gauges inverted")
+	}
+	fanout, ok := snap.Histogram("explore.fanout")
+	if !ok || fanout.Count != expanded {
+		t.Errorf("fanout histogram count = %d, want %d", fanout.Count, expanded)
+	}
+}
+
+// TestExploreTraceValidatesAndCarriesViolation checks the trace stream:
+// schema-valid JSONL, one explore.level event per completed level, and
+// on a violating search an explore.violation event whose embedded
+// schedule decodes back to the result's trace.
+func TestExploreTraceValidatesAndCarriesViolation(t *testing.T) {
+	res, _, traceBuf := exploreObsRun(t, 2, true)
+	if res.Violation == nil {
+		t.Fatal("crash search found no violation (expected the Thm 7.5 bug)")
+	}
+	var v obs.Validator
+	events := map[string]int{}
+	var violLine []byte
+	sc := bufio.NewScanner(bytes.NewReader(traceBuf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid: %v", err)
+		}
+		events[event]++
+		if event == "explore.violation" {
+			violLine = append([]byte(nil), sc.Bytes()...)
+		}
+	}
+	if events["explore.level"] == 0 || events["explore.done"] != 1 || events["explore.seen"] != 1 {
+		t.Fatalf("unexpected event mix: %v", events)
+	}
+	if events["explore.violation"] != 1 {
+		t.Fatalf("want exactly one explore.violation event, got %d", events["explore.violation"])
+	}
+	var payload struct {
+		Property string       `json:"property"`
+		Schedule ioa.Schedule `json:"schedule"`
+	}
+	if err := json.Unmarshal(violLine, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Property != res.Violation.Property {
+		t.Errorf("violation event property %q, want %q", payload.Property, res.Violation.Property)
+	}
+	if len(payload.Schedule) != len(res.Trace) {
+		t.Fatalf("embedded schedule has %d actions, result trace %d", len(payload.Schedule), len(res.Trace))
+	}
+	for i := range res.Trace {
+		if payload.Schedule[i] != res.Trace[i] {
+			t.Errorf("schedule action %d: %s != %s", i, payload.Schedule[i], res.Trace[i])
+		}
+	}
+}
+
+// TestExploreObsDoesNotChangeResults runs the same search with and
+// without observability attached and asserts identical outcomes — the
+// observer must not perturb the search.
+func TestExploreObsDoesNotChangeResults(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Inputs: []ioa.Action{
+			ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+			ioa.SendMsg(ioa.TR, "m1"), ioa.SendMsg(ioa.TR, "m2"),
+		},
+		Monitor:      NewSafetyMonitor(true),
+		MaxDepth:     16,
+		MaxInTransit: 2,
+	}
+	plain, err := BFS(sys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := base
+	instrumented.Metrics = obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	instrumented.Trace = tr
+	obsRes, err := BFS(sys, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.StatesExplored != obsRes.StatesExplored || plain.DepthReached != obsRes.DepthReached ||
+		plain.Exhausted != obsRes.Exhausted || (plain.Violation == nil) != (obsRes.Violation == nil) {
+		t.Errorf("observability changed the search: %+v vs %+v", plain, obsRes)
+	}
+}

@@ -32,6 +32,10 @@ type seenSet interface {
 	Len() int
 	// ApproxBytes estimates the heap bytes held per entry by the set.
 	ApproxBytes() int64
+	// ShardLens returns the per-shard entry counts: the occupancy figures
+	// the observability layer exports, since shard skew is what would
+	// turn the striped locks back into a contention point.
+	ShardLens() []int
 }
 
 // hashedSeen dedups on 64-bit maphash fingerprints.
@@ -74,6 +78,16 @@ func (h *hashedSeen) Len() int {
 		h.shards[i].mu.Unlock()
 	}
 	return n
+}
+
+func (h *hashedSeen) ShardLens() []int {
+	out := make([]int, seenShards)
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+		out[i] = len(h.shards[i].m)
+		h.shards[i].mu.Unlock()
+	}
+	return out
 }
 
 // hashedEntryBytes estimates a map[uint64]struct{} entry: 8 key bytes plus
@@ -130,6 +144,16 @@ func (e *exactSeen) Len() int {
 		e.shards[i].mu.Unlock()
 	}
 	return n
+}
+
+func (e *exactSeen) ShardLens() []int {
+	out := make([]int, seenShards)
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		out[i] = len(e.shards[i].m)
+		e.shards[i].mu.Unlock()
+	}
+	return out
 }
 
 func (e *exactSeen) ApproxBytes() int64 {

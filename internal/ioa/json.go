@@ -1,0 +1,93 @@
+package ioa
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON wire form of actions and packets. Observability traces embed
+// violating schedules in events (internal/obs), and cmd/obsreport
+// decodes them back to render message sequence charts — so Action gets
+// a stable, compact JSON codec: kinds by their paper names, directions
+// as the "t,r" superscript, and the parameter fields only when the kind
+// carries them.
+
+// packetJSON mirrors Packet with omitempty control fields.
+type packetJSON struct {
+	ID      uint64 `json:"id"`
+	Header  string `json:"header,omitempty"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// actionJSON is the wire form of Action.
+type actionJSON struct {
+	Kind string      `json:"kind"`
+	Dir  string      `json:"dir,omitempty"`
+	Msg  string      `json:"msg,omitempty"`
+	Pkt  *packetJSON `json:"pkt,omitempty"`
+	Name string      `json:"name,omitempty"`
+}
+
+// MarshalJSON encodes the action in its wire form.
+func (a Action) MarshalJSON() ([]byte, error) {
+	out := actionJSON{Kind: a.Kind.String(), Name: a.Name}
+	if a.Kind != KindInternal && a.Kind != KindInvalid {
+		out.Dir = a.Dir.String()
+	}
+	switch a.Kind {
+	case KindSendMsg, KindReceiveMsg:
+		out.Msg = string(a.Msg)
+	case KindSendPkt, KindReceivePkt:
+		out.Pkt = &packetJSON{ID: a.Pkt.ID, Header: string(a.Pkt.Header), Payload: string(a.Pkt.Payload)}
+	case KindInternal:
+		// Internal actions (channel losses) carry the lost packet.
+		if a.Pkt != (Packet{}) {
+			out.Pkt = &packetJSON{ID: a.Pkt.ID, Header: string(a.Pkt.Header), Payload: string(a.Pkt.Payload)}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// kindByName is the inverse of kindNames.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// parseDir parses the "from,to" wire form of a direction.
+func parseDir(s string) (Dir, error) {
+	from, to, ok := strings.Cut(s, ",")
+	if !ok || from == "" || to == "" {
+		return Dir{}, fmt.Errorf("ioa: bad direction %q", s)
+	}
+	return Dir{From: Station(from), To: Station(to)}, nil
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (a *Action) UnmarshalJSON(b []byte) error {
+	var in actionJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	kind, ok := kindByName[in.Kind]
+	if !ok {
+		return fmt.Errorf("ioa: unknown action kind %q", in.Kind)
+	}
+	out := Action{Kind: kind, Msg: Message(in.Msg), Name: in.Name}
+	if in.Dir != "" {
+		d, err := parseDir(in.Dir)
+		if err != nil {
+			return err
+		}
+		out.Dir = d
+	}
+	if in.Pkt != nil {
+		out.Pkt = Packet{ID: in.Pkt.ID, Header: Header(in.Pkt.Header), Payload: Message(in.Pkt.Payload)}
+	}
+	*a = out
+	return nil
+}

@@ -1,0 +1,75 @@
+package ioa
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestActionJSONRoundTrip round-trips every action family, including a
+// full schedule, through the wire codec.
+func TestActionJSONRoundTrip(t *testing.T) {
+	p := Packet{ID: 7, Header: "data/1", Payload: "m1"}
+	sched := Schedule{
+		Wake(TR), Wake(RT),
+		SendMsg(TR, "m1"),
+		SendPkt(TR, p),
+		ReceivePkt(TR, p),
+		ReceiveMsg(TR, "m1"),
+		SendPkt(RT, Packet{ID: 8, Header: "ack/1"}),
+		Fail(RT), Crash(TR),
+		{Kind: KindInternal, Name: "lose^{t,r}", Pkt: p},
+	}
+	blob, err := json.Marshal(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Schedule
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sched) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(sched))
+	}
+	for i := range sched {
+		if got[i] != sched[i] {
+			t.Errorf("action %d: %+v != %+v", i, got[i], sched[i])
+		}
+	}
+}
+
+// TestActionJSONStableEncoding pins the wire form: obsreport and any
+// external trace consumer parse these exact shapes.
+func TestActionJSONStableEncoding(t *testing.T) {
+	for _, tc := range []struct {
+		a    Action
+		want string
+	}{
+		{Wake(TR), `{"kind":"wake","dir":"t,r"}`},
+		{SendMsg(TR, "m1"), `{"kind":"send_msg","dir":"t,r","msg":"m1"}`},
+		{SendPkt(RT, Packet{ID: 2, Header: "ack/0"}), `{"kind":"send_pkt","dir":"r,t","pkt":{"id":2,"header":"ack/0"}}`},
+		{Action{Kind: KindInternal, Name: "lose^{t,r}"}, `{"kind":"internal","name":"lose^{t,r}"}`},
+	} {
+		blob, err := json.Marshal(tc.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != tc.want {
+			t.Errorf("encoding of %s:\ngot  %s\nwant %s", tc.a, blob, tc.want)
+		}
+	}
+}
+
+// TestActionJSONRejectsGarbage checks decode failure modes.
+func TestActionJSONRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{"kind":"warp","dir":"t,r"}`,
+		`{"kind":"wake","dir":"tr"}`,
+		`{"kind":"wake","dir":",r"}`,
+		`[1,2]`,
+	} {
+		var a Action
+		if err := json.Unmarshal([]byte(bad), &a); err == nil {
+			t.Errorf("decoded %q without error (got %+v)", bad, a)
+		}
+	}
+}

@@ -21,6 +21,12 @@ type Options struct {
 	LaneWidth int
 	// HideInternal drops internal actions (channel lose events).
 	HideInternal bool
+	// Annotate, when non-nil, returns an extra note for the i-th action
+	// (0-based index into the schedule); a non-empty result is appended
+	// to the row in brackets. Trace tooling uses it to tag rows with
+	// metadata the schedule itself does not carry (global step index,
+	// wall-clock offset).
+	Annotate func(i int, a ioa.Action) string
 }
 
 // Render returns the chart for a schedule. Actions the chart cannot
@@ -42,7 +48,13 @@ func Render(beta ioa.Schedule, opts Options) string {
 		if opts.HideInternal && a.Kind == ioa.KindInternal {
 			continue
 		}
-		fmt.Fprintf(&b, "%4d  %s\n", i+1, row(a, width))
+		line := row(a, width)
+		if opts.Annotate != nil {
+			if ann := opts.Annotate(i, a); ann != "" {
+				line += "  [" + ann + "]"
+			}
+		}
+		fmt.Fprintf(&b, "%4d  %s\n", i+1, line)
 	}
 	return b.String()
 }

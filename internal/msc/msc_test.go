@@ -90,3 +90,34 @@ func TestRenderInvalidAction(t *testing.T) {
 		t.Errorf("invalid action should fall back to String():\n%s", out)
 	}
 }
+
+// TestRenderAnnotate is the golden test for the Options.Annotate hook:
+// annotations appear bracketed at the end of exactly the rows the hook
+// returns text for, indexed by schedule position.
+func TestRenderAnnotate(t *testing.T) {
+	sched := ioa.Schedule{
+		ioa.Wake(ioa.TR),
+		ioa.SendMsg(ioa.TR, "m1"),
+		ioa.ReceiveMsg(ioa.TR, "m1"),
+	}
+	out := Render(sched, Options{
+		LaneWidth: 12,
+		Annotate: func(i int, a ioa.Action) string {
+			if a.Kind == ioa.KindReceiveMsg {
+				return "step 3 @+42µs"
+			}
+			if i == 0 {
+				return "start"
+			}
+			return ""
+		},
+	})
+	want := "" +
+		"      t                  r\n" +
+		"   1  ✱                │    wake^{t,r}  [start]\n" +
+		"   2  ◆                │    send_msg \"m1\"\n" +
+		"   3  │                ◆    receive_msg \"m1\"  [step 3 @+42µs]\n"
+	if out != want {
+		t.Errorf("annotated chart mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}

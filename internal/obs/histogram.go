@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram over int64 observations. The
+// bucket layout is immutable after construction: bounds[i] is the
+// inclusive upper edge of bucket i, and one implicit overflow bucket
+// catches everything above the last bound. Observations are three atomic
+// adds after a binary search, safe for concurrent use; the nil histogram
+// is a valid no-op instrument.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; the last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// newHistogram builds a histogram over the given upper bounds, which are
+// sorted and deduplicated. An empty bounds slice yields a single
+// overflow bucket (count/sum still work; quantiles degrade to 0).
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Int64, len(dedup)+1)}
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...,
+// start+(n-1)*width.
+func LinearBuckets(start, width int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start*factor, start*factor²,
+// … (factor ≥ 2 recommended), for scale-free quantities like
+// steps-to-quiescence.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records v; it is a no-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations; zero on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations; zero on a nil histogram.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank, assuming observations
+// are uniform inside a bucket — the usual fixed-bucket estimator, exact
+// to within one bucket width. The lower edge of the first bucket is
+// taken as 0 (all engine quantities are non-negative); ranks landing in
+// the overflow bucket report the last bound. Zero observations, a nil
+// histogram, or an out-of-range q report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || q < 0 || q > 1 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			return lo + int64(math.Round(frac*float64(hi-lo)))
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns the per-bucket counts aligned with bounds,
+// plus the overflow count.
+func (h *Histogram) snapshotBuckets() ([]int64, int64) {
+	out := make([]int64, len(h.bounds))
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out, h.counts[len(h.bounds)].Load()
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileUniform observes the uniform distribution 1..1000 and
+// checks the interpolated quantiles against the exact order statistics:
+// the fixed-bucket estimator must be correct to within one bucket width.
+func TestQuantileUniform(t *testing.T) {
+	h := newHistogram(LinearBuckets(50, 50, 20)) // 50,100,…,1000
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	const bucketWidth = 50
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {0.25, 250}, {1.0, 1000}} {
+		got := h.Quantile(tc.q)
+		if math.Abs(float64(got-tc.want)) > bucketWidth {
+			t.Errorf("Quantile(%.2f) = %d, want %d ± %d", tc.q, got, tc.want, bucketWidth)
+		}
+	}
+}
+
+// TestQuantileConstant puts all mass in one bucket: every quantile must
+// land inside that bucket.
+func TestQuantileConstant(t *testing.T) {
+	h := newHistogram(LinearBuckets(10, 10, 5))
+	for i := 0; i < 100; i++ {
+		h.Observe(25)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < 20 || got > 30 {
+			t.Errorf("Quantile(%.2f) = %d, want in [20,30]", q, got)
+		}
+	}
+}
+
+// TestQuantileEdges covers empty histograms, overflow mass and invalid q.
+func TestQuantileEdges(t *testing.T) {
+	h := newHistogram([]int64{10, 20})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(1000) // overflow bucket
+	if got := h.Quantile(0.5); got != 20 {
+		t.Errorf("overflow-only quantile = %d, want last bound 20", got)
+	}
+	if h.Quantile(-0.1) != 0 || h.Quantile(1.1) != 0 {
+		t.Error("out-of-range q must report 0")
+	}
+	if h.Count() != 1 || h.Sum() != 1000 {
+		t.Errorf("count/sum = %d/%d, want 1/1000", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramBoundsNormalised checks sorting and deduplication of
+// constructor bounds, and exponential bucket generation.
+func TestHistogramBoundsNormalised(t *testing.T) {
+	h := newHistogram([]int64{30, 10, 20, 10})
+	if len(h.bounds) != 3 || h.bounds[0] != 10 || h.bounds[2] != 30 {
+		t.Errorf("bounds = %v, want [10 20 30]", h.bounds)
+	}
+	exp := ExpBuckets(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	// Boundary values land in the bucket whose upper edge they equal.
+	h.Observe(10)
+	h.Observe(11)
+	counts, overflow := h.snapshotBuckets()
+	if counts[0] != 1 || counts[1] != 1 || overflow != 0 {
+		t.Errorf("bucket counts = %v overflow %d, want [1 1 0] 0", counts, overflow)
+	}
+}

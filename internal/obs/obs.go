@@ -1,0 +1,160 @@
+// Package obs is the repository's dependency-free tracing and metrics
+// core: atomic counters, gauges, fixed-bucket histograms, and a
+// structured JSONL event sink, shared by the fair-schedule runner
+// (internal/sim), the model checker (internal/explore) and the swarm
+// harness (internal/swarm).
+//
+// The design constraint is that *disabled* observability must cost
+// nothing on hot paths, mirroring the AppendFingerprint discipline of
+// the explorer's dedup loop. Every constructor is nil-safe: a nil
+// *Registry hands out nil instruments, and every instrument method is a
+// nil-receiver no-op — an engine resolves its instrument pointers once
+// at start-up and then calls them unconditionally, so the disabled fast
+// path is a single predictable nil check with zero allocations and zero
+// atomic traffic. When enabled, counters and gauges are single atomic
+// operations and histograms a binary search plus three atomics, all
+// safe for concurrent use by the engines' worker pools.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil counter
+// is a valid no-op instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d; it is a no-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count; zero on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value; SetMax turns it into a
+// high-water mark. The nil gauge is a valid no-op instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v; it is a no-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (a
+// lock-free high-water mark); it is a no-op on a nil gauge.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; zero on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named set of instruments. Lookups are idempotent: the
+// first request for a name creates the instrument, later requests (from
+// any goroutine) return the same one. The nil registry hands out nil
+// instruments, which is the whole disabled mode — engines never branch
+// on "is observability on", they just use what the registry gave them.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use; nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use; later lookups return the existing
+// histogram regardless of bounds. Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

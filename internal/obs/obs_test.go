@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilInstrumentsAreNoOps pins the zero-cost-when-disabled contract:
+// a nil registry hands out nil instruments whose every method is safe.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", LinearBuckets(1, 1, 4))
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil instruments: %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.SetMax(9)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments reported non-zero values")
+	}
+	var tr *Trace
+	tr.Emit("event", Int("k", 1))
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil trace Close: %v", err)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestRegistryIdempotent asserts that lookups by the same name return
+// the same instrument.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("a", []int64{1}) != r.Histogram("a", []int64{2}) {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+// TestConcurrentInstruments hammers one counter, one high-water gauge
+// and one histogram from many goroutines; run under -race this is the
+// concurrency-safety test, and the totals check that no increment was
+// lost.
+func TestConcurrentInstruments(t *testing.T) {
+	const workers, perWorker = 8, 10000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve by name concurrently too: the registry itself is shared.
+			c := r.Counter("hits")
+			g := r.Gauge("peak")
+			h := r.Histogram("sizes", LinearBuckets(1000, 1000, 10))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v := int64(w*perWorker + i)
+				g.SetMax(v)
+				h.Observe(v % 10000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("peak").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, workers*perWorker-1)
+	}
+	h := r.Histogram("sizes", nil)
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestGaugeSetMaxIsMonotone checks high-water semantics.
+func TestGaugeSetMaxIsMonotone(t *testing.T) {
+	var g Gauge
+	for _, v := range []int64{3, 7, 5, 7, 2} {
+		g.SetMax(v)
+	}
+	if g.Value() != 7 {
+		t.Errorf("SetMax high-water = %d, want 7", g.Value())
+	}
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Errorf("Set = %d, want 1", g.Value())
+	}
+}
+
+// TestSnapshotSortedAndComplete checks that the snapshot is sorted by
+// name and carries the right values.
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(9)
+	h := r.Histogram("h", LinearBuckets(10, 10, 3))
+	for _, v := range []int64{5, 15, 25, 999} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Counter("a") != 1 || s.Counter("b") != 2 || s.Counter("missing") != 0 {
+		t.Errorf("counter values wrong: %+v", s.Counters)
+	}
+	if s.Gauge("g") != 9 {
+		t.Errorf("gauge value = %d, want 9", s.Gauge("g"))
+	}
+	hs, ok := s.Histogram("h")
+	if !ok || hs.Count != 4 || hs.Sum != 5+15+25+999 || hs.Overflow != 1 {
+		t.Errorf("histogram snapshot wrong: %+v", hs)
+	}
+	if len(hs.Buckets) != 3 {
+		t.Errorf("buckets = %+v, want 3 non-empty", hs.Buckets)
+	}
+}

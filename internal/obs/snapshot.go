@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value at snapshot time.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one histogram bucket: the count of observations at or below
+// LE (and above the previous bucket's LE).
+type Bucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time, with the
+// standard quantile estimates precomputed.
+type HistogramSnapshot struct {
+	Name     string   `json:"name"`
+	Count    int64    `json:"count"`
+	Sum      int64    `json:"sum"`
+	Mean     float64  `json:"mean"`
+	P50      int64    `json:"p50"`
+	P90      int64    `json:"p90"`
+	P99      int64    `json:"p99"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow int64    `json:"overflow,omitempty"`
+}
+
+// Snapshot is a registry's full state, sorted by instrument name so the
+// encoding is deterministic for deterministic runs.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. A nil registry
+// yields the zero snapshot. Concurrent writers may race individual
+// reads (each value is still atomically read), so snapshots taken after
+// the instrumented run finishes are exact.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		hs := HistogramSnapshot{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+		if hs.Count > 0 {
+			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		counts, overflow := h.snapshotBuckets()
+		for i, c := range counts {
+			if c != 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{LE: h.bounds[i], Count: c})
+			}
+		}
+		hs.Overflow = overflow
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+// Counter returns the named counter's snapshotted value (0 if absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's snapshotted value (0 if absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram snapshot and whether it exists.
+func (s Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Trace is a structured JSONL event sink. Every event is one line
+//
+//	{"seq":<n>,"t_us":<µs since open>,"event":"<name>",<fields…>}
+//
+// with seq/t_us/event always first and in that order, followed by the
+// caller's fields in call order — the encoding is deterministic given
+// deterministic inputs and a fixed clock, which is what the golden test
+// and the Validator below pin down. Emit is safe for concurrent use and
+// buffered; the nil trace is a valid no-op sink, so engines emit
+// unconditionally. Events are hand-encoded into a reused buffer: an
+// Emit costs no allocations beyond amortised buffer growth (JSON-valued
+// fields, which marshal eagerly, are the deliberate exception and stay
+// off hot paths).
+type Trace struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	c    io.Closer
+	buf  []byte
+	seq  int64
+	now  func() time.Duration
+	err  error
+	drop int64
+}
+
+// NewTrace returns a trace writing to w, stamping events with the wall
+// clock elapsed since this call.
+func NewTrace(w io.Writer) *Trace {
+	start := time.Now()
+	return NewTraceWithClock(w, func() time.Duration { return time.Since(start) })
+}
+
+// NewTraceWithClock is NewTrace with an injectable elapsed-time clock;
+// golden tests pin it to make encodings byte-reproducible.
+func NewTraceWithClock(w io.Writer, now func() time.Duration) *Trace {
+	return &Trace{bw: bufio.NewWriterSize(w, 1<<16), now: now}
+}
+
+// OpenTrace creates path and returns a trace writing to it; Close
+// flushes and closes the file.
+func OpenTrace(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTrace(f)
+	t.c = f
+	return t, nil
+}
+
+// Emit writes one event line; it is a no-op on a nil trace. Write
+// errors are sticky: the first is retained for Close/Err and later
+// events are dropped.
+func (t *Trace) Emit(event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		t.drop++
+		return
+	}
+	t.seq++
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	b = append(b, `,"t_us":`...)
+	b = strconv.AppendInt(b, t.now().Microseconds(), 10)
+	b = append(b, `,"event":`...)
+	b = appendJSONString(b, event)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.Key)
+		b = append(b, ':')
+		b = f.appendValue(b)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes the buffer and closes the underlying file (when the
+// trace owns one), returning the first error seen on any event.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	if t.err != nil {
+		return fmt.Errorf("obs: trace: %w (%d events dropped)", t.err, t.drop)
+	}
+	return nil
+}
+
+// fieldKind discriminates Field payloads.
+type fieldKind uint8
+
+const (
+	fInt fieldKind = iota
+	fF64
+	fStr
+	fBool
+	fRaw
+)
+
+// Field is one key/value pair of an event. Construct with Int, F64,
+// Str, Bool or JSON.
+type Field struct {
+	Key  string
+	kind fieldKind
+	i    int64
+	f    float64
+	s    string
+	raw  []byte
+}
+
+// Int is an integer-valued field.
+func Int(key string, v int64) Field { return Field{Key: key, kind: fInt, i: v} }
+
+// F64 is a float-valued field; non-finite values encode as null.
+func F64(key string, v float64) Field { return Field{Key: key, kind: fF64, f: v} }
+
+// Str is a string-valued field.
+func Str(key string, v string) Field { return Field{Key: key, kind: fStr, s: v} }
+
+// Bool is a boolean-valued field.
+func Bool(key string, v bool) Field {
+	f := Field{Key: key, kind: fBool}
+	if v {
+		f.i = 1
+	}
+	return f
+}
+
+// JSON marshals v eagerly into a raw JSON field — for structured values
+// like schedules, not for hot paths. A marshal failure encodes as an
+// error string so the line stays valid JSONL.
+func JSON(key string, v any) Field {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		raw, _ = json.Marshal(fmt.Sprintf("<marshal error: %v>", err))
+	}
+	return Field{Key: key, kind: fRaw, raw: raw}
+}
+
+func (f Field) appendValue(dst []byte) []byte {
+	switch f.kind {
+	case fInt:
+		return strconv.AppendInt(dst, f.i, 10)
+	case fF64:
+		if math.IsNaN(f.f) || math.IsInf(f.f, 0) {
+			return append(dst, "null"...)
+		}
+		return strconv.AppendFloat(dst, f.f, 'g', -1, 64)
+	case fStr:
+		return appendJSONString(dst, f.s)
+	case fBool:
+		if f.i != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case fRaw:
+		return append(dst, f.raw...)
+	default:
+		return append(dst, "null"...)
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal: quotes,
+// backslashes and control characters escaped, invalid UTF-8 replaced,
+// everything else passed through (JSON strings are UTF-8).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for _, r := range s {
+		switch {
+		case r == '"' || r == '\\':
+			dst = append(dst, '\\', byte(r))
+		case r == '\n':
+			dst = append(dst, '\\', 'n')
+		case r == '\t':
+			dst = append(dst, '\\', 't')
+		case r == '\r':
+			dst = append(dst, '\\', 'r')
+		case r < 0x20:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[r>>4], hexDigits[r&0xf])
+		case r == utf8.RuneError:
+			dst = append(dst, `�`...)
+		default:
+			dst = utf8.AppendRune(dst, r)
+		}
+	}
+	return append(dst, '"')
+}
+
+// Validator checks a JSONL trace stream line by line against the
+// encoder's schema: each line is a JSON object whose first three fields
+// are exactly seq (consecutive from 1), t_us (non-decreasing) and event
+// (non-empty string). cmd/obsreport and the obs-smoke CI target run
+// every trace a binary produces through one of these.
+type Validator struct {
+	lastSeq int64
+	lastTUS int64
+}
+
+// traceLineHead decodes the mandatory fields of a line.
+type traceLineHead struct {
+	Seq   int64  `json:"seq"`
+	TUS   *int64 `json:"t_us"`
+	Event string `json:"event"`
+}
+
+// Line validates one line (without its trailing newline). It returns
+// the event name so summarisers can aggregate while validating.
+func (v *Validator) Line(line []byte) (string, error) {
+	if !json.Valid(line) {
+		return "", fmt.Errorf("line %d: not valid JSON", v.lastSeq+1)
+	}
+	// Field order is part of the schema; the encoder always writes the
+	// seq/t_us/event prefix, so the raw bytes must too.
+	if !bytes.HasPrefix(line, []byte(`{"seq":`)) {
+		return "", fmt.Errorf("line %d: must start with the seq field", v.lastSeq+1)
+	}
+	iT := bytes.Index(line, []byte(`,"t_us":`))
+	iE := bytes.Index(line, []byte(`,"event":`))
+	if iT < 0 || iE < 0 || iT > iE {
+		return "", fmt.Errorf("line %d: fields must open with seq, t_us, event", v.lastSeq+1)
+	}
+	var head traceLineHead
+	if err := json.Unmarshal(line, &head); err != nil {
+		return "", fmt.Errorf("line %d: %w", v.lastSeq+1, err)
+	}
+	if head.Seq != v.lastSeq+1 {
+		return "", fmt.Errorf("line %d: seq %d, want %d", v.lastSeq+1, head.Seq, v.lastSeq+1)
+	}
+	if head.TUS == nil || *head.TUS < v.lastTUS {
+		return "", fmt.Errorf("line %d: t_us missing or decreasing", v.lastSeq+1)
+	}
+	if head.Event == "" {
+		return "", fmt.Errorf("line %d: empty event name", v.lastSeq+1)
+	}
+	v.lastSeq = head.Seq
+	v.lastTUS = *head.TUS
+	return head.Event, nil
+}
+
+// Lines returns how many lines have been validated.
+func (v *Validator) Lines() int64 { return v.lastSeq }

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a clock ticking one millisecond per call.
+func fixedClock() func() time.Duration {
+	var n int64
+	return func() time.Duration {
+		n++
+		return time.Duration(n) * time.Millisecond
+	}
+}
+
+// TestTraceGoldenEncoding pins the exact JSONL bytes: field order
+// (seq, t_us, event, then caller fields in call order), number
+// formatting and string escaping are all part of the trace format that
+// obsreport and external consumers parse.
+func TestTraceGoldenEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTraceWithClock(&buf, fixedClock())
+	tr.Emit("explore.level", Int("depth", 3), Int("frontier", 128), F64("states_per_sec", 1234.5))
+	tr.Emit("note", Str("text", `he said "hi"\ and left`), Bool("ok", true), Bool("bad", false))
+	tr.Emit("structured", JSON("xs", []int{1, 2, 3}), Str("ctl", "a\nb\tc"))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":1,"t_us":1000,"event":"explore.level","depth":3,"frontier":128,"states_per_sec":1234.5}
+{"seq":2,"t_us":2000,"event":"note","text":"he said \"hi\"\\ and left","ok":true,"bad":false}
+{"seq":3,"t_us":3000,"event":"structured","xs":[1,2,3],"ctl":"a\nb\tc"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+// TestTraceValidatorAcceptsOwnOutput round-trips encoder output through
+// the validator.
+func TestTraceValidatorAcceptsOwnOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTraceWithClock(&buf, fixedClock())
+	for i := 0; i < 50; i++ {
+		tr.Emit("tick", Int("i", int64(i)), Str("s", "päckchen ∥ weird"))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var v Validator
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("validator rejected encoder output: %v", err)
+		}
+		if event != "tick" {
+			t.Fatalf("event = %q, want tick", event)
+		}
+	}
+	if v.Lines() != 50 {
+		t.Errorf("validated %d lines, want 50", v.Lines())
+	}
+}
+
+// TestValidatorRejectsMalformedLines covers the schema failure modes.
+func TestValidatorRejectsMalformedLines(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		line string
+	}{
+		{"not json", `{"seq":1,`},
+		{"wrong first field", `{"event":"x","seq":1,"t_us":0}`},
+		{"event before t_us", `{"seq":1,"event":"x","t_us":0}`},
+		{"seq gap", `{"seq":2,"t_us":0,"event":"x"}`},
+		{"missing t_us", `{"seq":1,"t_us_oops":0,"event":"x"}`},
+		{"empty event", `{"seq":1,"t_us":0,"event":""}`},
+	} {
+		var v Validator
+		if _, err := v.Line([]byte(tc.line)); err == nil {
+			t.Errorf("%s: validator accepted %q", tc.name, tc.line)
+		}
+	}
+	// Decreasing t_us across lines is rejected too.
+	var v Validator
+	if _, err := v.Line([]byte(`{"seq":1,"t_us":100,"event":"a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Line([]byte(`{"seq":2,"t_us":50,"event":"b"}`)); err == nil {
+		t.Error("validator accepted decreasing t_us")
+	}
+}
+
+// TestTraceConcurrentEmit exercises Emit from many goroutines under
+// -race; afterwards the stream must still be schema-valid with every
+// line intact.
+func TestTraceConcurrentEmit(t *testing.T) {
+	const workers, perWorker = 8, 200
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Emit("w", Int("worker", int64(w)), Int("i", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var v Validator
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if _, err := v.Line(sc.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Lines() != workers*perWorker {
+		t.Errorf("validated %d lines, want %d", v.Lines(), workers*perWorker)
+	}
+}
+
+// TestTraceStickyWriteError checks that a failing sink surfaces at
+// Close with the drop count, not as a panic mid-run.
+func TestTraceStickyWriteError(t *testing.T) {
+	tr := NewTraceWithClock(failingWriter{}, fixedClock())
+	// Small buffer forced to flush: rewrap with a tiny bufio writer.
+	tr.bw = bufio.NewWriterSize(failingWriter{}, 1)
+	tr.Emit("a")
+	tr.Emit("b")
+	err := tr.Close()
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("Close = %v, want sticky write error with drop count", err)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }

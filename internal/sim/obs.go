@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/obs"
+)
+
+// This file is the runner's observability surface. A Runner carries no
+// instruments until Observe attaches a registry; with none attached the
+// per-step cost is one nil check, per the obs package's
+// zero-cost-when-disabled contract.
+//
+// Exported metric names:
+//
+//	sim.fired.<class>          counter   locally-controlled actions fired,
+//	                                     keyed by fairness class
+//	sim.fired.input.<kind>     counter   environment inputs applied
+//	sim.residency.t,r / r,t    gauge     channel residency high-water mark
+//	                                     (pending packets after a send_pkt)
+//	sim.steps_to_quiescence    histogram steps each RunFair took to quiesce
+//
+// Counters are monotone: Restore rolls the execution back but not the
+// metrics, so a replayed prefix is counted once per application.
+
+// instruments is the runner's resolved handle set; a nil *instruments is
+// the disabled mode, and every method tolerates a nil receiver.
+type instruments struct {
+	reg *obs.Registry
+	// byClass caches per-fairness-class counters so the apply path does no
+	// string concatenation after a class's first firing.
+	byClass map[ioa.Class]*obs.Counter
+	input   [ioa.KindInternal + 1]*obs.Counter
+	residTR *obs.Gauge
+	residRT *obs.Gauge
+	quiesce *obs.Histogram
+}
+
+// Observe attaches a metrics registry to the runner; nil detaches it.
+func (r *Runner) Observe(reg *obs.Registry) {
+	if reg == nil {
+		r.ins = nil
+		return
+	}
+	r.ins = &instruments{
+		reg:     reg,
+		byClass: make(map[ioa.Class]*obs.Counter),
+		residTR: reg.Gauge("sim.residency." + ioa.TR.String()),
+		residRT: reg.Gauge("sim.residency." + ioa.RT.String()),
+		quiesce: reg.Histogram("sim.steps_to_quiescence", obs.ExpBuckets(1, 2, 16)),
+	}
+}
+
+// observeFired records one applied action: its per-class (or per-input-kind)
+// counter and, for send_pkt, the channel residency high-water mark.
+func (ins *instruments) observeFired(r *Runner, a ioa.Action) {
+	if ins == nil {
+		return
+	}
+	ins.fired(r, a).Inc()
+	if a.Kind == ioa.KindSendPkt {
+		if cs, err := r.sys.ChannelState(r.state, a.Dir); err == nil {
+			g := ins.residTR
+			if a.Dir == ioa.RT {
+				g = ins.residRT
+			}
+			g.SetMax(int64(cs.PendingCount()))
+		}
+	}
+}
+
+// fired resolves the counter for an action: locally-controlled actions are
+// keyed by their fairness class, environment inputs by their kind.
+func (ins *instruments) fired(r *Runner, a ioa.Action) *obs.Counter {
+	if cl := r.sys.Comp.ClassOf(a); cl != "" {
+		c, ok := ins.byClass[cl]
+		if !ok {
+			c = ins.reg.Counter("sim.fired." + string(cl))
+			ins.byClass[cl] = c
+		}
+		return c
+	}
+	k := int(a.Kind)
+	if k >= len(ins.input) {
+		k = 0
+	}
+	if ins.input[k] == nil {
+		ins.input[k] = ins.reg.Counter("sim.fired.input." + a.Kind.String())
+	}
+	return ins.input[k]
+}
+
+// observeQuiescence records how many steps a RunFair call fired before the
+// system quiesced.
+func (ins *instruments) observeQuiescence(steps int) {
+	if ins == nil {
+		return
+	}
+	ins.quiesce.Observe(int64(steps))
+}

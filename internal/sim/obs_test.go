@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+)
+
+// TestRunnerObserveCountsEverything drives ABP to quiescence under an
+// attached registry and checks the fired counters account for every
+// recorded step, residency high-water marks are set, and the
+// steps-to-quiescence histogram sees each quiescent run.
+func TestRunnerObserveCountsEverything(t *testing.T) {
+	r := newABPRunner(t, true)
+	reg := obs.NewRegistry()
+	r.Observe(reg)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ioa.Message{"m1", "m2"} {
+		if err := r.Input(ioa.SendMsg(ioa.TR, m)); err != nil {
+			t.Fatal(err)
+		}
+		quiet, err := r.RunFair(RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !quiet {
+			t.Fatal("ABP on a reliable channel should quiesce")
+		}
+	}
+	snap := reg.Snapshot()
+	var firedTotal, inputTotal int64
+	for _, c := range snap.Counters {
+		switch {
+		case strings.HasPrefix(c.Name, "sim.fired.input."):
+			inputTotal += c.Value
+		case strings.HasPrefix(c.Name, "sim.fired."):
+			firedTotal += c.Value
+		}
+	}
+	// Every recorded step is either an input or a class-keyed firing.
+	if got := firedTotal + inputTotal; got != int64(r.Execution().Len()) {
+		t.Errorf("fired counters sum to %d, execution has %d steps", got, r.Execution().Len())
+	}
+	if inputTotal != 4 { // wake, wake, send_msg, send_msg
+		t.Errorf("input counter sum = %d, want 4", inputTotal)
+	}
+	if v := snap.Counter("sim.fired.input.send_msg"); v != 2 {
+		t.Errorf("sim.fired.input.send_msg = %d, want 2", v)
+	}
+	// Delivering two messages means a data packet and an ack were in
+	// transit at least once in each direction.
+	if hw := snap.Gauge("sim.residency.t,r"); hw < 1 {
+		t.Errorf("sim.residency.t,r high-water = %d, want >= 1", hw)
+	}
+	if hw := snap.Gauge("sim.residency.r,t"); hw < 1 {
+		t.Errorf("sim.residency.r,t high-water = %d, want >= 1", hw)
+	}
+	h, ok := snap.Histogram("sim.steps_to_quiescence")
+	if !ok || h.Count != 2 {
+		t.Fatalf("steps_to_quiescence observed %d runs, want 2", h.Count)
+	}
+	if h.Sum != firedTotal {
+		t.Errorf("steps_to_quiescence sum = %d, want the %d fired steps", h.Sum, firedTotal)
+	}
+}
+
+// TestRunnerObserveDetachAndNil checks that the default runner and a
+// detached runner pay no observation (no registry mutation, no panic).
+func TestRunnerObserveDetachAndNil(t *testing.T) {
+	r := newABPRunner(t, true)
+	if err := r.WakeBoth(); err != nil { // no registry attached
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r.Observe(reg)
+	r.Observe(nil) // detach again
+	if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunFair(RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		if c.Value != 0 {
+			t.Errorf("detached runner incremented %s to %d", c.Name, c.Value)
+		}
+	}
+	if h, ok := snap.Histogram("sim.steps_to_quiescence"); ok && h.Count != 0 {
+		t.Errorf("detached runner observed %d quiescences", h.Count)
+	}
+}

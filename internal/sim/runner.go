@@ -24,6 +24,9 @@ type Runner struct {
 	ids   *core.PacketIDs
 	// rrNext is the round-robin cursor over fairness classes.
 	rrNext int
+	// ins is the observability surface attached by Observe; nil (the
+	// default) means every hook below is a single nil check.
+	ins *instruments
 }
 
 // NewRunner returns a runner positioned at the system's start state.
@@ -132,6 +135,7 @@ func (r *Runner) apply(a ioa.Action) error {
 	}
 	r.state = next
 	r.exec.Append(a, next)
+	r.ins.observeFired(r, a)
 	return nil
 }
 
@@ -206,6 +210,7 @@ func (r *Runner) RunFair(cfg RunConfig) (bool, error) {
 			}
 		}
 		if len(candidates) == 0 {
+			r.ins.observeQuiescence(steps)
 			return true, nil
 		}
 		var pick ioa.Action

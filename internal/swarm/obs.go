@@ -1,0 +1,122 @@
+package swarm
+
+import (
+	"repro/internal/obs"
+)
+
+// This file is the sweep's observability surface. Walk workers record
+// plain-int walkStats locally; Run aggregates them into the registry and
+// trace in job order after the pool drains, so the instruments never
+// touch the hot walk loop and Summary stays deterministic (all timing
+// lives in obs, never in Summary).
+//
+// Exported metric names:
+//
+//	swarm.walks            counter   completed walks (errors excluded)
+//	swarm.errors           counter   harness-level walk failures
+//	swarm.violations       counter   violating walks (== Summary.Violations)
+//	swarm.steps            counter   schedule actions across all walks
+//	swarm.faults.loss      counter   lose actions actually injected
+//	swarm.faults.dup       counter   duplication surgeries applied
+//	swarm.faults.crash     counter   crash+wake outages applied
+//	swarm.faults.fail      counter   fail+wake outages applied
+//	swarm.shrink.replays   counter   candidate replays spent shrinking
+//	swarm.walk_steps       histogram schedule length per walk
+//
+// Trace events: swarm.walk (one per walk, in combo-then-seed job order),
+// swarm.combo (per-combo rollup), swarm.violation (first failing seed of
+// each combo, with the schedule tail embedded) and swarm.shrink.
+
+// walkStats counts the fault operations a walk actually applied (skipped
+// ops are not counted). Workers fill it with plain increments; Run folds
+// it into the registry afterwards.
+type walkStats struct {
+	fired   int // locally-controlled actions fired by OpStep
+	losses  int
+	dups    int
+	crashes int
+	fails   int
+}
+
+// instruments is the sweep's resolved handle set; the zero value (all
+// nil) is the disabled mode.
+type instruments struct {
+	walks      *obs.Counter
+	errors     *obs.Counter
+	violations *obs.Counter
+	steps      *obs.Counter
+	faultLoss  *obs.Counter
+	faultDup   *obs.Counter
+	faultCrash *obs.Counter
+	faultFail  *obs.Counter
+	shrink     *obs.Counter
+	walkSteps  *obs.Histogram
+}
+
+func newInstruments(reg *obs.Registry) instruments {
+	return instruments{
+		walks:      reg.Counter("swarm.walks"),
+		errors:     reg.Counter("swarm.errors"),
+		violations: reg.Counter("swarm.violations"),
+		steps:      reg.Counter("swarm.steps"),
+		faultLoss:  reg.Counter("swarm.faults.loss"),
+		faultDup:   reg.Counter("swarm.faults.dup"),
+		faultCrash: reg.Counter("swarm.faults.crash"),
+		faultFail:  reg.Counter("swarm.faults.fail"),
+		shrink:     reg.Counter("swarm.shrink.replays"),
+		walkSteps:  reg.Histogram("swarm.walk_steps", obs.ExpBuckets(8, 2, 12)),
+	}
+}
+
+// observeWalk folds one completed walk into the counters and trace.
+func (ins instruments) observeWalk(tr *obs.Trace, combo Combo, out walkOutcome) {
+	ins.walks.Inc()
+	ins.steps.Add(int64(out.report.Steps))
+	ins.faultLoss.Add(int64(out.stats.losses))
+	ins.faultDup.Add(int64(out.stats.dups))
+	ins.faultCrash.Add(int64(out.stats.crashes))
+	ins.faultFail.Add(int64(out.stats.fails))
+	ins.walkSteps.Observe(int64(out.report.Steps))
+	if out.report.Property != "" {
+		ins.violations.Inc()
+	}
+	tr.Emit("swarm.walk",
+		obs.Str("combo", combo.String()),
+		obs.Int("seed", out.report.Seed),
+		obs.Int("steps", int64(out.report.Steps)),
+		obs.Int("delivered", int64(out.report.Delivered)),
+		obs.Int("fired", int64(out.stats.fired)),
+		obs.Str("property", out.report.Property),
+		obs.F64("elapsed_ms", float64(out.duration.Microseconds())/1000),
+	)
+}
+
+// violationScheduleTail is how many trailing schedule actions a
+// swarm.violation trace event embeds: enough context for an msc chart of
+// the failure without recording multi-thousand-step walks wholesale.
+const violationScheduleTail = 40
+
+// observeViolation emits the per-combo violation event for the first
+// failing seed, embedding the schedule tail (start_index marks where in
+// the full schedule the tail begins, so renderers can label real step
+// numbers).
+func (ins instruments) observeViolation(tr *obs.Trace, combo Combo, out walkOutcome) {
+	if tr == nil {
+		return
+	}
+	start := 0
+	tail := out.schedule
+	if len(tail) > violationScheduleTail {
+		start = len(tail) - violationScheduleTail
+		tail = tail[start:]
+	}
+	tr.Emit("swarm.violation",
+		obs.Str("combo", combo.String()),
+		obs.Int("seed", out.report.Seed),
+		obs.Str("property", out.report.Property),
+		obs.Str("detail", out.report.Detail),
+		obs.Int("steps", int64(out.report.Steps)),
+		obs.Int("start_index", int64(start)),
+		obs.JSON("schedule", tail),
+	)
+}

@@ -1,0 +1,187 @@
+package swarm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+)
+
+// obsSweepConfig is a small mixed sweep: one clean combo and the broken
+// stuck-bit ABP, so both the clean and the violating paths are exercised.
+func obsSweepConfig() Config {
+	return Config{
+		Combos: []Combo{
+			{Protocol: "abp", FIFO: true, Faults: Faults{Loss: true}},
+			brokenCombo(),
+		},
+		Seeds:   SeedRange(1, 8),
+		Steps:   200,
+		Workers: 4,
+	}
+}
+
+// TestSwarmMetricsConsistency checks the aggregated counters against the
+// Summary they ride along with: walk and violation counts must agree,
+// and injected-fault counters must be live when loss faults are on.
+func TestSwarmMetricsConsistency(t *testing.T) {
+	cfg := obsSweepConfig()
+	reg := obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	tr := obs.NewTrace(&traceBuf)
+	cfg.Metrics = reg
+	cfg.Trace = tr
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	total := 0
+	cfg.OnWalk = func(done, n int) {
+		mu.Lock()
+		seen[done] = true
+		total = n
+		mu.Unlock()
+	}
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walks := len(cfg.Combos) * len(cfg.Seeds)
+	if total != walks || len(seen) != walks || !seen[walks] {
+		t.Errorf("OnWalk saw %d/%d distinct completions (total reported %d)", len(seen), walks, total)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("swarm.walks"); got != int64(walks) {
+		t.Errorf("swarm.walks = %d, want %d", got, walks)
+	}
+	if got := snap.Counter("swarm.violations"); got != int64(sum.Violations) {
+		t.Errorf("swarm.violations = %d, Summary.Violations = %d", got, sum.Violations)
+	}
+	if sum.Violations == 0 {
+		t.Fatal("the broken combo produced no violations; the sweep is not exercising the violating path")
+	}
+	if got := snap.Counter("swarm.faults.loss"); got == 0 {
+		t.Error("swarm.faults.loss = 0 on a loss-faulted sweep")
+	}
+	h, ok := snap.Histogram("swarm.walk_steps")
+	if !ok || h.Count != int64(walks) {
+		t.Errorf("swarm.walk_steps observed %d walks, want %d", h.Count, walks)
+	}
+	if h.Sum != snap.Counter("swarm.steps") {
+		t.Errorf("walk_steps sum %d != swarm.steps %d", h.Sum, snap.Counter("swarm.steps"))
+	}
+	// The shared registry also carries the runners' sim.* instruments.
+	var simFired int64
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "sim.fired.") {
+			simFired += c.Value
+		}
+	}
+	if simFired == 0 {
+		t.Error("no sim.fired.* counters: walks did not attach the sim instruments")
+	}
+
+	// Trace stream: schema-valid, one swarm.walk per walk, one swarm.combo
+	// per combo, and a violation event carrying a decodable schedule tail.
+	var v obs.Validator
+	events := map[string]int{}
+	var violLine []byte
+	sc := bufio.NewScanner(bytes.NewReader(traceBuf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid: %v", err)
+		}
+		events[event]++
+		if event == "swarm.violation" && violLine == nil {
+			violLine = append([]byte(nil), sc.Bytes()...)
+		}
+	}
+	if events["swarm.walk"] != walks || events["swarm.combo"] != len(cfg.Combos) {
+		t.Errorf("unexpected event mix: %v", events)
+	}
+	if events["swarm.violation"] == 0 {
+		t.Fatal("no swarm.violation event despite violations")
+	}
+	var payload struct {
+		Steps      int          `json:"steps"`
+		StartIndex int          `json:"start_index"`
+		Schedule   ioa.Schedule `json:"schedule"`
+	}
+	if err := json.Unmarshal(violLine, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Schedule) == 0 || len(payload.Schedule) > violationScheduleTail {
+		t.Errorf("violation schedule tail has %d actions, want 1..%d", len(payload.Schedule), violationScheduleTail)
+	}
+	if payload.StartIndex+len(payload.Schedule) != payload.Steps {
+		t.Errorf("start_index %d + tail %d != steps %d", payload.StartIndex, len(payload.Schedule), payload.Steps)
+	}
+}
+
+// TestSwarmObsKeepsSummaryDeterministic re-runs the same sweep with and
+// without observability and asserts byte-identical Summary JSON: the
+// instruments must never leak timing or ordering into the result.
+func TestSwarmObsKeepsSummaryDeterministic(t *testing.T) {
+	encode := func(withObs bool) []byte {
+		t.Helper()
+		cfg := obsSweepConfig()
+		if withObs {
+			cfg.Metrics = obs.NewRegistry()
+			var buf bytes.Buffer
+			cfg.Trace = obs.NewTrace(&buf)
+		}
+		sum, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	plain := encode(false)
+	if instrumented := encode(true); string(instrumented) != string(plain) {
+		t.Fatalf("observability changed the summary:\n%s\n%s", plain, instrumented)
+	}
+}
+
+// TestSwarmShrinkReplaysCounted enables shrinking on the broken combo and
+// checks the replay counter and swarm.shrink trace event appear.
+func TestSwarmShrinkReplaysCounted(t *testing.T) {
+	cfg := Config{
+		Combos:  []Combo{brokenCombo()},
+		Seeds:   SeedRange(1, 6),
+		Steps:   200,
+		Workers: 2,
+		Shrink:  true,
+		Metrics: obs.NewRegistry(),
+	}
+	var traceBuf bytes.Buffer
+	cfg.Trace = obs.NewTrace(&traceBuf)
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Violations == 0 || sum.Combos[0].Counterexample == nil {
+		t.Fatal("expected a shrunk counterexample from the broken combo")
+	}
+	// ddmin needs at least the confirmation replay plus some candidates.
+	if replays := cfg.Metrics.Snapshot().Counter("swarm.shrink.replays"); replays < 3 {
+		t.Errorf("swarm.shrink.replays = %d, want >= 3", replays)
+	}
+	if !bytes.Contains(traceBuf.Bytes(), []byte(`"event":"swarm.shrink"`)) {
+		t.Error("no swarm.shrink trace event")
+	}
+}

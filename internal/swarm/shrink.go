@@ -33,25 +33,37 @@ func (c *Counterexample) Actions() int { return len(c.Schedule) }
 // shrinks it to a minimal counterexample and replays the minimum for its
 // rendered schedule and chart.
 func ShrinkSeed(c Combo, seed int64, cfg Config) (*Counterexample, error) {
+	cex, _, err := shrinkSeed(c, seed, cfg)
+	return cex, err
+}
+
+// shrinkSeed is ShrinkSeed plus the observability surface: it also
+// returns how many candidate replays the attempt cost (the two full
+// confirmation replays included), whether or not it succeeded.
+func shrinkSeed(c Combo, seed int64, cfg Config) (*Counterexample, int, error) {
 	cfg = cfg.withDefaults()
+	replays := 0
 	ops := GenOps(seed, cfg.Steps, c.Faults)
 	orig, err := Replay(c, ops, cfg.MaxExtension)
+	replays++
 	if err != nil {
-		return nil, err
+		return nil, replays, err
 	}
 	if orig.Violation == nil {
-		return nil, fmt.Errorf("swarm: seed %d does not violate %s", seed, c)
+		return nil, replays, fmt.Errorf("swarm: seed %d does not violate %s", seed, c)
 	}
-	minOps, err := Shrink(c, ops, orig.Violation.Property, cfg.MaxExtension)
+	minOps, tries, err := shrink(c, ops, orig.Violation.Property, cfg.MaxExtension)
+	replays += tries
 	if err != nil {
-		return nil, err
+		return nil, replays, err
 	}
 	final, err := Replay(c, minOps, cfg.MaxExtension)
+	replays++
 	if err != nil {
-		return nil, err
+		return nil, replays, err
 	}
 	if final.Violation == nil || final.Violation.Property != orig.Violation.Property {
-		return nil, fmt.Errorf("swarm: shrink lost the %s violation for seed %d", orig.Violation.Property, seed)
+		return nil, replays, fmt.Errorf("swarm: shrink lost the %s violation for seed %d", orig.Violation.Property, seed)
 	}
 	sched := make([]string, len(final.Schedule))
 	for i, a := range final.Schedule {
@@ -66,7 +78,7 @@ func ShrinkSeed(c Combo, seed int64, cfg Config) (*Counterexample, error) {
 		OrigOps:  len(ops),
 		Schedule: sched,
 		MSC:      msc.Render(final.Behavior, msc.Options{}),
-	}, nil
+	}, replays, nil
 }
 
 // Shrink minimises ops to a small subsequence (with simplified selection
@@ -76,21 +88,28 @@ func ShrinkSeed(c Combo, seed int64, cfg Config) (*Counterexample, error) {
 // Snapshot/Restore — the shared prefix of consecutive candidates is never
 // re-executed.
 func Shrink(c Combo, ops []Op, want spec.Property, maxExtension int) ([]Op, error) {
+	minOps, _, err := shrink(c, ops, want, maxExtension)
+	return minOps, err
+}
+
+// shrink is Shrink plus the observability surface: it also returns how
+// many candidate replays the minimisation spent.
+func shrink(c Combo, ops []Op, want spec.Property, maxExtension int) ([]Op, int, error) {
 	s, err := newShrinker(c, ops, want, maxExtension)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ok, err := s.try(0, s.base)
 	if err != nil {
-		return nil, err
+		return nil, s.replays, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("swarm: ops do not violate %s over %s", want, c)
+		return nil, s.replays, fmt.Errorf("swarm: ops do not violate %s over %s", want, c)
 	}
 	if err := s.minimize(); err != nil {
-		return nil, err
+		return nil, s.replays, err
 	}
-	return s.base, nil
+	return s.base, s.replays, nil
 }
 
 // walkSnap is a rollback point for the walker: the runner snapshot plus
@@ -114,6 +133,9 @@ type shrinker struct {
 	w      *walker
 	base   []Op
 	snaps  []walkSnap
+	// replays counts candidate evaluations (try calls) for the
+	// observability layer's swarm.shrink.replays counter.
+	replays int
 }
 
 func newShrinker(c Combo, ops []Op, want spec.Property, maxExtension int) (*shrinker, error) {
@@ -164,6 +186,7 @@ func (s *shrinker) ensure(p int) error {
 // property is violated. The prefix comes from a snapshot; only rest and
 // the fair extension execute.
 func (s *shrinker) try(p int, rest []Op) (bool, error) {
+	s.replays++
 	if err := s.ensure(p); err != nil {
 		return false, err
 	}

@@ -28,9 +28,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -244,6 +248,19 @@ type Config struct {
 	// MaxExtension bounds the fair extension run after the fault schedule
 	// (default 20000 locally-controlled steps).
 	MaxExtension int
+	// Metrics, when non-nil, receives the sweep's counters and histograms
+	// (swarm.* from the aggregation pass, sim.* live from the walks). It
+	// never influences the Summary, which stays timing-free and
+	// byte-identical for equal configurations.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives swarm.walk / swarm.combo /
+	// swarm.violation / swarm.shrink events, emitted in deterministic job
+	// order during aggregation.
+	Trace *obs.Trace
+	// OnWalk, when non-nil, is called after each completed walk with the
+	// number done so far and the total. It is invoked concurrently from
+	// worker goroutines.
+	OnWalk func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -326,6 +343,7 @@ func Run(cfg Config) (*Summary, error) {
 		results[ci] = make([]walkOutcome, len(cfg.Seeds))
 	}
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	next := make(chan job)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -334,6 +352,9 @@ func Run(cfg Config) (*Summary, error) {
 			for j := range next {
 				combo, seed := cfg.Combos[j.ci], cfg.Seeds[j.si]
 				results[j.ci][j.si] = runWalk(combo, seed, cfg)
+				if cfg.OnWalk != nil {
+					cfg.OnWalk(int(done.Add(1)), len(jobs))
+				}
 			}
 		}()
 	}
@@ -343,28 +364,50 @@ func Run(cfg Config) (*Summary, error) {
 	close(next)
 	wg.Wait()
 
+	// Aggregation runs single-threaded in job order: the registry and
+	// trace see walks in the same deterministic order every run.
+	ins := newInstruments(cfg.Metrics)
 	sum := &Summary{Steps: cfg.Steps, Seeds: len(cfg.Seeds)}
 	for ci, combo := range cfg.Combos {
 		rep := ComboReport{Combo: combo, Name: combo.String(), Seeds: len(cfg.Seeds)}
 		for si, seed := range cfg.Seeds {
 			out := results[ci][si]
 			if out.err != nil {
+				ins.errors.Inc()
 				rep.Errors = append(rep.Errors, fmt.Sprintf("seed %d: %v", seed, out.err))
 				continue
 			}
+			ins.observeWalk(cfg.Trace, combo, out)
 			if out.report.Property != "" {
 				rep.Violations++
 				rep.Failing = append(rep.Failing, out.report)
+				if rep.Violations == 1 {
+					ins.observeViolation(cfg.Trace, combo, out)
+				}
 			}
 		}
 		if cfg.Shrink && len(rep.Failing) > 0 {
-			cex, err := ShrinkSeed(combo, rep.Failing[0].Seed, cfg)
+			cex, replays, err := shrinkSeed(combo, rep.Failing[0].Seed, cfg)
+			ins.shrink.Add(int64(replays))
 			if err != nil {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("shrink seed %d: %v", rep.Failing[0].Seed, err))
 			} else {
 				rep.Counterexample = cex
+				cfg.Trace.Emit("swarm.shrink",
+					obs.Str("combo", combo.String()),
+					obs.Int("seed", cex.Seed),
+					obs.Int("replays", int64(replays)),
+					obs.Int("orig_ops", int64(cex.OrigOps)),
+					obs.Int("min_ops", int64(len(cex.Ops))),
+				)
 			}
 		}
+		cfg.Trace.Emit("swarm.combo",
+			obs.Str("combo", combo.String()),
+			obs.Int("seeds", int64(rep.Seeds)),
+			obs.Int("violations", int64(rep.Violations)),
+			obs.Int("errors", int64(len(rep.Errors))),
+		)
 		sum.Violations += rep.Violations
 		sum.Combos = append(sum.Combos, rep)
 	}
@@ -372,22 +415,31 @@ func Run(cfg Config) (*Summary, error) {
 	return sum, nil
 }
 
-// walkOutcome is a worker's raw per-seed result.
+// walkOutcome is a worker's raw per-seed result. stats, schedule (kept
+// for violating walks only) and duration feed the observability layer;
+// only report reaches the Summary.
 type walkOutcome struct {
-	report SeedReport
-	err    error
+	report   SeedReport
+	err      error
+	stats    walkStats
+	schedule ioa.Schedule
+	duration time.Duration
 }
 
 // runWalk executes one seeded walk and condenses it into a SeedReport.
 func runWalk(combo Combo, seed int64, cfg Config) walkOutcome {
-	res, err := Replay(combo, GenOps(seed, cfg.Steps, combo.Faults), cfg.MaxExtension)
+	began := time.Now()
+	res, stats, err := replay(combo, GenOps(seed, cfg.Steps, combo.Faults), cfg.MaxExtension, cfg.Metrics)
 	if err != nil {
 		return walkOutcome{err: err}
 	}
 	rep := SeedReport{Seed: seed, Steps: len(res.Schedule), Delivered: res.Delivered}
+	out := walkOutcome{stats: stats, duration: time.Since(began)}
 	if res.Violation != nil {
 		rep.Property = string(res.Violation.Property)
 		rep.Detail = res.Violation.Detail
+		out.schedule = res.Schedule
 	}
-	return walkOutcome{report: rep}
+	out.report = rep
+	return out
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/ioa"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -166,46 +167,60 @@ type RunResult struct {
 // (the walk itself could not be executed); specification violations are
 // reported in the result.
 func Replay(c Combo, ops []Op, maxExtension int) (*RunResult, error) {
+	res, _, err := replay(c, ops, maxExtension, nil)
+	return res, err
+}
+
+// replay is Replay plus the observability surface: the runner's sim.*
+// instruments are attached to reg (nil disables them, at the cost of one
+// nil check per step), and the walker's fault-injection stats are
+// returned alongside the result.
+func replay(c Combo, ops []Op, maxExtension int, reg *obs.Registry) (*RunResult, walkStats, error) {
+	var none walkStats
 	sys, err := c.Build()
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	r := sim.NewRunner(sys)
+	r.Observe(reg)
 	if err := r.WakeBoth(); err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	w := &walker{combo: c, sys: sys, r: r}
 	for i, op := range ops {
 		if err := w.apply(op); err != nil {
-			return nil, fmt.Errorf("swarm: op %d (%s): %w", i, op, err)
+			return nil, none, fmt.Errorf("swarm: op %d (%s): %w", i, op, err)
 		}
 		if w.viol != nil {
-			return w.result(i, false), nil
+			return w.result(i, false), w.stats, nil
 		}
 	}
 	quiesced, err := w.extend(maxExtension)
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	if w.viol == nil {
 		v, err := w.finalChecks()
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		w.viol = v
 	}
-	return w.result(len(ops), quiesced), nil
+	return w.result(len(ops), quiesced), w.stats, nil
 }
 
-// walker executes ops against one runner. Its only state beyond the
-// runner is the send counter (so snapshots are just {sim.Snapshot, sent})
-// and the first observed violation.
+// walker executes ops against one runner. Its rollback-relevant state
+// beyond the runner is just the send counter (so snapshots are
+// {sim.Snapshot, sent}) plus the first observed violation; stats is
+// monotone bookkeeping for the observability layer and is deliberately
+// not rolled back by the shrinker.
 type walker struct {
 	combo Combo
 	sys   *core.System
 	r     *sim.Runner
 	sent  int
 	viol  *spec.Violation
+	stats walkStats
 }
 
 // apply executes one op; inapplicable ops are skipped.
@@ -223,6 +238,7 @@ func (w *walker) apply(op Op) error {
 		if err != nil {
 			return err
 		}
+		w.stats.fired++
 		w.observe(fired)
 		return nil
 	case OpLose:
@@ -239,8 +255,11 @@ func (w *walker) apply(op Op) error {
 			return nil
 		}
 		ioa.SortActions(cands)
-		_, err := w.r.Fire(cands[op.Arg%len(cands)])
-		return err
+		if _, err := w.r.Fire(cands[op.Arg%len(cands)]); err != nil {
+			return err
+		}
+		w.stats.losses++
+		return nil
 	case OpDup:
 		return w.duplicate(op.Arg)
 	case OpCrashT:
@@ -334,6 +353,7 @@ func (w *walker) duplicate(arg int) error {
 		return err
 	}
 	w.r.SetState(next)
+	w.stats.dups++
 	return nil
 }
 
@@ -347,7 +367,15 @@ func (w *walker) outage(a ioa.Action, enabled bool) error {
 	if err := w.r.Input(a); err != nil {
 		return err
 	}
-	return w.r.Input(ioa.Wake(a.Dir))
+	if err := w.r.Input(ioa.Wake(a.Dir)); err != nil {
+		return err
+	}
+	if a.Kind == ioa.KindCrash {
+		w.stats.crashes++
+	} else {
+		w.stats.fails++
+	}
+	return nil
 }
 
 // observe checks the behavior prefix after a delivery against the
