@@ -1,11 +1,11 @@
-# Build/test entry points. `make ci` is the gate: vet + full tests + the
-# race-detector pass over the concurrent packages (the parallel explorer,
-# the scheduler and the swarm worker pool), plus the swarm and fuzz smoke
-# runs.
+# Build/test entry points. `make ci` is the gate: vet + the dlvet domain
+# analyzers + full tests + the race-detector pass over the concurrent
+# packages (the parallel explorer, the scheduler and the swarm worker
+# pool), plus the swarm and fuzz smoke runs.
 
 GO ?= go
 
-.PHONY: build test vet race swarm-smoke fuzz-smoke obs-smoke ci bench-explore bench
+.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,17 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis: the five dlvet analyzers enforce the
+# paper's structural constraints (message-independence, the crashing
+# property) and the checker's soundness invariants (fingerprint
+# completeness, engine determinism, zero-cost disabled observability).
+# Exit status is the OR of the failing analyzers' bits; see cmd/dlvet.
+lint:
+	$(GO) run ./cmd/dlvet
+
+lint-json:
+	$(GO) run ./cmd/dlvet -json
 
 # The explorer's level workers and sharded seen-set, sim's schedulers,
 # and the obs instruments (shared by all worker pools) are the concurrent
@@ -51,7 +62,7 @@ obs-smoke:
 	rm -f /tmp/obs-smoke-explore.jsonl /tmp/obs-smoke-explore-metrics.json \
 		/tmp/obs-smoke-swarm.jsonl /tmp/obs-smoke-swarm-metrics.json
 
-ci: vet test race swarm-smoke fuzz-smoke obs-smoke
+ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

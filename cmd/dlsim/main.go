@@ -39,6 +39,11 @@ func main() {
 		chart   = flag.Bool("msc", false, "print the execution as a message sequence chart")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dlsim: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(*proto, *n, *w, *fifo, *msgs, *seed, *crashes, *verbose, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "dlsim:", err)
 		os.Exit(1)

@@ -97,6 +97,11 @@ func main() {
 	flag.StringVar(&o.metrics, "metrics", "", "write the final metrics snapshot JSON to this file (\"-\": stderr)")
 	flag.Var(&crashes, "crash", "add a crash+recover event for station t or r (repeatable)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "explore: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	o.crashes = crashes
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)

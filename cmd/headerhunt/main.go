@@ -35,6 +35,11 @@ func main() {
 		chart = flag.Bool("msc", false, "print the full violating execution as a message sequence chart")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "headerhunt: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(*proto, *n, *w, *trace, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "headerhunt:", err)
 		os.Exit(1)

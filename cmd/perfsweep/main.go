@@ -32,6 +32,11 @@ func main() {
 		label   = flag.String("label", "", "e11: label recorded on the benchmark entry")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "perfsweep: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	var err error
 	switch *exp {
 	case "e6":

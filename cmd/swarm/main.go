@@ -107,6 +107,10 @@ func run(args []string, out io.Writer) (int, error) {
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return 2, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 	requested, err := swarm.ParseFaults(*faults)
 	if err != nil {
 		return 2, err

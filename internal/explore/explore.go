@@ -260,7 +260,7 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 	}
 	bufs := make([]workerBufs, workers)
 	s.ins = newInstruments(cfg.Metrics, workers)
-	s.began = time.Now()
+	s.began = time.Now() // lint:ignore determinism trace-only timestamp; never reaches Result
 
 	start := &node{
 		state:   sys.Comp.Start(),

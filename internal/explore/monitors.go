@@ -123,6 +123,23 @@ func (m SafetyMonitor) AppendFingerprint(dst []byte) []byte {
 	if m.checkFIFO {
 		dst = append(dst, " last="...)
 		dst = strconv.AppendInt(dst, int64(m.lastDeliver), 10)
+		dst = append(dst, " n="...)
+		dst = strconv.AppendInt(dst, int64(m.sendCount), 10)
+		dst = append(dst, " ord={"...)
+		keys := make([]string, 0, len(m.sendOrder))
+		for k := range m.sendOrder {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, k...)
+			dst = append(dst, ':')
+			dst = strconv.AppendInt(dst, int64(m.sendOrder[ioa.Message(k)]), 10)
+		}
+		dst = append(dst, '}')
 	}
 	return dst
 }

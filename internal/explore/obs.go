@@ -88,7 +88,7 @@ func (s *search) observeLevel(depth, frontier, admitted int) {
 	if s.cfg.Trace == nil && s.cfg.OnLevel == nil {
 		return
 	}
-	elapsed := time.Since(s.began)
+	elapsed := time.Since(s.began) // lint:ignore determinism trace/progress-only rate; never reaches Result
 	states := s.count.Load()
 	rate := 0.0
 	if secs := elapsed.Seconds(); secs > 0 {
@@ -145,6 +145,7 @@ func (s *search) observeDone(res *Result) {
 		obs.Bool("exhausted", res.Exhausted),
 		obs.Bool("violation", res.Violation != nil),
 		obs.Int("seen_bytes", res.SeenSetBytes),
+		// lint:ignore determinism trace-only timing; never reaches Result
 		obs.F64("elapsed_ms", float64(time.Since(s.began).Microseconds())/1000),
 	)
 }

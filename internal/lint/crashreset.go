@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CrashReset enforces the crashing property (MIT/LCS/TM-355 §5)
+// structurally: a crash transition must return the automaton's start
+// state, i.e. the zero value of the state struct. Theorem 7.5's
+// impossibility argument (the crash-pump) is only sound against
+// protocols with this property, so a protocol that silently preserves
+// state across a crash would invalidate every checker result that
+// assumed it crashing.
+//
+// In internal/protocol, every switch case guarded by KindCrash is
+// examined: a returned state may only carry fields over from the
+// pre-crash state when the field's declaration comment documents it as
+// "non-volatile" (the deliberate Theorem-7.5-tightness construction in
+// nonvolatile.go, whose Props also declare Crashing: false). Returning
+// the old state wholesale, or copying an undocumented field, is
+// flagged.
+var CrashReset = &Analyzer{
+	Name: "crashreset",
+	Doc:  "crash transitions must reset to the start state (non-volatile fields excepted)",
+	Bit:  64,
+	Run:  runCrashReset,
+}
+
+func runCrashReset(p *Package) []Diagnostic {
+	if !pkgScope(p.Path, "protocol") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, s := range sw.Body.List {
+				cc, ok := s.(*ast.CaseClause)
+				if !ok || !isCrashCase(p, cc) {
+					continue
+				}
+				diags = append(diags, checkCrashCase(p, cc)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isCrashCase reports whether the case expressions reference the
+// KindCrash action kind.
+func isCrashCase(p *Package, cc *ast.CaseClause) bool {
+	for _, e := range cc.List {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "KindCrash" && p.Info.Uses[id] != nil {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCrashCase verifies every state-typed return in a crash case
+// resets to the start state.
+func checkCrashCase(p *Package, cc *ast.CaseClause) []Diagnostic {
+	var diags []Diagnostic
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				return true
+			}
+			diags = append(diags, checkCrashReturn(p, ret.Results[0])...)
+			return true
+		})
+	}
+	return diags
+}
+
+func checkCrashReturn(p *Package, res ast.Expr) []Diagnostic {
+	tv, ok := p.Info.Types[res]
+	if !ok {
+		return nil
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg() != p.Types {
+		return nil // not a locally-declared state type (e.g. returning nil, error)
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	typeName := named.Obj().Name()
+
+	lit, ok := unparen(res).(*ast.CompositeLit)
+	if !ok {
+		// `return s, nil` or a call: the pre-crash state (or something
+		// derived from it) escapes the crash wholesale.
+		return []Diagnostic{p.diag("crashreset", res,
+			"crash transition returns a non-literal %s state: a crash must reset to the start state, so return a %s{} literal carrying over only non-volatile fields (§5 crashing property)",
+			typeName, typeName)}
+	}
+
+	decl := p.structDecl(typeName)
+	var diags []Diagnostic
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional literal: conservatively require all-zero; any
+			// non-trivial positional literal is flagged per element below.
+			if exprReadsState(p, el) {
+				diags = append(diags, p.diag("crashreset", el,
+					"crash transition copies pre-crash state positionally in %s literal; use keyed fields so non-volatile exemptions are checkable", typeName))
+			}
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !exprReadsState(p, kv.Value) {
+			continue // explicit zero/constant reset is fine
+		}
+		_, comment := fieldDeclOf(decl, key.Name)
+		if strings.Contains(strings.ToLower(comment), "non-volatile") {
+			continue // documented non-volatile memory (Theorem 7.5 tightness)
+		}
+		diags = append(diags, p.diag("crashreset", kv,
+			"crash transition preserves field %s.%s: the crashing property (§5) requires a crash to reset to the start state; zero the field, or document it as `// non-volatile: <why>`",
+			typeName, key.Name))
+	}
+	return diags
+}
+
+// exprReadsState reports whether e reads any local variable (i.e. is
+// not a pure constant/zero expression) — in a crash return, any value
+// derived from locals carries pre-crash state forward.
+func exprReadsState(p *Package, e ast.Expr) bool {
+	reads := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || reads {
+			return !reads
+		}
+		if v, ok := p.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+			reads = true
+			return false
+		}
+		return true
+	})
+	return reads
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the engine-side reproducibility conventions the
+// parallel checker and the swarm harness rely on: same seed, same
+// result. In the engine packages (sim, explore, swarm, channel,
+// protocol) it forbids
+//
+//   - wall-clock reads (time.Now / time.Since) — timing belongs in obs,
+//     never in a Report or Summary;
+//   - the global math/rand functions, which draw from a process-wide
+//     source (all randomness must flow from an explicit seeded
+//     rand.New(rand.NewSource(seed)));
+//   - map iteration whose per-iteration results are accumulated into a
+//     slice that is not subsequently sorted in the same block — Go
+//     randomizes map order, so the slice's order would differ run to
+//     run.
+//
+// Sites where wall-clock time is deliberately observability-only carry a
+// `// lint:ignore determinism <reason>` annotation.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "wall-clock reads, global rand, and unsorted map-order leaks in engine packages",
+	Bit:  8,
+	Run:  runDeterminism,
+}
+
+// determinismScope lists the engine packages the analyzer applies to.
+var determinismScope = []string{"sim", "explore", "swarm", "channel", "protocol"}
+
+func runDeterminism(p *Package) []Diagnostic {
+	inScope := false
+	for _, s := range determinismScope {
+		if pkgScope(p.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				pkg, fn := p.calleePkgFunc(x)
+				switch {
+				case pkg == "time" && (fn == "Now" || fn == "Since"):
+					diags = append(diags, p.diag("determinism", x,
+						"time.%s in an engine package: wall-clock time makes runs irreproducible; keep timing in obs and out of reports (or annotate `// lint:ignore determinism <reason>`)", fn))
+				case pkg == "math/rand" && fn != "New" && fn != "NewSource" && fn != "NewZipf":
+					diags = append(diags, p.diag("determinism", x,
+						"math/rand.%s draws from the global source: use an explicit seeded rand.New(rand.NewSource(seed)) so walks replay", fn))
+				}
+			case *ast.RangeStmt:
+				diags = append(diags, checkMapRange(p, x)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMapRange flags a range over a map whose body accumulates
+// key/value-derived results into an outer slice, unless a later
+// statement in the enclosing block sorts that slice before it is used.
+func checkMapRange(p *Package, rng *ast.RangeStmt) []Diagnostic {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+
+	// Collect the slices the loop body appends to or index-assigns.
+	targets := make(map[types.Object]ast.Node)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			// x = append(x, ...) into a slice
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+					if base := baseIdent(lhs); base != nil {
+						if obj := p.Info.ObjectOf(base); obj != nil && isSliceObj(obj) && obj.Pos() < rng.Pos() {
+							targets[obj] = as
+						}
+					}
+				}
+				continue
+			}
+			// s[i] = ... into an outer slice
+			if idx, ok := lhs.(*ast.IndexExpr); ok {
+				if base := baseIdent(idx.X); base != nil {
+					if obj := p.Info.ObjectOf(base); obj != nil && isSliceObj(obj) && obj.Pos() < rng.Pos() {
+						targets[obj] = as
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Look for a sort of each target in the statements following the
+	// range loop inside its enclosing block.
+	following := stmtsAfter(p, rng)
+	var diags []Diagnostic
+	for obj, node := range targets {
+		if sortedAfter(p, following, obj) {
+			continue
+		}
+		diags = append(diags, p.diag("determinism", node,
+			"map iteration order leaks into slice %q: Go randomizes range-over-map, so this slice's order differs between runs; sort it before use (or build it from sorted keys)", obj.Name()))
+	}
+	return diags
+}
+
+func isSliceObj(obj types.Object) bool {
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+// stmtsAfter returns the statements following n in its innermost
+// enclosing block.
+func stmtsAfter(p *Package, n ast.Node) []ast.Stmt {
+	var out []ast.Stmt
+	for _, f := range p.Files {
+		if n.Pos() < f.Pos() || n.End() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(nd ast.Node) bool {
+			blk, ok := nd.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, s := range blk.List {
+				if s == n {
+					out = blk.List[i+1:]
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sortedAfter reports whether stmts contain a sort.* or slices.Sort*
+// call whose first argument (or whose closure) refers to obj.
+func sortedAfter(p *Package, stmts []ast.Stmt, obj types.Object) bool {
+	sorted := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sorted {
+				return !sorted
+			}
+			pkg, _ := p.calleePkgFunc(call)
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if base := baseIdent(arg); base != nil && p.Info.ObjectOf(base) == obj {
+					sorted = true
+					return false
+				}
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}

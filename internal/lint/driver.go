@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the machine-readable diagnostic shape emitted by
+// dlvet -json: one object per finding, in the same order as the text
+// output.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteText prints diagnostics one per line, with file paths made
+// relative to base when possible (keeps output stable across checkouts).
+func WriteText(w io.Writer, base string, diags []Diagnostic) {
+	for _, d := range diags {
+		file := relPath(base, d.Pos.Filename)
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+// WriteJSON emits {"diagnostics": [...], "count": N} for machine
+// consumption (make lint-json).
+func WriteJSON(w io.Writer, base string, diags []Diagnostic) error {
+	out := struct {
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+		Count       int              `json:"count"`
+	}{Diagnostics: []jsonDiagnostic{}, Count: len(diags)}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(base, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func relPath(base, file string) string {
+	if base == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(base, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return file
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fingerprint enforces the model checker's dedup-soundness invariant:
+// every field of a state struct must be folded into its
+// AppendFingerprint method, or two semantically distinct states can
+// collide in the frontier's seen-set and cut off reachable (possibly
+// violating) executions. A field that is intentionally excluded — e.g.
+// run-level configuration identical across all states of a search — must
+// say so with a trailing `// fp:ignore <reason>` comment.
+//
+// A field counts as referenced if any selector in the method body
+// resolves to it (including through helper methods of field values), or
+// if the whole receiver escapes the method as a value (passed to a
+// helper that fingerprints it wholesale).
+var Fingerprint = &Analyzer{
+	Name: "fingerprint",
+	Doc:  "state struct fields missing from AppendFingerprint break dedup soundness",
+	Bit:  4,
+	Run:  runFingerprint,
+}
+
+func runFingerprint(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "AppendFingerprint" || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkFingerprintMethod(p, fd)...)
+		}
+	}
+	return diags
+}
+
+func checkFingerprintMethod(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	typeName := recvTypeName(fd.Recv.List[0].Type)
+	if typeName == "" {
+		return nil
+	}
+	obj, ok := p.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	// The receiver object, when named; a blank receiver cannot reference
+	// any field, so every field will be flagged (correctly).
+	var recvObj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+		recvObj = p.Info.Defs[names[0]]
+	}
+
+	referenced := make(map[*types.Var]bool)
+	escapes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					referenced[v] = true
+				}
+			}
+			// The receiver used as a selector base is a field access or
+			// method call, not an escape; skip the base ident below by
+			// inspecting only the Sel side here and recursing manually.
+			if id, ok := x.X.(*ast.Ident); ok && recvObj != nil && p.Info.ObjectOf(id) == recvObj {
+				return false // base is the receiver: fields handled above
+			}
+		case *ast.Ident:
+			if recvObj != nil && p.Info.ObjectOf(x) == recvObj {
+				// Bare use of the receiver (argument, assignment source):
+				// the whole value escapes, so all fields are potentially
+				// fingerprinted by the callee. Be conservative: accept.
+				escapes = true
+			}
+		}
+		return true
+	})
+	if escapes {
+		return nil
+	}
+
+	var diags []Diagnostic
+	decl := p.structDecl(typeName)
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if referenced[fv] {
+			continue
+		}
+		node, comment := fieldDeclOf(decl, fv.Name())
+		if node == nil {
+			node = fd // struct declared in another file of the package; anchor on the method
+		}
+		if reason, found := markerReason(comment, "fp:ignore"); found {
+			if reason != "" {
+				continue
+			}
+			diags = append(diags, p.diag("fingerprint", node,
+				"field %s.%s has an fp:ignore annotation without a reason; state why the field is safe to omit from the fingerprint", typeName, fv.Name()))
+			continue
+		}
+		diags = append(diags, p.diag("fingerprint", node,
+			"field %s.%s is not referenced in AppendFingerprint: distinct states differing only in %s would collide in dedup (add it to the fingerprint, or annotate `// fp:ignore <reason>`)",
+			typeName, fv.Name(), fv.Name()))
+	}
+	return diags
+}
+
+// fieldDeclOf locates the AST field named name inside decl, returning
+// the node to anchor the diagnostic on and the field's comment text.
+func fieldDeclOf(decl *ast.StructType, name string) (ast.Node, string) {
+	if decl == nil {
+		return nil, ""
+	}
+	for _, f := range decl.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return id, fieldComment(f)
+			}
+		}
+	}
+	return decl, ""
+}

@@ -1,0 +1,346 @@
+// Package lint is dlvet's analysis core: a dependency-free (stdlib
+// go/ast + go/parser + go/types only) multi-analyzer driver that loads
+// the module's packages and enforces the repository's domain invariants
+// at compile time — the structural hypotheses of the paper's theorems
+// (message-independence, the crashing property) and the checker's own
+// soundness conventions (complete AppendFingerprint coverage,
+// deterministic schedules and summaries, zero-cost disabled
+// observability).
+//
+// Each analyzer reports file:line diagnostics. A diagnostic can be
+// suppressed with an annotation on the offending line or the line above:
+//
+//	// lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an annotation without one suppresses nothing.
+// The fingerprint analyzer additionally honours the field-level form
+//
+//	field T // fp:ignore <reason>
+//
+// for struct fields that are intentionally excluded from a state
+// fingerprint (for example run-level configuration that is identical for
+// every state of a search).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violated invariant and how to fix it.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one domain check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -analyzers selections
+	// and lint:ignore annotations.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Bit is the analyzer's exit-status bit: dlvet exits with the OR of
+	// the bits of all analyzers that reported findings, so scripts can
+	// tell which invariant class failed. Bits start at 4 to stay clear
+	// of the conventional 1 (internal error) and 2 (usage error).
+	Bit int
+	// Run reports the analyzer's findings for one package. The driver
+	// applies lint:ignore suppression and sorting afterwards.
+	Run func(p *Package) []Diagnostic
+}
+
+// All returns the five analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{Fingerprint, Determinism, MsgIndep, ObsDiscipline, CrashReset}
+}
+
+// ByName resolves a comma-separated analyzer selection.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty analyzer selection %q", names)
+	}
+	return out, nil
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string // import path, or the assumed path for testdata packages
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// ignores maps "analyzer\x00file:line" to true for every line
+	// covered by a lint:ignore annotation; built lazily.
+	ignores map[string]bool
+}
+
+// pos converts a node position.
+func (p *Package) pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+// diag builds a Diagnostic at node n.
+func (p *Package) diag(analyzer string, n ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, Pos: p.pos(n), Message: fmt.Sprintf(format, args...)}
+}
+
+// ignoreKey builds the suppression-index key.
+func ignoreKey(analyzer, file string, line int) string {
+	return analyzer + "\x00" + file + ":" + fmt.Sprint(line)
+}
+
+// buildIgnores indexes every well-formed lint:ignore annotation. An
+// annotation covers its own line and the following one, so it works both
+// trailing the offending statement and on a line of its own above it.
+func (p *Package) buildIgnores() {
+	p.ignores = make(map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "lint:ignore ")
+				if idx < 0 {
+					continue
+				}
+				fields := strings.Fields(text[idx+len("lint:ignore "):])
+				if len(fields) < 2 {
+					continue // a reason is mandatory; reasonless annotations suppress nothing
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.ignores[ignoreKey(fields[0], pos.Filename, pos.Line)] = true
+				p.ignores[ignoreKey(fields[0], pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether d is covered by a lint:ignore annotation.
+func (p *Package) suppressed(d Diagnostic) bool {
+	if p.ignores == nil {
+		p.buildIgnores()
+	}
+	return p.ignores[ignoreKey(d.Analyzer, d.Pos.Filename, d.Pos.Line)]
+}
+
+// Run applies the analyzers to every package, filters suppressed
+// diagnostics and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if !p.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ExitCode ORs the exit-status bits of every analyzer with findings;
+// zero means clean.
+func ExitCode(diags []Diagnostic) int {
+	code := 0
+	for _, d := range diags {
+		for _, a := range All() {
+			if a.Name == d.Analyzer {
+				code |= a.Bit
+			}
+		}
+	}
+	return code
+}
+
+// ---- shared type- and AST-inspection helpers ----
+
+// pkgScope reports whether path lies in the module package modPkg
+// ("repro/internal/<modPkg>") or below it.
+func pkgScope(path, modPkg string) bool {
+	full := "repro/internal/" + modPkg
+	return path == full || strings.HasPrefix(path, full+"/")
+}
+
+// pkgNameOf returns the imported package path when e is a package
+// qualifier identifier (e.g. the "time" in time.Now), or "".
+func (p *Package) pkgNameOf(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleePkgFunc returns (pkgPath, funcName) when call invokes a
+// package-level function through a qualified identifier, else ("", "").
+func (p *Package) calleePkgFunc(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	path := p.pkgNameOf(sel.X)
+	if path == "" {
+		return "", ""
+	}
+	return path, sel.Sel.Name
+}
+
+// namedOf strips pointers and returns the named type of t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// recvTypeName returns the receiver's type name for a method
+// declaration, stripping a pointer; "" when it is not a plain (possibly
+// pointer) named receiver.
+func recvTypeName(e ast.Expr) string {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// structDecl finds the AST struct type declaration for the named type,
+// so field comments (fp:ignore, non-volatile) can be read.
+func (p *Package) structDecl(name string) *ast.StructType {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fieldComment joins a struct field's doc and trailing comments.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// markerReason extracts the reason following marker (e.g. "fp:ignore")
+// in a comment; found reports whether the marker is present at all.
+func markerReason(comment, marker string) (reason string, found bool) {
+	idx := strings.Index(comment, marker)
+	if idx < 0 {
+		return "", false
+	}
+	rest := strings.TrimSpace(comment[idx+len(marker):])
+	return rest, true
+}
+
+// declaredBefore reports whether id's declaration lies before pos (used
+// to distinguish loop-local variables from outer state).
+func (p *Package) declaredBefore(id *ast.Ident, pos token.Pos) bool {
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < pos
+}
+
+// baseIdent walks to the base identifier of a selector/index chain:
+// a.b[i].c → a. Nil when the base is not a plain identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests load each testdata package under an assumed import
+// path (so package-scoped analyzers see the scope they apply to), run
+// one analyzer over it, and match the diagnostics against the `// want
+// "substr"` comments in the sources — every want must be hit, and every
+// diagnostic must be wanted.
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// expectation is one `// want` comment: a required message substring at
+// a file:line.
+type expectation struct {
+	file string
+	line int
+	sub  string
+	hit  bool
+}
+
+// parseWants scans a testdata directory for want comments. A want
+// comment on a code line applies to that line; a want comment alone on
+// its line applies to the next line (for sites whose trailing comment
+// position is already taken, e.g. a reasonless fp:ignore).
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			m := wantRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			target := line
+			if strings.HasPrefix(strings.TrimSpace(text), "//") {
+				target = line + 1 // standalone want comment covers the next line
+			}
+			wants = append(wants, &expectation{file: e.Name(), line: target, sub: m[1]})
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want comments found in %s", dir)
+	}
+	return wants
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir      string
+		asPath   string
+		analyzer *Analyzer
+	}{
+		{"fingerprint", "repro/internal/lint/fptest", Fingerprint},
+		{"determinism", "repro/internal/sim/dtest", Determinism},
+		{"msgindep", "repro/internal/protocol/mtest", MsgIndep},
+		{"obsdiscipline", "repro/internal/lint/odtest", ObsDiscipline},
+		{"obsnil", "repro/internal/obs", ObsDiscipline},
+		{"crashreset", "repro/internal/protocol/ctest", CrashReset},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := LoadDir(root, dir, tc.asPath)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			got := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			wants := parseWants(t, dir)
+			for _, d := range got {
+				if !matchWant(wants, d) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.sub)
+				}
+			}
+		})
+	}
+}
+
+func matchWant(wants []*expectation, d Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if !w.hit && w.file == base && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestGoldenExitCodes asserts each seeded violation class surfaces
+// through its own exit-status bit.
+func TestGoldenExitCodes(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir    string
+		asPath string
+		bit    int
+	}{
+		{"fingerprint", "repro/internal/lint/fptest", 4},
+		{"determinism", "repro/internal/sim/dtest", 8},
+		{"msgindep", "repro/internal/protocol/mtest", 16},
+		{"obsnil", "repro/internal/obs", 32},
+		{"crashreset", "repro/internal/protocol/ctest", 64},
+	}
+	for _, tc := range cases {
+		pkg, err := LoadDir(root, filepath.Join("testdata", "src", tc.dir), tc.asPath)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", tc.dir, err)
+		}
+		diags := Run([]*Package{pkg}, All())
+		if code := ExitCode(diags); code&tc.bit == 0 {
+			t.Errorf("%s: exit code %d does not include bit %d", tc.dir, code, tc.bit)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("fingerprint,crashreset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "fingerprint" || as[1].Name != "crashreset" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) should fail")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("ByName empty should fail")
+	}
+}
+
+func TestExitCodeBitsDisjoint(t *testing.T) {
+	seen := map[int]string{}
+	for _, a := range All() {
+		if a.Bit < 4 || a.Bit&(a.Bit-1) != 0 {
+			t.Errorf("%s: bit %d is not a power of two >= 4", a.Name, a.Bit)
+		}
+		if prev, dup := seen[a.Bit]; dup {
+			t.Errorf("bit %d shared by %s and %s", a.Bit, prev, a.Name)
+		}
+		seen[a.Bit] = a.Name
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	diags := []Diagnostic{{Analyzer: "determinism", Message: "m"}}
+	diags[0].Pos.Filename = "/x/y.go"
+	diags[0].Pos.Line = 3
+	if err := WriteJSON(&sb, "/x", diags); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"count": 1`, `"analyzer": "determinism"`, `"file": "y.go"`, `"line": 3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := WriteJSON(&sb, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"diagnostics": []`) {
+		t.Errorf("empty diagnostics should encode as [], got %s", sb.String())
+	}
+}
+
+// TestIgnoreRequiresReason pins the suppression contract: a lint:ignore
+// without a reason suppresses nothing.
+func TestIgnoreRequiresReason(t *testing.T) {
+	p := &Package{}
+	_ = p
+	d := Diagnostic{Analyzer: "determinism"}
+	d.Pos.Filename = "f.go"
+	d.Pos.Line = 2
+	pkg := &Package{ignores: map[string]bool{}}
+	if pkg.suppressed(d) {
+		t.Fatal("no annotations: must not suppress")
+	}
+	pkg2 := &Package{ignores: map[string]bool{ignoreKey("determinism", "f.go", 2): true}}
+	if !pkg2.suppressed(d) {
+		t.Fatal("annotated line must suppress")
+	}
+	if pkg2.suppressed(Diagnostic{Analyzer: "msgindep", Pos: d.Pos}) {
+		t.Fatal("annotation is per-analyzer")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "fingerprint", Message: "boom"}
+	d.Pos.Filename = "a.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 2
+	if got, want := d.String(), "a.go:7:2: [fingerprint] boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(ExitCode(nil)) != "0" {
+		t.Fatal("no diagnostics must exit 0")
+	}
+}

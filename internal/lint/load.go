@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader resolves packages without any dependency outside the
+// standard library. `go list -e -export -deps -json` yields, for every
+// package in the transitive closure of the requested patterns, the
+// package's source files and the path of its export data in the build
+// cache; types are then checked with the gc importer pointed at those
+// export files. This is the same information x/tools' go/packages uses —
+// we just consume it directly.
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` for the patterns in dir.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: %v (%s)", err, stderr.String())
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v (%s)", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadPackages loads and type-checks the packages matching patterns,
+// resolving imports through gc export data. dir must lie inside the
+// module. Only the requested (non-dependency, non-standard) packages are
+// returned, but the whole closure feeds the importer.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string) // import path -> export data file
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.Standard {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	// go list -deps emits dependencies before dependents, so requested
+	// packages appear after their imports; order is irrelevant here
+	// because each package type-checks against export data, not against
+	// our own checked packages.
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Name == "" {
+			continue
+		}
+		// Keep only the packages the caller asked for: dependency
+		// packages were listed solely for their export data. A package
+		// is "requested" when it matched a pattern; `go list` offers no
+		// direct flag for that, so key off module membership — all our
+		// analysis targets are in-module.
+		if !strings.HasPrefix(lp.ImportPath, "repro") {
+			continue
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // e.g. the root package holding only *_test.go files
+		}
+		p, err := checkPackage(fset, imp, lp.Dir, lp.ImportPath, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as the package
+// with import path asPath, resolving its imports through the current
+// module (dir need not be under the module tree in a package-visible
+// place — testdata directories are the intended use). modDir anchors the
+// `go list` runs that provide export data for the imports.
+func LoadDir(modDir, dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		files = append(files, e.Name())
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Collect the imports the files declare, then ask go list for their
+	// export data (plus std, which rides along via -deps).
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		listed, err := goList(modDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return checkFiles(fset, imp, asPath, asts)
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, imp types.Importer, dir, path string, goFiles []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	return checkFiles(fset, imp, path, asts)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %v", path, err)
+	}
+	return &Package{Fset: fset, Path: path, Files: asts, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MsgIndep statically enforces the paper's message-independence clause
+// (MIT/LCS/TM-355 §5.3.1): a data-link protocol's control flow must be
+// equivariant under relabeling of message payloads, i.e. the automata
+// may move payloads around but must not branch on their content.
+// sim.VerifyMessageIndependence spot-checks this dynamically per
+// execution; this analyzer proves the absence of payload branches for
+// whole protocol sources.
+//
+// In internal/protocol, every if-condition, switch tag and case
+// expression is scanned for payload-typed (ioa.Message) operands:
+//
+//   - ==/!= with payload on BOTH sides is allowed — equality of two
+//     relabeled payloads is preserved by any injective relabeling
+//     (this is exactly the delivery-matching idiom
+//     `s.pending[0] != a.Msg`);
+//   - ==/!= with payload on ONE side compares content against a fixed
+//     value and is flagged;
+//   - ordered comparisons (<, <=, >, >=) on payloads, payloads passed
+//     to calls inside conditions (len, parsers), and switching on a
+//     payload value are all flagged.
+var MsgIndep = &Analyzer{
+	Name: "msgindep",
+	Doc:  "protocol control flow branching on message payload content",
+	Bit:  16,
+	Run:  runMsgIndep,
+}
+
+func runMsgIndep(p *Package) []Diagnostic {
+	if !pkgScope(p.Path, "protocol") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IfStmt:
+				diags = append(diags, checkCond(p, x.Cond)...)
+			case *ast.SwitchStmt:
+				if x.Tag != nil && p.isPayload(x.Tag) {
+					diags = append(diags, p.diag("msgindep", x.Tag,
+						"switch on a message payload branches on content, violating message-independence (§5.3.1): protocols may move payloads, not inspect them"))
+				}
+				for _, s := range x.Body.List {
+					cc, ok := s.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						diags = append(diags, checkCond(p, e)...)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isPayload reports whether e is a non-constant expression of the
+// payload type ioa.Message. Constants are excluded even when typed as
+// Message: a literal acquires the payload type in `m == "x"`, but it is
+// fixed content, so comparing a payload against it is exactly the
+// content branch the analyzer exists to flag.
+func (p *Package) isPayload(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isNamedType(tv.Type, "repro/internal/ioa", "Message")
+}
+
+// payloadInside reports whether any subexpression of e is
+// payload-typed.
+func (p *Package) payloadInside(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && p.isPayload(ex) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkCond scans one boolean condition expression for payload
+// dependence, recursing through &&/||/!.
+func checkCond(p *Package, cond ast.Expr) []Diagnostic {
+	var diags []Diagnostic
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return checkCond(p, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return checkCond(p, x.X)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			diags = append(diags, checkCond(p, x.X)...)
+			diags = append(diags, checkCond(p, x.Y)...)
+			return diags
+		case token.EQL, token.NEQ:
+			lp, rp := p.isPayload(x.X), p.isPayload(x.Y)
+			if lp && rp {
+				return nil // payload==payload is equivariant under relabeling
+			}
+			if lp || rp {
+				return []Diagnostic{p.diag("msgindep", x,
+					"comparing a message payload against a non-payload value branches on content, violating message-independence (§5.3.1); only payload-to-payload equality is equivariant")}
+			}
+			// Neither side is directly payload-typed; look deeper for
+			// derived payload uses (len(msg), msg[0], ...).
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if p.payloadInside(x.X) || p.payloadInside(x.Y) {
+				return []Diagnostic{p.diag("msgindep", x,
+					"ordered comparison involving a message payload branches on content, violating message-independence (§5.3.1)")}
+			}
+			return nil
+		}
+	}
+	// Fallback: any call with a payload argument, payload indexing, or
+	// other payload-derived value inside a condition is content
+	// inspection.
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if p.payloadInside(arg) {
+					diags = append(diags, p.diag("msgindep", x,
+						"calling a function on a message payload inside a condition inspects content, violating message-independence (§5.3.1)"))
+					return false
+				}
+			}
+		case *ast.IndexExpr:
+			if p.isPayload(x.X) {
+				diags = append(diags, p.diag("msgindep", x,
+					"indexing into a message payload inside a condition inspects content, violating message-independence (§5.3.1)"))
+				return false
+			}
+		case *ast.BinaryExpr:
+			// Nested comparisons were handled structurally above when
+			// they are the whole condition; handle nested ones here.
+			switch x.Op {
+			case token.EQL, token.NEQ:
+				lp, rp := p.isPayload(x.X), p.isPayload(x.Y)
+				if lp != rp {
+					diags = append(diags, p.diag("msgindep", x,
+						"comparing a message payload against a non-payload value branches on content, violating message-independence (§5.3.1); only payload-to-payload equality is equivariant"))
+					return false
+				}
+				if lp && rp {
+					return false // equivariant equality; operands are bare payloads
+				}
+				// Neither side payload-typed: descend for derived uses.
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsDiscipline locks in the observability layer's zero-cost guarantee:
+//
+//  1. Registry handle resolution (reg.Counter / reg.Gauge /
+//     reg.Histogram) takes the registry mutex and must happen once at
+//     startup, never inside a loop on a hot path. A lookup inside a loop
+//     body is flagged unless its result is stored into storage declared
+//     outside the loop (the setup idiom that pre-resolves a handle
+//     slice).
+//
+//  2. The disabled mode is a nil handle: every instrument method
+//     no-ops via an `if x == nil` guard. Code on that disabled path —
+//     statements before the guard plus the guard's body — must not
+//     allocate (make/new/&T{}/append/fmt.*), or "observability off"
+//     stops being free.
+var ObsDiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc:  "obs handle resolution in loops; allocations on the nil-receiver disabled path",
+	Bit:  32,
+	Run:  runObsDiscipline,
+}
+
+func runObsDiscipline(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkRegistryLookups(p, fd)...)
+			// The disabled-path rule is about the instrument package's own
+			// nil-receiver no-ops; other packages use nil guards for
+			// unrelated (and legitimately allocating) error paths.
+			if fd.Recv != nil && p.Path == "repro/internal/obs" {
+				diags = append(diags, checkDisabledPath(p, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+// isRegistryLookup reports whether call resolves an obs.Registry handle.
+func (p *Package) isRegistryLookup(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isNamedType(tv.Type, "repro/internal/obs", "Registry")
+}
+
+// checkRegistryLookups flags registry handle resolution inside loop
+// bodies, excepting the pre-resolution idiom that fills outer storage.
+func checkRegistryLookups(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	var walk func(n ast.Node, loop ast.Node)
+	walk = func(n ast.Node, loop ast.Node) {
+		ast.Inspect(n, func(nd ast.Node) bool {
+			switch x := nd.(type) {
+			case *ast.ForStmt:
+				if x != n {
+					walk(x.Body, x)
+					return false
+				}
+			case *ast.RangeStmt:
+				if x != n {
+					walk(x.Body, x)
+					return false
+				}
+			case *ast.AssignStmt:
+				if loop == nil {
+					return true
+				}
+				// reg.Counter(...) assigned into storage declared outside
+				// the loop is the setup idiom: allowed.
+				ok := true
+				for i, rhs := range x.Rhs {
+					call, isCall := rhs.(*ast.CallExpr)
+					if !isCall || !p.isRegistryLookup(call) {
+						continue
+					}
+					if i < len(x.Lhs) {
+						if base := baseIdent(x.Lhs[i]); base != nil && x.Tok == token.ASSIGN && p.declaredBefore(base, loop.Pos()) {
+							continue
+						}
+					}
+					ok = false
+					diags = append(diags, p.diag("obsdiscipline", call,
+						"obs handle resolved inside a loop: %s takes the registry mutex per call; resolve the handle once before the loop (or store it into pre-loop storage)", callName(call)))
+				}
+				if ok {
+					// Don't re-report the calls inside this assignment.
+					for _, rhs := range x.Rhs {
+						if call, isCall := rhs.(*ast.CallExpr); isCall && p.isRegistryLookup(call) {
+							for _, arg := range call.Args {
+								walk(arg, loop)
+							}
+						} else {
+							walk(rhs, loop)
+						}
+					}
+					return false
+				}
+				return false
+			case *ast.CallExpr:
+				if loop != nil && p.isRegistryLookup(x) {
+					diags = append(diags, p.diag("obsdiscipline", x,
+						"obs handle resolved inside a loop: %s takes the registry mutex per call; resolve the handle once before the loop (or store it into pre-loop storage)", callName(x)))
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, nil)
+	return diags
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "call"
+}
+
+// checkDisabledPath finds the method's leading nil-receiver guard and
+// flags allocations on the disabled path: statements before the guard
+// and the guard's then-branch.
+func checkDisabledPath(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	recv := fd.Recv.List[0]
+	if len(recv.Names) != 1 || recv.Names[0].Name == "_" {
+		return nil
+	}
+	if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+		return nil
+	}
+	recvObj := p.Info.Defs[recv.Names[0]]
+	if recvObj == nil {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, stmt := range fd.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if ok && ifs.Init == nil && condTestsNil(p, ifs.Cond, recvObj) {
+			diags = append(diags, findAllocs(p, ifs.Body)...)
+			return diags // everything after the guard is the enabled path
+		}
+		// Statements before the guard also run when the receiver is nil.
+		diags = append(diags, findAllocs(p, stmt)...)
+		if hasControlFlow(stmt) {
+			// The guard, if any, is not a leading guard; stop scanning.
+			return nil
+		}
+	}
+	return nil // no nil guard: not an instrument-style method
+}
+
+// condTestsNil reports whether cond contains `obj == nil` (possibly OR'd
+// with further conditions, as in `h == nil || q < 0`).
+func condTestsNil(p *Package, cond ast.Expr, obj types.Object) bool {
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return condTestsNil(p, x.X, obj)
+	case *ast.BinaryExpr:
+		if x.Op == token.LOR {
+			return condTestsNil(p, x.X, obj) || condTestsNil(p, x.Y, obj)
+		}
+		if x.Op != token.EQL {
+			return false
+		}
+		return (isIdentFor(p, x.X, obj) && isNilIdent(p, x.Y)) ||
+			(isIdentFor(p, x.Y, obj) && isNilIdent(p, x.X))
+	}
+	return false
+}
+
+func isIdentFor(p *Package, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && p.Info.ObjectOf(id) == obj
+}
+
+func isNilIdent(p *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// hasControlFlow reports whether stmt can branch away, ending the
+// "leading statements" prefix.
+func hasControlFlow(stmt ast.Stmt) bool {
+	switch stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.ReturnStmt,
+		*ast.BranchStmt, *ast.GoStmt:
+		return true
+	}
+	return false
+}
+
+// findAllocs flags allocating expressions under n: make/new, pointer
+// composite literals, slice/map literals, append, and fmt.* calls.
+func findAllocs(p *Package, n ast.Node) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make", "new", "append":
+					if _, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+						diags = append(diags, p.diag("obsdiscipline", x,
+							"%s on the nil-receiver disabled path: the no-op mode must be allocation-free", id.Name))
+						return true
+					}
+				}
+			}
+			if pkg, fn := p.calleePkgFunc(x); pkg == "fmt" {
+				diags = append(diags, p.diag("obsdiscipline", x,
+					"fmt.%s on the nil-receiver disabled path allocates; the no-op mode must be allocation-free", fn))
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := x.X.(*ast.CompositeLit); isLit {
+					diags = append(diags, p.diag("obsdiscipline", x,
+						"pointer composite literal on the nil-receiver disabled path heap-allocates; the no-op mode must be allocation-free"))
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[x]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				diags = append(diags, p.diag("obsdiscipline", x,
+					"slice/map literal on the nil-receiver disabled path allocates; the no-op mode must be allocation-free"))
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestRepoClean is the regression gate: the whole module must stay clean
+// under all five analyzers. A new unfingerprinted state field, payload
+// branch, wall-clock read, in-loop handle lookup or state-preserving
+// crash transition fails this test (and `make lint`) at the exact
+// file:line.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping module-wide load in -short mode")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("repo not dlvet-clean: %s", d)
+	}
+}

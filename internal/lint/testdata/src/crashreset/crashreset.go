@@ -1,0 +1,60 @@
+// Package ctest seeds crashreset violations; it is loaded under an
+// assumed import path inside internal/protocol so the crashing-property
+// rules apply.
+package ctest
+
+import "repro/internal/ioa"
+
+// cState models the sanctioned Theorem-7.5-tightness construction: a
+// documented non-volatile field may survive a crash.
+type cState struct {
+	epoch int // non-volatile crash counter, survives by design
+	seq   int
+	queue []ioa.Message
+}
+
+func step(s cState, a ioa.Action) (cState, error) {
+	switch {
+	case a.Kind == ioa.KindCrash:
+		return cState{epoch: s.epoch + 1}, nil
+	case a.Kind == ioa.KindWake:
+		return s, nil
+	}
+	return s, nil
+}
+
+// badState preserves an undocumented field across the crash.
+type badState struct {
+	seq   int
+	queue []ioa.Message
+}
+
+func stepBad(s badState, a ioa.Action) (badState, error) {
+	switch {
+	case a.Kind == ioa.KindCrash:
+		return badState{seq: s.seq}, nil // want "crash transition preserves field badState.seq"
+	}
+	return s, nil
+}
+
+// lazyState returns the pre-crash state wholesale.
+type lazyState struct {
+	seq int
+}
+
+func stepLazy(s lazyState, a ioa.Action) (lazyState, error) {
+	switch {
+	case a.Kind == ioa.KindCrash:
+		return s, nil // want "crash transition returns a non-literal lazyState state"
+	}
+	return s, nil
+}
+
+// tagged exercises the tag-style switch shape.
+func stepTagged(s badState, a ioa.Action) (badState, error) {
+	switch a.Kind {
+	case ioa.KindCrash:
+		return badState{queue: s.queue}, nil // want "crash transition preserves field badState.queue"
+	}
+	return s, nil
+}

@@ -1,0 +1,61 @@
+// Package dtest seeds determinism-analyzer violations; it is loaded
+// under an assumed import path inside internal/sim so the engine-scope
+// rules apply.
+package dtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in an engine package"
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in an engine package"
+}
+
+func annotated() time.Time {
+	return time.Now() // lint:ignore determinism exercising the suppression path in the golden test
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "math/rand.Intn draws from the global source"
+}
+
+func globalShuffle(xs []int) {
+	// want "math/rand.Shuffle draws from the global source"
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order leaks into slice"
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func intoMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

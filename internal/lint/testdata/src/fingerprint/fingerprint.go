@@ -1,0 +1,73 @@
+// Package fptest seeds fingerprint-analyzer violations: state structs
+// whose AppendFingerprint omits fields, breaking dedup soundness.
+package fptest
+
+// okState folds every field in: clean.
+type okState struct {
+	a int
+	b string
+}
+
+func (s okState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, byte(s.a))
+	dst = append(dst, s.b...)
+	return dst
+}
+
+// gapState omits b: two states differing only in b dedup-collide.
+type gapState struct {
+	a int
+	b string // want "field gapState.b is not referenced in AppendFingerprint"
+}
+
+func (s gapState) AppendFingerprint(dst []byte) []byte {
+	return append(dst, byte(s.a))
+}
+
+// ignoredState documents its exclusion; reasonless annotations don't count.
+type ignoredState struct {
+	a   int
+	cfg int // fp:ignore run-level configuration, identical for every state of a search
+	// want "annotation without a reason"
+	bad int // fp:ignore
+}
+
+func (s ignoredState) AppendFingerprint(dst []byte) []byte {
+	return append(dst, byte(s.a))
+}
+
+// escState hands the whole receiver to a helper: all fields count as
+// referenced (the helper may fingerprint them wholesale).
+type escState struct {
+	a int
+	b int
+}
+
+func fpAll(dst []byte, s escState) []byte {
+	return append(append(dst, byte(s.a)), byte(s.b))
+}
+
+func (s escState) AppendFingerprint(dst []byte) []byte {
+	return fpAll(dst, s)
+}
+
+// helperState references a field only through a method call on it: that
+// still counts as referenced.
+type fpSet struct {
+	members map[string]bool
+}
+
+func (s fpSet) appendFingerprint(dst []byte) []byte {
+	for k := range s.members {
+		_ = k
+	}
+	return dst
+}
+
+type helperState struct {
+	seen fpSet
+}
+
+func (s helperState) AppendFingerprint(dst []byte) []byte {
+	return s.seen.appendFingerprint(dst)
+}

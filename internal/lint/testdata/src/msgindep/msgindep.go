@@ -1,0 +1,72 @@
+// Package mtest seeds msgindep-analyzer violations; it is loaded under
+// an assumed import path inside internal/protocol so the
+// message-independence rules apply.
+package mtest
+
+import "repro/internal/ioa"
+
+type state struct {
+	pending []ioa.Message
+}
+
+// deliverMatch is the legal delivery idiom: payload-to-payload equality
+// is equivariant under relabeling.
+func deliverMatch(s state, a ioa.Action) bool {
+	if len(s.pending) == 0 || s.pending[0] != a.Msg {
+		return false
+	}
+	return true
+}
+
+func constCompare(a ioa.Action) bool {
+	if a.Msg == "poison" { // want "comparing a message payload against a non-payload value"
+		return true
+	}
+	return false
+}
+
+func nestedConstCompare(s state, a ioa.Action) bool {
+	if len(s.pending) > 0 && a.Msg == "poison" { // want "comparing a message payload against a non-payload value"
+		return true
+	}
+	return false
+}
+
+func ordered(a ioa.Action, m ioa.Message) bool {
+	if a.Msg < m { // want "ordered comparison involving a message payload"
+		return true
+	}
+	return false
+}
+
+func isEmpty(m ioa.Message) bool { return m == "" }
+
+func callOnPayload(a ioa.Action) bool {
+	if isEmpty(a.Msg) { // want "calling a function on a message payload"
+		return true
+	}
+	return false
+}
+
+func indexPayload(a ioa.Action) bool {
+	if a.Msg[0] == 'x' { // want "indexing into a message payload"
+		return true
+	}
+	return false
+}
+
+func switchPayload(a ioa.Action) int {
+	switch a.Msg { // want "switch on a message payload"
+	case "a":
+		return 1
+	}
+	return 0
+}
+
+// movePayload only copies payloads around: clean.
+func movePayload(s state, a ioa.Action) state {
+	if a.Kind == ioa.KindSendMsg {
+		s.pending = append(s.pending, a.Msg)
+	}
+	return s
+}

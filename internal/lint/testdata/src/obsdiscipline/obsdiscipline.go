@@ -1,0 +1,39 @@
+// Package odtest seeds obsdiscipline loop-lookup violations against the
+// real obs.Registry type.
+package odtest
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+func lookupInLoop(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		c := reg.Counter(fmt.Sprintf("x.%d", i)) // want "obs handle resolved inside a loop"
+		c.Inc()
+	}
+}
+
+func bareLookupInRange(reg *obs.Registry, names []string) {
+	for _, name := range names {
+		reg.Counter(name).Inc() // want "obs handle resolved inside a loop"
+	}
+}
+
+func preResolved(reg *obs.Registry, n int) {
+	c := reg.Counter("x")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+}
+
+// setupIdiom pre-resolves per-worker handles into storage declared
+// outside the loop: the allowed startup pattern.
+func setupIdiom(reg *obs.Registry, n int) []*obs.Counter {
+	out := make([]*obs.Counter, n)
+	for i := range out {
+		out[i] = reg.Counter(fmt.Sprintf("w.%d", i))
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Package obs seeds disabled-path allocation violations. The golden
+// test loads it under the assumed import path repro/internal/obs, where
+// the nil-receiver no-op discipline applies.
+package obs
+
+import "fmt"
+
+type Gadget struct {
+	vals []int64
+	name string
+}
+
+// Observe is the clean shape: leading nil guard, work after it.
+func (g *Gadget) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	g.vals = append(g.vals, v)
+}
+
+// Leaky allocates inside the guard body: the disabled path pays.
+func (g *Gadget) Leaky() {
+	if g == nil {
+		_ = make([]int64, 8) // want "make on the nil-receiver disabled path"
+		return
+	}
+	g.vals = g.vals[:0]
+}
+
+// Eager allocates before the guard: nil receivers pay for the format.
+func (g *Gadget) Eager(name string) {
+	full := fmt.Sprintf("gadget.%s", name) // want "fmt.Sprintf on the nil-receiver disabled path"
+	if g == nil {
+		return
+	}
+	g.name = full
+}
+
+// Snapshot follows the zero-alloc prefix idiom: a plain var before the
+// guard is free.
+func (g *Gadget) Snapshot() []int64 {
+	var out []int64
+	if g == nil {
+		return out
+	}
+	out = append(out, g.vals...)
+	return out
+}
+
+// Quantile's compound guard still counts as the nil guard.
+func (g *Gadget) Quantile(q float64) float64 {
+	if g == nil || q < 0 || q > 1 {
+		return 0
+	}
+	return float64(g.vals[0])
+}

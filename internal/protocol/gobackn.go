@@ -125,7 +125,8 @@ func (t *gbnTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
 	case a.Kind == ioa.KindSendPkt && a.Dir == ioa.TR:
 		if s.awake {
 			for i := 0; i < t.windowSize(s); i++ {
-				if sendPktEnabled(a.Pkt, dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])) {
+				want := dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])
+				if sendPktEnabled(a.Pkt, want) {
 					return s, nil
 				}
 			}

@@ -169,7 +169,8 @@ func (t *srTransmitter) Step(st ioa.State, a ioa.Action) (ioa.State, error) {
 				if ackedAt(s, i) {
 					continue
 				}
-				if sendPktEnabled(a.Pkt, dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])) {
+				want := dataPkt(DataHeader((s.base+i)%t.n), s.queue[i])
+				if sendPktEnabled(a.Pkt, want) {
 					return s, nil
 				}
 			}
