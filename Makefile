@@ -1,11 +1,12 @@
 # Build/test entry points. `make ci` is the gate: vet + the dlvet domain
 # analyzers + full tests + the race-detector pass over the concurrent
 # packages (the parallel explorer, the scheduler and the swarm worker
-# pool), plus the swarm and fuzz smoke runs.
+# pool), plus the swarm, fuzz, observability and checkpoint/resume
+# smoke runs.
 
 GO ?= go
 
-.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke ci bench-explore bench
+.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -43,11 +44,14 @@ swarm-smoke:
 	$(GO) run ./cmd/swarm -seeds 40 -steps 200 -workers 8 > /dev/null
 	! $(GO) run ./cmd/swarm -protocols abp-stuck -faults loss -seeds 10 -steps 150 -workers 8 > /dev/null 2>&1
 
-# Short fuzz runs of both fuzz targets: catches panics and containment
-# breaks introduced by spec/channel changes without a dedicated fuzz job.
+# Short fuzz runs of the fuzz targets: catches panics and containment
+# breaks introduced by spec/channel changes, and decoder panics or
+# silent mis-resumes from corrupt checkpoint files, without a dedicated
+# fuzz job.
 fuzz-smoke:
 	$(GO) test -run FuzzCheckersContainment -fuzz FuzzCheckersContainment -fuzztime 10s ./internal/spec/
 	$(GO) test -run FuzzChannelInvariants -fuzz FuzzChannelInvariants -fuzztime 10s ./internal/channel/
+	$(GO) test -run FuzzCheckpointDecode -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/explore/
 
 # End-to-end observability smoke: run both instrumented binaries with
 # -trace/-metrics on short workloads, then obsreport must validate and
@@ -62,7 +66,35 @@ obs-smoke:
 	rm -f /tmp/obs-smoke-explore.jsonl /tmp/obs-smoke-explore-metrics.json \
 		/tmp/obs-smoke-swarm.jsonl /tmp/obs-smoke-swarm-metrics.json
 
-ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke
+# Kill/resume smoke, end to end through the real binary and real
+# signals: run an exhaustive search with -checkpoint, SIGINT it
+# mid-search (the distinct exit status 3 confirms the graceful stop and
+# final checkpoint write), resume from the checkpoint file, and require
+# the timing-free summary figures — state count, deepest path,
+# exhausted flag and the certificate line — to match an uninterrupted
+# baseline run exactly.
+checkpoint-smoke:
+	$(GO) build -o /tmp/ckpt-smoke-explore ./cmd/explore
+	/tmp/ckpt-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 1 \
+		> /tmp/ckpt-smoke-baseline.txt 2> /dev/null
+	( /tmp/ckpt-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 1 \
+		-checkpoint /tmp/ckpt-smoke.ckpt > /tmp/ckpt-smoke-interrupted.txt 2> /dev/null & \
+	  pid=$$!; sleep 0.4; kill -INT $$pid; wait $$pid; test $$? -eq 3 )
+	grep -q "interrupted at a level barrier — checkpoint written" /tmp/ckpt-smoke-interrupted.txt
+	/tmp/ckpt-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 1 \
+		-resume /tmp/ckpt-smoke.ckpt > /tmp/ckpt-smoke-resumed.txt 2> /dev/null
+	grep -o "explored [0-9]* states" /tmp/ckpt-smoke-baseline.txt > /tmp/ckpt-smoke-want.txt
+	grep -o "deepest path [0-9]*, exhausted=[a-z]*" /tmp/ckpt-smoke-baseline.txt >> /tmp/ckpt-smoke-want.txt
+	tail -n 1 /tmp/ckpt-smoke-baseline.txt >> /tmp/ckpt-smoke-want.txt
+	grep -o "explored [0-9]* states" /tmp/ckpt-smoke-resumed.txt > /tmp/ckpt-smoke-got.txt
+	grep -o "deepest path [0-9]*, exhausted=[a-z]*" /tmp/ckpt-smoke-resumed.txt >> /tmp/ckpt-smoke-got.txt
+	tail -n 1 /tmp/ckpt-smoke-resumed.txt >> /tmp/ckpt-smoke-got.txt
+	cmp /tmp/ckpt-smoke-want.txt /tmp/ckpt-smoke-got.txt
+	rm -f /tmp/ckpt-smoke-explore /tmp/ckpt-smoke.ckpt /tmp/ckpt-smoke-baseline.txt \
+		/tmp/ckpt-smoke-interrupted.txt /tmp/ckpt-smoke-resumed.txt \
+		/tmp/ckpt-smoke-want.txt /tmp/ckpt-smoke-got.txt
+
+ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

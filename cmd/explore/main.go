@@ -26,12 +26,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -74,8 +78,21 @@ type options struct {
 	memProfile string
 	tracePath  string
 	metrics    string
-	progress   io.Writer // nil: stderr (tests substitute a buffer)
+	checkpoint string
+	ckptEvery  string
+	resume     string
+	progress   io.Writer                 // nil: stderr (tests substitute a buffer)
+	onLevel    func(explore.LevelStats) // nil: none (tests hook mid-search behavior)
 }
+
+// errInterrupted marks a search stopped gracefully by SIGINT/SIGTERM:
+// the in-flight level finished, the final checkpoint (if configured) and
+// all obs/profile artifacts were flushed. main maps it to exit code 3 so
+// scripts can tell "stopped, resumable" from success (0) and errors (1).
+var errInterrupted = errors.New("interrupted")
+
+// exitInterrupted is the distinct status for graceful interruption.
+const exitInterrupted = 3
 
 func main() {
 	var o options
@@ -95,6 +112,9 @@ func main() {
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL trace of the search to this file")
 	flag.StringVar(&o.metrics, "metrics", "", "write the final metrics snapshot JSON to this file (\"-\": stderr)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "write durable search checkpoints to this file (atomic, resumable)")
+	flag.StringVar(&o.ckptEvery, "checkpoint-every", "1", "checkpoint cadence: N (levels) or a duration like 30s")
+	flag.StringVar(&o.resume, "resume", "", "resume the search from this checkpoint file (other flags must match)")
 	flag.Var(&crashes, "crash", "add a crash+recover event for station t or r (repeatable)")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -104,9 +124,28 @@ func main() {
 	}
 	o.crashes = crashes
 	if err := run(o, os.Stdout); err != nil {
+		if errors.Is(err, errInterrupted) {
+			os.Exit(exitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
+}
+
+// parseCheckpointEvery accepts either a level count ("5") or a wall-time
+// cadence ("30s", "2m").
+func parseCheckpointEvery(s string) (levels int, every time.Duration, err error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("-checkpoint-every: level count must be positive, got %d", n)
+		}
+		return n, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-checkpoint-every: want a positive level count or duration, got %q", s)
+	}
+	return 0, d, nil
 }
 
 // startCPUProfile begins CPU profiling into path and returns an
@@ -233,6 +272,52 @@ func run(o options, out io.Writer) (err error) {
 		progress = os.Stderr
 	}
 
+	var ckOpts explore.CheckpointOptions
+	if o.checkpoint != "" {
+		if o.ckptEvery == "" {
+			o.ckptEvery = "1" // the flag default, for programmatic callers
+		}
+		levels, every, err := parseCheckpointEvery(o.ckptEvery)
+		if err != nil {
+			return err
+		}
+		ckOpts = explore.CheckpointOptions{Path: o.checkpoint, EveryLevels: levels, Every: every}
+	}
+	var resume *explore.Checkpoint
+	if o.resume != "" {
+		resume, err = explore.ReadCheckpoint(o.resume)
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+	}
+
+	// SIGINT/SIGTERM request a graceful stop: the search finishes its
+	// in-flight level, writes a final checkpoint when -checkpoint is set,
+	// and falls out through the normal teardown below, so the obs trace,
+	// metrics snapshot and profiles are all flushed, not lost.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(progress, "explore: signal received — finishing the in-flight level")
+			close(stop)
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+
+	onLevel := progressPrinter(progress)
+	if hook := o.onLevel; hook != nil {
+		printer := onLevel
+		onLevel = func(ls explore.LevelStats) {
+			printer(ls)
+			hook(ls)
+		}
+	}
+
 	inputs := []ioa.Action{ioa.Wake(ioa.TR), ioa.Wake(ioa.RT)}
 	for i := 0; i < o.msgs; i++ {
 		inputs = append(inputs, ioa.SendMsg(ioa.TR, ioa.Message(fmt.Sprintf("m%d", i+1))))
@@ -251,7 +336,10 @@ func run(o options, out io.Writer) (err error) {
 		ExactDedup:   o.exactDedup,
 		Metrics:      reg,
 		Trace:        tr,
-		OnLevel:      progressPrinter(progress),
+		OnLevel:      onLevel,
+		Checkpoint:   ckOpts,
+		Resume:       resume,
+		Stop:         stop,
 	})
 	if err != nil {
 		return err
@@ -276,10 +364,24 @@ func run(o options, out io.Writer) (err error) {
 	fmt.Fprintf(out, "explored %d states in %v (%.0f states/sec, deepest path %d, exhausted=%t, seen-set ≈%d bytes)\n",
 		res.StatesExplored, elapsed.Round(time.Millisecond),
 		float64(res.StatesExplored)/elapsed.Seconds(), res.DepthReached, res.Exhausted, res.SeenSetBytes)
-	if res.Violation == nil {
-		if res.Exhausted {
-			fmt.Fprintln(out, "no safety violation reachable within the bound — bounded verification certificate")
+	if res.Interrupted {
+		if o.checkpoint != "" {
+			fmt.Fprintf(out, "interrupted at a level barrier — checkpoint written to %s (resume with -resume %s)\n",
+				o.checkpoint, o.checkpoint)
 		} else {
+			fmt.Fprintln(out, "interrupted at a level barrier — no -checkpoint configured, partial search discarded")
+		}
+		return errInterrupted
+	}
+	if res.Violation == nil {
+		switch {
+		// "Exhausted" always means exhausted within -depth: DepthLimited
+		// says whether the depth bound was the binding constraint.
+		case res.Exhausted && res.DepthLimited:
+			fmt.Fprintf(out, "no safety violation reachable within depth %d — bounded verification certificate (depth-limited: unexpanded frontier remains beyond the bound)\n", o.depth)
+		case res.Exhausted:
+			fmt.Fprintln(out, "no safety violation reachable within the bound — bounded verification certificate")
+		default:
 			fmt.Fprintln(out, "no violation found, but the state budget was exceeded — not a certificate")
 		}
 		return nil

@@ -4,11 +4,17 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/ioa"
@@ -171,5 +177,157 @@ func TestTraceAndMetricsFlags(t *testing.T) {
 	}
 	if lastEvent != "metrics" {
 		t.Errorf("trace ends with %q, want the final metrics event", lastEvent)
+	}
+}
+
+// interruptAtLevel arms o to deliver a real SIGINT to this process once
+// the search reaches the given BFS level. The test registers its own
+// signal channel first, so the process default (termination) is never in
+// play; waiting for the signal to land on that channel plus a short
+// grace period guarantees run's own handler has closed its stop channel
+// before the level barrier polls it.
+func interruptAtLevel(t *testing.T, o *options, level int) {
+	t.Helper()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	t.Cleanup(func() { signal.Stop(sigs) })
+	var once sync.Once
+	o.onLevel = func(ls explore.LevelStats) {
+		if ls.Depth+1 >= level {
+			once.Do(func() {
+				if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+					t.Errorf("self-SIGINT: %v", err)
+					return
+				}
+				<-sigs
+				time.Sleep(100 * time.Millisecond)
+			})
+		}
+	}
+}
+
+// TestSignaledRunFlushesArtifacts: a SIGINT mid-search stops gracefully
+// (errInterrupted), writes a resumable checkpoint, and still flushes a
+// schema-valid obs trace, the metrics snapshot and both profiles — the
+// regression test for interrupt teardown losing buffered artifacts.
+func TestSignaledRunFlushesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	o := violatingOptions(dir)
+	o.workers = 1
+	o.tracePath = filepath.Join(dir, "trace.jsonl")
+	o.metrics = filepath.Join(dir, "metrics.json")
+	o.checkpoint = filepath.Join(dir, "ck.jsonl")
+	o.ckptEvery = "1"
+	interruptAtLevel(t, &o, 3)
+	var out bytes.Buffer
+	if err := run(o, &out); !errors.Is(err, errInterrupted) {
+		t.Fatalf("run = %v, want errInterrupted\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted at a level barrier") {
+		t.Errorf("missing interruption report:\n%s", out.String())
+	}
+
+	// The checkpoint must decode cleanly.
+	if _, err := explore.ReadCheckpoint(o.checkpoint); err != nil {
+		t.Errorf("checkpoint after SIGINT: %v", err)
+	}
+	// The trace must be schema-valid JSONL ending in the metrics event.
+	blob, err := os.ReadFile(o.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v obs.Validator
+	lastEvent, sawCkpt := "", false
+	sc := bufio.NewScanner(bytes.NewReader(blob))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid after SIGINT: %v", err)
+		}
+		lastEvent = event
+		if event == "explore.checkpoint" {
+			sawCkpt = true
+		}
+	}
+	if lastEvent != "metrics" {
+		t.Errorf("signaled trace ends with %q, want the final metrics event", lastEvent)
+	}
+	if !sawCkpt {
+		t.Error("trace has no explore.checkpoint event")
+	}
+	// The metrics snapshot and both profiles must be complete files.
+	if _, err := os.Stat(o.metrics); err != nil {
+		t.Errorf("metrics not flushed: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "mem.pprof"} {
+		if pb, err := os.ReadFile(filepath.Join(dir, name)); err != nil || len(pb) < 2 || pb[0] != 0x1f || pb[1] != 0x8b {
+			t.Errorf("%s not a flushed gzip profile after SIGINT (err=%v)", name, err)
+		}
+	}
+}
+
+// TestResumeFlagReproducesBaseline: interrupt a sequential violating
+// search by real SIGINT, resume it with -resume, and demand the resumed
+// run report the same cumulative state count and the identical violation
+// trace as an uninterrupted baseline.
+func TestResumeFlagReproducesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := violatingOptions(dir)
+	base.cpuProfile, base.memProfile = "", ""
+	base.workers = 1
+	var want bytes.Buffer
+	if err := run(base, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	o := base
+	o.checkpoint = filepath.Join(dir, "ck.jsonl")
+	interruptAtLevel(t, &o, 4)
+	if err := run(o, io.Discard); !errors.Is(err, errInterrupted) {
+		t.Fatalf("interrupted run = %v, want errInterrupted", err)
+	}
+
+	r := base
+	r.resume = o.checkpoint
+	var got bytes.Buffer
+	if err := run(r, &got); err != nil {
+		t.Fatal(err)
+	}
+	// The violation section (property + trace) must match verbatim; the
+	// summary line's timing varies, but the state count must not.
+	tail := func(s string) string {
+		i := strings.Index(s, "VIOLATION")
+		if i < 0 {
+			return ""
+		}
+		return s[i:]
+	}
+	if tail(got.String()) == "" || tail(got.String()) != tail(want.String()) {
+		t.Errorf("resumed violation section differs:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+	states := func(s string) string {
+		m := regexp.MustCompile(`explored (\d+) states`).FindStringSubmatch(s)
+		if m == nil {
+			return ""
+		}
+		return m[1]
+	}
+	if g, w := states(got.String()), states(want.String()); g == "" || g != w {
+		t.Errorf("resumed cumulative states = %s, want %s", g, w)
+	}
+}
+
+func TestParseCheckpointEvery(t *testing.T) {
+	if l, d, err := parseCheckpointEvery("5"); err != nil || l != 5 || d != 0 {
+		t.Errorf("parse 5 = (%d, %v, %v)", l, d, err)
+	}
+	if l, d, err := parseCheckpointEvery("30s"); err != nil || l != 0 || d != 30*time.Second {
+		t.Errorf("parse 30s = (%d, %v, %v)", l, d, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "-2s"} {
+		if _, _, err := parseCheckpointEvery(bad); err == nil {
+			t.Errorf("parse %q: expected error", bad)
+		}
 	}
 }

@@ -77,6 +77,15 @@ type violationEvent struct {
 	Schedule   ioa.Schedule `json:"schedule"`
 }
 
+// checkpointEvent mirrors the explorer's explore.checkpoint event.
+type checkpointEvent struct {
+	Level       int     `json:"level"`
+	Nodes       int     `json:"nodes"`
+	SeenEntries int     `json:"seen_entries"`
+	Bytes       int64   `json:"bytes"`
+	DurationMS  float64 `json:"duration_ms"`
+}
+
 // metricsEvent mirrors the final metrics event both binaries emit.
 type metricsEvent struct {
 	Snapshot obs.Snapshot `json:"snapshot"`
@@ -89,6 +98,7 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 	var v obs.Validator
 	counts := map[string]int64{}
 	var levels []levelEvent
+	var ckpts []checkpointEvent
 	var violations []violationEvent
 	var snap *obs.Snapshot
 	sc := bufio.NewScanner(r)
@@ -107,6 +117,12 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
 			}
 			levels = append(levels, le)
+		case "explore.checkpoint":
+			var ce checkpointEvent
+			if err := json.Unmarshal(line, &ce); err != nil {
+				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
+			}
+			ckpts = append(ckpts, ce)
 		case "explore.violation", "swarm.violation":
 			var ve violationEvent
 			if err := json.Unmarshal(line, &ve); err != nil {
@@ -141,6 +157,9 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 				le.Depth, le.Frontier, le.Admitted, le.States, le.StatesPerSec)
 		}
 	}
+	if len(ckpts) > 0 {
+		writeCheckpoints(out, ckpts)
+	}
 	if snap != nil {
 		writeSnapshot(out, *snap, top)
 	}
@@ -165,6 +184,22 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 		}
 	}
 	return nil
+}
+
+// writeCheckpoints summarises the explorer's durable snapshots: total
+// write cost (the overhead a checkpointed run pays), plus the final
+// checkpoint's shape — the one a resume would start from.
+func writeCheckpoints(out io.Writer, ckpts []checkpointEvent) {
+	var bytes int64
+	var ms float64
+	for _, c := range ckpts {
+		bytes += c.Bytes
+		ms += c.DurationMS
+	}
+	last := ckpts[len(ckpts)-1]
+	fmt.Fprintf(out, "\ncheckpoints: %d written, %d bytes total in %.1f ms\n", len(ckpts), bytes, ms)
+	fmt.Fprintf(out, "  last at level %d: %d frontier nodes, %d seen entries, %d bytes\n",
+		last.Level, last.Nodes, last.SeenEntries, last.Bytes)
 }
 
 // writeSnapshot prints the metrics snapshot: top counters by value, all

@@ -160,3 +160,43 @@ func TestReportGolden(t *testing.T) {
 		t.Errorf("report mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
 	}
 }
+
+// TestReportCheckpointSection: a trace from a checkpointing search gains
+// a "checkpoints:" summary (count, total bytes/latency, last snapshot's
+// shape).
+func TestReportCheckpointSection(t *testing.T) {
+	sys, err := core.NewSystem(protocol.NewABP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	_, err = explore.BFS(sys, explore.Config{
+		Inputs: []ioa.Action{
+			ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+			ioa.SendMsg(ioa.TR, "m1"),
+			ioa.Crash(ioa.RT), ioa.Wake(ioa.RT),
+		},
+		Monitor:      explore.NewSafetyMonitor(false),
+		MaxDepth:     20,
+		MaxInTransit: 2,
+		Trace:        tr,
+		Checkpoint:   explore.CheckpointOptions{Path: t.TempDir() + "/ck.jsonl", EveryLevels: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := report(&buf, "t.jsonl", false, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"explore.checkpoint", "checkpoints:", "last at level"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -60,6 +61,14 @@ type e11Result struct {
 	DedupHits    int64   `json:"dedup_hits"`
 	DedupMisses  int64   `json:"dedup_misses"`
 	DedupHitRate float64 `json:"dedup_hit_rate"`
+	// Checkpoint overhead: one extra timed run (metrics disabled) that
+	// writes a durable checkpoint at every level barrier, compared
+	// against the same-worker uncheckpointed run above. Write count and
+	// last-snapshot size come from the instrumented run.
+	CheckpointWrites      int64   `json:"checkpoint_writes"`
+	CheckpointLastBytes   int64   `json:"checkpoint_last_bytes"`
+	CheckpointDurationMS  float64 `json:"checkpoint_duration_ms"`
+	CheckpointOverheadPct float64 `json:"checkpoint_overhead_pct"`
 }
 
 func runE11(workersCSV, jsonPath, label string) error {
@@ -96,12 +105,13 @@ func runE11(workersCSV, jsonPath, label string) error {
 	// Timed runs keep Metrics nil: the benchmark measures the
 	// uninstrumented hot path, the zero-cost-when-disabled contract's
 	// figure of record. Snapshot figures come from one extra untimed run.
-	measure := func(w int, exact bool, reg *obs.Registry) (*explore.Result, time.Duration, error) {
+	measure := func(w int, exact bool, reg *obs.Registry, ck explore.CheckpointOptions) (*explore.Result, time.Duration, error) {
 		c := cfg
 		c.Monitor = explore.NewSafetyMonitor(true)
 		c.Workers = w
 		c.ExactDedup = exact
 		c.Metrics = reg
+		c.Checkpoint = ck
 		began := time.Now()
 		res, err := explore.BFS(sys, c)
 		return res, time.Since(began), err
@@ -109,7 +119,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 
 	var base float64
 	for _, w := range workers {
-		res, elapsed, err := measure(w, false, nil)
+		res, elapsed, err := measure(w, false, nil, explore.CheckpointOptions{})
 		if err != nil {
 			return err
 		}
@@ -140,7 +150,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 			w, run.States, run.StatesPerSec, run.SpeedupVsW1)
 	}
 
-	exactRes, _, err := measure(1, true, nil)
+	exactRes, _, err := measure(1, true, nil, explore.CheckpointOptions{})
 	if err != nil {
 		return err
 	}
@@ -155,10 +165,34 @@ func runE11(workersCSV, jsonPath, label string) error {
 	fmt.Printf("  seen-set: hashed %.1f B/state, exact %.1f B/state (%.1fx smaller)\n",
 		out.HashedBytesPerState, out.ExactBytesPerState, out.DedupBytesRatio)
 
+	// Checkpoint overhead: the same workload with a durable snapshot at
+	// every level barrier (the worst-case -checkpoint-every cadence),
+	// metrics still disabled so the delta against the workers[0] run
+	// above isolates the write cost.
+	ckDir, err := os.MkdirTemp("", "perfsweep-e11-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(ckDir)
+	ck := explore.CheckpointOptions{Path: filepath.Join(ckDir, "e11.ckpt"), EveryLevels: 1}
+	ckRes, ckElapsed, err := measure(workers[0], false, nil, ck)
+	if err != nil {
+		return err
+	}
+	if ckRes.StatesExplored != out.States {
+		return fmt.Errorf("e11: checkpointed run explored %d states, want %d (checkpointing perturbed the search?)",
+			ckRes.StatesExplored, out.States)
+	}
+	out.CheckpointDurationMS = float64(ckElapsed.Microseconds()) / 1000
+	if len(out.Runs) > 0 && out.Runs[0].DurationMS > 0 {
+		out.CheckpointOverheadPct = (out.CheckpointDurationMS - out.Runs[0].DurationMS) / out.Runs[0].DurationMS * 100
+	}
+
 	// One extra instrumented run (never timed) harvests the metrics
-	// snapshot figures: peak frontier width and dedup hit rate.
+	// snapshot figures: peak frontier width, dedup hit rate, and the
+	// checkpoint write count and last-snapshot size.
 	reg := obs.NewRegistry()
-	if _, _, err := measure(workers[0], false, reg); err != nil {
+	if _, _, err := measure(workers[0], false, reg, ck); err != nil {
 		return err
 	}
 	snap := reg.Snapshot()
@@ -168,8 +202,13 @@ func runE11(workersCSV, jsonPath, label string) error {
 	if total := out.DedupHits + out.DedupMisses; total > 0 {
 		out.DedupHitRate = float64(out.DedupHits) / float64(total)
 	}
+	out.CheckpointWrites = snap.Counter("explore.checkpoints")
+	out.CheckpointLastBytes = snap.Gauge("explore.checkpoint_bytes")
 	fmt.Printf("  instrumented run: peak frontier %d, dedup hit rate %.3f (%d hits / %d misses)\n",
 		out.PeakFrontier, out.DedupHitRate, out.DedupHits, out.DedupMisses)
+	fmt.Printf("  checkpointing: %d writes (last %d B), run %.1f ms vs %.1f ms uncheckpointed (%+.1f%%)\n",
+		out.CheckpointWrites, out.CheckpointLastBytes,
+		out.CheckpointDurationMS, out.Runs[0].DurationMS, out.CheckpointOverheadPct)
 
 	if jsonPath != "" {
 		if err := appendBenchEntry(jsonPath, out); err != nil {

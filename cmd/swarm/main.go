@@ -18,7 +18,11 @@
 //	swarm -protocols gbn,sr -faults loss,fail -workers 8 # focused sweep
 //
 // The summary is printed as JSON; the exit status is 1 when any
-// specification violation was found and 0 otherwise. With -trace the
+// specification violation was found and 0 otherwise. SIGINT/SIGTERM stop
+// the sweep gracefully: in-flight walks finish, the summary (marked
+// "interrupted", violations included) is printed and the obs trace and
+// metrics are flushed, with exit status 3 — unless violations were found,
+// which still exits 1. With -trace the
 // sweep emits a JSONL event stream (see internal/obs and cmd/obsreport);
 // with -metrics the final counter/gauge/histogram snapshot is written as
 // JSON ("-" for stderr). Neither influences the summary, which stays
@@ -32,15 +36,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/swarm"
 )
+
+// exitInterrupted is the distinct status for a gracefully stopped sweep
+// (mirroring cmd/explore's convention).
+const exitInterrupted = 3
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -131,6 +141,22 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		defer tr.Close()
 	}
+	// SIGINT/SIGTERM stop the sweep gracefully: in-flight walks finish,
+	// the partial summary is printed and the obs artifacts below are
+	// flushed instead of lost with the buffered data.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(os.Stderr, "swarm: signal received — finishing in-flight walks")
+			close(stop)
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
 	sum, err := swarm.Run(swarm.Config{
 		Combos:       combos,
 		Seeds:        swarm.SeedRange(*seed0, *seeds),
@@ -141,6 +167,7 @@ func run(args []string, out io.Writer) (int, error) {
 		Metrics:      reg,
 		Trace:        tr,
 		OnWalk:       walkProgress(os.Stderr),
+		Stop:         stop,
 	})
 	if err != nil {
 		return 2, err
@@ -177,6 +204,9 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	if sum.Violations > 0 {
 		return 1, nil
+	}
+	if sum.Interrupted {
+		return exitInterrupted, nil
 	}
 	return 0, nil
 }

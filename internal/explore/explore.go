@@ -101,6 +101,22 @@ type Config struct {
 	// OnLevel, when non-nil, is called after every completed BFS level —
 	// the hook progress reporters hang off for long searches.
 	OnLevel func(LevelStats)
+	// Checkpoint configures periodic durable snapshots of the search,
+	// written at level barriers (see checkpoint.go). The zero value
+	// disables checkpointing.
+	Checkpoint CheckpointOptions
+	// Resume, when non-nil, restores the search from a decoded checkpoint
+	// instead of the start state. The rest of the Config must describe the
+	// same search the checkpoint was taken under (validated by digest);
+	// Workers may differ. Resuming and running to the end yields the same
+	// Result the uninterrupted run would have produced.
+	Resume *Checkpoint
+	// Stop, when non-nil, requests a graceful stop: once the channel is
+	// closed the search finishes the in-flight level, writes a final
+	// checkpoint (when Checkpoint is configured), sets Result.Interrupted
+	// and returns. Checked only at level barriers, so a stopped search is
+	// always resumable from a complete cut.
+	Stop <-chan struct{}
 }
 
 // Default search bounds.
@@ -119,9 +135,21 @@ type Result struct {
 	// StatesExplored counts distinct (state, monitor, inputs-used) nodes.
 	StatesExplored int
 	// Exhausted reports that the entire bounded space was covered: no node
-	// was dropped for exceeding MaxStates. Together with Violation == nil
-	// it is a bounded verification certificate.
+	// was dropped for exceeding MaxStates and the search was not
+	// interrupted. "Exhausted" always means exhausted *within* MaxDepth —
+	// check DepthLimited to see whether the depth bound was the binding
+	// constraint. Together with Violation == nil it is a bounded
+	// verification certificate.
 	Exhausted bool
+	// DepthLimited reports that the search stopped at MaxDepth with
+	// unexpanded frontier nodes remaining: states beyond the depth bound
+	// exist but were not explored, so the Exhausted certificate is
+	// conditional on the bound.
+	DepthLimited bool
+	// Interrupted reports that the search stopped early at a level
+	// barrier because Config.Stop was closed; Exhausted is then false and
+	// the partial counters reflect the completed levels only.
+	Interrupted bool
 	// DepthReached is the longest path explored.
 	DepthReached int
 	// SeenSetBytes approximates the heap held by the dedup set: the
@@ -172,6 +200,7 @@ type search struct {
 
 	maxDepth  int
 	maxStates int64
+	digest    string // configuration digest binding checkpoints to this search
 	seen      seenSet
 	count     atomic.Int64 // distinct states admitted (start included)
 	truncated atomic.Bool  // a fresh state was dropped for budget
@@ -267,19 +296,35 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 		monitor: cfg.Monitor,
 		used:    make([]bool, len(cfg.Inputs)),
 	}
-	key, err := s.appendDedupKey(nil, start)
+	digest, err := s.configDigest(start)
 	if err != nil {
 		return nil, err
 	}
-	s.seen.Add(key)
-	s.count.Store(1)
+	s.digest = digest
 
 	res := &Result{Exhausted: true}
-	frontier := []*node{start}
+	var frontier []*node
+	if cfg.Resume != nil {
+		frontier, err = s.restore(cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		res.DepthReached = cfg.Resume.DepthReached
+	} else {
+		key, err := s.appendDedupKey(nil, start)
+		if err != nil {
+			return nil, err
+		}
+		s.seen.Add(key)
+		s.count.Store(1)
+		frontier = []*node{start}
+	}
+	ck := newCheckpointer(s, cfg.Checkpoint)
 	var spare []*node
 	for len(frontier) > 0 {
 		res.DepthReached = frontier[0].depth
 		if frontier[0].depth >= s.maxDepth {
+			res.DepthLimited = true
 			break
 		}
 		found, err := s.expandLevel(frontier, bufs, workers)
@@ -294,6 +339,10 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 		if found != nil {
 			res.Violation = found.violation
 			res.Trace = found.node.trace()
+			// The violating node sits one level below the frontier being
+			// expanded; recording the frontier depth under-reported by one
+			// and disagreed with len(res.Trace).
+			res.DepthReached = found.node.depth
 			break
 		}
 		spare = spare[:0]
@@ -301,12 +350,38 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 			spare = append(spare, bufs[w].next...)
 		}
 		frontier, spare = spare, frontier
+		// Level barrier: the frontier is a complete cut of the search, so
+		// this is the one place a checkpoint is coherent and a stop is
+		// resumable. A graceful stop forces a final checkpoint write.
+		if stopRequested(cfg.Stop) {
+			res.Interrupted = true
+			if err := ck.maybeWrite(frontier, res.DepthReached, true); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if err := ck.maybeWrite(frontier, res.DepthReached, false); err != nil {
+			return nil, err
+		}
 	}
 	res.StatesExplored = int(min(s.count.Load(), s.maxStates))
-	res.Exhausted = res.Exhausted && !s.truncated.Load()
+	res.Exhausted = res.Exhausted && !s.truncated.Load() && !res.Interrupted
 	res.SeenSetBytes = s.seen.ApproxBytes()
 	s.observeDone(res)
 	return res, nil
+}
+
+// stopRequested polls a graceful-stop channel without blocking.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // levelBatch is how many frontier nodes a worker claims per cursor bump:

@@ -25,9 +25,12 @@ import (
 //	explore.seen_bytes           gauge    approximate dedup-set heap
 //	explore.seen.shard_min/_max  gauge    seen-set shard occupancy spread
 //	explore.fanout               histogram successors per expanded node
+//	explore.checkpoints          counter  checkpoint files written
+//	explore.checkpoint_bytes     gauge    size of the last checkpoint written
 //
 // Trace events: explore.level (one per completed BFS level),
-// explore.violation (with the violating schedule embedded),
+// explore.checkpoint (one per durable snapshot: level, nodes, bytes,
+// duration), explore.violation (with the violating schedule embedded),
 // explore.seen (shard occupancy) and explore.done.
 
 // LevelStats summarises one completed BFS level for Config.OnLevel.
@@ -57,6 +60,8 @@ type instruments struct {
 	shardMin     *obs.Gauge
 	shardMax     *obs.Gauge
 	fanout       *obs.Histogram
+	ckpts        *obs.Counter
+	ckptBytes    *obs.Gauge
 	workers      []*obs.Counter
 }
 
@@ -72,6 +77,8 @@ func newInstruments(reg *obs.Registry, workers int) instruments {
 		shardMin:     reg.Gauge("explore.seen.shard_min"),
 		shardMax:     reg.Gauge("explore.seen.shard_max"),
 		fanout:       reg.Histogram("explore.fanout", obs.LinearBuckets(2, 2, 16)),
+		ckpts:        reg.Counter("explore.checkpoints"),
+		ckptBytes:    reg.Gauge("explore.checkpoint_bytes"),
 		workers:      make([]*obs.Counter, workers),
 	}
 	for w := range ins.workers {
@@ -104,6 +111,22 @@ func (s *search) observeLevel(depth, frontier, admitted int) {
 	if s.cfg.OnLevel != nil {
 		s.cfg.OnLevel(LevelStats{Depth: depth, Frontier: frontier, Admitted: admitted, States: states, Elapsed: elapsed})
 	}
+}
+
+// observeCheckpoint records one durable snapshot write: the counters,
+// the last-write size gauge, and a trace event carrying the write
+// latency — the only place checkpoint timing exists (the file itself is
+// wall-clock-free).
+func (s *search) observeCheckpoint(level, nodes, entries int, bytes int64, dur time.Duration) {
+	s.ins.ckpts.Inc()
+	s.ins.ckptBytes.Set(bytes)
+	s.cfg.Trace.Emit("explore.checkpoint",
+		obs.Int("level", int64(level)),
+		obs.Int("nodes", int64(nodes)),
+		obs.Int("seen_entries", int64(entries)),
+		obs.Int("bytes", bytes),
+		obs.F64("duration_ms", float64(dur.Microseconds())/1000),
+	)
 }
 
 // observeDone records the final search outcome: seen-set shard
@@ -143,6 +166,8 @@ func (s *search) observeDone(res *Result) {
 		obs.Int("states", int64(res.StatesExplored)),
 		obs.Int("depth", int64(res.DepthReached)),
 		obs.Bool("exhausted", res.Exhausted),
+		obs.Bool("depth_limited", res.DepthLimited),
+		obs.Bool("interrupted", res.Interrupted),
 		obs.Bool("violation", res.Violation != nil),
 		obs.Int("seen_bytes", res.SeenSetBytes),
 		// lint:ignore determinism trace-only timing; never reaches Result

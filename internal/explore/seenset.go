@@ -1,14 +1,16 @@
 package explore
 
 import (
-	"hash/maphash"
+	"crypto/rand"
+	"encoding/binary"
+	"sort"
 	"sync"
 )
 
 // The explorer dedups up to millions of states; the seen-set is its main
 // memory consumer and, under parallel BFS, its main contention point. Both
 // implementations below are mutex-striped across seenShards shards chosen
-// by the key's 64-bit maphash, so concurrent workers rarely collide on a
+// by the key's 64-bit hash, so concurrent workers rarely collide on a
 // lock, and both accept transient []byte keys so callers can build keys in
 // a reused buffer.
 //
@@ -21,6 +23,12 @@ import (
 // state, never a false violation — traces are re-validated by the monitor
 // on the path that reaches them. Config.ExactDedup selects exactSeen for
 // collision-paranoid runs.
+//
+// The hash is a seeded multiply-xor mix (hash64 below) rather than
+// hash/maphash: maphash's seed is deliberately opaque and cannot be
+// persisted, but checkpoint files (checkpoint.go) must carry the seed and
+// the admitted fingerprints so a resumed search maps every key to exactly
+// the fingerprint the interrupted run did.
 
 const seenShards = 16
 
@@ -38,9 +46,52 @@ type seenSet interface {
 	ShardLens() []int
 }
 
-// hashedSeen dedups on 64-bit maphash fingerprints.
+// randomSeed draws a fresh 64-bit hash seed. crypto/rand (not the global
+// math/rand source the determinism analyzer forbids) never fails on
+// supported platforms; the fixed fallback keeps the search usable — only
+// collision resistance against pathological key sets, not correctness,
+// depends on the seed being unpredictable.
+func randomSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// hash64 is the seeded 64-bit key hash shared by both seen-sets: 8-byte
+// little-endian lanes folded through the splitmix64 finalizer, with the
+// length and the tail mixed in so prefixes and zero-padded keys cannot
+// alias. Unlike hash/maphash the (seed, key) → hash mapping is a pure
+// function of its arguments, so it survives a checkpoint/restart.
+func hash64(seed uint64, key []byte) uint64 {
+	h := seed ^ mix64(uint64(len(key)))
+	for ; len(key) >= 8; key = key[8:] {
+		h = mix64(h ^ binary.LittleEndian.Uint64(key))
+	}
+	if len(key) > 0 {
+		var tail uint64
+		for i := len(key) - 1; i >= 0; i-- {
+			tail = tail<<8 | uint64(key[i])
+		}
+		h = mix64(h ^ tail)
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashedSeen dedups on 64-bit hash64 fingerprints.
 type hashedSeen struct {
-	seed   maphash.Seed
+	seed   uint64
 	shards [seenShards]struct {
 		mu sync.Mutex
 		m  map[uint64]struct{}
@@ -50,8 +101,12 @@ type hashedSeen struct {
 	}
 }
 
-func newHashedSeen() *hashedSeen {
-	h := &hashedSeen{seed: maphash.MakeSeed()}
+func newHashedSeen() *hashedSeen { return newHashedSeenSeeded(randomSeed()) }
+
+// newHashedSeenSeeded builds the set with an explicit hash seed: the
+// restore path, where the checkpoint dictates the seed.
+func newHashedSeenSeeded(seed uint64) *hashedSeen {
+	h := &hashedSeen{seed: seed}
 	for i := range h.shards {
 		h.shards[i].m = make(map[uint64]struct{})
 	}
@@ -59,7 +114,12 @@ func newHashedSeen() *hashedSeen {
 }
 
 func (h *hashedSeen) Add(key []byte) bool {
-	sum := maphash.Bytes(h.seed, key)
+	return h.addSum(hash64(h.seed, key))
+}
+
+// addSum inserts a precomputed fingerprint; the checkpoint restore path
+// feeds persisted fingerprints straight back in.
+func (h *hashedSeen) addSum(sum uint64) bool {
 	sh := &h.shards[sum>>(64-4)]
 	sh.mu.Lock()
 	_, dup := sh.m[sum]
@@ -68,6 +128,26 @@ func (h *hashedSeen) Add(key []byte) bool {
 	}
 	sh.mu.Unlock()
 	return !dup
+}
+
+// hashSeed exposes the seed for checkpointing.
+func (h *hashedSeen) hashSeed() uint64 { return h.seed }
+
+// hashes returns every admitted fingerprint in ascending order. The set
+// is order-independent, and sorting makes the checkpoint encoding
+// byte-deterministic for a given search state.
+func (h *hashedSeen) hashes() []uint64 {
+	out := make([]uint64, 0, h.Len())
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for sum := range sh.m {
+			out = append(out, sum) // lint:ignore determinism set members; sorted below before any output
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (h *hashedSeen) Len() int {
@@ -99,7 +179,7 @@ func (h *hashedSeen) ApproxBytes() int64 { return int64(h.Len()) * hashedEntryBy
 // exactSeen dedups on full key strings: the Config.ExactDedup escape
 // hatch, immune to hash collisions at ~key-length bytes per state.
 type exactSeen struct {
-	seed   maphash.Seed
+	seed   uint64
 	shards [seenShards]struct {
 		mu    sync.Mutex
 		m     map[string]struct{}
@@ -113,7 +193,7 @@ type exactSeen struct {
 const exactEntryOverhead = 48
 
 func newExactSeen() *exactSeen {
-	e := &exactSeen{seed: maphash.MakeSeed()}
+	e := &exactSeen{seed: randomSeed()}
 	for i := range e.shards {
 		e.shards[i].m = make(map[string]struct{})
 	}
@@ -121,7 +201,7 @@ func newExactSeen() *exactSeen {
 }
 
 func (e *exactSeen) Add(key []byte) bool {
-	sum := maphash.Bytes(e.seed, key)
+	sum := hash64(e.seed, key)
 	sh := &e.shards[sum>>(64-4)]
 	sh.mu.Lock()
 	// The map lookup with a string(key) conversion does not allocate; the
@@ -134,6 +214,23 @@ func (e *exactSeen) Add(key []byte) bool {
 	}
 	sh.mu.Unlock()
 	return !dup
+}
+
+// keys returns every admitted key in ascending order — the exact-mode
+// checkpoint payload (membership is by full key, so the shard seed need
+// not be persisted).
+func (e *exactSeen) keys() []string {
+	out := make([]string, 0, e.Len())
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			out = append(out, k) // lint:ignore determinism set members; sorted below before any output
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (e *exactSeen) Len() int {

@@ -261,6 +261,12 @@ type Config struct {
 	// number done so far and the total. It is invoked concurrently from
 	// worker goroutines.
 	OnWalk func(done, total int)
+	// Stop, when non-nil, requests a graceful stop: once the channel is
+	// closed no further walks start, in-flight walks finish, and the
+	// Summary reports Interrupted with the unstarted walks in Skipped.
+	// Completed walks are aggregated normally, so partial sweeps still
+	// surface any violations they found.
+	Stop <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -314,15 +320,25 @@ type ComboReport struct {
 	// Errors lists harness-level failures (not spec violations): a walk
 	// that could not be executed at all.
 	Errors []string `json:"errors,omitempty"`
+	// Skipped counts walks never started because the sweep was stopped;
+	// Seeds still reports the requested count.
+	Skipped int `json:"skipped,omitempty"`
 }
 
 // Summary is a sweep's deterministic result: it contains no timing, so
-// equal configurations give byte-identical JSON encodings.
+// equal configurations give byte-identical JSON encodings (the
+// interruption fields are omitted when zero, keeping uninterrupted
+// summaries byte-identical to earlier versions).
 type Summary struct {
 	Steps      int           `json:"steps"`
 	Seeds      int           `json:"seeds"`
 	Combos     []ComboReport `json:"combos"`
 	Violations int           `json:"violations"`
+	// Interrupted reports that Config.Stop ended the sweep early; the
+	// aggregates then cover only the walks that ran.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Skipped counts walks never started across all combos.
+	Skipped int `json:"skipped,omitempty"`
 }
 
 // Run executes the sweep: every combo × seed walk, in parallel across a
@@ -351,27 +367,50 @@ func Run(cfg Config) (*Summary, error) {
 			defer wg.Done()
 			for j := range next {
 				combo, seed := cfg.Combos[j.ci], cfg.Seeds[j.si]
-				results[j.ci][j.si] = runWalk(combo, seed, cfg)
+				out := runWalk(combo, seed, cfg)
+				out.ran = true
+				results[j.ci][j.si] = out
 				if cfg.OnWalk != nil {
 					cfg.OnWalk(int(done.Add(1)), len(jobs))
 				}
 			}
 		}()
 	}
+	// The feeder stops handing out jobs once Stop closes (a nil Stop
+	// channel is never ready, so the select degenerates to a plain send);
+	// in-flight walks always finish, and never-started walks are left with
+	// ran=false for the aggregation pass to count as skipped.
+	interrupted := false
+feed:
 	for _, j := range jobs {
-		next <- j
+		select {
+		case next <- j:
+		case <-cfg.Stop:
+			interrupted = true
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if !interrupted && stopRequested(cfg.Stop) {
+		interrupted = true
+	}
 
 	// Aggregation runs single-threaded in job order: the registry and
 	// trace see walks in the same deterministic order every run.
 	ins := newInstruments(cfg.Metrics)
-	sum := &Summary{Steps: cfg.Steps, Seeds: len(cfg.Seeds)}
+	sum := &Summary{Steps: cfg.Steps, Seeds: len(cfg.Seeds), Interrupted: interrupted}
 	for ci, combo := range cfg.Combos {
 		rep := ComboReport{Combo: combo, Name: combo.String(), Seeds: len(cfg.Seeds)}
 		for si, seed := range cfg.Seeds {
 			out := results[ci][si]
+			if !out.ran {
+				// Never started (sweep stopped): not a clean walk, not an
+				// error — counted separately so partial results are honest.
+				rep.Skipped++
+				sum.Skipped++
+				continue
+			}
 			if out.err != nil {
 				ins.errors.Inc()
 				rep.Errors = append(rep.Errors, fmt.Sprintf("seed %d: %v", seed, out.err))
@@ -386,7 +425,9 @@ func Run(cfg Config) (*Summary, error) {
 				}
 			}
 		}
-		if cfg.Shrink && len(rep.Failing) > 0 {
+		// A stopped sweep skips shrinking: stop means stop promptly, and
+		// the violating seed is recorded for a later focused re-run.
+		if cfg.Shrink && len(rep.Failing) > 0 && !interrupted {
 			cex, replays, err := shrinkSeed(combo, rep.Failing[0].Seed, cfg)
 			ins.shrink.Add(int64(replays))
 			if err != nil {
@@ -417,13 +458,28 @@ func Run(cfg Config) (*Summary, error) {
 
 // walkOutcome is a worker's raw per-seed result. stats, schedule (kept
 // for violating walks only) and duration feed the observability layer;
-// only report reaches the Summary.
+// only report reaches the Summary. ran distinguishes a completed walk
+// from the zero value of one skipped by a stopped sweep.
 type walkOutcome struct {
 	report   SeedReport
 	err      error
+	ran      bool
 	stats    walkStats
 	schedule ioa.Schedule
 	duration time.Duration
+}
+
+// stopRequested polls a graceful-stop channel without blocking.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // runWalk executes one seeded walk and condenses it into a SeedReport.

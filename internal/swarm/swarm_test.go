@@ -1,9 +1,11 @@
 package swarm
 
 import (
+	"bytes"
 	"encoding/json"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/protocol"
@@ -250,5 +252,81 @@ func TestCorpusReplay(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestStopSkipsRemainingWalks: a sweep whose Stop channel is already
+// closed starts no walks at all; one stopped mid-sweep finishes the
+// in-flight walks, counts the rest as skipped (never as clean), and
+// marks the summary interrupted.
+func TestStopSkipsRemainingWalks(t *testing.T) {
+	combos, err := DefaultCombos([]string{"abp"}, Faults{Loss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	sum, err := Run(Config{Combos: combos, Seeds: SeedRange(1, 4), Steps: 50, Stop: closed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(combos) * 4
+	if !sum.Interrupted || sum.Skipped != total {
+		t.Fatalf("pre-closed stop: interrupted=%t skipped=%d, want true/%d", sum.Interrupted, sum.Skipped, total)
+	}
+	var comboSkipped int
+	for _, rep := range sum.Combos {
+		comboSkipped += rep.Skipped
+	}
+	if comboSkipped != total {
+		t.Errorf("per-combo skipped sum = %d, want %d", comboSkipped, total)
+	}
+
+	stop := make(chan struct{})
+	var once sync.Once
+	sum, err = Run(Config{
+		Combos: combos, Seeds: SeedRange(1, 8), Steps: 50, Workers: 1,
+		Stop:   stop,
+		OnWalk: func(done, total int) { once.Do(func() { close(stop) }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Interrupted {
+		t.Error("mid-sweep stop not reported as interrupted")
+	}
+	if sum.Skipped == 0 {
+		t.Error("mid-sweep stop skipped no walks")
+	}
+	ran := 0
+	for _, rep := range sum.Combos {
+		ran += rep.Seeds - rep.Skipped
+	}
+	if ran+sum.Skipped != len(combos)*8 {
+		t.Errorf("ran %d + skipped %d != %d walks", ran, sum.Skipped, len(combos)*8)
+	}
+}
+
+// TestUninterruptedSummaryOmitsStopFields: the interruption fields are
+// omitempty, so summaries of complete sweeps stay byte-identical with
+// pre-checkpoint versions (and with a nil Stop channel configured).
+func TestUninterruptedSummaryOmitsStopFields(t *testing.T) {
+	combos, err := DefaultCombos([]string{"abp"}, Faults{Loss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{}) // armed but never fired
+	sum, err := Run(Config{Combos: combos, Seeds: SeedRange(1, 2), Steps: 40, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"interrupted", "skipped"} {
+		if bytes.Contains(blob, []byte(field)) {
+			t.Errorf("complete sweep summary contains %q:\n%s", field, blob)
+		}
 	}
 }
