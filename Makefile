@@ -1,12 +1,12 @@
 # Build/test entry points. `make ci` is the gate: vet + the dlvet domain
 # analyzers + full tests + the race-detector pass over the concurrent
 # packages (the parallel explorer, the scheduler and the swarm worker
-# pool), plus the swarm, fuzz, observability and checkpoint/resume
-# smoke runs.
+# pool), plus the swarm, fuzz, observability, checkpoint/resume and
+# reduction A/B smoke runs.
 
 GO ?= go
 
-.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke ci bench-explore bench
+.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -94,7 +94,29 @@ checkpoint-smoke:
 		/tmp/ckpt-smoke-interrupted.txt /tmp/ckpt-smoke-resumed.txt \
 		/tmp/ckpt-smoke-want.txt /tmp/ckpt-smoke-got.txt
 
-ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke
+# Reduction A/B smoke through the real binary: the e11 workload with
+# and without -symmetry -por must agree on everything the search
+# certifies — deepest path, exhausted flag and the verdict line — while
+# the reduced run explores strictly fewer states. This is the
+# end-to-end twin of the soundness matrix in internal/explore.
+reduction-smoke:
+	$(GO) build -o /tmp/red-smoke-explore ./cmd/explore
+	/tmp/red-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 1 \
+		> /tmp/red-smoke-base.txt 2> /dev/null
+	/tmp/red-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 1 \
+		-symmetry -por > /tmp/red-smoke-reduced.txt 2> /dev/null
+	grep -o "deepest path [0-9]*, exhausted=[a-z]*" /tmp/red-smoke-base.txt > /tmp/red-smoke-want.txt
+	tail -n 1 /tmp/red-smoke-base.txt >> /tmp/red-smoke-want.txt
+	grep -o "deepest path [0-9]*, exhausted=[a-z]*" /tmp/red-smoke-reduced.txt > /tmp/red-smoke-got.txt
+	tail -n 1 /tmp/red-smoke-reduced.txt >> /tmp/red-smoke-got.txt
+	cmp /tmp/red-smoke-want.txt /tmp/red-smoke-got.txt
+	base=$$(grep -o "explored [0-9]* states" /tmp/red-smoke-base.txt | grep -o "[0-9]*"); \
+	red=$$(grep -o "explored [0-9]* states" /tmp/red-smoke-reduced.txt | grep -o "[0-9]*"); \
+	echo "reduction-smoke: $$base -> $$red states"; test "$$red" -lt "$$base"
+	rm -f /tmp/red-smoke-explore /tmp/red-smoke-base.txt /tmp/red-smoke-reduced.txt \
+		/tmp/red-smoke-want.txt /tmp/red-smoke-got.txt
+
+ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

@@ -74,6 +74,8 @@ type options struct {
 	crashes    []ioa.Dir
 	workers    int
 	exactDedup bool
+	symmetry   bool
+	por        bool
 	cpuProfile string
 	memProfile string
 	tracePath  string
@@ -81,7 +83,7 @@ type options struct {
 	checkpoint string
 	ckptEvery  string
 	resume     string
-	progress   io.Writer                 // nil: stderr (tests substitute a buffer)
+	progress   io.Writer                // nil: stderr (tests substitute a buffer)
 	onLevel    func(explore.LevelStats) // nil: none (tests hook mid-search behavior)
 }
 
@@ -108,6 +110,8 @@ func main() {
 	flag.BoolVar(&o.checkFIFO, "dl6", false, "also check delivery order (DL6)")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel BFS workers per level")
 	flag.BoolVar(&o.exactDedup, "exactdedup", false, "dedup on full fingerprints instead of 64-bit hashes")
+	flag.BoolVar(&o.symmetry, "symmetry", false, "symmetry reduction: dedup on canonical payload/packet-ID fingerprints")
+	flag.BoolVar(&o.por, "por", false, "partial-order reduction: one canonical order for commuting deliveries/losses")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL trace of the search to this file")
@@ -334,6 +338,8 @@ func run(o options, out io.Writer) (err error) {
 		MaxInTransit: o.inTransit,
 		Workers:      o.workers,
 		ExactDedup:   o.exactDedup,
+		Symmetry:     o.symmetry,
+		POR:          o.por,
 		Metrics:      reg,
 		Trace:        tr,
 		OnLevel:      onLevel,
@@ -359,8 +365,8 @@ func run(o options, out io.Writer) (err error) {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d, workers=%d\n",
-		p.Name, channelKind(o.fifo), len(inputs), o.depth, o.inTransit, o.workers)
+	fmt.Fprintf(out, "protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d, workers=%d, symmetry=%t, por=%t\n",
+		p.Name, channelKind(o.fifo), len(inputs), o.depth, o.inTransit, o.workers, o.symmetry, o.por)
 	fmt.Fprintf(out, "explored %d states in %v (%.0f states/sec, deepest path %d, exhausted=%t, seen-set ≈%d bytes)\n",
 		res.StatesExplored, elapsed.Round(time.Millisecond),
 		float64(res.StatesExplored)/elapsed.Seconds(), res.DepthReached, res.Exhausted, res.SeenSetBytes)

@@ -54,13 +54,16 @@ func main() {
 	}
 }
 
-// levelEvent mirrors the explorer's explore.level trace event.
+// levelEvent mirrors the explorer's explore.level trace event. The
+// reduction fields are zero on traces from runs without -symmetry/-por.
 type levelEvent struct {
-	Depth        int     `json:"depth"`
-	Frontier     int     `json:"frontier"`
-	Admitted     int     `json:"admitted"`
-	States       int64   `json:"states"`
-	StatesPerSec float64 `json:"states_per_sec"`
+	Depth           int     `json:"depth"`
+	Frontier        int     `json:"frontier"`
+	Admitted        int     `json:"admitted"`
+	States          int64   `json:"states"`
+	StatesPerSec    float64 `json:"states_per_sec"`
+	SymmetryRenames int64   `json:"symmetry_renames"`
+	PORPruned       int64   `json:"por_pruned"`
 }
 
 // violationEvent mirrors the explore.violation and swarm.violation
@@ -160,6 +163,7 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 	if len(ckpts) > 0 {
 		writeCheckpoints(out, ckpts)
 	}
+	writeReduction(out, levels, snap)
 	if snap != nil {
 		writeSnapshot(out, *snap, top)
 	}
@@ -200,6 +204,67 @@ func writeCheckpoints(out io.Writer, ckpts []checkpointEvent) {
 	fmt.Fprintf(out, "\ncheckpoints: %d written, %d bytes total in %.1f ms\n", len(ckpts), bytes, ms)
 	fmt.Fprintf(out, "  last at level %d: %d frontier nodes, %d seen entries, %d bytes\n",
 		last.Level, last.Nodes, last.SeenEntries, last.Bytes)
+}
+
+// writeReduction summarises the symmetry/POR reductions when the trace
+// carries any evidence of them: nonzero per-level rename/prune deltas,
+// or the explore.symmetry_renames / explore.por_pruned counters and the
+// explore.ample_size histogram in the final metrics snapshot. Traces
+// from unreduced runs print nothing here.
+func writeReduction(out io.Writer, levels []levelEvent, snap *obs.Snapshot) {
+	var renames, pruned int64
+	for _, le := range levels {
+		renames += le.SymmetryRenames
+		pruned += le.PORPruned
+	}
+	var ample *obs.HistogramSnapshot
+	if snap != nil {
+		for _, c := range snap.Counters {
+			switch c.Name {
+			case "explore.symmetry_renames":
+				if c.Value > renames {
+					renames = c.Value
+				}
+			case "explore.por_pruned":
+				if c.Value > pruned {
+					pruned = c.Value
+				}
+			}
+		}
+		for i, h := range snap.Histograms {
+			if h.Name == "explore.ample_size" {
+				ample = &snap.Histograms[i]
+			}
+		}
+	}
+	// The instruments are registered even on unreduced runs, so a
+	// zero-count histogram or zero counters mean "reductions off" —
+	// stay silent rather than printing an all-zero section.
+	if renames == 0 && pruned == 0 && (ample == nil || ample.Count == 0) {
+		return
+	}
+	fmt.Fprintln(out, "\nreduction:")
+	fmt.Fprintf(out, "  symmetry renames     %10d\n", renames)
+	fmt.Fprintf(out, "  por pruned           %10d\n", pruned)
+	if ample != nil && ample.Count > 0 {
+		fmt.Fprintf(out, "  ample-set size: mean %.1f, p50 %d, p90 %d, p99 %d over %d expansions\n",
+			ample.Mean, ample.P50, ample.P90, ample.P99, ample.Count)
+	}
+	var active int
+	for _, le := range levels {
+		if le.SymmetryRenames > 0 || le.PORPruned > 0 {
+			active++
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(out, "  %5s %10s %10s\n", "depth", "renames", "pruned")
+		for _, le := range levels {
+			if le.SymmetryRenames == 0 && le.PORPruned == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %5d %10d %10d\n", le.Depth, le.SymmetryRenames, le.PORPruned)
+		}
+	}
 }
 
 // writeSnapshot prints the metrics snapshot: top counters by value, all

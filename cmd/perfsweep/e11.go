@@ -69,6 +69,20 @@ type e11Result struct {
 	CheckpointLastBytes   int64   `json:"checkpoint_last_bytes"`
 	CheckpointDurationMS  float64 `json:"checkpoint_duration_ms"`
 	CheckpointOverheadPct float64 `json:"checkpoint_overhead_pct"`
+	// Reduction A/B: the same workload under symmetry reduction, POR, and
+	// both (timed, metrics disabled, workers as in Runs[0]). Symmetry
+	// shrinks the state space (reduction_ratio = states /
+	// reduced_states); POR prunes transitions, never states, so
+	// por_states must equal states — the entry records the live proof.
+	SymmetryStates       int     `json:"symmetry_states"`
+	SymmetryStatesPerSec float64 `json:"symmetry_states_per_sec"`
+	SymmetryRenames      int64   `json:"symmetry_renames"`
+	PORStates            int     `json:"por_states"`
+	PORStatesPerSec      float64 `json:"por_states_per_sec"`
+	PORPruned            int64   `json:"por_pruned_transitions"`
+	ReducedStates        int     `json:"reduced_states"`
+	ReducedStatesPerSec  float64 `json:"reduced_states_per_sec"`
+	ReductionRatio       float64 `json:"reduction_ratio"`
 }
 
 func runE11(workersCSV, jsonPath, label string) error {
@@ -105,13 +119,15 @@ func runE11(workersCSV, jsonPath, label string) error {
 	// Timed runs keep Metrics nil: the benchmark measures the
 	// uninstrumented hot path, the zero-cost-when-disabled contract's
 	// figure of record. Snapshot figures come from one extra untimed run.
-	measure := func(w int, exact bool, reg *obs.Registry, ck explore.CheckpointOptions) (*explore.Result, time.Duration, error) {
+	measure := func(w int, exact bool, reg *obs.Registry, ck explore.CheckpointOptions, sym, por bool) (*explore.Result, time.Duration, error) {
 		c := cfg
 		c.Monitor = explore.NewSafetyMonitor(true)
 		c.Workers = w
 		c.ExactDedup = exact
 		c.Metrics = reg
 		c.Checkpoint = ck
+		c.Symmetry = sym
+		c.POR = por
 		began := time.Now()
 		res, err := explore.BFS(sys, c)
 		return res, time.Since(began), err
@@ -119,7 +135,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 
 	var base float64
 	for _, w := range workers {
-		res, elapsed, err := measure(w, false, nil, explore.CheckpointOptions{})
+		res, elapsed, err := measure(w, false, nil, explore.CheckpointOptions{}, false, false)
 		if err != nil {
 			return err
 		}
@@ -150,7 +166,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 			w, run.States, run.StatesPerSec, run.SpeedupVsW1)
 	}
 
-	exactRes, _, err := measure(1, true, nil, explore.CheckpointOptions{})
+	exactRes, _, err := measure(1, true, nil, explore.CheckpointOptions{}, false, false)
 	if err != nil {
 		return err
 	}
@@ -175,7 +191,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 	}
 	defer os.RemoveAll(ckDir)
 	ck := explore.CheckpointOptions{Path: filepath.Join(ckDir, "e11.ckpt"), EveryLevels: 1}
-	ckRes, ckElapsed, err := measure(workers[0], false, nil, ck)
+	ckRes, ckElapsed, err := measure(workers[0], false, nil, ck, false, false)
 	if err != nil {
 		return err
 	}
@@ -192,7 +208,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 	// snapshot figures: peak frontier width, dedup hit rate, and the
 	// checkpoint write count and last-snapshot size.
 	reg := obs.NewRegistry()
-	if _, _, err := measure(workers[0], false, reg, ck); err != nil {
+	if _, _, err := measure(workers[0], false, reg, ck, false, false); err != nil {
 		return err
 	}
 	snap := reg.Snapshot()
@@ -209,6 +225,65 @@ func runE11(workersCSV, jsonPath, label string) error {
 	fmt.Printf("  checkpointing: %d writes (last %d B), run %.1f ms vs %.1f ms uncheckpointed (%+.1f%%)\n",
 		out.CheckpointWrites, out.CheckpointLastBytes,
 		out.CheckpointDurationMS, out.Runs[0].DurationMS, out.CheckpointOverheadPct)
+
+	// Reduction A/B: the same workload with symmetry reduction only, POR
+	// only, and both together (timed, metrics disabled, workers[0]).
+	// Symmetry is the state-space reducer; POR prunes redundant
+	// transitions but — by the consecutive-block-rewriting argument in
+	// internal/explore/reduction.go — never changes which states are
+	// reachable, so the POR-only state count equaling the baseline is
+	// asserted here as a live soundness check, not just documented.
+	symRes, symElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, true, false)
+	if err != nil {
+		return err
+	}
+	if symRes.Violation != nil {
+		return fmt.Errorf("e11: symmetry run found a violation the baseline did not: %s", symRes.Violation)
+	}
+	porRes, porElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, false, true)
+	if err != nil {
+		return err
+	}
+	if porRes.Violation != nil {
+		return fmt.Errorf("e11: POR run found a violation the baseline did not: %s", porRes.Violation)
+	}
+	if porRes.StatesExplored != out.States {
+		return fmt.Errorf("e11: POR explored %d states, want %d (POR must prune transitions, never states)",
+			porRes.StatesExplored, out.States)
+	}
+	bothRes, bothElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, true, true)
+	if err != nil {
+		return err
+	}
+	if bothRes.Violation != nil {
+		return fmt.Errorf("e11: reduced run found a violation the baseline did not: %s", bothRes.Violation)
+	}
+	if bothRes.StatesExplored >= out.States {
+		return fmt.Errorf("e11: reductions explored %d states, want strictly fewer than %d",
+			bothRes.StatesExplored, out.States)
+	}
+	out.SymmetryStates = symRes.StatesExplored
+	out.SymmetryStatesPerSec = float64(symRes.StatesExplored) / symElapsed.Seconds()
+	out.PORStates = porRes.StatesExplored
+	out.PORStatesPerSec = float64(porRes.StatesExplored) / porElapsed.Seconds()
+	out.ReducedStates = bothRes.StatesExplored
+	out.ReducedStatesPerSec = float64(bothRes.StatesExplored) / bothElapsed.Seconds()
+	out.ReductionRatio = float64(out.States) / float64(out.ReducedStates)
+
+	// One instrumented reduced run harvests the reduction counters.
+	redReg := obs.NewRegistry()
+	if _, _, err := measure(workers[0], false, redReg, explore.CheckpointOptions{}, true, true); err != nil {
+		return err
+	}
+	redSnap := redReg.Snapshot()
+	out.SymmetryRenames = redSnap.Counter("explore.symmetry_renames")
+	out.PORPruned = redSnap.Counter("explore.por_pruned")
+	fmt.Printf("  symmetry:  %9d states  %8.0f states/sec  (%d canonical renames)\n",
+		out.SymmetryStates, out.SymmetryStatesPerSec, out.SymmetryRenames)
+	fmt.Printf("  por:       %9d states  %8.0f states/sec  (%d transitions pruned, states unchanged)\n",
+		out.PORStates, out.PORStatesPerSec, out.PORPruned)
+	fmt.Printf("  sym+por:   %9d states  %8.0f states/sec  reduction %.2fx\n",
+		out.ReducedStates, out.ReducedStatesPerSec, out.ReductionRatio)
 
 	if jsonPath != "" {
 		if err := appendBenchEntry(jsonPath, out); err != nil {

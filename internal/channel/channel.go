@@ -61,8 +61,34 @@ func (s State) AppendFingerprint(dst []byte) []byte {
 		if i > 0 {
 			dst = append(dst, ' ')
 		}
-		dst = e.pkt.AppendText(dst)
+		dst = e.pkt.AppendText(dst) // fp:ignore exact-dedup baseline keeps raw IDs; AppendCanonFingerprint below is the symmetry-aware twin
 		dst = append(dst, ':')
+		dst = strconv.AppendUint(dst, uint64(e.status), 10)
+	}
+	dst = append(dst, " hwm="...)
+	dst = strconv.AppendInt(dst, int64(s.hwm), 10)
+	return append(dst, '}')
+}
+
+var _ ioa.CanonFingerprinter = State{}
+
+// AppendCanonFingerprint appends the fingerprint with packet IDs and
+// payload tokens replaced by canonical first-use indices. Entries are
+// visited in send order, which depends only on the state's structure, so
+// equal canonical fingerprints imply a bijective relabelling between the
+// two channel histories.
+func (s State) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "ch{"...)
+	for i, e := range s.entries {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = c.AppendPktID(dst, e.pkt.ID)
+		dst = append(dst, '[')
+		dst = append(dst, e.pkt.Header...)
+		dst = append(dst, '|')
+		dst = c.AppendMsg(dst, e.pkt.Payload)
+		dst = append(dst, "]:"...)
 		dst = strconv.AppendUint(dst, uint64(e.status), 10)
 	}
 	dst = append(dst, " hwm="...)
@@ -219,6 +245,10 @@ func (c *Channel) FIFO() bool { return c.fifo }
 
 // loseName is the name of the channel's internal lose action family.
 func (c *Channel) loseName() string { return "lose^{" + c.dir.String() + "}" }
+
+// LoseActionName exposes the lose action family name so explorers can
+// map a lose action (whose Dir field is unset) back to its channel.
+func (c *Channel) LoseActionName() string { return c.loseName() }
 
 // Signature implements the physical layer signature of Section 3:
 // inputs send_pkt^{d}, wake^{d}, fail^{d}, crash^{d}; outputs
@@ -392,6 +422,28 @@ func (c *Channel) AppendResidual(dst []byte, st ioa.State) ([]byte, error) {
 			dst = append(dst, s.entries[i].pkt.Header...)
 			dst = append(dst, '|')
 			dst = append(dst, s.entries[i].pkt.Payload...)
+			dst = append(dst, ']')
+		}
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendResidualCanon appends the residual with payload tokens replaced by
+// canonical first-use indices drawn from canon. Deliverable entries are
+// visited in send order (a structural order), so the explorer's symmetry
+// reduction can merge residuals that differ only by a payload renaming.
+func (c *Channel) AppendResidualCanon(dst []byte, st ioa.State, canon *ioa.Canon) ([]byte, error) {
+	s, ok := st.(State)
+	if !ok {
+		return nil, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, st)
+	}
+	dst = append(dst, "res{"...)
+	for i := range s.entries {
+		if c.deliverable(s, i) {
+			dst = append(dst, '[')
+			dst = append(dst, s.entries[i].pkt.Header...)
+			dst = append(dst, '|')
+			dst = canon.AppendMsg(dst, s.entries[i].pkt.Payload)
 			dst = append(dst, ']')
 		}
 	}

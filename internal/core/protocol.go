@@ -64,6 +64,15 @@ type Properties struct {
 	// RequiresFIFO records that the protocol is only claimed correct with
 	// respect to FIFO physical channels.
 	RequiresFIFO bool
+	// PayloadOpaque claims the protocol treats payload tokens as opaque
+	// atoms: it never inspects, slices, or derives new tokens from their
+	// contents, so any bijective renaming of payloads is an automorphism
+	// of the transition system. This is strictly stronger than
+	// MessageIndependent — the fragmenting protocol is message-independent
+	// (it never *branches* on payloads) yet slices messages into fragment
+	// sub-tokens, so whole-message renamings do not commute with its
+	// dynamics. The explorer's symmetry reduction is gated on this claim.
+	PayloadOpaque bool
 }
 
 // BoundedHeaders reports whether headers(A, ≡) is finite.

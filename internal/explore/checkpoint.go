@@ -438,7 +438,7 @@ const configDigestSeed = 0xd1c4_c0de_0000_0001
 // covers the protocol, parameters and channel variant through the dedup
 // key). Two searches with equal digests expand equal frontiers equally.
 func (s *search) configDigest(start *node) (string, error) {
-	key, err := s.appendDedupKey(nil, start)
+	key, err := s.appendDedupKey(nil, start, nil)
 	if err != nil {
 		return "", err
 	}
@@ -457,6 +457,16 @@ func (s *search) configDigest(start *node) (string, error) {
 	buf = strconv.AppendBool(buf, s.cfg.AllowLoss)
 	buf = append(buf, '|')
 	buf = strconv.AppendBool(buf, s.cfg.ExactDedup)
+	// Reductions change what the seen-set keys (symmetry) and which
+	// transitions are expanded (POR), so a checkpoint is only resumable
+	// under the same EFFECTIVE switches. Using s.sym (not cfg.Symmetry)
+	// means a requested-but-inert symmetry flag — non-opaque protocol,
+	// duplicate pool tokens — matches the unreduced digest it actually
+	// ran as.
+	buf = append(buf, '|')
+	buf = strconv.AppendBool(buf, s.sym)
+	buf = append(buf, '|')
+	buf = strconv.AppendBool(buf, s.por)
 	return fmt.Sprintf("%016x", hash64(configDigestSeed, buf)), nil
 }
 

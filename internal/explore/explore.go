@@ -90,6 +90,23 @@ type Config struct {
 	// hashes: the collision-paranoid escape hatch, at ~key-length bytes
 	// per state instead of 8 (see seenset.go for the collision analysis).
 	ExactDedup bool
+	// Symmetry enables symmetry reduction: dedup keys canonicalise payload
+	// tokens and packet IDs to first-use order, and the inputs-used bitmap
+	// collapses to per-class counts, so states differing only by a
+	// bijective payload/ID renaming merge. Effective only when the
+	// protocol claims Props.PayloadOpaque and the pool's send_msg tokens
+	// are pairwise distinct per direction (both checked at BFS start;
+	// otherwise the flag is ignored and the search runs unreduced). See
+	// reduction.go for the soundness argument.
+	Symmetry bool
+	// POR enables partial-order reduction: commuting invisible channel
+	// actions (deliveries and losses on different channels, losses of
+	// different packets on one channel) are explored in one canonical
+	// order instead of all interleavings. Transitions are pruned, states
+	// are not: the reachable state set and per-depth admission are
+	// provably unchanged (see reduction.go), so verdicts, shortest traces
+	// and exhausted/depth-limited statuses are identical.
+	POR bool
 	// Metrics, when non-nil, receives the explorer's counters, gauges
 	// and histograms (see obs.go for the name inventory). Nil disables
 	// metrics at zero hot-path cost.
@@ -205,6 +222,26 @@ type search struct {
 	count     atomic.Int64 // distinct states admitted (start included)
 	truncated atomic.Bool  // a fresh state was dropped for budget
 
+	// Reduction state (see reduction.go). sym is the EFFECTIVE symmetry
+	// switch: Config.Symmetry gated on the protocol's PayloadOpaque claim
+	// and on pairwise-distinct send_msg pool tokens. classOf collapses the
+	// inputs-used bitmap: pool entries in the same class are
+	// interchangeable under payload renaming, so only per-class counts
+	// enter the canonical dedup key.
+	sym        bool
+	por        bool
+	classOf    []int
+	numClasses int
+	// chanByDir and chanLose classify invisible channel actions for POR:
+	// component index of the channel a delivery (by direction) or a loss
+	// (by internal action name) belongs to.
+	chanByDir map[ioa.Dir]int
+	chanLose  map[string]int
+	// Per-level reduction tallies, swapped out at each level barrier into
+	// the obs counters and the explore.level trace event.
+	levelRenames atomic.Int64
+	levelPruned  atomic.Int64
+
 	// ins holds the resolved observability handles (all nil when
 	// Config.Metrics is nil — the zero-cost disabled mode); began is the
 	// search start time for trace timestamps and progress rates.
@@ -227,6 +264,11 @@ type workerBufs struct {
 	key  []byte
 	succ []succNode
 	next []*node
+	// canon is the worker's token-canonicalisation table (nil unless
+	// symmetry reduction is active); classCnt is its per-class used-count
+	// scratch. Both are reused across every key the worker builds.
+	canon    *ioa.Canon
+	classCnt []int
 }
 
 // foundViolation is a violation found while expanding a level, tagged with
@@ -282,12 +324,18 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	s.setupReductions()
 
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
 	}
 	bufs := make([]workerBufs, workers)
+	if s.sym {
+		for w := range bufs {
+			bufs[w].canon = ioa.NewCanon()
+		}
+	}
 	s.ins = newInstruments(cfg.Metrics, workers)
 	s.began = time.Now() // lint:ignore determinism trace-only timestamp; never reaches Result
 
@@ -311,7 +359,7 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 		}
 		res.DepthReached = cfg.Resume.DepthReached
 	} else {
-		key, err := s.appendDedupKey(nil, start)
+		key, err := s.appendDedupKey(nil, start, &bufs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -440,6 +488,9 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 				s.ins.workers[w].Inc()
 				s.ins.expanded.Inc()
 				s.ins.fanout.Observe(int64(len(succ)))
+				if s.por {
+					s.ins.ampleSize.Observe(int64(len(succ)))
+				}
 				for j := range succ {
 					if succ[j].violation != nil {
 						report(&foundViolation{
@@ -448,10 +499,17 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 						}, nil)
 						return
 					}
-					b.key, err = s.appendDedupKey(b.key[:0], succ[j].node)
+					var renames0 int64
+					if b.canon != nil {
+						renames0 = b.canon.Assigned()
+					}
+					b.key, err = s.appendDedupKey(b.key[:0], succ[j].node, b)
 					if err != nil {
 						report(nil, err)
 						return
+					}
+					if b.canon != nil {
+						s.levelRenames.Add(b.canon.Assigned() - renames0)
 					}
 					if !s.seen.Add(b.key) {
 						s.ins.dedupHit.Inc()
@@ -499,10 +557,25 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 // identities. The key is built through the AppendFingerprint fast paths
 // into the caller's reused buffer; per explored state the dedup path
 // allocates nothing beyond amortised buffer growth.
-func (s *search) appendDedupKey(dst []byte, n *node) ([]byte, error) {
+//
+// When symmetry reduction is active (b != nil with a canon), the key is
+// built through the canonical fingerprint paths instead: payload tokens
+// and packet IDs become first-use indices shared across all components,
+// and the inputs-used bitmap collapses to per-class counts. Equal
+// canonical keys then certify a bijective token renaming between the two
+// nodes — an automorphism for payload-opaque protocols — so the merge
+// stays sound (see reduction.go). b == nil always takes the raw path.
+func (s *search) appendDedupKey(dst []byte, n *node, b *workerBufs) ([]byte, error) {
 	cs, ok := n.state.(ioa.CompositeState)
 	if !ok {
 		return nil, fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, n.state)
+	}
+	var canon *ioa.Canon
+	if b != nil {
+		canon = b.canon
+	}
+	if canon != nil {
+		canon.Reset()
 	}
 	for i := range s.comps {
 		if i > 0 {
@@ -510,21 +583,35 @@ func (s *search) appendDedupKey(dst []byte, n *node) ([]byte, error) {
 		}
 		if ch := s.chans[i]; ch != nil {
 			var err error
-			dst, err = ch.AppendResidual(dst, cs.Parts[i])
+			if canon != nil {
+				dst, err = ch.AppendResidualCanon(dst, cs.Parts[i], canon)
+			} else {
+				dst, err = ch.AppendResidual(dst, cs.Parts[i])
+			}
 			if err != nil {
 				return nil, err
 			}
 			continue
 		}
-		dst = ioa.AppendFingerprint(dst, cs.Parts[i])
+		if canon != nil {
+			dst = ioa.AppendCanonFingerprint(dst, cs.Parts[i], canon)
+		} else {
+			dst = ioa.AppendFingerprint(dst, cs.Parts[i])
+		}
 	}
 	dst = append(dst, '|')
-	if af, ok := n.monitor.(ioa.AppendFingerprinter); ok {
+	if cf, ok := n.monitor.(ioa.CanonFingerprinter); ok && canon != nil {
+		dst = cf.AppendCanonFingerprint(dst, canon)
+	} else if af, ok := n.monitor.(ioa.AppendFingerprinter); ok {
 		dst = af.AppendFingerprint(dst)
 	} else {
 		dst = append(dst, n.monitor.Fingerprint()...)
 	}
 	dst = append(dst, '|')
+	if canon != nil {
+		dst = s.appendUsedClassCounts(dst, n.used, b)
+		return dst, nil
+	}
 	for _, u := range n.used {
 		if u {
 			dst = append(dst, '1')
@@ -602,6 +689,7 @@ func (s *search) expand(cur *node, out []succNode) ([]succNode, error) {
 	}
 
 	// Locally-controlled actions.
+	pruned := int64(0)
 	for _, a := range enabled {
 		if channel.IsLoseAction(a) && !s.cfg.AllowLoss {
 			continue
@@ -615,9 +703,16 @@ func (s *search) expand(cur *node, out []succNode) ([]succNode, error) {
 				continue
 			}
 		}
+		if s.por && s.porSuppressed(cur.action, a) {
+			pruned++
+			continue
+		}
 		if err := apply(a, -1); err != nil {
 			return out, err
 		}
+	}
+	if pruned > 0 {
+		s.levelPruned.Add(pruned)
 	}
 	return out, nil
 }

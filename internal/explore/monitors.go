@@ -47,6 +47,33 @@ func (s msgSet) appendFingerprint(dst []byte) []byte {
 	return append(dst, '}')
 }
 
+// appendCanonFingerprint renders the set as sorted canonical indices.
+// Tokens not yet known to c are assigned indices in raw-sorted order (a
+// deterministic choice), and the indices are then emitted in numeric
+// order, so equal renderings mean the renaming implied by the rest of the
+// canonical key maps one set onto the other.
+func (s msgSet) appendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	keys := make([]string, 0, len(s.members))
+	for k := range s.members {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = c.MsgIndex(ioa.Message(k))
+	}
+	sort.Ints(idx)
+	dst = append(dst, '{')
+	for i, v := range idx {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, "µ"...)
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return append(dst, '}')
+}
+
 // SafetyMonitor checks (DL4) no duplicate delivery, (DL5) no spurious
 // delivery, and optionally (DL6) FIFO delivery order, over the external
 // actions of D'(A). The zero value is NOT ready to use; construct with
@@ -138,6 +165,46 @@ func (m SafetyMonitor) AppendFingerprint(dst []byte) []byte {
 			dst = append(dst, k...)
 			dst = append(dst, ':')
 			dst = strconv.AppendInt(dst, int64(m.sendOrder[ioa.Message(k)]), 10)
+		}
+		dst = append(dst, '}')
+	}
+	return dst
+}
+
+// AppendCanonFingerprint mirrors AppendFingerprint with message tokens
+// replaced by canonical indices from c. Send positions are counters, not
+// tokens — a payload renaming leaves them fixed — so they are emitted
+// raw; the ord entries are keyed and sorted by canonical index.
+func (m SafetyMonitor) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "sent="...)
+	dst = m.sent.appendCanonFingerprint(dst, c)
+	dst = append(dst, " del="...)
+	dst = m.delivered.appendCanonFingerprint(dst, c)
+	if m.checkFIFO {
+		dst = append(dst, " last="...)
+		dst = strconv.AppendInt(dst, int64(m.lastDeliver), 10)
+		dst = append(dst, " n="...)
+		dst = strconv.AppendInt(dst, int64(m.sendCount), 10)
+		dst = append(dst, " ord={"...)
+		keys := make([]string, 0, len(m.sendOrder))
+		for k := range m.sendOrder {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		type ordEntry struct{ idx, pos int }
+		ord := make([]ordEntry, len(keys))
+		for i, k := range keys {
+			ord[i] = ordEntry{c.MsgIndex(ioa.Message(k)), m.sendOrder[ioa.Message(k)]}
+		}
+		sort.Slice(ord, func(i, j int) bool { return ord[i].idx < ord[j].idx })
+		for i, e := range ord {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, "µ"...)
+			dst = strconv.AppendInt(dst, int64(e.idx), 10)
+			dst = append(dst, ':')
+			dst = strconv.AppendInt(dst, int64(e.pos), 10)
 		}
 		dst = append(dst, '}')
 	}

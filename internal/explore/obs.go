@@ -27,6 +27,15 @@ import (
 //	explore.fanout               histogram successors per expanded node
 //	explore.checkpoints          counter  checkpoint files written
 //	explore.checkpoint_bytes     gauge    size of the last checkpoint written
+//	explore.symmetry_renames     counter  canonical token indices assigned
+//	                                      while building dedup keys (0 when
+//	                                      symmetry reduction is off)
+//	explore.por_pruned           counter  transitions suppressed by
+//	                                      partial-order reduction
+//	explore.ample_size           histogram successors per expanded node with
+//	                                      POR suppression applied (the
+//	                                      ample-set sizes; only observed when
+//	                                      POR is on)
 //
 // Trace events: explore.level (one per completed BFS level),
 // explore.checkpoint (one per durable snapshot: level, nodes, bytes,
@@ -62,6 +71,9 @@ type instruments struct {
 	fanout       *obs.Histogram
 	ckpts        *obs.Counter
 	ckptBytes    *obs.Gauge
+	symRenames   *obs.Counter
+	porPruned    *obs.Counter
+	ampleSize    *obs.Histogram
 	workers      []*obs.Counter
 }
 
@@ -79,6 +91,9 @@ func newInstruments(reg *obs.Registry, workers int) instruments {
 		fanout:       reg.Histogram("explore.fanout", obs.LinearBuckets(2, 2, 16)),
 		ckpts:        reg.Counter("explore.checkpoints"),
 		ckptBytes:    reg.Gauge("explore.checkpoint_bytes"),
+		symRenames:   reg.Counter("explore.symmetry_renames"),
+		porPruned:    reg.Counter("explore.por_pruned"),
+		ampleSize:    reg.Histogram("explore.ample_size", obs.LinearBuckets(2, 2, 16)),
 		workers:      make([]*obs.Counter, workers),
 	}
 	for w := range ins.workers {
@@ -92,6 +107,13 @@ func newInstruments(reg *obs.Registry, workers int) instruments {
 func (s *search) observeLevel(depth, frontier, admitted int) {
 	s.ins.depth.Set(int64(depth))
 	s.ins.frontierPeak.SetMax(int64(frontier))
+	// Flush this level's reduction tallies into the cumulative counters;
+	// the per-level deltas also ride on the explore.level event so
+	// obsreport can chart reduction work by depth.
+	renames := s.levelRenames.Swap(0)
+	pruned := s.levelPruned.Swap(0)
+	s.ins.symRenames.Add(renames)
+	s.ins.porPruned.Add(pruned)
 	if s.cfg.Trace == nil && s.cfg.OnLevel == nil {
 		return
 	}
@@ -107,6 +129,8 @@ func (s *search) observeLevel(depth, frontier, admitted int) {
 		obs.Int("admitted", int64(admitted)),
 		obs.Int("states", states),
 		obs.F64("states_per_sec", rate),
+		obs.Int("symmetry_renames", renames),
+		obs.Int("por_pruned", pruned),
 	)
 	if s.cfg.OnLevel != nil {
 		s.cfg.OnLevel(LevelStats{Depth: depth, Frontier: frontier, Admitted: admitted, States: states, Elapsed: elapsed})

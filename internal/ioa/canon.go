@@ -1,0 +1,119 @@
+package ioa
+
+import "strconv"
+
+// Canon canonicalises analysis labels — payload tokens and packet IDs —
+// to first-use order while a fingerprint is being built. Two states whose
+// canonical fingerprints agree are related by a bijective renaming of
+// payloads and packet IDs; for message-independent protocols (the paper's
+// §5.3.1 equivariance, machine-checked by dlvet's msgindep analyzer) such
+// a renaming is an automorphism of the transition system, so deduping on
+// canonical fingerprints explores one representative per orbit.
+//
+// A Canon is scoped to ONE state's fingerprint: callers Reset it, thread
+// it through every component's canonical fingerprint in a fixed component
+// order, and use the resulting key. Indices are assigned deterministically
+// by first encounter, which makes equal canonical keys imply a consistent
+// bijection across all components of the same composite state.
+//
+// Headers are never canonicalised: protocols branch on them, so renaming
+// headers is not an automorphism.
+type Canon struct {
+	msgs map[Message]int
+	ids  map[uint64]int
+	// assigned counts fresh index assignments (for the
+	// explore.symmetry_renames counter).
+	assigned int64
+}
+
+// NewCanon returns an empty Canon ready for use.
+func NewCanon() *Canon {
+	return &Canon{msgs: make(map[Message]int), ids: make(map[uint64]int)}
+}
+
+// Reset clears the token tables for a new state; the assignment counter
+// keeps accumulating across states so callers can sample it per level.
+func (c *Canon) Reset() {
+	clear(c.msgs)
+	clear(c.ids)
+}
+
+// Assigned returns the total number of fresh canonical indices assigned
+// since the Canon was created.
+func (c *Canon) Assigned() int64 { return c.assigned }
+
+// MsgIndex returns the canonical index of a payload token, assigning the
+// next free index on first use. The empty payload is a fixed point of any
+// renaming (it is the absence of a payload, not a token) and always maps
+// to -1.
+func (c *Canon) MsgIndex(m Message) int {
+	if m == "" {
+		return -1
+	}
+	if i, ok := c.msgs[m]; ok {
+		return i
+	}
+	i := len(c.msgs)
+	c.msgs[m] = i
+	c.assigned++
+	return i
+}
+
+// PktIDIndex returns the canonical index of a packet ID, assigning the
+// next free index on first use. ID 0 (the unlabelled packet) maps to -1.
+func (c *Canon) PktIDIndex(id uint64) int {
+	if id == 0 {
+		return -1
+	}
+	if i, ok := c.ids[id]; ok {
+		return i
+	}
+	i := len(c.ids)
+	c.ids[id] = i
+	c.assigned++
+	return i
+}
+
+// AppendMsg appends the canonical rendering of a payload token: "µ<idx>",
+// or "·" for the empty payload.
+func (c *Canon) AppendMsg(dst []byte, m Message) []byte {
+	i := c.MsgIndex(m)
+	if i < 0 {
+		return append(dst, "·"...)
+	}
+	dst = append(dst, "µ"...)
+	return strconv.AppendInt(dst, int64(i), 10)
+}
+
+// AppendPktID appends the canonical rendering of a packet ID: "#<idx>",
+// or "#·" for the unlabelled ID 0.
+func (c *Canon) AppendPktID(dst []byte, id uint64) []byte {
+	i := c.PktIDIndex(id)
+	if i < 0 {
+		return append(dst, "#·"...)
+	}
+	dst = append(dst, '#')
+	return strconv.AppendInt(dst, int64(i), 10)
+}
+
+// CanonFingerprinter is implemented by states that can render a canonical
+// fingerprint: structurally identical to AppendFingerprint, but with
+// payload tokens and packet IDs replaced by their canonical indices drawn
+// from c. Implementations must visit tokens in a deterministic order that
+// depends only on the state's structure (queue positions, sorted keys),
+// never on raw token values of tokens not yet in c — see
+// internal/explore's reduction notes for the soundness argument.
+type CanonFingerprinter interface {
+	AppendCanonFingerprint(dst []byte, c *Canon) []byte
+}
+
+// AppendCanonFingerprint appends s's canonical fingerprint when s
+// implements CanonFingerprinter and c is non-nil, and falls back to the
+// exact fingerprint otherwise. The fallback is always sound — raw tokens
+// only distinguish states a renaming would merge — it just reduces less.
+func AppendCanonFingerprint(dst []byte, s State, c *Canon) []byte {
+	if cf, ok := s.(CanonFingerprinter); ok && c != nil {
+		return cf.AppendCanonFingerprint(dst, c)
+	}
+	return AppendFingerprint(dst, s)
+}

@@ -17,6 +17,17 @@ import (
 // resolves to it (including through helper methods of field values), or
 // if the whole receiver escapes the method as a value (passed to a
 // helper that fingerprints it wholesale).
+//
+// The analyzer also guards the symmetry reduction built on ioa.Canon:
+// a raw monotonic packet ID folded into a fingerprint makes two
+// isomorphic executions (same behaviour, permuted packet identities)
+// hash differently, so the canonical dedup the explorer's -symmetry
+// flag relies on silently degrades to exact dedup. Inside
+// AppendFingerprint bodies it flags direct `.ID` reads on ioa.Packet
+// values and Packet.AppendText calls (AppendText embeds the raw ID).
+// Sites that intentionally fingerprint raw IDs — e.g. the unreduced
+// baseline encoding whose symmetry-aware twin lives in
+// AppendCanonFingerprint — carry a same-line `// fp:ignore <reason>`.
 var Fingerprint = &Analyzer{
 	Name: "fingerprint",
 	Doc:  "state struct fields missing from AppendFingerprint break dedup soundness",
@@ -33,6 +44,7 @@ func runFingerprint(p *Package) []Diagnostic {
 				continue
 			}
 			diags = append(diags, checkFingerprintMethod(p, fd)...)
+			diags = append(diags, checkFingerprintPacketIDs(p, f, fd)...)
 		}
 	}
 	return diags
@@ -113,6 +125,62 @@ func checkFingerprintMethod(p *Package, fd *ast.FuncDecl) []Diagnostic {
 			typeName, fv.Name(), fv.Name()))
 	}
 	return diags
+}
+
+// ioaPkgPath is the import path of the package defining ioa.Packet.
+const ioaPkgPath = "repro/internal/ioa"
+
+// checkFingerprintPacketIDs flags raw monotonic packet-ID material
+// inside an AppendFingerprint body: `.ID` field reads on ioa.Packet
+// values, and Packet.AppendText calls (which embed the raw ID). Either
+// one makes the fingerprint distinguish isomorphic executions that
+// differ only in packet numbering, defeating the -symmetry reduction's
+// canonical dedup. A same-line `// fp:ignore <reason>` exempts a site
+// that fingerprints raw IDs on purpose (the exact-dedup baseline paired
+// with an AppendCanonFingerprint twin); a reasonless marker exempts
+// nothing, matching the field-level annotation's contract.
+func checkFingerprintPacketIDs(p *Package, file *ast.File, fd *ast.FuncDecl) []Diagnostic {
+	ignored := fpIgnoreLines(p, file)
+	var diags []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		if ignored[p.pos(n).Line] {
+			return
+		}
+		diags = append(diags, p.diag("fingerprint", n, format, args...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		x, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := p.Info.Selections[x]
+		if !ok || !isNamedType(sel.Recv(), ioaPkgPath, "Packet") {
+			return true
+		}
+		switch {
+		case sel.Kind() == types.FieldVal && x.Sel.Name == "ID":
+			flag(x, "AppendFingerprint folds in the raw monotonic packet ID: isomorphic executions with permuted IDs stop deduplicating under -symmetry (canonicalise via ioa.Canon in AppendCanonFingerprint, or annotate `// fp:ignore <reason>`)")
+		case sel.Kind() == types.MethodVal && x.Sel.Name == "AppendText":
+			flag(x, "AppendFingerprint calls Packet.AppendText, which embeds the raw monotonic packet ID: isomorphic executions with permuted IDs stop deduplicating under -symmetry (canonicalise via ioa.Canon in AppendCanonFingerprint, or annotate `// fp:ignore <reason>`)")
+		}
+		return true
+	})
+	return diags
+}
+
+// fpIgnoreLines indexes the file's lines carrying a reasoned
+// `fp:ignore <reason>` comment, for same-line exemption of packet-ID
+// diagnostics.
+func fpIgnoreLines(p *Package, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if reason, found := markerReason(c.Text, "fp:ignore"); found && reason != "" {
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
 }
 
 // fieldDeclOf locates the AST field named name inside decl, returning

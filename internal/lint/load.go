@@ -228,9 +228,9 @@ func checkPackage(fset *token.FileSet, imp types.Importer, dir, path string, goF
 
 func checkFiles(fset *token.FileSet, imp types.Importer, path string, asts []*ast.File) (*Package, error) {
 	info := &types.Info{
-		Types:     make(map[ast.Expr]types.TypeAndValue),
-		Defs:      make(map[*ast.Ident]types.Object),
-		Uses:      make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: imp}

@@ -1,6 +1,10 @@
 // Package fptest seeds fingerprint-analyzer violations: state structs
-// whose AppendFingerprint omits fields, breaking dedup soundness.
+// whose AppendFingerprint omits fields, breaking dedup soundness, and
+// fingerprints that fold in raw monotonic packet IDs, breaking the
+// symmetry reduction's canonical dedup.
 package fptest
+
+import "repro/internal/ioa"
 
 // okState folds every field in: clean.
 type okState struct {
@@ -70,4 +74,51 @@ type helperState struct {
 
 func (s helperState) AppendFingerprint(dst []byte) []byte {
 	return s.seen.appendFingerprint(dst)
+}
+
+// rawIDState folds the raw monotonic packet ID straight into the
+// fingerprint: isomorphic executions with permuted IDs stop
+// deduplicating under the symmetry reduction.
+type rawIDState struct {
+	pkt ioa.Packet
+}
+
+func (s rawIDState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, byte(s.pkt.ID)) // want "folds in the raw monotonic packet ID"
+	return append(dst, s.pkt.Payload...)
+}
+
+// rawTextState reaches the raw ID through Packet.AppendText, which
+// embeds it in the encoding.
+type rawTextState struct {
+	pkt ioa.Packet
+}
+
+func (s rawTextState) AppendFingerprint(dst []byte) []byte {
+	return s.pkt.AppendText(dst) // want "calls Packet.AppendText"
+}
+
+// exemptIDState fingerprints raw IDs on purpose and says why; the
+// same-line fp:ignore silences the packet-ID check. A reasonless
+// marker exempts nothing.
+type exemptIDState struct {
+	pkt ioa.Packet
+}
+
+func (s exemptIDState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, byte(s.pkt.ID)) // fp:ignore exact-dedup baseline; canonical twin lives in AppendCanonFingerprint
+	// want "folds in the raw monotonic packet ID"
+	dst = append(dst, byte(s.pkt.ID)) // fp:ignore
+	return append(dst, s.pkt.Payload...)
+}
+
+// headerOnlyState fingerprints the structural parts of a packet without
+// its ID: clean under both checks.
+type headerOnlyState struct {
+	pkt ioa.Packet
+}
+
+func (s headerOnlyState) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, s.pkt.Header...)
+	return append(dst, s.pkt.Payload...)
 }

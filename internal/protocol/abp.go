@@ -21,6 +21,7 @@ func NewABP() core.Protocol {
 		R:    &abpReceiver{},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           true,
 			Headers: []ioa.Header{
 				DataHeader(0), DataHeader(1), AckHeader(0), AckHeader(1),

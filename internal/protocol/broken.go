@@ -25,6 +25,7 @@ func NewStuckABP() core.Protocol {
 		R:    &stuckABPReceiver{},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           true,
 			Headers: []ioa.Header{
 				DataHeader(0), DataHeader(1), AckHeader(0), AckHeader(1),

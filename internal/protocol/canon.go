@@ -1,0 +1,205 @@
+package protocol
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/ioa"
+)
+
+// Canonical fingerprints for the payload-opaque protocols: structurally
+// identical to the AppendFingerprint renderings, with payload tokens
+// replaced by first-use canonical indices drawn from a shared ioa.Canon.
+// Tokens are visited in structural order (queue position, sorted buffer
+// keys), so two states with equal canonical fingerprints are related by a
+// bijective payload renaming — for PayloadOpaque protocols an
+// automorphism of the transition system.
+//
+// The fragmenting protocol gets no canonical fingerprints: it derives
+// fragment tokens from message contents (see its Props comment), so the
+// explorer never asks for them.
+
+// appendMsgsCanon mirrors appendMsgs with canonical payload indices.
+func appendMsgsCanon(dst []byte, ms []ioa.Message, c *ioa.Canon) []byte {
+	dst = append(dst, '[')
+	for i, m := range ms {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = c.AppendMsg(dst, m)
+	}
+	return append(dst, ']')
+}
+
+// appendXmtrFPCanon mirrors appendXmtrFP with canonical payloads.
+func appendXmtrFPCanon(dst []byte, tag string, awake bool, base int, queue []ioa.Message, c *ioa.Canon) []byte {
+	dst = append(dst, tag...)
+	dst = append(dst, "{awake="...)
+	dst = strconv.AppendBool(dst, awake)
+	dst = append(dst, " base="...)
+	dst = appendInt(dst, base)
+	dst = append(dst, " q="...)
+	dst = appendMsgsCanon(dst, queue, c)
+	return append(dst, '}')
+}
+
+// appendRcvrFPCanon mirrors appendRcvrFP with canonical payloads.
+func appendRcvrFPCanon(dst []byte, tag string, awake bool, expect int, acks []ioa.Header, pending []ioa.Message, c *ioa.Canon) []byte {
+	dst = append(dst, tag...)
+	dst = append(dst, "{awake="...)
+	dst = strconv.AppendBool(dst, awake)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, expect)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgsCanon(dst, pending, c)
+	return append(dst, '}')
+}
+
+// appendBufferCanon mirrors appendBuffer with canonical payloads. The
+// traversal order is by integer key — structural, never token-dependent.
+func appendBufferCanon(dst []byte, buf map[int]ioa.Message, c *ioa.Canon) []byte {
+	keys := make([]int, 0, len(buf))
+	for k := range buf {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	dst = append(dst, '{')
+	for i, k := range keys {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = appendInt(dst, k)
+		dst = append(dst, ':')
+		dst = c.AppendMsg(dst, buf[k])
+	}
+	return append(dst, '}')
+}
+
+var (
+	_ ioa.CanonFingerprinter = abpTState{}
+	_ ioa.CanonFingerprinter = abpRState{}
+	_ ioa.CanonFingerprinter = gbnTState{}
+	_ ioa.CanonFingerprinter = gbnRState{}
+	_ ioa.CanonFingerprinter = srTState{}
+	_ ioa.CanonFingerprinter = srRState{}
+	_ ioa.CanonFingerprinter = hsTState{}
+	_ ioa.CanonFingerprinter = hsRState{}
+	_ ioa.CanonFingerprinter = stnTState{}
+	_ ioa.CanonFingerprinter = stnRState{}
+	_ ioa.CanonFingerprinter = nvTState{}
+	_ ioa.CanonFingerprinter = nvRState{}
+)
+
+func (s abpTState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "abpT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " bit="...)
+	dst = appendInt(dst, s.bit)
+	dst = append(dst, " q="...)
+	dst = appendMsgsCanon(dst, s.queue, c)
+	return append(dst, '}')
+}
+
+func (s abpRState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	return appendRcvrFPCanon(dst, "abpR", s.awake, s.expect, s.acks, s.pending, c)
+}
+
+func (s gbnTState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	return appendXmtrFPCanon(dst, "gbnT", s.awake, s.base, s.queue, c)
+}
+
+func (s gbnRState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	return appendRcvrFPCanon(dst, "gbnR", s.awake, s.expect, s.acks, s.pending, c)
+}
+
+func (s srTState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "srT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " base="...)
+	dst = appendInt(dst, s.base)
+	dst = append(dst, " q="...)
+	dst = appendMsgsCanon(dst, s.queue, c)
+	dst = append(dst, " acked="...)
+	dst = appendBools(dst, s.acked)
+	return append(dst, '}')
+}
+
+func (s srRState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "srR{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " buf="...)
+	dst = appendBufferCanon(dst, s.buffer, c)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgsCanon(dst, s.pending, c)
+	return append(dst, '}')
+}
+
+func (s hsTState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "hsT{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " conn="...)
+	dst = strconv.AppendBool(dst, s.conn)
+	dst = append(dst, " bit="...)
+	dst = appendInt(dst, s.bit)
+	dst = append(dst, " q="...)
+	dst = appendMsgsCanon(dst, s.queue, c)
+	return append(dst, '}')
+}
+
+func (s hsRState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "hsR{awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " conn="...)
+	dst = strconv.AppendBool(dst, s.conn)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	dst = append(dst, " pend="...)
+	dst = appendMsgsCanon(dst, s.pending, c)
+	return append(dst, '}')
+}
+
+func (s stnTState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	return appendXmtrFPCanon(dst, "stnT", s.awake, s.base, s.queue, c)
+}
+
+func (s stnRState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	return appendRcvrFPCanon(dst, "stnR", s.awake, s.expect, s.acks, s.pending, c)
+}
+
+func (s nvTState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "nvT{e="...)
+	dst = appendInt(dst, s.epoch)
+	dst = append(dst, " awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " conn="...)
+	dst = strconv.AppendBool(dst, s.conn)
+	dst = append(dst, " base="...)
+	dst = appendInt(dst, s.base)
+	dst = append(dst, " q="...)
+	dst = appendMsgsCanon(dst, s.queue, c)
+	return append(dst, '}')
+}
+
+func (s nvRState) AppendCanonFingerprint(dst []byte, c *ioa.Canon) []byte {
+	dst = append(dst, "nvR{e="...)
+	dst = appendInt(dst, s.epoch)
+	dst = append(dst, " hasE="...)
+	dst = strconv.AppendBool(dst, s.hasE)
+	dst = append(dst, " exp="...)
+	dst = appendInt(dst, s.expect)
+	dst = append(dst, " pend="...)
+	dst = appendMsgsCanon(dst, s.pending, c)
+	dst = append(dst, " awake="...)
+	dst = strconv.AppendBool(dst, s.awake)
+	dst = append(dst, " acks="...)
+	dst = appendHeaders(dst, s.acks)
+	return append(dst, '}')
+}

@@ -44,10 +44,13 @@ func NewFragmenting(n, f int) core.Protocol {
 		R:    &fragReceiver{n: n, f: f},
 		Props: core.Properties{
 			MessageIndependent: true,
-			Crashing:           true,
-			Headers:            headers,
-			KBound:             f,
-			RequiresFIFO:       true,
+			// Not PayloadOpaque: splitFragments derives fragment tokens
+			// from message contents, so a whole-message renaming is not an
+			// automorphism and symmetry reduction must stay off.
+			Crashing:     true,
+			Headers:      headers,
+			KBound:       f,
+			RequiresFIFO: true,
 		},
 	}
 }

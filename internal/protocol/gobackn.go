@@ -29,6 +29,7 @@ func NewGoBackN(n, w int) core.Protocol {
 		R:    &gbnReceiver{n: n},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           true,
 			Headers:            headers,
 			KBound:             1,

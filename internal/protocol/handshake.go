@@ -25,6 +25,7 @@ func NewHandshake() core.Protocol {
 		R:    &hsReceiver{},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           true,
 			Headers: []ioa.Header{
 				SynHeader(0), SynAckHeader(0),

@@ -43,6 +43,7 @@ func NewNonVolatile() core.Protocol {
 		R:    &nvReceiver{},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           false, // non-volatile memory survives crashes
 			Headers:            nil,   // epochs are unbounded
 			KBound:             1,

@@ -35,6 +35,7 @@ func NewSelectiveRepeat(n, w int) core.Protocol {
 		R:    &srReceiver{n: n, w: w},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           true,
 			Headers:            headers,
 			KBound:             1,

@@ -26,6 +26,7 @@ func NewStenning() core.Protocol {
 		R:    &stnReceiver{},
 		Props: core.Properties{
 			MessageIndependent: true,
+			PayloadOpaque:      true,
 			Crashing:           true,
 			Headers:            nil, // unbounded header set
 			KBound:             1,
