@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke ci bench-explore bench
+.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,7 @@ lint-json:
 # code; their tests are written to be meaningful under the race detector
 # (multi-worker searches, concurrent seen-set adds, parallel increments).
 race:
-	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/swarm/... ./internal/obs/...
+	$(GO) test -race ./internal/explore/... ./internal/sim/... ./internal/swarm/... ./internal/obs/... ./internal/transport/...
 
 # A fixed-seed conformance sweep (~5s): every registered protocol over its
 # claimed channels and tolerated faults must produce zero violations, and
@@ -52,6 +52,7 @@ fuzz-smoke:
 	$(GO) test -run FuzzCheckersContainment -fuzz FuzzCheckersContainment -fuzztime 10s ./internal/spec/
 	$(GO) test -run FuzzChannelInvariants -fuzz FuzzChannelInvariants -fuzztime 10s ./internal/channel/
 	$(GO) test -run FuzzCheckpointDecode -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/explore/
+	$(GO) test -run FuzzFrameDecode -fuzz FuzzFrameDecode -fuzztime 10s ./internal/transport/
 
 # End-to-end observability smoke: run both instrumented binaries with
 # -trace/-metrics on short workloads, then obsreport must validate and
@@ -116,7 +117,33 @@ reduction-smoke:
 	rm -f /tmp/red-smoke-explore /tmp/red-smoke-base.txt /tmp/red-smoke-reduced.txt \
 		/tmp/red-smoke-want.txt /tmp/red-smoke-got.txt
 
-ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke
+# Live-traffic smoke through the real binaries: a 100k-message loopback
+# run must come back with a clean verdict, a TCP session through dlserve
+# (address discovered via -addr-file, same idiom as checkpoint-smoke)
+# must leave both sides clean, and a run whose faults exceed the
+# protocol's envelope must exit with the distinct monitor-violation
+# status 4 — the online monitors catching a real bug is itself a tested
+# code path.
+serve-smoke:
+	$(GO) build -o /tmp/serve-smoke-dlserve ./cmd/dlserve
+	$(GO) build -o /tmp/serve-smoke-loadgen ./cmd/loadgen
+	/tmp/serve-smoke-loadgen -mode loopback -protocol gbn -msgs 100000 > /dev/null
+	rm -f /tmp/serve-smoke-addr
+	( /tmp/serve-smoke-dlserve -addr 127.0.0.1:0 -addr-file /tmp/serve-smoke-addr -sessions 1 \
+		> /tmp/serve-smoke-server.txt 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do test -s /tmp/serve-smoke-addr && break; sleep 0.1; done; \
+	  /tmp/serve-smoke-loadgen -mode tcp -addr "$$(cat /tmp/serve-smoke-addr)" \
+		-protocol gbn -msgs 2000 > /dev/null; \
+	  wait $$pid )
+	grep -q "DL^{t,r}: OK" /tmp/serve-smoke-server.txt
+	( /tmp/serve-smoke-loadgen -mode loopback -protocol gbn -n 2 -w 1 -fifo=false \
+		-msgs 30 -window 6 -faults reorder,loss -rate 0.3 -seed 1 > /dev/null 2>&1; \
+	  test $$? -eq 4 )
+	rm -f /tmp/serve-smoke-dlserve /tmp/serve-smoke-loadgen /tmp/serve-smoke-addr \
+		/tmp/serve-smoke-server.txt
+
+ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

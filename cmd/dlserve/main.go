@@ -1,0 +1,83 @@
+// Command dlserve hosts monitored data link receiver sessions over
+// TCP. Each connection negotiates a protocol (Hello frame), runs the
+// receiver station A^r against the remote transmitter, judges the live
+// action stream with the online DL/PL monitors, and reports a verdict
+// per session.
+//
+// Examples:
+//
+//	dlserve -addr 127.0.0.1:4444
+//	dlserve -addr 127.0.0.1:0 -addr-file /tmp/dlserve.addr -sessions 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4444", "address to listen on (port 0 picks one)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file after listening")
+		sessions = flag.Int("sessions", 0, "exit after this many sessions (0 = serve forever)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-session deadline")
+		metrics  = flag.Bool("metrics", false, "print an obs snapshot as JSON on exit")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dlserve: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *addr, *addrFile, *sessions, *timeout, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "dlserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, addr, addrFile string, sessions int, timeout time.Duration, metrics bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(w, "dlserve: listening on %s (protocols: %v)\n", ln.Addr(), protocol.Names())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	var reg *obs.Registry
+	if metrics {
+		reg = obs.NewRegistry()
+	}
+	err = transport.Serve(ln, transport.ServerConfig{
+		Resolve:        protocol.ByName,
+		Registry:       reg,
+		MaxSessions:    sessions,
+		SessionTimeout: timeout,
+		OnSession: func(s transport.SessionSummary) {
+			if s.Err != nil {
+				fmt.Fprintf(w, "session %s: %s: error: %v\n", s.Remote, s.Proto, s.Err)
+				return
+			}
+			fmt.Fprintf(w, "session %s: %s n=%d w=%d fifo=%v: delivered %d; %s\n",
+				s.Remote, s.Proto, s.N, s.W, s.FIFO, s.Delivered, s.Verdicts)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if metrics {
+		return reg.Snapshot().WriteJSON(w)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// TestServeOneSession boots the server on an ephemeral port, discovers
+// the address through -addr-file, runs one client session against it,
+// and checks the session report.
+func TestServeOneSession(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	var out strings.Builder
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(&out, "127.0.0.1:0", addrFile, 1, 30*time.Second, true)
+	}()
+
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("server never wrote its address file")
+	}
+
+	p, err := protocol.ByName("gbn", 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transport.Dial(addr, transport.ClientConfig{
+		Protocol: p, ProtoName: "gbn", N: 8, W: 3, FIFO: true,
+		Msgs: 25, Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts.Clean() {
+		t.Fatalf("client verdicts: %s", res.Verdicts)
+	}
+
+	if err := <-errc; err != nil {
+		t.Fatalf("server: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"listening on", "gbn n=8 w=3", "delivered 25", "DL^{t,r}: OK", "transport.msgs_delivered"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("server output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "256.256.256.256:99999", "", 1, time.Second, false); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -16,7 +16,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/adversary"
 	"repro/internal/ioa"
@@ -25,37 +27,47 @@ import (
 )
 
 func main() {
-	part1()
-	part2()
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func part1() {
-	fmt.Println("── Part 1: Theorem 8.5 defeats bounded headers over C̄ ──")
+func run(out io.Writer) error {
+	if err := part1(out); err != nil {
+		return err
+	}
+	return part2(out)
+}
+
+func part1(out io.Writer) error {
+	fmt.Fprintln(out, "── Part 1: Theorem 8.5 defeats bounded headers over C̄ ──")
 	gbn := protocol.NewGoBackN(4, 1)
 	rep, err := adversary.HeaderPump(gbn, adversary.HeaderPumpConfig{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(rep)
-	fmt.Println("\nstale packets the channel held back (the set T):")
+	fmt.Fprint(out, rep)
+	fmt.Fprintln(out, "\nstale packets the channel held back (the set T):")
 	for i, p := range rep.Withheld {
-		fmt.Printf("  %2d. %s\n", i+1, p)
+		fmt.Fprintf(out, "  %2d. %s\n", i+1, p)
 	}
-	fmt.Println("\nviolating data link behavior (note the duplicate delivery at the end):")
-	fmt.Print(ioa.FormatSchedule(rep.Behavior))
-	fmt.Println()
+	fmt.Fprintln(out, "\nviolating data link behavior (note the duplicate delivery at the end):")
+	fmt.Fprint(out, ioa.FormatSchedule(rep.Behavior))
+	fmt.Fprintln(out)
+	return nil
 }
 
-func part2() {
-	fmt.Println("── Part 2: Stenning's unbounded headers survive C̄ ──")
+func part2(out io.Writer) error {
+	fmt.Fprintln(out, "── Part 2: Stenning's unbounded headers survive C̄ ──")
 	for _, n := range []int{10, 100, 1000} {
 		res, err := perf.MeasureStenningHeaderGrowth(n, 3)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %s\n", res)
+		fmt.Fprintf(out, "  %s\n", res)
 	}
-	fmt.Println("\nheaders grow linearly with the message count — by Theorem 8.5, no bounded")
-	fmt.Println("header set can work at all, so this growth is the unavoidable price of")
-	fmt.Println("reliable transfer over channels that may reorder packets arbitrarily.")
+	fmt.Fprintln(out, "\nheaders grow linearly with the message count — by Theorem 8.5, no bounded")
+	fmt.Fprintln(out, "header set can work at all, so this growth is the unavoidable price of")
+	fmt.Fprintln(out, "reliable transfer over channels that may reorder packets arbitrarily.")
+	return nil
 }

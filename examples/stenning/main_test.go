@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStenningOutput runs both parts end to end and asserts the story
+// the example tells: part 1 exhibits a concrete violating behavior with
+// the withheld set T, part 2 shows Stenning paying for correctness with
+// growing headers.
+func TestStenningOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"── Part 1",
+		"the set T",
+		"violating data link behavior",
+		"receive_msg", // the duplicate delivery is shown in the printed schedule
+		"── Part 2",
+		"headers grow linearly",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The withheld set is non-empty: at least one numbered "  1. ..." line
+	// between the set-T header and the behavior header.
+	p1 := text[strings.Index(text, "the set T"):strings.Index(text, "violating data link behavior")]
+	if !strings.Contains(p1, " 1. ") {
+		t.Fatalf("no withheld packets listed:\n%s", p1)
+	}
+
+	// Part 2 prints one measurement line per message count.
+	p2 := text[strings.Index(text, "── Part 2"):]
+	for _, n := range []string{"10", "100", "1000"} {
+		if !strings.Contains(p2, n) {
+			t.Errorf("part 2 missing measurement for n=%s:\n%s", n, p2)
+		}
+	}
+}

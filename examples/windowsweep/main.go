@@ -14,12 +14,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/perf"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	const (
 		delay = 10 // one-way latency in ticks; RTT = 20
 		ticks = 40000
@@ -27,28 +35,29 @@ func main() {
 	windows := []int{1, 2, 4, 8, 16, 32, 64}
 	losses := []float64{0, 0.02, 0.1}
 
-	fmt.Printf("Go-Back-N goodput on a unit-capacity link, one-way delay %d (RTT %d):\n\n", delay, 2*delay)
-	fmt.Printf("%-8s", "loss\\W")
+	fmt.Fprintf(out, "Go-Back-N goodput on a unit-capacity link, one-way delay %d (RTT %d):\n\n", delay, 2*delay)
+	fmt.Fprintf(out, "%-8s", "loss\\W")
 	for _, w := range windows {
-		fmt.Printf("%8d", w)
+		fmt.Fprintf(out, "%8d", w)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, p := range losses {
-		fmt.Printf("%-8.2f", p)
+		fmt.Fprintf(out, "%-8.2f", p)
 		for _, w := range windows {
 			r, err := perf.SimulateGoodput(perf.GoodputConfig{
 				Window: w, Delay: delay, Loss: p, Ticks: ticks, Seed: 99,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%8.4f", r.Goodput)
+			fmt.Fprintf(out, "%8.4f", r.Goodput)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
-	fmt.Println("\nreading the table:")
-	fmt.Printf("  • W=1 is stop-and-wait: goodput ≈ 1/RTT = %.4f no matter how fast the link is.\n", 1.0/(2*delay))
-	fmt.Println("  • goodput saturates once W covers the bandwidth-delay product (W ≈ RTT).")
-	fmt.Println("  • under loss, Go-Back-N resends the whole window, so very large windows stop paying.")
+	fmt.Fprintln(out, "\nreading the table:")
+	fmt.Fprintf(out, "  • W=1 is stop-and-wait: goodput ≈ 1/RTT = %.4f no matter how fast the link is.\n", 1.0/(2*delay))
+	fmt.Fprintln(out, "  • goodput saturates once W covers the bandwidth-delay product (W ≈ RTT).")
+	fmt.Fprintln(out, "  • under loss, Go-Back-N resends the whole window, so very large windows stop paying.")
+	return nil
 }

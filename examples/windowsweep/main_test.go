@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWindowsweepOutput runs the example end to end and asserts the
+// qualitative invariants the prose claims: every goodput is a valid
+// rate, the lossless curve rises from stop-and-wait to saturation, and
+// loss only ever pulls a column down.
+func TestWindowsweepOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"loss\\W", "stop-and-wait", "bandwidth-delay"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	rows := [][]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 8 || !strings.Contains(fields[0], ".") {
+			continue
+		}
+		row := []float64{}
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				t.Fatalf("bad goodput cell %q in %q", f, line)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("goodput %v out of range in %q", v, line)
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 loss rows, found %d:\n%s", len(rows), text)
+	}
+	lossless := rows[0]
+	// Stop-and-wait wastes the pipe; saturation beats it by far.
+	if lossless[len(lossless)-1] < 5*lossless[0] {
+		t.Errorf("no window win on a clean link: %v", lossless)
+	}
+	// The lossless curve never decreases with window size.
+	for i := 1; i < len(lossless); i++ {
+		if lossless[i] < lossless[i-1]-1e-9 {
+			t.Errorf("lossless goodput fell at W index %d: %v", i, lossless)
+		}
+	}
+	// Loss pulls every saturated column down.
+	if rows[2][len(rows[2])-1] >= lossless[len(lossless)-1] {
+		t.Errorf("10%% loss did not reduce saturated goodput: %v vs %v", rows[2], lossless)
+	}
+}

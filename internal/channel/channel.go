@@ -569,6 +569,68 @@ func (c *Channel) Duplicate(st ioa.State, idx int, id uint64) (ioa.State, ioa.Pa
 	return nil, ioa.Packet{}, fmt.Errorf("channel: no pending packet at index %d in %s (%d pending)", idx, c.name, pending+1)
 }
 
+// Corrupt returns a copy of st in which the idx-th pending packet (in
+// send order, 0-based among the pending packets) has been replaced by
+// mutate(p): fault surgery for harnesses that model a medium damaging
+// frames in place. Like Duplicate, this lies outside the paper's
+// channel semantics — the mutated packet's receive_pkt has no matching
+// send_pkt — so states produced this way must only be judged against
+// specifications that tolerate it (in the transport middlebox the
+// corruption is caught by the frame CRC and becomes an effective
+// loss). The mutated packet replaces the original at the same queue
+// position, preserving FIFO structure; callers that keep the packet ID
+// unchanged model in-place damage, callers minting a fresh ID model
+// injection.
+func (c *Channel) Corrupt(st ioa.State, idx int, mutate func(ioa.Packet) ioa.Packet) (ioa.State, ioa.Packet, error) {
+	s, ok := st.(State)
+	if !ok {
+		return nil, ioa.Packet{}, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, st)
+	}
+	pending := -1
+	for i := range s.entries {
+		if s.entries[i].status != statusPending {
+			continue
+		}
+		pending++
+		if pending != idx {
+			continue
+		}
+		next := s.clone()
+		next.entries[i].pkt = mutate(next.entries[i].pkt)
+		return next, next.entries[i].pkt, nil
+	}
+	return nil, ioa.Packet{}, fmt.Errorf("channel: no pending packet at index %d in %s (%d pending)", idx, c.name, pending+1)
+}
+
+// Compact returns an equivalent state with the dead prefix discarded:
+// delivered and lost entries, and (for a FIFO channel) pending entries
+// at or below the high-water mark — which can never be delivered and
+// would be marked lost by the next delivery anyway — are dropped, and
+// the high-water mark is reset. The compacted state is
+// forward-bisimilar to the original (same deliverable packets in the
+// same eligibility order, same Residual), but its size is bounded by
+// the in-transit count instead of the send history. Long-running
+// transport sessions compact their middlebox channels periodically;
+// without this, Step's copy-on-write clone makes a session cost
+// O(messages²).
+//
+// The surgery deliberately erases the send history, so SentCount and
+// DeliveredCount restart from the compacted state; harnesses that
+// account for totals must keep their own counters.
+func (c *Channel) Compact(st ioa.State) (ioa.State, error) {
+	s, ok := st.(State)
+	if !ok {
+		return nil, fmt.Errorf("%w: want channel.State, got %T", ioa.ErrBadState, st)
+	}
+	next := State{hwm: -1}
+	for i := range s.entries {
+		if c.deliverable(s, i) {
+			next.entries = append(next.entries, s.entries[i])
+		}
+	}
+	return next, nil
+}
+
 // Waiting reports whether the sequence Q is waiting in st in the paper's
 // sense (Section 6.3): the packets of Q are pending and can be delivered
 // consecutively, in order, starting now. For the non-FIFO channel this

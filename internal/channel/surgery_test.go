@@ -1,0 +1,137 @@
+package channel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func mustStep(t *testing.T, c *Channel, st ioa.State, a ioa.Action) ioa.State {
+	t.Helper()
+	next, err := c.Step(st, a)
+	if err != nil {
+		t.Fatalf("step %s: %v", a, err)
+	}
+	return next
+}
+
+func pkt(id uint64, hdr, payload string) ioa.Packet {
+	return ioa.Packet{ID: id, Header: ioa.Header(hdr), Payload: ioa.Message(payload)}
+}
+
+// TestCorruptReplacesPendingInPlace: the mutated packet sits at the
+// original's queue position, the original is gone, and the other
+// entries are untouched.
+func TestCorruptReplacesPendingInPlace(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR)
+	st := c.Start()
+	for i := uint64(1); i <= 3; i++ {
+		st = mustStep(t, c, st, ioa.SendPkt(ioa.TR, pkt(i, "h", "m")))
+	}
+	next, mutated, err := c.Corrupt(st, 1, func(p ioa.Packet) ioa.Packet {
+		p.Payload = "garbled"
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated != pkt(2, "h", "garbled") {
+		t.Fatalf("mutated = %s", mutated)
+	}
+	got := next.(State).InTransit()
+	want := []ioa.Packet{pkt(1, "h", "m"), pkt(2, "h", "garbled"), pkt(3, "h", "m")}
+	if len(got) != len(want) {
+		t.Fatalf("in transit: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in transit[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// The original state is untouched (Step/surgeries are copy-on-write).
+	if orig := st.(State).InTransit()[1]; orig != pkt(2, "h", "m") {
+		t.Fatalf("original state mutated: %s", orig)
+	}
+	// Out-of-range index is an error.
+	if _, _, err := c.Corrupt(st, 7, func(p ioa.Packet) ioa.Packet { return p }); err == nil {
+		t.Fatal("corrupt of missing index succeeded")
+	}
+}
+
+// TestCompactPreservesResidual: compaction drops the dead prefix but
+// leaves the forward-relevant content — the Residual fingerprint and
+// the deliverable set — exactly as it was, for both disciplines.
+func TestCompactPreservesResidual(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		var c *Channel
+		if fifo {
+			c = NewPermissiveFIFO(ioa.TR)
+		} else {
+			c = NewPermissive(ioa.TR)
+		}
+		st := c.Start()
+		for i := uint64(1); i <= 6; i++ {
+			st = mustStep(t, c, st, ioa.SendPkt(ioa.TR, pkt(i, "h", "m")))
+		}
+		// Deliver #3 (FIFO loses #1-#2), lose #4 by surgery.
+		st = mustStep(t, c, st, ioa.ReceivePkt(ioa.TR, pkt(3, "h", "m")))
+		lost, err := c.MarkLost(st, pkt(4, "h", "m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = lost
+
+		before, err := c.Residual(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compacted, err := c.Compact(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := c.Residual(compacted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before != after {
+			t.Fatalf("fifo=%v: residual changed by compaction: %s != %s", fifo, before, after)
+		}
+		cs := compacted.(State)
+		if n := len(cs.entries); n != len(cs.InTransit()) {
+			t.Fatalf("fifo=%v: compacted state still has %d entries for %d pending", fifo, n, len(cs.InTransit()))
+		}
+		// Delivery still works identically after compaction. The FIFO
+		// channel had #5 and #6 pending (delivering #3 lost #1 and #2);
+		// the non-FIFO one still had #1, #2, #5 and #6.
+		next := mustStep(t, c, compacted, ioa.ReceivePkt(ioa.TR, pkt(5, "h", "m")))
+		want := 3
+		if fifo {
+			want = 1
+		}
+		if got := len(next.(State).InTransit()); got != want {
+			t.Fatalf("fifo=%v: after delivering #5, %d in transit, want %d", fifo, got, want)
+		}
+	}
+}
+
+// TestCompactDropsDeadEntries: after a FIFO delivery that skipped (and
+// so lost) everything before it, compaction empties the state entirely.
+func TestCompactDropsDeadEntries(t *testing.T) {
+	c := NewPermissiveFIFO(ioa.TR)
+	st := c.Start()
+	st = mustStep(t, c, st, ioa.SendPkt(ioa.TR, pkt(1, "h", "m")))
+	st = mustStep(t, c, st, ioa.SendPkt(ioa.TR, pkt(2, "h", "m")))
+	st = mustStep(t, c, st, ioa.ReceivePkt(ioa.TR, pkt(2, "h", "m")))
+	// #1 was skipped and is lost; nothing is deliverable.
+	compacted, err := c.Compact(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := compacted.(State); len(cs.entries) != 0 || !cs.Clean() {
+		t.Fatalf("compacted state not empty: %s", cs.Fingerprint())
+	}
+	if !strings.Contains(compacted.(State).Fingerprint(), "hwm=-1") {
+		t.Fatalf("hwm not reset: %s", compacted.(State).Fingerprint())
+	}
+}

@@ -1,0 +1,114 @@
+package ioa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file provides a canonical binary encoding of Action for the
+// transport backend's wire frames. The json.go codec is for durable,
+// human-greppable artifacts; this one is for bytes on a socket, where
+// the decoder must be strict and accepted encodings must re-encode
+// bit-identically (the fuzzing invariant of the frame layer).
+//
+// The layout is deliberately fixed-width — no varints, no optional
+// fields: a one-byte kind, the direction, the message, the internal
+// name, and the packet (ID, header, payload), always all present, with
+// every string length-prefixed by a big-endian uint32. Canonicity is
+// then structural: each byte string parses to at most one Action, and
+// each Action has exactly one encoding.
+
+// ErrWire reports a malformed binary action encoding.
+var ErrWire = errors.New("ioa: malformed wire action")
+
+// maxWireString bounds each string field in a decoded action,
+// protecting the reader from absurd length prefixes on corrupt input.
+const maxWireString = 1 << 20
+
+// AppendWireAction appends the canonical binary encoding of a to dst.
+func AppendWireAction(dst []byte, a Action) []byte {
+	dst = append(dst, byte(a.Kind))
+	dst = appendWireString(dst, string(a.Dir.From))
+	dst = appendWireString(dst, string(a.Dir.To))
+	dst = appendWireString(dst, string(a.Msg))
+	dst = appendWireString(dst, a.Name)
+	dst = binary.BigEndian.AppendUint64(dst, a.Pkt.ID)
+	dst = appendWireString(dst, string(a.Pkt.Header))
+	dst = appendWireString(dst, string(a.Pkt.Payload))
+	return dst
+}
+
+// DecodeWireAction decodes one action from the front of b, returning
+// the action and the number of bytes consumed. Any structural problem —
+// truncation, an unknown kind, an oversize length prefix — yields an
+// error wrapping ErrWire.
+func DecodeWireAction(b []byte) (Action, int, error) {
+	var a Action
+	if len(b) < 1 {
+		return a, 0, fmt.Errorf("%w: empty input", ErrWire)
+	}
+	k := Kind(b[0])
+	if k == KindInvalid || k > KindInternal {
+		return a, 0, fmt.Errorf("%w: unknown kind %d", ErrWire, b[0])
+	}
+	a.Kind = k
+	off := 1
+	read := func() (string, error) {
+		s, n, err := decodeWireString(b[off:])
+		off += n
+		return s, err
+	}
+	from, err := read()
+	if err != nil {
+		return a, 0, err
+	}
+	to, err := read()
+	if err != nil {
+		return a, 0, err
+	}
+	a.Dir = Dir{From: Station(from), To: Station(to)}
+	msg, err := read()
+	if err != nil {
+		return a, 0, err
+	}
+	a.Msg = Message(msg)
+	if a.Name, err = read(); err != nil {
+		return a, 0, err
+	}
+	if len(b[off:]) < 8 {
+		return a, 0, fmt.Errorf("%w: truncated packet id", ErrWire)
+	}
+	a.Pkt.ID = binary.BigEndian.Uint64(b[off:])
+	off += 8
+	hdr, err := read()
+	if err != nil {
+		return a, 0, err
+	}
+	a.Pkt.Header = Header(hdr)
+	payload, err := read()
+	if err != nil {
+		return a, 0, err
+	}
+	a.Pkt.Payload = Message(payload)
+	return a, off, nil
+}
+
+func appendWireString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func decodeWireString(b []byte) (string, int, error) {
+	if len(b) < 4 {
+		return "", len(b), fmt.Errorf("%w: truncated string length", ErrWire)
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > maxWireString {
+		return "", 4, fmt.Errorf("%w: string length %d exceeds limit", ErrWire, n)
+	}
+	if uint32(len(b)-4) < n {
+		return "", len(b), fmt.Errorf("%w: truncated string body", ErrWire)
+	}
+	return string(b[4 : 4+n]), 4 + int(n), nil
+}

@@ -1,0 +1,67 @@
+package ioa
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+var wireSamples = []Action{
+	SendMsg(TR, "m1"),
+	ReceiveMsg(TR, "m1"),
+	SendPkt(TR, Packet{ID: 7, Header: "data/1", Payload: "m2"}),
+	ReceivePkt(RT, Packet{ID: 12, Header: "ack/0"}),
+	Wake(TR),
+	Fail(RT),
+	Crash(TR),
+	Internal("lose^{t,r}"),
+	{Kind: KindSendMsg, Dir: Dir{From: "alpha", To: "beta"}, Msg: "µ-テスト"},
+	{}, // invalid actions are rejected by decode; encode still works
+}
+
+func TestWireActionRoundTrip(t *testing.T) {
+	for _, a := range wireSamples {
+		if a.Kind == KindInvalid {
+			continue
+		}
+		enc := AppendWireAction(nil, a)
+		got, n, err := DecodeWireAction(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", a, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %s consumed %d of %d bytes", a, n, len(enc))
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("round trip changed action: %#v != %#v", got, a)
+		}
+		// Canonicity: the decoded action re-encodes bit-identically.
+		if re := AppendWireAction(nil, got); string(re) != string(enc) {
+			t.Fatalf("re-encode of %s differs", a)
+		}
+	}
+}
+
+func TestWireActionRejectsTruncation(t *testing.T) {
+	enc := AppendWireAction(nil, SendPkt(TR, Packet{ID: 9, Header: "data/0", Payload: "m1"}))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeWireAction(enc[:cut]); !errors.Is(err, ErrWire) {
+			t.Fatalf("truncation at %d: want ErrWire, got %v", cut, err)
+		}
+	}
+}
+
+func TestWireActionRejectsBadKindAndOversizeLength(t *testing.T) {
+	if _, _, err := DecodeWireAction([]byte{0x00}); !errors.Is(err, ErrWire) {
+		t.Fatalf("invalid kind: want ErrWire, got %v", err)
+	}
+	if _, _, err := DecodeWireAction([]byte{0xff}); !errors.Is(err, ErrWire) {
+		t.Fatalf("unknown kind: want ErrWire, got %v", err)
+	}
+	// A length prefix far beyond maxWireString must be rejected before
+	// any allocation is attempted.
+	b := []byte{byte(KindWake), 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := DecodeWireAction(b); !errors.Is(err, ErrWire) {
+		t.Fatalf("oversize length: want ErrWire, got %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// randDLSchedule generates an arbitrary (usually ill-formed) data-link
+// schedule: status events in both directions and send/receive events
+// over a small message alphabet, so duplicates, spurious receives,
+// reorderings, orphaned sends and wake-wake interval discards all occur.
+func randDLSchedule(rng *rand.Rand, n int) ioa.Schedule {
+	dirs := []ioa.Dir{ioa.TR, ioa.RT}
+	var beta ioa.Schedule
+	for i := 0; i < n; i++ {
+		d := dirs[rng.Intn(2)]
+		m := ioa.Message(fmt.Sprintf("m%d", rng.Intn(6)))
+		switch rng.Intn(10) {
+		case 0, 1:
+			beta = append(beta, ioa.Wake(d))
+		case 2:
+			beta = append(beta, ioa.Fail(d))
+		case 3:
+			beta = append(beta, ioa.Crash(d))
+		case 4, 5, 6:
+			beta = append(beta, ioa.SendMsg(ioa.TR, m))
+		default:
+			beta = append(beta, ioa.ReceiveMsg(ioa.TR, m))
+		}
+	}
+	return beta
+}
+
+// randPLSchedule generates an arbitrary physical-layer schedule for one
+// direction with a tiny packet space, so PL2/PL3 duplicates and PL5
+// inversions occur.
+func randPLSchedule(rng *rand.Rand, d ioa.Dir, n int) ioa.Schedule {
+	var beta ioa.Schedule
+	for i := 0; i < n; i++ {
+		p := ioa.Packet{
+			ID:      uint64(rng.Intn(8)),
+			Header:  ioa.Header(fmt.Sprintf("h%d", rng.Intn(3))),
+			Payload: ioa.Message(fmt.Sprintf("m%d", rng.Intn(3))),
+		}
+		switch rng.Intn(10) {
+		case 0, 1:
+			beta = append(beta, ioa.Wake(d))
+		case 2:
+			beta = append(beta, ioa.Fail(d))
+		case 3:
+			beta = append(beta, ioa.Crash(d))
+		case 4, 5, 6:
+			beta = append(beta, ioa.SendPkt(d, p))
+		default:
+			beta = append(beta, ioa.ReceivePkt(d, p))
+		}
+	}
+	return beta
+}
+
+// TestOnlineDLMatchesOffline is the soundness statement of the online
+// DL monitor: on any schedule — well-formed or not — feeding the events
+// one at a time produces exactly CheckDL's verdict, including violation
+// indices and detail strings.
+func TestOnlineDLMatchesOffline(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		beta := randDLSchedule(rng, 3+rng.Intn(60))
+		m := NewOnlineDL(ioa.TR)
+		for _, a := range beta {
+			m.Observe(a)
+		}
+		got, want := m.Verdict(), CheckDL(beta, ioa.TR)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: online verdict diverges from CheckDL\nonline:  %s\noffline: %s\nschedule:\n%s",
+				seed, got, want, ioa.FormatSchedule(beta))
+		}
+	}
+}
+
+// TestOnlineDLMatchesOfflineOnEveryPrefix checks the stronger property
+// that the monitor agrees with the offline checker after every single
+// event, not just at the end of the trace.
+func TestOnlineDLMatchesOfflineOnEveryPrefix(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		beta := randDLSchedule(rng, 3+rng.Intn(40))
+		m := NewOnlineDL(ioa.TR)
+		for i, a := range beta {
+			m.Observe(a)
+			got, want := m.Verdict(), CheckDL(beta[:i+1], ioa.TR)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: prefix %d diverges\nonline:  %s\noffline: %s\nschedule:\n%s",
+					seed, i+1, got, want, ioa.FormatSchedule(beta[:i+1]))
+			}
+		}
+	}
+}
+
+// TestOnlinePLMatchesOffline is the PL twin, for both the plain and the
+// FIFO module.
+func TestOnlinePLMatchesOffline(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		for seed := int64(0); seed < 400; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			beta := randPLSchedule(rng, ioa.TR, 3+rng.Intn(60))
+			m := NewOnlinePL(ioa.TR, fifo)
+			for _, a := range beta {
+				m.Observe(a)
+			}
+			got := m.Verdict()
+			var want Verdict
+			if fifo {
+				want = CheckPLFIFO(beta, ioa.TR)
+			} else {
+				want = CheckPL(beta, ioa.TR)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("fifo=%v seed %d: online verdict diverges\nonline:  %s\noffline: %s\nschedule:\n%s",
+					fifo, seed, got, want, ioa.FormatSchedule(beta))
+			}
+		}
+	}
+}
+
+// TestOnlineDLWakeWakeDiscardsInterval pins the trickiest divergence
+// hazard: a second wake discards the open interval, retroactively
+// orphaning the sends inside it. The offline checker reports those
+// sends under (DL2); the online monitor must too.
+func TestOnlineDLWakeWakeDiscardsInterval(t *testing.T) {
+	beta := ioa.Schedule{
+		ioa.Wake(ioa.TR),
+		ioa.Wake(ioa.RT),
+		ioa.SendMsg(ioa.TR, "m1"),
+		ioa.Wake(ioa.TR), // discards the interval holding the send of m1
+		ioa.SendMsg(ioa.TR, "m2"),
+		ioa.ReceiveMsg(ioa.TR, "m2"),
+	}
+	m := NewOnlineDL(ioa.TR)
+	for _, a := range beta {
+		m.Observe(a)
+	}
+	got, want := m.Verdict(), CheckDL(beta, ioa.TR)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("online %s != offline %s", got, want)
+	}
+	if !got.Vacuous {
+		t.Fatalf("expected a vacuous verdict (DL2 hypothesis failure), got %s", got)
+	}
+	found := false
+	for _, h := range got.HypothesisFailures {
+		if h.Property == PropDL2 && h.Index == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected DL2 failure at event 3, got %s", got)
+	}
+}
+
+// TestOnlineDLObserveSignalsSafetyViolations checks that Observe
+// reports the first DL4/DL5/DL6 violation at the event that causes it.
+func TestOnlineDLObserveSignalsSafetyViolations(t *testing.T) {
+	m := NewOnlineDL(ioa.TR)
+	steps := ioa.Schedule{
+		ioa.Wake(ioa.TR),
+		ioa.Wake(ioa.RT),
+		ioa.SendMsg(ioa.TR, "m1"),
+		ioa.ReceiveMsg(ioa.TR, "m1"),
+	}
+	for _, a := range steps {
+		if v := m.Observe(a); v != nil {
+			t.Fatalf("unexpected violation %s at %s", v, a)
+		}
+	}
+	v := m.Observe(ioa.ReceiveMsg(ioa.TR, "m1"))
+	if v == nil || v.Property != PropDL4 || v.Index != 5 {
+		t.Fatalf("want DL4 at event 5, got %v", v)
+	}
+	if v := m.Observe(ioa.ReceiveMsg(ioa.TR, "zZz")); v == nil || v.Property != PropDL5 {
+		t.Fatalf("want DL5, got %v", v)
+	}
+}

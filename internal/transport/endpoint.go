@@ -1,0 +1,316 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/spec"
+)
+
+// Endpoint hosts one station automaton (A^t or A^r) of a protocol and
+// drives it from live traffic: environment inputs and inbound packets
+// are applied with Input/HandlePacket, and Pump fires the automaton's
+// locally-controlled actions. Every applied action is reported, in
+// application order, through the emit callback — that stream is the
+// endpoint's contribution to the global schedule the online monitors
+// judge.
+//
+// Pump's send policy replaces the simulator's fairness scheduler: a
+// send_pkt action fires once when it becomes enabled and is then
+// disarmed while it stays continuously enabled, so a retransmission-
+// ready automaton (whose send stays enabled until acknowledged) does
+// not flood the link. An action re-arms when it leaves the enabled set
+// and returns (a genuinely new instance, e.g. the alternating-bit
+// protocol's ack for the next 0-bit), and Rearm re-arms everything —
+// the retransmit path a backend invokes when the link has gone quiet
+// without the workload completing.
+//
+// An Endpoint is not goroutine-safe; backends serialise access.
+type Endpoint struct {
+	station ioa.Station
+	auto    ioa.Automaton
+	state   ioa.State
+	out     ioa.Dir // direction this endpoint sends packets in
+	in      ioa.Dir // direction packets arrive from
+	ids     core.PacketIDs
+	// disarmed holds the pre-relabelling (ID-zero) send actions that
+	// fired and are still continuously enabled.
+	disarmed map[ioa.Action]bool
+
+	// emit observes every layer action applied at this endpoint, in
+	// order. Required.
+	emit func(ioa.Action)
+	// send transmits a fired packet (already relabelled with a unique
+	// ID). Required.
+	send func(ioa.Packet) error
+	// deliver observes each receive_msg payload (receiver side only).
+	// Optional.
+	deliver func(ioa.Message)
+}
+
+// maxPumpSteps bounds one Pump call; a protocol automaton that fires
+// this many locally-controlled actions without quiescing is broken.
+const maxPumpSteps = 1 << 16
+
+// NewEndpoint returns an endpoint hosting protocol p's automaton for
+// station x (ioa.T hosts p.T, ioa.R hosts p.R).
+func NewEndpoint(p core.Protocol, x ioa.Station, emit func(ioa.Action), send func(ioa.Packet) error, deliver func(ioa.Message)) (*Endpoint, error) {
+	if p.T == nil || p.R == nil {
+		return nil, fmt.Errorf("transport: protocol %q has no automata", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	if emit == nil || send == nil {
+		return nil, fmt.Errorf("transport: endpoint requires emit and send callbacks")
+	}
+	e := &Endpoint{
+		station:  x,
+		disarmed: make(map[ioa.Action]bool),
+		emit:     emit,
+		send:     send,
+		deliver:  deliver,
+	}
+	switch x {
+	case ioa.T:
+		e.auto, e.out, e.in = p.T, ioa.TR, ioa.RT
+	case ioa.R:
+		e.auto, e.out, e.in = p.R, ioa.RT, ioa.TR
+	default:
+		return nil, fmt.Errorf("transport: unknown station %q", x)
+	}
+	e.state = e.auto.Start()
+	return e, nil
+}
+
+// Station returns the hosted station name.
+func (e *Endpoint) Station() ioa.Station { return e.station }
+
+// Input applies an environment input action (send_msg, wake, fail,
+// crash) to the automaton and emits it.
+func (e *Endpoint) Input(a ioa.Action) error {
+	next, err := e.auto.Step(e.state, a)
+	if err != nil {
+		return fmt.Errorf("transport: %s input %s: %w", e.station, a, err)
+	}
+	e.state = next
+	e.emit(a)
+	return nil
+}
+
+// HandlePacket applies an inbound packet as the receive_pkt input.
+func (e *Endpoint) HandlePacket(p ioa.Packet) error {
+	return e.Input(ioa.ReceivePkt(e.in, p))
+}
+
+// Rearm clears the send dedup memory so the next Pump refires every
+// enabled send — the retransmission trigger.
+func (e *Endpoint) Rearm() {
+	for k := range e.disarmed {
+		delete(e.disarmed, k)
+	}
+}
+
+// Pump fires the automaton's locally-controlled actions until none is
+// eligible: deliveries (receive_msg) and internal actions always fire;
+// armed sends fire once each (see the type comment). It returns the
+// number of actions fired.
+func (e *Endpoint) Pump() (int, error) {
+	fired := 0
+	for fired < maxPumpSteps {
+		enabled := e.auto.Enabled(e.state)
+		a, ok := e.pickAction(enabled)
+		if !ok {
+			e.pruneDisarmed(enabled)
+			return fired, nil
+		}
+		if err := e.fire(a); err != nil {
+			return fired, err
+		}
+		fired++
+	}
+	return fired, fmt.Errorf("transport: %s automaton did not quiesce after %d actions", e.station, maxPumpSteps)
+}
+
+// pickAction selects the next locally-controlled action: deliveries
+// first, then internal actions, then the first armed send, in the
+// automaton's (deterministic) enumeration order.
+func (e *Endpoint) pickAction(enabled []ioa.Action) (ioa.Action, bool) {
+	for _, a := range enabled {
+		if a.Kind == ioa.KindReceiveMsg || a.Kind == ioa.KindInternal {
+			return a, true
+		}
+	}
+	for _, a := range enabled {
+		if a.Kind == ioa.KindSendPkt && !e.disarmed[a] {
+			return a, true
+		}
+	}
+	return ioa.Action{}, false
+}
+
+func (e *Endpoint) fire(a ioa.Action) error {
+	switch a.Kind {
+	case ioa.KindSendPkt:
+		key := a
+		pkt := a.Pkt
+		pkt.ID = e.ids.Next()
+		labelled := ioa.SendPkt(e.out, pkt)
+		next, err := e.auto.Step(e.state, labelled)
+		if err != nil {
+			return fmt.Errorf("transport: %s firing %s: %w", e.station, labelled, err)
+		}
+		e.state = next
+		e.disarmed[key] = true
+		e.emit(labelled)
+		return e.send(pkt)
+	default:
+		next, err := e.auto.Step(e.state, a)
+		if err != nil {
+			return fmt.Errorf("transport: %s firing %s: %w", e.station, a, err)
+		}
+		e.state = next
+		e.emit(a)
+		if a.Kind == ioa.KindReceiveMsg && e.deliver != nil {
+			e.deliver(a.Msg)
+		}
+		return nil
+	}
+}
+
+// pruneDisarmed re-arms every send that has left the enabled set, so
+// it fires again if it returns (a fresh instance of the same action).
+func (e *Endpoint) pruneDisarmed(enabled []ioa.Action) {
+	if len(e.disarmed) == 0 {
+		return
+	}
+	still := make(map[ioa.Action]bool, len(enabled))
+	for _, a := range enabled {
+		if a.Kind == ioa.KindSendPkt {
+			still[a] = true
+		}
+	}
+	for k := range e.disarmed {
+		if !still[k] {
+			delete(e.disarmed, k)
+		}
+	}
+}
+
+// Monitors bundles the online spec checkers a transport session
+// attaches to its global action stream: the DL monitor over the
+// data-link behavior and one PL monitor per packet direction. Observe
+// routes each event to the monitors whose offline projection would
+// contain it, preserving index fidelity with the offline checkers.
+//
+// Judging policy mirrors the swarm harness: a duplicating middlebox
+// puts the packet stream outside scheds(PL) by construction (a
+// duplicate's receive_pkt has no matching send_pkt), so PL verdicts are
+// only judged when JudgePL is set; the DL verdict is always judged.
+type Monitors struct {
+	DL   *spec.OnlineDL
+	PLTR *spec.OnlinePL
+	PLRT *spec.OnlinePL
+	// JudgePL gates the PL verdicts in Verdicts.
+	JudgePL bool
+	// onViolation, when set, observes each violation the instant a
+	// monitor signals it.
+	onViolation func(spec.Violation)
+}
+
+// NewMonitors returns the standard monitor bundle for a session whose
+// link claims the given FIFO discipline.
+func NewMonitors(fifo, judgePL bool, onViolation func(spec.Violation)) *Monitors {
+	return &Monitors{
+		DL:          spec.NewOnlineDL(ioa.TR),
+		PLTR:        spec.NewOnlinePL(ioa.TR, fifo),
+		PLRT:        spec.NewOnlinePL(ioa.RT, fifo),
+		JudgePL:     judgePL,
+		onViolation: onViolation,
+	}
+}
+
+// Observe routes one global-schedule event to the monitors. DL-layer
+// kinds (send_msg, receive_msg, wake, fail, crash) go to the DL
+// monitor; PL-layer kinds (send_pkt, receive_pkt, wake, fail, crash)
+// go to the PL monitor of their direction. Wake/fail/crash are in both
+// projections, exactly as in the offline behavior and packet-schedule
+// projections. It returns the first violation signalled by any monitor
+// at this event, if any.
+func (m *Monitors) Observe(a ioa.Action) *spec.Violation {
+	var first *spec.Violation
+	note := func(v *spec.Violation) {
+		if v == nil {
+			return
+		}
+		if m.onViolation != nil {
+			m.onViolation(*v)
+		}
+		if first == nil {
+			first = v
+		}
+	}
+	switch a.Kind {
+	case ioa.KindSendMsg, ioa.KindReceiveMsg:
+		note(m.DL.Observe(a))
+	case ioa.KindSendPkt, ioa.KindReceivePkt:
+		switch a.Dir {
+		case ioa.TR:
+			note(m.PLTR.Observe(a))
+		case ioa.RT:
+			note(m.PLRT.Observe(a))
+		}
+	case ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+		note(m.DL.Observe(a))
+		switch a.Dir {
+		case ioa.TR:
+			note(m.PLTR.Observe(a))
+		case ioa.RT:
+			note(m.PLRT.Observe(a))
+		}
+	}
+	return first
+}
+
+// VerdictSet is a sealed session's judgement.
+type VerdictSet struct {
+	DL spec.Verdict
+	// PLTR and PLRT are only meaningful when PLJudged is true.
+	PLTR, PLRT spec.Verdict
+	PLJudged   bool
+}
+
+// Clean reports whether every judged verdict is OK.
+func (v VerdictSet) Clean() bool {
+	if !v.DL.OK() {
+		return false
+	}
+	if v.PLJudged && (!v.PLTR.OK() || !v.PLRT.OK()) {
+		return false
+	}
+	return true
+}
+
+// String summarises the verdicts in one line.
+func (v VerdictSet) String() string {
+	s := "DL^{t,r}: " + v.DL.String()
+	if v.PLJudged {
+		s += "; PL^{t,r}: " + v.PLTR.String() + "; PL^{r,t}: " + v.PLRT.String()
+	} else {
+		s += "; PL: not judged (duplicating link)"
+	}
+	return s
+}
+
+// Seal closes the observation and returns the verdicts, interpreting
+// the observed prefix as a completed trace (the offline checkers'
+// finite-trace reading).
+func (m *Monitors) Seal() VerdictSet {
+	return VerdictSet{
+		DL:       m.DL.Verdict(),
+		PLTR:     m.PLTR.Verdict(),
+		PLRT:     m.PLRT.Verdict(),
+		PLJudged: m.JudgePL,
+	}
+}

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// simVerdicts holds one simulator reference run's judgement.
+type simVerdicts struct {
+	dl, pltr, plrt spec.Verdict
+	delivered      []ioa.Message
+}
+
+// runSimReference drives msgs messages through the composed system
+// D'(A) in the simulator — the repo's first execution substrate — and
+// judges the run with the offline checkers, exactly as ROADMAP tier-1
+// tooling does.
+func runSimReference(t *testing.T, p core.Protocol, msgs int) simVerdicts {
+	t.Helper()
+	sys, err := core.NewSystem(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRunner(sys)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	minter := core.NewMessageMinter("m")
+	for i := 0; i < msgs; i++ {
+		if err := r.Input(ioa.SendMsg(ioa.TR, minter.Fresh())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunFair(sim.RunConfig{MaxSteps: 4000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesced, err := r.RunFair(sim.RunConfig{MaxSteps: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quiesced {
+		t.Fatalf("%s did not quiesce in the simulator", p.Name)
+	}
+	out := simVerdicts{
+		dl:   spec.CheckDL(r.Behavior(), ioa.TR),
+		pltr: spec.CheckPLFIFO(r.PacketSchedule(ioa.TR), ioa.TR),
+		plrt: spec.CheckPLFIFO(r.PacketSchedule(ioa.RT), ioa.RT),
+	}
+	for _, a := range r.Behavior() {
+		if a.Kind == ioa.KindReceiveMsg {
+			out.delivered = append(out.delivered, a.Msg)
+		}
+	}
+	return out
+}
+
+// TestSimTransportEquivalence is the cross-substrate conformance suite:
+// the same workload through the simulator, the loopback transport and
+// the TCP transport must yield, for every registered protocol,
+// identical DL and PL verdicts and the identical delivery sequence.
+// The simulator judges offline with spec.Check*, the transports online
+// with the monitor bundle — so this also pins online ≡ offline across
+// substrates.
+func TestSimTransportEquivalence(t *testing.T) {
+	const msgs = 25
+	addr, sums, shutdown := startServer(t, ServerConfig{})
+	defer shutdown()
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			p := mustProtocol(t, name)
+			ref := runSimReference(t, p, msgs)
+			if !ref.dl.OK() || !ref.pltr.OK() || !ref.plrt.OK() {
+				t.Fatalf("simulator reference run not clean: %s / %s / %s", ref.dl, ref.pltr, ref.plrt)
+			}
+
+			lb, err := RunLoopback(LoopbackConfig{Protocol: p, FIFO: true, Msgs: msgs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lb.Verdicts.PLJudged {
+				t.Fatal("loopback did not judge PL")
+			}
+			for _, mismatch := range []struct {
+				layer       string
+				simV, liveV spec.Verdict
+			}{
+				{"DL", ref.dl, lb.Verdicts.DL},
+				{"PL^{t,r}", ref.pltr, lb.Verdicts.PLTR},
+				{"PL^{r,t}", ref.plrt, lb.Verdicts.PLRT},
+			} {
+				if !reflect.DeepEqual(mismatch.simV, mismatch.liveV) {
+					t.Errorf("%s: sim %s != loopback %s", mismatch.layer, mismatch.simV, mismatch.liveV)
+				}
+			}
+			if !reflect.DeepEqual(ref.delivered, lb.Delivered) {
+				t.Errorf("delivery order: sim %v != loopback %v", ref.delivered, lb.Delivered)
+			}
+
+			tcp, err := Dial(addr, ClientConfig{
+				Protocol: p, ProtoName: name, N: 8, W: 3, FIFO: true,
+				Msgs: msgs, Timeout: 20 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := <-sums
+			if sum.Err != nil {
+				t.Fatalf("server session: %v", sum.Err)
+			}
+			for _, mismatch := range []struct {
+				layer       string
+				simV, liveV spec.Verdict
+			}{
+				{"DL (client)", ref.dl, tcp.Verdicts.DL},
+				{"PL^{t,r} (client)", ref.pltr, tcp.Verdicts.PLTR},
+				{"PL^{r,t} (client)", ref.plrt, tcp.Verdicts.PLRT},
+				{"DL (server)", ref.dl, sum.Verdicts.DL},
+				{"PL^{t,r} (server)", ref.pltr, sum.Verdicts.PLTR},
+				{"PL^{r,t} (server)", ref.plrt, sum.Verdicts.PLRT},
+			} {
+				if !reflect.DeepEqual(mismatch.simV, mismatch.liveV) {
+					t.Errorf("%s: sim %s != tcp %s", mismatch.layer, mismatch.simV, mismatch.liveV)
+				}
+			}
+			if !reflect.DeepEqual(ref.delivered, tcp.Delivered) {
+				t.Errorf("delivery order: sim %v != tcp %v", ref.delivered, tcp.Delivered)
+			}
+		})
+	}
+}
+
+// TestLoopbackMatchesSimUnderLoss extends the equivalence to a faulty
+// link: the loopback's lossy middlebox must still produce the verdicts
+// the simulator's lossy channels produce — all clean, all delivered —
+// for the retransmitting protocols.
+func TestLoopbackMatchesSimUnderLoss(t *testing.T) {
+	const msgs = 25
+	for _, name := range []string{"abp", "gbn", "sr", "stenning"} {
+		t.Run(name, func(t *testing.T) {
+			p := mustProtocol(t, name)
+			ref := runSimReference(t, p, msgs)
+			lb, err := RunLoopback(LoopbackConfig{
+				Protocol: p, FIFO: true, Msgs: msgs,
+				Faults: FaultPlan{Loss: true, Rate: 0.25}, Seed: 9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.dl, lb.Verdicts.DL) {
+				t.Errorf("DL: sim %s != lossy loopback %s", ref.dl, lb.Verdicts.DL)
+			}
+			if !reflect.DeepEqual(ref.delivered, lb.Delivered) {
+				t.Errorf("delivery order: sim %v != loopback %v", ref.delivered, lb.Delivered)
+			}
+		})
+	}
+}

@@ -1,0 +1,340 @@
+// Package transport runs a registered core.Protocol pair over real
+// connections: a length-prefixed, CRC32-protected frame codec, an
+// in-process loopback backend with a fault-injecting middlebox, and a
+// TCP backend (cmd/dlserve, cmd/loadgen). It is the third execution
+// substrate beside the sim runner and the explore model checker — one
+// protocol implementation, three ways to run it.
+//
+// Every layer event an endpoint applies locally is also mirrored to its
+// peer as an event frame, so both sides observe the same global action
+// stream and can judge it with the internal/spec checkers attached as
+// online monitors (spec.OnlineDL, spec.OnlinePL). The monitor verdict
+// equals the offline CheckDL/CheckPL verdict on the captured schedule;
+// see DESIGN.md §9 for the soundness argument.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/ioa"
+)
+
+// ErrFrameFormat reports a malformed frame: corruption, truncation,
+// version skew, an unknown frame type, an out-of-range length prefix, a
+// CRC mismatch, trailing garbage, or a body that does not parse. Every
+// decode failure wraps this error; a strict decoder refuses to guess.
+var ErrFrameFormat = errors.New("transport: malformed frame")
+
+// Wire layout of one frame:
+//
+//	u32 length   — big-endian byte count of everything after this field
+//	u8  version  — frameVersion; any other value is rejected
+//	u8  type     — FrameType
+//	... body     — type-specific, fixed-width encodings only
+//	u32 crc      — big-endian IEEE CRC32 over [version..body]
+//
+// The decoder is canonical: every accepted byte string re-encodes
+// bit-identically (FuzzFrameDecode enforces this), which is what makes
+// "reject every single-byte corruption" a checkable golden-test
+// property rather than a hope.
+const (
+	frameVersion = 1
+	// frameOverhead counts the version, type and CRC bytes covered by
+	// the length prefix.
+	frameOverhead = 1 + 1 + 4
+	// MaxFrame bounds the length prefix; anything larger is rejected
+	// before buffering.
+	MaxFrame = 1 << 20
+)
+
+// FrameType discriminates the frame bodies.
+type FrameType uint8
+
+// The frame types of the transport session protocol.
+const (
+	// FrameHello opens a session: protocol name, parameters and the
+	// link's claimed FIFO discipline. Both sides must agree exactly.
+	FrameHello FrameType = 1
+	// FrameData carries one protocol packet; Action is the send_pkt
+	// event that produced it (the receiver applies the matching
+	// receive_pkt).
+	FrameData FrameType = 2
+	// FrameStatus carries a wake, fail or crash to be applied as an
+	// input at the receiving endpoint.
+	FrameStatus FrameType = 3
+	// FrameEvent mirrors one locally-applied layer event to the peer,
+	// so both sides can feed the same global schedule to their online
+	// monitors.
+	FrameEvent FrameType = 4
+	// FrameBye seals the session; the peer answers with its own Bye
+	// after flushing pending event frames.
+	FrameBye FrameType = 5
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameData:
+		return "data"
+	case FrameStatus:
+		return "status"
+	case FrameEvent:
+		return "event"
+	case FrameBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Frame is the decoded form of one wire frame. Only the fields relevant
+// to Type are meaningful; the others are zero, and the decoder enforces
+// that (a Hello carries no action, a Data frame no protocol name).
+type Frame struct {
+	Type FrameType
+
+	// Hello fields.
+	Proto string
+	N, W  int
+	FIFO  bool
+
+	// Data, Status and Event payload.
+	Action ioa.Action
+}
+
+// validate checks the type-specific invariants shared by the encoder
+// and the decoder.
+func (f Frame) validate() error {
+	switch f.Type {
+	case FrameHello:
+		if f.N < 0 || f.W < 0 {
+			return fmt.Errorf("%w: negative hello parameters", ErrFrameFormat)
+		}
+	case FrameData:
+		if f.Action.Kind != ioa.KindSendPkt {
+			return fmt.Errorf("%w: data frame carries %s, want send_pkt", ErrFrameFormat, f.Action.Kind)
+		}
+	case FrameStatus:
+		switch f.Action.Kind {
+		case ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+		default:
+			return fmt.Errorf("%w: status frame carries %s", ErrFrameFormat, f.Action.Kind)
+		}
+	case FrameEvent:
+		if !f.Action.IsLayerAction() && f.Action.Kind != ioa.KindInternal {
+			return fmt.Errorf("%w: event frame carries %s", ErrFrameFormat, f.Action.Kind)
+		}
+	case FrameBye:
+	default:
+		return fmt.Errorf("%w: unknown frame type %d", ErrFrameFormat, uint8(f.Type))
+	}
+	return nil
+}
+
+// appendBody appends the type-specific body.
+func (f Frame) appendBody(dst []byte) []byte {
+	switch f.Type {
+	case FrameHello:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Proto)))
+		dst = append(dst, f.Proto...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.N))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.W))
+		if f.FIFO {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case FrameData, FrameStatus, FrameEvent:
+		dst = ioa.AppendWireAction(dst, f.Action)
+	case FrameBye:
+	}
+	return dst
+}
+
+// decodeBody parses the type-specific body, which must be consumed
+// exactly.
+func (f *Frame) decodeBody(body []byte) error {
+	switch f.Type {
+	case FrameHello:
+		if len(body) < 4 {
+			return fmt.Errorf("%w: truncated hello", ErrFrameFormat)
+		}
+		n := binary.BigEndian.Uint32(body)
+		if n > MaxFrame || uint32(len(body)-4) < n {
+			return fmt.Errorf("%w: hello name length %d out of range", ErrFrameFormat, n)
+		}
+		f.Proto = string(body[4 : 4+n])
+		rest := body[4+n:]
+		if len(rest) != 9 {
+			return fmt.Errorf("%w: hello body has %d trailing bytes, want 9", ErrFrameFormat, len(rest))
+		}
+		f.N = int(binary.BigEndian.Uint32(rest))
+		f.W = int(binary.BigEndian.Uint32(rest[4:]))
+		switch rest[8] {
+		case 0:
+			f.FIFO = false
+		case 1:
+			f.FIFO = true
+		default:
+			return fmt.Errorf("%w: hello fifo flag %d", ErrFrameFormat, rest[8])
+		}
+	case FrameData, FrameStatus, FrameEvent:
+		a, n, err := ioa.DecodeWireAction(body)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrFrameFormat, err)
+		}
+		if n != len(body) {
+			return fmt.Errorf("%w: %d trailing bytes after action", ErrFrameFormat, len(body)-n)
+		}
+		f.Action = a
+	case FrameBye:
+		if len(body) != 0 {
+			return fmt.Errorf("%w: bye frame has %d body bytes", ErrFrameFormat, len(body))
+		}
+	}
+	return nil
+}
+
+// AppendFrame appends the wire encoding of f to dst.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return dst, err
+	}
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	start := len(dst)
+	dst = append(dst, frameVersion, byte(f.Type))
+	dst = f.appendBody(dst)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	dst = binary.BigEndian.AppendUint32(dst, crc)
+	total := len(dst) - start
+	if total > MaxFrame {
+		return dst[:lenAt], fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrFrameFormat, total)
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(total))
+	return dst, nil
+}
+
+// EncodeFrame returns the wire encoding of f.
+func EncodeFrame(f Frame) ([]byte, error) {
+	return AppendFrame(nil, f)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// frame and the number of bytes consumed. Truncated input is an error:
+// this is the fixed-buffer decoder; the streaming reader handles
+// frames split across reads.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < 4 {
+		return f, 0, fmt.Errorf("%w: short length prefix", ErrFrameFormat)
+	}
+	length := binary.BigEndian.Uint32(b)
+	if length < frameOverhead || length > MaxFrame {
+		return f, 0, fmt.Errorf("%w: length %d out of range [%d, %d]", ErrFrameFormat, length, frameOverhead, MaxFrame)
+	}
+	if uint32(len(b)-4) < length {
+		return f, 0, fmt.Errorf("%w: frame truncated (%d of %d bytes)", ErrFrameFormat, len(b)-4, length)
+	}
+	inner := b[4 : 4+length]
+	wantCRC := binary.BigEndian.Uint32(inner[len(inner)-4:])
+	covered := inner[:len(inner)-4]
+	if got := crc32.ChecksumIEEE(covered); got != wantCRC {
+		return f, 0, fmt.Errorf("%w: crc mismatch (got %08x, want %08x)", ErrFrameFormat, got, wantCRC)
+	}
+	if covered[0] != frameVersion {
+		return f, 0, fmt.Errorf("%w: version %d, want %d", ErrFrameFormat, covered[0], frameVersion)
+	}
+	f.Type = FrameType(covered[1])
+	if err := f.decodeBody(covered[2:]); err != nil {
+		return f, 0, err
+	}
+	if err := f.validate(); err != nil {
+		return f, 0, err
+	}
+	return f, 4 + int(length), nil
+}
+
+// FrameReader reads frames from a byte stream. A clean EOF at a frame
+// boundary surfaces as io.EOF; an EOF inside a frame, and every decode
+// failure, wraps ErrFrameFormat.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+	// OnFrame, when set, observes the byte size of each decoded frame
+	// (the obs hook for the frame-size histogram).
+	OnFrame func(n int)
+}
+
+// NewFrameReader returns a reader decoding frames from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads and decodes the next frame.
+func (fr *FrameReader) Next() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: reading length: %v", ErrFrameFormat, err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length < frameOverhead || length > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: length %d out of range [%d, %d]", ErrFrameFormat, length, frameOverhead, MaxFrame)
+	}
+	if cap(fr.buf) < 4+int(length) {
+		fr.buf = make([]byte, 4+int(length))
+	}
+	buf := fr.buf[:4+int(length)]
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(fr.r, buf[4:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: reading body: %v", ErrFrameFormat, err)
+	}
+	f, n, err := DecodeFrame(buf)
+	if err != nil {
+		return Frame{}, err
+	}
+	if fr.OnFrame != nil {
+		fr.OnFrame(n)
+	}
+	return f, nil
+}
+
+// FrameWriter encodes frames onto a byte stream. It is not
+// goroutine-safe; sessions serialise writes with their own lock.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+	// OnFrame, when set, observes the byte size of each written frame.
+	OnFrame func(n int)
+}
+
+// NewFrameWriter returns a writer encoding frames onto w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w}
+}
+
+// Write encodes f and writes it to the underlying stream.
+func (fw *FrameWriter) Write(f Frame) error {
+	b, err := AppendFrame(fw.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	fw.buf = b[:0]
+	if _, err := fw.w.Write(b); err != nil {
+		return fmt.Errorf("transport: writing %s frame: %w", f.Type, err)
+	}
+	if fw.OnFrame != nil {
+		fw.OnFrame(len(b))
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// goldenFrames covers every frame type with representative payloads.
+func goldenFrames() []Frame {
+	return []Frame{
+		{Type: FrameHello, Proto: "abp", N: 2, W: 1, FIFO: true},
+		{Type: FrameHello, Proto: "gbn", N: 8, W: 3},
+		{Type: FrameData, Action: ioa.SendPkt(ioa.TR, ioa.Packet{ID: 42, Header: "data/1", Payload: "m7"})},
+		{Type: FrameData, Action: ioa.SendPkt(ioa.RT, ioa.Packet{ID: 9, Header: "ack/0"})},
+		{Type: FrameStatus, Action: ioa.Wake(ioa.RT)},
+		{Type: FrameStatus, Action: ioa.Crash(ioa.TR)},
+		{Type: FrameEvent, Action: ioa.SendMsg(ioa.TR, "m1")},
+		{Type: FrameEvent, Action: ioa.ReceiveMsg(ioa.TR, "m1")},
+		{Type: FrameEvent, Action: ioa.ReceivePkt(ioa.TR, ioa.Packet{ID: 42, Header: "data/1", Payload: "m7"})},
+		{Type: FrameBye},
+	}
+}
+
+// TestFrameRoundTrip: every encodable frame decodes to an equal frame,
+// consuming exactly its encoding, and re-encodes bit-identically.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range goldenFrames() {
+		enc, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %s: %v", f.Type, err)
+		}
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", f.Type, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %s consumed %d of %d bytes", f.Type, n, len(enc))
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("round trip changed frame:\n got %#v\nwant %#v", got, f)
+		}
+		re, err := EncodeFrame(got)
+		if err != nil || !bytes.Equal(re, enc) {
+			t.Fatalf("re-encode of %s differs (err=%v)", f.Type, err)
+		}
+	}
+}
+
+// TestFrameRejectsEverySingleByteCorruption: for each golden frame,
+// every possible value change of every byte must be rejected with
+// ErrFrameFormat. Flips inside [version..crc] are caught by the CRC
+// (CRC32 detects all single-byte errors); flips in the length prefix
+// shift the CRC window or run past the buffer.
+func TestFrameRejectsEverySingleByteCorruption(t *testing.T) {
+	for _, f := range goldenFrames() {
+		enc, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := make([]byte, len(enc))
+		for pos := 0; pos < len(enc); pos++ {
+			for delta := 1; delta < 256; delta++ {
+				copy(mut, enc)
+				mut[pos] ^= byte(delta)
+				g, n, err := DecodeFrame(mut)
+				if err == nil && n == len(mut) {
+					t.Fatalf("%s frame: corruption at byte %d (xor %#02x) accepted as %#v", f.Type, pos, delta, g)
+				}
+				if err != nil && !errors.Is(err, ErrFrameFormat) {
+					t.Fatalf("%s frame: corruption at byte %d: error %v does not wrap ErrFrameFormat", f.Type, pos, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameRejectsTruncation: every strict prefix is rejected.
+func TestFrameRejectsTruncation(t *testing.T) {
+	for _, f := range goldenFrames() {
+		enc, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := DecodeFrame(enc[:cut]); !errors.Is(err, ErrFrameFormat) {
+				t.Fatalf("%s frame truncated at %d: want ErrFrameFormat, got %v", f.Type, cut, err)
+			}
+		}
+	}
+}
+
+// TestFrameRejectsOversizeAndSkew: oversize length prefixes, version
+// skew and unknown types are all typed rejections.
+func TestFrameRejectsOversizeAndSkew(t *testing.T) {
+	// Length prefix beyond MaxFrame.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, frameVersion, byte(FrameBye)}
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("oversize length: want ErrFrameFormat, got %v", err)
+	}
+	// Length prefix below the fixed overhead.
+	tiny := []byte{0x00, 0x00, 0x00, 0x01, frameVersion}
+	if _, _, err := DecodeFrame(tiny); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("undersize length: want ErrFrameFormat, got %v", err)
+	}
+	// Version skew and unknown type, with the CRC recomputed so only
+	// the targeted check can reject them.
+	for _, tc := range []struct {
+		name    string
+		version byte
+		ftype   byte
+	}{
+		{"version skew", frameVersion + 1, byte(FrameBye)},
+		{"unknown type", frameVersion, 99},
+	} {
+		enc, err := EncodeFrame(Frame{Type: FrameBye})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[4] = tc.version
+		enc[5] = tc.ftype
+		patchCRC(enc)
+		if _, _, err := DecodeFrame(enc); !errors.Is(err, ErrFrameFormat) {
+			t.Fatalf("%s: want ErrFrameFormat, got %v", tc.name, err)
+		}
+	}
+}
+
+// TestFrameReaderWriterStream: frames written back to back decode in
+// order through the streaming reader, and a clean close yields io.EOF.
+func TestFrameReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, f := range goldenFrames() {
+		if err := fw.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for _, want := range goldenFrames() {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream decode mismatch:\n got %#v\nwant %#v", got, want)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at clean boundary, got %v", err)
+	}
+}
+
+// TestFrameReaderMidFrameEOF: an EOF inside a frame is a format error,
+// not a clean end of stream.
+func TestFrameReaderMidFrameEOF(t *testing.T) {
+	enc, err := EncodeFrame(Frame{Type: FrameHello, Proto: "abp", N: 2, W: 1, FIFO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(enc[:len(enc)-3]))
+	if _, err := fr.Next(); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("mid-frame EOF: want ErrFrameFormat, got %v", err)
+	}
+}
+
+// FuzzFrameDecode mirrors FuzzCheckpointDecode: the decoder must never
+// panic, and anything it accepts must re-encode bit-identically and
+// decode again to the same frame.
+func FuzzFrameDecode(f *testing.F) {
+	for _, fr := range goldenFrames() {
+		enc, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		mut := append([]byte(nil), enc...)
+		if len(mut) > 8 {
+			mut[8] ^= 0x40
+		}
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x06, frameVersion, byte(FrameBye), 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrFrameFormat) {
+				t.Fatalf("decode error %v does not wrap ErrFrameFormat", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame %#v does not re-encode: %v", fr, err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs from accepted input\n in: %x\nout: %x", data[:n], re)
+		}
+		fr2, n2, err := DecodeFrame(re)
+		if err != nil || n2 != n || !reflect.DeepEqual(fr2, fr) {
+			t.Fatalf("re-decode diverged: %#v vs %#v (n=%d/%d, err=%v)", fr2, fr, n2, n, err)
+		}
+	})
+}
+
+// patchCRC recomputes the trailing CRC over [version..body] so tests
+// can craft frames that fail exactly one check.
+func patchCRC(enc []byte) {
+	inner := enc[4:]
+	covered := inner[:len(inner)-4]
+	c := crc32.ChecksumIEEE(covered)
+	inner[len(inner)-4] = byte(c >> 24)
+	inner[len(inner)-3] = byte(c >> 16)
+	inner[len(inner)-2] = byte(c >> 8)
+	inner[len(inner)-1] = byte(c)
+}

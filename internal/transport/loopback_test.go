@@ -1,0 +1,283 @@
+package transport
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// mustProtocol builds a registered protocol with the test-wide default
+// parameters (n=8, w=3 — valid for every parameterised protocol).
+func mustProtocol(t *testing.T, name string) core.Protocol {
+	t.Helper()
+	p, err := protocol.ByName(name, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wantMessages(n int) []ioa.Message {
+	out := make([]ioa.Message, n)
+	for i := range out {
+		out[i] = ioa.Message(fmt.Sprintf("m-%d", i+1))
+	}
+	return out
+}
+
+// projectDL extracts the data-link behavior from a global transport
+// schedule: everything except the packet events, exactly what
+// sim.Runner.Behavior returns for the composed system.
+func projectDL(log ioa.Schedule) ioa.Schedule {
+	var out ioa.Schedule
+	for _, a := range log {
+		switch a.Kind {
+		case ioa.KindSendPkt, ioa.KindReceivePkt:
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// projectPL extracts direction d's packet schedule: its send_pkt and
+// receive_pkt events plus its status events, exactly what
+// sim.Runner.PacketSchedule returns.
+func projectPL(log ioa.Schedule, d ioa.Dir) ioa.Schedule {
+	var out ioa.Schedule
+	for _, a := range log {
+		switch a.Kind {
+		case ioa.KindSendPkt, ioa.KindReceivePkt, ioa.KindWake, ioa.KindFail, ioa.KindCrash:
+			if a.Dir == d {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// TestLoopbackCleanAllProtocols pushes a workload through every
+// registered protocol over a clean FIFO loopback link: all messages
+// must arrive once, in order, with clean DL and PL-FIFO verdicts.
+func TestLoopbackCleanAllProtocols(t *testing.T) {
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			res, err := RunLoopback(LoopbackConfig{
+				Protocol: mustProtocol(t, name),
+				FIFO:     true,
+				Msgs:     30,
+				Window:   3,
+				KeepLog:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verdicts.Clean() {
+				t.Fatalf("verdicts not clean: %s", res.Verdicts)
+			}
+			if !res.Verdicts.PLJudged {
+				t.Fatal("PL not judged on a clean link")
+			}
+			if got, want := res.Delivered, wantMessages(30); !reflect.DeepEqual(got, want) {
+				t.Fatalf("delivered %v, want %v", got, want)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("online violations on clean link: %v", res.Violations)
+			}
+			if res.DecodeErrors != 0 {
+				t.Fatalf("decode errors on clean link: %d", res.DecodeErrors)
+			}
+		})
+	}
+}
+
+// TestLoopbackOnlineMatchesOffline replays the captured global schedule
+// through the offline checkers and demands verdicts identical to the
+// online monitors' — the soundness claim of DESIGN.md §9 — on both a
+// clean run and a lossy one with retransmissions.
+func TestLoopbackOnlineMatchesOffline(t *testing.T) {
+	cases := []struct {
+		label  string
+		faults FaultPlan
+	}{
+		{"clean", FaultPlan{}},
+		{"lossy", FaultPlan{Loss: true, Rate: 0.25}},
+		{"corrupting", FaultPlan{Corrupt: true, Rate: 0.25}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			res, err := RunLoopback(LoopbackConfig{
+				Protocol: mustProtocol(t, "gbn"),
+				FIFO:     true,
+				Msgs:     40,
+				Faults:   tc.faults,
+				Seed:     7,
+				KeepLog:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if offline := spec.CheckDL(projectDL(res.Log), ioa.TR); !reflect.DeepEqual(res.Verdicts.DL, offline) {
+				t.Fatalf("DL: online %s != offline %s", res.Verdicts.DL, offline)
+			}
+			for d, online := range map[ioa.Dir]spec.Verdict{ioa.TR: res.Verdicts.PLTR, ioa.RT: res.Verdicts.PLRT} {
+				if offline := spec.CheckPLFIFO(projectPL(res.Log, d), d); !reflect.DeepEqual(online, offline) {
+					t.Fatalf("PL %s: online %s != offline %s", d, online, offline)
+				}
+			}
+		})
+	}
+}
+
+// TestLoopbackLossRecovers: a lossy link forces retransmissions but the
+// protocol recovers; the verdicts stay clean and more frames than
+// messages cross the link.
+func TestLoopbackLossRecovers(t *testing.T) {
+	res, err := RunLoopback(LoopbackConfig{
+		Protocol: mustProtocol(t, "gbn"),
+		FIFO:     true,
+		Msgs:     50,
+		Faults:   FaultPlan{Loss: true, Rate: 0.3},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts.Clean() {
+		t.Fatalf("verdicts not clean under loss: %s", res.Verdicts)
+	}
+	if got, want := res.Delivered, wantMessages(50); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	// 50 messages need ≥ 100 frames (data + acks); loss adds retries.
+	if res.FramesSent <= 100 {
+		t.Fatalf("no retransmissions under 30%% loss: %d frames", res.FramesSent)
+	}
+}
+
+// TestLoopbackCorruptionIsEffectiveLoss: corrupted frames must be
+// rejected by the strict decoder (counted) and behave exactly like
+// losses — the protocol still delivers everything in order.
+func TestLoopbackCorruptionIsEffectiveLoss(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunLoopback(LoopbackConfig{
+		Protocol: mustProtocol(t, "abp"),
+		FIFO:     true,
+		Msgs:     40,
+		Faults:   FaultPlan{Corrupt: true, Rate: 0.3},
+		Seed:     11,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts.Clean() {
+		t.Fatalf("verdicts not clean under corruption: %s", res.Verdicts)
+	}
+	if res.DecodeErrors == 0 {
+		t.Fatal("corruption injected but no decode errors recorded")
+	}
+	if got, want := res.Delivered, wantMessages(40); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("transport.decode_errors"); got != int64(res.DecodeErrors) {
+		t.Fatalf("obs decode_errors = %d, result says %d", got, res.DecodeErrors)
+	}
+	if got := snap.Counter("transport.msgs_delivered"); got != 40 {
+		t.Fatalf("obs msgs_delivered = %d", got)
+	}
+}
+
+// TestLoopbackDupSkipsPLJudgement: a duplicating middlebox is not a PL
+// channel, so PL verdicts are withheld while DL is still judged — the
+// swarm harness policy.
+func TestLoopbackDupSkipsPLJudgement(t *testing.T) {
+	res, err := RunLoopback(LoopbackConfig{
+		Protocol: mustProtocol(t, "abp"),
+		FIFO:     true,
+		Msgs:     30,
+		Faults:   FaultPlan{Dup: true, Rate: 0.3},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdicts.PLJudged {
+		t.Fatal("PL judged under duplication faults")
+	}
+	if !res.Verdicts.DL.OK() {
+		t.Fatalf("DL not clean under duplication: %s", res.Verdicts.DL)
+	}
+	if got, want := res.Delivered, wantMessages(30); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}
+
+// TestLoopbackDeterminism: the whole run is a pure function of the
+// configuration — same seed, same schedule, byte for byte.
+func TestLoopbackDeterminism(t *testing.T) {
+	run := func() *LoopbackResult {
+		res, err := RunLoopback(LoopbackConfig{
+			Protocol: mustProtocol(t, "sr"),
+			FIFO:     true,
+			Msgs:     40,
+			Faults:   FaultPlan{Loss: true, Corrupt: true, Rate: 0.2},
+			Seed:     42,
+			KeepLog:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n%d vs %d steps, %d vs %d frames",
+			a.Steps, b.Steps, a.FramesSent, b.FramesSent)
+	}
+}
+
+// TestLoopbackRejectsBadConfig covers the config validation paths.
+func TestLoopbackRejectsBadConfig(t *testing.T) {
+	if _, err := RunLoopback(LoopbackConfig{Protocol: mustProtocol(t, "abp")}); err == nil {
+		t.Fatal("Msgs=0 accepted")
+	}
+	if _, err := RunLoopback(LoopbackConfig{Msgs: 1}); err == nil {
+		t.Fatal("zero protocol accepted")
+	}
+}
+
+// TestParseFaultPlan covers the flag syntax.
+func TestParseFaultPlan(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FaultPlan
+		ok   bool
+	}{
+		{"", FaultPlan{}, true},
+		{"none", FaultPlan{}, true},
+		{"all", FaultPlan{Loss: true, Dup: true, Reorder: true, Corrupt: true}, true},
+		{"loss", FaultPlan{Loss: true}, true},
+		{"loss,corrupt", FaultPlan{Loss: true, Corrupt: true}, true},
+		{"dup, reorder", FaultPlan{Dup: true, Reorder: true}, true},
+		{"jitter", FaultPlan{}, false},
+	} {
+		got, err := ParseFaultPlan(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseFaultPlan(%q): err = %v", tc.in, err)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseFaultPlan(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		if err == nil && got.String() == "" {
+			t.Fatalf("ParseFaultPlan(%q).String() empty", tc.in)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// TestMonitorCatchesReorderingBugLive pushes go-back-N with a wrapped
+// sequence space (n=2) through a reordering, lossy middlebox — traffic
+// beyond the protocol's claimed envelope (it solves DL over FIFO
+// channels only, Theorem 8.5's boundary). The online monitor must
+// catch the resulting duplicate delivery in the live stream, and the
+// violation class must be the one the explorer finds for the same
+// protocol over the non-FIFO channel C̄. This closes the loop between
+// the three substrates on the negative side: the bug the model checker
+// proves reachable is the bug the live monitors report.
+func TestMonitorCatchesReorderingBugLive(t *testing.T) {
+	p, err := protocol.ByName("gbn", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLoopback(LoopbackConfig{
+		Protocol: p,
+		FIFO:     false, // the link no longer claims FIFO
+		Msgs:     30,
+		Window:   6,
+		Faults:   FaultPlan{Reorder: true, Loss: true, Rate: 0.3},
+		Seed:     1,
+		KeepLog:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdicts.DL.OK() {
+		t.Fatalf("DL verdict clean despite reordering beyond the envelope: %s", res.Verdicts)
+	}
+	live := map[spec.Property]bool{}
+	for _, v := range res.Violations {
+		live[v.Property] = true
+	}
+	if len(live) == 0 {
+		t.Fatal("monitor signalled no online violation")
+	}
+
+	// The live DL verdict must equal the offline checker's on the
+	// captured schedule — soundness holds on violating runs too.
+	if offline := spec.CheckDL(projectDL(res.Log), ioa.TR); offline.OK() {
+		t.Fatalf("offline checker disagrees: %s", offline)
+	} else if len(offline.Violations) == 0 || offline.Violations[0].Property != res.Verdicts.DL.Violations[0].Property {
+		t.Fatalf("offline %s != online %s", offline, res.Verdicts.DL)
+	}
+
+	// The explorer's verdict on the same protocol over C̄ names the
+	// same violation class.
+	sys, err := core.NewSystem(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := explore.BFS(sys, explore.Config{
+		Inputs: []ioa.Action{
+			ioa.Wake(ioa.TR), ioa.Wake(ioa.RT),
+			ioa.SendMsg(ioa.TR, "a"), ioa.SendMsg(ioa.TR, "b"), ioa.SendMsg(ioa.TR, "c"),
+		},
+		Monitor:      explore.NewSafetyMonitor(false),
+		MaxDepth:     26,
+		MaxInTransit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Violation == nil {
+		t.Fatal("explorer found no violation for gbn(2,1) over C̄")
+	}
+	if !live[spec.Property(found.Violation.Property)] {
+		t.Fatalf("explorer found %s, live monitor reported %v", found.Violation.Property, res.Violations)
+	}
+}
+
+// TestStenningSurvivesReorderingLive is the paper's counterpoint run
+// live: Stenning's protocol carries unbounded sequence numbers, so the
+// same hostile middlebox that breaks every bounded-header protocol
+// cannot induce a duplicate or reordered delivery.
+func TestStenningSurvivesReorderingLive(t *testing.T) {
+	p, err := protocol.ByName("stenning", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLoopback(LoopbackConfig{
+		Protocol: p,
+		FIFO:     false,
+		Msgs:     30,
+		Window:   6,
+		Faults:   FaultPlan{Reorder: true, Loss: true, Rate: 0.3},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts.DL.OK() {
+		t.Fatalf("stenning violated DL under reordering: %s", res.Verdicts.DL)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("online violations: %v", res.Violations)
+	}
+}

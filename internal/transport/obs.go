@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"repro/internal/obs"
+)
+
+// This file is the transport's observability surface. Handles are
+// resolved once per session against an optional registry; with no
+// registry attached every instrument is a nil no-op, per the obs
+// package's zero-cost-when-disabled contract.
+//
+// Exported metric names:
+//
+//	transport.msgs_sent           counter   send_msg inputs injected
+//	transport.msgs_delivered      counter   receive_msg events (goodput numerator)
+//	transport.frames_sent         counter   frames encoded onto the link
+//	transport.frames_received     counter   frames decoded off the link
+//	transport.frame_bytes_sent    counter   encoded bytes onto the link
+//	transport.frame_bytes_received counter  decoded bytes off the link
+//	transport.frame_size          histogram per-frame encoded size
+//	transport.decode_errors       counter   frames rejected by the strict decoder
+//	transport.faults_injected     counter   middlebox surgeries applied
+//	transport.monitor_violations  counter   online-monitor violations signalled
+//	transport.link_in_transit     gauge     frames pending in the loopback link
+//	                                        (high-water mark)
+type instruments struct {
+	msgsSent       *obs.Counter
+	msgsDelivered  *obs.Counter
+	framesSent     *obs.Counter
+	framesReceived *obs.Counter
+	bytesSent      *obs.Counter
+	bytesReceived  *obs.Counter
+	frameSize      *obs.Histogram
+	decodeErrors   *obs.Counter
+	faultsInjected *obs.Counter
+	violations     *obs.Counter
+	inTransit      *obs.Gauge
+}
+
+// newInstruments resolves the handle set; reg may be nil (disabled).
+func newInstruments(reg *obs.Registry) instruments {
+	return instruments{
+		msgsSent:       reg.Counter("transport.msgs_sent"),
+		msgsDelivered:  reg.Counter("transport.msgs_delivered"),
+		framesSent:     reg.Counter("transport.frames_sent"),
+		framesReceived: reg.Counter("transport.frames_received"),
+		bytesSent:      reg.Counter("transport.frame_bytes_sent"),
+		bytesReceived:  reg.Counter("transport.frame_bytes_received"),
+		frameSize:      reg.Histogram("transport.frame_size", obs.ExpBuckets(16, 2, 12)),
+		decodeErrors:   reg.Counter("transport.decode_errors"),
+		faultsInjected: reg.Counter("transport.faults_injected"),
+		violations:     reg.Counter("transport.monitor_violations"),
+		inTransit:      reg.Gauge("transport.link_in_transit"),
+	}
+}
+
+func (ins *instruments) frameSent(n int) {
+	ins.framesSent.Inc()
+	ins.bytesSent.Add(int64(n))
+	ins.frameSize.Observe(int64(n))
+}
+
+func (ins *instruments) frameReceived(n int) {
+	ins.framesReceived.Inc()
+	ins.bytesReceived.Add(int64(n))
+}

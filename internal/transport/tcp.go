@@ -1,0 +1,496 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// The TCP backend runs a protocol pair over a real socket: the client
+// hosts the transmitter A^t, the server hosts the receiver A^r, and
+// both sides run the full online monitor bundle over the same global
+// schedule. Each side applies its local actions and mirrors every one
+// to its peer as an Event frame, emitted before any Data frame the
+// action caused; since TCP preserves order, each side observes a
+// causally-consistent linearization of the session's global schedule,
+// so a monitor verdict on either side is a verdict on a genuine
+// schedule of the composed system (DESIGN.md §9).
+//
+// Session wire protocol, all frames from frame.go:
+//
+//	client → server: Hello(proto, n, w, fifo)
+//	server → client: Hello echo (acceptance) — or close (rejection)
+//	client → server: Status(wake^{r,t}), Data(send_pkt^{t,r}), Event(...), Bye
+//	server → client: Data(send_pkt^{r,t}), Event(...), Bye (seal reply)
+//
+// The Bye exchange is the seal barrier: the server seals its monitors
+// after processing everything that precedes the client's Bye, and the
+// client seals after the server's reply, which trails every mirrored
+// event of the session.
+
+// SessionSummary reports one served session.
+type SessionSummary struct {
+	Remote    string
+	Proto     string
+	N, W      int
+	FIFO      bool
+	Delivered int
+	Verdicts  VerdictSet
+	// Err reports a harness failure (bad hello, broken peer, I/O);
+	// specification violations live in Verdicts instead.
+	Err error
+}
+
+// ServerConfig configures Serve.
+type ServerConfig struct {
+	// Resolve maps a Hello to a protocol (typically protocol.ByName).
+	// Required.
+	Resolve func(name string, n, w int) (core.Protocol, error)
+	// Registry receives the transport metrics; nil disables them.
+	Registry *obs.Registry
+	// OnSession, when set, observes each completed session.
+	OnSession func(SessionSummary)
+	// MaxSessions, when positive, closes the listener and returns from
+	// Serve after that many sessions complete.
+	MaxSessions int
+	// SessionTimeout bounds each session; default 60s.
+	SessionTimeout time.Duration
+}
+
+// Serve accepts connections on ln and runs one monitored receiver
+// session per connection until the listener closes. It returns nil when
+// the listener was closed deliberately (by the caller, or by reaching
+// MaxSessions) and the accept error otherwise.
+func Serve(ln net.Listener, cfg ServerConfig) error {
+	if cfg.Resolve == nil {
+		return fmt.Errorf("transport: ServerConfig.Resolve is required")
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	served, closed := 0, false
+	closeLn := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if !closed {
+			closed = true
+			ln.Close()
+		}
+	}
+	defer closeLn()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			mu.Lock()
+			wasClosed := closed
+			mu.Unlock()
+			if wasClosed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := serveConn(conn, cfg)
+			if cfg.OnSession != nil {
+				cfg.OnSession(sum)
+			}
+			if cfg.MaxSessions > 0 {
+				mu.Lock()
+				served++
+				hitCap := served >= cfg.MaxSessions
+				mu.Unlock()
+				if hitCap {
+					closeLn()
+				}
+			}
+		}()
+	}
+}
+
+// serveConn runs one receiver session. It is single-threaded: every
+// state change is driven by the inbound frame stream, so no lock is
+// needed; TCP's ordering does the serialisation.
+func serveConn(conn net.Conn, cfg ServerConfig) SessionSummary {
+	defer conn.Close()
+	sum := SessionSummary{Remote: conn.RemoteAddr().String()}
+	timeout := cfg.SessionTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+
+	ins := newInstruments(cfg.Registry)
+	fr := NewFrameReader(conn)
+	fr.OnFrame = ins.frameReceived
+	fw := NewFrameWriter(conn)
+	fw.OnFrame = ins.frameSent
+
+	hello, err := fr.Next()
+	if err != nil || hello.Type != FrameHello {
+		sum.Err = fmt.Errorf("transport: expected hello, got %v (%v)", hello.Type, err)
+		return sum
+	}
+	sum.Proto, sum.N, sum.W, sum.FIFO = hello.Proto, hello.N, hello.W, hello.FIFO
+	p, err := cfg.Resolve(hello.Proto, hello.N, hello.W)
+	if err != nil {
+		sum.Err = fmt.Errorf("transport: rejecting hello: %w", err)
+		return sum
+	}
+	if err := fw.Write(hello); err != nil {
+		sum.Err = err
+		return sum
+	}
+
+	mons := NewMonitors(hello.FIFO, true, func(spec.Violation) { ins.violations.Inc() })
+	var writeErr error
+	emit := func(a ioa.Action) {
+		mons.Observe(a)
+		if err := fw.Write(Frame{Type: FrameEvent, Action: a}); err != nil && writeErr == nil {
+			writeErr = err
+		}
+	}
+	send := func(pkt ioa.Packet) error {
+		return fw.Write(Frame{Type: FrameData, Action: ioa.SendPkt(ioa.RT, pkt)})
+	}
+	ep, err := NewEndpoint(p, ioa.R, emit, send, func(ioa.Message) {
+		sum.Delivered++
+		ins.msgsDelivered.Inc()
+	})
+	if err != nil {
+		sum.Err = err
+		return sum
+	}
+
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			if errors.Is(err, ErrFrameFormat) {
+				ins.decodeErrors.Inc()
+			}
+			sum.Err = fmt.Errorf("transport: session aborted: %w", err)
+			return sum
+		}
+		switch f.Type {
+		case FrameStatus:
+			// A status input for this station; the emit mirror is the echo
+			// the client merges into its own monitor stream.
+			if f.Action.Dir != ioa.RT {
+				sum.Err = fmt.Errorf("transport: status %s is not for the receiver", f.Action)
+				return sum
+			}
+			if err := ep.Input(f.Action); err != nil {
+				sum.Err = err
+				return sum
+			}
+		case FrameData:
+			if f.Action.Dir != ioa.TR {
+				sum.Err = fmt.Errorf("transport: data %s is not transmitter-to-receiver", f.Action)
+				return sum
+			}
+			if err := ep.HandlePacket(f.Action.Pkt); err != nil {
+				sum.Err = err
+				return sum
+			}
+		case FrameEvent:
+			// The client's mirror of one of its local events: merge it
+			// into the monitor stream, apply nothing.
+			mons.Observe(f.Action)
+			continue
+		case FrameBye:
+			sum.Verdicts = mons.Seal()
+			if err := fw.Write(Frame{Type: FrameBye}); err != nil && writeErr == nil {
+				writeErr = err
+			}
+			sum.Err = writeErr
+			return sum
+		default:
+			sum.Err = fmt.Errorf("transport: unexpected %v frame mid-session", f.Type)
+			return sum
+		}
+		if _, err := ep.Pump(); err != nil {
+			sum.Err = err
+			return sum
+		}
+		if writeErr != nil {
+			sum.Err = writeErr
+			return sum
+		}
+	}
+}
+
+// ClientConfig configures RunClient.
+type ClientConfig struct {
+	// Protocol is the pair whose transmitter this client hosts; it must
+	// be the pair the server resolves ProtoName to.
+	Protocol core.Protocol
+	// ProtoName, N, W and FIFO form the Hello.
+	ProtoName string
+	N, W      int
+	FIFO      bool
+	// Msgs is the number of messages to push through the session.
+	Msgs int
+	// Window caps injected-but-unconfirmed messages; default 4.
+	Window int
+	// Timeout bounds the whole session; default 30s.
+	Timeout time.Duration
+	// Retransmit is the re-arm period for stalled sends; default 25ms.
+	// Over a healthy TCP link it never fires.
+	Retransmit time.Duration
+	// Registry receives the transport metrics; nil disables them.
+	Registry *obs.Registry
+	// KeepLog retains the merged global schedule in the result.
+	KeepLog bool
+}
+
+// ClientResult reports a completed client session.
+type ClientResult struct {
+	// Verdicts is the client-side monitors' sealed judgement.
+	Verdicts VerdictSet
+	// Delivered is the receiver's delivery sequence, reconstructed from
+	// the mirrored receive_msg events.
+	Delivered []ioa.Message
+	// Injected counts send_msg inputs applied.
+	Injected int
+	// Log is the merged schedule the monitors judged (KeepLog only).
+	Log ioa.Schedule
+	// Violations lists online-signalled violations in signal order.
+	Violations []spec.Violation
+}
+
+// RunClient drives cfg.Msgs messages through a transmitter session on
+// conn. As with RunLoopback, the returned error reports harness
+// failures only; specification violations are results, in Verdicts.
+func RunClient(conn net.Conn, cfg ClientConfig) (*ClientResult, error) {
+	if cfg.Msgs <= 0 {
+		return nil, fmt.Errorf("transport: client needs Msgs > 0")
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 4
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	retransmit := cfg.Retransmit
+	if retransmit <= 0 {
+		retransmit = 25 * time.Millisecond
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+
+	ins := newInstruments(cfg.Registry)
+	fr := NewFrameReader(conn)
+	fr.OnFrame = ins.frameReceived
+	fw := NewFrameWriter(conn)
+	fw.OnFrame = ins.frameSent
+
+	hello := Frame{Type: FrameHello, Proto: cfg.ProtoName, N: cfg.N, W: cfg.W, FIFO: cfg.FIFO}
+	if err := fw.Write(hello); err != nil {
+		return nil, err
+	}
+	echo, err := fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("transport: hello rejected: %w", err)
+	}
+	if echo != hello {
+		return nil, fmt.Errorf("transport: hello echo mismatch: %+v", echo)
+	}
+
+	res := &ClientResult{}
+	var (
+		mu         sync.Mutex
+		cond       = sync.NewCond(&mu)
+		sessionErr error
+		sealed     bool // server's Bye reply arrived
+		closing    bool // our Bye is written; contribute no further events
+		finished   bool // RunClient has returned; the result is the caller's
+	)
+	fail := func(err error) {
+		if sessionErr == nil && err != nil {
+			sessionErr = err
+		}
+		cond.Broadcast()
+	}
+	mons := NewMonitors(cfg.FIFO, true, func(v spec.Violation) {
+		ins.violations.Inc()
+		res.Violations = append(res.Violations, v)
+	})
+	observe := func(a ioa.Action) {
+		if cfg.KeepLog {
+			res.Log = append(res.Log, a)
+		}
+		mons.Observe(a)
+	}
+	emit := func(a ioa.Action) {
+		observe(a)
+		if closing {
+			// The session is sealed on the server's side; anything we
+			// applied after our Bye stays local.
+			return
+		}
+		if err := fw.Write(Frame{Type: FrameEvent, Action: a}); err != nil {
+			fail(err)
+		}
+	}
+	send := func(pkt ioa.Packet) error {
+		return fw.Write(Frame{Type: FrameData, Action: ioa.SendPkt(ioa.TR, pkt)})
+	}
+	ep, err := NewEndpoint(cfg.Protocol, ioa.T, emit, send, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	mu.Lock()
+	if err := ep.Input(ioa.Wake(ioa.TR)); err != nil {
+		mu.Unlock()
+		return nil, err
+	}
+	// Ask the server to wake its station; the mirrored echo merges the
+	// wake^{r,t} event into our stream in its causal position.
+	if err := fw.Write(Frame{Type: FrameStatus, Action: ioa.Wake(ioa.RT)}); err != nil {
+		mu.Unlock()
+		return nil, err
+	}
+	if _, err := ep.Pump(); err != nil {
+		mu.Unlock()
+		return nil, err
+	}
+	mu.Unlock()
+
+	// Reader: the only consumer of inbound frames.
+	go func() {
+		for {
+			f, err := fr.Next()
+			mu.Lock()
+			if finished {
+				mu.Unlock()
+				return
+			}
+			if err != nil {
+				if !sealed {
+					fail(fmt.Errorf("transport: session aborted: %w", err))
+				}
+				mu.Unlock()
+				return
+			}
+			switch f.Type {
+			case FrameEvent:
+				observe(f.Action)
+				if f.Action.Kind == ioa.KindReceiveMsg {
+					res.Delivered = append(res.Delivered, f.Action.Msg)
+					ins.msgsDelivered.Inc()
+				}
+			case FrameData:
+				if f.Action.Dir != ioa.RT {
+					fail(fmt.Errorf("transport: data %s is not receiver-to-transmitter", f.Action))
+					mu.Unlock()
+					return
+				}
+				if closing {
+					// A trailing ack racing our Bye; the workload is
+					// already confirmed complete.
+					break
+				}
+				if err := ep.HandlePacket(f.Action.Pkt); err != nil {
+					fail(err)
+					mu.Unlock()
+					return
+				}
+				if _, err := ep.Pump(); err != nil {
+					fail(err)
+					mu.Unlock()
+					return
+				}
+			case FrameBye:
+				sealed = true
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			default:
+				fail(fmt.Errorf("transport: unexpected %v frame mid-session", f.Type))
+				mu.Unlock()
+				return
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}()
+
+	// Retransmission safety net: if no delivery progress happened over a
+	// whole tick while work is outstanding, re-arm and refire.
+	tickerDone := make(chan struct{})
+	defer close(tickerDone)
+	go func() {
+		ticker := time.NewTicker(retransmit)
+		defer ticker.Stop()
+		last := -1
+		for {
+			select {
+			case <-tickerDone:
+				return
+			case <-ticker.C:
+			}
+			mu.Lock()
+			if sessionErr == nil && !sealed && !finished && len(res.Delivered) == last && res.Injected > len(res.Delivered) {
+				ep.Rearm()
+				if _, err := ep.Pump(); err != nil {
+					fail(err)
+				}
+			}
+			last = len(res.Delivered)
+			mu.Unlock()
+		}
+	}()
+
+	minter := core.NewMessageMinter("m")
+	mu.Lock()
+	defer mu.Unlock()
+	for sessionErr == nil && len(res.Delivered) < cfg.Msgs {
+		if res.Injected < cfg.Msgs && res.Injected-len(res.Delivered) < window {
+			if err := ep.Input(ioa.SendMsg(ioa.TR, minter.Fresh())); err != nil {
+				fail(err)
+				break
+			}
+			ins.msgsSent.Inc()
+			res.Injected++
+			if _, err := ep.Pump(); err != nil {
+				fail(err)
+				break
+			}
+			continue
+		}
+		cond.Wait()
+	}
+	if sessionErr == nil {
+		// Seal barrier: the Bye reply trails every mirrored event.
+		closing = true
+		if err := fw.Write(Frame{Type: FrameBye}); err != nil {
+			fail(err)
+		}
+		for sessionErr == nil && !sealed {
+			cond.Wait()
+		}
+	}
+	res.Verdicts = mons.Seal()
+	finished = true
+	return res, sessionErr
+}
+
+// Dial connects to a dlserve address and runs a client session.
+func Dial(addr string, cfg ClientConfig) (*ClientResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return RunClient(conn, cfg)
+}

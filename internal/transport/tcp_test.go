@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+)
+
+// startServer runs a Serve loop on an ephemeral port and returns the
+// address, a channel of session summaries, and a shutdown func.
+func startServer(t *testing.T, cfg ServerConfig) (string, <-chan SessionSummary, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make(chan SessionSummary, 16)
+	if cfg.Resolve == nil {
+		cfg.Resolve = protocol.ByName
+	}
+	cfg.OnSession = func(s SessionSummary) { sums <- s }
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(ln, cfg) }()
+	return ln.Addr().String(), sums, func() {
+		ln.Close()
+		if err := <-errc; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+// TestTCPSessionAllProtocols runs every registered protocol over a real
+// socket: delivery must be complete and in order, and both the client-
+// and server-side monitor bundles must judge the session clean.
+func TestTCPSessionAllProtocols(t *testing.T) {
+	addr, sums, shutdown := startServer(t, ServerConfig{})
+	defer shutdown()
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			res, err := Dial(addr, ClientConfig{
+				Protocol:  mustProtocol(t, name),
+				ProtoName: name,
+				N:         8,
+				W:         3,
+				FIFO:      true,
+				Msgs:      20,
+				Timeout:   20 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verdicts.Clean() {
+				t.Fatalf("client verdicts not clean: %s", res.Verdicts)
+			}
+			if got, want := res.Delivered, wantMessages(20); !reflect.DeepEqual(got, want) {
+				t.Fatalf("delivered %v, want %v", got, want)
+			}
+			sum := <-sums
+			if sum.Err != nil {
+				t.Fatalf("server session error: %v", sum.Err)
+			}
+			if !sum.Verdicts.Clean() {
+				t.Fatalf("server verdicts not clean: %s", sum.Verdicts)
+			}
+			if sum.Delivered != 20 || sum.Proto != name {
+				t.Fatalf("server summary %+v", sum)
+			}
+		})
+	}
+}
+
+// TestTCPOnlineMatchesOffline replays the client's merged schedule
+// through the offline checkers: the online verdicts must be identical —
+// the monitor-soundness claim, now over a real socket.
+func TestTCPOnlineMatchesOffline(t *testing.T) {
+	addr, sums, shutdown := startServer(t, ServerConfig{})
+	defer shutdown()
+	res, err := Dial(addr, ClientConfig{
+		Protocol:  mustProtocol(t, "gbn"),
+		ProtoName: "gbn",
+		N:         8,
+		W:         3,
+		FIFO:      true,
+		Msgs:      30,
+		Timeout:   20 * time.Second,
+		KeepLog:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sums
+	if offline := spec.CheckDL(projectDL(res.Log), ioa.TR); !reflect.DeepEqual(res.Verdicts.DL, offline) {
+		t.Fatalf("DL: online %s != offline %s", res.Verdicts.DL, offline)
+	}
+	for d, online := range map[ioa.Dir]spec.Verdict{ioa.TR: res.Verdicts.PLTR, ioa.RT: res.Verdicts.PLRT} {
+		if offline := spec.CheckPLFIFO(projectPL(res.Log, d), d); !reflect.DeepEqual(online, offline) {
+			t.Fatalf("PL %s: online %s != offline %s", d, online, offline)
+		}
+	}
+}
+
+// TestTCPRejectsUnknownProtocol: a hello naming an unregistered
+// protocol closes the session; the client surfaces an error and the
+// server records the rejection.
+func TestTCPRejectsUnknownProtocol(t *testing.T) {
+	addr, sums, shutdown := startServer(t, ServerConfig{})
+	defer shutdown()
+	_, err := Dial(addr, ClientConfig{
+		Protocol:  mustProtocol(t, "abp"),
+		ProtoName: "no-such-protocol",
+		Msgs:      1,
+		Timeout:   10 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if sum := <-sums; sum.Err == nil {
+		t.Fatal("server recorded no error for bad hello")
+	}
+}
+
+// TestTCPRejectsGarbageStream: raw non-frame bytes must abort the
+// session through the strict decoder, not hang or crash it.
+func TestTCPRejectsGarbageStream(t *testing.T) {
+	addr, sums, shutdown := startServer(t, ServerConfig{})
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if sum := <-sums; sum.Err == nil {
+		t.Fatal("server accepted a garbage stream")
+	}
+}
+
+// TestTCPMaxSessions: Serve returns on its own after the configured
+// number of sessions.
+func TestTCPMaxSessions(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ln, ServerConfig{Resolve: protocol.ByName, MaxSessions: 2})
+	}()
+	for i := 0; i < 2; i++ {
+		res, err := Dial(ln.Addr().String(), ClientConfig{
+			Protocol:  mustProtocol(t, "abp"),
+			ProtoName: "abp",
+			FIFO:      true,
+			Msgs:      5,
+			Timeout:   10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verdicts.Clean() {
+			t.Fatalf("session %d not clean: %s", i, res.Verdicts)
+		}
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not stop after MaxSessions")
+	}
+}
