@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke ci bench-explore bench
+.PHONY: build test vet lint lint-json race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke admin-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -143,7 +143,40 @@ serve-smoke:
 	rm -f /tmp/serve-smoke-dlserve /tmp/serve-smoke-loadgen /tmp/serve-smoke-addr \
 		/tmp/serve-smoke-server.txt
 
-ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke
+# Telemetry-plane smoke through the real binaries: dlserve runs with the
+# admin endpoint, snapshot streaming and a server-side trace; loadgen
+# drives a session while also tracing its side; mid-run /metrics and
+# /healthz must answer (with the delivered counter visible and status
+# ok); a SIGINT stops the server gracefully (exit 3, same contract as
+# checkpoint-smoke); and obsreport -merge must join the two traces into
+# one clean timeline.
+admin-smoke:
+	$(GO) build -o /tmp/admin-smoke-dlserve ./cmd/dlserve
+	$(GO) build -o /tmp/admin-smoke-loadgen ./cmd/loadgen
+	$(GO) build -o /tmp/admin-smoke-obsreport ./cmd/obsreport
+	rm -f /tmp/admin-smoke-addr /tmp/admin-smoke-admin
+	( /tmp/admin-smoke-dlserve -addr 127.0.0.1:0 -addr-file /tmp/admin-smoke-addr \
+		-admin 127.0.0.1:0 -admin-file /tmp/admin-smoke-admin \
+		-trace /tmp/admin-smoke-server.jsonl -snapshot-every 50ms \
+		> /tmp/admin-smoke-server.txt 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do test -s /tmp/admin-smoke-addr && test -s /tmp/admin-smoke-admin && break; sleep 0.1; done; \
+	  /tmp/admin-smoke-loadgen -mode tcp -addr "$$(cat /tmp/admin-smoke-addr)" \
+		-protocol gbn -msgs 2000 -trace /tmp/admin-smoke-client.jsonl > /tmp/admin-smoke-client.txt; \
+	  curl -sf "http://$$(cat /tmp/admin-smoke-admin)/metrics" | grep -q "transport.msgs_delivered 2000"; \
+	  curl -sf "http://$$(cat /tmp/admin-smoke-admin)/healthz" | grep -q '"status":"ok"'; \
+	  kill -INT $$pid; wait $$pid; test $$? -eq 3 )
+	grep -q "latency: p50=" /tmp/admin-smoke-client.txt
+	/tmp/admin-smoke-obsreport -merge /tmp/admin-smoke-client.jsonl /tmp/admin-smoke-server.jsonl \
+		> /tmp/admin-smoke-merge.txt
+	grep -q "merged events" /tmp/admin-smoke-merge.txt
+	! grep -q "violation at event" /tmp/admin-smoke-merge.txt
+	rm -f /tmp/admin-smoke-dlserve /tmp/admin-smoke-loadgen /tmp/admin-smoke-obsreport \
+		/tmp/admin-smoke-addr /tmp/admin-smoke-admin /tmp/admin-smoke-server.txt \
+		/tmp/admin-smoke-client.txt /tmp/admin-smoke-server.jsonl \
+		/tmp/admin-smoke-client.jsonl /tmp/admin-smoke-merge.txt
+
+ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke admin-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

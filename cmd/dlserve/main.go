@@ -4,18 +4,37 @@
 // action stream with the online DL/PL monitors, and reports a verdict
 // per session.
 //
+// With -admin the server also exposes a live telemetry plane over
+// HTTP: /metrics (text or ?format=json rendering of the obs snapshot),
+// /healthz (session and verdict tallies), /sessions (per-session
+// goodput, frames and violations) and net/http/pprof under
+// /debug/pprof/. Without the flag none of it exists and the serving
+// path stays zero-cost.
+//
+// Exit codes: 0 clean, 1 harness error, 2 usage, 3 interrupted
+// (SIGINT/SIGTERM; artifacts flushed), 4 some session's monitors
+// signalled a specification violation.
+//
 // Examples:
 //
 //	dlserve -addr 127.0.0.1:4444
 //	dlserve -addr 127.0.0.1:0 -addr-file /tmp/dlserve.addr -sessions 1
+//	dlserve -admin 127.0.0.1:8080 -trace server.jsonl -snapshot-every 1s
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
@@ -23,61 +42,272 @@ import (
 	"repro/internal/transport"
 )
 
+// errInterrupted marks a serve loop stopped by SIGINT/SIGTERM with all
+// obs artifacts (trace, snapshot) flushed; main maps it to exit 3.
+var errInterrupted = errors.New("interrupted")
+
+// errViolation marks a run in which at least one session's monitors
+// signalled a specification violation; main maps it to exit 4, the
+// same finding-vs-failure split loadgen uses.
+var errViolation = errors.New("monitor violation")
+
+const (
+	exitInterrupted = 3
+	exitViolation   = 4
+)
+
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:4444", "address to listen on (port 0 picks one)")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file after listening")
-		sessions = flag.Int("sessions", 0, "exit after this many sessions (0 = serve forever)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-session deadline")
-		metrics  = flag.Bool("metrics", false, "print an obs snapshot as JSON on exit")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:4444", "address to listen on (port 0 picks one)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file after listening")
+	flag.IntVar(&o.sessions, "sessions", 0, "exit after this many sessions (0 = serve forever)")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-session deadline")
+	flag.BoolVar(&o.metrics, "metrics", false, "print an obs snapshot as JSON on exit")
+	flag.StringVar(&o.admin, "admin", "", "serve the admin telemetry endpoint on this address (port 0 picks one)")
+	flag.StringVar(&o.adminFile, "admin-file", "", "write the bound admin address to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL trace of every session's event stream to this file")
+	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 0, "emit metrics-snapshot trace events at this interval (needs -trace)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "dlserve: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *addr, *addrFile, *sessions, *timeout, *metrics); err != nil {
+	switch err := run(os.Stdout, o); {
+	case err == nil:
+	case errors.Is(err, errInterrupted):
+		os.Exit(exitInterrupted)
+	case errors.Is(err, errViolation):
+		fmt.Fprintln(os.Stderr, "dlserve:", err)
+		os.Exit(exitViolation)
+	default:
 		fmt.Fprintln(os.Stderr, "dlserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, addr, addrFile string, sessions int, timeout time.Duration, metrics bool) error {
-	ln, err := net.Listen("tcp", addr)
+type options struct {
+	addr, addrFile   string
+	sessions         int
+	timeout          time.Duration
+	metrics          bool
+	admin, adminFile string
+	tracePath        string
+	snapshotEvery    time.Duration
+}
+
+// sessionInfo is the /sessions rendering of one completed session.
+type sessionInfo struct {
+	ID         int64   `json:"id"`
+	Remote     string  `json:"remote"`
+	Proto      string  `json:"proto"`
+	N          int     `json:"n"`
+	W          int     `json:"w"`
+	FIFO       bool    `json:"fifo"`
+	Delivered  int     `json:"delivered"`
+	DurationMS float64 `json:"duration_ms"`
+	Goodput    float64 `json:"goodput_msg_per_s"`
+	FramesIn   int     `json:"frames_in"`
+	FramesOut  int     `json:"frames_out"`
+	Violations int     `json:"violations"`
+	Verdict    string  `json:"verdict"`
+	Clean      bool    `json:"clean"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// maxRetainedSessions bounds the /sessions list on a serve-forever
+// process; the /healthz tallies keep counting past it.
+const maxRetainedSessions = 256
+
+// healthState aggregates completed sessions for /healthz and
+// /sessions. The handlers only read this pre-aggregated state — they
+// resolve no registry handles and touch no per-request instruments.
+type healthState struct {
+	mu         sync.Mutex
+	recent     []sessionInfo
+	total      int
+	unclean    int
+	violations int
+	errors     int
+}
+
+// record folds one completed session into the tallies.
+func (h *healthState) record(s transport.SessionSummary) {
+	info := sessionInfo{
+		ID: s.ID, Remote: s.Remote, Proto: s.Proto, N: s.N, W: s.W, FIFO: s.FIFO,
+		Delivered: s.Delivered, DurationMS: float64(s.Duration.Microseconds()) / 1000,
+		FramesIn: s.FramesIn, FramesOut: s.FramesOut, Violations: s.Violations,
+		Verdict: s.Verdicts.String(), Clean: s.Verdicts.Clean(),
+	}
+	if secs := s.Duration.Seconds(); secs > 0 {
+		info.Goodput = float64(s.Delivered) / secs
+	}
+	if s.Err != nil {
+		info.Err = s.Err.Error()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.total++
+	if !info.Clean {
+		h.unclean++
+	}
+	h.violations += s.Violations
+	if s.Err != nil {
+		h.errors++
+	}
+	h.recent = append(h.recent, info)
+	if len(h.recent) > maxRetainedSessions {
+		h.recent = h.recent[len(h.recent)-maxRetainedSessions:]
+	}
+}
+
+// exit4Pending reports whether the run will end with the violation
+// exit code as things stand.
+func (h *healthState) exit4Pending() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.unclean > 0
+}
+
+func (h *healthState) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	status := "ok"
+	if h.unclean > 0 {
+		status = "violations"
+	}
+	payload := map[string]any{
+		"status":        status,
+		"sessions":      h.total,
+		"unclean":       h.unclean,
+		"violations":    h.violations,
+		"errors":        h.errors,
+		"exit4_pending": h.unclean > 0,
+	}
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
+func (h *healthState) handleSessions(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	sessions := make([]sessionInfo, len(h.recent))
+	copy(sessions, h.recent)
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sessions)
+}
+
+func run(w io.Writer, o options) (err error) {
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	fmt.Fprintf(w, "dlserve: listening on %s (protocols: %v)\n", ln.Addr(), protocol.Names())
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
+
+	// The registry exists whenever anything consumes it; with neither
+	// -metrics, -admin nor -snapshot-every the serving path keeps the
+	// nil registry and its zero-cost instruments.
 	var reg *obs.Registry
-	if metrics {
+	if o.metrics || o.admin != "" || o.snapshotEvery > 0 {
 		reg = obs.NewRegistry()
 	}
+	var tr *obs.Trace
+	if o.tracePath != "" {
+		tr, err = obs.OpenTrace(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := tr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	tick := obs.StartTicker(reg, tr, o.snapshotEvery)
+	defer tick.Stop()
+
+	hs := &healthState{}
+	if o.admin != "" {
+		mux := obs.AdminMux(reg)
+		mux.HandleFunc("/healthz", hs.handleHealthz)
+		mux.HandleFunc("/sessions", hs.handleSessions)
+		adminSrv, err := obs.StartAdmin(o.admin, mux)
+		if err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		fmt.Fprintf(w, "dlserve: admin endpoint on http://%s\n", adminSrv.Addr())
+		if o.adminFile != "" {
+			if err := os.WriteFile(o.adminFile, []byte(adminSrv.Addr()+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+
+	// SIGINT/SIGTERM close the listener: Serve drains in-flight
+	// sessions, then the normal teardown below flushes the trace and
+	// snapshot — stopped, not lost.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(w, "dlserve: signal received — draining sessions and flushing artifacts")
+			interrupted.Store(true)
+			ln.Close()
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+
 	err = transport.Serve(ln, transport.ServerConfig{
 		Resolve:        protocol.ByName,
 		Registry:       reg,
-		MaxSessions:    sessions,
-		SessionTimeout: timeout,
+		Trace:          tr,
+		MaxSessions:    o.sessions,
+		SessionTimeout: o.timeout,
 		OnSession: func(s transport.SessionSummary) {
+			hs.record(s)
 			if s.Err != nil {
-				fmt.Fprintf(w, "session %s: %s: error: %v\n", s.Remote, s.Proto, s.Err)
+				fmt.Fprintf(w, "session %d %s: %s: error: %v\n", s.ID, s.Remote, s.Proto, s.Err)
 				return
 			}
-			fmt.Fprintf(w, "session %s: %s n=%d w=%d fifo=%v: delivered %d; %s\n",
-				s.Remote, s.Proto, s.N, s.W, s.FIFO, s.Delivered, s.Verdicts)
+			fmt.Fprintf(w, "session %d %s: %s n=%d w=%d fifo=%v: delivered %d in %v; %s\n",
+				s.ID, s.Remote, s.Proto, s.N, s.W, s.FIFO, s.Delivered,
+				s.Duration.Round(time.Millisecond), s.Verdicts)
 		},
 	})
 	if err != nil {
 		return err
 	}
-	if metrics {
-		return reg.Snapshot().WriteJSON(w)
+	// Final artifacts, on every graceful path: stop streaming, append a
+	// terminal snapshot to the trace, print the exit snapshot.
+	tick.Stop()
+	if reg != nil {
+		tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
+	}
+	if o.metrics {
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if interrupted.Load() {
+		return errInterrupted
+	}
+	if hs.exit4Pending() {
+		return fmt.Errorf("%w: %d of %d sessions unclean", errViolation, hs.unclean, hs.total)
 	}
 	return nil
 }

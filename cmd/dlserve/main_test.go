@@ -1,49 +1,85 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
 
-// TestServeOneSession boots the server on an ephemeral port, discovers
-// the address through -addr-file, runs one client session against it,
-// and checks the session report.
-func TestServeOneSession(t *testing.T) {
-	addrFile := filepath.Join(t.TempDir(), "addr")
-	var out strings.Builder
-	errc := make(chan error, 1)
-	go func() {
-		errc <- run(&out, "127.0.0.1:0", addrFile, 1, 30*time.Second, true)
-	}()
+// syncBuffer is a strings.Builder safe for the test goroutine to read
+// while run() writes session lines from server goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
 
-	var addr string
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitForFile polls until path exists and returns its trimmed content.
+func waitForFile(t *testing.T, path string) string {
+	t.Helper()
 	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
-		if b, err := os.ReadFile(addrFile); err == nil {
-			addr = strings.TrimSpace(string(b))
-			break
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b))
 		}
 	}
-	if addr == "" {
-		t.Fatal("server never wrote its address file")
-	}
+	t.Fatalf("%s never appeared", path)
+	return ""
+}
 
+func dialSession(t *testing.T, addr string, msgs int) *transport.ClientResult {
+	t.Helper()
 	p, err := protocol.ByName("gbn", 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, err := transport.Dial(addr, transport.ClientConfig{
 		Protocol: p, ProtoName: "gbn", N: 8, W: 3, FIFO: true,
-		Msgs: 25, Timeout: 20 * time.Second,
+		Msgs: msgs, Timeout: 20 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	return res
+}
+
+// TestServeOneSession boots the server on an ephemeral port, discovers
+// the address through -addr-file, runs one client session against it,
+// and checks the session report.
+func TestServeOneSession(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(&out, options{addr: "127.0.0.1:0", addrFile: addrFile,
+			sessions: 1, timeout: 30 * time.Second, metrics: true})
+	}()
+	addr := waitForFile(t, addrFile)
+
+	res := dialSession(t, addr, 25)
 	if !res.Verdicts.Clean() {
 		t.Fatalf("client verdicts: %s", res.Verdicts)
 	}
@@ -58,9 +94,147 @@ func TestServeOneSession(t *testing.T) {
 	}
 }
 
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+}
+
+// TestServeAdminEndpoint serves two sessions with the admin plane up
+// and scrapes /metrics, /healthz and /sessions mid-run — after the
+// first session, before the second — pinning the payloads a live
+// operator depends on.
+func TestServeAdminEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	adminFile := filepath.Join(dir, "admin")
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(&out, options{addr: "127.0.0.1:0", addrFile: addrFile,
+			admin: "127.0.0.1:0", adminFile: adminFile,
+			sessions: 2, timeout: 30 * time.Second})
+	}()
+	addr := waitForFile(t, addrFile)
+	admin := waitForFile(t, adminFile)
+
+	// Before any session: healthz answers with zero sessions.
+	var health struct {
+		Status       string `json:"status"`
+		Sessions     int    `json:"sessions"`
+		Exit4Pending bool   `json:"exit4_pending"`
+	}
+	getJSON(t, "http://"+admin+"/healthz", &health)
+	if health.Status != "ok" || health.Sessions != 0 || health.Exit4Pending {
+		t.Fatalf("idle healthz = %+v", health)
+	}
+
+	dialSession(t, addr, 40)
+
+	// /sessions lists completed sessions; the first may still be
+	// settling into the health state when the client returns, so poll.
+	var sessions []sessionInfo
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		getJSON(t, "http://"+admin+"/sessions", &sessions)
+		if len(sessions) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/sessions never listed the session: %+v", sessions)
+		}
+	}
+	if s := sessions[0]; s.Delivered != 40 || !s.Clean || s.FramesIn == 0 || s.FramesOut == 0 || s.Goodput <= 0 {
+		t.Fatalf("/sessions = %+v", s)
+	}
+
+	resp, err := http.Get("http://" + admin + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"transport.msgs_delivered 40", "transport.delivery_latency count=40"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	getJSON(t, "http://"+admin+"/healthz", &health)
+	if health.Sessions != 1 || health.Status != "ok" || health.Exit4Pending {
+		t.Errorf("mid-run healthz = %+v", health)
+	}
+
+	dialSession(t, addr, 5)
+	if err := <-errc; err != nil {
+		t.Fatalf("server: %v\n%s", err, out.String())
+	}
+}
+
+// TestSignaledServeFlushesArtifacts: a SIGINT mid-serve drains, flushes
+// the trace (validating, with session events and a terminal metrics
+// snapshot) and returns errInterrupted — the exit-3 contract.
+func TestSignaledServeFlushesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	tracePath := filepath.Join(dir, "server.jsonl")
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(&out, options{addr: "127.0.0.1:0", addrFile: addrFile,
+			timeout: 30 * time.Second, metrics: false, tracePath: tracePath,
+			snapshotEvery: 5 * time.Millisecond})
+	}()
+	addr := waitForFile(t, addrFile)
+	dialSession(t, addr, 30)
+	// Give the ticker a beat so at least one streamed snapshot lands.
+	time.Sleep(25 * time.Millisecond)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, errInterrupted) {
+			t.Fatalf("run returned %v, want errInterrupted\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after SIGINT")
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var v obs.Validator
+	events := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		ev, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid after SIGINT: %v", err)
+		}
+		events[ev]++
+	}
+	for _, want := range []string{"transport.session", "transport.event", "transport.seal", "metrics-snapshot", "metrics"} {
+		if events[want] == 0 {
+			t.Errorf("flushed trace has no %q events: %v", want, events)
+		}
+	}
+}
+
 func TestRunRejectsBadAddr(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "256.256.256.256:99999", "", 1, time.Second, false); err == nil {
+	if err := run(&out, options{addr: "256.256.256.256:99999", sessions: 1, timeout: time.Second}); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

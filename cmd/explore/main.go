@@ -21,8 +21,10 @@
 //
 // With -trace the search emits a JSONL event stream (see internal/obs and
 // cmd/obsreport); with -metrics the final counter/gauge/histogram
-// snapshot is written as JSON ("-" for stderr). Long runs print a
-// throttled progress line on stderr either way.
+// snapshot is written as JSON ("-" for stderr); with -snapshot-every the
+// trace additionally carries periodic metrics-snapshot events that
+// obsreport renders as a per-interval throughput table. Long runs print
+// a throttled progress line on stderr either way.
 package main
 
 import (
@@ -80,6 +82,7 @@ type options struct {
 	memProfile string
 	tracePath  string
 	metrics    string
+	snapEvery  time.Duration
 	checkpoint string
 	ckptEvery  string
 	resume     string
@@ -116,6 +119,7 @@ func main() {
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL trace of the search to this file")
 	flag.StringVar(&o.metrics, "metrics", "", "write the final metrics snapshot JSON to this file (\"-\": stderr)")
+	flag.DurationVar(&o.snapEvery, "snapshot-every", 0, "emit metrics-snapshot trace events at this interval (needs -trace)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write durable search checkpoints to this file (atomic, resumable)")
 	flag.StringVar(&o.ckptEvery, "checkpoint-every", "1", "checkpoint cadence: N (levels) or a duration like 30s")
 	flag.StringVar(&o.resume, "resume", "", "resume the search from this checkpoint file (other flags must match)")
@@ -256,7 +260,7 @@ func run(o options, out io.Writer) (err error) {
 	}()
 
 	var reg *obs.Registry
-	if o.metrics != "" {
+	if o.metrics != "" || o.snapEvery > 0 {
 		reg = obs.NewRegistry()
 	}
 	var tr *obs.Trace
@@ -271,6 +275,8 @@ func run(o options, out io.Writer) (err error) {
 			}
 		}()
 	}
+	tick := obs.StartTicker(reg, tr, o.snapEvery)
+	defer tick.Stop()
 	progress := o.progress
 	if progress == nil {
 		progress = os.Stderr
@@ -359,10 +365,13 @@ func run(o options, out io.Writer) (err error) {
 	if err := writeHeapProfile(o.memProfile); err != nil {
 		return err
 	}
+	tick.Stop() // quiesce the snapshot stream before the terminal metrics event
 	if reg != nil {
 		tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
-		if err := writeMetrics(o.metrics, reg.Snapshot()); err != nil {
-			return err
+		if o.metrics != "" {
+			if err := writeMetrics(o.metrics, reg.Snapshot()); err != nil {
+				return err
+			}
 		}
 	}
 	fmt.Fprintf(out, "protocol=%s channels=%s pool=%d inputs, depth≤%d, in-transit≤%d, workers=%d, symmetry=%t, por=%t\n",

@@ -331,3 +331,49 @@ func TestParseCheckpointEvery(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotStreaming: with -snapshot-every and no -metrics, the
+// search still gets a registry, the trace carries periodic
+// metrics-snapshot events while levels run, and obsreport's terminal
+// metrics event is appended — but no metrics file is written.
+func TestSnapshotStreaming(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		proto: "abp", n: 2, w: 1, fifo: true,
+		msgs: 2, depth: 18, inTransit: 2, maxStates: explore.DefaultMaxStates,
+		workers: 2, progress: io.Discard,
+		tracePath: filepath.Join(dir, "trace.jsonl"),
+		snapEvery: time.Millisecond,
+		// Pin each level long enough that the ticker is guaranteed to
+		// fire at least once during the search, regardless of load.
+		onLevel: func(explore.LevelStats) { time.Sleep(3 * time.Millisecond) },
+	}
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(o.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	var v obs.Validator
+	events := map[string]int{}
+	sc := bufio.NewScanner(tf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid: %v", err)
+		}
+		events[event]++
+	}
+	if events["metrics-snapshot"] == 0 {
+		t.Errorf("no metrics-snapshot events streamed: %v", events)
+	}
+	if events["metrics"] != 1 {
+		t.Errorf("terminal metrics event count = %d, want 1: %v", events["metrics"], events)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Errorf("expected only the trace in %s, got %v", dir, entries)
+	}
+}

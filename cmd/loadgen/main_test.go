@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
@@ -86,5 +91,104 @@ func TestBadUsage(t *testing.T) {
 	}
 	if err := run(&out, options{mode: "loopback", proto: "abp", msgs: 1, faults: "jitter"}); err == nil {
 		t.Error("unknown fault accepted")
+	}
+}
+
+// TestLatencyLine: every run with spans prints the delivery-latency
+// quantile line in the goodput report.
+func TestLatencyLine(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{mode: "loopback", proto: "abp", fifo: true,
+		msgs: 100, window: 4, faults: "none", seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "latency: p50=") ||
+		!strings.Contains(out.String(), "p95=") || !strings.Contains(out.String(), "p99=") {
+		t.Errorf("latency quantile line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(100 spans)") {
+		t.Errorf("span count missing:\n%s", out.String())
+	}
+}
+
+// TestBenchAppend: -json appends array entries across runs, with the
+// goodput and latency fields filled in.
+func TestBenchAppend(t *testing.T) {
+	bench := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	for i := 0; i < 2; i++ {
+		var out strings.Builder
+		err := run(&out, options{mode: "loopback", proto: "gbn", n: 8, w: 3, fifo: true,
+			msgs: 200, window: 8, faults: "none", seed: 1, bench: bench, label: "test"})
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", i, err, out.String())
+		}
+		if !strings.Contains(out.String(), "appended entry to") {
+			t.Errorf("run %d output missing append notice:\n%s", i, out.String())
+		}
+	}
+	blob, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []benchEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		t.Fatalf("bench file does not parse: %v\n%s", err, blob)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("bench file has %d entries, want 2", len(entries))
+	}
+	for i, e := range entries {
+		if e.Experiment != "serve" || e.Label != "test" || e.Mode != "loopback" ||
+			e.Delivered != 200 || e.GoodputMsgS <= 0 || e.DurationMS <= 0 {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+		if e.LatencyP50US < 0 || e.LatencyP99US < e.LatencyP50US {
+			t.Errorf("entry %d latency quantiles inconsistent: %+v", i, e)
+		}
+	}
+}
+
+// TestTCPTraceMode: -trace in tcp mode writes a validating client-side
+// session trace suitable for obsreport -merge.
+func TestTCPTraceMode(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- transport.Serve(ln, transport.ServerConfig{Resolve: protocol.ByName, MaxSessions: 1})
+	}()
+	tracePath := filepath.Join(t.TempDir(), "client.jsonl")
+	var out strings.Builder
+	if err := run(&out, options{mode: "tcp", proto: "gbn", n: 8, w: 3, fifo: true, msgs: 30,
+		window: 4, faults: "none", addr: ln.Addr().String(), timeout: 20 * time.Second,
+		tracePath: tracePath, snapshotEvery: time.Millisecond}); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var v obs.Validator
+	events := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		ev, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[ev]++
+	}
+	for _, want := range []string{"transport.session", "transport.event", "transport.seal", "metrics"} {
+		if events[want] == 0 {
+			t.Errorf("client trace has no %q events: %v", want, events)
+		}
 	}
 }

@@ -7,6 +7,16 @@
 // embedded schedule slice is rendered as a message sequence chart, every
 // row annotated with its absolute step number in the original run.
 //
+// Traces with periodic metrics-snapshot events (the -snapshot-every flag
+// of dlserve/loadgen/explore/swarm) additionally get a per-interval
+// table: throughput deltas between consecutive snapshots and the
+// delivery-latency quantiles at each point.
+//
+// With -merge, obsreport instead takes a client trace and a server trace
+// of the same live TCP run (loadgen -trace and dlserve -trace) and joins
+// their causally-linearized session streams into one timeline — see
+// merge.go and DESIGN.md §10.
+//
 // Examples:
 //
 //	explore -protocol abp -crash r -msgs 1 -trace t.jsonl -metrics -
@@ -14,6 +24,8 @@
 //	obsreport -msc t.jsonl          # include violation charts
 //	swarm -protocols abp-stuck -seeds 20 -trace s.jsonl
 //	obsreport -msc s.jsonl
+//	obsreport -merge client.jsonl server.jsonl
+//	obsreport -merge -msc client.jsonl server.jsonl
 package main
 
 import (
@@ -33,11 +45,24 @@ import (
 func main() {
 	renderMSC := flag.Bool("msc", false, "render each violation's schedule slice as a message sequence chart")
 	top := flag.Int("top", 10, "how many counters to list from the metrics snapshot")
+	merge := flag.Bool("merge", false, "join a client and a server trace of one live run into a single timeline")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: obsreport [-msc] [-top n] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "       obsreport -merge [-msc] client.jsonl server.jsonl")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *merge {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := mergeReport(flag.Arg(0), flag.Arg(1), *renderMSC, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "obsreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -94,6 +119,14 @@ type metricsEvent struct {
 	Snapshot obs.Snapshot `json:"snapshot"`
 }
 
+// snapshotEvent mirrors the obs.Ticker's periodic metrics-snapshot
+// event (the -snapshot-every flag).
+type snapshotEvent struct {
+	TUS        int64        `json:"t_us"`
+	IntervalMS int64        `json:"interval_ms"`
+	Snapshot   obs.Snapshot `json:"snapshot"`
+}
+
 // report validates and summarises one trace stream. Any schema
 // violation aborts with an error: a trace that does not validate is a
 // bug in the producer, not something to summarise around.
@@ -103,6 +136,7 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 	var levels []levelEvent
 	var ckpts []checkpointEvent
 	var violations []violationEvent
+	var snaps []snapshotEvent
 	var snap *obs.Snapshot
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -132,6 +166,12 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
 			}
 			violations = append(violations, ve)
+		case "metrics-snapshot":
+			var se snapshotEvent
+			if err := json.Unmarshal(line, &se); err != nil {
+				return fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
+			}
+			snaps = append(snaps, se)
 		case "metrics":
 			var me metricsEvent
 			if err := json.Unmarshal(line, &me); err != nil {
@@ -162,6 +202,9 @@ func report(r io.Reader, name string, renderMSC bool, top int, out io.Writer) er
 	}
 	if len(ckpts) > 0 {
 		writeCheckpoints(out, ckpts)
+	}
+	if len(snaps) > 0 {
+		writeIntervals(out, snaps)
 	}
 	writeReduction(out, levels, snap)
 	if snap != nil {
@@ -204,6 +247,41 @@ func writeCheckpoints(out io.Writer, ckpts []checkpointEvent) {
 	fmt.Fprintf(out, "\ncheckpoints: %d written, %d bytes total in %.1f ms\n", len(ckpts), bytes, ms)
 	fmt.Fprintf(out, "  last at level %d: %d frontier nodes, %d seen entries, %d bytes\n",
 		last.Level, last.Nodes, last.SeenEntries, last.Bytes)
+}
+
+// writeIntervals renders the streamed metrics-snapshot series as a
+// per-interval table: the work counter's delta and rate between
+// consecutive snapshots, and the cumulative delivery-latency quantiles
+// at each point. The work counter is whichever of the producers'
+// throughput counters the trace actually moves: transport.msgs_delivered
+// (serving path), explore.states_expanded (model checker) or swarm.steps.
+func writeIntervals(out io.Writer, snaps []snapshotEvent) {
+	counter := "transport.msgs_delivered"
+	last := snaps[len(snaps)-1].Snapshot
+	for _, name := range []string{"transport.msgs_delivered", "explore.states_expanded", "swarm.steps"} {
+		if last.Counter(name) > 0 {
+			counter = name
+			break
+		}
+	}
+	fmt.Fprintf(out, "\nsnapshot stream (%d snapshots, %s):\n", len(snaps), counter)
+	fmt.Fprintf(out, "  %10s %10s %10s %12s %8s %8s %8s\n", "t_ms", "total", "delta", "per_sec", "p50µs", "p95µs", "p99µs")
+	var prevTotal, prevTUS int64
+	for i, se := range snaps {
+		total := se.Snapshot.Counter(counter)
+		delta := total - prevTotal
+		rate := "—"
+		if i > 0 && se.TUS > prevTUS {
+			rate = fmt.Sprintf("%.0f", float64(delta)/(float64(se.TUS-prevTUS)/1e6))
+		}
+		p50, p95, p99 := "—", "—", "—"
+		if lat, ok := se.Snapshot.Histogram("transport.delivery_latency"); ok && lat.Count > 0 {
+			p50, p95, p99 = fmt.Sprint(lat.P50), fmt.Sprint(lat.P95), fmt.Sprint(lat.P99)
+		}
+		fmt.Fprintf(out, "  %10d %10d %10d %12s %8s %8s %8s\n",
+			se.TUS/1000, total, delta, rate, p50, p95, p99)
+		prevTotal, prevTUS = total, se.TUS
+	}
 }
 
 // writeReduction summarises the symmetry/POR reductions when the trace

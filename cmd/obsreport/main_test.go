@@ -161,6 +161,71 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestReportSnapshotStream: periodic metrics-snapshot events (the
+// -snapshot-every ticker) become a per-interval table with throughput
+// deltas and the delivery-latency quantiles at each point.
+func TestReportSnapshotStream(t *testing.T) {
+	var buf bytes.Buffer
+	var ticks time.Duration
+	tr := obs.NewTraceWithClock(&buf, func() time.Duration {
+		ticks += 100 * time.Millisecond
+		return ticks
+	})
+	reg := obs.NewRegistry()
+	delivered := reg.Counter("transport.msgs_delivered")
+	lat := reg.Histogram("transport.delivery_latency", obs.ExpBuckets(1, 2, 24))
+	for i := 0; i < 3; i++ {
+		delivered.Add(100)
+		lat.Observe(int64(10 * (i + 1)))
+		tr.Emit("metrics-snapshot",
+			obs.Int("interval_ms", 100),
+			obs.JSON("snapshot", reg.Snapshot()))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := report(&buf, "s.jsonl", false, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"snapshot stream (3 snapshots, transport.msgs_delivered):",
+		"t_ms", "delta", "per_sec", "p95µs",
+		" 100 ",  // the 100-per-interval delta
+		" 1000 ", // 100 msgs per 100ms snapshot gap = 1000/s
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestReportSnapshotStreamExploreCounter: explorer traces fall back to
+// explore.states as the throughput counter.
+func TestReportSnapshotStreamExploreCounter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	reg := obs.NewRegistry()
+	states := reg.Counter("explore.states_expanded")
+	for i := 0; i < 2; i++ {
+		states.Add(50)
+		tr.Emit("metrics-snapshot",
+			obs.Int("interval_ms", 100),
+			obs.JSON("snapshot", reg.Snapshot()))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := report(&buf, "e.jsonl", false, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snapshot stream (2 snapshots, explore.states_expanded):") {
+		t.Errorf("explore counter fallback missing:\n%s", out.String())
+	}
+}
+
 // TestReportCheckpointSection: a trace from a checkpointing search gains
 // a "checkpoints:" summary (count, total bytes/latency, last snapshot's
 // shape).

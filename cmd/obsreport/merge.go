@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ioa"
+	"repro/internal/msc"
+	"repro/internal/obs"
+)
+
+// Cross-endpoint trace merge. The TCP transport's two endpoints each
+// stream their causal linearization of one session's global schedule
+// (internal/transport trace.go): every transport.event line carries its
+// origin station and that origin's event index k, and the emit-before-
+// send ordering over an order-preserving link guarantees both sides
+// assign the same (origin, k) → action mapping. Merging is therefore a
+// join on (origin, k): the client trace — which contains every event of
+// the session, since the server's Bye reply trails all mirrored events
+// — supplies the merged order, and the server trace supplies the other
+// side's local timestamps plus an independent consistency check.
+// DESIGN.md §10 gives the soundness argument.
+
+// mergeEvent is one transport.event line of a session.
+type mergeEvent struct {
+	Origin string
+	K      int64
+	TUS    int64
+	Raw    json.RawMessage
+}
+
+// mergeViolation is one transport.violation line, positioned by how
+// many transport.event lines of its session preceded it.
+type mergeViolation struct {
+	Property string
+	Detail   string
+	Pos      int
+}
+
+// mergeSession is one session's slice of a trace.
+type mergeSession struct {
+	ID         int64
+	Side       string
+	Station    string
+	Proto      string
+	N, W       int
+	FIFO       bool
+	Events     []mergeEvent
+	Violations []mergeViolation
+	Verdict    string
+	Clean      *bool
+	Delivered  int64
+}
+
+// byOrigin splits a session's events per origin, in k order (the
+// per-origin k indices are checked consecutive during parsing).
+func (s *mergeSession) byOrigin() map[string][]mergeEvent {
+	out := map[string][]mergeEvent{}
+	for _, ev := range s.Events {
+		out[ev.Origin] = append(out[ev.Origin], ev)
+	}
+	return out
+}
+
+// transportLine is the union of the transport.* trace event fields.
+type transportLine struct {
+	TUS       int64           `json:"t_us"`
+	Event     string          `json:"event"`
+	Session   int64           `json:"session"`
+	Side      string          `json:"side"`
+	Station   string          `json:"station"`
+	Proto     string          `json:"proto"`
+	N         int             `json:"n"`
+	W         int             `json:"w"`
+	FIFO      bool            `json:"fifo"`
+	Origin    string          `json:"origin"`
+	K         int64           `json:"k"`
+	Action    json.RawMessage `json:"action"`
+	Property  string          `json:"property"`
+	Detail    string          `json:"detail"`
+	Verdict   string          `json:"verdict"`
+	Clean     *bool           `json:"clean"`
+	Delivered int64           `json:"delivered"`
+}
+
+// parseSessions validates a trace stream and collects its transport
+// sessions in first-seen order. Non-transport events (metrics,
+// metrics-snapshot) are validated and skipped.
+func parseSessions(r io.Reader, name string) ([]*mergeSession, error) {
+	var v obs.Validator
+	byID := map[int64]*mergeSession{}
+	var order []*mergeSession
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		var tl transportLine
+		switch event {
+		case "transport.session", "transport.event", "transport.violation", "transport.seal":
+			if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+				return nil, fmt.Errorf("%s: line %d: %w", name, v.Lines(), err)
+			}
+		default:
+			continue
+		}
+		s := byID[tl.Session]
+		if s == nil {
+			s = &mergeSession{ID: tl.Session}
+			byID[tl.Session] = s
+			order = append(order, s)
+		}
+		switch event {
+		case "transport.session":
+			s.Side, s.Station, s.Proto, s.N, s.W, s.FIFO = tl.Side, tl.Station, tl.Proto, tl.N, tl.W, tl.FIFO
+		case "transport.event":
+			s.Events = append(s.Events, mergeEvent{Origin: tl.Origin, K: tl.K, TUS: tl.TUS, Raw: tl.Action})
+		case "transport.violation":
+			s.Violations = append(s.Violations, mergeViolation{Property: tl.Property, Detail: tl.Detail, Pos: len(s.Events)})
+		case "transport.seal":
+			s.Verdict, s.Clean, s.Delivered = tl.Verdict, tl.Clean, tl.Delivered
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	// Per-origin k indices must be consecutive from zero — the merge
+	// key's integrity check.
+	for _, s := range order {
+		next := map[string]int64{}
+		for _, ev := range s.Events {
+			if ev.K != next[ev.Origin] {
+				return nil, fmt.Errorf("%s: session %d: origin %s event k=%d, want %d",
+					name, s.ID, ev.Origin, ev.K, next[ev.Origin])
+			}
+			next[ev.Origin]++
+		}
+	}
+	return order, nil
+}
+
+// matchSession finds the server-trace session describing the same
+// session as the client's: identical parameters, identical origin-r
+// event sequence, and the server's origin-t sequence a prefix of the
+// client's (the client keeps tracing local actions after its Bye; the
+// server has sealed by then). Used server sessions are marked so a
+// multi-session server trace matches each client session at most once.
+func matchSession(c *mergeSession, servers []*mergeSession, used map[*mergeSession]bool) (*mergeSession, error) {
+	co := c.byOrigin()
+	for _, s := range servers {
+		if used[s] || s.Proto != c.Proto || s.N != c.N || s.W != c.W || s.FIFO != c.FIFO {
+			continue
+		}
+		so := s.byOrigin()
+		if !sameActions(so["r"], co["r"]) {
+			continue
+		}
+		if len(so["t"]) > len(co["t"]) || !sameActions(so["t"], co["t"][:len(so["t"])]) {
+			continue
+		}
+		used[s] = true
+		return s, nil
+	}
+	return nil, fmt.Errorf("no server session matches client session %d (%s n=%d w=%d fifo=%v, %d events)",
+		c.ID, c.Proto, c.N, c.W, c.FIFO, len(c.Events))
+}
+
+// sameActions compares two equal-length event runs by their encoded
+// actions (the codec is deterministic, so byte equality is action
+// equality).
+func sameActions(a, b []mergeEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if string(a[i].Raw) != string(b[i].Raw) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeTimelineLimit caps the printed timeline; larger sessions print
+// head and tail with an elision note (the merge itself is always
+// checked in full).
+const mergeTimelineLimit = 200
+
+// mergeReport joins a client and a server trace into one timeline.
+func mergeReport(clientPath, serverPath string, renderMSC bool, out io.Writer) error {
+	cf, err := os.Open(clientPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	clients, err := parseSessions(cf, clientPath)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(serverPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	servers, err := parseSessions(sf, serverPath)
+	if err != nil {
+		return err
+	}
+
+	var clientSessions []*mergeSession
+	for _, s := range clients {
+		if s.Side == "client" {
+			clientSessions = append(clientSessions, s)
+		}
+	}
+	if len(clientSessions) == 0 {
+		return fmt.Errorf("%s: no client-side transport sessions (expected the client trace first)", clientPath)
+	}
+	var serverSessions []*mergeSession
+	for _, s := range servers {
+		if s.Side == "server" {
+			serverSessions = append(serverSessions, s)
+		}
+	}
+	if len(serverSessions) == 0 {
+		return fmt.Errorf("%s: no server-side transport sessions", serverPath)
+	}
+
+	fmt.Fprintf(out, "merge: %s (client) + %s (server)\n", clientPath, serverPath)
+	used := map[*mergeSession]bool{}
+	for _, c := range clientSessions {
+		s, err := matchSession(c, serverSessions, used)
+		if err != nil {
+			return err
+		}
+		if err := writeMergedSession(out, c, s, renderMSC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMergedSession prints one matched session pair: the agreement
+// summary, the merged timeline (client order, both sides' local
+// times), the violation list, and — with -msc — one two-sided chart of
+// the schedule around each violation.
+func writeMergedSession(out io.Writer, c, s *mergeSession, renderMSC bool) error {
+	co, so := c.byOrigin(), s.byOrigin()
+	tail := len(co["t"]) - len(so["t"])
+	fmt.Fprintf(out, "\nsession %s n=%d w=%d fifo=%v (client #%d ↔ server #%d): %d merged events",
+		c.Proto, c.N, c.W, c.FIFO, c.ID, s.ID, len(c.Events))
+	if tail > 0 {
+		fmt.Fprintf(out, " (+%d client-local tail)", tail)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  origins agree: t %d/%d, r %d/%d events matched\n",
+		len(so["t"]), len(so["t"]), len(so["r"]), len(co["r"]))
+	fmt.Fprintf(out, "  verdicts: client %s; server %s\n", c.Verdict, s.Verdict)
+
+	// The server's local time for event (origin, k), for annotation.
+	serverTUS := func(ev mergeEvent) (int64, bool) {
+		run := so[ev.Origin]
+		if int(ev.K) < len(run) {
+			return run[ev.K].TUS, true
+		}
+		return 0, false
+	}
+
+	// Decode the merged schedule once; the timeline and the MSC both
+	// render from it.
+	schedule := make(ioa.Schedule, len(c.Events))
+	for i, ev := range c.Events {
+		if err := json.Unmarshal(ev.Raw, &schedule[i]); err != nil {
+			return fmt.Errorf("session %d event %d: %w", c.ID, i, err)
+		}
+	}
+
+	fmt.Fprintln(out, "  timeline (client order; t_us per side):")
+	fmt.Fprintf(out, "  %5s %-5s %12s %12s  %s\n", "#", "org/k", "client_us", "server_us", "action")
+	printRow := func(i int) {
+		ev := c.Events[i]
+		server := "—"
+		if tus, ok := serverTUS(ev); ok {
+			server = fmt.Sprintf("%d", tus)
+		}
+		fmt.Fprintf(out, "  %5d %s/%-3d %12d %12s  %s\n", i+1, ev.Origin, ev.K, ev.TUS, server, schedule[i])
+	}
+	if len(c.Events) <= mergeTimelineLimit {
+		for i := range c.Events {
+			printRow(i)
+		}
+	} else {
+		head, tailN := mergeTimelineLimit/2, mergeTimelineLimit/2
+		for i := 0; i < head; i++ {
+			printRow(i)
+		}
+		fmt.Fprintf(out, "  … %d events elided …\n", len(c.Events)-head-tailN)
+		for i := len(c.Events) - tailN; i < len(c.Events); i++ {
+			printRow(i)
+		}
+	}
+
+	// Violations, union of both sides (each side judges the same
+	// schedule, so positions are directly comparable).
+	type key struct {
+		prop, detail string
+		pos          int
+	}
+	seen := map[key]string{}
+	var order []key
+	for side, vs := range map[string][]mergeViolation{"client": c.Violations, "server": s.Violations} {
+		for _, v := range vs {
+			k := key{v.Property, v.Detail, v.Pos}
+			if prev, ok := seen[k]; ok {
+				seen[k] = "both"
+				_ = prev
+				continue
+			}
+			seen[k] = side
+			order = append(order, k)
+		}
+	}
+	for _, k := range order {
+		fmt.Fprintf(out, "  violation at event %d (%s): %s — %s\n", k.pos, seen[k], k.prop, k.detail)
+		if renderMSC {
+			start := k.pos - 16
+			if start < 0 {
+				start = 0
+			}
+			end := k.pos
+			if end > len(schedule) {
+				end = len(schedule)
+			}
+			fmt.Fprint(out, msc.Render(schedule[start:end], msc.Options{
+				Annotate: func(i int, _ ioa.Action) string {
+					ev := c.Events[start+i]
+					return fmt.Sprintf("%s/%d", ev.Origin, ev.K)
+				},
+			}))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// liveTracePair runs one real TCP session with both endpoints tracing
+// and returns the two trace paths — exactly what `loadgen -trace` and
+// `dlserve -trace` produce.
+func liveTracePair(t *testing.T, msgs int) (client, server string) {
+	t.Helper()
+	dir := t.TempDir()
+	client = filepath.Join(dir, "client.jsonl")
+	server = filepath.Join(dir, "server.jsonl")
+	serverTrace, err := obs.OpenTrace(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientTrace, err := obs.OpenTrace(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- transport.Serve(ln, transport.ServerConfig{
+			Resolve: protocol.ByName, MaxSessions: 1, Trace: serverTrace,
+		})
+	}()
+	p, err := protocol.ByName("gbn", 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.Dial(ln.Addr().String(), transport.ClientConfig{
+		Protocol: p, ProtoName: "gbn", N: 8, W: 3, FIFO: true,
+		Msgs: msgs, Timeout: 20 * time.Second,
+		Trace: clientTrace, Session: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := clientTrace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := serverTrace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+// TestMergeLiveTraces joins a real client/server trace pair into one
+// causally-ordered timeline: the sessions match, every merged row
+// carries both sides' local timestamps, and the verdicts line reports
+// both seals.
+func TestMergeLiveTraces(t *testing.T) {
+	client, server := liveTracePair(t, 12)
+	var out bytes.Buffer
+	if err := mergeReport(client, server, false, &out); err != nil {
+		t.Fatalf("mergeReport: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"merge:",
+		"session gbn n=8 w=3 fifo=true (client #1 ↔ server #1)",
+		"merged events",
+		"origins agree",
+		"verdicts: client DL^{t,r}: OK",
+		"timeline (client order",
+		" t/0 ",
+		" r/0 ",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("merge output missing %q:\n%s", frag, s)
+		}
+	}
+	if strings.Contains(s, "violation at event") {
+		t.Errorf("clean run reported a violation:\n%s", s)
+	}
+	// Every timeline row must show a server-side timestamp except the
+	// client's post-Bye local tail.
+	inTimeline := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "timeline (") {
+			inTimeline = true
+			continue
+		}
+		if inTimeline && strings.Contains(line, " t/") && strings.Contains(line, "—") {
+			// client-local tail rows are the only ones without a server time
+			if !strings.Contains(s, "client-local tail") {
+				t.Errorf("unmatched timeline row without a tail note: %q", line)
+			}
+		}
+	}
+}
+
+// synthTrace writes a hand-built session trace — the violating pair the
+// live TCP path cannot produce without a faulty link.
+func synthTrace(t *testing.T, path, side string, station ioa.Station, session int64,
+	events []ioa.Action, origins []ioa.Station, violationAt int, verdict string, clean bool) {
+	t.Helper()
+	tr, err := obs.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("transport.session",
+		obs.Int("session", session), obs.Str("side", side), obs.Str("station", string(station)),
+		obs.Str("proto", "abp"), obs.Int("n", 2), obs.Int("w", 1), obs.Bool("fifo", true))
+	k := map[ioa.Station]int64{}
+	for i, a := range events {
+		if i == violationAt {
+			tr.Emit("transport.violation",
+				obs.Int("session", session),
+				obs.Str("property", "DL2"), obs.Str("detail", "m1 delivered twice"))
+		}
+		o := origins[i]
+		tr.Emit("transport.event",
+			obs.Int("session", session), obs.Str("origin", string(o)),
+			obs.Int("k", k[o]), obs.JSON("action", a))
+		k[o]++
+	}
+	if violationAt == len(events) {
+		tr.Emit("transport.violation",
+			obs.Int("session", session),
+			obs.Str("property", "DL2"), obs.Str("detail", "m1 delivered twice"))
+	}
+	tr.Emit("transport.seal",
+		obs.Int("session", session), obs.Str("verdict", verdict),
+		obs.Bool("clean", clean), obs.Int("delivered", 2))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeViolationMSC merges a synthesized violating pair and expects
+// the violation at its causal position plus, with -msc, a single
+// two-sided chart of the schedule leading up to it, annotated with the
+// (origin, k) merge keys.
+func TestMergeViolationMSC(t *testing.T) {
+	dir := t.TempDir()
+	client := filepath.Join(dir, "client.jsonl")
+	server := filepath.Join(dir, "server.jsonl")
+	pkt := ioa.Packet{ID: 1, Payload: "m1"}
+	events := []ioa.Action{
+		ioa.SendMsg(ioa.TR, "m1"),
+		ioa.SendPkt(ioa.TR, pkt),
+		ioa.ReceivePkt(ioa.TR, pkt),
+		ioa.ReceiveMsg(ioa.TR, "m1"),
+		ioa.ReceiveMsg(ioa.TR, "m1"), // duplicate delivery
+	}
+	origins := []ioa.Station{ioa.T, ioa.T, ioa.R, ioa.R, ioa.R}
+	synthTrace(t, client, "client", ioa.T, 1, events, origins, 5, "DL2: duplicate", false)
+	synthTrace(t, server, "server", ioa.R, 1, events, origins, 5, "DL2: duplicate", false)
+
+	var out bytes.Buffer
+	if err := mergeReport(client, server, true, &out); err != nil {
+		t.Fatalf("mergeReport: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"violation at event 5 (both): DL2 — m1 delivered twice",
+		"[t/0]", // msc annotation uses the merge key
+		"[r/2]",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("merge output missing %q:\n%s", frag, s)
+		}
+	}
+	if n := strings.Count(s, "violation at event"); n != 1 {
+		t.Errorf("both-sides violation deduplicated to %d lines, want 1:\n%s", n, s)
+	}
+}
+
+// TestMergeRejectsMismatch: traces of different sessions must not pair.
+func TestMergeRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	client := filepath.Join(dir, "client.jsonl")
+	server := filepath.Join(dir, "server.jsonl")
+	events := []ioa.Action{ioa.SendMsg(ioa.TR, "m1")}
+	origins := []ioa.Station{ioa.T}
+	other := []ioa.Action{ioa.SendMsg(ioa.TR, "m2")}
+	synthTrace(t, client, "client", ioa.T, 1, events, origins, -1, "OK", true)
+	synthTrace(t, server, "server", ioa.R, 1, other, origins, -1, "OK", true)
+	var out bytes.Buffer
+	if err := mergeReport(client, server, false, &out); err == nil ||
+		!strings.Contains(err.Error(), "no server session matches") {
+		t.Fatalf("mismatched traces merged: %v\n%s", err, out.String())
+	}
+}
+
+// TestMergeRejectsSwappedArgs: handing the server trace as the client
+// argument is a usage error, not a silent empty merge.
+func TestMergeRejectsSwappedArgs(t *testing.T) {
+	client, server := liveTracePair(t, 3)
+	var out bytes.Buffer
+	if err := mergeReport(server, client, false, &out); err == nil ||
+		!strings.Contains(err.Error(), "no client-side transport sessions") {
+		t.Fatalf("swapped arguments accepted: %v", err)
+	}
+}
+
+// TestParseSessionsRejectsGappedK: a trace whose per-origin indices skip
+// is corrupt — the merge key's integrity check must catch it.
+func TestParseSessionsRejectsGappedK(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	tr, err := obs.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("transport.session",
+		obs.Int("session", 1), obs.Str("side", "client"), obs.Str("station", "t"),
+		obs.Str("proto", "abp"), obs.Int("n", 2), obs.Int("w", 1), obs.Bool("fifo", true))
+	tr.Emit("transport.event",
+		obs.Int("session", 1), obs.Str("origin", "t"), obs.Int("k", 1),
+		obs.JSON("action", ioa.SendMsg(ioa.TR, "m1")))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := parseSessions(f, path); err == nil || !strings.Contains(err.Error(), "want 0") {
+		t.Fatalf("gapped k accepted: %v", err)
+	}
+}

@@ -25,7 +25,9 @@
 // which still exits 1. With -trace the
 // sweep emits a JSONL event stream (see internal/obs and cmd/obsreport);
 // with -metrics the final counter/gauge/histogram snapshot is written as
-// JSON ("-" for stderr). Neither influences the summary, which stays
+// JSON ("-" for stderr); with -snapshot-every the trace also carries
+// periodic metrics-snapshot events that obsreport renders as a
+// per-interval table. None of these influence the summary, which stays
 // byte-identical for equal configurations. Long sweeps print a throttled
 // progress line on stderr either way.
 package main
@@ -113,6 +115,7 @@ func run(args []string, out io.Writer) (int, error) {
 		maxExt  = fs.Int("maxext", 20000, "fair-extension step budget per walk")
 		trace   = fs.String("trace", "", "write a JSONL trace of the sweep to this file")
 		metrics = fs.String("metrics", "", "write the final metrics snapshot JSON to this file (\"-\": stderr)")
+		every   = fs.Duration("snapshot-every", 0, "emit metrics-snapshot trace events at this interval (needs -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -130,7 +133,7 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, err
 	}
 	var reg *obs.Registry
-	if *metrics != "" {
+	if *metrics != "" || *every > 0 {
 		reg = obs.NewRegistry()
 	}
 	var tr *obs.Trace
@@ -141,6 +144,8 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		defer tr.Close()
 	}
+	tick := obs.StartTicker(reg, tr, *every)
+	defer tick.Stop()
 	// SIGINT/SIGTERM stop the sweep gracefully: in-flight walks finish,
 	// the partial summary is printed and the obs artifacts below are
 	// flushed instead of lost with the buffered data.
@@ -172,10 +177,13 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	tick.Stop() // quiesce the snapshot stream before the terminal metrics event
 	if reg != nil {
 		tr.Emit("metrics", obs.JSON("snapshot", reg.Snapshot()))
-		if err := writeMetrics(*metrics, reg.Snapshot()); err != nil {
-			return 2, err
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, reg.Snapshot()); err != nil {
+				return 2, err
+			}
 		}
 	}
 	if tr != nil {

@@ -161,3 +161,42 @@ func TestUnknownFlagsAndValues(t *testing.T) {
 		t.Fatal("unknown fault accepted")
 	}
 }
+
+// TestSnapshotStreaming: -snapshot-every alone provisions a registry and
+// streams metrics-snapshot events into the trace; the summary stays
+// byte-identical and no metrics file is involved.
+func TestSnapshotStreaming(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{"-protocols", "abp", "-faults", "loss", "-seeds", "12",
+		"-steps", "300", "-workers", "2", "-trace", tracePath, "-snapshot-every", "1ms"}
+	var out bytes.Buffer
+	code, err := run(args, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; summary:\n%s", code, out.String())
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	var v obs.Validator
+	events := map[string]int{}
+	sc := bufio.NewScanner(tf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatalf("trace line invalid: %v", err)
+		}
+		events[event]++
+	}
+	if events["metrics-snapshot"] == 0 {
+		t.Errorf("no metrics-snapshot events streamed: %v", events)
+	}
+	if events["metrics"] != 1 {
+		t.Errorf("terminal metrics event count = %d, want 1: %v", events["metrics"], events)
+	}
+}

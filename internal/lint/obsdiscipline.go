@@ -20,6 +20,13 @@ import (
 //     statements before the guard plus the guard's body — must not
 //     allocate (make/new/&T{}/append/fmt.*), or "observability off"
 //     stops being free.
+//
+//  3. HTTP handlers are per-request paths: an admin endpoint is scraped
+//     continuously, so a registry lookup inside a handler (any function
+//     or literal with the func(http.ResponseWriter, *http.Request)
+//     shape) pays the registry mutex on every scrape and contends with
+//     the hot paths it observes. Handlers must close over pre-resolved
+//     handles or read a Snapshot() instead.
 var ObsDiscipline = &Analyzer{
 	Name: "obsdiscipline",
 	Doc:  "obs handle resolution in loops; allocations on the nil-receiver disabled path",
@@ -36,6 +43,7 @@ func runObsDiscipline(p *Package) []Diagnostic {
 				continue
 			}
 			diags = append(diags, checkRegistryLookups(p, fd)...)
+			diags = append(diags, checkHandlerLookups(p, fd)...)
 			// The disabled-path rule is about the instrument package's own
 			// nil-receiver no-ops; other packages use nil guards for
 			// unrelated (and legitimately allocating) error paths.
@@ -129,6 +137,55 @@ func checkRegistryLookups(p *Package, fd *ast.FuncDecl) []Diagnostic {
 		})
 	}
 	walk(fd.Body, nil)
+	return diags
+}
+
+// isHTTPHandlerSig reports whether sig has the standard handler shape
+// func(http.ResponseWriter, *http.Request).
+func isHTTPHandlerSig(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	if !isNamedType(sig.Params().At(0).Type(), "net/http", "ResponseWriter") {
+		return false
+	}
+	ptr, ok := sig.Params().At(1).Type().(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), "net/http", "Request")
+}
+
+// checkHandlerLookups flags registry handle resolution anywhere inside
+// an HTTP handler — declaration or literal — loop or not: handlers run
+// per request.
+func checkHandlerLookups(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	flagLookups := func(body ast.Node) {
+		ast.Inspect(body, func(nd ast.Node) bool {
+			if call, ok := nd.(*ast.CallExpr); ok && p.isRegistryLookup(call) {
+				diags = append(diags, p.diag("obsdiscipline", call,
+					"obs handle resolved inside an HTTP handler: %s takes the registry mutex per request; resolve the handle at mux setup and close over it (or serve a Snapshot)", callName(call)))
+			}
+			return true
+		})
+	}
+	if obj := p.Info.Defs[fd.Name]; obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok && isHTTPHandlerSig(sig) {
+			flagLookups(fd.Body)
+			return diags
+		}
+	}
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		lit, ok := nd.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[lit]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok && isHTTPHandlerSig(sig) {
+				flagLookups(lit.Body)
+				return false
+			}
+		}
+		return true
+	})
 	return diags
 }
 

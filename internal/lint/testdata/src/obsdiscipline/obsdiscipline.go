@@ -1,9 +1,10 @@
-// Package odtest seeds obsdiscipline loop-lookup violations against the
-// real obs.Registry type.
+// Package odtest seeds obsdiscipline loop-lookup and HTTP-handler
+// violations against the real obs.Registry type.
 package odtest
 
 import (
 	"fmt"
+	"net/http"
 
 	"repro/internal/obs"
 )
@@ -36,4 +37,33 @@ func setupIdiom(reg *obs.Registry, n int) []*obs.Counter {
 		out[i] = reg.Counter(fmt.Sprintf("w.%d", i))
 	}
 	return out
+}
+
+// admin is a handler-carrying type for the per-request rule.
+type admin struct {
+	reg  *obs.Registry
+	hits *obs.Counter
+}
+
+// ServeHTTP is a per-request path: resolving the handle here pays the
+// registry mutex on every scrape.
+func (a *admin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.reg.Counter("admin.hits").Inc() // want "obs handle resolved inside an HTTP handler"
+}
+
+// handleFuncLookup: the same violation in a plain handler function.
+func handleFuncLookup(reg *obs.Registry) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg.Gauge("admin.inflight").Set(1) // want "obs handle resolved inside an HTTP handler"
+	}
+}
+
+// registerHandlers shows the sanctioned idiom: resolve at mux setup,
+// close over the handle.
+func registerHandlers(mux *http.ServeMux, a *admin) {
+	hits := a.reg.Counter("admin.hits")
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		hits.Inc()
+		a.hits.Inc()
+	})
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The admin endpoint is the live window into a running registry: where
+// -metrics renders one snapshot at exit, the admin mux serves
+// Registry.Snapshot() on demand, so a long-running server under heavy
+// load can be scraped mid-flight. Everything here is stdlib-only and
+// costs nothing unless a caller actually builds and starts it — the
+// serving hot paths never see the admin plane, they share only the
+// atomic instruments, which Snapshot reads without tearing.
+//
+// Handlers must not resolve registry handles per request (the
+// obsdiscipline analyzer flags reg.Counter/Gauge/Histogram inside HTTP
+// handlers): they read whole snapshots, or handles resolved at mux
+// construction.
+
+// AdminMux returns a mux serving the standard admin surface:
+//
+//	/metrics             stable text rendering of Registry.Snapshot()
+//	/metrics?format=json the JSON rendering (Snapshot.WriteJSON)
+//	/debug/pprof/...     the stdlib profiler endpoints
+//
+// Callers register their own process-specific handlers (e.g. /healthz,
+// /sessions) on the returned mux before starting the server.
+func AdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := snap.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := snap.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a background HTTP server bound to the admin mux.
+type AdminServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error
+	once sync.Once
+}
+
+// StartAdmin binds addr (port 0 picks an ephemeral port) and serves h
+// in the background. The returned server reports its bound address via
+// Addr; Close shuts the listener down and waits for the serve loop.
+func StartAdmin(addr string, h http.Handler) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen: %w", err)
+	}
+	a := &AdminServer{ln: ln, srv: &http.Server{Handler: h}, done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		if err := a.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			a.err = err
+		}
+	}()
+	return a, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43671".
+func (a *AdminServer) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops accepting, closes the listener and waits for the serve
+// loop to exit; it is idempotent. The nil server is a valid no-op.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	a.once.Do(func() {
+		a.srv.Close()
+		<-a.done
+	})
+	return a.err
+}

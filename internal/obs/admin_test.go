@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("transport.msgs_delivered").Add(42)
+	reg.Gauge("transport.link_in_transit").Set(3)
+	reg.Histogram("transport.delivery_latency", ExpBuckets(1, 2, 8)).Observe(5)
+
+	srv, err := StartAdmin("127.0.0.1:0", AdminMux(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, text := adminGet(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# counters", "transport.msgs_delivered 42",
+		"# gauges", "transport.link_in_transit 3",
+		"# histograms", "transport.delivery_latency count=1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	code, body := adminGet(t, "http://"+srv.Addr()+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("JSON rendering does not parse: %v\n%s", err, body)
+	}
+	if got := snap.Counter("transport.msgs_delivered"); got != 42 {
+		t.Errorf("JSON snapshot counter = %d, want 42", got)
+	}
+
+	code, _ = adminGet(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	var nilSrv *AdminServer
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Error("nil AdminServer must be a no-op")
+	}
+}

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -33,6 +35,7 @@ type HistogramSnapshot struct {
 	Mean     float64  `json:"mean"`
 	P50      int64    `json:"p50"`
 	P90      int64    `json:"p90"`
+	P95      int64    `json:"p95"`
 	P99      int64    `json:"p99"`
 	Buckets  []Bucket `json:"buckets,omitempty"`
 	Overflow int64    `json:"overflow,omitempty"`
@@ -47,9 +50,14 @@ type Snapshot struct {
 }
 
 // Snapshot captures every instrument's current value. A nil registry
-// yields the zero snapshot. Concurrent writers may race individual
-// reads (each value is still atomically read), so snapshots taken after
-// the instrumented run finishes are exact.
+// yields the zero snapshot. Snapshot is safe to call while instruments
+// are hot — every value is read atomically, so a live scrape (the admin
+// endpoint, the snapshot ticker) never tears an individual counter or
+// bucket. Values written concurrently with the scrape land in this
+// snapshot or the next; because instruments only grow, a histogram's
+// bucket counts (read after the total) can sum to slightly more than
+// Count, never less. Snapshots taken after the instrumented run
+// finishes are exact.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
@@ -71,6 +79,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Sum:   h.Sum(),
 			P50:   h.Quantile(0.50),
 			P90:   h.Quantile(0.90),
+			P95:   h.Quantile(0.95),
 			P99:   h.Quantile(0.99),
 		}
 		if hs.Count > 0 {
@@ -126,4 +135,41 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	}
 	_, err = w.Write(append(blob, '\n'))
 	return err
+}
+
+// WriteText writes the snapshot in the stable line-oriented text format
+// the admin endpoint's /metrics serves:
+//
+//	# counters
+//	<name> <value>
+//	# gauges
+//	<name> <value>
+//	# histograms
+//	<name> count=<n> sum=<s> mean=<m> p50=<q> p90=<q> p95=<q> p99=<q>
+//
+// Sections with no instruments are omitted; names are sorted (Snapshot
+// already sorts them), so the rendering is deterministic and grep- and
+// diff-friendly for scrape scripts.
+func (s Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(bw, "# counters")
+		for _, c := range s.Counters {
+			fmt.Fprintf(bw, "%s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(bw, "# gauges")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(bw, "%s %d\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(bw, "# histograms")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(bw, "%s count=%d sum=%d mean=%.1f p50=%d p90=%d p95=%d p99=%d\n",
+				h.Name, h.Count, h.Sum, h.Mean, h.P50, h.P90, h.P95, h.P99)
+		}
+	}
+	return bw.Flush()
 }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Ticker turns the one-shot metrics snapshot into a time series: at a
+// fixed interval it captures the registry and emits the snapshot as a
+// `metrics-snapshot` trace event, so a long-running process's trace
+// carries periodic {"seq":…,"event":"metrics-snapshot","t_us":…,
+// "interval_ms":…,"snapshot":{…}} lines that cmd/obsreport renders as a
+// per-interval table (throughput deltas, latency quantiles).
+//
+// The ticker follows the package's zero-cost contract: StartTicker
+// returns nil — a valid no-op whose Stop does nothing — unless both a
+// registry and a trace are attached and the interval is positive, so
+// callers wire it unconditionally. A running ticker costs one snapshot
+// per interval and nothing on any engine hot path.
+type Ticker struct {
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+	// ticks counts emitted snapshots (tests observe it via Stop).
+	mu    sync.Mutex
+	ticks int
+}
+
+// StartTicker begins emitting metrics-snapshot events on tr every
+// interval. It returns nil (a no-op) when reg or tr is nil or the
+// interval is not positive.
+func StartTicker(reg *Registry, tr *Trace, every time.Duration) *Ticker {
+	if reg == nil || tr == nil || every <= 0 {
+		return nil
+	}
+	t := &Ticker{stop: make(chan struct{})}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.emit(tr, reg, every)
+			}
+		}
+	}()
+	return t
+}
+
+func (t *Ticker) emit(tr *Trace, reg *Registry, every time.Duration) {
+	tr.Emit("metrics-snapshot",
+		Int("interval_ms", every.Milliseconds()),
+		JSON("snapshot", reg.Snapshot()))
+	t.mu.Lock()
+	t.ticks++
+	t.mu.Unlock()
+}
+
+// Stop halts the ticker and waits for any in-flight emit to finish, so
+// the caller may close the trace immediately after. It returns how many
+// snapshots were emitted; the nil ticker reports zero, and repeated
+// stops are no-ops (callers pair a deferred Stop with an explicit one).
+func (t *Ticker) Stop() int {
+	if t == nil {
+		return 0
+	}
+	t.once.Do(func() { close(t.stop) })
+	t.wg.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ticks
+}

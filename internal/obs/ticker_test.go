@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTickerEmitsValidatingSnapshots runs a real ticker against a hot
+// registry and checks the produced trace validates and carries parseable
+// metrics-snapshot events whose counter values are monotone.
+func TestTickerEmitsValidatingSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x.count")
+	h := reg.Histogram("x.lat", ExpBuckets(1, 2, 10))
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+
+	tk := StartTicker(reg, tr, time.Millisecond)
+	if tk == nil {
+		t.Fatal("StartTicker returned nil for live inputs")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		c.Inc()
+		h.Observe(int64(i % 32))
+		tk.mu.Lock()
+		n := tk.ticks
+		tk.mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker produced fewer than 3 snapshots in 5s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := tk.Stop(); got < 3 {
+		t.Fatalf("Stop reported %d ticks, want >= 3", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var v Validator
+	var last int64 = -1
+	snaps := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		event, err := v.Line(sc.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if event != "metrics-snapshot" {
+			t.Fatalf("unexpected event %q", event)
+		}
+		var line struct {
+			IntervalMS int64    `json:"interval_ms"`
+			Snapshot   Snapshot `json:"snapshot"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.IntervalMS != 1 {
+			t.Fatalf("interval_ms = %d, want 1", line.IntervalMS)
+		}
+		if got := line.Snapshot.Counter("x.count"); got < last {
+			t.Fatalf("counter went backwards across snapshots: %d then %d", last, got)
+		} else {
+			last = got
+		}
+		snaps++
+	}
+	if snaps < 3 {
+		t.Fatalf("trace carries %d snapshots, want >= 3", snaps)
+	}
+}
+
+// TestTickerNoOpModes pins the zero-cost contract: any missing input
+// yields a nil ticker whose Stop is a safe no-op.
+func TestTickerNoOpModes(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace(&strings.Builder{})
+	for name, tk := range map[string]*Ticker{
+		"nil registry": StartTicker(nil, tr, time.Millisecond),
+		"nil trace":    StartTicker(reg, nil, time.Millisecond),
+		"zero period":  StartTicker(reg, tr, 0),
+		"nil ticker":   nil,
+	} {
+		if tk != nil {
+			t.Errorf("%s: want nil ticker", name)
+		}
+		if got := tk.Stop(); got != 0 {
+			t.Errorf("%s: nil Stop reported %d ticks", name, got)
+		}
+	}
+}

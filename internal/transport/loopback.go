@@ -282,10 +282,12 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackResult, error) {
 		res.Violations = append(res.Violations, v)
 	})
 
+	spans := newSpanTracker(cfg.Registry != nil, &ins)
 	emit := func(a ioa.Action) {
 		if cfg.KeepLog {
 			res.Log = append(res.Log, a)
 		}
+		spans.observe(a)
 		mons.Observe(a)
 	}
 

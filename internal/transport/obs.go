@@ -23,18 +23,23 @@ import (
 //	transport.monitor_violations  counter   online-monitor violations signalled
 //	transport.link_in_transit     gauge     frames pending in the loopback link
 //	                                        (high-water mark)
+//	transport.delivery_latency    histogram send_msg → receive_msg span, µs
+//	transport.retransmits_per_msg histogram extra payload transmissions per
+//	                                        delivered message (sends − 1)
 type instruments struct {
-	msgsSent       *obs.Counter
-	msgsDelivered  *obs.Counter
-	framesSent     *obs.Counter
-	framesReceived *obs.Counter
-	bytesSent      *obs.Counter
-	bytesReceived  *obs.Counter
-	frameSize      *obs.Histogram
-	decodeErrors   *obs.Counter
-	faultsInjected *obs.Counter
-	violations     *obs.Counter
-	inTransit      *obs.Gauge
+	msgsSent          *obs.Counter
+	msgsDelivered     *obs.Counter
+	framesSent        *obs.Counter
+	framesReceived    *obs.Counter
+	bytesSent         *obs.Counter
+	bytesReceived     *obs.Counter
+	frameSize         *obs.Histogram
+	decodeErrors      *obs.Counter
+	faultsInjected    *obs.Counter
+	violations        *obs.Counter
+	inTransit         *obs.Gauge
+	deliveryLatency   *obs.Histogram
+	retransmitsPerMsg *obs.Histogram
 }
 
 // newInstruments resolves the handle set; reg may be nil (disabled).
@@ -51,6 +56,9 @@ func newInstruments(reg *obs.Registry) instruments {
 		faultsInjected: reg.Counter("transport.faults_injected"),
 		violations:     reg.Counter("transport.monitor_violations"),
 		inTransit:      reg.Gauge("transport.link_in_transit"),
+		// Latency spans from 1µs to ~16s; retransmit counts 0..15 linear.
+		deliveryLatency:   reg.Histogram("transport.delivery_latency", obs.ExpBuckets(1, 2, 24)),
+		retransmitsPerMsg: reg.Histogram("transport.retransmits_per_msg", obs.LinearBuckets(0, 1, 16)),
 	}
 }
 

@@ -37,12 +37,21 @@ import (
 
 // SessionSummary reports one served session.
 type SessionSummary struct {
+	// ID numbers the session within one Serve call, 1-based; it also
+	// tags the session's trace events.
+	ID        int64
 	Remote    string
 	Proto     string
 	N, W      int
 	FIFO      bool
 	Delivered int
 	Verdicts  VerdictSet
+	// Violations counts online-monitor signals during the session.
+	Violations int
+	// FramesIn and FramesOut count wire frames each way.
+	FramesIn, FramesOut int
+	// Duration is wall time from accept to session end.
+	Duration time.Duration
 	// Err reports a harness failure (bad hello, broken peer, I/O);
 	// specification violations live in Verdicts instead.
 	Err error
@@ -55,6 +64,9 @@ type ServerConfig struct {
 	Resolve func(name string, n, w int) (core.Protocol, error)
 	// Registry receives the transport metrics; nil disables them.
 	Registry *obs.Registry
+	// Trace, when set, receives each session's transport.* trace events
+	// (the server's causal linearization of the global schedule).
+	Trace *obs.Trace
 	// OnSession, when set, observes each completed session.
 	OnSession func(SessionSummary)
 	// MaxSessions, when positive, closes the listener and returns from
@@ -84,6 +96,7 @@ func Serve(ln net.Listener, cfg ServerConfig) error {
 		}
 	}
 	defer closeLn()
+	var nextID int64
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -96,10 +109,12 @@ func Serve(ln net.Listener, cfg ServerConfig) error {
 			}
 			return err
 		}
+		nextID++
+		id := nextID
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sum := serveConn(conn, cfg)
+			sum := serveConn(conn, cfg, id)
 			if cfg.OnSession != nil {
 				cfg.OnSession(sum)
 			}
@@ -119,9 +134,12 @@ func Serve(ln net.Listener, cfg ServerConfig) error {
 // serveConn runs one receiver session. It is single-threaded: every
 // state change is driven by the inbound frame stream, so no lock is
 // needed; TCP's ordering does the serialisation.
-func serveConn(conn net.Conn, cfg ServerConfig) SessionSummary {
+func serveConn(conn net.Conn, cfg ServerConfig, id int64) (sum SessionSummary) {
 	defer conn.Close()
-	sum := SessionSummary{Remote: conn.RemoteAddr().String()}
+	started := time.Now()
+	sum = SessionSummary{ID: id, Remote: conn.RemoteAddr().String()}
+	// Named return: the deferred stamp must land in the returned value.
+	defer func() { sum.Duration = time.Since(started) }()
 	timeout := cfg.SessionTimeout
 	if timeout <= 0 {
 		timeout = 60 * time.Second
@@ -130,9 +148,9 @@ func serveConn(conn net.Conn, cfg ServerConfig) SessionSummary {
 
 	ins := newInstruments(cfg.Registry)
 	fr := NewFrameReader(conn)
-	fr.OnFrame = ins.frameReceived
+	fr.OnFrame = func(n int) { ins.frameReceived(n); sum.FramesIn++ }
 	fw := NewFrameWriter(conn)
-	fw.OnFrame = ins.frameSent
+	fw.OnFrame = func(n int) { ins.frameSent(n); sum.FramesOut++ }
 
 	hello, err := fr.Next()
 	if err != nil || hello.Type != FrameHello {
@@ -149,10 +167,19 @@ func serveConn(conn net.Conn, cfg ServerConfig) SessionSummary {
 		sum.Err = err
 		return sum
 	}
+	tracer := newSessionTracer(cfg.Trace, "server", ioa.R, id)
+	tracer.hello(hello.Proto, hello.N, hello.W, hello.FIFO)
+	spans := newSpanTracker(cfg.Registry != nil, &ins)
 
-	mons := NewMonitors(hello.FIFO, true, func(spec.Violation) { ins.violations.Inc() })
+	mons := NewMonitors(hello.FIFO, true, func(v spec.Violation) {
+		ins.violations.Inc()
+		sum.Violations++
+		tracer.violation(v)
+	})
 	var writeErr error
 	emit := func(a ioa.Action) {
+		spans.observe(a)
+		tracer.event(true, a)
 		mons.Observe(a)
 		if err := fw.Write(Frame{Type: FrameEvent, Action: a}); err != nil && writeErr == nil {
 			writeErr = err
@@ -203,10 +230,13 @@ func serveConn(conn net.Conn, cfg ServerConfig) SessionSummary {
 		case FrameEvent:
 			// The client's mirror of one of its local events: merge it
 			// into the monitor stream, apply nothing.
+			spans.observe(f.Action)
+			tracer.event(false, f.Action)
 			mons.Observe(f.Action)
 			continue
 		case FrameBye:
 			sum.Verdicts = mons.Seal()
+			tracer.seal(sum.Verdicts, sum.Delivered)
 			if err := fw.Write(Frame{Type: FrameBye}); err != nil && writeErr == nil {
 				writeErr = err
 			}
@@ -247,6 +277,12 @@ type ClientConfig struct {
 	Retransmit time.Duration
 	// Registry receives the transport metrics; nil disables them.
 	Registry *obs.Registry
+	// Trace, when set, receives the session's transport.* trace events
+	// (the client's causal linearization of the global schedule).
+	Trace *obs.Trace
+	// Session tags this session's trace events; a client trace holds one
+	// session, so zero is the usual value.
+	Session int64
 	// KeepLog retains the merged global schedule in the result.
 	KeepLog bool
 }
@@ -304,6 +340,9 @@ func RunClient(conn net.Conn, cfg ClientConfig) (*ClientResult, error) {
 	if echo != hello {
 		return nil, fmt.Errorf("transport: hello echo mismatch: %+v", echo)
 	}
+	tracer := newSessionTracer(cfg.Trace, "client", ioa.T, cfg.Session)
+	tracer.hello(cfg.ProtoName, cfg.N, cfg.W, cfg.FIFO)
+	spans := newSpanTracker(cfg.Registry != nil, &ins)
 
 	res := &ClientResult{}
 	var (
@@ -323,15 +362,18 @@ func RunClient(conn net.Conn, cfg ClientConfig) (*ClientResult, error) {
 	mons := NewMonitors(cfg.FIFO, true, func(v spec.Violation) {
 		ins.violations.Inc()
 		res.Violations = append(res.Violations, v)
+		tracer.violation(v)
 	})
-	observe := func(a ioa.Action) {
+	observe := func(local bool, a ioa.Action) {
 		if cfg.KeepLog {
 			res.Log = append(res.Log, a)
 		}
+		spans.observe(a)
+		tracer.event(local, a)
 		mons.Observe(a)
 	}
 	emit := func(a ioa.Action) {
-		observe(a)
+		observe(true, a)
 		if closing {
 			// The session is sealed on the server's side; anything we
 			// applied after our Bye stays local.
@@ -384,7 +426,7 @@ func RunClient(conn net.Conn, cfg ClientConfig) (*ClientResult, error) {
 			}
 			switch f.Type {
 			case FrameEvent:
-				observe(f.Action)
+				observe(false, f.Action)
 				if f.Action.Kind == ioa.KindReceiveMsg {
 					res.Delivered = append(res.Delivered, f.Action.Msg)
 					ins.msgsDelivered.Inc()
@@ -481,6 +523,7 @@ func RunClient(conn net.Conn, cfg ClientConfig) (*ClientResult, error) {
 		}
 	}
 	res.Verdicts = mons.Seal()
+	tracer.seal(res.Verdicts, len(res.Delivered))
 	finished = true
 	return res, sessionErr
 }

@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// sessionTracer streams a session's observed event sequence — its
+// causal linearization of the global schedule — as JSONL trace events,
+// so two endpoints' traces can be joined offline into one timeline
+// (obsreport -merge). Event vocabulary:
+//
+//	transport.session    session open: side, station, proto, n, w, fifo
+//	transport.event      one observed action: origin station, that
+//	                     origin's event index k, and the action itself
+//	transport.violation  an online monitor signalled: property, detail
+//	transport.seal       session sealed: verdict, clean, delivered count
+//
+// The (origin, k) pair is the merge key. Each side numbers its *local*
+// actions 0,1,2,… in application order, and numbers the peer's mirrored
+// actions by arrival order — which, because event frames are emitted
+// before any data frame they cause and TCP preserves order, equals the
+// peer's own local numbering. Two traces of the same session therefore
+// agree on (origin, k) → action, and each trace's line order is a
+// linear extension of the causal order; DESIGN.md §10 gives the
+// soundness argument. The nil tracer is a valid no-op, so sessions emit
+// unconditionally.
+type sessionTracer struct {
+	tr      *obs.Trace
+	side    string // "client" or "server"
+	session int64  // distinguishes concurrent sessions in one server trace
+	local   ioa.Station
+	localK  int64
+	peerK   int64
+}
+
+// newSessionTracer returns a tracer for one session, or nil (no-op)
+// when tr is nil. local is the station this side hosts.
+func newSessionTracer(tr *obs.Trace, side string, local ioa.Station, session int64) *sessionTracer {
+	if tr == nil {
+		return nil
+	}
+	return &sessionTracer{tr: tr, side: side, session: session, local: local}
+}
+
+// hello records the session parameters both sides agreed on.
+func (t *sessionTracer) hello(proto string, n, w int, fifo bool) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit("transport.session",
+		obs.Int("session", t.session),
+		obs.Str("side", t.side),
+		obs.Str("station", string(t.local)),
+		obs.Str("proto", proto),
+		obs.Int("n", int64(n)),
+		obs.Int("w", int64(w)),
+		obs.Bool("fifo", fifo))
+}
+
+// event records one observed action; local says whether this side
+// applied it or merged it from a peer mirror.
+func (t *sessionTracer) event(local bool, a ioa.Action) {
+	if t == nil {
+		return
+	}
+	origin := t.local
+	k := &t.localK
+	if !local {
+		origin = t.local.Other()
+		k = &t.peerK
+	}
+	t.tr.Emit("transport.event",
+		obs.Int("session", t.session),
+		obs.Str("origin", string(origin)),
+		obs.Int("k", *k),
+		obs.JSON("action", a))
+	*k++
+}
+
+// violation records an online monitor signal at its causal position.
+func (t *sessionTracer) violation(v spec.Violation) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit("transport.violation",
+		obs.Int("session", t.session),
+		obs.Str("property", string(v.Property)),
+		obs.Str("detail", v.Detail))
+}
+
+// seal records the sealed verdicts.
+func (t *sessionTracer) seal(v VerdictSet, delivered int) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit("transport.seal",
+		obs.Int("session", t.session),
+		obs.Str("verdict", v.String()),
+		obs.Bool("clean", v.Clean()),
+		obs.Int("delivered", int64(delivered)))
+}
