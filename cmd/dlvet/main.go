@@ -1,18 +1,30 @@
 // Command dlvet is the repository's domain-specific static analyzer. It
-// loads the module's packages and runs five analyzers that enforce the
-// paper's structural constraints (message-independence, the crashing
-// property) and the checker's soundness invariants (fingerprint
-// completeness, engine determinism, zero-cost disabled observability).
+// loads the module's packages once (one `go list -export` pass whose
+// export data feeds a cross-package fact store) and runs eight
+// analyzers that enforce the paper's structural constraints
+// (message-independence, the crashing property) and the engines'
+// soundness invariants (fingerprint completeness, engine determinism,
+// zero-cost disabled observability, Snapshot/Restore coverage,
+// exact/canonical fingerprint parity, strict wire decoding). When the
+// full analyzer set runs, a stale-suppression audit additionally flags
+// every lint:ignore/fp:ignore/snap:ignore/canon:ignore annotation that
+// no longer suppresses a live diagnostic.
 //
 // Usage:
 //
-//	dlvet [-json] [-analyzers list] [-dir path] [packages...]
+//	dlvet [-json] [-sarif file] [-audit=false] [-analyzers list] [-dir path] [packages...]
 //
-// With no package arguments, ./... is analyzed. The exit status is 0
-// when clean, 1 on a load/internal error, 2 on a usage error, and
+// With no package arguments, ./... is analyzed. The logical exit code
+// is 0 when clean, 1 on a load/internal error, 2 on a usage error, and
 // otherwise the OR of the failing analyzers' bits (fingerprint=4,
-// determinism=8, msgindep=16, obsdiscipline=32, crashreset=64), so CI
-// logs show which invariant class broke from the status alone.
+// determinism=8, msgindep=16, obsdiscipline=32, crashreset=64,
+// snapshotcoverage=128, canonparity=256, strictdecode=512, stale
+// suppressions=1024), so CI logs show which invariant class broke. Bits
+// above 255 do not fit a POSIX status byte: the process exits with
+// lint.ProcessStatus(code), which forces bit 128 on for any
+// overflowing code (never reading as success), prints the full code to
+// stderr when the two differ, and always reports it in -json output as
+// "exit_code".
 package main
 
 import (
@@ -31,14 +43,18 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dlvet", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
-	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics (schema: {diagnostics: [{analyzer, file, line, column, message}], count, exit_code})")
+	sarifOut := fs.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
+	audit := fs.Bool("audit", true, "audit suppression annotations for staleness (full analyzer set only)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all; subsetting disables the suppression audit)")
 	dir := fs.String("dir", ".", "directory inside the module to load packages from")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dlvet [-json] [-analyzers list] [-dir path] [packages...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: dlvet [-json] [-sarif file] [-audit=false] [-analyzers list] [-dir path] [packages...]\n\nanalyzers:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stderr, "  %-14s %s (exit bit %d)\n", a.Name, a.Doc, a.Bit)
+			fmt.Fprintf(os.Stderr, "  %-16s %s (exit bit %d)\n", a.Name, a.Doc, a.Bit)
 		}
+		fmt.Fprintf(os.Stderr, "  %-16s %s (exit bit %d; runs with the full set unless -audit=false)\n",
+			lint.AuditName, "suppression annotations must suppress a live diagnostic and carry a reason", lint.AuditBit)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +62,7 @@ func run(args []string) int {
 	}
 
 	analyzers := lint.All()
+	subset := false
 	if *names != "" {
 		var err error
 		analyzers, err = lint.ByName(*names)
@@ -54,6 +71,7 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "known analyzers: %s\n", analyzerNames())
 			return 2
 		}
+		subset = len(analyzers) < len(lint.All())
 	}
 
 	patterns := fs.Args()
@@ -73,6 +91,12 @@ func run(args []string) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
+	if *audit && !subset {
+		// The audit is only meaningful after the full set ran: under a
+		// subset, annotations for the analyzers that did not run would be
+		// indistinguishable from stale ones.
+		diags = append(diags, lint.AuditSuppressions(pkgs)...)
+	}
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, root, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "dlvet: %v\n", err)
@@ -81,7 +105,29 @@ func run(args []string) int {
 	} else {
 		lint.WriteText(os.Stdout, root, diags)
 	}
-	return lint.ExitCode(diags)
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlvet: %v\n", err)
+			return 1
+		}
+		if err := lint.WriteSARIF(f, root, diags); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "dlvet: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dlvet: %v\n", err)
+			return 1
+		}
+	}
+
+	code := lint.ExitCode(diags)
+	status := lint.ProcessStatus(code)
+	if status != code {
+		fmt.Fprintf(os.Stderr, "dlvet: logical exit code %d (process status %d; bits above 255 fold onto 128)\n", code, status)
+	}
+	return status
 }
 
 func analyzerNames() string {

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+
+	"go/types"
+)
+
+// CanonParity guards the symmetry quotient introduced with the
+// explorer's -symmetry flag: a type that implements both
+// AppendFingerprint (exact dedup) and AppendCanonFingerprint (dedup up
+// to packet-ID renaming) must fold the same receiver field set into
+// both encodings. A field present in the exact fingerprint but missing
+// from the canonical one makes the quotient coarser than the state
+// space — two states differing only in that field collapse onto one
+// canonical representative and the explorer silently merges
+// non-equivalent states, which is exactly the unsoundness the PR 6
+// symmetry reduction had to rule out. The converse gap makes the
+// quotient finer than intended, which is sound but defeats the
+// reduction, so it is flagged too.
+//
+// Fields that differ on purpose — the renaming section itself, where
+// the canonical encoding substitutes ioa.Canon indices for raw packet
+// IDs — carry a `// canon:ignore <reason>` comment on the field
+// declaration.
+var CanonParity = &Analyzer{
+	Name: "canonparity",
+	Doc:  "AppendFingerprint and AppendCanonFingerprint must fold the same field set",
+	Bit:  256,
+	Run:  runCanonParity,
+}
+
+func runCanonParity(p *Package, _ *Facts) []Diagnostic {
+	type methods struct {
+		plain, canon *ast.FuncDecl
+	}
+	byType := make(map[string]*methods)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			typeName := recvTypeName(fd.Recv.List[0].Type)
+			if typeName == "" {
+				continue
+			}
+			switch fd.Name.Name {
+			case "AppendFingerprint", "AppendCanonFingerprint":
+				if byType[typeName] == nil {
+					byType[typeName] = &methods{}
+				}
+				if fd.Name.Name == "AppendFingerprint" {
+					byType[typeName].plain = fd
+				} else {
+					byType[typeName].canon = fd
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(byType))
+	for n, m := range byType {
+		if m.plain != nil && m.canon != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var diags []Diagnostic
+	for _, typeName := range names {
+		m := byType[typeName]
+		diags = append(diags, checkCanonPair(p, typeName, m.plain, m.canon)...)
+	}
+	return diags
+}
+
+func checkCanonPair(p *Package, typeName string, plain, canon *ast.FuncDecl) []Diagnostic {
+	plainRefs, esc1 := receiverFieldRefs(p, plain)
+	canonRefs, esc2 := receiverFieldRefs(p, canon)
+	if esc1 || esc2 {
+		// The receiver escapes one of the bodies whole (delegation to a
+		// helper that encodes it wholesale); field-level comparison would
+		// be guesswork. Stay conservative.
+		return nil
+	}
+
+	// Compare only the receiver's own fields: both bodies also touch
+	// fields of nested values (pkt.ID vs a canon index), and those are
+	// the legitimate encoding difference, not a parity violation.
+	obj, ok := p.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	own := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		own[st.Field(i)] = true
+	}
+	for v := range plainRefs {
+		if !own[v] {
+			delete(plainRefs, v)
+		}
+	}
+	for v := range canonRefs {
+		if !own[v] {
+			delete(canonRefs, v)
+		}
+	}
+
+	decl := p.structDecl(typeName)
+	var diags []Diagnostic
+	flag := func(fieldName, present, absent string, missing *ast.FuncDecl, consequence string) {
+		node, comment, markerPos := fieldDeclOf(p, decl, fieldName, "canon:ignore")
+		if node == nil {
+			node = missing
+		}
+		if reason, found := markerReason(comment, "canon:ignore"); found {
+			if reason != "" {
+				p.useMarker(markerPos)
+				return
+			}
+			diags = append(diags, p.diag("canonparity", node,
+				"field %s.%s has a canon:ignore annotation without a reason; state why the field is encoded differently in %s and %s",
+				typeName, fieldName, present, absent))
+			return
+		}
+		diags = append(diags, p.diag("canonparity", node,
+			"field %s.%s is folded into %s but not %s: %s (encode it in both, or annotate `// canon:ignore <reason>`)",
+			typeName, fieldName, present, absent, consequence))
+	}
+
+	// Deterministic order: walk each side's refs sorted by field name.
+	for _, v := range sortedVars(plainRefs) {
+		if !canonRefs[v] {
+			flag(v.Name(), "AppendFingerprint", "AppendCanonFingerprint", canon,
+				"the symmetry quotient is coarser than the state space, so -symmetry can merge non-equivalent states")
+		}
+	}
+	for _, v := range sortedVars(canonRefs) {
+		if !plainRefs[v] {
+			flag(v.Name(), "AppendCanonFingerprint", "AppendFingerprint", plain,
+				"exact dedup collides states the canonical encoding distinguishes, so unreduced exploration can cut off reachable executions")
+		}
+	}
+	return diags
+}
+
+func sortedVars(set map[*types.Var]bool) []*types.Var {
+	vars := make([]*types.Var, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name() < vars[j].Name() })
+	return vars
+}

@@ -28,7 +28,7 @@ var CrashReset = &Analyzer{
 	Run:  runCrashReset,
 }
 
-func runCrashReset(p *Package) []Diagnostic {
+func runCrashReset(p *Package, _ *Facts) []Diagnostic {
 	if !pkgScope(p.Path, "protocol") {
 		return nil
 	}
@@ -131,7 +131,7 @@ func checkCrashReturn(p *Package, res ast.Expr) []Diagnostic {
 		if !exprReadsState(p, kv.Value) {
 			continue // explicit zero/constant reset is fine
 		}
-		_, comment := fieldDeclOf(decl, key.Name)
+		_, comment, _ := fieldDeclOf(p, decl, key.Name, "fp:ignore")
 		if strings.Contains(strings.ToLower(comment), "non-volatile") {
 			continue // documented non-volatile memory (Theorem 7.5 tightness)
 		}

@@ -32,7 +32,7 @@ var Determinism = &Analyzer{
 // determinismScope lists the engine packages the analyzer applies to.
 var determinismScope = []string{"sim", "explore", "swarm", "channel", "protocol"}
 
-func runDeterminism(p *Package) []Diagnostic {
+func runDeterminism(p *Package, _ *Facts) []Diagnostic {
 	inScope := false
 	for _, s := range determinismScope {
 		if pkgScope(p.Path, s) {

@@ -27,13 +27,17 @@ func WriteText(w io.Writer, base string, diags []Diagnostic) {
 	}
 }
 
-// WriteJSON emits {"diagnostics": [...], "count": N} for machine
-// consumption (make lint-json).
+// WriteJSON emits {"diagnostics": [...], "count": N, "exit_code": C}
+// for machine consumption (make lint-json). exit_code is the *logical*
+// OR of the firing analyzers' bits — including the values above 255
+// (canonparity, strictdecode, the suppression audit) that the POSIX
+// process status cannot carry; see ProcessStatus.
 func WriteJSON(w io.Writer, base string, diags []Diagnostic) error {
 	out := struct {
 		Diagnostics []jsonDiagnostic `json:"diagnostics"`
 		Count       int              `json:"count"`
-	}{Diagnostics: []jsonDiagnostic{}, Count: len(diags)}
+		ExitCode    int              `json:"exit_code"`
+	}{Diagnostics: []jsonDiagnostic{}, Count: len(diags), ExitCode: ExitCode(diags)}
 	for _, d := range diags {
 		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
 			Analyzer: d.Analyzer,
@@ -46,6 +50,109 @@ func WriteJSON(w io.Writer, base string, diags []Diagnostic) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// ---- SARIF 2.1.0 output ----
+
+// The SARIF shapes below carry the minimal property set code-scanning
+// consumers (GitHub, VS Code SARIF viewers) require: tool.driver with a
+// rule per analyzer, and one result per diagnostic with a physical
+// location. All fields are stdlib-JSON-encodable by construction.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF emits the diagnostics as a single-run SARIF 2.1.0 log
+// (make lint-sarif → dlvet.sarif). Every analyzer — plus the reserved
+// suppression audit — appears as a rule even when it reported nothing,
+// so consumers can tell "checked and clean" from "not checked". File
+// URIs are relative to base, matching the text and JSON writers.
+func WriteSARIF(w io.Writer, base string, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(All())+1)
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               AuditName,
+		ShortDescription: sarifMessage{Text: "suppression annotations must suppress a live diagnostic and carry a reason"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(relPath(base, d.Pos.Filename))},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  sarifSchemaURI,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dlvet", Version: "2", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }
 
 func relPath(base, file string) string {

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// The facts layer is dlvet v2's cross-package propagation mechanism:
+// before any analyzer runs, the driver walks every loaded package *and*
+// every in-module dependency visible through gc export data and records
+// the soundness-relevant capabilities of each named type (which
+// fingerprint, canonical-fingerprint and rollback methods it has) plus
+// each package's decode sentinel errors. Analyzers then answer
+// questions like "does the type this Snapshot delegates to have a
+// matching Restore?" for types defined in *other* packages without any
+// extra `go list` pass — the export data loaded once by the driver
+// already carries the full method sets.
+
+// TypeFacts records the soundness-relevant method set of one named type
+// (methods on the type or its pointer).
+type TypeFacts struct {
+	// HasAppendFingerprint / HasCanonFingerprint: the exact-dedup and
+	// symmetry-quotient encodings the explorer keys states by.
+	HasAppendFingerprint bool
+	HasCanonFingerprint  bool
+	// HasSnapshot / HasRestore: the rollback pair ddmin shrinking and
+	// the adversaries' probe-and-replay loops rely on. Snapshot here
+	// means a parameterless capture method (Snapshot/snap/snapshot);
+	// Restore a restore method (Restore/restore) taking the capture.
+	HasSnapshot bool
+	HasRestore  bool
+}
+
+// Facts is the driver-computed cross-package fact store handed to every
+// analyzer run.
+type Facts struct {
+	// types maps "pkgpath.TypeName" to the type's capabilities.
+	types map[string]TypeFacts
+	// sentinels maps a package path to its decode sentinel error names
+	// (package-level `var Err... = errors.New(...)` whose name is
+	// ErrWire or Err*Format).
+	sentinels map[string][]string
+}
+
+// ComputeFacts builds the fact store for the loaded packages and every
+// in-module package reachable through their export data.
+func ComputeFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		types:     make(map[string]TypeFacts),
+		sentinels: make(map[string][]string),
+	}
+	seen := make(map[*types.Package]bool)
+	var visit func(tp *types.Package)
+	visit = func(tp *types.Package) {
+		if tp == nil || seen[tp] {
+			return
+		}
+		seen[tp] = true
+		if strings.HasPrefix(tp.Path(), moduleImportPrefix) {
+			f.addScope(tp)
+		}
+		for _, imp := range tp.Imports() {
+			visit(imp)
+		}
+	}
+	for _, p := range pkgs {
+		visit(p.Types)
+	}
+	return f
+}
+
+// moduleImportPrefix scopes fact collection to this module.
+const moduleImportPrefix = "repro"
+
+// addScope records facts for every named type and sentinel in tp's
+// package scope.
+func (f *Facts) addScope(tp *types.Package) {
+	scope := tp.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		switch o := obj.(type) {
+		case *types.TypeName:
+			n, ok := o.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			tf := typeFactsOf(n)
+			if tf != (TypeFacts{}) {
+				f.types[tp.Path()+"."+name] = tf
+			}
+		case *types.Var:
+			if isDecodeSentinelName(name) && isErrorType(o.Type()) {
+				f.sentinels[tp.Path()] = append(f.sentinels[tp.Path()], name)
+			}
+		}
+	}
+}
+
+// typeFactsOf inspects the method set of n (through a pointer, so both
+// value and pointer methods count).
+func typeFactsOf(n *types.Named) TypeFacts {
+	var tf TypeFacts
+	ms := types.NewMethodSet(types.NewPointer(n))
+	for i := 0; i < ms.Len(); i++ {
+		m, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch m.Name() {
+		case "AppendFingerprint":
+			tf.HasAppendFingerprint = true
+		case "AppendCanonFingerprint":
+			tf.HasCanonFingerprint = true
+		case "Snapshot", "snap", "snapshot":
+			if sig.Params().Len() == 0 && sig.Results().Len() >= 1 {
+				tf.HasSnapshot = true
+			}
+		case "Restore", "restore":
+			if sig.Params().Len() >= 1 {
+				tf.HasRestore = true
+			}
+		}
+	}
+	return tf
+}
+
+// TypeFacts returns the recorded capabilities of the named type n
+// (possibly defined in a package outside the analysis set), or the zero
+// value when nothing soundness-relevant is known about it.
+func (f *Facts) TypeFacts(n *types.Named) TypeFacts {
+	if f == nil || n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return TypeFacts{}
+	}
+	return f.types[n.Obj().Pkg().Path()+"."+n.Obj().Name()]
+}
+
+// Sentinels returns the decode sentinel error names declared by the
+// package at path.
+func (f *Facts) Sentinels(path string) []string {
+	if f == nil {
+		return nil
+	}
+	return f.sentinels[path]
+}
+
+// isDecodeSentinelName reports whether name follows the repository's
+// decode-sentinel convention: ErrWire, ErrFrameFormat,
+// ErrCheckpointFormat, ... — an exported Err* whose name is "ErrWire"
+// or ends in "Format".
+func isDecodeSentinelName(name string) bool {
+	if name == "ErrWire" {
+		return true
+	}
+	return strings.HasPrefix(name, "Err") && strings.HasSuffix(name, "Format")
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error"
+}

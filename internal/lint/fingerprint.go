@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -35,7 +36,7 @@ var Fingerprint = &Analyzer{
 	Run:  runFingerprint,
 }
 
-func runFingerprint(p *Package) []Diagnostic {
+func runFingerprint(p *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		for _, d := range f.Decls {
@@ -108,12 +109,13 @@ func checkFingerprintMethod(p *Package, fd *ast.FuncDecl) []Diagnostic {
 		if referenced[fv] {
 			continue
 		}
-		node, comment := fieldDeclOf(decl, fv.Name())
+		node, comment, markerPos := fieldDeclOf(p, decl, fv.Name(), "fp:ignore")
 		if node == nil {
 			node = fd // struct declared in another file of the package; anchor on the method
 		}
 		if reason, found := markerReason(comment, "fp:ignore"); found {
 			if reason != "" {
+				p.useMarker(markerPos)
 				continue
 			}
 			diags = append(diags, p.diag("fingerprint", node,
@@ -143,7 +145,11 @@ func checkFingerprintPacketIDs(p *Package, file *ast.File, fd *ast.FuncDecl) []D
 	ignored := fpIgnoreLines(p, file)
 	var diags []Diagnostic
 	flag := func(n ast.Node, format string, args ...any) {
-		if ignored[p.pos(n).Line] {
+		pos := p.pos(n)
+		if ignored[pos.Line] {
+			// The marker is a same-line trailing comment, so its position
+			// key is the flagged node's own file:line.
+			p.useMarker(pos)
 			return
 		}
 		diags = append(diags, p.diag("fingerprint", n, format, args...))
@@ -184,17 +190,32 @@ func fpIgnoreLines(p *Package, file *ast.File) map[int]bool {
 }
 
 // fieldDeclOf locates the AST field named name inside decl, returning
-// the node to anchor the diagnostic on and the field's comment text.
-func fieldDeclOf(decl *ast.StructType, name string) (ast.Node, string) {
+// the node to anchor the diagnostic on, the field's comment text, and
+// the position of the comment group carrying marker (for suppression
+// bookkeeping; zero when the marker is absent).
+func fieldDeclOf(p *Package, decl *ast.StructType, name, marker string) (ast.Node, string, token.Position) {
 	if decl == nil {
-		return nil, ""
+		return nil, "", token.Position{}
 	}
 	for _, f := range decl.Fields.List {
 		for _, id := range f.Names {
-			if id.Name == name {
-				return id, fieldComment(f)
+			if id.Name != name {
+				continue
 			}
+			var markerPos token.Position
+			for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+				if cg == nil {
+					continue
+				}
+				for _, c := range cg.List {
+					if _, found := markerReason(c.Text, marker); found {
+						markerPos = p.Fset.Position(c.Pos())
+						break
+					}
+				}
+			}
+			return id, fieldComment(f), markerPos
 		}
 	}
-	return decl, ""
+	return decl, "", token.Position{}
 }

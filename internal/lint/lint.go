@@ -52,20 +52,34 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description.
 	Doc string
-	// Bit is the analyzer's exit-status bit: dlvet exits with the OR of
-	// the bits of all analyzers that reported findings, so scripts can
-	// tell which invariant class failed. Bits start at 4 to stay clear
-	// of the conventional 1 (internal error) and 2 (usage error).
+	// Bit is the analyzer's exit-status bit: dlvet's logical exit code
+	// is the OR of the bits of all analyzers that reported findings, so
+	// scripts can tell which invariant class failed. Bits start at 4 to
+	// stay clear of the conventional 1 (internal error) and 2 (usage
+	// error). Bits above 255 do not fit in a POSIX status byte; see
+	// ProcessStatus for how the process exit status folds them.
 	Bit int
-	// Run reports the analyzer's findings for one package. The driver
-	// applies lint:ignore suppression and sorting afterwards.
-	Run func(p *Package) []Diagnostic
+	// Run reports the analyzer's findings for one package, consulting
+	// the driver-computed cross-package facts. The driver applies
+	// lint:ignore suppression and sorting afterwards.
+	Run func(p *Package, f *Facts) []Diagnostic
 }
 
-// All returns the five analyzers in their canonical order.
+// All returns the eight analyzers in their canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{Fingerprint, Determinism, MsgIndep, ObsDiscipline, CrashReset}
+	return []*Analyzer{
+		Fingerprint, Determinism, MsgIndep, ObsDiscipline, CrashReset,
+		SnapshotCoverage, CanonParity, StrictDecode,
+	}
 }
+
+// AuditName is the reserved analyzer name under which the driver's
+// stale-suppression audit reports (see AuditSuppressions); AuditBit is
+// its logical exit bit.
+const (
+	AuditName = "suppression"
+	AuditBit  = 1024
+)
 
 // ByName resolves a comma-separated analyzer selection.
 func ByName(names string) ([]*Analyzer, error) {
@@ -101,9 +115,16 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	// ignores maps "analyzer\x00file:line" to true for every line
-	// covered by a lint:ignore annotation; built lazily.
-	ignores map[string]bool
+	// ignores maps "analyzer\x00file:line" to the annotation positions
+	// ("file:line" of the lint:ignore comment) covering that line; built
+	// lazily.
+	ignores map[string][]string
+	// usedAnnots records the "file:line" of every lint:ignore annotation
+	// that actually suppressed a diagnostic, and usedMarkers the same
+	// for field/statement markers (fp:ignore, snap:ignore, canon:ignore)
+	// consumed inside analyzers. AuditSuppressions reads both.
+	usedAnnots  map[string]bool
+	usedMarkers map[string]bool
 }
 
 // pos converts a node position.
@@ -119,11 +140,16 @@ func ignoreKey(analyzer, file string, line int) string {
 	return analyzer + "\x00" + file + ":" + fmt.Sprint(line)
 }
 
+// posKey keys an annotation or marker by its own position.
+func posKey(file string, line int) string {
+	return file + ":" + fmt.Sprint(line)
+}
+
 // buildIgnores indexes every well-formed lint:ignore annotation. An
 // annotation covers its own line and the following one, so it works both
 // trailing the offending statement and on a line of its own above it.
 func (p *Package) buildIgnores() {
-	p.ignores = make(map[string]bool)
+	p.ignores = make(map[string][]string)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -137,34 +163,68 @@ func (p *Package) buildIgnores() {
 					continue // a reason is mandatory; reasonless annotations suppress nothing
 				}
 				pos := p.Fset.Position(c.Pos())
-				p.ignores[ignoreKey(fields[0], pos.Filename, pos.Line)] = true
-				p.ignores[ignoreKey(fields[0], pos.Filename, pos.Line+1)] = true
+				at := posKey(pos.Filename, pos.Line)
+				k0 := ignoreKey(fields[0], pos.Filename, pos.Line)
+				k1 := ignoreKey(fields[0], pos.Filename, pos.Line+1)
+				p.ignores[k0] = append(p.ignores[k0], at)
+				p.ignores[k1] = append(p.ignores[k1], at)
 			}
 		}
 	}
 }
 
-// suppressed reports whether d is covered by a lint:ignore annotation.
+// suppressed reports whether d is covered by a lint:ignore annotation,
+// recording which annotations it consumed for the stale-suppression
+// audit.
 func (p *Package) suppressed(d Diagnostic) bool {
 	if p.ignores == nil {
 		p.buildIgnores()
 	}
-	return p.ignores[ignoreKey(d.Analyzer, d.Pos.Filename, d.Pos.Line)]
+	annots := p.ignores[ignoreKey(d.Analyzer, d.Pos.Filename, d.Pos.Line)]
+	if len(annots) == 0 {
+		return false
+	}
+	if p.usedAnnots == nil {
+		p.usedAnnots = make(map[string]bool)
+	}
+	for _, at := range annots {
+		p.usedAnnots[at] = true
+	}
+	return true
+}
+
+// useMarker records that a field/statement marker (fp:ignore and kin) at
+// the given position suppressed a would-be diagnostic. Analyzers call it
+// whenever a reasoned marker actually changes their output, so the audit
+// can tell live markers from rotted ones.
+func (p *Package) useMarker(pos token.Position) {
+	if p.usedMarkers == nil {
+		p.usedMarkers = make(map[string]bool)
+	}
+	p.usedMarkers[posKey(pos.Filename, pos.Line)] = true
 }
 
 // Run applies the analyzers to every package, filters suppressed
-// diagnostics and returns the remainder sorted by position.
+// diagnostics and returns the remainder sorted by position. The
+// cross-package fact store is computed once and shared by every
+// analyzer over every package.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := ComputeFacts(pkgs)
 	var out []Diagnostic
 	for _, p := range pkgs {
 		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
+			for _, d := range a.Run(p, facts) {
 				if !p.suppressed(d) {
 					out = append(out, d)
 				}
 			}
 		}
 	}
+	sortDiags(out)
+	return out
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -178,14 +238,104 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// AuditSuppressions reports, as diagnostics under the reserved
+// "suppression" analyzer name, every suppression annotation in pkgs that
+// did not suppress anything during the preceding Run over the *full*
+// analyzer set: lint:ignore lines whose diagnostic no longer fires,
+// reasonless lint:ignore lines (which suppress nothing by contract), and
+// fp:ignore/snap:ignore/canon:ignore markers no analyzer consumed.
+// Stale suppressions rot into misdocumentation — the annotated line
+// reads as "this invariant is deliberately violated here" when nothing
+// is violated at all — so the audit makes them errors.
+//
+// Call it only after running All() analyzers over the same packages;
+// under a subset, annotations for the analyzers that did not run would
+// be indistinguishable from stale ones.
+func AuditSuppressions(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, p := range pkgs {
+		if p.ignores == nil {
+			p.buildIgnores()
+		}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					out = append(out, auditComment(p, c, known)...)
+				}
+			}
+		}
+	}
+	sortDiags(out)
 	return out
 }
 
-// ExitCode ORs the exit-status bits of every analyzer with findings;
-// zero means clean.
+// annotationMarkers are the field/statement suppression markers the
+// analyzers consume directly (outside the generic lint:ignore path).
+var annotationMarkers = []string{"fp:ignore", "snap:ignore", "canon:ignore"}
+
+// auditComment audits one comment for stale or reasonless suppressions.
+// Only comments that *start* with an annotation count — prose that
+// merely mentions a marker (doc comments explaining the convention) is
+// not an annotation.
+func auditComment(p *Package, c *ast.Comment, known map[string]bool) []Diagnostic {
+	text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+	pos := p.Fset.Position(c.Pos())
+	at := posKey(pos.Filename, pos.Line)
+	var out []Diagnostic
+	if rest, ok := strings.CutPrefix(text, "lint:ignore"); ok {
+		fields := strings.Fields(rest)
+		switch {
+		case len(fields) == 0 || !known[fields[0]]:
+			// Not a real annotation (e.g. a doc example naming no known
+			// analyzer); ignore.
+		case len(fields) < 2:
+			out = append(out, p.diag(AuditName, c,
+				"lint:ignore %s has no reason and therefore suppresses nothing: state why the violation is sanctioned, or delete the annotation", fields[0]))
+		case !p.usedAnnots[at]:
+			out = append(out, p.diag(AuditName, c,
+				"stale suppression: no %s diagnostic fires on the annotated line any more; delete the lint:ignore (it now misdocuments clean code as a sanctioned violation)", fields[0]))
+		}
+		return out
+	}
+	for _, marker := range annotationMarkers {
+		rest, ok := strings.CutPrefix(text, marker)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			// Either a different comment altogether, or prose where the
+			// marker happens to start a wrapped line ("fp:ignore/...").
+			continue
+		}
+		if strings.TrimSpace(rest) == "" {
+			// Reasonless markers are flagged at their use site by the
+			// owning analyzer (a field marker) or suppress nothing (a
+			// statement marker); the audit flags the statement form.
+			out = append(out, p.diag(AuditName, c,
+				"%s has no reason and therefore suppresses nothing: state why the site is exempt, or delete the marker", marker))
+		} else if !p.usedMarkers[at] {
+			out = append(out, p.diag(AuditName, c,
+				"stale suppression: this %s marker no longer exempts any diagnostic; delete it (the field or site it guarded is now covered, gone, or renamed)", marker))
+		}
+		return out
+	}
+	return out
+}
+
+// ExitCode ORs the exit-status bits of every analyzer with findings
+// (including AuditBit for stale-suppression findings); zero means clean.
+// This is the logical code reported in -json output; ProcessStatus folds
+// it into the byte a POSIX exit status can carry.
 func ExitCode(diags []Diagnostic) int {
 	code := 0
 	for _, d := range diags {
+		if d.Analyzer == AuditName {
+			code |= AuditBit
+			continue
+		}
 		for _, a := range All() {
 			if a.Name == d.Analyzer {
 				code |= a.Bit
@@ -193,6 +343,21 @@ func ExitCode(diags []Diagnostic) int {
 		}
 	}
 	return code
+}
+
+// ProcessStatus folds a logical exit code into the single byte a POSIX
+// process status can carry: bits 4..128 pass through unchanged, and bit
+// 128 is additionally forced on when any analyzer with a logical bit
+// above 255 fired (canonparity=256, strictdecode=512, suppression
+// audit=1024) — so an overflowing code can never read as success. The
+// full discriminating code is always available via -json ("exit_code")
+// and the stderr summary dlvet prints when the two differ.
+func ProcessStatus(code int) int {
+	status := code & 0xFC
+	if code&^0xFF != 0 {
+		status |= 0x80
+	}
+	return status
 }
 
 // ---- shared type- and AST-inspection helpers ----

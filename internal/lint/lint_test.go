@@ -86,6 +86,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"obsdiscipline", "repro/internal/lint/odtest", ObsDiscipline},
 		{"obsnil", "repro/internal/obs", ObsDiscipline},
 		{"crashreset", "repro/internal/protocol/ctest", CrashReset},
+		{"snapshotcoverage", "repro/internal/lint/sctest", SnapshotCoverage},
+		{"canonparity", "repro/internal/lint/cptest", CanonParity},
+		{"strictdecode", "repro/internal/lint/sdtest", StrictDecode},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -138,6 +141,9 @@ func TestGoldenExitCodes(t *testing.T) {
 		{"msgindep", "repro/internal/protocol/mtest", 16},
 		{"obsnil", "repro/internal/obs", 32},
 		{"crashreset", "repro/internal/protocol/ctest", 64},
+		{"snapshotcoverage", "repro/internal/lint/sctest", 128},
+		{"canonparity", "repro/internal/lint/cptest", 256},
+		{"strictdecode", "repro/internal/lint/sdtest", 512},
 	}
 	for _, tc := range cases {
 		pkg, err := LoadDir(root, filepath.Join("testdata", "src", tc.dir), tc.asPath)
@@ -189,7 +195,7 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{`"count": 1`, `"analyzer": "determinism"`, `"file": "y.go"`, `"line": 3`} {
+	for _, want := range []string{`"count": 1`, `"analyzer": "determinism"`, `"file": "y.go"`, `"line": 3`, `"exit_code": 8`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("JSON output missing %s:\n%s", want, out)
 		}
@@ -203,6 +209,114 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// TestAuditGolden runs the full analyzer set over the suppression
+// fixture — so live annotations get consumed — and matches the audit's
+// findings against the fixture's want comments: stale and reasonless
+// suppressions are flagged, live ones are not.
+func TestAuditGolden(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "suppression")
+	pkg, err := LoadDir(root, dir, "repro/internal/sim/satest")
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	pkgs := []*Package{pkg}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("fixture should be clean under the analyzers themselves, got: %s", d)
+	}
+	audit := AuditSuppressions(pkgs)
+	wants := parseWants(t, dir)
+	for _, d := range audit {
+		if d.Analyzer != AuditName {
+			t.Errorf("audit diagnostic with analyzer %q, want %q", d.Analyzer, AuditName)
+		}
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected audit diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing audit diagnostic at %s:%d containing %q", w.file, w.line, w.sub)
+		}
+	}
+	if code := ExitCode(audit); code&AuditBit == 0 {
+		t.Errorf("audit findings must set AuditBit: got %d", code)
+	}
+}
+
+// TestProcessStatus pins the POSIX fold: logical bits above 255 force
+// status bit 128 so an overflowing code never reads as success.
+func TestProcessStatus(t *testing.T) {
+	cases := []struct{ code, status int }{
+		{0, 0},
+		{4, 4},
+		{12, 12},
+		{128, 128},
+		{252, 252},
+		{256, 128},
+		{512, 128},
+		{1024, 128},
+		{256 | 4, 132},
+		{1024 | 8 | 64, 200},
+	}
+	for _, tc := range cases {
+		if got := ProcessStatus(tc.code); got != tc.status {
+			t.Errorf("ProcessStatus(%d) = %d, want %d", tc.code, got, tc.status)
+		}
+	}
+	// No analyzer-producible code (any OR of bits >= 4) may fold to 0.
+	for code := 4; code < 4096; code += 4 {
+		if ProcessStatus(code) == 0 {
+			t.Fatalf("ProcessStatus(%d) = 0: findings read as success", code)
+		}
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var sb strings.Builder
+	diags := []Diagnostic{
+		{Analyzer: "canonparity", Message: "field parity broken"},
+		{Analyzer: AuditName, Message: "stale suppression"},
+	}
+	diags[0].Pos.Filename = "/m/internal/protocol/abp.go"
+	diags[0].Pos.Line = 12
+	diags[0].Pos.Column = 2
+	diags[1].Pos.Filename = "/m/internal/sim/runner.go"
+	diags[1].Pos.Line = 30
+	if err := WriteSARIF(&sb, "/m", diags); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wants := []string{
+		`"version": "2.1.0"`,
+		`"name": "dlvet"`,
+		`"ruleId": "canonparity"`,
+		`"ruleId": "suppression"`,
+		`"uri": "internal/protocol/abp.go"`,
+		`"startLine": 12`,
+		`"startColumn": 2`,
+		`"level": "error"`,
+	}
+	for _, a := range All() {
+		wants = append(wants, fmt.Sprintf(`"id": %q`, a.Name))
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("SARIF output missing %s", want)
+		}
+	}
+	sb.Reset()
+	if err := WriteSARIF(&sb, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"results": []`) {
+		t.Errorf("empty run should encode results as [], got %s", sb.String())
+	}
+}
+
 // TestIgnoreRequiresReason pins the suppression contract: a lint:ignore
 // without a reason suppresses nothing.
 func TestIgnoreRequiresReason(t *testing.T) {
@@ -211,13 +325,16 @@ func TestIgnoreRequiresReason(t *testing.T) {
 	d := Diagnostic{Analyzer: "determinism"}
 	d.Pos.Filename = "f.go"
 	d.Pos.Line = 2
-	pkg := &Package{ignores: map[string]bool{}}
+	pkg := &Package{ignores: map[string][]string{}}
 	if pkg.suppressed(d) {
 		t.Fatal("no annotations: must not suppress")
 	}
-	pkg2 := &Package{ignores: map[string]bool{ignoreKey("determinism", "f.go", 2): true}}
+	pkg2 := &Package{ignores: map[string][]string{ignoreKey("determinism", "f.go", 2): {"f.go:2"}}}
 	if !pkg2.suppressed(d) {
 		t.Fatal("annotated line must suppress")
+	}
+	if !pkg2.usedAnnots["f.go:2"] {
+		t.Fatal("suppression must record the consumed annotation for the audit")
 	}
 	if pkg2.suppressed(Diagnostic{Analyzer: "msgindep", Pos: d.Pos}) {
 		t.Fatal("annotation is per-analyzer")

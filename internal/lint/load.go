@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader resolves packages without any dependency outside the
@@ -24,6 +25,55 @@ import (
 // cache; types are then checked with the gc importer pointed at those
 // export files. This is the same information x/tools' go/packages uses —
 // we just consume it directly.
+
+// exportIndex memoizes export-data locations per module root, so the
+// driver performs one `go list -export` pass and every later load in
+// the same process — the testdata packages of the golden tests, repeat
+// LoadDir calls — resolves its imports from the cache instead of
+// shelling out again. `go list` dominated dlvet's wall time with five
+// analyzers; with eight, reuse is what keeps `make lint` no slower.
+var exportIndex = struct {
+	mu    sync.Mutex
+	byDir map[string]map[string]string // module dir -> import path -> export file
+}{byDir: make(map[string]map[string]string)}
+
+// cacheExports merges a listing's export-data paths into the index.
+func cacheExports(dir string, listed []*listPkg) {
+	exportIndex.mu.Lock()
+	defer exportIndex.mu.Unlock()
+	m := exportIndex.byDir[dir]
+	if m == nil {
+		m = make(map[string]string)
+		exportIndex.byDir[dir] = m
+	}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			m[lp.ImportPath] = lp.Export
+		}
+	}
+}
+
+// cachedExports returns the index's export map for dir when it already
+// covers every import path in need; ok is false on any miss (the caller
+// then falls back to `go list`, which repopulates the index).
+func cachedExports(dir string, need []string) (map[string]string, bool) {
+	exportIndex.mu.Lock()
+	defer exportIndex.mu.Unlock()
+	m := exportIndex.byDir[dir]
+	if m == nil {
+		return nil, false
+	}
+	for _, p := range need {
+		if _, ok := m[p]; !ok {
+			return nil, false
+		}
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out, true
+}
 
 // listPkg is the subset of `go list -json` output the loader reads.
 type listPkg struct {
@@ -97,6 +147,7 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	cacheExports(dir, listed)
 	exports := make(map[string]string) // import path -> export data file
 	for _, lp := range listed {
 		if lp.Error != nil && !lp.Standard {
@@ -190,17 +241,22 @@ func LoadDir(modDir, dir, asPath string) (*Package, error) {
 	}
 	sort.Strings(patterns)
 
-	exports := make(map[string]string)
-	if len(patterns) > 0 {
+	exports, cached := cachedExports(modDir, patterns)
+	if !cached && len(patterns) > 0 {
 		listed, err := goList(modDir, patterns)
 		if err != nil {
 			return nil, err
 		}
+		cacheExports(modDir, listed)
+		exports = make(map[string]string)
 		for _, lp := range listed {
 			if lp.Export != "" {
 				exports[lp.ImportPath] = lp.Export
 			}
 		}
+	}
+	if exports == nil {
+		exports = make(map[string]string)
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]

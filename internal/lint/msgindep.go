@@ -32,7 +32,7 @@ var MsgIndep = &Analyzer{
 	Run:  runMsgIndep,
 }
 
-func runMsgIndep(p *Package) []Diagnostic {
+func runMsgIndep(p *Package, _ *Facts) []Diagnostic {
 	if !pkgScope(p.Path, "protocol") {
 		return nil
 	}

@@ -34,7 +34,7 @@ var ObsDiscipline = &Analyzer{
 	Run:  runObsDiscipline,
 }
 
-func runObsDiscipline(p *Package) []Diagnostic {
+func runObsDiscipline(p *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		for _, d := range f.Decls {

@@ -3,10 +3,12 @@ package lint
 import "testing"
 
 // TestRepoClean is the regression gate: the whole module must stay clean
-// under all five analyzers. A new unfingerprinted state field, payload
-// branch, wall-clock read, in-loop handle lookup or state-preserving
-// crash transition fails this test (and `make lint`) at the exact
-// file:line.
+// under all eight analyzers plus the stale-suppression audit. A new
+// unfingerprinted state field, payload branch, wall-clock read, in-loop
+// handle lookup, state-preserving crash transition, uncovered mutable
+// field in a Snapshot/Restore pair, exact/canonical fingerprint parity
+// gap, raw decode error, or rotted lint:ignore/fp:ignore line fails this
+// test (and `make lint`) at the exact file:line.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping module-wide load in -short mode")
@@ -22,7 +24,12 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
-	for _, d := range Run(pkgs, All()) {
+	if got, want := len(All()), 8; got != want {
+		t.Fatalf("All() returned %d analyzers, want %d", got, want)
+	}
+	diags := Run(pkgs, All())
+	diags = append(diags, AuditSuppressions(pkgs)...)
+	for _, d := range diags {
 		t.Errorf("repo not dlvet-clean: %s", d)
 	}
 }

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotCoverage generalises the fingerprint-coverage analysis to the
+// rollback pairs the shrinker, the adversaries and checkpoint replay
+// are built on: for every type with a Snapshot/Restore pair
+// (sim.Runner, core.PacketIDs, the swarm shrinker's walkSnap methods),
+// every *mutable* field of the receiver — a field some method of the
+// type assigns — must be referenced by the capture or the restore body.
+// A mutable field outside the pair makes rollback lossy: ddmin
+// re-executes a candidate from a "restored" state that still carries
+// the previous candidate's mutations, so shrunk counterexamples may not
+// replay and checkpoint resume silently diverges from the
+// uninterrupted run.
+//
+// A field that is deliberately outside the rollback scope — monotone
+// observability bookkeeping, configuration fixed at construction that
+// some method nevertheless reassigns — must say so with a
+// `// snap:ignore <reason>` comment on the field.
+//
+// The analyzer also consumes the driver's cross-package facts: a
+// capture body that delegates to field.Snapshot() where the field's
+// type (possibly from another package) has no matching Restore is
+// flagged, because the delegated portion of the state can then never be
+// rewound.
+var SnapshotCoverage = &Analyzer{
+	Name: "snapshotcoverage",
+	Doc:  "mutable state outside a Snapshot/Restore pair makes rollback and replay unsound",
+	Bit:  128,
+	Run:  runSnapshotCoverage,
+}
+
+// snapPair is one capture/restore method pair on a receiver type.
+type snapPair struct {
+	typeName string
+	capture  *ast.FuncDecl
+	restore  *ast.FuncDecl
+}
+
+// captureNames / restoreNames are the method names recognised as the
+// two halves of a rollback pair. The capture must take no parameters
+// and return the snapshot value; parameterised builders (the explorer's
+// checkpoint assembly) are not rollback pairs.
+func isCaptureName(s string) bool { return s == "Snapshot" || s == "snapshot" || s == "snap" }
+func isRestoreName(s string) bool { return s == "Restore" || s == "restore" }
+
+func runSnapshotCoverage(p *Package, facts *Facts) []Diagnostic {
+	pairs := make(map[string]*snapPair)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			typeName := recvTypeName(fd.Recv.List[0].Type)
+			if typeName == "" {
+				continue
+			}
+			switch {
+			case isCaptureName(fd.Name.Name):
+				if fd.Type.Params.NumFields() != 0 || fd.Type.Results.NumFields() == 0 {
+					continue
+				}
+				if pairs[typeName] == nil {
+					pairs[typeName] = &snapPair{typeName: typeName}
+				}
+				pairs[typeName].capture = fd
+			case isRestoreName(fd.Name.Name):
+				if fd.Type.Params.NumFields() == 0 {
+					continue
+				}
+				if pairs[typeName] == nil {
+					pairs[typeName] = &snapPair{typeName: typeName}
+				}
+				pairs[typeName].restore = fd
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pair := range pairs {
+		if pair.capture == nil || pair.restore == nil {
+			continue
+		}
+		diags = append(diags, checkSnapPair(p, facts, pair)...)
+	}
+	return diags
+}
+
+func checkSnapPair(p *Package, facts *Facts, pair *snapPair) []Diagnostic {
+	obj, ok := p.Types.Scope().Lookup(pair.typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	// Fields referenced anywhere in the capture or restore body, with
+	// the same conservative escape rule as the fingerprint analyzer: a
+	// receiver passed somewhere whole may be captured wholesale.
+	referenced := make(map[*types.Var]bool)
+	escapes := false
+	var diags []Diagnostic
+	for _, fd := range []*ast.FuncDecl{pair.capture, pair.restore} {
+		refs, esc := receiverFieldRefs(p, fd)
+		for v := range refs {
+			referenced[v] = true
+		}
+		escapes = escapes || esc
+	}
+	diags = append(diags, checkSnapDelegation(p, facts, pair.capture)...)
+	if escapes {
+		return diags
+	}
+
+	mutable := mutableFields(p, pair.typeName, st)
+	decl := p.structDecl(pair.typeName)
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if referenced[fv] || !mutable[fv] {
+			continue
+		}
+		node, comment, markerPos := fieldDeclOf(p, decl, fv.Name(), "snap:ignore")
+		if node == nil {
+			node = pair.capture
+		}
+		if reason, found := markerReason(comment, "snap:ignore"); found {
+			if reason != "" {
+				p.useMarker(markerPos)
+				continue
+			}
+			diags = append(diags, p.diag("snapshotcoverage", node,
+				"field %s.%s has a snap:ignore annotation without a reason; state why the field is safe to leave outside the %s/%s rollback pair",
+				pair.typeName, fv.Name(), pair.capture.Name.Name, pair.restore.Name.Name))
+			continue
+		}
+		diags = append(diags, p.diag("snapshotcoverage", node,
+			"mutable field %s.%s is outside the %s/%s pair: a restore keeps the previous run's value, so rollback-and-replay (ddmin shrinking, probe replay) silently diverges (capture and restore it, or annotate `// snap:ignore <reason>`)",
+			pair.typeName, fv.Name(), pair.capture.Name.Name, pair.restore.Name.Name))
+	}
+	return diags
+}
+
+// receiverFieldRefs collects the receiver's struct fields referenced in
+// fd's body, and whether the receiver escapes the method whole.
+func receiverFieldRefs(p *Package, fd *ast.FuncDecl) (map[*types.Var]bool, bool) {
+	var recvObj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+		recvObj = p.Info.Defs[names[0]]
+	}
+	refs := make(map[*types.Var]bool)
+	escapes := recvObj == nil // a blank receiver cannot reference fields; treat as opaque
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					refs[v] = true
+				}
+			}
+			if id, ok := x.X.(*ast.Ident); ok && recvObj != nil && p.Info.ObjectOf(id) == recvObj {
+				return false // base is the receiver: handled above, not an escape
+			}
+		case *ast.Ident:
+			if recvObj != nil && p.Info.ObjectOf(x) == recvObj {
+				escapes = true
+			}
+		}
+		return true
+	})
+	return refs, escapes
+}
+
+// mutableFields reports which fields of typeName some method of the
+// type assigns (s.f = ..., s.f++, s.f--): the state that can change
+// between a capture and a restore and therefore must be covered by the
+// pair. Fields written only by constructors or composite literals are
+// configuration, not rollback state.
+func mutableFields(p *Package, typeName string, st *types.Struct) map[*types.Var]bool {
+	own := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		own[st.Field(i)] = true
+	}
+	mutable := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		s, ok := p.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		if v, ok := s.Obj().(*types.Var); ok && own[v] {
+			mutable[v] = true
+		}
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) != typeName {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					if x.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range x.Lhs {
+						mark(lhs)
+					}
+				case *ast.IncDecStmt:
+					mark(x.X)
+				}
+				return true
+			})
+		}
+	}
+	return mutable
+}
+
+// checkSnapDelegation flags capture-body delegation to a field whose
+// type has a Snapshot but no Restore: the delegated state could be
+// captured but never rewound. The field's type may live in another
+// package; the driver's fact store answers from export data.
+func checkSnapDelegation(p *Package, facts *Facts, capture *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(capture.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isCaptureName(sel.Sel.Name) {
+			return true
+		}
+		s, ok := p.Info.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		named := namedOf(s.Recv())
+		if named == nil {
+			return true
+		}
+		tf := facts.TypeFacts(named)
+		if tf.HasSnapshot && !tf.HasRestore {
+			diags = append(diags, p.diag("snapshotcoverage", call,
+				"capture delegates to %s.%s, but %s has no Restore: the delegated state can be captured but never rewound",
+				named.Obj().Name(), sel.Sel.Name, named.Obj().Name()))
+		}
+		return true
+	})
+	return diags
+}

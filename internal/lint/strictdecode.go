@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// StrictDecode enforces the serialization-soundness discipline on the
+// three wire surfaces grown in PRs 5–8: the ioa wire-action codec, the
+// transport frame codec and the explorer's checkpoint codec. The
+// analyzer activates only in packages that declare a decode sentinel
+// (an exported `ErrWire` or `Err*Format` error variable — a fact the
+// driver collects once, across packages, from export data) and checks
+// three things:
+//
+//  1. Pairing: an encoder whose name starts with Append/Encode and
+//     names a sentinel-bearing surface (Wire, Frame, Checkpoint) must
+//     have a Decode/decode counterpart in the same package. An
+//     unpaired encoder is write-only wire format: replay and
+//     conformance checking cannot read back what the engine emits.
+//  2. Typed errors: decode paths (any function or method whose name
+//     contains "decode") must not mint raw errors with errors.New or
+//     non-wrapping fmt.Errorf. A decode error that does not wrap the
+//     package sentinel is invisible to errors.Is dispatch, so callers
+//     cannot distinguish "malformed input" from I/O failure — the
+//     live-transport monitors would misclassify corruption as
+//     disconnection.
+//  3. Trailing bytes: a []byte-consuming decoder that does not report
+//     a consumed count (no int result) must bound its input with
+//     len(input) somewhere — otherwise concatenated or padded frames
+//     decode "successfully" with silently ignored suffix bytes, the
+//     classic read-back divergence.
+var StrictDecode = &Analyzer{
+	Name: "strictdecode",
+	Doc:  "decode paths must pair their encoders, wrap the package sentinel, and reject trailing bytes",
+	Bit:  512,
+	Run:  runStrictDecode,
+}
+
+// sentinelStems are the wire-surface name stems that demand an
+// encoder/decoder pair when they appear in an Append*/Encode* name.
+var sentinelStems = []string{"Wire", "Frame", "Checkpoint"}
+
+func runStrictDecode(p *Package, facts *Facts) []Diagnostic {
+	sentinels := facts.Sentinels(p.Types.Path())
+	if len(sentinels) == 0 {
+		return nil
+	}
+
+	// Index every function and method name declared in the package, for
+	// pairing lookups.
+	declared := make(map[string]bool)
+	var fns []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				declared[fd.Name.Name] = true
+				fns = append(fns, fd)
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, fd := range fns {
+		diags = append(diags, checkEncoderPairing(p, fd, declared, sentinels)...)
+		if strings.Contains(strings.ToLower(fd.Name.Name), "decode") && fd.Body != nil {
+			diags = append(diags, checkDecodeErrors(p, fd)...)
+			diags = append(diags, checkTrailingBytes(p, fd)...)
+		}
+	}
+	return diags
+}
+
+// checkEncoderPairing requires a Decode/decode counterpart for every
+// Append*/Encode* function naming a sentinel wire surface.
+func checkEncoderPairing(p *Package, fd *ast.FuncDecl, declared map[string]bool, sentinels []string) []Diagnostic {
+	name := fd.Name.Name
+	var rest string
+	switch {
+	case strings.HasPrefix(name, "Append"):
+		rest = strings.TrimPrefix(name, "Append")
+	case strings.HasPrefix(name, "Encode"):
+		rest = strings.TrimPrefix(name, "Encode")
+	case strings.HasPrefix(name, "append"):
+		rest = strings.TrimPrefix(name, "append")
+	case strings.HasPrefix(name, "encode"):
+		rest = strings.TrimPrefix(name, "encode")
+	default:
+		return nil
+	}
+	onSurface := false
+	for _, stem := range sentinelStems {
+		if strings.Contains(rest, stem) {
+			onSurface = true
+			break
+		}
+	}
+	if !onSurface {
+		return nil
+	}
+	if declared["Decode"+rest] || declared["decode"+rest] {
+		return nil
+	}
+	return []Diagnostic{p.diag("strictdecode", fd.Name,
+		"encoder %s has no Decode%s/decode%s counterpart in the package: the %s surface becomes write-only, so replay and conformance checking cannot read back what the engine emits",
+		name, rest, rest, strings.Join(sentinels, "/"))}
+}
+
+// checkDecodeErrors flags raw error construction on a decode path:
+// errors.New, or fmt.Errorf whose format string has no %w verb.
+func checkDecodeErrors(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := p.Info.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkgName.Imported().Path() == "errors" && sel.Sel.Name == "New":
+			diags = append(diags, p.diag("strictdecode", call,
+				"%s mints a raw error with errors.New: decode failures that do not wrap the package sentinel are invisible to errors.Is, so callers cannot tell malformed input from I/O failure (use fmt.Errorf(\"%%w: ...\", <sentinel>))",
+				fd.Name.Name))
+		case pkgName.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format string; cannot judge statically
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			diags = append(diags, p.diag("strictdecode", call,
+				"%s builds a decode error with fmt.Errorf but no %%w verb: the error does not wrap the package sentinel, so errors.Is dispatch cannot classify it as malformed input",
+				fd.Name.Name))
+		}
+		return true
+	})
+	return diags
+}
+
+// checkTrailingBytes requires a len(input) bound in []byte-consuming
+// decoders that do not report a consumed count.
+func checkTrailingBytes(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Decoders returning an int hand the trailing-byte decision to the
+	// caller via the consumed count; streaming decoders take no []byte.
+	if fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			if t := p.Info.TypeOf(r.Type); t != nil && t.String() == "int" {
+				return nil
+			}
+		}
+	}
+	var param types.Object
+	for _, f := range fd.Type.Params.List {
+		t := p.Info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok && sl.Elem().String() == "byte" {
+			if len(f.Names) > 0 {
+				param = p.Info.ObjectOf(f.Names[0])
+			}
+			break
+		}
+	}
+	if param == nil {
+		return nil
+	}
+	bounded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "len" {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && p.Info.ObjectOf(arg) == param {
+			bounded = true
+		}
+		return true
+	})
+	if bounded {
+		return nil
+	}
+	return []Diagnostic{p.diag("strictdecode", fd.Name,
+		"decoder %s consumes a []byte but neither returns a consumed count nor bounds the input with len(%s): concatenated or padded input decodes \"successfully\" with silently ignored trailing bytes",
+		fd.Name.Name, param.Name())}
+}

@@ -1,0 +1,48 @@
+// Package cptest seeds canonparity-analyzer violations: fields folded
+// into one of AppendFingerprint/AppendCanonFingerprint but not the
+// other, in both directions, plus reasoned and reasonless canon:ignore
+// annotations.
+package cptest
+
+// State implements both encodings but diverges on three fields.
+type State struct {
+	seq  int
+	flag bool // want "folded into AppendFingerprint but not AppendCanonFingerprint"
+	// id carries the documented renaming-section exemption: the
+	// canonical encoding substitutes a canon index. No diagnostic.
+	id int // canon:ignore renamed: the canonical encoding folds a canon index instead of the raw id
+	// want "annotation without a reason; state why the field is encoded differently"
+	aux int // canon:ignore
+	// extra appears only in the canonical encoding.
+	extra int // want "folded into AppendCanonFingerprint but not AppendFingerprint"
+}
+
+func (s *State) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, byte(s.seq))
+	if s.flag {
+		dst = append(dst, 1)
+	}
+	dst = append(dst, byte(s.id))
+	dst = append(dst, byte(s.aux))
+	return dst
+}
+
+func (s *State) AppendCanonFingerprint(dst []byte) []byte {
+	dst = append(dst, byte(s.seq))
+	dst = append(dst, byte(s.extra))
+	return dst
+}
+
+// Aligned folds the same set into both encodings: no diagnostics.
+type Aligned struct {
+	a int
+	b int
+}
+
+func (s *Aligned) AppendFingerprint(dst []byte) []byte {
+	return append(dst, byte(s.a), byte(s.b))
+}
+
+func (s *Aligned) AppendCanonFingerprint(dst []byte) []byte {
+	return append(dst, byte(s.a), byte(s.b))
+}

@@ -1,0 +1,53 @@
+// Package sdtest seeds strictdecode-analyzer violations. The package
+// declares a decode sentinel (Err*Format), which activates the
+// analyzer: an unpaired wire encoder, raw error minting on decode
+// paths, and a []byte decoder that neither returns a consumed count nor
+// bounds its input.
+package sdtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBlobFormat is the package's decode sentinel.
+var ErrBlobFormat = errors.New("sdtest: malformed blob")
+
+// AppendWireBlob is paired with DecodeWireBlob below: no diagnostic.
+func AppendWireBlob(dst []byte, v byte) []byte { return append(dst, v) }
+
+// DecodeWireBlob wraps the sentinel and bounds its input: clean.
+func DecodeWireBlob(b []byte) (byte, error) {
+	if len(b) != 1 {
+		return 0, fmt.Errorf("%w: want exactly 1 byte, got %d", ErrBlobFormat, len(b))
+	}
+	return b[0], nil
+}
+
+func AppendFrameHeader(dst []byte) []byte { // want "encoder AppendFrameHeader has no DecodeFrameHeader/decodeFrameHeader counterpart"
+	return append(dst, 0xFE)
+}
+
+// appendBlobName has no sentinel stem in its name, so pairing is not
+// required: no diagnostic.
+func appendBlobName(dst []byte, s string) []byte { return append(dst, s...) }
+
+// want "neither returns a consumed count nor bounds the input"
+func decodeRaw(b []byte) (byte, error) {
+	if b == nil {
+		return 0, errors.New("sdtest: empty input") // want "mints a raw error with errors.New"
+	}
+	if b[0] == 0 {
+		return 0, fmt.Errorf("sdtest: zero tag %d", b[0]) // want "fmt.Errorf but no"
+	}
+	return b[0], nil
+}
+
+// decodeCounted reports a consumed count, so the trailing-byte decision
+// is the caller's: no trailing-bytes diagnostic.
+func decodeCounted(b []byte) (byte, int, error) {
+	if len(b) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty", ErrBlobFormat)
+	}
+	return b[0], 1, nil
+}

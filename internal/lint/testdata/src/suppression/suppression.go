@@ -1,0 +1,41 @@
+// Package satest seeds stale-suppression-audit findings. It is loaded
+// under an assumed import path inside internal/sim so the determinism
+// engine-scope rules apply, runs the full analyzer set first (live
+// annotations get consumed), and then audits: annotations and markers
+// that suppressed nothing are the violations.
+package satest
+
+import "time"
+
+// liveSuppression suppresses a real determinism diagnostic: the audit
+// must not flag it.
+func liveSuppression() time.Time {
+	return time.Now() // lint:ignore determinism testdata: sanctioned wall-clock read
+}
+
+// staleSuppression annotates a line where no diagnostic fires any more.
+func staleSuppression() time.Time {
+	// want "stale suppression: no determinism diagnostic fires"
+	return time.Time{} // lint:ignore determinism nothing violates determinism here
+}
+
+// want "has no reason and therefore suppresses nothing"
+// lint:ignore determinism
+
+// fpState's b field carries a live reasoned fp:ignore (consumed by the
+// fingerprint analyzer): not flagged.
+type fpState struct {
+	a int
+	b int // fp:ignore run-level configuration identical across all states
+}
+
+func (s *fpState) AppendFingerprint(dst []byte) []byte {
+	return append(dst, byte(s.a))
+}
+
+// cfg has no fingerprint or rollback methods at all, so its marker
+// exempts nothing.
+type cfg struct {
+	// want "marker no longer exempts any diagnostic"
+	mode int // fp:ignore rotted: the type lost its AppendFingerprint long ago
+}

@@ -94,3 +94,55 @@ func TestRunnerObserveDetachAndNil(t *testing.T) {
 		t.Errorf("detached runner observed %d quiescences", h.Count)
 	}
 }
+
+// TestObserveSurvivesRestore pins the telemetry-plane exemption on
+// Runner.ins (the snap:ignore contract snapshotcoverage checks): a
+// Restore rewinds the execution but neither detaches the instruments
+// nor rolls counters back, so a replayed prefix is counted once per
+// application.
+func TestObserveSurvivesRestore(t *testing.T) {
+	r := newABPRunner(t, true)
+	reg := obs.NewRegistry()
+	r.Observe(reg)
+	if err := r.WakeBoth(); err != nil {
+		t.Fatal(err)
+	}
+	mark := r.Snapshot()
+	steps := r.Execution().Len()
+
+	run := func() {
+		t.Helper()
+		if err := r.Input(ioa.SendMsg(ioa.TR, "m")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunFair(RunConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalFired := func() int64 {
+		var total int64
+		for _, c := range reg.Snapshot().Counters {
+			if strings.HasPrefix(c.Name, "sim.fired.") {
+				total += c.Value
+			}
+		}
+		return total
+	}
+
+	run()
+	before := totalFired()
+	if before == 0 {
+		t.Fatal("instrumented run recorded nothing")
+	}
+	r.Restore(mark)
+	if got := r.Execution().Len(); got != steps {
+		t.Fatalf("Restore left %d steps, want %d", got, steps)
+	}
+	if got := totalFired(); got != before {
+		t.Fatalf("Restore changed fired counters: %d, want %d (counters are monotone)", got, before)
+	}
+	run() // replay the same prefix: still instrumented, counted again
+	if got := totalFired(); got <= before {
+		t.Fatalf("replayed prefix not counted: %d fired, want > %d", got, before)
+	}
+}

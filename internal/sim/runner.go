@@ -26,6 +26,7 @@ type Runner struct {
 	rrNext int
 	// ins is the observability surface attached by Observe; nil (the
 	// default) means every hook below is a single nil check.
+	// snap:ignore telemetry plane, not automaton state: Snapshot/Restore rewind the simulation while instrument counters keep accumulating, so replay totals stay visible across rollbacks
 	ins *instruments
 }
 

@@ -131,10 +131,12 @@ type shrinker struct {
 	want   spec.Property
 	maxExt int
 	w      *walker
-	base   []Op
-	snaps  []walkSnap
+	// snap:ignore ddmin progress, not walk state: snap/restore rewind the runner to an execution prefix, while a committed shorter base must survive every later rollback
+	base  []Op
+	snaps []walkSnap
 	// replays counts candidate evaluations (try calls) for the
 	// observability layer's swarm.shrink.replays counter.
+	// snap:ignore monotone observability counter: rolling it back would undercount replays in the telemetry snapshot
 	replays int
 }
 

@@ -1,0 +1,59 @@
+package swarm
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestShrinkerRestoreKeepsProgress pins the two snap:ignore contracts
+// on the shrinker (checked by the snapshotcoverage analyzer): restore
+// rewinds the walker to an execution prefix, while ddmin progress —
+// the committed base and the monotone replays counter — must survive
+// every rollback.
+func TestShrinkerRestoreKeepsProgress(t *testing.T) {
+	combo := brokenCombo()
+	seed := findBrokenSeed(t, 200)
+	ops := GenOps(seed, 200, combo.Faults)
+	s, err := newShrinker(combo, ops, spec.PropDL4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := s.w.r.Execution().Len()
+	baseLen := len(s.base)
+
+	ok, err := s.try(0, s.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("full op list should violate DL4")
+	}
+	replays := s.replays
+	if replays == 0 {
+		t.Fatal("try must count as a replay")
+	}
+
+	s.restore(0)
+	if got := s.w.r.Execution().Len(); got != start {
+		t.Fatalf("restore(0) left the walk at %d steps, want %d", got, start)
+	}
+	if s.w.viol != nil {
+		t.Fatal("restore must clear the recomputed violation")
+	}
+	// The rollback exemptions: base and replays are minimization state,
+	// not walk state.
+	if len(s.base) != baseLen {
+		t.Fatalf("restore changed the committed base: %d ops, want %d", len(s.base), baseLen)
+	}
+	if s.replays != replays {
+		t.Fatalf("restore rolled the replays counter back to %d, want %d (monotone)", s.replays, replays)
+	}
+
+	// A later commit shrinks the base and also survives restore.
+	s.commit(0, s.base[:baseLen/2])
+	s.restore(0)
+	if got := len(s.base); got != baseLen/2 {
+		t.Fatalf("committed base did not survive restore: %d ops, want %d", got, baseLen/2)
+	}
+}
