@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint lint-json lint-sarif race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke admin-smoke ci bench-explore bench
+.PHONY: build test vet lint lint-json lint-sarif race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke spill-smoke serve-smoke admin-smoke ci bench-explore bench
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run FuzzCheckersContainment -fuzz FuzzCheckersContainment -fuzztime 10s ./internal/spec/
 	$(GO) test -run FuzzChannelInvariants -fuzz FuzzChannelInvariants -fuzztime 10s ./internal/channel/
 	$(GO) test -run FuzzCheckpointDecode -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/explore/
+	$(GO) test -run FuzzSpillRunDecode -fuzz FuzzSpillRunDecode -fuzztime 10s ./internal/explore/
 	$(GO) test -run FuzzFrameDecode -fuzz FuzzFrameDecode -fuzztime 10s ./internal/transport/
 
 # End-to-end observability smoke: run both instrumented binaries with
@@ -125,6 +126,42 @@ reduction-smoke:
 	rm -f /tmp/red-smoke-explore /tmp/red-smoke-base.txt /tmp/red-smoke-reduced.txt \
 		/tmp/red-smoke-want.txt /tmp/red-smoke-got.txt
 
+# Memory-bound-run smoke through the real binary: the e11 workload with
+# a deliberately tiny -spill-threshold (forcing run files onto disk and
+# through the compacting merge) plus the frontier arena must certify
+# exactly what the in-memory baseline certifies — state count, deepest
+# path, exhausted flag and the verdict line — while visibly spilling.
+# Then the strict run-file decoder, driven through -check-spill-run,
+# must accept a minimal valid artifact and reject a truncated one with
+# a clean diagnosis instead of a panic or silent short read.
+spill-smoke:
+	$(GO) build -o /tmp/spill-smoke-explore ./cmd/explore
+	/tmp/spill-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 2 \
+		> /tmp/spill-smoke-base.txt 2> /dev/null
+	rm -rf /tmp/spill-smoke-dir
+	/tmp/spill-smoke-explore -protocol stenning -fifo=false -msgs 3 -depth 24 -workers 2 \
+		-spill-dir /tmp/spill-smoke-dir -spill-threshold 4096 -arena \
+		> /tmp/spill-smoke-spill.txt 2> /dev/null
+	grep -o "explored [0-9]* states" /tmp/spill-smoke-base.txt > /tmp/spill-smoke-want.txt
+	grep -o "deepest path [0-9]*, exhausted=[a-z]*" /tmp/spill-smoke-base.txt >> /tmp/spill-smoke-want.txt
+	tail -n 1 /tmp/spill-smoke-base.txt >> /tmp/spill-smoke-want.txt
+	grep -o "explored [0-9]* states" /tmp/spill-smoke-spill.txt > /tmp/spill-smoke-got.txt
+	grep -o "deepest path [0-9]*, exhausted=[a-z]*" /tmp/spill-smoke-spill.txt >> /tmp/spill-smoke-got.txt
+	tail -n 1 /tmp/spill-smoke-spill.txt >> /tmp/spill-smoke-got.txt
+	cmp /tmp/spill-smoke-want.txt /tmp/spill-smoke-got.txt
+	grep -q "^spill: " /tmp/spill-smoke-spill.txt
+	! grep -q "^spill: 0 spills" /tmp/spill-smoke-spill.txt
+	printf '{"magic":"dl-explore-spillrun","version":1}\n{"end":1,"count":0,"crc":"dea4da88"}\n' \
+		> /tmp/spill-smoke-run.sums
+	/tmp/spill-smoke-explore -check-spill-run /tmp/spill-smoke-run.sums | grep -q "spill run ok: 0 sums"
+	printf '{"magic":"dl-explore-spillrun","version":1}\n' > /tmp/spill-smoke-trunc.sums
+	( ! /tmp/spill-smoke-explore -check-spill-run /tmp/spill-smoke-trunc.sums \
+		> /dev/null 2> /tmp/spill-smoke-err.txt )
+	grep -q "invalid spill run" /tmp/spill-smoke-err.txt
+	rm -rf /tmp/spill-smoke-explore /tmp/spill-smoke-dir /tmp/spill-smoke-base.txt \
+		/tmp/spill-smoke-spill.txt /tmp/spill-smoke-want.txt /tmp/spill-smoke-got.txt \
+		/tmp/spill-smoke-run.sums /tmp/spill-smoke-trunc.sums /tmp/spill-smoke-err.txt
+
 # Live-traffic smoke through the real binaries: a 100k-message loopback
 # run must come back with a clean verdict, a TCP session through dlserve
 # (address discovered via -addr-file, same idiom as checkpoint-smoke)
@@ -184,7 +221,7 @@ admin-smoke:
 		/tmp/admin-smoke-client.txt /tmp/admin-smoke-server.jsonl \
 		/tmp/admin-smoke-client.jsonl /tmp/admin-smoke-merge.txt
 
-ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke serve-smoke admin-smoke
+ci: vet lint test race swarm-smoke fuzz-smoke obs-smoke checkpoint-smoke reduction-smoke spill-smoke serve-smoke admin-smoke
 
 # Regenerate BENCH_explore.json (model-checker throughput + dedup memory).
 bench-explore:

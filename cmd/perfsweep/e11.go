@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -83,6 +84,25 @@ type e11Result struct {
 	ReducedStates        int     `json:"reduced_states"`
 	ReducedStatesPerSec  float64 `json:"reduced_states_per_sec"`
 	ReductionRatio       float64 `json:"reduction_ratio"`
+	// Memory-bound-mode A/B: the same workload with the disk-spill
+	// seen-set (tiny threshold forcing real spills) and with the flat
+	// frontier arena, both asserted to explore exactly the baseline state
+	// count — the entry records the representation-equivalence proof the
+	// spill-smoke target re-checks in CI. PeakRSSBytes is the process
+	// high-water mark (ru_maxrss) after all runs.
+	SpillStates       int     `json:"spill_states"`
+	SpillStatesPerSec float64 `json:"spill_states_per_sec"`
+	SpillSeenBytes    int64   `json:"spill_seen_bytes"`
+	SpillThreshold    int     `json:"spill_threshold"`
+	SpillSpills       int64   `json:"spill_spills"`
+	SpillMerges       int64   `json:"spill_merges"`
+	SpillRunFiles     int     `json:"spill_run_files"`
+	SpilledSums       int64   `json:"spilled_sums"`
+	SpillDiskBytes    int64   `json:"spill_disk_bytes"`
+	SpillProbes       int64   `json:"spill_probes"`
+	ArenaStates       int     `json:"arena_states"`
+	ArenaStatesPerSec float64 `json:"arena_states_per_sec"`
+	PeakRSSBytes      int64   `json:"peak_rss_bytes"`
 }
 
 func runE11(workersCSV, jsonPath, label string) error {
@@ -119,7 +139,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 	// Timed runs keep Metrics nil: the benchmark measures the
 	// uninstrumented hot path, the zero-cost-when-disabled contract's
 	// figure of record. Snapshot figures come from one extra untimed run.
-	measure := func(w int, exact bool, reg *obs.Registry, ck explore.CheckpointOptions, sym, por bool) (*explore.Result, time.Duration, error) {
+	measure := func(w int, exact bool, reg *obs.Registry, ck explore.CheckpointOptions, sym, por bool, mod func(*explore.Config)) (*explore.Result, time.Duration, error) {
 		c := cfg
 		c.Monitor = explore.NewSafetyMonitor(true)
 		c.Workers = w
@@ -128,6 +148,9 @@ func runE11(workersCSV, jsonPath, label string) error {
 		c.Checkpoint = ck
 		c.Symmetry = sym
 		c.POR = por
+		if mod != nil {
+			mod(&c)
+		}
 		began := time.Now()
 		res, err := explore.BFS(sys, c)
 		return res, time.Since(began), err
@@ -135,7 +158,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 
 	var base float64
 	for _, w := range workers {
-		res, elapsed, err := measure(w, false, nil, explore.CheckpointOptions{}, false, false)
+		res, elapsed, err := measure(w, false, nil, explore.CheckpointOptions{}, false, false, nil)
 		if err != nil {
 			return err
 		}
@@ -166,7 +189,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 			w, run.States, run.StatesPerSec, run.SpeedupVsW1)
 	}
 
-	exactRes, _, err := measure(1, true, nil, explore.CheckpointOptions{}, false, false)
+	exactRes, _, err := measure(1, true, nil, explore.CheckpointOptions{}, false, false, nil)
 	if err != nil {
 		return err
 	}
@@ -191,7 +214,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 	}
 	defer os.RemoveAll(ckDir)
 	ck := explore.CheckpointOptions{Path: filepath.Join(ckDir, "e11.ckpt"), EveryLevels: 1}
-	ckRes, ckElapsed, err := measure(workers[0], false, nil, ck, false, false)
+	ckRes, ckElapsed, err := measure(workers[0], false, nil, ck, false, false, nil)
 	if err != nil {
 		return err
 	}
@@ -208,7 +231,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 	// snapshot figures: peak frontier width, dedup hit rate, and the
 	// checkpoint write count and last-snapshot size.
 	reg := obs.NewRegistry()
-	if _, _, err := measure(workers[0], false, reg, ck, false, false); err != nil {
+	if _, _, err := measure(workers[0], false, reg, ck, false, false, nil); err != nil {
 		return err
 	}
 	snap := reg.Snapshot()
@@ -233,14 +256,14 @@ func runE11(workersCSV, jsonPath, label string) error {
 	// internal/explore/reduction.go — never changes which states are
 	// reachable, so the POR-only state count equaling the baseline is
 	// asserted here as a live soundness check, not just documented.
-	symRes, symElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, true, false)
+	symRes, symElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, true, false, nil)
 	if err != nil {
 		return err
 	}
 	if symRes.Violation != nil {
 		return fmt.Errorf("e11: symmetry run found a violation the baseline did not: %s", symRes.Violation)
 	}
-	porRes, porElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, false, true)
+	porRes, porElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, false, true, nil)
 	if err != nil {
 		return err
 	}
@@ -251,7 +274,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 		return fmt.Errorf("e11: POR explored %d states, want %d (POR must prune transitions, never states)",
 			porRes.StatesExplored, out.States)
 	}
-	bothRes, bothElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, true, true)
+	bothRes, bothElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, true, true, nil)
 	if err != nil {
 		return err
 	}
@@ -272,7 +295,7 @@ func runE11(workersCSV, jsonPath, label string) error {
 
 	// One instrumented reduced run harvests the reduction counters.
 	redReg := obs.NewRegistry()
-	if _, _, err := measure(workers[0], false, redReg, explore.CheckpointOptions{}, true, true); err != nil {
+	if _, _, err := measure(workers[0], false, redReg, explore.CheckpointOptions{}, true, true, nil); err != nil {
 		return err
 	}
 	redSnap := redReg.Snapshot()
@@ -285,6 +308,51 @@ func runE11(workersCSV, jsonPath, label string) error {
 	fmt.Printf("  sym+por:   %9d states  %8.0f states/sec  reduction %.2fx\n",
 		out.ReducedStates, out.ReducedStatesPerSec, out.ReductionRatio)
 
+	// Memory-bound-mode A/B: disk-spill seen-set with a threshold far
+	// below the state count (forcing several real spills and at least one
+	// merge), and the flat frontier arena — each asserted bit-equivalent
+	// on the state count, the live representation-equivalence check.
+	spillDir, err := os.MkdirTemp("", "perfsweep-e11-spill-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spillDir)
+	out.SpillThreshold = max(out.States/16, 1024)
+	spillRes, spillElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, false, false,
+		func(c *explore.Config) { c.SpillDir = spillDir; c.SpillThreshold = out.SpillThreshold })
+	if err != nil {
+		return err
+	}
+	if spillRes.StatesExplored != out.States || spillRes.Violation != nil {
+		return fmt.Errorf("e11: spill run explored %d states (violation=%v), want %d and none (spill representation unsound?)",
+			spillRes.StatesExplored, spillRes.Violation, out.States)
+	}
+	out.SpillStates = spillRes.StatesExplored
+	out.SpillStatesPerSec = float64(spillRes.StatesExplored) / spillElapsed.Seconds()
+	out.SpillSeenBytes = spillRes.SeenSetBytes
+	if sp := spillRes.Spill; sp != nil {
+		out.SpillSpills, out.SpillMerges, out.SpillProbes = sp.Spills, sp.Merges, sp.Probes
+		out.SpillRunFiles, out.SpilledSums, out.SpillDiskBytes = sp.Runs, sp.SpilledSums, sp.DiskBytes
+	}
+	arenaRes, arenaElapsed, err := measure(workers[0], false, nil, explore.CheckpointOptions{}, false, false,
+		func(c *explore.Config) { c.Arena = true })
+	if err != nil {
+		return err
+	}
+	if arenaRes.StatesExplored != out.States || arenaRes.Violation != nil {
+		return fmt.Errorf("e11: arena run explored %d states (violation=%v), want %d and none (arena representation unsound?)",
+			arenaRes.StatesExplored, arenaRes.Violation, out.States)
+	}
+	out.ArenaStates = arenaRes.StatesExplored
+	out.ArenaStatesPerSec = float64(arenaRes.StatesExplored) / arenaElapsed.Seconds()
+	out.PeakRSSBytes = peakRSSBytes()
+	fmt.Printf("  spill:     %9d states  %8.0f states/sec  front ≈%d B (threshold %d), %d spills/%d merges, %d sums in %d runs (%d B disk), %d probes\n",
+		out.SpillStates, out.SpillStatesPerSec, out.SpillSeenBytes, out.SpillThreshold,
+		out.SpillSpills, out.SpillMerges, out.SpilledSums, out.SpillRunFiles, out.SpillDiskBytes, out.SpillProbes)
+	fmt.Printf("  arena:     %9d states  %8.0f states/sec  (flat-slab frontier)\n",
+		out.ArenaStates, out.ArenaStatesPerSec)
+	fmt.Printf("  peak RSS:  %d bytes (process high-water mark across all runs)\n", out.PeakRSSBytes)
+
 	if jsonPath != "" {
 		if err := appendBenchEntry(jsonPath, out); err != nil {
 			return err
@@ -292,6 +360,16 @@ func runE11(workersCSV, jsonPath, label string) error {
 		fmt.Printf("appended entry to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// peakRSSBytes reports the process's resident-set high-water mark
+// (ru_maxrss, kilobytes on Linux), 0 if unavailable.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
 }
 
 // appendBenchEntry appends one entry to the benchmark file, which is a

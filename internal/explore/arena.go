@@ -1,0 +1,234 @@
+package explore
+
+import (
+	"slices"
+
+	"repro/internal/ioa"
+)
+
+// This file is the flat frontier arena: the []*node frontier re-laid as
+// a few large parallel slabs per BFS level (ROADMAP "Disk-spill seen-set
+// + flat frontier arena"). In classic mode every admitted state is its
+// own heap node — a node struct, a used []bool, and a parent pointer
+// that keeps the whole ancestor chain's states and monitors alive for
+// trace reconstruction. At millions of states per level that is millions
+// of objects for the allocator and garbage collector to track, and the
+// live set includes every ancestor's full state even though only its
+// incoming action can ever be needed again.
+//
+// In arena mode (Config.Arena) a level is one arenaLevel: states and
+// monitors as interface slabs, the used bitmaps bit-packed into a single
+// []uint64 at usedStride words per node, the incoming action per node,
+// and the parent link as a 32-bit index into the previous level's arena.
+// Workers accumulate admissions in private arenaBatch slabs (no per-node
+// allocation) which the barrier concatenates in worker order — exactly
+// the order classic mode concatenates its next slices. Once a level has
+// been fully expanded it is retired: the state, monitor and bitmap slabs
+// are dropped and only the action + parent-index skeleton survives, so a
+// violation trace is reconstructed by replaying indices up the level
+// chain instead of chasing node pointers, and dead branches cost nothing
+// past their level.
+//
+// Equivalence with classic mode is structural: both modes expand the
+// same views in the same frontier order, build dedup keys from the same
+// (state, monitor, used, extraIdx) tuples, admit through the same
+// seen-set, and order the next level identically, so verdicts, traces,
+// state counts and checkpoint bytes are identical (the A/B tests and the
+// spill-smoke target pin this).
+
+// arenaLevel is one BFS level in flat form. A live level has all slabs
+// populated; a retired level keeps only depth/prev/prefix/actions/
+// parents — the trace skeleton.
+type arenaLevel struct {
+	depth  int
+	inputs int // pool size, for unpacking used bitmaps
+	prev   *arenaLevel
+	// prefix is non-nil only on a resumed root level: the schedule that
+	// reached each node, replacing the parent chain the checkpoint did
+	// not persist.
+	prefix []ioa.Schedule
+
+	actions    []ioa.Action // incoming action per node (zero on a fresh root)
+	parents    []uint32     // index into prev's slabs
+	states     []ioa.State
+	monitors   []Monitor
+	usedBits   []uint64 // usedStride words per node, bit i = pool input i used
+	usedStride int
+}
+
+func (a *arenaLevel) size() int { return len(a.actions) }
+
+// newArenaRoot builds the level-0 arena for a fresh search.
+func newArenaRoot(start *node, inputs, usedStride int) *arenaLevel {
+	return &arenaLevel{
+		inputs:     inputs,
+		usedStride: usedStride,
+		actions:    make([]ioa.Action, 1),
+		parents:    make([]uint32, 1),
+		states:     []ioa.State{start.state},
+		monitors:   []Monitor{start.monitor},
+		usedBits:   make([]uint64, usedStride),
+	}
+}
+
+// newArenaFromNodes builds a root level from a restored frontier: the
+// replayed nodes provide states/monitors/bitmaps, and the checkpoint's
+// schedules become the prefix the trace reconstruction bottoms out in.
+// scheds[i] must be the schedule that produced nodes[i].
+func newArenaFromNodes(nodes []*node, scheds []ioa.Schedule, inputs, usedStride int) *arenaLevel {
+	a := &arenaLevel{
+		inputs:     inputs,
+		usedStride: usedStride,
+		prefix:     scheds,
+		actions:    make([]ioa.Action, len(nodes)),
+		parents:    make([]uint32, len(nodes)),
+		states:     make([]ioa.State, len(nodes)),
+		monitors:   make([]Monitor, len(nodes)),
+		usedBits:   make([]uint64, len(nodes)*usedStride),
+	}
+	if len(nodes) > 0 {
+		a.depth = nodes[0].depth
+	}
+	for i, n := range nodes {
+		if len(scheds[i]) > 0 {
+			// The incoming action feeds POR suppression, mirroring the
+			// classic restore path which records it on the replayed node.
+			a.actions[i] = scheds[i][len(scheds[i])-1]
+		}
+		a.parents[i] = uint32(i)
+		a.states[i] = n.state
+		a.monitors[i] = n.monitor
+		packUsed(a.usedBits[i*usedStride:(i+1)*usedStride], n.used)
+	}
+	return a
+}
+
+// nextArenaLevel starts the successor level of prev.
+func nextArenaLevel(prev *arenaLevel) *arenaLevel {
+	return &arenaLevel{
+		depth:      prev.depth + 1,
+		inputs:     prev.inputs,
+		usedStride: prev.usedStride,
+		prev:       prev,
+	}
+}
+
+// packUsed bit-packs a used bitmap into words (len(words) must be the
+// level's usedStride; words must be zeroed).
+func packUsed(words []uint64, used []bool) {
+	for i, u := range used {
+		if u {
+			words[i/64] |= 1 << (i % 64)
+		}
+	}
+}
+
+// unpackUsed expands node i's bitmap into dst (reusing its capacity).
+func (a *arenaLevel) unpackUsed(i int, dst []bool) []bool {
+	if cap(dst) < a.inputs {
+		dst = make([]bool, a.inputs)
+	}
+	dst = dst[:a.inputs]
+	words := a.usedBits[i*a.usedStride : (i+1)*a.usedStride]
+	for j := range dst {
+		dst[j] = words[j/64]&(1<<(j%64)) != 0
+	}
+	return dst
+}
+
+// traceOf reconstructs the schedule reaching node i by replaying parent
+// indices up the retired-level chain — the arena replacement for the
+// classic node.trace() pointer walk.
+func (a *arenaLevel) traceOf(i int) ioa.Schedule {
+	return a.appendTraceOf(nil, i)
+}
+
+// appendTraceOf appends node i's schedule to dst, walking the offset
+// chain twice — once to find the root index and length, once to fill
+// backwards — the arena twin of (*node).appendTrace.
+func (a *arenaLevel) appendTraceOf(dst ioa.Schedule, i int) ioa.Schedule {
+	steps, idx, lvl := 0, i, a
+	for lvl.prev != nil {
+		steps++
+		idx = int(lvl.parents[idx])
+		lvl = lvl.prev
+	}
+	if lvl.prefix != nil {
+		dst = append(dst, lvl.prefix[idx]...)
+	}
+	start := len(dst)
+	dst = slices.Grow(dst, steps)[:start+steps]
+	k := start + steps - 1
+	idx, lvl = i, a
+	for lvl.prev != nil {
+		dst[k] = lvl.actions[idx]
+		k--
+		idx = int(lvl.parents[idx])
+		lvl = lvl.prev
+	}
+	return dst
+}
+
+// retire drops the slabs only a live frontier needs, leaving the trace
+// skeleton. Retiring the level a violation was found in would lose
+// nothing — traces use actions/parents, which survive.
+func (a *arenaLevel) retire() {
+	a.states = nil
+	a.monitors = nil
+	a.usedBits = nil
+}
+
+// absorb appends one worker's batch to the level and clears the batch
+// for reuse.
+func (a *arenaLevel) absorb(ab *arenaBatch) {
+	a.actions = append(a.actions, ab.actions...)
+	a.parents = append(a.parents, ab.parents...)
+	a.states = append(a.states, ab.states...)
+	a.monitors = append(a.monitors, ab.monitors...)
+	a.usedBits = append(a.usedBits, ab.usedBits...)
+	ab.clearForReuse()
+}
+
+// arenaBatch is one worker's private admission slab for the level under
+// construction: the arena-mode replacement of workerBufs.next. The
+// backing arrays persist across levels, so steady-state admission is
+// slab appends, not per-node allocations.
+type arenaBatch struct {
+	actions  []ioa.Action
+	parents  []uint32
+	states   []ioa.State
+	monitors []Monitor
+	usedBits []uint64
+}
+
+func (ab *arenaBatch) size() int { return len(ab.actions) }
+
+// add admits one successor: parent bitmap copied from the parent level
+// with the injected input's bit set.
+func (ab *arenaBatch) add(parent *arenaLevel, parentIdx int, sj *succ) {
+	ab.actions = append(ab.actions, sj.action)
+	ab.parents = append(ab.parents, uint32(parentIdx))
+	ab.states = append(ab.states, sj.state)
+	ab.monitors = append(ab.monitors, sj.monitor)
+	stride := parent.usedStride
+	base := len(ab.usedBits)
+	ab.usedBits = append(ab.usedBits, parent.usedBits[parentIdx*stride:(parentIdx+1)*stride]...)
+	if sj.usedIdx >= 0 {
+		ab.usedBits[base+sj.usedIdx/64] |= 1 << (sj.usedIdx % 64)
+	}
+}
+
+// clearForReuse empties the batch, nilling the pointer-bearing slots so
+// a shrunken next level does not pin states and monitors in the slack
+// capacity — the same stale-tail discipline the classic path applies to
+// its frontier slices.
+func (ab *arenaBatch) clearForReuse() {
+	clear(ab.actions[:cap(ab.actions)])
+	ab.actions = ab.actions[:0]
+	clear(ab.states[:cap(ab.states)])
+	ab.states = ab.states[:0]
+	clear(ab.monitors[:cap(ab.monitors)])
+	ab.monitors = ab.monitors[:0]
+	ab.parents = ab.parents[:0]
+	ab.usedBits = ab.usedBits[:0]
+}

@@ -183,8 +183,37 @@ func EncodeCheckpoint(w io.Writer, c *Checkpoint) error {
 	if err := writeLine(head); err != nil {
 		return err
 	}
+	// Node lines dominate the encode — one per frontier node, each a full
+	// schedule — while drawing on a tiny action alphabet, so each distinct
+	// action's wire form is marshalled once and the lines are assembled in
+	// a reused buffer. The concatenation is byte-identical to marshalling
+	// ckptNodeLine{N: &schedule}: `{"n":[a,…]}` with `null` for a nil
+	// schedule, exactly encoding/json's output for a *[]Action field.
+	actionWire := make(map[ioa.Action][]byte)
+	line := make([]byte, 0, 1<<12)
 	for i := range c.Frontier {
-		if err := writeLine(ckptNodeLine{N: &c.Frontier[i]}); err != nil {
+		if c.Frontier[i] == nil {
+			line = append(line[:0], `{"n":null}`+"\n"...)
+		} else {
+			line = append(line[:0], `{"n":[`...)
+			for j, a := range c.Frontier[i] {
+				wire, ok := actionWire[a]
+				if !ok {
+					var err error
+					wire, err = json.Marshal(a)
+					if err != nil {
+						return err
+					}
+					actionWire[a] = wire
+				}
+				if j > 0 {
+					line = append(line, ',')
+				}
+				line = append(line, wire...)
+			}
+			line = append(line, "]}\n"...)
+		}
+		if _, err := body.Write(line); err != nil {
 			return err
 		}
 	}
@@ -438,7 +467,7 @@ const configDigestSeed = 0xd1c4_c0de_0000_0001
 // covers the protocol, parameters and channel variant through the dedup
 // key). Two searches with equal digests expand equal frontiers equally.
 func (s *search) configDigest(start *node) (string, error) {
-	key, err := s.appendDedupKey(nil, start, nil)
+	key, err := s.appendDedupKey(nil, start.state, start.monitor, start.used, -1, nil)
 	if err != nil {
 		return "", err
 	}
@@ -471,8 +500,13 @@ func (s *search) configDigest(start *node) (string, error) {
 }
 
 // snapshot captures the search at a level barrier: the frontier as
-// per-node schedules plus the dedup set and cumulative counters.
-func (s *search) snapshot(frontier []*node, depthReached int) (*Checkpoint, error) {
+// per-node schedules plus the dedup set and cumulative counters. The
+// frontier representation (classic or arena) and the seen-set
+// representation (in-memory or spilled) both disappear here — the
+// checkpoint bytes are identical across all four combinations, which is
+// what keeps checkpoints resumable under a different representation than
+// they were taken under.
+func (s *search) snapshot(lvl levelRef, depthReached int) (*Checkpoint, error) {
 	c := &Checkpoint{
 		ConfigDigest: s.digest,
 		DepthReached: depthReached,
@@ -480,19 +514,34 @@ func (s *search) snapshot(frontier []*node, depthReached int) (*Checkpoint, erro
 		Truncated:    s.truncated.Load(),
 		Exact:        s.cfg.ExactDedup,
 	}
-	if len(frontier) > 0 {
-		c.Level = frontier[0].depth
+	if lvl.size() > 0 {
+		c.Level = lvl.depth()
 	} else {
 		c.Level = depthReached
 	}
-	c.Frontier = make([]ioa.Schedule, len(frontier))
-	for i, n := range frontier {
-		c.Frontier[i] = n.trace()
+	// Pack every frontier schedule into one shared arena: snapshotting a
+	// 10k-node frontier otherwise allocates 10k short-lived slices per
+	// barrier, and that garbage — not the encode — dominated checkpoint
+	// overhead. Growth past the estimate leaves earlier entries on the
+	// old backing array, which stays correct.
+	c.Frontier = make([]ioa.Schedule, lvl.size())
+	flat := make(ioa.Schedule, 0, lvl.size()*(c.Level+1))
+	for i := range c.Frontier {
+		start := len(flat)
+		flat = lvl.appendSchedule(flat, i)
+		c.Frontier[i] = flat[start:len(flat):len(flat)]
 	}
 	switch set := s.seen.(type) {
 	case *hashedSeen:
 		c.HashSeed = set.hashSeed()
 		c.SeenHashes = set.hashes()
+	case *spilledSeen:
+		c.HashSeed = set.hashSeed()
+		hashes, err := set.mergedHashes()
+		if err != nil {
+			return nil, fmt.Errorf("explore: snapshotting spilled seen-set: %w", err)
+		}
+		c.SeenHashes = hashes
 	case *exactSeen:
 		c.SeenKeys = set.keys()
 	default:
@@ -515,14 +564,33 @@ func (s *search) restore(c *Checkpoint) ([]*node, error) {
 	if c.Exact != s.cfg.ExactDedup {
 		return nil, fmt.Errorf("%w: dedup mode differs", ErrCheckpointMismatch)
 	}
-	if c.Exact {
+	switch {
+	case c.Exact:
 		set := newExactSeen()
 		for _, k := range c.SeenKeys {
 			set.Add([]byte(k))
 		}
 		s.seen = set
-	} else {
+	case s.cfg.SpillDir != "":
+		// The spill set must hash with the checkpoint's seed, so the one
+		// BFS pre-built (random seed, still empty, no run files) is
+		// discarded for a reseeded replacement.
+		if old, ok := s.seen.(*spilledSeen); ok {
+			old.close()
+		}
+		set := newSpilledSeen(c.HashSeed, s.cfg.SpillDir, s.cfg.SpillThreshold)
+		for _, h := range c.SeenHashes {
+			set.addSum(h)
+		}
+		if err := set.Err(); err != nil {
+			return nil, fmt.Errorf("explore: restoring spilled seen-set: %w", err)
+		}
+		s.seen = set
+	default:
 		set := newHashedSeenSeeded(c.HashSeed)
+		if s.cfg.Checkpoint.enabled() {
+			set.trackRuns()
+		}
 		for _, h := range c.SeenHashes {
 			set.addSum(h)
 		}
@@ -612,7 +680,7 @@ func newCheckpointer(s *search, opts CheckpointOptions) *checkpointer {
 // due; final forces a write (the graceful-stop path). Failures surface
 // as search errors: a user who asked for durability must notice losing
 // it.
-func (c *checkpointer) maybeWrite(frontier []*node, depthReached int, final bool) error {
+func (c *checkpointer) maybeWrite(lvl levelRef, depthReached int, final bool) error {
 	if !c.opts.enabled() {
 		return nil
 	}
@@ -630,7 +698,7 @@ func (c *checkpointer) maybeWrite(frontier []*node, depthReached int, final bool
 	}
 	// lint:ignore determinism obs-only duration for the checkpoint event
 	began := time.Now()
-	snap, err := c.s.snapshot(frontier, depthReached)
+	snap, err := c.s.snapshot(lvl, depthReached)
 	if err != nil {
 		return err
 	}

@@ -21,12 +21,22 @@
 // remain barriers, every node at depths below the first violating level is
 // fully expanded before that level is entered, so a returned trace is a
 // shortest violating schedule regardless of worker count.
+//
+// Two opt-in representations let searches scale past RAM: Config.SpillDir
+// moves the cold majority of the seen-set into sorted run files on disk
+// (spill.go), and Config.Arena re-lays each frontier level as flat slabs
+// with 32-bit parent offsets instead of one heap node per state
+// (arena.go). Both are pure representation changes: verdicts, traces,
+// state counts and checkpoint files are identical to the in-memory
+// defaults.
 package explore
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,7 +99,24 @@ type Config struct {
 	// ExactDedup deduplicates on full fingerprint keys instead of 64-bit
 	// hashes: the collision-paranoid escape hatch, at ~key-length bytes
 	// per state instead of 8 (see seenset.go for the collision analysis).
+	// Incompatible with SpillDir (runs are fixed-width sum files).
 	ExactDedup bool
+	// SpillDir, when non-empty, selects the disk-spill seen-set: the
+	// in-memory front is bounded by SpillThreshold and cold fingerprints
+	// live in sorted run files under this directory (which must exist and
+	// be writable; run files are removed when the search ends). A pure
+	// representation change — verdicts, traces, state counts and
+	// checkpoints are identical to the in-memory hashed set. See spill.go.
+	SpillDir string
+	// SpillThreshold is the maximum in-memory front size (fingerprints)
+	// before a spill; 0 means DefaultSpillThreshold. Only meaningful with
+	// SpillDir.
+	SpillThreshold int
+	// Arena re-lays each frontier level as flat slabs (states, monitors,
+	// bit-packed used maps) with 32-bit parent offsets instead of one
+	// heap node per state; retired levels keep only the action/parent
+	// trace skeleton. A pure representation change; see arena.go.
+	Arena bool
 	// Symmetry enables symmetry reduction: dedup keys canonicalise payload
 	// tokens and packet IDs to first-use order, and the inputs-used bitmap
 	// collapses to per-class counts, so states differing only by a
@@ -125,8 +152,10 @@ type Config struct {
 	// Resume, when non-nil, restores the search from a decoded checkpoint
 	// instead of the start state. The rest of the Config must describe the
 	// same search the checkpoint was taken under (validated by digest);
-	// Workers may differ. Resuming and running to the end yields the same
-	// Result the uninterrupted run would have produced.
+	// Workers may differ, as may SpillDir/SpillThreshold/Arena — they are
+	// representation choices, not search parameters. Resuming and running
+	// to the end yields the same Result the uninterrupted run would have
+	// produced.
 	Resume *Checkpoint
 	// Stop, when non-nil, requests a graceful stop: once the channel is
 	// closed the search finishes the in-flight level, writes a final
@@ -141,6 +170,23 @@ const (
 	DefaultMaxDepth  = 40
 	DefaultMaxStates = 1 << 20
 )
+
+// SpillReport summarises disk-spill seen-set activity for a finished
+// search (Result.Spill; nil unless Config.SpillDir was set).
+type SpillReport struct {
+	// Spills counts spill events (front flushed to disk).
+	Spills int64
+	// Merges counts compacting run merges.
+	Merges int64
+	// Probes counts run-file lookups that got past the Bloom filter.
+	Probes int64
+	// Runs is the number of live run files at the end.
+	Runs int
+	// SpilledSums is the number of fingerprints on disk at the end.
+	SpilledSums int64
+	// DiskBytes is the total size of the live run files at the end.
+	DiskBytes int64
+}
 
 // Result reports a search outcome.
 type Result struct {
@@ -170,14 +216,24 @@ type Result struct {
 	// DepthReached is the longest path explored.
 	DepthReached int
 	// SeenSetBytes approximates the heap held by the dedup set: the
-	// memory-per-state figure the hashed seen-set exists to shrink.
+	// memory-per-state figure the hashed seen-set exists to shrink. In
+	// spill mode this is the bounded in-memory footprint; the disk side
+	// is in Spill.
 	SeenSetBytes int64
+	// Spill summarises disk-spill activity (nil unless Config.SpillDir
+	// was set).
+	Spill *SpillReport
 }
 
 // ErrNoMonitor is returned when Config.Monitor is nil.
 var ErrNoMonitor = errors.New("explore: config needs a monitor")
 
-// node is a search frontier entry.
+// ErrSpillConfig is returned for spill configurations the explorer
+// cannot honour.
+var ErrSpillConfig = errors.New("explore: invalid spill configuration")
+
+// node is a search frontier entry in classic (non-arena) mode, and the
+// carrier the checkpoint replay path reconstructs frontiers into.
 type node struct {
 	state   ioa.State
 	monitor Monitor
@@ -189,15 +245,26 @@ type node struct {
 }
 
 func (n *node) trace() ioa.Schedule {
-	var rev ioa.Schedule
+	return n.appendTrace(nil)
+}
+
+// appendTrace appends the root-to-node schedule to dst, walking the
+// parent chain twice — once to size, once to fill backwards — so bulk
+// callers (checkpoint snapshots) can pack many traces into one shared
+// arena without per-node garbage.
+func (n *node) appendTrace(dst ioa.Schedule) ioa.Schedule {
+	steps := 0
 	for cur := n; cur.parent != nil; cur = cur.parent {
-		rev = append(rev, cur.action)
+		steps++
 	}
-	out := make(ioa.Schedule, len(rev))
-	for i := range rev {
-		out[len(rev)-1-i] = rev[i]
+	start := len(dst)
+	dst = slices.Grow(dst, steps)[:start+steps]
+	k := start + steps - 1
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		dst[k] = cur.action
+		k--
 	}
-	return out
+	return dst
 }
 
 // search carries the per-run state shared by the level workers.
@@ -222,6 +289,11 @@ type search struct {
 	count     atomic.Int64 // distinct states admitted (start included)
 	truncated atomic.Bool  // a fresh state was dropped for budget
 
+	// arena selects the flat-slab frontier representation; usedStride is
+	// the bit-packed used-bitmap width in words.
+	arena      bool
+	usedStride int
+
 	// Reduction state (see reduction.go). sym is the EFFECTIVE symmetry
 	// switch: Config.Symmetry gated on the protocol's PayloadOpaque claim
 	// and on pairwise-distinct send_msg pool tokens. classOf collapses the
@@ -244,26 +316,102 @@ type search struct {
 
 	// ins holds the resolved observability handles (all nil when
 	// Config.Metrics is nil — the zero-cost disabled mode); began is the
-	// search start time for trace timestamps and progress rates.
-	ins   instruments
-	began time.Time
+	// search start time for trace timestamps and progress rates;
+	// spillPrev is observeSpill's last stats snapshot for counter deltas.
+	ins       instruments
+	began     time.Time
+	spillPrev spillStats
 }
 
-// succNode pairs a successor with a violation detected on its incoming
-// action.
-type succNode struct {
-	node      *node
+// nodeView is the representation-independent read view of one frontier
+// node: what expand and the dedup-key builder need, whether the node
+// lives as a heap *node or as row i of an arena level.
+type nodeView struct {
+	state   ioa.State
+	monitor Monitor
+	used    []bool
+	depth   int
+	action  ioa.Action
+}
+
+// succ is one successor produced by expand: a value, not a node. The
+// admitting side decides the representation — a heap node with a parent
+// pointer (classic) or a slab row with a parent offset (arena) — and
+// only for successors that survive dedup, so the expansion hot path
+// allocates no per-successor objects in either mode.
+type succ struct {
+	state   ioa.State
+	monitor Monitor
+	action  ioa.Action
+	// usedIdx is the pool input injected by action, or -1; the successor's
+	// used bitmap is the parent's with this bit set, materialised only on
+	// admission.
+	usedIdx   int
 	violation *Violation
 }
 
+// levelRef points at the current BFS level in either representation;
+// exactly one field is set (arena wins as discriminator).
+type levelRef struct {
+	classic []*node
+	arena   *arenaLevel
+}
+
+func (l levelRef) size() int {
+	if l.arena != nil {
+		return l.arena.size()
+	}
+	return len(l.classic)
+}
+
+func (l levelRef) depth() int {
+	if l.arena != nil {
+		return l.arena.depth
+	}
+	if len(l.classic) > 0 {
+		return l.classic[0].depth
+	}
+	return 0
+}
+
+// view materialises node i; scratch is the caller's reused unpack buffer
+// (used and returned only in arena mode).
+func (l levelRef) view(i int, scratch []bool) (nodeView, []bool) {
+	if l.arena != nil {
+		a := l.arena
+		scratch = a.unpackUsed(i, scratch)
+		return nodeView{state: a.states[i], monitor: a.monitors[i], used: scratch, depth: a.depth, action: a.actions[i]}, scratch
+	}
+	n := l.classic[i]
+	return nodeView{state: n.state, monitor: n.monitor, used: n.used, depth: n.depth, action: n.action}, scratch
+}
+
+// schedule reconstructs the schedule reaching node i (a fresh slice the
+// caller owns).
+func (l levelRef) schedule(i int) ioa.Schedule {
+	return l.appendSchedule(nil, i)
+}
+
+// appendSchedule appends node i's schedule to dst (see appendTrace).
+func (l levelRef) appendSchedule(dst ioa.Schedule, i int) ioa.Schedule {
+	if l.arena != nil {
+		return l.arena.appendTraceOf(dst, i)
+	}
+	return l.classic[i].appendTrace(dst)
+}
+
 // workerBufs is one worker's reused scratch: the dedup-key buffer, the
-// expand successor buffer, and the worker's slice of the next frontier.
-// All three persist across levels, so steady-state expansion allocates
-// only the successor nodes themselves.
+// expand successor buffer, and the worker's slice of the next frontier
+// (next in classic mode, batch in arena mode). All persist across
+// levels, so steady-state expansion allocates nothing per successor.
 type workerBufs struct {
 	key  []byte
-	succ []succNode
+	succ []succ
 	next []*node
+	// batch is the arena-mode admission slab (unused otherwise); usedView
+	// is the arena-mode bitmap unpack scratch.
+	batch    arenaBatch
+	usedView []bool
 	// canon is the worker's token-canonicalisation table (nil unless
 	// symmetry reduction is active); classCnt is its per-class used-count
 	// scratch. Both are reused across every key the worker builds.
@@ -274,10 +422,11 @@ type workerBufs struct {
 // foundViolation is a violation found while expanding a level, tagged with
 // its (frontier index, successor index) so the earliest-in-frontier-order
 // one can be preferred; with Workers == 1 that is exactly the violation a
-// sequential scan finds first.
+// sequential scan finds first. The trace is reconstructed at the barrier
+// as the parent's schedule plus the violating action.
 type foundViolation struct {
-	node      *node
 	violation *Violation
+	action    ioa.Action
 	frontIdx  int
 	succIdx   int
 }
@@ -289,12 +438,16 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 	if cfg.Monitor == nil {
 		return nil, ErrNoMonitor
 	}
+	if cfg.SpillDir != "" && cfg.ExactDedup {
+		return nil, fmt.Errorf("%w: spill requires hashed dedup (run files hold fixed-width sums)", ErrSpillConfig)
+	}
 	s := &search{
 		sys:      sys,
 		cfg:      cfg,
 		extSig:   sys.Hidden.Signature(),
 		comps:    sys.Comp.Components(),
 		maxDepth: cfg.MaxDepth,
+		arena:    cfg.Arena,
 	}
 	if s.maxDepth <= 0 {
 		s.maxDepth = DefaultMaxDepth
@@ -303,11 +456,28 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 	if s.maxStates <= 0 {
 		s.maxStates = DefaultMaxStates
 	}
-	if cfg.ExactDedup {
+	s.usedStride = (len(cfg.Inputs) + 63) / 64
+	switch {
+	case cfg.ExactDedup:
 		s.seen = newExactSeen()
-	} else {
-		s.seen = newHashedSeen()
+	case cfg.SpillDir != "":
+		s.seen = newSpilledSeen(randomSeed(), cfg.SpillDir, cfg.SpillThreshold)
+	default:
+		h := newHashedSeen()
+		if cfg.Checkpoint.enabled() {
+			// Checkpoints call hashes() at every cadence barrier; run
+			// tracking turns each call into an incremental tail merge
+			// instead of a full re-sort of the set.
+			h.trackRuns()
+		}
+		s.seen = h
 	}
+	// Spill run files are private to this search; drop them on any exit.
+	defer func() {
+		if sp, ok := s.seen.(*spilledSeen); ok {
+			sp.close()
+		}
+	}()
 	s.chans = make([]*channel.Channel, len(s.comps))
 	for i, comp := range s.comps {
 		if ch, ok := comp.(*channel.Channel); ok {
@@ -351,72 +521,142 @@ func BFS(sys *core.System, cfg Config) (*Result, error) {
 	s.digest = digest
 
 	res := &Result{Exhausted: true}
-	var frontier []*node
+	var cur levelRef
 	if cfg.Resume != nil {
-		frontier, err = s.restore(cfg.Resume)
+		nodes, err := s.restore(cfg.Resume)
 		if err != nil {
 			return nil, err
 		}
+		if s.arena {
+			cur = levelRef{arena: newArenaFromNodes(nodes, cfg.Resume.Frontier, len(cfg.Inputs), s.usedStride)}
+		} else {
+			cur = levelRef{classic: nodes}
+		}
 		res.DepthReached = cfg.Resume.DepthReached
 	} else {
-		key, err := s.appendDedupKey(nil, start, &bufs[0])
+		key, err := s.appendDedupKey(nil, start.state, start.monitor, start.used, -1, &bufs[0])
 		if err != nil {
 			return nil, err
 		}
 		s.seen.Add(key)
 		s.count.Store(1)
-		frontier = []*node{start}
+		if s.arena {
+			cur = levelRef{arena: newArenaRoot(start, len(cfg.Inputs), s.usedStride)}
+		} else {
+			cur = levelRef{classic: []*node{start}}
+		}
 	}
 	ck := newCheckpointer(s, cfg.Checkpoint)
 	var spare []*node
-	for len(frontier) > 0 {
-		res.DepthReached = frontier[0].depth
-		if frontier[0].depth >= s.maxDepth {
+	for cur.size() > 0 {
+		depth := cur.depth()
+		res.DepthReached = depth
+		if depth >= s.maxDepth {
 			res.DepthLimited = true
 			break
 		}
-		found, err := s.expandLevel(frontier, bufs, workers)
+		found, err := s.expandLevel(cur, bufs, workers)
 		if err != nil {
+			return nil, err
+		}
+		// Spill-mode disk errors are recorded during expansion and
+		// surfaced here, before anything built on their answers escapes.
+		if err := s.seenErr(); err != nil {
 			return nil, err
 		}
 		admitted := 0
 		for w := range bufs {
-			admitted += len(bufs[w].next)
+			admitted += len(bufs[w].next) + bufs[w].batch.size()
 		}
-		s.observeLevel(frontier[0].depth, len(frontier), admitted)
+		s.observeLevel(depth, cur.size(), admitted)
+		s.observeSpill()
 		if found != nil {
 			res.Violation = found.violation
-			res.Trace = found.node.trace()
+			res.Trace = append(cur.schedule(found.frontIdx), found.action)
 			// The violating node sits one level below the frontier being
 			// expanded; recording the frontier depth under-reported by one
 			// and disagreed with len(res.Trace).
-			res.DepthReached = found.node.depth
+			res.DepthReached = depth + 1
 			break
 		}
-		spare = spare[:0]
-		for w := range bufs {
-			spare = append(spare, bufs[w].next...)
+		if s.arena {
+			next := nextArenaLevel(cur.arena)
+			for w := range bufs {
+				next.absorb(&bufs[w].batch)
+			}
+			cur.arena.retire()
+			cur = levelRef{arena: next}
+		} else {
+			frontier := promoteNext(spare, bufs)
+			// The swapped-out slice's stale slots — and the worker copies
+			// promoteNext already dropped — would otherwise pin the whole
+			// expanded level (and its dead branches' parent chains) for
+			// another level; ancestors of live nodes stay reachable through
+			// the nodes' own parent pointers.
+			spare = clearNodeSlice(cur.classic)
+			cur = levelRef{classic: frontier}
 		}
-		frontier, spare = spare, frontier
 		// Level barrier: the frontier is a complete cut of the search, so
 		// this is the one place a checkpoint is coherent and a stop is
 		// resumable. A graceful stop forces a final checkpoint write.
 		if stopRequested(cfg.Stop) {
 			res.Interrupted = true
-			if err := ck.maybeWrite(frontier, res.DepthReached, true); err != nil {
+			if err := ck.maybeWrite(cur, res.DepthReached, true); err != nil {
 				return nil, err
 			}
 			break
 		}
-		if err := ck.maybeWrite(frontier, res.DepthReached, false); err != nil {
+		if err := ck.maybeWrite(cur, res.DepthReached, false); err != nil {
 			return nil, err
 		}
 	}
 	res.StatesExplored = int(min(s.count.Load(), s.maxStates))
 	res.Exhausted = res.Exhausted && !s.truncated.Load() && !res.Interrupted
 	res.SeenSetBytes = s.seen.ApproxBytes()
+	if sp, ok := s.seen.(*spilledSeen); ok {
+		st := sp.stats()
+		res.Spill = &SpillReport{
+			Spills: st.Spills, Merges: st.Merges, Probes: st.Probes,
+			Runs: st.Runs, SpilledSums: st.Spilled, DiskBytes: st.DiskBytes,
+		}
+	}
 	s.observeDone(res)
 	return res, nil
+}
+
+// promoteNext concatenates the workers' next buffers (in worker order,
+// matching the arena barrier) into dst's storage and clears every stale
+// *node the reused slices still hold — both dst's slack capacity and the
+// worker buffers just copied out. Without the clears, dead nodes from
+// wider earlier levels stay reachable through slice tails and pin their
+// entire parent chains past their live window.
+func promoteNext(dst []*node, bufs []workerBufs) []*node {
+	dst = dst[:0]
+	for w := range bufs {
+		dst = append(dst, bufs[w].next...)
+		bufs[w].next = clearNodeSlice(bufs[w].next)
+	}
+	clear(dst[len(dst):cap(dst)])
+	return dst
+}
+
+// clearNodeSlice nils the slice's full capacity and returns it empty for
+// reuse.
+func clearNodeSlice(s []*node) []*node {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
+
+// seenErr surfaces the first disk error a spill-mode seen-set recorded
+// (non-spill sets cannot fail).
+func (s *search) seenErr() error {
+	if sp, ok := s.seen.(*spilledSeen); ok {
+		if err := sp.Err(); err != nil {
+			return fmt.Errorf("explore: spill seen-set: %w", err)
+		}
+	}
+	return nil
 }
 
 // stopRequested polls a graceful-stop channel without blocking.
@@ -439,11 +679,15 @@ const levelBatch = 32
 
 // expandLevel expands one BFS level with the configured worker pool. Each
 // worker claims batches of frontier indices from an atomic cursor, builds
-// dedup keys in its private reused buffer, and appends fresh successors to
-// its private next slice; the caller concatenates those slices after the
-// barrier. The first violation (in frontier order among those seen) or
-// error cancels the level's context so the other workers stop early.
-func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (*foundViolation, error) {
+// dedup keys in its private reused buffer, and admits fresh successors to
+// its private next slice (classic) or batch slab (arena); the caller
+// concatenates those in worker order after the barrier. The first
+// violation (in frontier order among those seen) or error cancels the
+// level's context so the other workers stop early.
+func (s *search) expandLevel(lvl levelRef, bufs []workerBufs, workers int) (*foundViolation, error) {
+	if lvl.arena != nil && lvl.size() > math.MaxUint32 {
+		return nil, fmt.Errorf("explore: level of %d nodes overflows 32-bit arena offsets", lvl.size())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -466,35 +710,39 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 		cancel()
 	}
 
+	size := lvl.size()
 	work := func(w int) {
 		b := &bufs[w]
 		b.next = b.next[:0]
 		for ctx.Err() == nil {
 			i := int(cursor.Add(levelBatch)) - levelBatch
-			if i >= len(frontier) {
+			if i >= size {
 				return
 			}
-			end := min(i+levelBatch, len(frontier))
+			end := min(i+levelBatch, size)
 			for ; i < end; i++ {
 				if ctx.Err() != nil {
 					return
 				}
-				succ, err := s.expand(frontier[i], b.succ[:0])
-				b.succ = succ
+				var view nodeView
+				view, b.usedView = lvl.view(i, b.usedView)
+				sl, err := s.expand(view, b.succ[:0])
+				b.succ = sl
 				if err != nil {
 					report(nil, err)
 					return
 				}
 				s.ins.workers[w].Inc()
 				s.ins.expanded.Inc()
-				s.ins.fanout.Observe(int64(len(succ)))
+				s.ins.fanout.Observe(int64(len(sl)))
 				if s.por {
-					s.ins.ampleSize.Observe(int64(len(succ)))
+					s.ins.ampleSize.Observe(int64(len(sl)))
 				}
-				for j := range succ {
-					if succ[j].violation != nil {
+				for j := range sl {
+					sj := &sl[j]
+					if sj.violation != nil {
 						report(&foundViolation{
-							node: succ[j].node, violation: succ[j].violation,
+							violation: sj.violation, action: sj.action,
 							frontIdx: i, succIdx: j,
 						}, nil)
 						return
@@ -503,7 +751,7 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 					if b.canon != nil {
 						renames0 = b.canon.Assigned()
 					}
-					b.key, err = s.appendDedupKey(b.key[:0], succ[j].node, b)
+					b.key, err = s.appendDedupKey(b.key[:0], sj.state, sj.monitor, view.used, sj.usedIdx, b)
 					if err != nil {
 						report(nil, err)
 						return
@@ -521,13 +769,26 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 						continue
 					}
 					s.ins.admitted.Inc()
-					b.next = append(b.next, succ[j].node)
+					if lvl.arena != nil {
+						b.batch.add(lvl.arena, i, sj)
+						continue
+					}
+					parent := lvl.classic[i]
+					used := parent.used
+					if sj.usedIdx >= 0 {
+						used = append([]bool(nil), parent.used...)
+						used[sj.usedIdx] = true
+					}
+					b.next = append(b.next, &node{
+						state: sj.state, monitor: sj.monitor, used: used,
+						depth: view.depth + 1, parent: parent, action: sj.action,
+					})
 				}
 			}
 		}
 	}
 
-	if workers == 1 || len(frontier) <= 1 {
+	if workers == 1 || size <= 1 {
 		for w := 1; w < workers; w++ {
 			bufs[w].next = bufs[w].next[:0]
 		}
@@ -552,11 +813,13 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 // futures: the protocol automata contribute their exact state, the
 // channels only their residual (deliverable packets — delivered, lost and
 // FIFO-blocked entries can never matter again, and packet IDs are analysis
-// labels), plus the monitor state and the set of remaining inputs. Merging
-// on this key is sound because the monitor never inspects packet
-// identities. The key is built through the AppendFingerprint fast paths
-// into the caller's reused buffer; per explored state the dedup path
-// allocates nothing beyond amortised buffer growth.
+// labels), plus the monitor state and the set of remaining inputs (the
+// parent's used bitmap with extraIdx set, passed unmaterialised so dedup
+// probes copy nothing). Merging on this key is sound because the monitor
+// never inspects packet identities. The key is built through the
+// AppendFingerprint fast paths into the caller's reused buffer; per
+// explored state the dedup path allocates nothing beyond amortised buffer
+// growth.
 //
 // When symmetry reduction is active (b != nil with a canon), the key is
 // built through the canonical fingerprint paths instead: payload tokens
@@ -565,10 +828,10 @@ func (s *search) expandLevel(frontier []*node, bufs []workerBufs, workers int) (
 // canonical keys then certify a bijective token renaming between the two
 // nodes — an automorphism for payload-opaque protocols — so the merge
 // stays sound (see reduction.go). b == nil always takes the raw path.
-func (s *search) appendDedupKey(dst []byte, n *node, b *workerBufs) ([]byte, error) {
-	cs, ok := n.state.(ioa.CompositeState)
+func (s *search) appendDedupKey(dst []byte, state ioa.State, monitor Monitor, used []bool, extraIdx int, b *workerBufs) ([]byte, error) {
+	cs, ok := state.(ioa.CompositeState)
 	if !ok {
-		return nil, fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, n.state)
+		return nil, fmt.Errorf("%w: want CompositeState, got %T", ioa.ErrBadState, state)
 	}
 	var canon *ioa.Canon
 	if b != nil {
@@ -600,20 +863,20 @@ func (s *search) appendDedupKey(dst []byte, n *node, b *workerBufs) ([]byte, err
 		}
 	}
 	dst = append(dst, '|')
-	if cf, ok := n.monitor.(ioa.CanonFingerprinter); ok && canon != nil {
+	if cf, ok := monitor.(ioa.CanonFingerprinter); ok && canon != nil {
 		dst = cf.AppendCanonFingerprint(dst, canon)
-	} else if af, ok := n.monitor.(ioa.AppendFingerprinter); ok {
+	} else if af, ok := monitor.(ioa.AppendFingerprinter); ok {
 		dst = af.AppendFingerprint(dst)
 	} else {
-		dst = append(dst, n.monitor.Fingerprint()...)
+		dst = append(dst, monitor.Fingerprint()...)
 	}
 	dst = append(dst, '|')
 	if canon != nil {
-		dst = s.appendUsedClassCounts(dst, n.used, b)
+		dst = s.appendUsedClassCounts(dst, used, extraIdx, b)
 		return dst, nil
 	}
-	for _, u := range n.used {
-		if u {
+	for i, u := range used {
+		if u || i == extraIdx {
 			dst = append(dst, '1')
 		} else {
 			dst = append(dst, '0')
@@ -622,20 +885,22 @@ func (s *search) appendDedupKey(dst []byte, n *node, b *workerBufs) ([]byte, err
 	return dst, nil
 }
 
-// expand appends all successors of a node to out: every eligible pool
-// input (the first unused instance of each distinct action) and every
-// eligible enabled locally-controlled action. out's backing array is the
-// caller's reused buffer.
+// expand appends all successors of a node view to out: every eligible
+// pool input (the first unused instance of each distinct action) and
+// every eligible enabled locally-controlled action. Successors are
+// values; out's backing array is the caller's reused buffer, and no node
+// or bitmap is materialised here — that happens on admission, in the
+// caller's chosen representation.
 //
 // Packet IDs are assigned canonically as the per-channel send index
 // ((PL2)'s uniqueness is per channel direction): structurally identical
 // states then have identical fingerprints regardless of the path taken,
 // which is what makes state deduplication effective — and sound, since
 // the IDs carry no information a protocol may use.
-func (s *search) expand(cur *node, out []succNode) ([]succNode, error) {
+func (s *search) expand(cur nodeView, out []succ) ([]succ, error) {
 	enabled := s.sys.Comp.Enabled(cur.state)
 	if need := len(s.cfg.Inputs) + len(enabled); cap(out) < need {
-		out = make([]succNode, 0, need)
+		out = make([]succ, 0, need)
 	}
 	apply := func(a ioa.Action, usedIdx int) error {
 		if a.Kind == ioa.KindSendPkt && a.Pkt.ID == 0 {
@@ -654,15 +919,7 @@ func (s *search) expand(cur *node, out []succNode) ([]succNode, error) {
 		if s.extSig.ContainsExternal(a) {
 			mon, viol = mon.Step(a)
 		}
-		used := cur.used
-		if usedIdx >= 0 {
-			used = append([]bool(nil), cur.used...)
-			used[usedIdx] = true
-		}
-		out = append(out, succNode{
-			node:      &node{state: st, monitor: mon, used: used, depth: cur.depth + 1, parent: cur, action: a},
-			violation: viol,
-		})
+		out = append(out, succ{state: st, monitor: mon, action: a, usedIdx: usedIdx, violation: viol})
 		return nil
 	}
 

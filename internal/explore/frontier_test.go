@@ -1,0 +1,109 @@
+package explore
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ioa"
+)
+
+func TestClearNodeSlice(t *testing.T) {
+	s := make([]*node, 3, 8)
+	s[0], s[1], s[2] = &node{}, &node{}, &node{}
+	s = append(s, &node{}) // occupy part of the spare capacity too
+	got := clearNodeSlice(s)
+	if len(got) != 0 || cap(got) != 8 {
+		t.Fatalf("len=%d cap=%d, want 0 and 8", len(got), cap(got))
+	}
+	full := got[:cap(got)]
+	for i, p := range full {
+		if p != nil {
+			t.Fatalf("slot %d still holds a pointer after clearNodeSlice", i)
+		}
+	}
+}
+
+func TestPromoteNextClearsStaleTail(t *testing.T) {
+	// Fill a spare slice to capacity with old pointers, then promote a
+	// smaller next generation into it: every slot past the new length
+	// must come back nil, and the worker buffers must come back empty
+	// with their own capacity scrubbed.
+	spare := make([]*node, 6)
+	for i := range spare {
+		spare[i] = &node{}
+	}
+	bufs := []workerBufs{
+		{next: []*node{{action: ioa.Action{}}, {}}},
+		{next: []*node{{}}},
+	}
+	got := promoteNext(spare[:0], bufs)
+	if len(got) != 3 {
+		t.Fatalf("promoted %d nodes, want 3", len(got))
+	}
+	for i, p := range got[:cap(got)] {
+		if i < 3 && p == nil {
+			t.Fatalf("slot %d lost its node", i)
+		}
+		if i >= 3 && p != nil {
+			t.Fatalf("stale pointer survives in tail slot %d", i)
+		}
+	}
+	for w := range bufs {
+		b := bufs[w].next
+		if len(b) != 0 {
+			t.Fatalf("worker %d next not reset", w)
+		}
+		for i, p := range b[:cap(b)] {
+			if p != nil {
+				t.Fatalf("worker %d buffer slot %d still holds a pointer", w, i)
+			}
+		}
+	}
+}
+
+// TestFrontierSwapReleasesDeadNodes is the retained-heap probe behind
+// the frontier/spare swap bugfix. Before the fix, the spare slice kept
+// the previous level's *node pointers alive in its unused tail, pinning
+// an entire retired generation (states, monitors, used bitmaps) for the
+// rest of the search. Finalizers on the dead generation must all fire
+// while the spare slice — same backing array, same capacity — is still
+// reachable.
+func TestFrontierSwapReleasesDeadNodes(t *testing.T) {
+	const dead = 64
+	var finalized atomic.Int64
+
+	frontier := make([]*node, 0, dead)
+	for i := 0; i < dead; i++ {
+		nd := &node{depth: i}
+		runtime.SetFinalizer(nd, func(*node) { finalized.Add(1) })
+		frontier = append(frontier, nd)
+	}
+	live := &node{depth: dead}
+	bufs := []workerBufs{{next: []*node{live}}}
+
+	// The BFS barrier swap: next generation promoted into the spare,
+	// the old frontier scrubbed and retained as the next spare.
+	spare := make([]*node, 0, dead)
+	next := promoteNext(spare, bufs)
+	spare = clearNodeSlice(frontier)
+	frontier = next
+
+	deadline := time.Now().Add(5 * time.Second)
+	for finalized.Load() < dead && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	if got := finalized.Load(); got != dead {
+		t.Errorf("only %d/%d dead nodes were collected; the spare slice is pinning the retired generation", got, dead)
+	}
+	if cap(spare) != dead {
+		t.Errorf("spare lost its capacity: %d, want %d", cap(spare), dead)
+	}
+	if len(frontier) != 1 || frontier[0] != live {
+		t.Fatalf("live node lost by the swap")
+	}
+	runtime.KeepAlive(spare)
+	runtime.KeepAlive(frontier)
+}

@@ -149,8 +149,10 @@ func symPoolOK(inputs []ioa.Action) bool {
 }
 
 // appendUsedClassCounts appends the symmetric replacement of the used
-// bitmap: one count per input class, in class order.
-func (s *search) appendUsedClassCounts(dst []byte, used []bool, b *workerBufs) []byte {
+// bitmap: one count per input class, in class order. extraIdx (or -1) is
+// a pool input counted as used on top of the bitmap — the successor's
+// injected input, so dedup probes need no materialised successor bitmap.
+func (s *search) appendUsedClassCounts(dst []byte, used []bool, extraIdx int, b *workerBufs) []byte {
 	cnt := b.classCnt
 	if cap(cnt) < s.numClasses {
 		cnt = make([]int, s.numClasses)
@@ -165,6 +167,9 @@ func (s *search) appendUsedClassCounts(dst []byte, used []bool, b *workerBufs) [
 		if u {
 			cnt[s.classOf[i]]++
 		}
+	}
+	if extraIdx >= 0 {
+		cnt[s.classOf[extraIdx]]++
 	}
 	for i, v := range cnt {
 		if i > 0 {

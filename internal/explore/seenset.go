@@ -3,15 +3,16 @@ package explore
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"math/bits"
 	"sort"
 	"sync"
 )
 
 // The explorer dedups up to millions of states; the seen-set is its main
-// memory consumer and, under parallel BFS, its main contention point. Both
+// memory consumer and, under parallel BFS, its main contention point. All
 // implementations below are mutex-striped across seenShards shards chosen
 // by the key's 64-bit hash, so concurrent workers rarely collide on a
-// lock, and both accept transient []byte keys so callers can build keys in
+// lock, and all accept transient []byte keys so callers can build keys in
 // a reused buffer.
 //
 // hashedSeen stores only the 64-bit hash of each key (8 bytes per state
@@ -22,7 +23,9 @@ import (
 // the default 2²⁰-state budget), and a collision can only cause a missed
 // state, never a false violation — traces are re-validated by the monitor
 // on the path that reaches them. Config.ExactDedup selects exactSeen for
-// collision-paranoid runs.
+// collision-paranoid runs. spilledSeen (spill.go) is the third
+// implementation: hashed dedup whose cold majority lives in sorted runs
+// on disk, for searches that outgrow RAM.
 //
 // The hash is a seeded multiply-xor mix (hash64 below) rather than
 // hash/maphash: maphash's seed is deliberately opaque and cannot be
@@ -31,6 +34,25 @@ import (
 // the fingerprint the interrupted run did.
 
 const seenShards = 16
+
+// seenShardBits / seenShardShift are derived from seenShards so the
+// shard-selection shift can never drift from the shard count (they used
+// to be two independently hardcoded constants). The zero-length array
+// pins seenShards to a power of two at compile time: a non-power-of-two
+// count would make the dimension negative and refuse to compile.
+var (
+	_              [-(seenShards & (seenShards - 1))]struct{}
+	seenShardBits  = bits.Len(uint(seenShards - 1))
+	seenShardShift = uint(64 - seenShardBits)
+)
+
+// shardOf selects the shard for a 64-bit sum from its top bits. Because
+// the selector is the value's MOST significant bits, shard i holds
+// exactly the sums in [i<<seenShardShift, (i+1)<<seenShardShift): the
+// shards partition the sum space into consecutive ascending ranges, so a
+// globally sorted enumeration is the concatenation of per-shard sorted
+// slices — the fact the incremental checkpoint path below relies on.
+func shardOf(sum uint64) int { return int(sum >> seenShardShift) }
 
 // seenSet is a concurrency-safe dedup set over transient byte-slice keys.
 type seenSet interface {
@@ -59,11 +81,13 @@ func randomSeed() uint64 {
 	return binary.LittleEndian.Uint64(b[:])
 }
 
-// hash64 is the seeded 64-bit key hash shared by both seen-sets: 8-byte
+// hash64 is the seeded 64-bit key hash shared by all seen-sets: 8-byte
 // little-endian lanes folded through the splitmix64 finalizer, with the
 // length and the tail mixed in so prefixes and zero-padded keys cannot
 // alias. Unlike hash/maphash the (seed, key) → hash mapping is a pure
-// function of its arguments, so it survives a checkpoint/restart.
+// function of its arguments, so it survives a checkpoint/restart; the
+// golden vectors in seenset_test.go pin the mapping against silent
+// change.
 func hash64(seed uint64, key []byte) uint64 {
 	h := seed ^ mix64(uint64(len(key)))
 	for ; len(key) >= 8; key = key[8:] {
@@ -89,16 +113,30 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// hashedShard is one stripe of hashedSeen: the membership map plus — in
+// checkpoint-tracking mode — the shard's sums maintained as a sorted run
+// with an unsorted pending tail, so a barrier snapshot merges the small
+// tail instead of re-sorting the whole set.
+type hashedShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+	// sorted holds every sum merged at a previous hashes() call, in
+	// ascending order; pending holds the sums admitted since, unsorted.
+	// Both are nil unless the set was built with run tracking (the
+	// checkpoint-enabled mode pays ~8 extra bytes per entry for barriers
+	// that cost O(new) instead of O(n log n)).
+	sorted  []uint64
+	pending []uint64
+	// pad the shard to its own cache line so neighbouring locks do not
+	// false-share under contention.
+	_ [16]byte
+}
+
 // hashedSeen dedups on 64-bit hash64 fingerprints.
 type hashedSeen struct {
 	seed   uint64
-	shards [seenShards]struct {
-		mu sync.Mutex
-		m  map[uint64]struct{}
-		// pad the shard to its own cache line so neighbouring locks do not
-		// false-share under contention.
-		_ [40]byte
-	}
+	track  bool
+	shards [seenShards]hashedShard
 }
 
 func newHashedSeen() *hashedSeen { return newHashedSeenSeeded(randomSeed()) }
@@ -113,6 +151,12 @@ func newHashedSeenSeeded(seed uint64) *hashedSeen {
 	return h
 }
 
+// trackRuns switches on per-shard sorted-run maintenance. BFS enables it
+// exactly when checkpointing is configured: hashes() is then called at
+// every cadence barrier, and the incremental merge keeps that from being
+// a full re-sort of the set each time.
+func (h *hashedSeen) trackRuns() { h.track = true }
+
 func (h *hashedSeen) Add(key []byte) bool {
 	return h.addSum(hash64(h.seed, key))
 }
@@ -120,11 +164,14 @@ func (h *hashedSeen) Add(key []byte) bool {
 // addSum inserts a precomputed fingerprint; the checkpoint restore path
 // feeds persisted fingerprints straight back in.
 func (h *hashedSeen) addSum(sum uint64) bool {
-	sh := &h.shards[sum>>(64-4)]
+	sh := &h.shards[shardOf(sum)]
 	sh.mu.Lock()
 	_, dup := sh.m[sum]
 	if !dup {
 		sh.m[sum] = struct{}{}
+		if h.track {
+			sh.pending = append(sh.pending, sum)
+		}
 	}
 	sh.mu.Unlock()
 	return !dup
@@ -136,18 +183,67 @@ func (h *hashedSeen) hashSeed() uint64 { return h.seed }
 // hashes returns every admitted fingerprint in ascending order. The set
 // is order-independent, and sorting makes the checkpoint encoding
 // byte-deterministic for a given search state.
+//
+// Because shardOf splits on the sums' top bits, the shards hold disjoint
+// consecutive ranges, so the global ascending order is just the
+// concatenation of the per-shard ascending slices. In tracking mode each
+// shard sorts only its pending tail (the sums admitted since the last
+// barrier) and back-merges it into the standing sorted run — O(new log
+// new + n) per barrier against the old O(n log n) full re-sort that
+// dominated checkpoint overhead. Untracked sets fall back to
+// extract-and-sort per shard.
 func (h *hashedSeen) hashes() []uint64 {
 	out := make([]uint64, 0, h.Len())
+	scratch := []uint64(nil)
 	for i := range h.shards {
 		sh := &h.shards[i]
 		sh.mu.Lock()
-		for sum := range sh.m {
-			out = append(out, sum) // lint:ignore determinism set members; sorted below before any output
+		if h.track {
+			sh.mergePending()
+			out = append(out, sh.sorted...)
+		} else {
+			scratch = scratch[:0]
+			for sum := range sh.m {
+				scratch = append(scratch, sum)
+			}
+			sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+			out = append(out, scratch...)
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// mergePending folds the shard's unsorted pending tail into its standing
+// sorted run: sort the tail, then merge from the back in place. Caller
+// holds the shard lock.
+func (sh *hashedShard) mergePending() {
+	if len(sh.pending) == 0 {
+		return
+	}
+	sort.Slice(sh.pending, func(a, b int) bool { return sh.pending[a] < sh.pending[b] })
+	sh.sorted = mergeSortedInto(sh.sorted, sh.pending)
+	sh.pending = sh.pending[:0]
+}
+
+// mergeSortedInto merges ascending tail into ascending run in place
+// (growing run), walking from the back so no element is overwritten
+// before it is read. O(len(run)+len(tail)), allocation-free once run's
+// capacity suffices.
+func mergeSortedInto(run, tail []uint64) []uint64 {
+	n, p := len(run), len(tail)
+	run = append(run, tail...)
+	i, k := n-1, n+p-1
+	for j := p - 1; j >= 0; k-- {
+		if i >= 0 && run[i] > tail[j] {
+			run[k] = run[i]
+			i--
+		} else {
+			run[k] = tail[j]
+			j--
+		}
+	}
+	return run
 }
 
 func (h *hashedSeen) Len() int {
@@ -170,11 +266,28 @@ func (h *hashedSeen) ShardLens() []int {
 	return out
 }
 
-// hashedEntryBytes estimates a map[uint64]struct{} entry: 8 key bytes plus
-// roughly as much again in bucket overhead and load-factor slack.
-const hashedEntryBytes = 16
+// hashedEntryBytes estimates a map[uint64]struct{} entry as held by the
+// runtime: the 8 key bytes plus control bytes, load-factor slack
+// (occupancy ~7/8 of capacity at best, half that just after a growth)
+// and growth-time table duplication, amortised. The figure is calibrated
+// against runtime.ReadMemStats over a million-entry sharded set in
+// seenset_test.go — the earlier guess of 16 under-reported real heap by
+// more than 2x, which matters now that the spill threshold keys off
+// Result.SeenSetBytes.
+const hashedEntryBytes = 32
 
-func (h *hashedSeen) ApproxBytes() int64 { return int64(h.Len()) * hashedEntryBytes }
+func (h *hashedSeen) ApproxBytes() int64 {
+	var b int64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		b += int64(len(sh.m)) * hashedEntryBytes
+		// Tracking mode additionally holds each sum in its sorted run.
+		b += int64(cap(sh.sorted)+cap(sh.pending)) * 8
+		sh.mu.Unlock()
+	}
+	return b
+}
 
 // exactSeen dedups on full key strings: the Config.ExactDedup escape
 // hatch, immune to hash collisions at ~key-length bytes per state.
@@ -189,8 +302,11 @@ type exactSeen struct {
 }
 
 // exactEntryOverhead estimates the per-entry cost beyond the key bytes:
-// the string header plus map bucket overhead.
-const exactEntryOverhead = 48
+// the string header, the key allocation's size-class rounding, and the
+// map's per-entry share of buckets and slack. Calibrated the same way as
+// hashedEntryBytes (see seenset_test.go); the earlier guess of 48 was
+// ~30% low.
+const exactEntryOverhead = 64
 
 func newExactSeen() *exactSeen {
 	e := &exactSeen{seed: randomSeed()}
@@ -202,7 +318,7 @@ func newExactSeen() *exactSeen {
 
 func (e *exactSeen) Add(key []byte) bool {
 	sum := hash64(e.seed, key)
-	sh := &e.shards[sum>>(64-4)]
+	sh := &e.shards[shardOf(sum)]
 	sh.mu.Lock()
 	// The map lookup with a string(key) conversion does not allocate; the
 	// key is only materialized when it is genuinely new.

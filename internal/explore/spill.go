@@ -1,0 +1,951 @@
+package explore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the explorer's third seen-set: hashed dedup whose cold
+// majority lives on disk. Exhaustive searches are memory-bound on the
+// seen-set long before they are CPU-bound (ROADMAP "Disk-spill seen-set
+// + flat frontier arena"); spilledSeen keeps a bounded in-memory front —
+// the recently admitted sums plus a Bloom filter over everything spilled
+// — and moves cold sums into sorted run files under Config.SpillDir
+// whenever the front outgrows Config.SpillThreshold.
+//
+// A run file reuses the checkpoint codec's sorted-sum block format:
+// JSONL, a magic/version header, base64-encoded little-endian u64 chunks
+// of at most ckptHashesPerLine sums per line, and a CRC32-IEEE footer
+// covering header and body (the footer also carries the sum count, which
+// a streaming writer only knows at the end). The decoder is strict —
+// wrong magic or version, a malformed line, a count or checksum
+// mismatch, out-of-order sums or trailing data all error wrapping the
+// typed ErrSpillFormat, and never panic (FuzzSpillRunDecode pins this).
+//
+// Membership is checked front first, then — only when the Bloom filter
+// answers "maybe" — by binary-searching the runs' chunk indexes and
+// reading back a single chunk per candidate run. Runs are pairwise
+// disjoint and disjoint from the front (a sum is checked against both
+// before admission, and spilling moves sums atomically from front to
+// run), so Len is the plain total and the merged enumeration needs no
+// deduplication. When the run count reaches spillMaxRuns the runs are
+// compacted into one by a streaming k-way merge, which also resizes and
+// rebuilds the Bloom filter. The merge invariant — every run strictly
+// ascending, all runs pairwise disjoint — is what makes mergedHashes() a
+// cheap streaming merge instead of an extract-and-sort of the whole set.
+
+// ErrSpillFormat reports a structurally invalid spill run file.
+var ErrSpillFormat = errors.New("explore: invalid spill run")
+
+// SpillRunMagic identifies spill run files.
+const SpillRunMagic = "dl-explore-spillrun"
+
+// SpillRunVersion is the current run format version.
+const SpillRunVersion = 1
+
+// DefaultSpillThreshold is the in-memory front budget (sums) when
+// Config.SpillDir is set but Config.SpillThreshold is zero.
+const DefaultSpillThreshold = 1 << 20
+
+// spillMaxRuns caps the run-file count before a compacting merge: small
+// enough that a Bloom false positive touches few files, large enough
+// that merges amortise.
+const spillMaxRuns = 8
+
+// wire types of the spill run JSONL lines. Hash lines reuse ckptSeenLine.
+type spillRunHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+}
+
+type spillRunFooter struct {
+	End   *int   `json:"end"`
+	Count int64  `json:"count"`
+	CRC   string `json:"crc"`
+}
+
+// spillChunk locates one hash line inside a run file for random access.
+type spillChunk struct {
+	first uint64 // first (smallest) sum in the chunk
+	off   int64  // byte offset of the line
+	size  int32  // line length including the trailing newline
+	n     int32  // sums in the chunk
+}
+
+// spillRun is one immutable sorted run on disk plus its in-memory chunk
+// index and a one-chunk read cache (duplicate probes cluster by level,
+// so the last chunk read is often the next one needed).
+type spillRun struct {
+	path   string
+	f      *os.File
+	count  int64
+	last   uint64 // largest sum in the run
+	bytes  int64
+	chunks []spillChunk
+
+	cacheMu  sync.Mutex
+	cacheIdx int
+	cache    []uint64
+}
+
+// spillRunWriter streams an ascending sum sequence into the run format,
+// buffering one chunk at a time; count and CRC land in the footer.
+type spillRunWriter struct {
+	path  string
+	f     *os.File
+	w     *bufio.Writer
+	crc   hash.Hash32
+	off   int64
+	count int64
+	prev  uint64
+	chunk []uint64
+	idx   []spillChunk
+	lines int
+}
+
+func newSpillRunWriter(path string) (*spillRunWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &spillRunWriter{path: path, f: f, w: bufio.NewWriterSize(f, 1<<20), crc: crc32.NewIEEE()}
+	if err := w.writeLine(spillRunHeader{Magic: SpillRunMagic, Version: SpillRunVersion}); err != nil {
+		w.abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+// abort closes and removes the partial file.
+func (w *spillRunWriter) abort() {
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// writeLine marshals v as one JSONL line, feeding the CRC and the offset
+// counter.
+func (w *spillRunWriter) writeLine(v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	w.crc.Write(blob)
+	n, err := w.w.Write(blob)
+	w.off += int64(n)
+	w.lines++
+	return err
+}
+
+// add appends one sum; sums must arrive strictly ascending (the callers
+// feed merged sorted sources, so this is an invariant check, not a sort).
+func (w *spillRunWriter) add(sum uint64) error {
+	if w.count > 0 && sum <= w.prev {
+		return fmt.Errorf("explore: spill writer fed out-of-order sum %016x after %016x", sum, w.prev)
+	}
+	w.prev = sum
+	w.count++
+	w.chunk = append(w.chunk, sum)
+	if len(w.chunk) >= ckptHashesPerLine {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *spillRunWriter) flushChunk() error {
+	if len(w.chunk) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, len(w.chunk)*8)
+	for _, h := range w.chunk {
+		buf = binary.LittleEndian.AppendUint64(buf, h)
+	}
+	ck := spillChunk{first: w.chunk[0], off: w.off, n: int32(len(w.chunk))}
+	if err := w.writeLine(ckptSeenLine{H: base64.StdEncoding.EncodeToString(buf)}); err != nil {
+		return err
+	}
+	ck.size = int32(w.off - ck.off)
+	w.idx = append(w.idx, ck)
+	w.chunk = w.chunk[:0]
+	return nil
+}
+
+// finish flushes, writes the CRC footer, syncs, and returns the readable
+// run (the writer's file handle is handed over for ReadAt access).
+func (w *spillRunWriter) finish() (*spillRun, error) {
+	fail := func(err error) (*spillRun, error) {
+		w.abort()
+		return nil, err
+	}
+	if err := w.flushChunk(); err != nil {
+		return fail(err)
+	}
+	body := w.lines
+	foot := spillRunFooter{End: &body, Count: w.count, CRC: fmt.Sprintf("%08x", w.crc.Sum32())}
+	blob, err := json.Marshal(foot)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := w.w.Write(append(blob, '\n')); err != nil {
+		return fail(err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail(err)
+	}
+	size, err := w.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fail(err)
+	}
+	return &spillRun{
+		path: w.path, f: w.f, count: w.count, last: w.prev,
+		bytes: size, chunks: w.idx, cacheIdx: -1,
+	}, nil
+}
+
+// writeSpillRun writes one fully in-memory ascending batch as a run file.
+func writeSpillRun(path string, sums []uint64) (*spillRun, error) {
+	w, err := newSpillRunWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sums {
+		if err := w.add(s); err != nil {
+			w.abort()
+			return nil, err
+		}
+	}
+	return w.finish()
+}
+
+// EncodeSpillRun writes sums — which must be strictly ascending — to w
+// in the run file format. The spill path itself uses the streaming
+// spillRunWriter (it needs ReadAt-able storage and a chunk index); this
+// is the plain-stream counterpart paired with DecodeSpillRun for tests,
+// fuzzing and tooling.
+func EncodeSpillRun(w io.Writer, sums []uint64) error {
+	crc := crc32.NewIEEE()
+	lines := 0
+	writeLine := func(v any) error {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		crc.Write(blob)
+		lines++
+		_, err = w.Write(blob)
+		return err
+	}
+	if err := writeLine(spillRunHeader{Magic: SpillRunMagic, Version: SpillRunVersion}); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, ckptHashesPerLine*8)
+	for i := 0; i < len(sums); i += ckptHashesPerLine {
+		end := min(i+ckptHashesPerLine, len(sums))
+		buf = buf[:0]
+		for j := i; j < end; j++ {
+			if j > 0 && sums[j] <= sums[j-1] {
+				return fmt.Errorf("explore: EncodeSpillRun fed out-of-order sums")
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, sums[j])
+		}
+		if err := writeLine(ckptSeenLine{H: base64.StdEncoding.EncodeToString(buf)}); err != nil {
+			return err
+		}
+	}
+	foot := spillRunFooter{End: &lines, Count: int64(len(sums)), CRC: fmt.Sprintf("%08x", crc.Sum32())}
+	blob, err := json.Marshal(foot)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// DecodeSpillRun reads and validates one spill run stream, returning the
+// sums in ascending order. Every structural deviation — bad magic,
+// unknown version, a malformed line, out-of-order or duplicate sums, a
+// count or checksum mismatch, trailing data — is an error wrapping
+// ErrSpillFormat; the decoder never panics on corrupt or truncated
+// input.
+func DecodeSpillRun(r io.Reader) ([]uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<23)
+	crc := crc32.NewIEEE()
+	lineNo := 0
+	nextLine := func() ([]byte, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrSpillFormat, err)
+			}
+			return nil, fmt.Errorf("%w: truncated after %d lines", ErrSpillFormat, lineNo)
+		}
+		lineNo++
+		return sc.Bytes(), nil
+	}
+	strict := func(line []byte, v any) error {
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrSpillFormat, lineNo, err)
+		}
+		if dec.More() {
+			return fmt.Errorf("%w: line %d: trailing data on line", ErrSpillFormat, lineNo)
+		}
+		return nil
+	}
+	// The CRC covers the header and body lines but not the footer, which
+	// carries it; a line is folded in only once classified as non-footer.
+	addCRC := func(line []byte) {
+		crc.Write(line)
+		crc.Write([]byte{'\n'})
+	}
+
+	line, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	var head spillRunHeader
+	if err := strict(line, &head); err != nil {
+		return nil, err
+	}
+	if head.Magic != SpillRunMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrSpillFormat, head.Magic)
+	}
+	if head.Version != SpillRunVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads version %d)",
+			ErrSpillFormat, head.Version, SpillRunVersion)
+	}
+	addCRC(line)
+
+	var sums []uint64
+	for {
+		line, err := nextLine()
+		if err != nil {
+			return nil, err
+		}
+		// Body lines carry "h"; the first line that does not parse as one
+		// must be the footer.
+		var sl ckptSeenLine
+		if err := strict(line, &sl); err == nil && sl.H != "" && sl.K == nil {
+			blob, err := base64.StdEncoding.DecodeString(sl.H)
+			if err != nil || len(blob) == 0 || len(blob)%8 != 0 {
+				return nil, fmt.Errorf("%w: line %d: bad sum chunk", ErrSpillFormat, lineNo)
+			}
+			for ; len(blob) >= 8; blob = blob[8:] {
+				s := binary.LittleEndian.Uint64(blob)
+				if len(sums) > 0 && s <= sums[len(sums)-1] {
+					return nil, fmt.Errorf("%w: line %d: sums out of order (%016x after %016x)",
+						ErrSpillFormat, lineNo, s, sums[len(sums)-1])
+				}
+				sums = append(sums, s)
+			}
+			addCRC(line)
+			continue
+		}
+		bodyLines := lineNo - 1
+		var foot spillRunFooter
+		if err := strict(line, &foot); err != nil {
+			return nil, err
+		}
+		if foot.End == nil || *foot.End != bodyLines {
+			return nil, fmt.Errorf("%w: footer line count mismatch", ErrSpillFormat)
+		}
+		if foot.Count != int64(len(sums)) {
+			return nil, fmt.Errorf("%w: footer count %d, decoded %d sums", ErrSpillFormat, foot.Count, len(sums))
+		}
+		if foot.CRC != fmt.Sprintf("%08x", crc.Sum32()) {
+			return nil, fmt.Errorf("%w: checksum mismatch (file corrupt?)", ErrSpillFormat)
+		}
+		if sc.Scan() {
+			return nil, fmt.Errorf("%w: data after footer", ErrSpillFormat)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpillFormat, err)
+		}
+		return sums, nil
+	}
+}
+
+// contains reports membership of sum in the run by chunk-index binary
+// search plus at most one (cached) chunk read.
+func (r *spillRun) contains(sum uint64) (bool, error) {
+	if len(r.chunks) == 0 || sum < r.chunks[0].first || sum > r.last {
+		return false, nil
+	}
+	// Last chunk whose first <= sum.
+	idx := sort.Search(len(r.chunks), func(i int) bool { return r.chunks[i].first > sum }) - 1
+	if idx < 0 {
+		return false, nil
+	}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if r.cacheIdx != idx {
+		sums, err := r.readChunk(idx, r.cache[:0])
+		if err != nil {
+			return false, err
+		}
+		r.cache, r.cacheIdx = sums, idx
+	}
+	c := r.cache
+	j := sort.Search(len(c), func(i int) bool { return c[i] >= sum })
+	return j < len(c) && c[j] == sum, nil
+}
+
+// readChunk reads and decodes one hash line by its recorded offset,
+// appending the sums to dst.
+func (r *spillRun) readChunk(idx int, dst []uint64) ([]uint64, error) {
+	ck := r.chunks[idx]
+	buf := make([]byte, ck.size)
+	if _, err := r.f.ReadAt(buf, ck.off); err != nil {
+		return nil, fmt.Errorf("%w: reading chunk at %d: %v", ErrSpillFormat, ck.off, err)
+	}
+	if len(buf) == 0 || buf[len(buf)-1] != '\n' {
+		return nil, fmt.Errorf("%w: chunk at %d not newline-terminated", ErrSpillFormat, ck.off)
+	}
+	var sl ckptSeenLine
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sl); err != nil || sl.H == "" {
+		return nil, fmt.Errorf("%w: chunk at %d malformed", ErrSpillFormat, ck.off)
+	}
+	blob, err := base64.StdEncoding.DecodeString(sl.H)
+	if err != nil || int32(len(blob)) != ck.n*8 {
+		return nil, fmt.Errorf("%w: chunk at %d: bad sum payload", ErrSpillFormat, ck.off)
+	}
+	for ; len(blob) >= 8; blob = blob[8:] {
+		dst = append(dst, binary.LittleEndian.Uint64(blob))
+	}
+	return dst, nil
+}
+
+// iter returns a streaming cursor over the run's sums in ascending
+// order, reading one chunk at a time.
+func (r *spillRun) iter() *spillRunIter {
+	return &spillRunIter{run: r}
+}
+
+type spillRunIter struct {
+	run   *spillRun
+	chunk int
+	buf   []uint64
+	pos   int
+}
+
+// next returns the next sum; ok is false at exhaustion.
+func (it *spillRunIter) next() (sum uint64, ok bool, err error) {
+	for it.pos >= len(it.buf) {
+		if it.chunk >= len(it.run.chunks) {
+			return 0, false, nil
+		}
+		it.buf, err = it.run.readChunk(it.chunk, it.buf[:0])
+		if err != nil {
+			return 0, false, err
+		}
+		it.chunk++
+		it.pos = 0
+	}
+	sum = it.buf[it.pos]
+	it.pos++
+	return sum, true, nil
+}
+
+func (r *spillRun) close(remove bool) {
+	r.f.Close()
+	if remove {
+		os.Remove(r.path)
+	}
+}
+
+// ---- Bloom front ----
+
+// spillBloom is a fixed-size Bloom filter over every spilled sum: the
+// cheap "definitely not on disk" gate in front of the run files. It is
+// mutated only while the runs lock is held for writing and read under
+// the read lock, so it needs no atomics. A false positive costs one
+// chunk read per run; false negatives are impossible, so correctness
+// never depends on it.
+type spillBloom struct {
+	bits []uint64
+	mask uint64
+}
+
+// bloomHashes is the number of probe positions per key; with ~12 bits
+// per key this yields a false-positive rate well under 1%.
+const bloomHashes = 7
+
+// newSpillBloom sizes the filter for about capacity keys at ~12 bits
+// each, rounded up to a power of two of words.
+func newSpillBloom(capacity int) *spillBloom {
+	words := 1
+	for words*64 < capacity*12 {
+		words <<= 1
+	}
+	return &spillBloom{bits: make([]uint64, words), mask: uint64(words*64 - 1)}
+}
+
+// Probe positions are double-hashing derived (Kirsch–Mitzenmacher) from
+// two independent mixes of the sum.
+func (b *spillBloom) add(sum uint64) {
+	h1, h2 := mix64(sum), mix64(sum^0xa5a5a5a5a5a5a5a5)
+	for i := uint64(0); i < bloomHashes; i++ {
+		pos := (h1 + i*h2) & b.mask
+		b.bits[pos>>6] |= 1 << (pos & 63)
+	}
+}
+
+func (b *spillBloom) maybe(sum uint64) bool {
+	h1, h2 := mix64(sum), mix64(sum^0xa5a5a5a5a5a5a5a5)
+	for i := uint64(0); i < bloomHashes; i++ {
+		pos := (h1 + i*h2) & b.mask
+		if b.bits[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *spillBloom) bytes() int64 { return int64(len(b.bits) * 8) }
+
+// ---- the spilled seen-set ----
+
+// spillStats is the observability snapshot of a spilled set.
+type spillStats struct {
+	Spills    int64 // spill events
+	Runs      int   // live run files
+	Spilled   int64 // sums currently on disk
+	DiskBytes int64 // bytes across live run files
+	Merges    int64 // compacting merges performed
+	Probes    int64 // run lookups past the Bloom filter
+}
+
+// spilledSeen dedups on hash64 sums like hashedSeen, but bounds its
+// in-memory footprint: a striped recent-window front plus a Bloom
+// filter, with the cold majority in sorted run files under dir.
+type spilledSeen struct {
+	seed      uint64
+	dir       string
+	threshold int
+
+	front [seenShards]struct {
+		mu sync.Mutex
+		m  map[uint64]struct{}
+		_  [40]byte
+	}
+	frontCount atomic.Int64
+
+	spilling atomic.Bool
+	probes   atomic.Int64
+
+	runsMu    sync.RWMutex
+	runs      []*spillRun
+	blm       *spillBloom
+	spilled   int64
+	diskBytes int64
+	runSeq    int
+	spills    int64
+	merges    int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// newSpilledSeen builds the set; dir must exist and be writable.
+func newSpilledSeen(seed uint64, dir string, threshold int) *spilledSeen {
+	if threshold <= 0 {
+		threshold = DefaultSpillThreshold
+	}
+	s := &spilledSeen{seed: seed, dir: dir, threshold: threshold, blm: newSpillBloom(threshold)}
+	for i := range s.front {
+		s.front[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// fail records the first disk error; the search surfaces it at the next
+// level barrier (Add itself has a boolean-only contract).
+func (s *spilledSeen) fail(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// Err returns the first disk error the set has hit, if any.
+func (s *spilledSeen) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+func (s *spilledSeen) Add(key []byte) bool {
+	return s.addSum(hash64(s.seed, key))
+}
+
+// addSum admits a precomputed fingerprint exactly once across front and
+// runs (the checkpoint restore path also feeds persisted fingerprints
+// straight back in).
+func (s *spilledSeen) addSum(sum uint64) bool {
+	sh := &s.front[shardOf(sum)]
+	sh.mu.Lock()
+	_, dup := sh.m[sum]
+	sh.mu.Unlock()
+	if dup {
+		return false
+	}
+	if s.inSpilled(sum) {
+		return false
+	}
+	// Fresh at first glance: insert, rechecking under the lock (a racing
+	// admitter of the same sum may have won meanwhile).
+	sh.mu.Lock()
+	if _, dup := sh.m[sum]; dup {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[sum] = struct{}{}
+	sh.mu.Unlock()
+	if s.frontCount.Add(1) >= int64(s.threshold) {
+		s.spill()
+	}
+	return true
+}
+
+// inSpilled consults the Bloom filter and, on a maybe, the run files. A
+// disk error is recorded and the sum treated as fresh: the search aborts
+// at the next level barrier, before any result built on the answer can
+// escape.
+func (s *spilledSeen) inSpilled(sum uint64) bool {
+	s.runsMu.RLock()
+	defer s.runsMu.RUnlock()
+	if len(s.runs) == 0 || !s.blm.maybe(sum) {
+		return false
+	}
+	for _, r := range s.runs {
+		s.probes.Add(1)
+		ok, err := r.contains(sum)
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// spill moves the current front to disk: collect and sort the front's
+// sums, write them as one run (or fold them into a compacting merge of
+// all runs when the run count is at its cap), publish the new run and
+// Bloom bits, and only then delete exactly the collected sums from the
+// front. Admissions racing in between collect and delete survive in the
+// maps, and a concurrent lookup always finds a sum in the front or the
+// runs, because publish precedes delete.
+func (s *spilledSeen) spill() {
+	if !s.spilling.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.spilling.Store(false)
+	if s.frontCount.Load() < int64(s.threshold) {
+		return // another spill drained the front while we raced for the flag
+	}
+
+	var collected [seenShards][]uint64
+	total := 0
+	for i := range s.front {
+		sh := &s.front[i]
+		batch := make([]uint64, 0, 1024)
+		sh.mu.Lock()
+		for sum := range sh.m {
+			batch = append(batch, sum)
+		}
+		sh.mu.Unlock()
+		sort.Slice(batch, func(a, b int) bool { return batch[a] < batch[b] })
+		collected[i] = batch
+		total += len(batch)
+	}
+	if total == 0 {
+		return
+	}
+	// Shards are consecutive ascending ranges (shardOf), so the globally
+	// sorted batch is the concatenation.
+	batch := make([]uint64, 0, total)
+	for i := range collected {
+		batch = append(batch, collected[i]...)
+	}
+
+	s.runsMu.RLock()
+	nRuns := len(s.runs)
+	s.runsMu.RUnlock()
+	var err error
+	if nRuns+1 > spillMaxRuns {
+		err = s.mergeWith(batch)
+	} else {
+		err = s.writeNewRun(batch)
+	}
+	if err != nil {
+		s.fail(err)
+		return // the front keeps the sums; membership stays correct
+	}
+
+	// The batch is durable and published: drop exactly it from the front.
+	// Admissions that raced in after collection stay in the maps.
+	for i := range s.front {
+		sh := &s.front[i]
+		sh.mu.Lock()
+		for _, sum := range collected[i] {
+			delete(sh.m, sum)
+		}
+		sh.mu.Unlock()
+	}
+	s.frontCount.Add(int64(-total))
+}
+
+// writeNewRun appends one run file holding batch and publishes it.
+func (s *spilledSeen) writeNewRun(batch []uint64) error {
+	s.runsMu.Lock()
+	seq := s.runSeq
+	s.runSeq++
+	s.runsMu.Unlock()
+	run, err := writeSpillRun(s.runPath(seq), batch)
+	if err != nil {
+		return err
+	}
+	s.runsMu.Lock()
+	s.runs = append(s.runs, run)
+	for _, sum := range batch {
+		s.blm.add(sum)
+	}
+	s.spilled += int64(len(batch))
+	s.diskBytes += run.bytes
+	s.spills++
+	s.runsMu.Unlock()
+	return nil
+}
+
+// mergeWith streams all existing runs plus batch into one new run,
+// rebuilding the Bloom filter at the new cardinality, then swaps the run
+// list and removes the old files. Lookups proceed against the old runs
+// until the swap.
+func (s *spilledSeen) mergeWith(batch []uint64) error {
+	s.runsMu.Lock()
+	old := append([]*spillRun(nil), s.runs...)
+	seq := s.runSeq
+	s.runSeq++
+	s.runsMu.Unlock()
+
+	total := int64(len(batch))
+	for _, r := range old {
+		total += r.count
+	}
+	blm := newSpillBloom(int(total)*2 + s.threshold)
+
+	w, err := newSpillRunWriter(s.runPath(seq))
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		w.abort()
+		return err
+	}
+
+	// K-way merge: run iterators plus the in-memory batch. Sources are
+	// pairwise disjoint, so strictly ascending output needs no dedup.
+	iters := make([]*spillRunIter, len(old))
+	heads := make([]uint64, len(old))
+	alive := make([]bool, len(old))
+	for i, r := range old {
+		iters[i] = r.iter()
+		heads[i], alive[i], err = iters[i].next()
+		if err != nil {
+			return abort(err)
+		}
+	}
+	bi := 0
+	for {
+		best, bestSum := -1, uint64(0)
+		for i := range iters {
+			if alive[i] && (best == -1 || heads[i] < bestSum) {
+				best, bestSum = i, heads[i]
+			}
+		}
+		useBatch := bi < len(batch) && (best == -1 || batch[bi] < bestSum)
+		if best == -1 && !useBatch {
+			break
+		}
+		var sum uint64
+		if useBatch {
+			sum = batch[bi]
+			bi++
+		} else {
+			sum = bestSum
+			heads[best], alive[best], err = iters[best].next()
+			if err != nil {
+				return abort(err)
+			}
+		}
+		if err := w.add(sum); err != nil {
+			return abort(err)
+		}
+		blm.add(sum)
+	}
+	merged, err := w.finish()
+	if err != nil {
+		return err
+	}
+
+	s.runsMu.Lock()
+	s.runs = []*spillRun{merged}
+	s.blm = blm
+	s.spilled = merged.count
+	s.diskBytes = merged.bytes
+	s.spills++
+	s.merges++
+	s.runsMu.Unlock()
+	for _, r := range old {
+		r.close(true)
+	}
+	return nil
+}
+
+func (s *spilledSeen) runPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("run-%06d.sums", seq))
+}
+
+// hashSeed exposes the seed for checkpointing.
+func (s *spilledSeen) hashSeed() uint64 { return s.seed }
+
+// mergedHashes streams every admitted sum — front and runs — in
+// ascending order: the checkpoint payload. The sources are disjoint
+// sorted sequences, so this is a k-way merge, not an extract-and-sort.
+func (s *spilledSeen) mergedHashes() ([]uint64, error) {
+	s.runsMu.RLock()
+	defer s.runsMu.RUnlock()
+
+	frontSums := make([]uint64, 0, s.frontCount.Load())
+	scratch := []uint64(nil)
+	for i := range s.front {
+		sh := &s.front[i]
+		scratch = scratch[:0]
+		sh.mu.Lock()
+		for sum := range sh.m {
+			scratch = append(scratch, sum)
+		}
+		sh.mu.Unlock()
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+		frontSums = append(frontSums, scratch...)
+	}
+
+	out := make([]uint64, 0, int64(len(frontSums))+s.spilled)
+	iters := make([]*spillRunIter, len(s.runs))
+	heads := make([]uint64, len(s.runs))
+	alive := make([]bool, len(s.runs))
+	var err error
+	for i, r := range s.runs {
+		iters[i] = r.iter()
+		heads[i], alive[i], err = iters[i].next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	fi := 0
+	for {
+		best := -1
+		var bestSum uint64
+		for i := range iters {
+			if alive[i] && (best == -1 || heads[i] < bestSum) {
+				best, bestSum = i, heads[i]
+			}
+		}
+		useFront := fi < len(frontSums) && (best == -1 || frontSums[fi] < bestSum)
+		switch {
+		case useFront:
+			out = append(out, frontSums[fi])
+			fi++
+		case best >= 0:
+			out = append(out, bestSum)
+			heads[best], alive[best], err = iters[best].next()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return out, nil
+		}
+	}
+}
+
+func (s *spilledSeen) Len() int {
+	s.runsMu.RLock()
+	spilled := s.spilled
+	s.runsMu.RUnlock()
+	return int(s.frontCount.Load() + spilled)
+}
+
+// ApproxBytes reports the set's in-memory footprint: the front maps, the
+// Bloom filter, and the run chunk indexes — the figure that stays
+// bounded no matter how many sums have spilled. Disk bytes are reported
+// separately via stats().
+func (s *spilledSeen) ApproxBytes() int64 {
+	b := s.frontCount.Load() * hashedEntryBytes
+	s.runsMu.RLock()
+	b += s.blm.bytes()
+	for _, r := range s.runs {
+		b += int64(len(r.chunks))*24 + int64(cap(r.cache))*8
+	}
+	s.runsMu.RUnlock()
+	return b
+}
+
+// ShardLens reports the in-memory front's shard occupancy (the spilled
+// majority is off-heap and unsharded).
+func (s *spilledSeen) ShardLens() []int {
+	out := make([]int, seenShards)
+	for i := range s.front {
+		s.front[i].mu.Lock()
+		out[i] = len(s.front[i].m)
+		s.front[i].mu.Unlock()
+	}
+	return out
+}
+
+func (s *spilledSeen) stats() spillStats {
+	s.runsMu.RLock()
+	defer s.runsMu.RUnlock()
+	return spillStats{
+		Spills:    s.spills,
+		Runs:      len(s.runs),
+		Spilled:   s.spilled,
+		DiskBytes: s.diskBytes,
+		Merges:    s.merges,
+		Probes:    s.probes.Load(),
+	}
+}
+
+// close releases and deletes the run files: they are private to one
+// search — the checkpoint, not the spill dir, is the durable artifact.
+func (s *spilledSeen) close() {
+	s.runsMu.Lock()
+	defer s.runsMu.Unlock()
+	for _, r := range s.runs {
+		r.close(true)
+	}
+	s.runs = nil
+}

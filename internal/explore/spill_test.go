@@ -1,0 +1,363 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sortedSums(n int, salt uint64) []uint64 {
+	sums := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for i := 0; len(sums) < n; i++ {
+		s := mix64(uint64(i) ^ salt)
+		if !seen[s] {
+			seen[s] = true
+			sums = append(sums, s)
+		}
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
+	return sums
+}
+
+func TestSpillRunRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, ckptHashesPerLine - 1, ckptHashesPerLine, ckptHashesPerLine + 1, 3*ckptHashesPerLine + 17} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			sums := sortedSums(n, 0xabcd)
+			var buf bytes.Buffer
+			if err := EncodeSpillRun(&buf, sums); err != nil {
+				t.Fatalf("EncodeSpillRun: %v", err)
+			}
+			got, err := DecodeSpillRun(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("DecodeSpillRun: %v", err)
+			}
+			if len(got) != len(sums) || (n > 0 && !reflect.DeepEqual(got, sums)) {
+				t.Fatalf("round trip lost data: got %d sums, want %d", len(got), len(sums))
+			}
+		})
+	}
+}
+
+// TestSpillRunWriterMatchesEncode pins that the streaming writer used on
+// the hot spill path and the one-shot encoder produce byte-identical
+// files — the decoder and the fuzz corpus only have to reason about one
+// format.
+func TestSpillRunWriterMatchesEncode(t *testing.T) {
+	sums := sortedSums(2*ckptHashesPerLine+5, 0x1122)
+	var want bytes.Buffer
+	if err := EncodeSpillRun(&want, sums); err != nil {
+		t.Fatalf("EncodeSpillRun: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "run-000001.sums")
+	run, err := writeSpillRun(path, sums)
+	if err != nil {
+		t.Fatalf("writeSpillRun: %v", err)
+	}
+	defer run.close(true)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streaming writer output differs from EncodeSpillRun (%d vs %d bytes)", len(got), want.Len())
+	}
+}
+
+func TestSpillRunContainsAndIter(t *testing.T) {
+	sums := sortedSums(3*ckptHashesPerLine+7, 0x7777)
+	path := filepath.Join(t.TempDir(), "run-000001.sums")
+	run, err := writeSpillRun(path, sums)
+	if err != nil {
+		t.Fatalf("writeSpillRun: %v", err)
+	}
+	defer run.close(true)
+
+	// Every written sum must be found; probe a chunk-boundary-heavy subset
+	// plus neighbours that were never written.
+	for i := 0; i < len(sums); i += 97 {
+		ok, err := run.contains(sums[i])
+		if err != nil {
+			t.Fatalf("contains(%016x): %v", sums[i], err)
+		}
+		if !ok {
+			t.Fatalf("contains(%016x) = false for written sum %d", sums[i], i)
+		}
+		if miss := sums[i] + 1; !containsLinear(sums, miss) {
+			ok, err := run.contains(miss)
+			if err != nil {
+				t.Fatalf("contains(%016x): %v", miss, err)
+			}
+			if ok {
+				t.Fatalf("contains(%016x) = true for absent sum", miss)
+			}
+		}
+	}
+
+	it := run.iter()
+	var streamed []uint64
+	for {
+		sum, ok, err := it.next()
+		if err != nil {
+			t.Fatalf("iter.next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		streamed = append(streamed, sum)
+	}
+	if !reflect.DeepEqual(streamed, sums) {
+		t.Fatalf("iter streamed %d sums, want %d in order", len(streamed), len(sums))
+	}
+}
+
+func containsLinear(sorted []uint64, v uint64) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+// TestDecodeSpillRunStrict: every corruption an operator can plausibly
+// hit — truncation mid-body, missing footer, flipped payload bytes,
+// wrong magic/version, disordered or duplicate sums, miscounted footer,
+// trailing garbage — must surface as an error wrapping ErrSpillFormat,
+// never as silently short data.
+func TestDecodeSpillRunStrict(t *testing.T) {
+	sums := sortedSums(2*ckptHashesPerLine+9, 0x4242)
+	var buf bytes.Buffer
+	if err := EncodeSpillRun(&buf, sums); err != nil {
+		t.Fatalf("EncodeSpillRun: %v", err)
+	}
+	good := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(good, "\n"), "\n")
+	// lines[0] header, lines[1..n] body, lines[last] footer.
+
+	corrupt := map[string]string{
+		"empty":              "",
+		"header only":        lines[0],
+		"truncated mid-line": good[:len(good)/2],
+		"no footer":          strings.Join(lines[:len(lines)-1], ""),
+		"bad magic":          strings.Replace(good, SpillRunMagic, "dl-explore-bogus", 1),
+		"bad version":        strings.Replace(good, `"version":1`, `"version":2`, 1),
+		"unknown field":      lines[0] + `{"h":"AAAAAAAAAAA=","extra":1}` + "\n" + strings.Join(lines[1:], ""),
+		"flipped payload":    flipOneBase64Char(t, good),
+		"trailing data":      good + `{"h":"AAAAAAAAAAA="}` + "\n",
+		"footer count off":   strings.Replace(good, fmt.Sprintf(`"count":%d`, len(sums)), fmt.Sprintf(`"count":%d`, len(sums)-1), 1),
+	}
+	for name, data := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			_, err := DecodeSpillRun(strings.NewReader(data))
+			if err == nil {
+				t.Fatalf("DecodeSpillRun accepted corrupted input")
+			}
+			if !errors.Is(err, ErrSpillFormat) {
+				t.Fatalf("error %v does not wrap ErrSpillFormat", err)
+			}
+		})
+	}
+
+	// Out-of-order and duplicate sums violate the sorted-run invariant.
+	// EncodeSpillRun refuses to produce such files, so craft them by hand
+	// with a valid CRC: the decoder must reject on ordering, not checksum.
+	for name, mangle := range map[string]func([]uint64){
+		"out of order": func(s []uint64) { s[3], s[4] = s[4], s[3] },
+		"duplicate":    func(s []uint64) { s[4] = s[3] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			bad := append([]uint64(nil), sums...)
+			mangle(bad)
+			if _, err := DecodeSpillRun(bytes.NewReader(encodeRawRun(t, bad))); !errors.Is(err, ErrSpillFormat) {
+				t.Fatalf("got %v, want ErrSpillFormat for %s sums", err, name)
+			}
+		})
+	}
+}
+
+// encodeRawRun writes a structurally valid run file (header, base64 body
+// lines, CRC-correct footer) without EncodeSpillRun's ordering guard, so
+// tests can feed the decoder invariant-violating but checksum-clean data.
+func encodeRawRun(t *testing.T, sums []uint64) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	crc := crc32.NewIEEE()
+	lines := 0
+	writeLine := func(v any) {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		crc.Write(blob)
+		lines++
+		out.Write(blob)
+	}
+	writeLine(spillRunHeader{Magic: SpillRunMagic, Version: SpillRunVersion})
+	var payload []byte
+	for i := 0; i < len(sums); i += ckptHashesPerLine {
+		end := min(i+ckptHashesPerLine, len(sums))
+		payload = payload[:0]
+		for _, s := range sums[i:end] {
+			payload = binary.LittleEndian.AppendUint64(payload, s)
+		}
+		writeLine(ckptSeenLine{H: base64.StdEncoding.EncodeToString(payload)})
+	}
+	foot := spillRunFooter{End: &lines, Count: int64(len(sums)), CRC: fmt.Sprintf("%08x", crc.Sum32())}
+	blob, err := json.Marshal(foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Write(append(blob, '\n'))
+	return out.Bytes()
+}
+
+// flipOneBase64Char corrupts a single base64 hash character in the body
+// so the CRC in the footer no longer matches.
+func flipOneBase64Char(t *testing.T, s string) string {
+	t.Helper()
+	i := strings.Index(s, `{"h":"`)
+	if i < 0 {
+		t.Fatal("no body line found")
+	}
+	i += len(`{"h":"`)
+	b := []byte(s)
+	if b[i] == 'A' {
+		b[i] = 'B'
+	} else {
+		b[i] = 'A'
+	}
+	return string(b)
+}
+
+func FuzzSpillRunDecode(f *testing.F) {
+	for _, n := range []int{0, 3, ckptHashesPerLine + 1} {
+		var buf bytes.Buffer
+		if err := EncodeSpillRun(&buf, sortedSums(n, uint64(n))); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"magic":"dl-explore-spillrun","version":1}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sums, err := DecodeSpillRun(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrSpillFormat) && !strings.Contains(err.Error(), "read") {
+				t.Fatalf("decode error %v is neither ErrSpillFormat nor an I/O error", err)
+			}
+			return
+		}
+		// Accepted input must satisfy the run invariants, and re-encoding
+		// must reproduce an equivalent run byte-for-byte.
+		for i := 1; i < len(sums); i++ {
+			if sums[i] <= sums[i-1] {
+				t.Fatalf("decoder accepted non-ascending sums at %d", i)
+			}
+		}
+		var re bytes.Buffer
+		if err := EncodeSpillRun(&re, sums); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := DecodeSpillRun(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, sums) && (len(back) != 0 || len(sums) != 0) {
+			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}
+
+// TestSpilledSeenMatchesHashedSeen: with the same seed, the spilling set
+// must accept and reject exactly the same keys as the plain in-memory
+// set, across forced spills and at least one compacting merge, and
+// mergedHashes must enumerate the identical global sorted sum sequence.
+func TestSpilledSeenMatchesHashedSeen(t *testing.T) {
+	const seed = 0xfedc_ba98_7654_3210
+	dir := t.TempDir()
+	// Threshold small enough that >spillMaxRuns runs get written, forcing
+	// the k-way compaction path.
+	sp := newSpilledSeen(seed, dir, 512)
+	defer sp.close()
+	mem := newHashedSeenSeeded(seed)
+
+	key := make([]byte, 0, 24)
+	const rounds, perRound = 24, 400
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			// ~30% revisit rate so both fresh inserts and hits are exercised
+			// against spilled runs.
+			key = fmt.Appendf(key[:0], "state-%d", (r*perRound+i*7)%(rounds*perRound*7/10))
+			a, b := sp.Add(key), mem.Add(key)
+			if a != b {
+				t.Fatalf("round %d: spilled.Add(%q)=%t, hashed.Add=%t", r, key, a, b)
+			}
+		}
+		if err := sp.Err(); err != nil {
+			t.Fatalf("round %d: spill error: %v", r, err)
+		}
+	}
+	if sp.Len() != mem.Len() {
+		t.Fatalf("Len: spilled %d, hashed %d", sp.Len(), mem.Len())
+	}
+	st := sp.stats()
+	if st.Spills == 0 {
+		t.Fatalf("threshold never tripped (stats %+v); test is not exercising the spill path", st)
+	}
+	if st.Merges == 0 {
+		t.Fatalf("run compaction never ran (stats %+v); shrink the threshold", st)
+	}
+	if st.Spilled == 0 || st.DiskBytes == 0 || st.Runs == 0 {
+		t.Fatalf("implausible spill stats %+v", st)
+	}
+
+	got, err := sp.mergedHashes()
+	if err != nil {
+		t.Fatalf("mergedHashes: %v", err)
+	}
+	want := mem.hashes()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergedHashes: %d sums vs hashed %d, or order differs", len(got), len(want))
+	}
+
+	// close() must remove the run files: the checkpoint is the durable
+	// artifact, not the spill scratch space.
+	sp.close()
+	left, err := filepath.Glob(filepath.Join(dir, "run-*.sums"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("close left run files behind: %v", left)
+	}
+}
+
+// TestSpilledSeenSurfacesDiskErrors: a vanished spill directory must
+// turn into a sticky Err(), not a silent false-negative Add.
+func TestSpilledSeenSurfacesDiskErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "gone")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sp := newSpilledSeen(1, dir, 64)
+	defer sp.close()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, 0, 16)
+	for i := 0; i < 4096; i++ {
+		key = fmt.Appendf(key[:0], "k%d", i)
+		sp.Add(key)
+	}
+	if sp.Err() == nil {
+		t.Fatal("spill into removed directory reported no error")
+	}
+}
